@@ -1,0 +1,136 @@
+package repro
+
+// This file regenerates every table and figure of the paper's
+// evaluation as Go benchmarks. Wall-clock ns/op measures this
+// implementation; the paper's metric is the SIMULATED time, reported
+// per platform via b.ReportMetric as sim_ms/op (Figs 5-6) or MiB/s
+// (Fig 7). Workloads are scaled down from the paper's sizes so the
+// suite completes quickly; cmd/benchharness runs the full paper scale
+// and EXPERIMENTS.md records those numbers.
+
+import (
+	"testing"
+
+	"cricket/internal/apps"
+	"cricket/internal/bench"
+	"cricket/internal/guest"
+)
+
+// reportRows runs one experiment per benchmark iteration and reports
+// each platform's simulated result as a custom metric.
+func reportRows(b *testing.B, unit string, run func() ([]bench.Row, error)) {
+	b.Helper()
+	var rows []bench.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Value, unit+"_"+sanitize(r.Platform))
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkTable1Configs materializes the Table 1 configuration
+// matrix (a smoke benchmark: the table is static).
+func BenchmarkTable1Configs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(guest.All()) != 5 {
+			b.Fatal("platform set changed")
+		}
+		_ = bench.Table1()
+	}
+}
+
+// BenchmarkFig5a_MatrixMul regenerates Fig 5a (matrixMul execution
+// time per platform, simulated seconds).
+func BenchmarkFig5a_MatrixMul(b *testing.B) {
+	reportRows(b, "sim_s", func() ([]bench.Row, error) { return bench.Fig5a(bench.ScaleCI) })
+}
+
+// BenchmarkFig5b_LinearSolver regenerates Fig 5b.
+func BenchmarkFig5b_LinearSolver(b *testing.B) {
+	reportRows(b, "sim_s", func() ([]bench.Row, error) { return bench.Fig5b(bench.ScaleCI) })
+}
+
+// BenchmarkFig5c_Histogram regenerates Fig 5c.
+func BenchmarkFig5c_Histogram(b *testing.B) {
+	reportRows(b, "sim_s", func() ([]bench.Row, error) { return bench.Fig5c(bench.ScaleCI) })
+}
+
+// benchCalls is the per-iteration call count for the Fig 6
+// microbenchmarks (paper: 100,000; per-call metrics are
+// scale-independent).
+const benchCalls = 1000
+
+// BenchmarkFig6a_GetDeviceCount regenerates Fig 6a.
+func BenchmarkFig6a_GetDeviceCount(b *testing.B) {
+	reportRows(b, "sim_s", func() ([]bench.Row, error) { return bench.Fig6(bench.MicroGetDeviceCount, benchCalls) })
+}
+
+// BenchmarkFig6b_MallocFree regenerates Fig 6b.
+func BenchmarkFig6b_MallocFree(b *testing.B) {
+	reportRows(b, "sim_s", func() ([]bench.Row, error) { return bench.Fig6(bench.MicroMallocFree, benchCalls) })
+}
+
+// BenchmarkFig6c_KernelLaunch regenerates Fig 6c.
+func BenchmarkFig6c_KernelLaunch(b *testing.B) {
+	reportRows(b, "sim_s", func() ([]bench.Row, error) { return bench.Fig6(bench.MicroKernelLaunch, benchCalls) })
+}
+
+// benchBWBytes is the transfer size for the Fig 7 benchmarks
+// (paper: 512 MiB; bandwidth converges well before that).
+const benchBWBytes = 32 << 20
+
+// BenchmarkFig7a_BandwidthD2H regenerates Fig 7a.
+func BenchmarkFig7a_BandwidthD2H(b *testing.B) {
+	reportRows(b, "MiBps", func() ([]bench.Row, error) { return bench.Fig7(apps.DeviceToHost, benchBWBytes, 2) })
+}
+
+// BenchmarkFig7b_BandwidthH2D regenerates Fig 7b.
+func BenchmarkFig7b_BandwidthH2D(b *testing.B) {
+	reportRows(b, "MiBps", func() ([]bench.Row, error) { return bench.Fig7(apps.HostToDevice, benchBWBytes, 2) })
+}
+
+// BenchmarkAblationOffloads regenerates the §4.2 ethtool experiment.
+func BenchmarkAblationOffloads(b *testing.B) {
+	reportRows(b, "MiBps", func() ([]bench.Row, error) { return bench.AblationOffloads(benchBWBytes, 2) })
+}
+
+// BenchmarkAblationTransferMethods compares Cricket's four
+// memory-transfer strategies.
+func BenchmarkAblationTransferMethods(b *testing.B) {
+	reportRows(b, "MiBps", func() ([]bench.Row, error) { return bench.AblationTransferMethods(benchBWBytes) })
+}
+
+// BenchmarkAblationCubinCompression compares raw and compressed
+// module loading.
+func BenchmarkAblationCubinCompression(b *testing.B) {
+	reportRows(b, "sim_us", bench.AblationCubinCompression)
+}
+
+// BenchmarkAblationMTU compares IP MTU 1500 and 9000.
+func BenchmarkAblationMTU(b *testing.B) {
+	reportRows(b, "MiBps", bench.AblationMTU)
+}
+
+// BenchmarkAblationFutureWork projects the paper's §5 outlook
+// (RustyHermit with TSO, then vDPA).
+func BenchmarkAblationFutureWork(b *testing.B) {
+	reportRows(b, "MiBps", func() ([]bench.Row, error) { return bench.AblationFutureWork(benchBWBytes) })
+}

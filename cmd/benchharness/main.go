@@ -1,0 +1,129 @@
+// Command benchharness regenerates every table and figure of the
+// paper's evaluation section and prints them as text tables. See
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+//
+// Usage:
+//
+//	benchharness -all                 # everything at paper scale
+//	benchharness -fig6a -fig7         # selected experiments
+//	benchharness -all -ci             # reduced scale, full execution
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cricket/internal/apps"
+	"cricket/internal/bench"
+)
+
+func main() {
+	all := flag.Bool("all", false, "run every experiment")
+	ci := flag.Bool("ci", false, "reduced workload scale")
+	table1 := flag.Bool("table1", false, "Table 1: configurations")
+	fig5a := flag.Bool("fig5a", false, "Fig 5a: matrixMul")
+	fig5b := flag.Bool("fig5b", false, "Fig 5b: cuSolverDn_LinearSolver")
+	fig5c := flag.Bool("fig5c", false, "Fig 5c: histogram")
+	fig6a := flag.Bool("fig6a", false, "Fig 6a: cudaGetDeviceCount x100k")
+	fig6b := flag.Bool("fig6b", false, "Fig 6b: cudaMalloc/cudaFree x100k")
+	fig6c := flag.Bool("fig6c", false, "Fig 6c: kernel launch x100k")
+	fig7 := flag.Bool("fig7", false, "Fig 7: bandwidthTest both directions")
+	ablOffload := flag.Bool("ablation-offload", false, "§4.2 offload ablation")
+	ablTransfer := flag.Bool("ablation-transfer", false, "transfer-method ablation")
+	ablCubin := flag.Bool("ablation-cubin", false, "cubin compression ablation")
+	ablMTU := flag.Bool("ablation-mtu", false, "MTU ablation")
+	ablFuture := flag.Bool("ablation-future", false, "§5 future-work projection (Hermit TSO, vDPA)")
+	flag.Parse()
+
+	scale := bench.ScalePaper
+	calls := 100_000
+	bwBytes := 512 << 20
+	bwRuns := 10
+	if *ci {
+		scale = bench.ScaleCI
+		calls = 2_000
+		bwBytes = 32 << 20
+		bwRuns = 2
+	}
+
+	ran := false
+	section := func(enabled bool, f func()) {
+		if *all || enabled {
+			f()
+			ran = true
+		}
+	}
+
+	section(*table1, func() {
+		fmt.Println("Table 1: Overview of configurations for the evaluation")
+		fmt.Println(bench.Table1())
+	})
+	runRows := func(title, unit string, f func() ([]bench.Row, error)) {
+		start := time.Now()
+		rows, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchharness: %s: %v\n", title, err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.Render(title, unit, rows))
+		fmt.Printf("  [generated in %v wall time]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	section(*fig5a, func() {
+		runRows("Fig 5a: matrixMul execution time (simulated s)", "s",
+			func() ([]bench.Row, error) { return bench.Fig5a(scale) })
+	})
+	section(*fig5b, func() {
+		runRows("Fig 5b: cuSolverDn_LinearSolver execution time (simulated s)", "s",
+			func() ([]bench.Row, error) { return bench.Fig5b(scale) })
+	})
+	section(*fig5c, func() {
+		runRows("Fig 5c: histogram execution time (simulated s)", "s",
+			func() ([]bench.Row, error) { return bench.Fig5c(scale) })
+	})
+	section(*fig6a, func() {
+		runRows(fmt.Sprintf("Fig 6a: %d x cudaGetDeviceCount (simulated s)", calls), "s",
+			func() ([]bench.Row, error) { return bench.Fig6(bench.MicroGetDeviceCount, calls) })
+	})
+	section(*fig6b, func() {
+		runRows(fmt.Sprintf("Fig 6b: %d x cudaMalloc/cudaFree (simulated s)", calls), "s",
+			func() ([]bench.Row, error) { return bench.Fig6(bench.MicroMallocFree, calls) })
+	})
+	section(*fig6c, func() {
+		runRows(fmt.Sprintf("Fig 6c: %d x kernel launch (simulated s)", calls), "s",
+			func() ([]bench.Row, error) { return bench.Fig6(bench.MicroKernelLaunch, calls) })
+	})
+	section(*fig7, func() {
+		runRows(fmt.Sprintf("Fig 7a: bandwidthTest device-to-host, %d MiB", bwBytes>>20), "MiB/s",
+			func() ([]bench.Row, error) { return bench.Fig7(apps.DeviceToHost, bwBytes, bwRuns) })
+		runRows(fmt.Sprintf("Fig 7b: bandwidthTest host-to-device, %d MiB", bwBytes>>20), "MiB/s",
+			func() ([]bench.Row, error) { return bench.Fig7(apps.HostToDevice, bwBytes, bwRuns) })
+	})
+	section(*ablOffload, func() {
+		runRows("Ablation (§4.2): Linux VM with TX offloads disabled", "MiB/s",
+			func() ([]bench.Row, error) { return bench.AblationOffloads(bwBytes, bwRuns) })
+	})
+	section(*ablTransfer, func() {
+		runRows("Ablation: Cricket memory-transfer methods (native C client)", "MiB/s",
+			func() ([]bench.Row, error) { return bench.AblationTransferMethods(bwBytes / 8) })
+	})
+	section(*ablCubin, func() {
+		runRows("Ablation: cubin compression (module load, simulated µs)", "µs",
+			bench.AblationCubinCompression)
+	})
+	section(*ablMTU, func() {
+		runRows("Ablation: IP MTU 1500 vs 9000 (Hermit bulk H2D)", "MiB/s",
+			bench.AblationMTU)
+	})
+	section(*ablFuture, func() {
+		runRows("Ablation (§5 outlook): Hermit with TSO and vDPA, bulk H2D", "MiB/s",
+			func() ([]bench.Row, error) { return bench.AblationFutureWork(bwBytes) })
+	})
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

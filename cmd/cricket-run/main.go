@@ -1,0 +1,168 @@
+// Command cricket-run executes one of the proxy applications against
+// a Cricket server: either a remote server over TCP (started with
+// cricket-server) or an in-process simulated cluster with a selected
+// guest platform.
+//
+// Usage:
+//
+//	cricket-run -app matrixmul                      # in-proc, native Rust profile
+//	cricket-run -app histogram -platform Hermit     # in-proc, RustyHermit profile
+//	cricket-run -app solver -server 127.0.0.1:9999  # against a real server
+//	cricket-run -app bandwidth -direction d2h
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"cricket/internal/apps"
+	"cricket/internal/core"
+	"cricket/internal/cricket"
+	"cricket/internal/guest"
+)
+
+func main() {
+	app := flag.String("app", "matrixmul", "application: matrixmul, histogram, solver, bandwidth")
+	platform := flag.String("platform", "Rust", "guest platform: C, Rust, 'Linux VM', Unikraft, Hermit")
+	server := flag.String("server", "", "remote Cricket server address (empty: in-process simulation)")
+	iters := flag.Int("iters", 0, "iteration/pass count (0: small demo default)")
+	direction := flag.String("direction", "h2d", "bandwidth direction: h2d or d2h")
+	full := flag.Bool("paper-scale", false, "run the full paper-scale workload (timing replay)")
+	flag.Parse()
+
+	p, ok := guest.ByName(*platform)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cricket-run: unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+
+	if *server != "" {
+		runRemote(*server, p, *app)
+		return
+	}
+
+	cl := core.NewCluster()
+	defer cl.Close()
+	vg, err := cl.Connect(p)
+	if err != nil {
+		fatal(err)
+	}
+	defer vg.Close()
+
+	switch *app {
+	case "matrixmul":
+		cfg := apps.MatrixMul{HA: 64, WA: 32, WB: 64, Iterations: or(*iters, 100)}
+		if *full {
+			cfg = apps.MatrixMul{TimingReplay: true}
+		}
+		report(cfg.Run(vg))
+	case "histogram":
+		cfg := apps.Histogram{DataBytes: 4 << 20, ChunkBytes: 256 << 10, Passes: or(*iters, 10)}
+		if *full {
+			cfg = apps.Histogram{TimingReplay: true}
+		}
+		report(cfg.Run(vg))
+	case "solver":
+		cfg := apps.LinearSolver{N: 64, Iterations: or(*iters, 5)}
+		if *full {
+			cfg = apps.LinearSolver{TimingReplay: true}
+		}
+		report(cfg.Run(vg))
+	case "bandwidth":
+		dir := apps.HostToDevice
+		if *direction == "d2h" {
+			dir = apps.DeviceToHost
+		}
+		cfg := apps.BandwidthTest{Bytes: 32 << 20, Runs: or(*iters, 3), Direction: dir}
+		if *full {
+			cfg = apps.BandwidthTest{Direction: dir}
+		}
+		res, err := cfg.Run(vg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+	default:
+		fmt.Fprintf(os.Stderr, "cricket-run: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+}
+
+func or(v, def int) int {
+	if v != 0 {
+		return v
+	}
+	return def
+}
+
+func report(res apps.Result, err error) {
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res)
+	if !res.Verified {
+		fmt.Fprintln(os.Stderr, "cricket-run: WARNING: result verification failed")
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cricket-run:", err)
+	os.Exit(1)
+}
+
+// runRemote issues a smoke workload against a real TCP server: device
+// discovery plus a memory round trip. Applications measure themselves
+// over real networks, so no simulated platform costs apply.
+func runRemote(addr string, p guest.Platform, app string) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := cricket.Connect(conn, cricket.Options{Platform: p})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	n, err := c.GetDeviceCount()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("connected to %s: %d device(s)\n", addr, n)
+	for i := 0; i < n; i++ {
+		prop, err := c.GetDeviceProperties(i)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  device %d: %s (sm_%d%d, %d SMs)\n", i, prop.Name, prop.Major, prop.Minor, prop.MultiProcessorCount)
+	}
+	ptr, err := c.Malloc(1 << 20)
+	if err != nil {
+		fatal(err)
+	}
+	data := make([]byte, 1<<20)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := c.MemcpyHtoD(ptr, data); err != nil {
+		fatal(err)
+	}
+	back, err := c.MemcpyDtoH(ptr, 1<<20)
+	if err != nil {
+		fatal(err)
+	}
+	ok := len(back) == len(data)
+	for i := range back {
+		if back[i] != data[i] {
+			ok = false
+			break
+		}
+	}
+	if err := c.Free(ptr); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("memory round trip (1 MiB): ok=%v\n", ok)
+	_ = app
+}

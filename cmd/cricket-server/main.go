@@ -1,0 +1,90 @@
+// Command cricket-server runs a standalone Cricket server over real
+// TCP: the process that owns the (simulated) GPUs on the paper's
+// dedicated GPU node. Any number of cricket-run clients — or any ONC
+// RPC client speaking the cricket.x protocol — can connect and share
+// the devices.
+//
+// Usage:
+//
+//	cricket-server [-listen :9999] [-gpus a100,t4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+
+	"cricket/internal/cricket"
+	"cricket/internal/cuda"
+	"cricket/internal/gpu"
+	"cricket/internal/oncrpc"
+)
+
+func specFor(name string) (gpu.Spec, error) {
+	switch strings.ToLower(name) {
+	case "a100":
+		return gpu.SpecA100, nil
+	case "t4":
+		return gpu.SpecT4, nil
+	case "p40":
+		return gpu.SpecP40, nil
+	}
+	return gpu.Spec{}, fmt.Errorf("unknown GPU model %q (want a100, t4, or p40)", name)
+}
+
+func main() {
+	listen := flag.String("listen", ":9999", "TCP listen address for RPC")
+	dataListen := flag.String("data-listen", "", "TCP listen address for parallel-socket data channels (empty: disabled)")
+	gpus := flag.String("gpus", "a100", "comma-separated device list (a100, t4, p40)")
+	flag.Parse()
+
+	var devices []*gpu.Device
+	for _, name := range strings.Split(*gpus, ",") {
+		spec, err := specFor(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cricket-server:", err)
+			os.Exit(2)
+		}
+		devices = append(devices, gpu.New(spec))
+		log.Printf("device %d: %s", len(devices)-1, spec.String())
+	}
+
+	rt := cuda.NewRuntime(nil, devices...)
+	srv := cricket.NewServer(rt)
+	srv.ErrorLog = log.Default()
+	rpcSrv := oncrpc.NewServer()
+	rpcSrv.ErrorLog = log.Default()
+	srv.Attach(rpcSrv)
+
+	if *dataListen != "" {
+		dl, err := net.Listen("tcp", *dataListen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("data channels listening on %s", *dataListen)
+		go func() {
+			if err := srv.ServeData(dl); err != nil {
+				log.Printf("data listener: %v", err)
+			}
+		}()
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Co-host a port mapper and self-register, so libtirpc-style
+	// clients can discover the service (RFC 1833).
+	pm := oncrpc.NewPortmap()
+	pm.Register(rpcSrv)
+	port := uint32(l.Addr().(*net.TCPAddr).Port)
+	pm.Set(oncrpc.Mapping{Prog: cricket.RpcCdProg, Vers: cricket.RpcCdVers, Prot: oncrpc.IPProtoTCP, Port: port})
+
+	log.Printf("cricket server (prog %#x vers %d) listening on %s", cricket.RpcCdProg, cricket.RpcCdVers, l.Addr())
+	if err := rpcSrv.Serve(l); err != nil && err != oncrpc.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

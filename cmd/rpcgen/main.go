@@ -1,0 +1,63 @@
+// Command rpcgen generates Go code from an RPCL interface
+// specification (.x file): XDR marshaling for every declared type,
+// typed RPC clients, and server handler interfaces with dispatch
+// adapters.
+//
+// It plays the role that Sun's rpcgen plays for the Cricket C server
+// and that RPC-Lib's procedural macros play for Rust clients.
+//
+// Usage:
+//
+//	rpcgen -pkg cricket -o gen_cricket.go cricket.x
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cricket/internal/rpcl"
+)
+
+func main() {
+	pkg := flag.String("pkg", "rpcgen", "package name of the generated file")
+	out := flag.String("o", "", "output file (default stdout)")
+	xdrImport := flag.String("xdr", "cricket/internal/xdr", "import path of the XDR runtime")
+	rpcImport := flag.String("rpc", "cricket/internal/oncrpc", "import path of the ONC RPC runtime")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rpcgen [-pkg name] [-o file] spec.x\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rpcgen: %v\n", err)
+		os.Exit(1)
+	}
+	spec, err := rpcl.Parse(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rpcgen: %s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+	code, err := rpcl.Generate(spec, rpcl.GenOptions{
+		Package:   *pkg,
+		XDRImport: *xdrImport,
+		RPCImport: *rpcImport,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rpcgen: generate: %v\n", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		os.Stdout.Write(code)
+		return
+	}
+	if err := os.WriteFile(*out, code, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "rpcgen: %v\n", err)
+		os.Exit(1)
+	}
+}

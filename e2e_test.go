@@ -1,0 +1,125 @@
+package repro
+
+// End-to-end binary test: builds the real cricket-server and
+// cricket-run executables, starts a server over TCP on localhost, and
+// drives it with the client binary — the deployment of the paper's
+// Figure 2 on one machine.
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// freePort asks the kernel for an unused TCP port.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port
+}
+
+func buildBinary(t *testing.T, dir, pkg string) string {
+	t.Helper()
+	name := filepath.Join(dir, filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", name, "./"+pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build %s: %v\n%s", pkg, err, out)
+	}
+	return name
+}
+
+func TestEndToEndBinaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	dir := t.TempDir()
+	serverBin := buildBinary(t, dir, "cmd/cricket-server")
+	runBin := buildBinary(t, dir, "cmd/cricket-run")
+
+	// Ports can collide between freePort and bind; retry a few times.
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	var srv *exec.Cmd
+	var addr string
+	for attempt := 0; attempt < 5; attempt++ {
+		port := freePort(t) + rng.Intn(50)
+		addr = fmt.Sprintf("127.0.0.1:%d", port)
+		srv = exec.Command(serverBin, "-listen", addr, "-gpus", "a100,t4")
+		srv.Stderr = os.Stderr
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// Wait for the listener.
+		ok := false
+		for i := 0; i < 50; i++ {
+			conn, err := net.DialTimeout("tcp", addr, 100*time.Millisecond)
+			if err == nil {
+				conn.Close()
+				ok = true
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if ok {
+			break
+		}
+		srv.Process.Kill()
+		srv = nil
+	}
+	if srv == nil {
+		t.Fatal("server never came up")
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+
+	out, err := exec.Command(runBin, "-server", addr).CombinedOutput()
+	if err != nil {
+		t.Fatalf("cricket-run: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"2 device(s)",
+		"NVIDIA A100-PCIE-40GB",
+		"NVIDIA Tesla T4",
+		"memory round trip (1 MiB): ok=true",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestEndToEndSimulatedApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	dir := t.TempDir()
+	runBin := buildBinary(t, dir, "cmd/cricket-run")
+	for _, args := range [][]string{
+		{"-app", "matrixmul", "-platform", "Hermit", "-iters", "20"},
+		{"-app", "histogram", "-platform", "Unikraft", "-iters", "3"},
+		{"-app", "solver", "-platform", "Linux VM", "-iters", "2"},
+		{"-app", "bandwidth", "-direction", "d2h", "-iters", "2"},
+	} {
+		out, err := exec.Command(runBin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("cricket-run %v: %v\n%s", args, err, out)
+		}
+		if strings.Contains(string(out), "verification failed") {
+			t.Fatalf("cricket-run %v: %s", args, out)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Checkpoint example: the checkpoint/restart capability Cricket's
+// decoupling enables (paper §1, §5): because the server owns all GPU
+// state, it can snapshot device memory and roll it back — the
+// mechanism behind runtime reorganization of unikernel workloads.
+//
+// The example trains a toy iterative computation, checkpoints halfway,
+// corrupts the state, restores, and finishes correctly.
+//
+//	go run ./examples/checkpoint
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"cricket/internal/core"
+	"cricket/internal/cubin"
+	"cricket/internal/cuda"
+	"cricket/internal/gpu"
+	"cricket/internal/guest"
+)
+
+const n = 2048
+
+func sum(vg *core.VirtualGPU, f cuda.Function, in, out *core.Buffer) float32 {
+	args := cuda.NewArgBuffer().Ptr(out.Ptr()).Ptr(in.Ptr()).U32(n).Bytes()
+	if err := vg.Launch(f, gpu.Dim3{X: 1, Y: 1, Z: 1}, gpu.Dim3{X: 256, Y: 1, Z: 1}, 0, args); err != nil {
+		log.Fatal(err)
+	}
+	res, err := out.Read()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return math.Float32frombits(binary.LittleEndian.Uint32(res))
+}
+
+func main() {
+	cluster := core.NewCluster()
+	defer cluster.Close()
+	vg, err := cluster.Connect(guest.RustyHermit())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer vg.Close()
+
+	var fb cubin.FatBinary
+	fb.AddImage(cuda.BuiltinImage(80), true)
+	mod, err := vg.LoadModule(fb.Encode())
+	if err != nil {
+		log.Fatal(err)
+	}
+	reduce, err := mod.Function(cuda.KernelReduceSum)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	in, err := vg.Alloc(n * 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := vg.Alloc(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: establish state on the device.
+	host := make([]byte, n*4)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(host[i*4:], math.Float32bits(2.5))
+	}
+	if err := in.Write(host); err != nil {
+		log.Fatal(err)
+	}
+	before := sum(vg, reduce, in, out)
+	fmt.Printf("state established: sum = %g (want %g)\n", before, float32(2.5*n))
+
+	// Checkpoint the whole device.
+	if err := vg.Checkpoint(); err != nil {
+		log.Fatal(err)
+	}
+	snap := cluster.Cricket.LatestSnapshot(0)
+	fmt.Printf("checkpointed %d allocations, %d bytes of device memory\n", snap.Allocations(), snap.Bytes())
+
+	// Disaster: the state is overwritten (a crashed unikernel, a
+	// rescheduled tenant, a failed experiment...).
+	if err := in.Memset(0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after corruption: sum = %g\n", sum(vg, reduce, in, out))
+
+	// Restore and continue where we left off.
+	if err := vg.Restore(); err != nil {
+		log.Fatal(err)
+	}
+	after := sum(vg, reduce, in, out)
+	fmt.Printf("after restore: sum = %g (recovered = %v)\n", after, after == before)
+}

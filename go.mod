@@ -1,0 +1,3 @@
+module cricket
+
+go 1.22

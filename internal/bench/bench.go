@@ -1,0 +1,436 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation: Table 1 (configurations), Figure 5 (proxy-application
+// execution times), Figure 6 (API-call microbenchmarks), Figure 7
+// (memory-transfer bandwidth), and the §4.2 offload ablation — plus
+// ablations for the design choices called out in DESIGN.md (transfer
+// methods, record fragment size, cubin compression, MTU).
+//
+// All results are simulated durations on the virtual clock; see
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cricket/internal/apps"
+	"cricket/internal/core"
+	"cricket/internal/cricket"
+	"cricket/internal/cubin"
+	"cricket/internal/cuda"
+	"cricket/internal/gpu"
+	"cricket/internal/guest"
+	"cricket/internal/netsim"
+)
+
+// Scale selects the workload size of an experiment.
+type Scale int
+
+// Scales.
+const (
+	// ScalePaper runs the exact configuration of the paper (100,000
+	// matrixMul iterations, 512 MiB transfers, ...). Kernel bodies
+	// replay in timing-only mode after verification.
+	ScalePaper Scale = iota
+	// ScaleCI runs a reduced configuration with full functional
+	// execution, for tests and quick runs.
+	ScaleCI
+)
+
+// A Row is one platform's result in a figure.
+type Row struct {
+	Platform string
+	// Value is the metric: simulated seconds for Figs 5/6, MiB/s for
+	// Fig 7.
+	Value float64
+	// Detail carries auxiliary values (e.g. init time).
+	Detail string
+}
+
+// withVG runs f against a fresh single-A100 cluster and client on p.
+func withVG(p guest.Platform, opts cricket.Options, f func(*core.VirtualGPU) error) error {
+	cl := core.NewCluster()
+	defer cl.Close()
+	vg, err := cl.ConnectOpts(p, opts)
+	if err != nil {
+		return err
+	}
+	defer vg.Close()
+	return f(vg)
+}
+
+// Fig5a reproduces matrixMul (Fig 5a): execution time per platform.
+func Fig5a(scale Scale) ([]Row, error) {
+	cfg := apps.MatrixMul{TimingReplay: true}
+	if scale == ScaleCI {
+		cfg = apps.MatrixMul{HA: 64, WA: 32, WB: 64, Iterations: 200}
+	}
+	return runApp(func(vg *core.VirtualGPU) (apps.Result, error) { return cfg.Run(vg) })
+}
+
+// Fig5b reproduces cuSolverDn_LinearSolver (Fig 5b).
+func Fig5b(scale Scale) ([]Row, error) {
+	cfg := apps.LinearSolver{TimingReplay: true}
+	if scale == ScaleCI {
+		cfg = apps.LinearSolver{N: 64, Iterations: 20}
+	}
+	return runApp(func(vg *core.VirtualGPU) (apps.Result, error) { return cfg.Run(vg) })
+}
+
+// Fig5c reproduces histogram (Fig 5c).
+func Fig5c(scale Scale) ([]Row, error) {
+	cfg := apps.Histogram{TimingReplay: true}
+	if scale == ScaleCI {
+		cfg = apps.Histogram{DataBytes: 4 << 20, ChunkBytes: 256 << 10, Passes: 20}
+	}
+	return runApp(func(vg *core.VirtualGPU) (apps.Result, error) { return cfg.Run(vg) })
+}
+
+func runApp(run func(*core.VirtualGPU) (apps.Result, error)) ([]Row, error) {
+	var rows []Row
+	for _, p := range guest.All() {
+		var res apps.Result
+		err := withVG(p, cricket.Options{}, func(vg *core.VirtualGPU) error {
+			var err error
+			res, err = run(vg)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		if !res.Verified {
+			return nil, fmt.Errorf("%s: result verification failed", p.Name)
+		}
+		rows = append(rows, Row{
+			Platform: p.Name,
+			Value:    res.Total().Seconds(),
+			Detail: fmt.Sprintf("init %.3fs, exec %.3fs, %d calls, %.2f MiB moved",
+				res.InitTime.Seconds(), res.ExecTime.Seconds(), res.Stats.APICalls,
+				float64(res.Stats.BytesToDevice+res.Stats.BytesFromDevice)/(1<<20)),
+		})
+	}
+	return rows, nil
+}
+
+// MicroAPI selects a Figure 6 microbenchmark.
+type MicroAPI int
+
+// Microbenchmark APIs.
+const (
+	// MicroGetDeviceCount is Fig 6a.
+	MicroGetDeviceCount MicroAPI = iota
+	// MicroMallocFree is Fig 6b (alternating cudaMalloc/cudaFree).
+	MicroMallocFree
+	// MicroKernelLaunch is Fig 6c.
+	MicroKernelLaunch
+)
+
+func (m MicroAPI) String() string {
+	switch m {
+	case MicroGetDeviceCount:
+		return "cudaGetDeviceCount"
+	case MicroMallocFree:
+		return "cudaMalloc/cudaFree"
+	case MicroKernelLaunch:
+		return "kernel launch"
+	}
+	return "unknown"
+}
+
+// Fig6 reproduces the Fig 6 microbenchmarks: total simulated time of
+// `calls` invocations of the API on every platform (the paper uses
+// 100,000).
+func Fig6(api MicroAPI, calls int) ([]Row, error) {
+	if calls <= 0 {
+		calls = 100_000
+	}
+	var rows []Row
+	for _, p := range guest.All() {
+		var elapsed time.Duration
+		err := withVG(p, cricket.Options{}, func(vg *core.VirtualGPU) error {
+			c := vg.Raw()
+			var setupF cuda.Function
+			var args []byte
+			grid := gpu.Dim3{X: 1, Y: 1, Z: 1}
+			block := gpu.Dim3{X: 256, Y: 1, Z: 1}
+			if api == MicroKernelLaunch {
+				var fb cubin.FatBinary
+				fb.AddImage(cuda.BuiltinImage(80), true)
+				mod, err := vg.LoadModule(fb.Encode())
+				if err != nil {
+					return err
+				}
+				f, err := mod.Function(cuda.KernelVectorAdd)
+				if err != nil {
+					return err
+				}
+				setupF = f
+				const n = 256
+				a, err := vg.Alloc(n * 4)
+				if err != nil {
+					return err
+				}
+				b, err := vg.Alloc(n * 4)
+				if err != nil {
+					return err
+				}
+				out, err := vg.Alloc(n * 4)
+				if err != nil {
+					return err
+				}
+				args = cuda.NewArgBuffer().Ptr(a.Ptr()).Ptr(b.Ptr()).Ptr(out.Ptr()).I32(n).Bytes()
+				// Verify once fully, then replay for timing.
+				if err := vg.Launch(setupF, grid, block, 0, args); err != nil {
+					return err
+				}
+				vg.Cluster().SetTimingOnly(true)
+				defer vg.Cluster().SetTimingOnly(false)
+			}
+			start := vg.Now()
+			switch api {
+			case MicroGetDeviceCount:
+				for i := 0; i < calls; i++ {
+					if _, err := c.GetDeviceCount(); err != nil {
+						return err
+					}
+				}
+			case MicroMallocFree:
+				for i := 0; i < calls/2; i++ {
+					p, err := c.Malloc(1 << 20)
+					if err != nil {
+						return err
+					}
+					if err := c.Free(p); err != nil {
+						return err
+					}
+				}
+			case MicroKernelLaunch:
+				for i := 0; i < calls; i++ {
+					if err := c.LaunchKernel(setupF, grid, block, 0, 0, args); err != nil {
+						return err
+					}
+				}
+			}
+			elapsed = vg.Now() - start
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		rows = append(rows, Row{
+			Platform: p.Name,
+			Value:    elapsed.Seconds(),
+			Detail:   fmt.Sprintf("%.2f µs/call", elapsed.Seconds()/float64(calls)*1e6),
+		})
+	}
+	return rows, nil
+}
+
+// Fig7 reproduces the Fig 7 bandwidth measurements: bandwidthTest
+// with the given direction (paper: 512 MiB, 10 runs, RPC-argument
+// transfers).
+func Fig7(dir apps.Direction, bytes, runs int) ([]Row, error) {
+	if bytes <= 0 {
+		bytes = 512 << 20
+	}
+	if runs <= 0 {
+		runs = 10
+	}
+	var rows []Row
+	for _, p := range guest.All() {
+		var res apps.BandwidthResult
+		err := withVG(p, cricket.Options{}, func(vg *core.VirtualGPU) error {
+			var err error
+			res, err = apps.BandwidthTest{Bytes: bytes, Runs: runs, Direction: dir}.Run(vg)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		if !res.Verified {
+			return nil, fmt.Errorf("%s: transfer verification failed", p.Name)
+		}
+		rows = append(rows, Row{
+			Platform: p.Name,
+			Value:    res.MiBps,
+			Detail:   fmt.Sprintf("%.3fs per %d MiB", res.Elapsed.Seconds(), bytes>>20),
+		})
+	}
+	return rows, nil
+}
+
+// AblationOffloads reproduces the §4.2 ethtool experiment: Linux VM
+// bandwidth with and without the transmit offloads, both directions.
+func AblationOffloads(bytes, runs int) ([]Row, error) {
+	if bytes <= 0 {
+		bytes = 512 << 20
+	}
+	if runs <= 0 {
+		runs = 10
+	}
+	var rows []Row
+	for _, cfg := range []struct {
+		name string
+		p    guest.Platform
+	}{
+		{"Linux VM (offloads on)", guest.LinuxVM()},
+		{"Linux VM (tso/tx-csum/sg off)", guest.WithoutTxOffloads(guest.LinuxVM())},
+	} {
+		for _, dir := range []apps.Direction{apps.HostToDevice, apps.DeviceToHost} {
+			var res apps.BandwidthResult
+			err := withVG(cfg.p, cricket.Options{}, func(vg *core.VirtualGPU) error {
+				var err error
+				res, err = apps.BandwidthTest{Bytes: bytes, Runs: runs, Direction: dir}.Run(vg)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Row{
+				Platform: cfg.name + ", " + dir.String(),
+				Value:    res.MiBps,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationTransferMethods compares Cricket's four memory-transfer
+// methods from the native C client (the only one that supports them
+// all).
+func AblationTransferMethods(bytes int) ([]Row, error) {
+	if bytes <= 0 {
+		bytes = 64 << 20
+	}
+	var rows []Row
+	for _, m := range []cricket.TransferMethod{
+		cricket.TransferRPCArgs, cricket.TransferParallelSockets,
+		cricket.TransferSharedMem, cricket.TransferRDMA,
+	} {
+		var elapsed time.Duration
+		err := withVG(guest.NativeC(), cricket.Options{Transfer: m, Sockets: 8}, func(vg *core.VirtualGPU) error {
+			buf, err := vg.Alloc(uint64(bytes))
+			if err != nil {
+				return err
+			}
+			data := make([]byte, bytes)
+			start := vg.Now()
+			if err := buf.Write(data); err != nil {
+				return err
+			}
+			elapsed = vg.Now() - start
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{
+			Platform: m.String(),
+			Value:    float64(bytes) / (1 << 20) / elapsed.Seconds(),
+			Detail:   fmt.Sprintf("%.3fs per %d MiB", elapsed.Seconds(), bytes>>20),
+		})
+	}
+	return rows, nil
+}
+
+// AblationCubinCompression compares module loading from raw and
+// compressed fat binaries: bytes shipped and simulated load time.
+func AblationCubinCompression() ([]Row, error) {
+	var rows []Row
+	for _, compressed := range []bool{false, true} {
+		var fb cubin.FatBinary
+		fb.AddImage(cuda.BuiltinImage(80), compressed)
+		image := fb.Encode()
+		var elapsed time.Duration
+		err := withVG(guest.RustyHermit(), cricket.Options{}, func(vg *core.VirtualGPU) error {
+			start := vg.Now()
+			_, err := vg.LoadModule(image)
+			elapsed = vg.Now() - start
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		name := "raw"
+		if compressed {
+			name = "compressed"
+		}
+		rows = append(rows, Row{
+			Platform: name,
+			Value:    elapsed.Seconds() * 1e6, // µs
+			Detail:   fmt.Sprintf("%d image bytes", len(image)),
+		})
+	}
+	return rows, nil
+}
+
+// AblationFutureWork projects the paper's §5 outlook: RustyHermit
+// with TCP segmentation offload (in progress upstream) and with a
+// vDPA data path, against today's Hermit and native Rust, for bulk
+// host-to-device transfers.
+func AblationFutureWork(bytes int) ([]Row, error) {
+	if bytes <= 0 {
+		bytes = 512 << 20
+	}
+	var rows []Row
+	for _, p := range []guest.Platform{
+		guest.NativeRust(),
+		guest.RustyHermit(),
+		guest.WithTSO(guest.RustyHermit()),
+		guest.WithVDPA(guest.WithTSO(guest.RustyHermit())),
+	} {
+		path := guest.NewPath(netsim.NewClock(), p)
+		d := path.StreamCost(bytes, true, 1)
+		rows = append(rows, Row{
+			Platform: p.Name,
+			Value:    float64(bytes) / (1 << 20) / d.Seconds(),
+			Detail:   fmt.Sprintf("%.3fs per %d MiB", d.Seconds(), bytes>>20),
+		})
+	}
+	return rows, nil
+}
+
+// AblationMTU compares per-call latency and bulk bandwidth at IP MTU
+// 1500 versus the paper's 9000 on the RustyHermit platform.
+func AblationMTU() ([]Row, error) {
+	var rows []Row
+	for _, mtu := range []int{1500, 9000} {
+		p := guest.RustyHermit()
+		path := guest.NewPath(netsim.NewClock(), p)
+		path.Link.MTU = mtu
+		perCall := path.RoundTripCost(88, 28)
+		const n = 64 << 20
+		mibps := float64(n) / (1 << 20) / path.StreamCost(n, true, 1).Seconds()
+		rows = append(rows, Row{
+			Platform: fmt.Sprintf("Hermit, MTU %d", mtu),
+			Value:    mibps,
+			Detail:   fmt.Sprintf("%.2f µs/small call", perCall.Seconds()*1e6),
+		})
+	}
+	return rows, nil
+}
+
+// Table1 returns the configuration matrix.
+func Table1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-5s %-12s %-11s %-8s\n", "Name", "app.", "OS", "Hypervisor", "Network")
+	for _, p := range guest.All() {
+		fmt.Fprintf(&b, "%-10s %-5s %-12s %-11s %-8s\n", p.Name, p.AppLang, p.OS, p.Hypervisor, p.Network)
+	}
+	return b.String()
+}
+
+// Render formats rows as an aligned text table.
+func Render(title, unit string, rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-32s %12.3f %s", r.Platform, r.Value, unit)
+		if r.Detail != "" {
+			fmt.Fprintf(&b, "   (%s)", r.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,273 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cricket/internal/apps"
+	"cricket/internal/guest"
+)
+
+// rowMap indexes rows by platform.
+func rowMap(rows []Row) map[string]float64 {
+	m := make(map[string]float64, len(rows))
+	for _, r := range rows {
+		m[r.Platform] = r.Value
+	}
+	return m
+}
+
+func TestTable1Render(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"Rocky Linux", "Fedora VM", "Unikraft", "Hermit", "QEMU", "virtio", "native"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 6 {
+		t.Errorf("Table1 has %d lines", lines)
+	}
+}
+
+func TestFig5CIShape(t *testing.T) {
+	for name, run := range map[string]func(Scale) ([]Row, error){
+		"5a-matrixMul": Fig5a, "5b-linearSolver": Fig5b, "5c-histogram": Fig5c,
+	} {
+		name, run := name, run
+		t.Run(name, func(t *testing.T) {
+			rows, err := run(ScaleCI)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows) != 5 {
+				t.Fatalf("rows = %d", len(rows))
+			}
+			m := rowMap(rows)
+			// Every virtualized platform is slower than native Rust.
+			for _, p := range []string{"Linux VM", "Unikraft", "Hermit"} {
+				if m[p] <= m["Rust"] {
+					t.Errorf("%s: %s (%.4fs) not slower than native (%.4fs)", name, p, m[p], m["Rust"])
+				}
+			}
+			// C is never faster than Rust (same stack, extra app costs).
+			if m["C"] < m["Rust"] {
+				t.Errorf("%s: C faster than Rust", name)
+			}
+			t.Logf("%s: C=%.4f Rust=%.4f VM=%.4f UK=%.4f Hermit=%.4f",
+				name, m["C"], m["Rust"], m["Linux VM"], m["Unikraft"], m["Hermit"])
+		})
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	const calls = 2000
+	for _, api := range []MicroAPI{MicroGetDeviceCount, MicroMallocFree, MicroKernelLaunch} {
+		api := api
+		t.Run(api.String(), func(t *testing.T) {
+			rows, err := Fig6(api, calls)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := rowMap(rows)
+			// Paper: VM slowest everywhere; Hermit smallest guest
+			// overhead but still more than double native; C ≈ Rust
+			// except for launches where Rust is ~6.3 % faster.
+			if !(m["Linux VM"] > m["Unikraft"] && m["Unikraft"] > m["Hermit"]) {
+				t.Errorf("ordering: VM=%.4f UK=%.4f Hermit=%.4f", m["Linux VM"], m["Unikraft"], m["Hermit"])
+			}
+			if m["Hermit"] <= 2*m["Rust"] {
+				t.Errorf("Hermit %.4f not more than double native %.4f", m["Hermit"], m["Rust"])
+			}
+			if api == MicroKernelLaunch {
+				gain := (m["C"] - m["Rust"]) / m["C"]
+				if gain < 0.02 || gain > 0.12 {
+					t.Errorf("Rust launch advantage = %.1f%%, paper reports ≈6.3%%", gain*100)
+				}
+			} else if m["C"] != m["Rust"] {
+				t.Errorf("C (%.4f) != Rust (%.4f) for %s", m["C"], m["Rust"], api)
+			}
+		})
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	const bytes = 64 << 20
+	h2d, err := Fig7(apps.HostToDevice, bytes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2h, err := Fig7(apps.DeviceToHost, bytes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh, md := rowMap(h2d), rowMap(d2h)
+	t.Logf("H2D: %+v", mh)
+	t.Logf("D2H: %+v", md)
+	// Natives fastest; VM ≥ 75 %; Hermit D2H ≈ 10 % of native;
+	// unikernels far below the VM.
+	if mh["Rust"] != mh["C"] || md["Rust"] != md["C"] {
+		t.Error("native C and Rust bandwidths differ")
+	}
+	if mh["Linux VM"] < 0.75*mh["Rust"] || md["Linux VM"] < 0.7*md["Rust"] {
+		t.Errorf("VM retention too low: %.0f/%.0f vs native %.0f/%.0f",
+			mh["Linux VM"], md["Linux VM"], mh["Rust"], md["Rust"])
+	}
+	ratio := md["Hermit"] / md["Rust"]
+	if ratio < 0.06 || ratio > 0.14 {
+		t.Errorf("Hermit D2H ratio = %.3f, paper ≈ 0.098", ratio)
+	}
+	if mh["Unikraft"] > 0.5*mh["Linux VM"] || md["Unikraft"] > 0.5*md["Linux VM"] {
+		t.Error("Unikraft not far below VM")
+	}
+}
+
+func TestAblationOffloadsShape(t *testing.T) {
+	rows, err := AblationOffloads(64<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rowMap(rows)
+	on := m["Linux VM (offloads on), host-to-device"]
+	off := m["Linux VM (tso/tx-csum/sg off), host-to-device"]
+	if off >= on/2 {
+		t.Errorf("H2D barely affected by disabling offloads: %.0f -> %.0f MiB/s", on, off)
+	}
+	d2hOn := m["Linux VM (offloads on), device-to-host"]
+	d2hOff := m["Linux VM (tso/tx-csum/sg off), device-to-host"]
+	if d2hOff < d2hOn*0.95 {
+		t.Errorf("D2H should be barely affected: %.0f -> %.0f MiB/s", d2hOn, d2hOff)
+	}
+}
+
+func TestAblationTransferMethodsShape(t *testing.T) {
+	rows, err := AblationTransferMethods(32 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rowMap(rows)
+	if !(m["parallel-sockets"] > m["rpc-args"]) {
+		t.Errorf("parallel sockets (%.0f) not faster than rpc args (%.0f)", m["parallel-sockets"], m["rpc-args"])
+	}
+	if !(m["rdma"] > m["parallel-sockets"] && m["shared-memory"] > m["parallel-sockets"]) {
+		t.Errorf("direct methods not fastest: %+v", m)
+	}
+}
+
+func TestAblationCubinCompressionShape(t *testing.T) {
+	rows, err := AblationCubinCompression()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	var raw, comp Row
+	for _, r := range rows {
+		if r.Platform == "raw" {
+			raw = r
+		} else {
+			comp = r
+		}
+	}
+	// The compressed image ships fewer bytes (the point of the
+	// paper's decompression support).
+	if !strings.Contains(comp.Detail, "image bytes") || !strings.Contains(raw.Detail, "image bytes") {
+		t.Fatalf("details: %q %q", raw.Detail, comp.Detail)
+	}
+	var rawBytes, compBytes int
+	if _, err := fmt.Sscanf(raw.Detail, "%d image bytes", &rawBytes); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscanf(comp.Detail, "%d image bytes", &compBytes); err != nil {
+		t.Fatal(err)
+	}
+	if compBytes >= rawBytes {
+		t.Errorf("compressed image %d not smaller than raw %d", compBytes, rawBytes)
+	}
+}
+
+func TestAblationMTUShape(t *testing.T) {
+	rows, err := AblationMTU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rowMap(rows)
+	if m["Hermit, MTU 9000"] <= m["Hermit, MTU 1500"] {
+		t.Errorf("jumbo frames not faster: %+v", m)
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Render("Figure X", "s", []Row{{Platform: "Rust", Value: 1.5, Detail: "d"}})
+	if !strings.Contains(out, "Figure X") || !strings.Contains(out, "Rust") || !strings.Contains(out, "1.500 s") {
+		t.Fatalf("render output:\n%s", out)
+	}
+}
+
+func TestAblationFutureWorkShape(t *testing.T) {
+	rows, err := AblationFutureWork(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rowMap(rows)
+	t.Logf("future-work H2D MiB/s: %+v", m)
+	// TSO must increase Hermit bandwidth significantly (paper §5
+	// "expect to increase performance significantly"), vDPA further,
+	// and neither exceeds native.
+	if m["Hermit (TSO)"] < 1.2*m["Hermit"] {
+		t.Errorf("TSO gain too small: %.0f vs %.0f", m["Hermit (TSO)"], m["Hermit"])
+	}
+	if m["Hermit (TSO) (vDPA)"] <= m["Hermit (TSO)"] {
+		t.Errorf("vDPA no further gain: %.0f vs %.0f", m["Hermit (TSO) (vDPA)"], m["Hermit (TSO)"])
+	}
+	if m["Hermit (TSO) (vDPA)"] > m["Rust"] {
+		t.Errorf("projected Hermit above native: %.0f vs %.0f", m["Hermit (TSO) (vDPA)"], m["Rust"])
+	}
+}
+
+func TestWithTSOAndVDPAVariants(t *testing.T) {
+	h := guest.RustyHermit()
+	tso := guest.WithTSO(h)
+	if h.Stack.Offloads == tso.Stack.Offloads {
+		t.Fatal("WithTSO changed nothing")
+	}
+	if h.Stack.Offloads != guest.RustyHermit().Stack.Offloads {
+		t.Fatal("WithTSO mutated its argument")
+	}
+	vdpa := guest.WithVDPA(h)
+	if vdpa.Stack.VMExitNS != 0 {
+		t.Fatal("vDPA keeps VM exits")
+	}
+	if vdpa.Stack.CopiesRx != h.Stack.CopiesRx-1 {
+		t.Fatalf("vDPA copies: %d", vdpa.Stack.CopiesRx)
+	}
+}
+
+// TestDeterminism backs the EXPERIMENTS.md claim: the virtual clock
+// admits no jitter, so repeated runs produce identical figures.
+func TestDeterminism(t *testing.T) {
+	run := func() []Row {
+		rows, err := Fig6(MicroGetDeviceCount, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic: %+v vs %+v", a[i], b[i])
+		}
+	}
+	appRun := func() float64 {
+		rows, err := Fig5a(ScaleCI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows[4].Value
+	}
+	if x, y := appRun(), appRun(); x != y {
+		t.Fatalf("app run nondeterministic: %v vs %v", x, y)
+	}
+}

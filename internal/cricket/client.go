@@ -1,0 +1,564 @@
+package cricket
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"cricket/internal/cuda"
+	"cricket/internal/gpu"
+	"cricket/internal/guest"
+	"cricket/internal/netsim"
+	"cricket/internal/oncrpc"
+)
+
+// Stats are the client-side counters the paper reports per proxy
+// application (API call counts and transfer volumes, §4.1).
+type Stats struct {
+	APICalls        uint64
+	KernelLaunches  uint64
+	BytesToDevice   uint64
+	BytesFromDevice uint64
+	// ModuleBytes counts cubin/fatbin image uploads, which the paper
+	// does not include in its per-application transfer volumes.
+	ModuleBytes uint64
+}
+
+// Options configure a Client.
+type Options struct {
+	// Platform is the execution environment whose network-path cost
+	// model is charged per call. Leave Clock nil to disable
+	// simulation accounting (e.g. over a real TCP network).
+	Platform guest.Platform
+	// Clock is the virtual clock simulated costs accumulate on.
+	Clock *netsim.Clock
+	// Transfer selects the bulk memory-transfer method. RPC-Lib (and
+	// thus every Rust/unikernel client) supports only TransferRPCArgs;
+	// requesting another method from a Rust platform fails at Connect.
+	Transfer TransferMethod
+	// Sockets is the connection count for TransferParallelSockets.
+	Sockets int
+	// DataDial opens one side-channel data connection to the server
+	// for TransferParallelSockets. When nil, the strategy falls back
+	// to inline RPC arguments with simulated concurrency costs only.
+	DataDial func() (io.ReadWriteCloser, error)
+	// Timeout bounds each RPC round trip; zero means none.
+	Timeout time.Duration
+}
+
+// ErrTransferUnsupported reports a transfer method the client's
+// platform cannot use (paper §4.2: unikernels support neither
+// InfiniBand nor shared memory nor the multithreaded socket path, and
+// RPC-Lib implements only RPC-argument transfers).
+var ErrTransferUnsupported = fmt.Errorf("cricket: transfer method not supported on this platform")
+
+// A Client is the application-side virtualization layer: the CUDA API
+// implemented by forwarding every call to a Cricket server over ONC
+// RPC. A Client is safe for sequential use; the accounting assumes one
+// outstanding call at a time (CUDA applications are synchronous at
+// the API boundary).
+type Client struct {
+	gen      *RpcCdVersClient
+	rpc      *oncrpc.Client
+	conn     *netsim.CountingConn
+	path     *netsim.Path
+	platform guest.Platform
+	sim      bool
+	transfer TransferMethod
+	sockets  int
+
+	channels []*dataChannel
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Connect builds a client over an established transport.
+func Connect(conn io.ReadWriteCloser, opts Options) (*Client, error) {
+	if opts.Transfer != TransferRPCArgs && opts.Platform.AppLang != guest.LangC {
+		return nil, fmt.Errorf("%w: %s requires the C/libtirpc client, platform is %s",
+			ErrTransferUnsupported, opts.Transfer, opts.Platform.Name)
+	}
+	if opts.Transfer == TransferSharedMem && opts.Platform.IsVirtualized() {
+		return nil, fmt.Errorf("%w: no host-shared memory from %s", ErrTransferUnsupported, opts.Platform.Name)
+	}
+	cc := netsim.NewCountingConn(conn)
+	rpc := oncrpc.NewClient(cc, RpcCdProg, RpcCdVers)
+	if opts.Timeout > 0 {
+		rpc.SetTimeout(opts.Timeout)
+	}
+	c := &Client{
+		gen:      NewRpcCdVersClient(rpc),
+		rpc:      rpc,
+		conn:     cc,
+		platform: opts.Platform,
+		transfer: opts.Transfer,
+		sockets:  opts.Sockets,
+	}
+	if c.sockets < 1 {
+		c.sockets = 1
+	}
+	if opts.Clock != nil {
+		c.path = guest.NewPath(opts.Clock, opts.Platform)
+		c.sim = true
+	}
+	if opts.Transfer != TransferRPCArgs {
+		if code, err := c.gen.MtSetTransfer(int32(opts.Transfer), int32(c.sockets)); err != nil {
+			return nil, err
+		} else if code != 0 {
+			return nil, cuda.Error(code)
+		}
+	}
+	if opts.Transfer == TransferParallelSockets && opts.DataDial != nil {
+		if err := c.openDataChannels(opts.DataDial); err != nil {
+			rpc.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Dial connects to a Cricket server over TCP. Pass Options without a
+// Clock when measuring a real network (it measures itself).
+func Dial(addr string, opts Options) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cricket: dial %s: %w", addr, err)
+	}
+	c, err := Connect(conn, opts)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close shuts down the transport and any data channels.
+func (c *Client) Close() error {
+	c.closeDataChannels()
+	return c.rpc.Close()
+}
+
+// Stats returns a copy of the client-side counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ResetStats zeroes the counters (between benchmark phases).
+func (c *Client) ResetStats() {
+	c.mu.Lock()
+	c.stats = Stats{}
+	c.mu.Unlock()
+}
+
+// SimNow returns the virtual time, or zero without simulation.
+func (c *Client) SimNow() time.Duration {
+	if !c.sim {
+		return 0
+	}
+	return c.path.Clock.Now()
+}
+
+// account runs one RPC and charges its request/response path costs
+// (derived from actual bytes moved on the wire) to the virtual clock.
+// conc is the simulated connection parallelism for bulk payloads.
+func (c *Client) account(conc int, fn func() error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.APICalls++
+	if !c.sim {
+		return fn()
+	}
+	w0, r0 := c.conn.BytesWritten(), c.conn.BytesRead()
+	err := fn()
+	req := int(c.conn.BytesWritten() - w0)
+	resp := int(c.conn.BytesRead() - r0)
+	c.path.Clock.Advance(c.path.MessageCost(req, true, conc) + c.path.MessageCost(resp, false, conc))
+	return err
+}
+
+// inband converts an in-band CUDA status code to an error.
+func inband(code int32, err error) error {
+	if err != nil {
+		return err
+	}
+	if code != 0 {
+		return cuda.Error(code)
+	}
+	return nil
+}
+
+// Ping issues the null procedure.
+func (c *Client) Ping() error {
+	return c.account(1, func() error { return c.gen.RpcNull() })
+}
+
+// GetDeviceCount implements cudaGetDeviceCount.
+func (c *Client) GetDeviceCount() (int, error) {
+	var n int32
+	err := c.account(1, func() (e error) { n, e = c.gen.CudaGetDeviceCount(); return })
+	return int(n), err
+}
+
+// GetDeviceProperties implements cudaGetDeviceProperties.
+func (c *Client) GetDeviceProperties(dev int) (cuda.DeviceProp, error) {
+	var res PropResult
+	err := c.account(1, func() (e error) { res, e = c.gen.CudaGetDeviceProperties(int32(dev)); return })
+	if err = inband(res.Err, err); err != nil {
+		return cuda.DeviceProp{}, err
+	}
+	p := res.Prop
+	return cuda.DeviceProp{
+		Name:                p.Name,
+		TotalGlobalMem:      p.TotalGlobalMem,
+		Major:               p.Major,
+		Minor:               p.Minor,
+		MultiProcessorCount: p.MultiProcessorCount,
+		ClockRateKHz:        p.ClockRateKhz,
+		MaxThreadsPerBlock:  p.MaxThreadsPerBlock,
+		SharedMemPerBlock:   p.SharedMemPerBlock,
+		MemoryBandwidthGBps: p.MemoryBandwidthGbps,
+	}, nil
+}
+
+// SetDevice implements cudaSetDevice.
+func (c *Client) SetDevice(dev int) error {
+	var code int32
+	err := c.account(1, func() (e error) { code, e = c.gen.CudaSetDevice(int32(dev)); return })
+	return inband(code, err)
+}
+
+// GetDevice implements cudaGetDevice.
+func (c *Client) GetDevice() (int, error) {
+	var dev int32
+	err := c.account(1, func() (e error) { dev, e = c.gen.CudaGetDevice(); return })
+	return int(dev), err
+}
+
+// Malloc implements cudaMalloc.
+func (c *Client) Malloc(size uint64) (gpu.Ptr, error) {
+	var res PtrResult
+	err := c.account(1, func() (e error) { res, e = c.gen.CudaMalloc(size); return })
+	if err = inband(res.Err, err); err != nil {
+		return 0, err
+	}
+	return gpu.Ptr(res.Ptr), nil
+}
+
+// Free implements cudaFree.
+func (c *Client) Free(p gpu.Ptr) error {
+	var code int32
+	err := c.account(1, func() (e error) { code, e = c.gen.CudaFree(uint64(p)); return })
+	return inband(code, err)
+}
+
+// transferConc returns the simulated concurrency for bulk payloads.
+func (c *Client) transferConc() int {
+	if c.transfer == TransferParallelSockets {
+		return c.sockets
+	}
+	return 1
+}
+
+// MemcpyHtoD implements cudaMemcpy(HostToDevice). Bulk data travels
+// per the configured transfer method; functionally everything flows
+// through RPC arguments (the in-process transport), while the
+// simulated cost reflects the selected strategy.
+func (c *Client) MemcpyHtoD(dst gpu.Ptr, data []byte) error {
+	if c.transfer == TransferSharedMem || c.transfer == TransferRDMA {
+		return c.directTransfer(len(data), true, func() (int32, error) {
+			return c.gen.CudaMemcpyHtod(uint64(dst), MemData(data))
+		})
+	}
+	if c.transfer == TransferParallelSockets && len(c.channels) > 0 {
+		return c.parallelTransfer(len(data), true, func() error {
+			return c.parallelWrite(dst, data)
+		})
+	}
+	var code int32
+	err := c.account(c.transferConc(), func() (e error) {
+		code, e = c.gen.CudaMemcpyHtod(uint64(dst), MemData(data))
+		return
+	})
+	c.mu.Lock()
+	c.stats.BytesToDevice += uint64(len(data))
+	c.mu.Unlock()
+	return inband(code, err)
+}
+
+// MemcpyDtoH implements cudaMemcpy(DeviceToHost), returning a fresh
+// buffer of n bytes.
+func (c *Client) MemcpyDtoH(src gpu.Ptr, n uint64) ([]byte, error) {
+	if c.transfer == TransferParallelSockets && len(c.channels) > 0 {
+		out := make([]byte, n)
+		err := c.parallelTransfer(int(n), false, func() error {
+			return c.parallelRead(src, out)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	if c.transfer == TransferSharedMem || c.transfer == TransferRDMA {
+		var res DataResult
+		err := c.directTransfer(int(n), false, func() (int32, error) {
+			var e error
+			res, e = c.gen.CudaMemcpyDtoh(uint64(src), n)
+			return res.Err, e
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Data, nil
+	}
+	var res DataResult
+	err := c.account(c.transferConc(), func() (e error) {
+		res, e = c.gen.CudaMemcpyDtoh(uint64(src), n)
+		return
+	})
+	c.mu.Lock()
+	c.stats.BytesFromDevice += n
+	c.mu.Unlock()
+	if err = inband(res.Err, err); err != nil {
+		return nil, err
+	}
+	return res.Data, nil
+}
+
+// parallelTransfer performs a bulk move over the side-channel data
+// connections, charging the pipelined multi-socket path cost.
+func (c *Client) parallelTransfer(n int, toDevice bool, fn func() error) error {
+	c.mu.Lock()
+	c.stats.APICalls++
+	if toDevice {
+		c.stats.BytesToDevice += uint64(n)
+	} else {
+		c.stats.BytesFromDevice += uint64(n)
+	}
+	c.mu.Unlock()
+	err := fn()
+	if c.sim {
+		c.path.Clock.Advance(c.path.MessageCost(n, toDevice, c.sockets))
+	}
+	return err
+}
+
+// directTransfer performs a bulk move whose simulated cost bypasses
+// the TCP path: shared memory costs one memcpy, RDMA costs wire
+// serialization with no per-byte CPU work (GPUDirect: NIC writes
+// device memory directly).
+func (c *Client) directTransfer(n int, toDevice bool, fn func() (int32, error)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.APICalls++
+	if toDevice {
+		c.stats.BytesToDevice += uint64(n)
+	} else {
+		c.stats.BytesFromDevice += uint64(n)
+	}
+	code, err := fn()
+	if c.sim {
+		// The server already charged the PCIe device copy onto the
+		// shared clock. Direct methods eliminate the staging buffer,
+		// so the data-movement phase (host copy or wire) OVERLAPS the
+		// PCIe phase: total = max(move, pcie). Charge the remainder.
+		pcie := gpu.PCIeCopyTime(uint64(n))
+		var move time.Duration
+		switch c.transfer {
+		case TransferSharedMem:
+			// One cross-process copy at host memcpy speed plus a
+			// doorbell round trip.
+			move = time.Duration(float64(n)/c.platform.Stack.CopyBps*1e9)*time.Nanosecond + 4*time.Microsecond
+		case TransferRDMA:
+			// Registered-memory direct placement: wire time plus
+			// completion handling, no endpoint byte costs.
+			move = c.path.Link.WireTime(n) + 6*time.Microsecond
+		}
+		if move > pcie {
+			c.path.Clock.Advance(move - pcie)
+		}
+	}
+	return inband(code, err)
+}
+
+// MemcpyDtoD implements cudaMemcpy(DeviceToDevice).
+func (c *Client) MemcpyDtoD(dst, src gpu.Ptr, n uint64) error {
+	var code int32
+	err := c.account(1, func() (e error) { code, e = c.gen.CudaMemcpyDtod(uint64(dst), uint64(src), n); return })
+	return inband(code, err)
+}
+
+// Memset implements cudaMemset.
+func (c *Client) Memset(p gpu.Ptr, value byte, n uint64) error {
+	var code int32
+	err := c.account(1, func() (e error) { code, e = c.gen.CudaMemset(uint64(p), uint32(value), n); return })
+	return inband(code, err)
+}
+
+// MemGetInfo implements cudaMemGetInfo.
+func (c *Client) MemGetInfo() (free, total uint64, err error) {
+	var mi MemInfo
+	err = c.account(1, func() (e error) { mi, e = c.gen.CudaMemGetInfo(); return })
+	return mi.FreeMem, mi.TotalMem, err
+}
+
+// DeviceSynchronize implements cudaDeviceSynchronize.
+func (c *Client) DeviceSynchronize() error {
+	var code int32
+	err := c.account(1, func() (e error) { code, e = c.gen.CudaDeviceSynchronize(); return })
+	return inband(code, err)
+}
+
+// DeviceReset implements cudaDeviceReset.
+func (c *Client) DeviceReset() error {
+	var code int32
+	err := c.account(1, func() (e error) { code, e = c.gen.CudaDeviceReset(); return })
+	return inband(code, err)
+}
+
+// StreamCreate implements cudaStreamCreate.
+func (c *Client) StreamCreate() (cuda.Stream, error) {
+	var res HandleResult
+	err := c.account(1, func() (e error) { res, e = c.gen.CudaStreamCreate(); return })
+	if err = inband(res.Err, err); err != nil {
+		return 0, err
+	}
+	return cuda.Stream(res.Handle), nil
+}
+
+// StreamDestroy implements cudaStreamDestroy.
+func (c *Client) StreamDestroy(s cuda.Stream) error {
+	var code int32
+	err := c.account(1, func() (e error) { code, e = c.gen.CudaStreamDestroy(uint64(s)); return })
+	return inband(code, err)
+}
+
+// StreamSynchronize implements cudaStreamSynchronize.
+func (c *Client) StreamSynchronize(s cuda.Stream) error {
+	var code int32
+	err := c.account(1, func() (e error) { code, e = c.gen.CudaStreamSynchronize(uint64(s)); return })
+	return inband(code, err)
+}
+
+// EventCreate implements cudaEventCreate.
+func (c *Client) EventCreate() (cuda.Event, error) {
+	var res HandleResult
+	err := c.account(1, func() (e error) { res, e = c.gen.CudaEventCreate(); return })
+	if err = inband(res.Err, err); err != nil {
+		return 0, err
+	}
+	return cuda.Event(res.Handle), nil
+}
+
+// EventRecord implements cudaEventRecord.
+func (c *Client) EventRecord(ev cuda.Event, s cuda.Stream) error {
+	var code int32
+	err := c.account(1, func() (e error) { code, e = c.gen.CudaEventRecord(uint64(ev), uint64(s)); return })
+	return inband(code, err)
+}
+
+// EventElapsed implements cudaEventElapsedTime (milliseconds).
+func (c *Client) EventElapsed(start, end cuda.Event) (float32, error) {
+	var res FloatResult
+	err := c.account(1, func() (e error) { res, e = c.gen.CudaEventElapsed(uint64(start), uint64(end)); return })
+	if err = inband(res.Err, err); err != nil {
+		return 0, err
+	}
+	return res.Value, nil
+}
+
+// EventDestroy implements cudaEventDestroy.
+func (c *Client) EventDestroy(ev cuda.Event) error {
+	var code int32
+	err := c.account(1, func() (e error) { code, e = c.gen.CudaEventDestroy(uint64(ev)); return })
+	return inband(code, err)
+}
+
+// ModuleLoad ships a cubin/fatbin image to the server (cuModuleLoad).
+func (c *Client) ModuleLoad(image []byte) (cuda.Module, error) {
+	var res HandleResult
+	err := c.account(c.transferConc(), func() (e error) { res, e = c.gen.CuModuleLoad(MemData(image)); return })
+	c.mu.Lock()
+	c.stats.ModuleBytes += uint64(len(image))
+	c.mu.Unlock()
+	if err = inband(res.Err, err); err != nil {
+		return 0, err
+	}
+	return cuda.Module(res.Handle), nil
+}
+
+// ModuleUnload implements cuModuleUnload.
+func (c *Client) ModuleUnload(m cuda.Module) error {
+	var code int32
+	err := c.account(1, func() (e error) { code, e = c.gen.CuModuleUnload(uint64(m)); return })
+	return inband(code, err)
+}
+
+// ModuleGetFunction implements cuModuleGetFunction.
+func (c *Client) ModuleGetFunction(m cuda.Module, name string) (cuda.Function, error) {
+	var res HandleResult
+	err := c.account(1, func() (e error) { res, e = c.gen.CuModuleGetFunction(uint64(m), name); return })
+	if err = inband(res.Err, err); err != nil {
+		return 0, err
+	}
+	return cuda.Function(res.Handle), nil
+}
+
+// ModuleGetGlobal implements cuModuleGetGlobal.
+func (c *Client) ModuleGetGlobal(m cuda.Module, name string) (gpu.Ptr, uint64, error) {
+	var res GlobalResult
+	err := c.account(1, func() (e error) { res, e = c.gen.CuModuleGetGlobal(uint64(m), name); return })
+	if err = inband(res.Err, err); err != nil {
+		return 0, 0, err
+	}
+	return gpu.Ptr(res.Info.Ptr), res.Info.Size, nil
+}
+
+// LaunchKernel implements cuLaunchKernel. The client charges its
+// language profile's launch bookkeeping (the C <<<...>>> compatibility
+// logic the Rust port omits, paper §4.2) before forwarding.
+func (c *Client) LaunchKernel(f cuda.Function, grid, block gpu.Dim3, sharedMem uint32, s cuda.Stream, args []byte) error {
+	if c.sim && c.platform.LaunchExtraNS > 0 {
+		c.path.Clock.Advance(time.Duration(c.platform.LaunchExtraNS) * time.Nanosecond)
+	}
+	var code int32
+	err := c.account(1, func() (e error) {
+		code, e = c.gen.CuLaunchKernel(LaunchArgs{
+			Func:  uint64(f),
+			GridX: grid.X, GridY: grid.Y, GridZ: grid.Z,
+			BlockX: block.X, BlockY: block.Y, BlockZ: block.Z,
+			SharedMem: sharedMem,
+			Stream:    uint64(s),
+			Params:    args,
+		})
+		return
+	})
+	c.mu.Lock()
+	c.stats.KernelLaunches++
+	c.mu.Unlock()
+	return inband(code, err)
+}
+
+// Checkpoint asks the server to capture device state.
+func (c *Client) Checkpoint() error {
+	var code int32
+	err := c.account(1, func() (e error) { code, e = c.gen.CkpCheckpoint(); return })
+	return inband(code, err)
+}
+
+// Restore asks the server to roll back to the latest checkpoint.
+func (c *Client) Restore() error {
+	var code int32
+	err := c.account(1, func() (e error) { code, e = c.gen.CkpRestore(); return })
+	return inband(code, err)
+}
+
+// Platform returns the client's execution platform.
+func (c *Client) Platform() guest.Platform { return c.platform }
+
+// Transfer returns the active bulk-transfer method.
+func (c *Client) Transfer() TransferMethod { return c.transfer }

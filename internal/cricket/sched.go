@@ -1,0 +1,146 @@
+package cricket
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Policy selects how the scheduler orders clients competing for the
+// GPU. The paper motivates configurable scheduling: unikernel
+// deployments run many single-application instances against few GPUs,
+// so access must be managed explicitly rather than by static
+// assignment.
+type Policy int
+
+// Scheduling policies.
+const (
+	// PolicyFIFO serves clients in arrival order.
+	PolicyFIFO Policy = iota
+	// PolicyFairShare serves the client with the least accumulated
+	// simulated GPU time.
+	PolicyFairShare
+)
+
+// ErrTooManyClients reports an admission-control rejection.
+var ErrTooManyClients = errors.New("cricket: maximum client count reached")
+
+// ErrUnknownClient reports an operation for an unattached client.
+var ErrUnknownClient = errors.New("cricket: unknown client")
+
+// Usage is one client's accumulated consumption.
+type Usage struct {
+	ID       string
+	Seq      uint64 // arrival order
+	Launches uint64
+	Calls    uint64
+	GPUTime  time.Duration
+}
+
+// A Scheduler tracks the clients sharing one Cricket server and
+// arbitrates their access. Admission control bounds the client count;
+// PickNext orders service per the policy.
+type Scheduler struct {
+	mu         sync.Mutex
+	policy     Policy
+	maxClients int
+	seq        uint64
+	clients    map[string]*Usage
+}
+
+// NewScheduler returns a scheduler with the given policy; maxClients 0
+// means unlimited.
+func NewScheduler(policy Policy, maxClients int) *Scheduler {
+	return &Scheduler{
+		policy:     policy,
+		maxClients: maxClients,
+		clients:    make(map[string]*Usage),
+	}
+}
+
+// SetPolicy changes the scheduling policy at runtime.
+func (s *Scheduler) SetPolicy(p Policy) {
+	s.mu.Lock()
+	s.policy = p
+	s.mu.Unlock()
+}
+
+// Attach admits a client. Duplicate attachment is an error.
+func (s *Scheduler) Attach(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.clients[id]; dup {
+		return errors.New("cricket: client already attached: " + id)
+	}
+	if s.maxClients > 0 && len(s.clients) >= s.maxClients {
+		return ErrTooManyClients
+	}
+	s.seq++
+	s.clients[id] = &Usage{ID: id, Seq: s.seq}
+	return nil
+}
+
+// Detach removes a client.
+func (s *Scheduler) Detach(id string) {
+	s.mu.Lock()
+	delete(s.clients, id)
+	s.mu.Unlock()
+}
+
+// Record accumulates one call (and optionally one launch with its GPU
+// time) against a client.
+func (s *Scheduler) Record(id string, launch bool, gpuTime time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.clients[id]
+	if !ok {
+		return ErrUnknownClient
+	}
+	u.Calls++
+	if launch {
+		u.Launches++
+		u.GPUTime += gpuTime
+	}
+	return nil
+}
+
+// PickNext returns the id the policy would serve next, or "" when no
+// clients are attached.
+func (s *Scheduler) PickNext() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best *Usage
+	for _, u := range s.clients {
+		if best == nil {
+			best = u
+			continue
+		}
+		switch s.policy {
+		case PolicyFIFO:
+			if u.Seq < best.Seq {
+				best = u
+			}
+		case PolicyFairShare:
+			if u.GPUTime < best.GPUTime || (u.GPUTime == best.GPUTime && u.Seq < best.Seq) {
+				best = u
+			}
+		}
+	}
+	if best == nil {
+		return ""
+	}
+	return best.ID
+}
+
+// Clients returns a snapshot of per-client usage, ordered by arrival.
+func (s *Scheduler) Clients() []Usage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Usage, 0, len(s.clients))
+	for _, u := range s.clients {
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

@@ -1,0 +1,439 @@
+// Package cricket implements the paper's GPU virtualization layer:
+// a Cricket server that executes forwarded CUDA API calls against GPU
+// devices, and a client-side shim that exposes the CUDA API to
+// applications while transporting every call over ONC RPC.
+//
+// The protocol is defined in cricket.x (RPCL); gen_cricket.go is
+// produced from it by cmd/rpcgen, mirroring how the real Cricket
+// generates its C server with rpcgen and its Rust client with
+// RPC-Lib's procedural macros.
+//
+// The package also implements the Cricket features the paper builds
+// on: multiple memory-transfer methods (inline RPC arguments, parallel
+// sockets, shared memory, and InfiniBand-style direct transfer — only
+// the first usable from unikernels), checkpoint/restart of device
+// state, and a scheduler for sharing one GPU among many unikernel
+// clients.
+package cricket
+
+//go:generate go run ../../cmd/rpcgen -pkg cricket -o gen_cricket.go cricket.x
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"sync"
+	"time"
+
+	"cricket/internal/cuda"
+	"cricket/internal/gpu"
+	"cricket/internal/oncrpc"
+)
+
+// TransferMethod selects how bulk memory moves between client and
+// server (paper §4.2).
+type TransferMethod int32
+
+// Transfer methods.
+const (
+	// TransferRPCArgs ships data inline in RPC arguments over the
+	// control connection — the only method available to unikernels
+	// and to RPC-Lib clients.
+	TransferRPCArgs TransferMethod = iota
+	// TransferParallelSockets streams data over multiple TCP
+	// connections with multiple threads.
+	TransferParallelSockets
+	// TransferSharedMem maps a buffer shared between client and
+	// server; only possible when both run on the same host.
+	TransferSharedMem
+	// TransferRDMA uses GPUDirect-RDMA-style direct placement over
+	// InfiniBand.
+	TransferRDMA
+)
+
+func (m TransferMethod) String() string {
+	switch m {
+	case TransferRPCArgs:
+		return "rpc-args"
+	case TransferParallelSockets:
+		return "parallel-sockets"
+	case TransferSharedMem:
+		return "shared-memory"
+	case TransferRDMA:
+		return "rdma"
+	}
+	return "unknown"
+}
+
+// ServerStats are cumulative counters for one Cricket server.
+type ServerStats struct {
+	Calls          uint64
+	BytesToGPU     uint64
+	BytesFromGPU   uint64
+	KernelLaunches uint64
+	Checkpoints    uint64
+	Restores       uint64
+}
+
+// A Server executes forwarded CUDA calls against a runtime. It
+// implements the generated RpcCdVersHandler interface; attach it to an
+// oncrpc.Server with Attach. One Server may be shared by any number of
+// client connections — that sharing is the point of Cricket: many
+// unikernels, one GPU.
+type Server struct {
+	rt *cuda.Runtime
+
+	mu        sync.Mutex
+	stats     ServerStats
+	snapshots map[int]*gpu.Snapshot // device ordinal -> latest checkpoint
+	sched     *Scheduler
+
+	// ErrorLog, when set, receives server-side failures.
+	ErrorLog *log.Logger
+}
+
+// NewServer wraps a CUDA runtime.
+func NewServer(rt *cuda.Runtime) *Server {
+	return &Server{
+		rt:        rt,
+		snapshots: make(map[int]*gpu.Snapshot),
+		sched:     NewScheduler(PolicyFIFO, 0),
+	}
+}
+
+// Attach registers the Cricket program on an RPC server.
+func (s *Server) Attach(rpcSrv *oncrpc.Server) {
+	RegisterRpcCdVers(rpcSrv, s)
+}
+
+// Scheduler returns the server's client scheduler.
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Stats returns a copy of the cumulative counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Runtime exposes the underlying CUDA runtime (for local tooling).
+func (s *Server) Runtime() *cuda.Runtime { return s.rt }
+
+func (s *Server) count(f func(*ServerStats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// errCode converts a runtime error to the in-band CUDA status code.
+func errCode(err error) int32 { return int32(cuda.Code(err)) }
+
+// RpcNull implements the ping procedure.
+func (s *Server) RpcNull() error {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	return nil
+}
+
+// CudaGetDeviceCount implements cudaGetDeviceCount.
+func (s *Server) CudaGetDeviceCount() (int32, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	n, _ := s.rt.GetDeviceCount()
+	return int32(n), nil
+}
+
+// CudaGetDeviceProperties implements cudaGetDeviceProperties.
+func (s *Server) CudaGetDeviceProperties(dev int32) (PropResult, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	p, _, err := s.rt.GetDeviceProperties(int(dev))
+	if err != nil {
+		return PropResult{Err: errCode(err)}, nil
+	}
+	return PropResult{Err: 0, Prop: RpcDevProp{
+		Name:                p.Name,
+		TotalGlobalMem:      p.TotalGlobalMem,
+		Major:               p.Major,
+		Minor:               p.Minor,
+		MultiProcessorCount: p.MultiProcessorCount,
+		ClockRateKhz:        p.ClockRateKHz,
+		MaxThreadsPerBlock:  p.MaxThreadsPerBlock,
+		SharedMemPerBlock:   p.SharedMemPerBlock,
+		MemoryBandwidthGbps: p.MemoryBandwidthGBps,
+	}}, nil
+}
+
+// CudaSetDevice implements cudaSetDevice.
+func (s *Server) CudaSetDevice(dev int32) (int32, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	_, err := s.rt.SetDevice(int(dev))
+	return errCode(err), nil
+}
+
+// CudaGetDevice implements cudaGetDevice.
+func (s *Server) CudaGetDevice() (int32, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	dev, _ := s.rt.GetDevice()
+	return int32(dev), nil
+}
+
+// CudaMalloc implements cudaMalloc.
+func (s *Server) CudaMalloc(size uint64) (PtrResult, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	p, _, err := s.rt.Malloc(size)
+	if err != nil {
+		return PtrResult{Err: errCode(err)}, nil
+	}
+	return PtrResult{Err: 0, Ptr: uint64(p)}, nil
+}
+
+// CudaFree implements cudaFree.
+func (s *Server) CudaFree(ptr uint64) (int32, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	_, err := s.rt.Free(gpu.Ptr(ptr))
+	return errCode(err), nil
+}
+
+// CudaMemcpyHtod implements cudaMemcpy(..., cudaMemcpyHostToDevice).
+func (s *Server) CudaMemcpyHtod(dst uint64, data MemData) (int32, error) {
+	s.count(func(st *ServerStats) { st.Calls++; st.BytesToGPU += uint64(len(data)) })
+	_, err := s.rt.MemcpyHtoD(gpu.Ptr(dst), data)
+	return errCode(err), nil
+}
+
+// CudaMemcpyDtoh implements cudaMemcpy(..., cudaMemcpyDeviceToHost).
+func (s *Server) CudaMemcpyDtoh(src uint64, n uint64) (DataResult, error) {
+	s.count(func(st *ServerStats) { st.Calls++; st.BytesFromGPU += n })
+	b, _, err := s.rt.MemcpyDtoH(gpu.Ptr(src), n)
+	if err != nil {
+		return DataResult{Err: errCode(err)}, nil
+	}
+	return DataResult{Err: 0, Data: b}, nil
+}
+
+// CudaMemcpyDtod implements cudaMemcpy(..., cudaMemcpyDeviceToDevice).
+func (s *Server) CudaMemcpyDtod(dst, src, n uint64) (int32, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	_, err := s.rt.MemcpyDtoD(gpu.Ptr(dst), gpu.Ptr(src), n)
+	return errCode(err), nil
+}
+
+// CudaMemset implements cudaMemset.
+func (s *Server) CudaMemset(ptr uint64, value uint32, n uint64) (int32, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	_, err := s.rt.Memset(gpu.Ptr(ptr), byte(value), n)
+	return errCode(err), nil
+}
+
+// CudaMemGetInfo implements cudaMemGetInfo.
+func (s *Server) CudaMemGetInfo() (MemInfo, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	free, total, _ := s.rt.MemGetInfo()
+	return MemInfo{FreeMem: free, TotalMem: total}, nil
+}
+
+// CudaDeviceSynchronize implements cudaDeviceSynchronize.
+func (s *Server) CudaDeviceSynchronize() (int32, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	s.rt.DeviceSynchronize()
+	return 0, nil
+}
+
+// CudaDeviceReset implements cudaDeviceReset.
+func (s *Server) CudaDeviceReset() (int32, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	s.rt.DeviceReset()
+	return 0, nil
+}
+
+// CudaStreamCreate implements cudaStreamCreate.
+func (s *Server) CudaStreamCreate() (HandleResult, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	h, _ := s.rt.StreamCreate()
+	return HandleResult{Err: 0, Handle: uint64(h)}, nil
+}
+
+// CudaStreamDestroy implements cudaStreamDestroy.
+func (s *Server) CudaStreamDestroy(h uint64) (int32, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	_, err := s.rt.StreamDestroy(cuda.Stream(h))
+	return errCode(err), nil
+}
+
+// CudaStreamSynchronize implements cudaStreamSynchronize.
+func (s *Server) CudaStreamSynchronize(h uint64) (int32, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	_, err := s.rt.StreamSynchronize(cuda.Stream(h))
+	return errCode(err), nil
+}
+
+// CudaEventCreate implements cudaEventCreate.
+func (s *Server) CudaEventCreate() (HandleResult, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	h, _ := s.rt.EventCreate()
+	return HandleResult{Err: 0, Handle: uint64(h)}, nil
+}
+
+// CudaEventRecord implements cudaEventRecord.
+func (s *Server) CudaEventRecord(ev, stream uint64) (int32, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	_, err := s.rt.EventRecord(cuda.Event(ev), cuda.Stream(stream))
+	return errCode(err), nil
+}
+
+// CudaEventElapsed implements cudaEventElapsedTime.
+func (s *Server) CudaEventElapsed(start, end uint64) (FloatResult, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	ms, _, err := s.rt.EventElapsed(cuda.Event(start), cuda.Event(end))
+	if err != nil {
+		return FloatResult{Err: errCode(err)}, nil
+	}
+	return FloatResult{Err: 0, Value: ms}, nil
+}
+
+// CudaEventDestroy implements cudaEventDestroy.
+func (s *Server) CudaEventDestroy(ev uint64) (int32, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	_, err := s.rt.EventDestroy(cuda.Event(ev))
+	return errCode(err), nil
+}
+
+// CuModuleLoad implements cuModuleLoadData: the client ships cubin
+// bytes (read from a file on its side), the server parses, registers,
+// and allocates.
+func (s *Server) CuModuleLoad(image MemData) (HandleResult, error) {
+	s.count(func(st *ServerStats) { st.Calls++; st.BytesToGPU += uint64(len(image)) })
+	m, _, err := s.rt.ModuleLoad(image)
+	if err != nil {
+		return HandleResult{Err: errCode(err)}, nil
+	}
+	return HandleResult{Err: 0, Handle: uint64(m)}, nil
+}
+
+// CuModuleUnload implements cuModuleUnload.
+func (s *Server) CuModuleUnload(m uint64) (int32, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	_, err := s.rt.ModuleUnload(cuda.Module(m))
+	return errCode(err), nil
+}
+
+// CuModuleGetFunction implements cuModuleGetFunction.
+func (s *Server) CuModuleGetFunction(m uint64, name string) (HandleResult, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	f, _, err := s.rt.ModuleGetFunction(cuda.Module(m), name)
+	if err != nil {
+		return HandleResult{Err: errCode(err)}, nil
+	}
+	return HandleResult{Err: 0, Handle: uint64(f)}, nil
+}
+
+// CuModuleGetGlobal implements cuModuleGetGlobal.
+func (s *Server) CuModuleGetGlobal(m uint64, name string) (GlobalResult, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	p, size, _, err := s.rt.ModuleGetGlobal(cuda.Module(m), name)
+	if err != nil {
+		return GlobalResult{Err: errCode(err)}, nil
+	}
+	return GlobalResult{Err: 0, Info: GlobalInfo{Ptr: uint64(p), Size: size}}, nil
+}
+
+// CuLaunchKernel implements cuLaunchKernel.
+func (s *Server) CuLaunchKernel(a LaunchArgs) (int32, error) {
+	s.count(func(st *ServerStats) { st.Calls++; st.KernelLaunches++ })
+	grid := gpu.Dim3{X: a.GridX, Y: a.GridY, Z: a.GridZ}
+	block := gpu.Dim3{X: a.BlockX, Y: a.BlockY, Z: a.BlockZ}
+	_, err := s.rt.LaunchKernel(cuda.Function(a.Func), grid, block, a.SharedMem, cuda.Stream(a.Stream), a.Params)
+	if err != nil && s.ErrorLog != nil {
+		s.ErrorLog.Printf("cricket: launch failed: %v", err)
+	}
+	return errCode(err), nil
+}
+
+// CkpCheckpoint captures the current device's full memory state.
+func (s *Server) CkpCheckpoint() (int32, error) {
+	s.count(func(st *ServerStats) { st.Calls++; st.Checkpoints++ })
+	dev, _ := s.rt.GetDevice()
+	d, err := s.rt.Device(dev)
+	if err != nil {
+		return errCode(err), nil
+	}
+	snap, _ := d.Snapshot()
+	s.mu.Lock()
+	s.snapshots[dev] = snap
+	s.mu.Unlock()
+	return 0, nil
+}
+
+// CkpRestore restores the most recent checkpoint of the current
+// device. With no checkpoint it returns cudaErrorInvalidValue
+// in-band.
+func (s *Server) CkpRestore() (int32, error) {
+	s.count(func(st *ServerStats) { st.Calls++; st.Restores++ })
+	dev, _ := s.rt.GetDevice()
+	s.mu.Lock()
+	snap := s.snapshots[dev]
+	s.mu.Unlock()
+	if snap == nil {
+		return int32(cuda.ErrorInvalidValue), nil
+	}
+	d, err := s.rt.Device(dev)
+	if err != nil {
+		return errCode(err), nil
+	}
+	d.RestoreSnapshot(snap)
+	return 0, nil
+}
+
+// MtSetTransfer negotiates the bulk transfer method; the server
+// accepts any method it supports. Sockets is the parallel connection
+// count for TransferParallelSockets.
+func (s *Server) MtSetTransfer(method, sockets int32) (int32, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	switch TransferMethod(method) {
+	case TransferRPCArgs, TransferParallelSockets, TransferSharedMem, TransferRDMA:
+		return 0, nil
+	default:
+		return int32(cuda.ErrorInvalidValue), nil
+	}
+}
+
+// LatestSnapshot returns the most recent checkpoint of a device, for
+// inspection by tools and tests.
+func (s *Server) LatestSnapshot(dev int) *gpu.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshots[dev]
+}
+
+// SnapshotAge is a placeholder for checkpoint metadata used by the
+// scheduler when migrating clients; simulated checkpoints are
+// instantaneous in wall-clock terms.
+func (s *Server) SnapshotAge(int) time.Duration { return 0 }
+
+// SaveCheckpoint serializes the most recent checkpoint of a device to
+// w (Cricket's checkpoint files). It fails when no checkpoint exists.
+func (s *Server) SaveCheckpoint(dev int, w io.Writer) error {
+	s.mu.Lock()
+	snap := s.snapshots[dev]
+	s.mu.Unlock()
+	if snap == nil {
+		return fmt.Errorf("cricket: no checkpoint for device %d", dev)
+	}
+	_, err := snap.WriteTo(w)
+	return err
+}
+
+// LoadCheckpoint reads a serialized checkpoint and installs it as the
+// device's latest, ready for CKP_RESTORE — the restart half of
+// checkpoint/restart across server restarts or migrations.
+func (s *Server) LoadCheckpoint(dev int, r io.Reader) error {
+	if _, err := s.rt.Device(dev); err != nil {
+		return err
+	}
+	snap, err := gpu.ReadSnapshot(r)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.snapshots[dev] = snap
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,242 @@
+package cricket
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"cricket/internal/cuda"
+	"cricket/internal/gpu"
+)
+
+// This file implements Cricket's side-channel bulk data path: the
+// "parallel sockets" transfer method moves memcpy payloads over
+// dedicated data connections, outside the RPC control connection,
+// with one thread per socket (paper §4.2). The control RPCs still
+// negotiate the method (MT_SET_TRANSFER); the data connections speak
+// the simple framed protocol below.
+//
+// Frame layout (big-endian):
+//
+//	u32 magic "CDAT"
+//	u8  op        (1 = write to device, 2 = read from device)
+//	u64 ptr       device address
+//	u64 len       payload length
+//	[len bytes]   payload (writes only)
+//
+// Reply:
+//
+//	u32 status    (cudaError_t; 0 = success)
+//	[len bytes]   payload (successful reads only)
+
+// dataMagic identifies a data-channel frame.
+const dataMagic = 0x43444154 // "CDAT"
+
+// Data-channel ops.
+const (
+	dataOpWrite = 1
+	dataOpRead  = 2
+)
+
+// ErrDataChannel reports a malformed data-channel frame.
+var ErrDataChannel = errors.New("cricket: malformed data-channel frame")
+
+// maxDataFrame bounds one data-channel payload.
+const maxDataFrame = 1 << 30
+
+// ServeDataConn serves data-channel requests on one connection until
+// it closes. Run it on connections accepted from a dedicated data
+// listener, one goroutine each.
+func (s *Server) ServeDataConn(conn io.ReadWriter) error {
+	var hdr [4 + 1 + 8 + 8]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if binary.BigEndian.Uint32(hdr[0:]) != dataMagic {
+			return fmt.Errorf("%w: bad magic %#x", ErrDataChannel, binary.BigEndian.Uint32(hdr[0:]))
+		}
+		op := hdr[4]
+		ptr := gpu.Ptr(binary.BigEndian.Uint64(hdr[5:]))
+		n := binary.BigEndian.Uint64(hdr[13:])
+		if n > maxDataFrame {
+			return fmt.Errorf("%w: %d-byte payload", ErrDataChannel, n)
+		}
+		var status [4]byte
+		switch op {
+		case dataOpWrite:
+			payload := make([]byte, n)
+			if _, err := io.ReadFull(conn, payload); err != nil {
+				return err
+			}
+			_, err := s.rt.MemcpyHtoD(ptr, payload)
+			s.count(func(st *ServerStats) { st.BytesToGPU += n })
+			binary.BigEndian.PutUint32(status[:], uint32(cuda.Code(err)))
+			if _, err := conn.Write(status[:]); err != nil {
+				return err
+			}
+		case dataOpRead:
+			payload, _, err := s.rt.MemcpyDtoH(ptr, n)
+			s.count(func(st *ServerStats) { st.BytesFromGPU += n })
+			binary.BigEndian.PutUint32(status[:], uint32(cuda.Code(err)))
+			if _, err := conn.Write(status[:]); err != nil {
+				return err
+			}
+			if cuda.Code(err) == cuda.Success {
+				if _, err := conn.Write(payload); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("%w: op %d", ErrDataChannel, op)
+		}
+	}
+}
+
+// ServeData accepts data-channel connections from l until it fails.
+func (s *Server) ServeData(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			if err := s.ServeDataConn(conn); err != nil && s.ErrorLog != nil {
+				s.ErrorLog.Printf("cricket: data channel: %v", err)
+			}
+		}()
+	}
+}
+
+// dataChannel is one client-side data connection with its frame
+// buffers.
+type dataChannel struct {
+	mu   sync.Mutex
+	conn io.ReadWriteCloser
+}
+
+// write pushes one chunk to the device through this channel.
+func (dc *dataChannel) write(ptr gpu.Ptr, payload []byte) error {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	var hdr [21]byte
+	binary.BigEndian.PutUint32(hdr[0:], dataMagic)
+	hdr[4] = dataOpWrite
+	binary.BigEndian.PutUint64(hdr[5:], uint64(ptr))
+	binary.BigEndian.PutUint64(hdr[13:], uint64(len(payload)))
+	if _, err := dc.conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := dc.conn.Write(payload); err != nil {
+		return err
+	}
+	var status [4]byte
+	if _, err := io.ReadFull(dc.conn, status[:]); err != nil {
+		return err
+	}
+	if code := cuda.Error(binary.BigEndian.Uint32(status[:])); code != cuda.Success {
+		return code
+	}
+	return nil
+}
+
+// read pulls one chunk from the device through this channel.
+func (dc *dataChannel) read(ptr gpu.Ptr, dst []byte) error {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	var hdr [21]byte
+	binary.BigEndian.PutUint32(hdr[0:], dataMagic)
+	hdr[4] = dataOpRead
+	binary.BigEndian.PutUint64(hdr[5:], uint64(ptr))
+	binary.BigEndian.PutUint64(hdr[13:], uint64(len(dst)))
+	if _, err := dc.conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	var status [4]byte
+	if _, err := io.ReadFull(dc.conn, status[:]); err != nil {
+		return err
+	}
+	if code := cuda.Error(binary.BigEndian.Uint32(status[:])); code != cuda.Success {
+		return code
+	}
+	_, err := io.ReadFull(dc.conn, dst)
+	return err
+}
+
+func (dc *dataChannel) close() error { return dc.conn.Close() }
+
+// openDataChannels dials the configured number of data connections.
+func (c *Client) openDataChannels(dial func() (io.ReadWriteCloser, error)) error {
+	for i := 0; i < c.sockets; i++ {
+		conn, err := dial()
+		if err != nil {
+			c.closeDataChannels()
+			return fmt.Errorf("cricket: data channel %d: %w", i, err)
+		}
+		c.channels = append(c.channels, &dataChannel{conn: conn})
+	}
+	return nil
+}
+
+func (c *Client) closeDataChannels() {
+	for _, ch := range c.channels {
+		ch.close()
+	}
+	c.channels = nil
+}
+
+// parallelWrite moves data to the device over the data channels, one
+// contiguous chunk per channel, concurrently.
+func (c *Client) parallelWrite(dst gpu.Ptr, data []byte) error {
+	return c.parallelXfer(len(data), func(ch *dataChannel, off, n int) error {
+		return ch.write(dst+gpu.Ptr(off), data[off:off+n])
+	})
+}
+
+// parallelRead moves data from the device over the data channels.
+func (c *Client) parallelRead(src gpu.Ptr, dst []byte) error {
+	return c.parallelXfer(len(dst), func(ch *dataChannel, off, n int) error {
+		return ch.read(src+gpu.Ptr(off), dst[off:off+n])
+	})
+}
+
+// parallelXfer splits an n-byte transfer across the channels and runs
+// the chunk operations concurrently, returning the first error.
+func (c *Client) parallelXfer(n int, op func(ch *dataChannel, off, n int) error) error {
+	k := len(c.channels)
+	if k == 0 {
+		return errors.New("cricket: no data channels open")
+	}
+	chunk := (n + k - 1) / k
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	for i := 0; i < k; i++ {
+		off := i * chunk
+		if off >= n {
+			break
+		}
+		size := chunk
+		if off+size > n {
+			size = n - off
+		}
+		wg.Add(1)
+		go func(i, off, size int) {
+			defer wg.Done()
+			errs[i] = op(c.channels[i], off, size)
+		}(i, off, size)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+// Package cubin implements a simulated NVIDIA kernel binary format:
+// cubin images holding compiled kernels with their metadata (names,
+// parameter layout, global variables), a fat-binary container that can
+// bundle images for several GPU architectures, and the LZSS-style
+// compression applied to fat-binary entries.
+//
+// The paper extends Cricket to load kernels from cubin files via the
+// cuModule API instead of relying on nvcc's hidden fat-binary
+// registration, and contributes a decompression routine so metadata
+// can be extracted from compressed kernels. This package reproduces
+// that pipeline: clients parse (and decompress) cubins locally to
+// learn kernel parameter layouts, then ship the image to the Cricket
+// server with cuModuleLoad.
+package cubin
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Compression parameters. The scheme is a classic byte-oriented LZSS:
+// a control byte precedes up to eight items; a set bit means a
+// (offset, length) back-reference into the sliding window, a clear bit
+// a literal byte. This mirrors the shape of NVIDIA's fatbin
+// compression (an unpublished LZ variant) closely enough to exercise
+// the same decompression-before-metadata-extraction code path.
+const (
+	windowSize = 1 << 12 // 4 KiB sliding window
+	minMatch   = 3
+	maxMatch   = minMatch + 255 // length stored in one byte
+)
+
+// ErrCorrupt reports undecodable compressed data.
+var ErrCorrupt = errors.New("cubin: corrupt compressed data")
+
+// Compress applies LZSS compression to src. The output begins with the
+// uncompressed length as a 4-byte big-endian prefix.
+func Compress(src []byte) []byte {
+	if len(src) > 0xffffffff {
+		panic("cubin: input too large")
+	}
+	out := make([]byte, 4, len(src)/2+16)
+	binary.BigEndian.PutUint32(out, uint32(len(src)))
+
+	// Hash chains over 3-byte sequences for match finding.
+	const hashBits = 14
+	const hashSize = 1 << hashBits
+	var head [hashSize]int32
+	for i := range head {
+		head[i] = -1
+	}
+	prev := make([]int32, len(src))
+	hash := func(i int) uint32 {
+		v := uint32(src[i]) | uint32(src[i+1])<<8 | uint32(src[i+2])<<16
+		return (v * 2654435761) >> (32 - hashBits)
+	}
+
+	pos := 0
+	for pos < len(src) {
+		ctrlIdx := len(out)
+		out = append(out, 0)
+		var ctrl byte
+		for bit := 0; bit < 8 && pos < len(src); bit++ {
+			matchLen, matchOff := 0, 0
+			if pos+minMatch <= len(src) {
+				h := hash(pos)
+				cand := head[h]
+				tries := 16
+				for cand >= 0 && pos-int(cand) <= windowSize && tries > 0 {
+					c := int(cand)
+					l := 0
+					max := len(src) - pos
+					if max > maxMatch {
+						max = maxMatch
+					}
+					for l < max && src[c+l] == src[pos+l] {
+						l++
+					}
+					if l > matchLen {
+						matchLen, matchOff = l, pos-c
+						if l == max {
+							break
+						}
+					}
+					cand = prev[cand]
+					tries--
+				}
+			}
+			if matchLen >= minMatch {
+				ctrl |= 1 << bit
+				// offset: 12 bits, length-minMatch: 8 bits, packed
+				// into 3 bytes with 4 spare offset bits kept zero.
+				out = append(out,
+					byte(matchOff>>8), byte(matchOff),
+					byte(matchLen-minMatch))
+				end := pos + matchLen
+				for ; pos < end; pos++ {
+					if pos+minMatch <= len(src) {
+						h := hash(pos)
+						prev[pos] = head[h]
+						head[h] = int32(pos)
+					}
+				}
+			} else {
+				out = append(out, src[pos])
+				if pos+minMatch <= len(src) {
+					h := hash(pos)
+					prev[pos] = head[h]
+					head[h] = int32(pos)
+				}
+				pos++
+			}
+		}
+		out[ctrlIdx] = ctrl
+	}
+	return out
+}
+
+// Decompress reverses Compress. It validates the length prefix and all
+// back-references.
+func Decompress(src []byte) ([]byte, error) {
+	if len(src) < 4 {
+		return nil, fmt.Errorf("%w: missing length prefix", ErrCorrupt)
+	}
+	n := binary.BigEndian.Uint32(src)
+	src = src[4:]
+	// A hostile length prefix must not drive a huge allocation: LZSS
+	// expands each 3-byte match to at most maxMatch bytes, so the
+	// output can never exceed that ratio of the input.
+	if int64(n) > int64(len(src))*maxMatch {
+		return nil, fmt.Errorf("%w: declared length %d exceeds maximum expansion of %d input bytes", ErrCorrupt, n, len(src))
+	}
+	out := make([]byte, 0, n)
+	pos := 0
+	for len(out) < int(n) {
+		if pos >= len(src) {
+			return nil, fmt.Errorf("%w: truncated stream", ErrCorrupt)
+		}
+		ctrl := src[pos]
+		pos++
+		for bit := 0; bit < 8 && len(out) < int(n); bit++ {
+			if ctrl&(1<<bit) != 0 {
+				if pos+3 > len(src) {
+					return nil, fmt.Errorf("%w: truncated match", ErrCorrupt)
+				}
+				off := int(src[pos])<<8 | int(src[pos+1])
+				length := int(src[pos+2]) + minMatch
+				pos += 3
+				if off == 0 || off > len(out) {
+					return nil, fmt.Errorf("%w: bad back-reference offset %d at output %d", ErrCorrupt, off, len(out))
+				}
+				if len(out)+length > int(n) {
+					return nil, fmt.Errorf("%w: match overruns declared length", ErrCorrupt)
+				}
+				start := len(out) - off
+				for i := 0; i < length; i++ {
+					out = append(out, out[start+i])
+				}
+			} else {
+				if pos >= len(src) {
+					return nil, fmt.Errorf("%w: truncated literal", ErrCorrupt)
+				}
+				out = append(out, src[pos])
+				pos++
+			}
+		}
+	}
+	return out, nil
+}
+
+// DecompressedLen reports the decompressed size recorded in a
+// compressed stream without decompressing it.
+func DecompressedLen(src []byte) (int, error) {
+	if len(src) < 4 {
+		return 0, fmt.Errorf("%w: missing length prefix", ErrCorrupt)
+	}
+	return int(binary.BigEndian.Uint32(src)), nil
+}

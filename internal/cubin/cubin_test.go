@@ -1,0 +1,396 @@
+package cubin
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressRoundTripBasics(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("a"),
+		[]byte("abc"),
+		[]byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"),
+		[]byte("abcabcabcabcabcabcabcabc"),
+		[]byte(strings.Repeat("the quick brown fox ", 100)),
+		bytes.Repeat([]byte{0}, 10000),
+	}
+	for i, src := range cases {
+		comp := Compress(src)
+		got, err := Decompress(comp)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("case %d: round trip mismatch (%d vs %d bytes)", i, len(got), len(src))
+		}
+	}
+}
+
+func TestCompressActuallyCompresses(t *testing.T) {
+	src := bytes.Repeat([]byte("cricket kernel metadata "), 500)
+	comp := Compress(src)
+	if len(comp) >= len(src)/4 {
+		t.Fatalf("repetitive input compressed %d -> %d; expected at least 4x", len(src), len(comp))
+	}
+}
+
+func TestDecompressedLen(t *testing.T) {
+	src := []byte("some payload here")
+	comp := Compress(src)
+	n, err := DecompressedLen(comp)
+	if err != nil || n != len(src) {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if _, err := DecompressedLen([]byte{1, 2}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short input: %v", err)
+	}
+}
+
+func TestDecompressCorruptInputs(t *testing.T) {
+	src := bytes.Repeat([]byte("abcdefg"), 50)
+	comp := Compress(src)
+	// Truncations must error, never panic.
+	for cut := 0; cut < len(comp); cut += 3 {
+		if _, err := Decompress(comp[:cut]); err == nil {
+			// A truncation that still decodes completely is only
+			// possible if it preserved the full stream; cut < len
+			// means it did not.
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+	// A back-reference pointing before the start must be rejected.
+	bad := []byte{0, 0, 0, 10, 0x01, 0x7f, 0xff, 0x00}
+	if _, err := Decompress(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad backref: %v", err)
+	}
+}
+
+func TestQuickCompressRoundTrip(t *testing.T) {
+	f := func(src []byte) bool {
+		got, err := Decompress(Compress(src))
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompressRepetitive(t *testing.T) {
+	// Random data is incompressible; also exercise structured input
+	// where matches dominate.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		unit := make([]byte, 1+rng.Intn(64))
+		rng.Read(unit)
+		src := bytes.Repeat(unit, 1+rng.Intn(100))
+		got, err := Decompress(Compress(src))
+		if err != nil || !bytes.Equal(got, src) {
+			t.Fatalf("trial %d: err=%v", trial, err)
+		}
+	}
+}
+
+func testImage() *Image {
+	return &Image{
+		Arch: 80,
+		Kernels: []KernelDesc{
+			{
+				Name: "_Z13matrixMulCUDAILi32EEvPfS0_S0_ii",
+				Params: []ParamInfo{
+					{Offset: 0, Size: 8, Kind: ParamPointer},
+					{Offset: 8, Size: 8, Kind: ParamPointer},
+					{Offset: 16, Size: 8, Kind: ParamPointer},
+					{Offset: 24, Size: 4, Kind: ParamScalar},
+					{Offset: 28, Size: 4, Kind: ParamScalar},
+				},
+				SharedMem:     8192,
+				RegsPerThread: 32,
+				Code:          bytes.Repeat([]byte("SASS"), 256),
+			},
+			{
+				Name:          "histogram256Kernel",
+				Params:        []ParamInfo{{0, 8, ParamPointer}, {8, 8, ParamPointer}, {16, 4, ParamScalar}},
+				SharedMem:     1024,
+				RegsPerThread: 16,
+				Code:          []byte("tiny"),
+			},
+		},
+		Globals: []GlobalVar{
+			{Name: "d_Histogram", Size: 1024},
+			{Name: "constTable", Size: 256},
+		},
+	}
+}
+
+func TestImageEncodeParseRoundTrip(t *testing.T) {
+	img := testImage()
+	data := img.Encode()
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Arch != img.Arch || len(got.Kernels) != 2 || len(got.Globals) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	k0 := got.Kernels[0]
+	if k0.Name != img.Kernels[0].Name || len(k0.Params) != 5 || k0.SharedMem != 8192 {
+		t.Fatalf("kernel 0 = %+v", k0)
+	}
+	if k0.Params[3].Kind != ParamScalar || k0.Params[0].Kind != ParamPointer {
+		t.Fatalf("params = %+v", k0.Params)
+	}
+	if !bytes.Equal(k0.Code, img.Kernels[0].Code) {
+		t.Fatal("code mismatch")
+	}
+	if got.Globals[0].Name != "d_Histogram" || got.Globals[0].Size != 1024 {
+		t.Fatalf("globals = %+v", got.Globals)
+	}
+}
+
+func TestImageLookup(t *testing.T) {
+	img := testImage()
+	k, ok := img.Kernel("histogram256Kernel")
+	if !ok || k.SharedMem != 1024 {
+		t.Fatalf("k=%+v ok=%v", k, ok)
+	}
+	if _, ok := img.Kernel("missing"); ok {
+		t.Fatal("found missing kernel")
+	}
+	g, ok := img.Global("constTable")
+	if !ok || g.Size != 256 {
+		t.Fatalf("g=%+v ok=%v", g, ok)
+	}
+	if _, ok := img.Global("missing"); ok {
+		t.Fatal("found missing global")
+	}
+}
+
+func TestKernelArgBytes(t *testing.T) {
+	img := testImage()
+	if got := img.Kernels[0].ArgBytes(); got != 32 {
+		t.Fatalf("ArgBytes = %d, want 32", got)
+	}
+	empty := KernelDesc{}
+	if empty.ArgBytes() != 0 {
+		t.Fatal("empty kernel ArgBytes != 0")
+	}
+}
+
+func TestParseRejectsCorruptImages(t *testing.T) {
+	img := testImage()
+	data := img.Encode()
+	if _, err := Parse(data[:8]); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("truncated: %v", err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := Parse(bad); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	bad = append([]byte(nil), data...)
+	bad[7] = 99 // version
+	if _, err := Parse(bad); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+	// Trailing garbage.
+	if _, err := Parse(append(append([]byte(nil), data...), 0xff)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("trailing: %v", err)
+	}
+	// Every truncation point must error, not panic.
+	for cut := 0; cut < len(data); cut += 7 {
+		if _, err := Parse(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d parsed", cut)
+		}
+	}
+}
+
+func TestFatBinaryRoundTrip(t *testing.T) {
+	img80 := testImage()
+	img75 := testImage()
+	img75.Arch = 75
+	var fb FatBinary
+	fb.AddImage(img80, true)
+	fb.AddImage(img75, false)
+	data := fb.Encode()
+
+	got, err := ParseFat(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 2 {
+		t.Fatalf("entries = %d", len(got.Entries))
+	}
+	if !got.Entries[0].Compressed || got.Entries[1].Compressed {
+		t.Fatalf("compression flags: %+v", got.Entries)
+	}
+	// The compressed entry must be smaller than raw (repetitive SASS).
+	if len(got.Entries[0].Payload) >= int(got.Entries[0].RawSize) {
+		t.Fatalf("compressed %d >= raw %d", len(got.Entries[0].Payload), got.Entries[0].RawSize)
+	}
+	for i, arch := range []uint32{80, 75} {
+		img, err := got.ImageForArch(arch)
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if img.Arch != arch || len(img.Kernels) != 2 {
+			t.Fatalf("entry %d: %+v", i, img)
+		}
+	}
+}
+
+func TestFatBinaryArchFallback(t *testing.T) {
+	img := testImage()
+	img.Arch = 61 // sm_61 (P40)
+	var fb FatBinary
+	fb.AddImage(img, true)
+	data := fb.Encode()
+	fb2, err := ParseFat(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Requesting sm_80 falls back to the best lower arch.
+	got, err := fb2.ImageForArch(80)
+	if err != nil || got.Arch != 61 {
+		t.Fatalf("got %+v err=%v", got, err)
+	}
+	// Requesting an arch below every entry fails.
+	if _, err := fb2.ImageForArch(50); !errors.Is(err, ErrNoMatchingArch) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFatEntryCorruptDecompress(t *testing.T) {
+	img := testImage()
+	var fb FatBinary
+	fb.AddImage(img, true)
+	// Corrupt the decompressed-length prefix: the RawSize cross-check
+	// must reject the mismatch. (A flipped literal byte elsewhere can
+	// still be a well-formed stream; the length check is the backstop.)
+	fb.Entries[0].Payload[3] ^= 0xff
+	if _, err := fb.Entries[0].ImageBytes(); err == nil {
+		t.Fatal("corrupt payload decoded")
+	}
+}
+
+func TestExtractMetadata(t *testing.T) {
+	img := testImage()
+	// From a raw cubin.
+	meta, err := ExtractMetadata(img.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Kernels) != 2 || meta.Kernels[0].Code != nil {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if meta.Kernels[0].Params[0].Kind != ParamPointer {
+		t.Fatal("param metadata lost")
+	}
+	// From a compressed bare cubin (the paper's contribution: metadata
+	// from compressed kernels).
+	meta, err = ExtractMetadata(Compress(img.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Globals) != 2 {
+		t.Fatalf("globals = %+v", meta.Globals)
+	}
+	// From a fatbin with a compressed entry.
+	var fb FatBinary
+	fb.AddImage(img, true)
+	meta, err = ExtractMetadata(fb.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Kernels) != 2 {
+		t.Fatalf("kernels = %d", len(meta.Kernels))
+	}
+	// Garbage input.
+	if _, err := ExtractMetadata([]byte("not a cubin at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestQuickImageRoundTrip(t *testing.T) {
+	f := func(arch uint32, name string, shared, regs uint32, code []byte, gsize uint64) bool {
+		if len(name) > maxNameLen {
+			name = name[:maxNameLen]
+		}
+		img := &Image{
+			Arch: arch,
+			Kernels: []KernelDesc{{
+				Name:          name,
+				Params:        []ParamInfo{{0, 8, ParamPointer}},
+				SharedMem:     shared,
+				RegsPerThread: regs,
+				Code:          code,
+			}},
+			Globals: []GlobalVar{{Name: "g", Size: gsize}},
+		}
+		got, err := Parse(img.Encode())
+		if err != nil {
+			return false
+		}
+		return got.Arch == arch && got.Kernels[0].Name == name &&
+			got.Kernels[0].SharedMem == shared &&
+			bytes.Equal(got.Kernels[0].Code, code) &&
+			got.Globals[0].Size == gsize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompressCubin(b *testing.B) {
+	data := testImage().Encode()
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Compress(data)
+	}
+}
+
+func BenchmarkDecompressCubin(b *testing.B) {
+	comp := Compress(testImage().Encode())
+	raw, _ := Decompress(comp)
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: arbitrary bytes never panic any parser — they error or,
+// for well-formed-by-luck inputs, parse.
+func TestQuickParsersNeverPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		Parse(data)
+		ParseFat(data)
+		Decompress(data)
+		DecompressedLen(data)
+		ExtractMetadata(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// And with plausible magic prefixes to reach deeper paths.
+	g := func(tail []byte) bool {
+		withMagic := append([]byte{0x43, 0x42, 0x55, 0x4e, 0, 0, 0, 1}, tail...)
+		Parse(withMagic)
+		ExtractMetadata(withMagic)
+		fatMagic := append([]byte{0x46, 0x41, 0x54, 0x42, 0, 0, 0, 1}, tail...)
+		ParseFat(fatMagic)
+		ExtractMetadata(fatMagic)
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

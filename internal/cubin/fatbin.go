@@ -1,0 +1,219 @@
+package cubin
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Fat binary constants.
+const (
+	// FatMagic identifies a fat binary container ("FATB").
+	FatMagic = 0x46415442
+	// FatVersion is the container format version.
+	FatVersion = 1
+	// maxEntries bounds entries per container.
+	maxEntries = 256
+)
+
+// Entry flags.
+const (
+	// FlagCompressed marks an entry whose payload is LZSS-compressed.
+	FlagCompressed uint32 = 1 << 0
+)
+
+// Fat binary errors.
+var (
+	// ErrBadFatMagic reports a container that is not a fat binary.
+	ErrBadFatMagic = errors.New("cubin: bad fatbin magic")
+	// ErrNoMatchingArch reports a container with no image for the
+	// requested architecture.
+	ErrNoMatchingArch = errors.New("cubin: no image for architecture")
+)
+
+// A FatEntry is one per-architecture payload in a fat binary.
+type FatEntry struct {
+	Arch       uint32
+	Flags      uint32
+	Payload    []byte // cubin bytes, possibly compressed
+	RawSize    uint32 // uncompressed size (equals len(Payload) when uncompressed)
+	Compressed bool
+}
+
+// A FatBinary bundles cubin images for several architectures, the way
+// nvcc embeds one code object per requested SM version.
+type FatBinary struct {
+	Entries []FatEntry
+}
+
+// AddImage appends an image to the container, optionally compressing
+// its payload.
+func (fb *FatBinary) AddImage(img *Image, compress bool) {
+	raw := img.Encode()
+	e := FatEntry{Arch: img.Arch, RawSize: uint32(len(raw))}
+	if compress {
+		e.Payload = Compress(raw)
+		e.Flags |= FlagCompressed
+		e.Compressed = true
+	} else {
+		e.Payload = raw
+	}
+	fb.Entries = append(fb.Entries, e)
+}
+
+// Encode serializes the container:
+//
+//	u32 magic, u32 version, u32 nentries,
+//	per entry: u32 arch, u32 flags, u32 rawsize, u32 payloadlen, payload
+func (fb *FatBinary) Encode() []byte {
+	var b bytes.Buffer
+	w := func(v any) { binary.Write(&b, binary.BigEndian, v) }
+	w(uint32(FatMagic))
+	w(uint32(FatVersion))
+	w(uint32(len(fb.Entries)))
+	for _, e := range fb.Entries {
+		w(e.Arch)
+		w(e.Flags)
+		w(e.RawSize)
+		w(uint32(len(e.Payload)))
+		b.Write(e.Payload)
+	}
+	return b.Bytes()
+}
+
+// ParseFat decodes a fat binary container without decompressing or
+// parsing its entries.
+func ParseFat(data []byte) (*FatBinary, error) {
+	r := &imageReader{data: data}
+	magic, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != FatMagic {
+		return nil, fmt.Errorf("%w: %#x", ErrBadFatMagic, magic)
+	}
+	ver, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != FatVersion {
+		return nil, fmt.Errorf("%w: fatbin version %d", ErrBadVersion, ver)
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxEntries {
+		return nil, fmt.Errorf("%w: %d entries", ErrMalformed, n)
+	}
+	fb := &FatBinary{Entries: make([]FatEntry, n)}
+	for i := range fb.Entries {
+		e := &fb.Entries[i]
+		if e.Arch, err = r.u32(); err != nil {
+			return nil, err
+		}
+		if e.Flags, err = r.u32(); err != nil {
+			return nil, err
+		}
+		if e.RawSize, err = r.u32(); err != nil {
+			return nil, err
+		}
+		pl, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		p, err := r.bytes(int(pl))
+		if err != nil {
+			return nil, err
+		}
+		e.Payload = append([]byte(nil), p...)
+		e.Compressed = e.Flags&FlagCompressed != 0
+	}
+	if r.pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(data)-r.pos)
+	}
+	return fb, nil
+}
+
+// ImageBytes returns the decompressed cubin bytes of the entry.
+func (e *FatEntry) ImageBytes() ([]byte, error) {
+	if !e.Compressed {
+		return e.Payload, nil
+	}
+	raw, err := Decompress(e.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if uint32(len(raw)) != e.RawSize {
+		return nil, fmt.Errorf("%w: decompressed to %d bytes, header says %d", ErrCorrupt, len(raw), e.RawSize)
+	}
+	return raw, nil
+}
+
+// ImageForArch decompresses and parses the entry matching arch,
+// falling back to the highest arch not exceeding it (the way the CUDA
+// driver selects the best-compatible code object).
+func (fb *FatBinary) ImageForArch(arch uint32) (*Image, error) {
+	best := -1
+	for i, e := range fb.Entries {
+		if e.Arch == arch {
+			best = i
+			break
+		}
+		if e.Arch < arch && (best < 0 || e.Arch > fb.Entries[best].Arch) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("%w: sm_%d among %d entries", ErrNoMatchingArch, arch, len(fb.Entries))
+	}
+	raw, err := fb.Entries[best].ImageBytes()
+	if err != nil {
+		return nil, err
+	}
+	return Parse(raw)
+}
+
+// ExtractMetadata decompresses (if needed) and parses a cubin's
+// kernels and globals without retaining code payloads. This is the
+// operation the paper added to Cricket: reading kernel names and
+// parameter layouts out of possibly-compressed binaries.
+func ExtractMetadata(data []byte) (*Image, error) {
+	// Accept either a bare (possibly compressed) cubin or a fatbin.
+	if len(data) >= 4 {
+		switch binary.BigEndian.Uint32(data) {
+		case FatMagic:
+			fb, err := ParseFat(data)
+			if err != nil {
+				return nil, err
+			}
+			if len(fb.Entries) == 0 {
+				return nil, fmt.Errorf("%w: empty fatbin", ErrMalformed)
+			}
+			raw, err := fb.Entries[0].ImageBytes()
+			if err != nil {
+				return nil, err
+			}
+			return stripCode(Parse(raw))
+		case Magic:
+			return stripCode(Parse(data))
+		}
+	}
+	// Possibly a bare compressed cubin.
+	raw, err := Decompress(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: neither cubin, fatbin, nor compressed cubin", ErrBadMagic)
+	}
+	return stripCode(Parse(raw))
+}
+
+func stripCode(img *Image, err error) (*Image, error) {
+	if err != nil {
+		return nil, err
+	}
+	for i := range img.Kernels {
+		img.Kernels[i].Code = nil
+	}
+	return img, nil
+}

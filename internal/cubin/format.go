@@ -1,0 +1,314 @@
+package cubin
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Image format constants.
+const (
+	// Magic identifies a cubin image ("CUBN").
+	Magic = 0x4342554e
+	// FormatVersion is the current image format version.
+	FormatVersion = 1
+	// maxKernels bounds the kernel count a parser will accept.
+	maxKernels = 1 << 16
+	// maxNameLen bounds symbol names.
+	maxNameLen = 1 << 10
+)
+
+// Parse errors.
+var (
+	// ErrBadMagic reports an image that is not a cubin.
+	ErrBadMagic = errors.New("cubin: bad magic")
+	// ErrBadVersion reports an unsupported format version.
+	ErrBadVersion = errors.New("cubin: unsupported format version")
+	// ErrMalformed reports a structurally invalid image.
+	ErrMalformed = errors.New("cubin: malformed image")
+)
+
+// ParamKind classifies kernel parameters for marshaling between host
+// and device.
+type ParamKind uint8
+
+// Parameter kinds.
+const (
+	ParamScalar  ParamKind = iota // passed by value
+	ParamPointer                  // device pointer
+)
+
+// A ParamInfo describes one kernel parameter: its byte offset in the
+// argument buffer, its size, and whether it is a device pointer. This
+// is the metadata Cricket extracts from cubins so it can marshal
+// launch arguments over RPC.
+type ParamInfo struct {
+	Offset uint16
+	Size   uint16
+	Kind   ParamKind
+}
+
+// A KernelDesc describes one compiled kernel in an image.
+type KernelDesc struct {
+	// Name is the (mangled) kernel symbol name.
+	Name string
+	// Params is the parameter layout in declaration order.
+	Params []ParamInfo
+	// SharedMem is the static shared memory requirement in bytes.
+	SharedMem uint32
+	// RegsPerThread is the register footprint, used by the occupancy
+	// model of the GPU simulator.
+	RegsPerThread uint32
+	// Code is the compiled instruction payload (opaque to everything
+	// except the device simulator, which interprets the leading
+	// operation tag).
+	Code []byte
+}
+
+// ArgBytes returns the total argument-buffer size of the kernel.
+func (k *KernelDesc) ArgBytes() int {
+	n := 0
+	for _, p := range k.Params {
+		if end := int(p.Offset) + int(p.Size); end > n {
+			n = end
+		}
+	}
+	return n
+}
+
+// A GlobalVar describes one device global variable symbol.
+type GlobalVar struct {
+	Name string
+	Size uint64
+}
+
+// An Image is a parsed cubin: kernels and globals for one GPU
+// architecture.
+type Image struct {
+	// Arch is the SM architecture the image targets, e.g. 80 for
+	// sm_80 (A100), 75 for sm_75 (T4), 61 for sm_61 (P40).
+	Arch uint32
+	// Kernels are the compiled kernels.
+	Kernels []KernelDesc
+	// Globals are device global variables.
+	Globals []GlobalVar
+}
+
+// Kernel returns the kernel descriptor with the given name.
+func (img *Image) Kernel(name string) (*KernelDesc, bool) {
+	for i := range img.Kernels {
+		if img.Kernels[i].Name == name {
+			return &img.Kernels[i], true
+		}
+	}
+	return nil, false
+}
+
+// Global returns the global variable descriptor with the given name.
+func (img *Image) Global(name string) (*GlobalVar, bool) {
+	for i := range img.Globals {
+		if img.Globals[i].Name == name {
+			return &img.Globals[i], true
+		}
+	}
+	return nil, false
+}
+
+// Encode serializes the image. Layout (all integers big-endian):
+//
+//	u32 magic, u32 version, u32 arch,
+//	u32 nkernels, then per kernel:
+//	    u16 namelen, name, u32 sharedmem, u32 regs,
+//	    u16 nparams, per param: u16 offset, u16 size, u8 kind,
+//	    u32 codelen, code
+//	u32 nglobals, then per global: u16 namelen, name, u64 size
+func (img *Image) Encode() []byte {
+	var b bytes.Buffer
+	w := func(v any) { binary.Write(&b, binary.BigEndian, v) }
+	w(uint32(Magic))
+	w(uint32(FormatVersion))
+	w(img.Arch)
+	w(uint32(len(img.Kernels)))
+	for i := range img.Kernels {
+		k := &img.Kernels[i]
+		w(uint16(len(k.Name)))
+		b.WriteString(k.Name)
+		w(k.SharedMem)
+		w(k.RegsPerThread)
+		w(uint16(len(k.Params)))
+		for _, p := range k.Params {
+			w(p.Offset)
+			w(p.Size)
+			w(uint8(p.Kind))
+		}
+		w(uint32(len(k.Code)))
+		b.Write(k.Code)
+	}
+	w(uint32(len(img.Globals)))
+	for _, g := range img.Globals {
+		w(uint16(len(g.Name)))
+		b.WriteString(g.Name)
+		w(g.Size)
+	}
+	return b.Bytes()
+}
+
+type imageReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *imageReader) u8() (uint8, error) {
+	if r.pos+1 > len(r.data) {
+		return 0, fmt.Errorf("%w: truncated at %d", ErrMalformed, r.pos)
+	}
+	v := r.data[r.pos]
+	r.pos++
+	return v, nil
+}
+
+func (r *imageReader) u16() (uint16, error) {
+	if r.pos+2 > len(r.data) {
+		return 0, fmt.Errorf("%w: truncated at %d", ErrMalformed, r.pos)
+	}
+	v := binary.BigEndian.Uint16(r.data[r.pos:])
+	r.pos += 2
+	return v, nil
+}
+
+func (r *imageReader) u32() (uint32, error) {
+	if r.pos+4 > len(r.data) {
+		return 0, fmt.Errorf("%w: truncated at %d", ErrMalformed, r.pos)
+	}
+	v := binary.BigEndian.Uint32(r.data[r.pos:])
+	r.pos += 4
+	return v, nil
+}
+
+func (r *imageReader) u64() (uint64, error) {
+	if r.pos+8 > len(r.data) {
+		return 0, fmt.Errorf("%w: truncated at %d", ErrMalformed, r.pos)
+	}
+	v := binary.BigEndian.Uint64(r.data[r.pos:])
+	r.pos += 8
+	return v, nil
+}
+
+func (r *imageReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.data) {
+		return nil, fmt.Errorf("%w: truncated at %d (need %d)", ErrMalformed, r.pos, n)
+	}
+	v := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return v, nil
+}
+
+func (r *imageReader) name() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	if n > maxNameLen {
+		return "", fmt.Errorf("%w: name length %d", ErrMalformed, n)
+	}
+	p, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(p), nil
+}
+
+// Parse decodes a cubin image produced by Encode.
+func Parse(data []byte) (*Image, error) {
+	r := &imageReader{data: data}
+	magic, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("%w: %#x", ErrBadMagic, magic)
+	}
+	ver, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != FormatVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, ver)
+	}
+	img := &Image{}
+	if img.Arch, err = r.u32(); err != nil {
+		return nil, err
+	}
+	nk, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nk > maxKernels {
+		return nil, fmt.Errorf("%w: %d kernels", ErrMalformed, nk)
+	}
+	img.Kernels = make([]KernelDesc, nk)
+	for i := range img.Kernels {
+		k := &img.Kernels[i]
+		if k.Name, err = r.name(); err != nil {
+			return nil, err
+		}
+		if k.SharedMem, err = r.u32(); err != nil {
+			return nil, err
+		}
+		if k.RegsPerThread, err = r.u32(); err != nil {
+			return nil, err
+		}
+		np, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		k.Params = make([]ParamInfo, np)
+		for j := range k.Params {
+			p := &k.Params[j]
+			if p.Offset, err = r.u16(); err != nil {
+				return nil, err
+			}
+			if p.Size, err = r.u16(); err != nil {
+				return nil, err
+			}
+			kind, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			if kind > uint8(ParamPointer) {
+				return nil, fmt.Errorf("%w: param kind %d", ErrMalformed, kind)
+			}
+			p.Kind = ParamKind(kind)
+		}
+		cl, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		code, err := r.bytes(int(cl))
+		if err != nil {
+			return nil, err
+		}
+		k.Code = append([]byte(nil), code...)
+	}
+	ng, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ng > maxKernels {
+		return nil, fmt.Errorf("%w: %d globals", ErrMalformed, ng)
+	}
+	img.Globals = make([]GlobalVar, ng)
+	for i := range img.Globals {
+		if img.Globals[i].Name, err = r.name(); err != nil {
+			return nil, err
+		}
+		if img.Globals[i].Size, err = r.u64(); err != nil {
+			return nil, err
+		}
+	}
+	if r.pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(data)-r.pos)
+	}
+	return img, nil
+}

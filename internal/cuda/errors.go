@@ -1,0 +1,98 @@
+// Package cuda implements a simulated CUDA runtime and driver API on
+// top of the gpu device simulator: devices, device memory, memcpy,
+// streams, events, and the cuModule API (module loading from cubin
+// images, function and global lookup, and kernel launch).
+//
+// This is the API surface Cricket virtualizes. The Cricket server
+// executes these calls against real GPUs; in this reproduction it
+// executes them against gpu.Device simulators, with identical
+// semantics (including error codes for invalid pointers, double
+// frees, bad launches, and unknown symbols) and an analytic timing
+// model. Kernels really compute — a matrixMul launched through five
+// layers of RPC produces a bit-exact product matrix.
+package cuda
+
+import "fmt"
+
+// Error is a CUDA error code (cudaError_t). The zero value is
+// cudaSuccess, which is never returned as a Go error.
+type Error uint32
+
+// CUDA error codes, numerically matching the CUDA runtime's.
+const (
+	Success                    Error = 0
+	ErrorInvalidValue          Error = 1
+	ErrorMemoryAllocation      Error = 2
+	ErrorInitializationError   Error = 3
+	ErrorInvalidDevicePointer  Error = 17
+	ErrorInvalidDeviceFunction Error = 98
+	ErrorInvalidDevice         Error = 101
+	ErrorInvalidImage          Error = 200
+	ErrorInvalidContext        Error = 201
+	ErrorNoBinaryForGPU        Error = 209
+	ErrorInvalidSymbol         Error = 300
+	ErrorInvalidHandle         Error = 400
+	ErrorNotFound              Error = 500
+	ErrorLaunchFailure         Error = 719
+	ErrorLaunchOutOfResources  Error = 701
+	ErrorNoDevice              Error = 100
+	ErrorUnknown               Error = 999
+)
+
+// Error implements the error interface with cudaGetErrorString-style
+// names.
+func (e Error) Error() string {
+	return fmt.Sprintf("cuda: %s (%d)", e.Name(), uint32(e))
+}
+
+// Name returns the symbolic name of the error code.
+func (e Error) Name() string {
+	switch e {
+	case Success:
+		return "cudaSuccess"
+	case ErrorInvalidValue:
+		return "cudaErrorInvalidValue"
+	case ErrorMemoryAllocation:
+		return "cudaErrorMemoryAllocation"
+	case ErrorInitializationError:
+		return "cudaErrorInitializationError"
+	case ErrorInvalidDevicePointer:
+		return "cudaErrorInvalidDevicePointer"
+	case ErrorInvalidDeviceFunction:
+		return "cudaErrorInvalidDeviceFunction"
+	case ErrorInvalidDevice:
+		return "cudaErrorInvalidDevice"
+	case ErrorInvalidImage:
+		return "cudaErrorInvalidImage"
+	case ErrorInvalidContext:
+		return "cudaErrorInvalidContext"
+	case ErrorNoBinaryForGPU:
+		return "cudaErrorNoBinaryForGPU"
+	case ErrorInvalidSymbol:
+		return "cudaErrorInvalidSymbol"
+	case ErrorInvalidHandle:
+		return "cudaErrorInvalidResourceHandle"
+	case ErrorNotFound:
+		return "cudaErrorSymbolNotFound"
+	case ErrorLaunchFailure:
+		return "cudaErrorLaunchFailure"
+	case ErrorLaunchOutOfResources:
+		return "cudaErrorLaunchOutOfResources"
+	case ErrorNoDevice:
+		return "cudaErrorNoDevice"
+	}
+	return "cudaErrorUnknown"
+}
+
+// Code extracts the CUDA error code from any error returned by this
+// package: an Error unwraps to itself, nil maps to Success, and
+// anything else to ErrorUnknown.
+func Code(err error) Error {
+	if err == nil {
+		return Success
+	}
+	if ce, ok := err.(Error); ok {
+		return ce
+	}
+	return ErrorUnknown
+}

@@ -1,0 +1,160 @@
+package gpu
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Snapshot serialization: Cricket's checkpoint/restart persists device
+// state to files so workloads can be migrated or resumed after the
+// server restarts. The format is a simple framed binary:
+//
+//	u32 magic "CKPT", u32 version,
+//	u64 next, u64 used, u64 launches, f64 flops (as bits),
+//	u32 nallocs, per alloc: u64 base, u64 len, data
+//	u32 nfree,   per range: u64 base, u64 size
+
+// snapMagic identifies a serialized snapshot.
+const snapMagic = 0x434b5054 // "CKPT"
+
+// snapVersion is the current serialization version.
+const snapVersion = 1
+
+// ErrBadSnapshot reports an undecodable snapshot stream.
+var ErrBadSnapshot = errors.New("gpu: bad snapshot data")
+
+// WriteTo serializes the snapshot (io.WriterTo).
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	put := func(v any) error {
+		err := binary.Write(bw, binary.BigEndian, v)
+		switch v.(type) {
+		case uint32:
+			n += 4
+		case uint64:
+			n += 8
+		}
+		return err
+	}
+	if err := put(uint32(snapMagic)); err != nil {
+		return n, err
+	}
+	put(uint32(snapVersion))
+	put(uint64(s.next))
+	put(s.used)
+	put(s.launches)
+	put(uint64(floatBits(s.flops)))
+	put(uint32(len(s.allocs)))
+	for _, a := range s.allocs {
+		put(uint64(a.base))
+		put(uint64(len(a.data)))
+		m, err := bw.Write(a.data)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	put(uint32(len(s.free)))
+	for _, f := range s.free {
+		put(uint64(f.base))
+		put(f.size)
+	}
+	return n, bw.Flush()
+}
+
+// ReadSnapshot deserializes a snapshot written by WriteTo.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	var u32 uint32
+	var u64 uint64
+	get32 := func() (uint32, error) {
+		err := binary.Read(br, binary.BigEndian, &u32)
+		return u32, err
+	}
+	get64 := func() (uint64, error) {
+		err := binary.Read(br, binary.BigEndian, &u64)
+		return u64, err
+	}
+	magic, err := get32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if magic != snapMagic {
+		return nil, fmt.Errorf("%w: magic %#x", ErrBadSnapshot, magic)
+	}
+	ver, err := get32()
+	if err != nil || ver != snapVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadSnapshot, ver)
+	}
+	s := &Snapshot{}
+	next, err := get64()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	s.next = Ptr(next)
+	if s.used, err = get64(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if s.launches, err = get64(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	bits, err := get64()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	s.flops = floatFromBits(bits)
+	na, err := get32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if na > 1<<24 {
+		return nil, fmt.Errorf("%w: %d allocations", ErrBadSnapshot, na)
+	}
+	s.allocs = make([]allocation, na)
+	for i := range s.allocs {
+		base, err := get64()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		size, err := get64()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		if size > 1<<40 {
+			return nil, fmt.Errorf("%w: %d-byte allocation", ErrBadSnapshot, size)
+		}
+		data := make([]byte, size)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		s.allocs[i] = allocation{base: Ptr(base), data: data}
+	}
+	nf, err := get32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if nf > 1<<24 {
+		return nil, fmt.Errorf("%w: %d free ranges", ErrBadSnapshot, nf)
+	}
+	s.free = make([]freeRange, nf)
+	for i := range s.free {
+		base, err := get64()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		size, err := get64()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		s.free[i] = freeRange{base: Ptr(base), size: size}
+	}
+	return s, nil
+}
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,244 @@
+package gpu
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	d := New(SpecA100)
+	p1, _, _ := d.Malloc(100)
+	p2, _, _ := d.Malloc(200)
+	d.Write(p1, bytes.Repeat([]byte{1}, 100))
+	d.Write(p2, bytes.Repeat([]byte{2}, 200))
+
+	snap, dur := d.Snapshot()
+	if dur <= 0 {
+		t.Fatal("no snapshot cost")
+	}
+	if snap.Allocations() != 2 || snap.Bytes() != 300 {
+		t.Fatalf("snapshot: %d allocs, %d bytes", snap.Allocations(), snap.Bytes())
+	}
+
+	// Mutate: overwrite, free one, allocate another.
+	d.Write(p1, bytes.Repeat([]byte{9}, 100))
+	d.Free(p2)
+	p3, _, _ := d.Malloc(50)
+	_ = p3
+
+	if dur := d.RestoreSnapshot(snap); dur <= 0 {
+		t.Fatal("no restore cost")
+	}
+	// Original pointers valid with original contents.
+	b1, _, err := d.Read(p1, 100)
+	if err != nil || b1[0] != 1 {
+		t.Fatalf("p1 after restore: %v %v", b1[:2], err)
+	}
+	b2, _, err := d.Read(p2, 200)
+	if err != nil || b2[0] != 2 {
+		t.Fatalf("p2 after restore: %v %v", b2[:2], err)
+	}
+	// The post-snapshot allocation is gone as a distinct allocation
+	// (its address range may alias the restored p2, which had been
+	// freed and recycled): exactly the two snapshotted allocations
+	// remain.
+	if d.LiveAllocations() != 2 {
+		t.Fatalf("live after restore = %d", d.LiveAllocations())
+	}
+	_ = p3
+	// Allocator state restored: new allocations don't collide.
+	p4, _, err := d.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4 == p1 || p4 == p2 {
+		t.Fatal("allocator reissued a live pointer")
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	d := New(SpecA100)
+	p, _, _ := d.Malloc(16)
+	d.Write(p, bytes.Repeat([]byte{5}, 16))
+	snap, _ := d.Snapshot()
+	// Mutating the device after the snapshot must not change the
+	// snapshot, and restoring twice must be stable.
+	d.Write(p, bytes.Repeat([]byte{7}, 16))
+	d.RestoreSnapshot(snap)
+	got, _, _ := d.Read(p, 16)
+	if got[0] != 5 {
+		t.Fatal("snapshot aliased device memory")
+	}
+	d.Write(p, bytes.Repeat([]byte{8}, 16))
+	d.RestoreSnapshot(snap)
+	got, _, _ = d.Read(p, 16)
+	if got[0] != 5 {
+		t.Fatal("second restore diverged")
+	}
+}
+
+func TestSnapshotEmptyDevice(t *testing.T) {
+	d := New(SpecA100)
+	snap, _ := d.Snapshot()
+	if snap.Allocations() != 0 || snap.Bytes() != 0 {
+		t.Fatalf("empty snapshot: %+v", snap)
+	}
+	p, _, _ := d.Malloc(8)
+	d.RestoreSnapshot(snap)
+	if d.LiveAllocations() != 0 {
+		t.Fatal("restore did not clear allocations")
+	}
+	if _, _, err := d.Read(p, 1); !errors.Is(err, ErrInvalidPtr) {
+		t.Fatal("stale pointer readable")
+	}
+}
+
+// Property: snapshot/restore is an exact fixpoint of device memory
+// state for arbitrary allocation patterns.
+func TestQuickSnapshotFixpoint(t *testing.T) {
+	f := func(sizes []uint16, fill byte) bool {
+		if len(sizes) > 16 {
+			sizes = sizes[:16]
+		}
+		d := New(Spec{Name: "q", MemBytes: 1 << 22, MaxThreadsPerBlock: 64, MaxGridDim: 64, MaxSharedMemPerBlock: 64, MemBandwidth: 1e9, ClockHz: 1e9, SMs: 1, CoresPerSM: 1})
+		var ptrs []Ptr
+		for i, s := range sizes {
+			p, _, err := d.Malloc(uint64(s) + 1)
+			if err != nil {
+				return true // OOM on tiny device: skip
+			}
+			d.Write(p, bytes.Repeat([]byte{fill + byte(i)}, int(s)+1))
+			ptrs = append(ptrs, p)
+		}
+		snap, _ := d.Snapshot()
+		// Scramble.
+		for _, p := range ptrs {
+			d.Memset(p, 0xFF, 1)
+		}
+		d.RestoreSnapshot(snap)
+		for i, p := range ptrs {
+			b, _, err := d.Read(p, 1)
+			if err != nil || b[0] != fill+byte(i) {
+				return false
+			}
+		}
+		return d.LiveAllocations() == len(ptrs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimingOnlySkipsExecutionButKeepsCosts(t *testing.T) {
+	d := New(SpecA100)
+	d.RegisterKernel("saxpy", Kernel{Fn: saxpyKernel, Cost: Cost{FLOPsPerThread: 2, BytesPerThread: 12}})
+	const n = 64
+	x, _, _ := d.Malloc(n * 4)
+	y, _, _ := d.Malloc(n * 4)
+	cfg := LaunchConfig{Grid: Dim3{X: 1, Y: 1, Z: 1}, Block: Dim3{X: n, Y: 1, Z: 1}}
+	args := saxpyArgs(x, y, 2.0, n)
+
+	full, err := d.Launch("saxpy", cfg, args, saxpyLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _, _ := d.Read(y, n*4)
+
+	d.SetTimingOnly(true)
+	timed, err := d.Launch("saxpy", cfg, args, saxpyLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _, _ := d.Read(y, n*4)
+	d.SetTimingOnly(false)
+
+	if timed != full {
+		t.Fatalf("timing-only duration %v != full %v", timed, full)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("timing-only launch mutated memory")
+	}
+	// Validation still applies in timing-only mode.
+	if _, err := d.Launch("saxpy", LaunchConfig{Grid: Dim3{X: 1, Y: 1, Z: 1}, Block: Dim3{X: 9999, Y: 1, Z: 1}}, args, saxpyLayout()); !errors.Is(err, ErrBadLaunch) {
+		t.Fatalf("timing-only skipped validation: %v", err)
+	}
+	if _, err := d.Launch("missing", cfg, nil, nil); !errors.Is(err, ErrUnknownKernel) {
+		t.Fatalf("timing-only skipped kernel lookup: %v", err)
+	}
+}
+
+func TestSnapshotSerializationRoundTrip(t *testing.T) {
+	d := New(SpecA100)
+	p1, _, _ := d.Malloc(100)
+	p2, _, _ := d.Malloc(300)
+	d.Write(p1, bytes.Repeat([]byte{0xaa}, 100))
+	d.Write(p2, bytes.Repeat([]byte{0xbb}, 300))
+	d.Free(p1) // leave a free-list entry to serialize
+
+	snap, _ := d.Snapshot()
+	var buf bytes.Buffer
+	n, err := snap.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d, wrote %d", n, buf.Len())
+	}
+
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restore the deserialized snapshot onto a fresh device: state
+	// must be identical.
+	d2 := New(SpecA100)
+	d2.RestoreSnapshot(got)
+	b2, _, err := d2.Read(p2, 300)
+	if err != nil || b2[0] != 0xbb {
+		t.Fatalf("restored read: %v %v", b2[:2], err)
+	}
+	if _, _, err := d2.Read(p1, 1); !errors.Is(err, ErrInvalidPtr) {
+		t.Fatal("freed region restored as live")
+	}
+	// Allocator state carried over: a new allocation can reuse the
+	// freed range without colliding with p2.
+	p3, _, err := d2.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p2 {
+		t.Fatal("allocator collision after deserialized restore")
+	}
+}
+
+func TestReadSnapshotRejectsCorruption(t *testing.T) {
+	d := New(SpecA100)
+	p, _, _ := d.Malloc(64)
+	d.Write(p, bytes.Repeat([]byte{1}, 64))
+	snap, _ := d.Snapshot()
+	var buf bytes.Buffer
+	if _, err := snap.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Bad magic.
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := ReadSnapshot(bytes.NewReader(bad)); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	// Bad version.
+	bad = append([]byte(nil), data...)
+	bad[7] = 99
+	if _, err := ReadSnapshot(bytes.NewReader(bad)); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("bad version: %v", err)
+	}
+	// Every truncation errors rather than panics.
+	for cut := 0; cut < len(data); cut += 11 {
+		if _, err := ReadSnapshot(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+}

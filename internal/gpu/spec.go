@@ -1,0 +1,99 @@
+// Package gpu simulates NVIDIA GPU devices: a device-memory address
+// space with a real backing store (kernels actually read and write
+// data, so results are bit-checkable), an allocator, a kernel
+// execution engine driven by registered Go implementations, and an
+// analytic timing model calibrated per device generation.
+//
+// The paper evaluates on an A100 and verifies on T4 and P40 GPUs; the
+// specs below model those parts. Timing is returned as simulated
+// durations rather than consumed wall-clock time, so benchmarks can
+// account GPU time onto the same virtual clock as the network
+// simulator.
+package gpu
+
+import "fmt"
+
+// A Spec describes the hardware parameters of one device generation
+// that the timing and occupancy models consume.
+type Spec struct {
+	// Name is the marketing name, e.g. "NVIDIA A100-PCIE-40GB".
+	Name string
+	// Arch is the SM architecture version (80 = sm_80).
+	Arch uint32
+	// SMs is the streaming multiprocessor count.
+	SMs int
+	// CoresPerSM is the FP32 lane count per SM.
+	CoresPerSM int
+	// ClockHz is the boost clock.
+	ClockHz float64
+	// MemBytes is the device memory capacity.
+	MemBytes uint64
+	// MemBandwidth is the peak DRAM bandwidth in bytes/second.
+	MemBandwidth float64
+	// MaxThreadsPerBlock bounds block sizes.
+	MaxThreadsPerBlock int
+	// MaxSharedMemPerBlock bounds dynamic+static shared memory.
+	MaxSharedMemPerBlock uint32
+	// MaxGridDim bounds each grid dimension.
+	MaxGridDim uint32
+	// LaunchOverheadNS is the device-side cost of scheduling one
+	// kernel launch, in nanoseconds.
+	LaunchOverheadNS float64
+}
+
+// PeakFLOPS returns the peak FP32 throughput (2 FLOPs per FMA lane
+// per cycle).
+func (s *Spec) PeakFLOPS() float64 {
+	return float64(s.SMs) * float64(s.CoresPerSM) * 2 * s.ClockHz
+}
+
+func (s *Spec) String() string {
+	return fmt.Sprintf("%s (sm_%d, %d SMs, %.0f GiB)", s.Name, s.Arch, s.SMs, float64(s.MemBytes)/(1<<30))
+}
+
+// Device specifications of the GPUs in the paper's evaluation system:
+// one A100, two T4s, and one P40 (evaluation limited to the A100).
+var (
+	// SpecA100 is the NVIDIA A100-PCIE-40GB (GA100, sm_80).
+	SpecA100 = Spec{
+		Name:                 "NVIDIA A100-PCIE-40GB",
+		Arch:                 80,
+		SMs:                  108,
+		CoresPerSM:           64,
+		ClockHz:              1.41e9,
+		MemBytes:             40 << 30,
+		MemBandwidth:         1555e9,
+		MaxThreadsPerBlock:   1024,
+		MaxSharedMemPerBlock: 163 << 10,
+		MaxGridDim:           1 << 31,
+		LaunchOverheadNS:     2200,
+	}
+	// SpecT4 is the NVIDIA Tesla T4 (TU104, sm_75).
+	SpecT4 = Spec{
+		Name:                 "NVIDIA Tesla T4",
+		Arch:                 75,
+		SMs:                  40,
+		CoresPerSM:           64,
+		ClockHz:              1.59e9,
+		MemBytes:             16 << 30,
+		MemBandwidth:         300e9,
+		MaxThreadsPerBlock:   1024,
+		MaxSharedMemPerBlock: 64 << 10,
+		MaxGridDim:           1 << 31,
+		LaunchOverheadNS:     2600,
+	}
+	// SpecP40 is the NVIDIA Tesla P40 (GP102, sm_61).
+	SpecP40 = Spec{
+		Name:                 "NVIDIA Tesla P40",
+		Arch:                 61,
+		SMs:                  30,
+		CoresPerSM:           128,
+		ClockHz:              1.53e9,
+		MemBytes:             24 << 30,
+		MemBandwidth:         346e9,
+		MaxThreadsPerBlock:   1024,
+		MaxSharedMemPerBlock: 48 << 10,
+		MaxGridDim:           1 << 31,
+		LaunchOverheadNS:     3000,
+	}
+)

@@ -1,0 +1,283 @@
+// Package guest models the five execution platforms of the paper's
+// evaluation (Table 1): native C and Rust applications on Rocky Linux,
+// a Rust application in a Fedora Linux VM, and Rust applications in
+// the Unikraft and RustyHermit unikernels, the virtualized ones under
+// QEMU/KVM with virtio networking.
+//
+// A Platform combines a netsim.Stack cost model (what the guest's
+// network path costs per syscall, segment, copy, checksum, and VM
+// exit, given the virtio features it supports) with an application
+// runtime profile (the C/Rust differences the paper reports: the C
+// kernel-launch compatibility logic and the slower C random-number
+// generator).
+//
+// The stack parameters are calibrated so the simulated evaluation
+// reproduces the paper's findings:
+//
+//   - Fig 6: VM slowest on every API, RustyHermit the fastest guest
+//     but still more than double native; native C ≈ native Rust.
+//   - Fig 7: natives fastest (single-core-bound, below wire speed);
+//     Linux VM retains ≥ 80 %; RustyHermit ≈ 9.8 % of native in the
+//     device-to-host direction; Unikraft low in both directions
+//     (no checksum offload at all).
+//   - §4.2: disabling TSO, TX checksum offload, and scatter-gather in
+//     the Linux VM collapses host-to-device bandwidth to ≈ 924 MiB/s
+//     while barely affecting device-to-host.
+package guest
+
+import (
+	"cricket/internal/netsim"
+)
+
+// Lang is the application implementation language.
+type Lang int
+
+// Application languages.
+const (
+	// LangC is the original CUDA-samples C code using libtirpc.
+	LangC Lang = iota
+	// LangRust is the Rust port using RPC-Lib.
+	LangRust
+)
+
+func (l Lang) String() string {
+	if l == LangC {
+		return "C"
+	}
+	return "Rust"
+}
+
+// A Platform is one evaluation configuration: an application language
+// and runtime profile plus the network-stack cost model of its OS.
+type Platform struct {
+	// Name is the row label used in the paper's plots: C, Rust,
+	// Linux VM, Unikraft, Hermit.
+	Name string
+	// AppLang selects the C or Rust application profile.
+	AppLang Lang
+	// OS, Hypervisor, Network are the Table 1 columns.
+	OS         string
+	Hypervisor string
+	Network    string
+	// Stack is the guest network-path cost model.
+	Stack netsim.Stack
+	// LaunchExtraNS is client-side bookkeeping added to every kernel
+	// launch. The C implementation carries compatibility logic for
+	// the <<<...>>> launch operator that the Rust port omits, making
+	// Rust kernel launches ≈ 6.3 % faster (paper §4.2).
+	LaunchExtraNS float64
+	// RNGBps is the host-side random-number-generation rate used when
+	// initializing input data. The C samples use a slower generator,
+	// which is most visible in the histogram application (§4.1).
+	RNGBps float64
+}
+
+// IsVirtualized reports whether the platform runs under a hypervisor.
+func (p Platform) IsVirtualized() bool { return p.Hypervisor != "-" }
+
+// Application-profile constants.
+const (
+	// cLaunchExtraNS is the per-launch cost of the C <<<>>>
+	// compatibility path.
+	cLaunchExtraNS = 900
+	// cRNGBps / rustRNGBps are data-initialization rates; the gap
+	// produces the histogram result (Rust ≈ 37.6 % faster overall).
+	cRNGBps    = 0.126e9
+	rustRNGBps = 1.6e9
+)
+
+// linuxStack is the native Rocky Linux network path on the evaluation
+// nodes: kernel TCP with every ConnectX-5 offload available.
+func linuxStack() netsim.Stack {
+	return netsim.Stack{
+		Name:        "linux",
+		SyscallNS:   1800,
+		PerSegTxNS:  800,
+		PerSegRxNS:  1000,
+		CopiesTx:    2, // scatter-gather removes one
+		CopiesRx:    1,
+		CopyBps:     12e9,
+		ChecksumBps: 1.7e9,
+		Offloads: netsim.OffloadTxChecksum | netsim.OffloadRxChecksum |
+			netsim.OffloadTSO | netsim.OffloadScatterGather | netsim.OffloadMrgRxBuf,
+	}
+}
+
+// NativeC is the baseline: the original C applications with libtirpc
+// on native Rocky Linux.
+func NativeC() Platform {
+	return Platform{
+		Name:          "C",
+		AppLang:       LangC,
+		OS:            "Rocky Linux",
+		Hypervisor:    "-",
+		Network:       "native",
+		Stack:         linuxStack(),
+		LaunchExtraNS: cLaunchExtraNS,
+		RNGBps:        cRNGBps,
+	}
+}
+
+// NativeRust is the Rust port with RPC-Lib on native Rocky Linux.
+func NativeRust() Platform {
+	return Platform{
+		Name:       "Rust",
+		AppLang:    LangRust,
+		OS:         "Rocky Linux",
+		Hypervisor: "-",
+		Network:    "native",
+		Stack:      linuxStack(),
+		RNGBps:     rustRNGBps,
+	}
+}
+
+// LinuxVM is the Rust application in a Fedora 37 VM under QEMU/KVM
+// with a virtio-net TAP device: the full Linux stack, but every device
+// interaction pays virtualization exits.
+func LinuxVM() Platform {
+	s := linuxStack()
+	s.Name = "linux-vm"
+	s.PerSegTxNS = 1500 // virtio queue handling on top of the stack
+	s.PerSegRxNS = 1500
+	s.VMExitNS = 18000
+	s.NotifyBatch = 32
+	return Platform{
+		Name:       "Linux VM",
+		AppLang:    LangRust,
+		OS:         "Fedora VM",
+		Hypervisor: "QEMU",
+		Network:    "virtio",
+		Stack:      s,
+		RNGBps:     rustRNGBps,
+	}
+}
+
+// Unikraft is the Rust application on Unikraft with lwIP. Unikraft
+// does not support checksum offloading yet (paper §4.2 footnote) and
+// lwIP performs no TSO, so both checksums and segmentation run in
+// software.
+func Unikraft() Platform {
+	return Platform{
+		Name:       "Unikraft",
+		AppLang:    LangRust,
+		OS:         "Unikraft",
+		Hypervisor: "QEMU",
+		Network:    "virtio",
+		Stack: netsim.Stack{
+			Name:        "lwip",
+			SyscallNS:   500, // library call, no privilege switch
+			PerSegTxNS:  4000,
+			PerSegRxNS:  8000,
+			CopiesTx:    2,
+			CopiesRx:    2,
+			CopyBps:     5e9,
+			ChecksumBps: 2e9,
+			VMExitNS:    11000,
+			NotifyBatch: 32,
+			Offloads:    0,
+		},
+		RNGBps: rustRNGBps,
+	}
+}
+
+// RustyHermit is the Rust application on RustyHermit with smoltcp.
+// The paper's improvements give it VIRTIO_NET_F_CSUM,
+// VIRTIO_NET_F_GUEST_CSUM, and VIRTIO_NET_F_MRG_RXBUF, but no TCP
+// segmentation offload, and its receive path still performs expensive
+// internal copies ("significant inefficiencies when reading from the
+// network").
+func RustyHermit() Platform {
+	return Platform{
+		Name:       "Hermit",
+		AppLang:    LangRust,
+		OS:         "Hermit",
+		Hypervisor: "QEMU",
+		Network:    "virtio",
+		Stack: netsim.Stack{
+			Name:        "smoltcp",
+			SyscallNS:   300, // single address space, plain call
+			PerSegTxNS:  4000,
+			PerSegRxNS:  5000,
+			CopiesTx:    1,
+			CopiesRx:    2,
+			CopyBps:     1.7e9,
+			ChecksumBps: 1.5e9,
+			VMExitNS:    11000,
+			NotifyBatch: 32,
+			Offloads: netsim.OffloadTxChecksum | netsim.OffloadRxChecksum |
+				netsim.OffloadMrgRxBuf,
+		},
+		RNGBps: rustRNGBps,
+	}
+}
+
+// All returns the five evaluation configurations in Table 1 order.
+func All() []Platform {
+	return []Platform{NativeC(), NativeRust(), LinuxVM(), Unikraft(), RustyHermit()}
+}
+
+// ByName returns the platform with the given Table 1 name.
+func ByName(name string) (Platform, bool) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Platform{}, false
+}
+
+// ServerStack is the network path of the Cricket server: native Linux
+// on the GPU node in every configuration.
+func ServerStack() netsim.Stack { return linuxStack() }
+
+// NewPath builds the simulated network path between a client platform
+// and the Cricket server over the evaluation link.
+func NewPath(clock *netsim.Clock, client Platform) *netsim.Path {
+	return &netsim.Path{
+		Clock:  clock,
+		Link:   netsim.Link100G,
+		Client: client.Stack,
+		Server: ServerStack(),
+	}
+}
+
+// WithTSO returns a copy of the platform with TCP segmentation
+// offload enabled — the in-progress unikernel feature the paper's
+// conclusion expects "to increase performance significantly" (§5).
+// Segmentation moves to the device, so the guest processes 64 KiB
+// units instead of MTU-sized segments.
+func WithTSO(p Platform) Platform {
+	p.Stack = p.Stack.WithOffloads(p.Stack.Offloads | netsim.OffloadTSO)
+	p.Name = p.Name + " (TSO)"
+	return p
+}
+
+// WithVDPA returns a copy of the platform modeling vDPA (virtio Data
+// Path Acceleration, §4.2): the data path maps hardware queues
+// directly into the guest, removing VM exits from the data path and
+// one bounce copy, while the control path stays virtualized.
+func WithVDPA(p Platform) Platform {
+	p.Stack.VMExitNS = 0
+	p.Stack.NotifyBatch = 1
+	if p.Stack.CopiesRx > 1 {
+		p.Stack.CopiesRx--
+	}
+	if p.Stack.CopiesTx > 1 {
+		p.Stack.CopiesTx--
+	}
+	p.Name = p.Name + " (vDPA)"
+	return p
+}
+
+// TxOffloadMask is the set of transmit-side features the paper
+// disables with ethtool in the Linux VM ablation: TSO, TX checksum
+// offload, and scatter-gather.
+const TxOffloadMask = netsim.OffloadTSO | netsim.OffloadTxChecksum | netsim.OffloadScatterGather
+
+// WithoutTxOffloads returns a copy of the platform with the ablated
+// transmit features removed.
+func WithoutTxOffloads(p Platform) Platform {
+	p.Stack = p.Stack.WithOffloads(p.Stack.Offloads &^ TxOffloadMask)
+	p.Name = p.Name + " (no tx offloads)"
+	return p
+}

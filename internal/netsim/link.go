@@ -1,0 +1,122 @@
+package netsim
+
+import "time"
+
+// A Link models the physical network between two endpoints.
+type Link struct {
+	// BandwidthBps is the raw link rate in bytes/second
+	// (100 Gbit/s = 12.5e9 B/s).
+	BandwidthBps float64
+	// PropDelay is the one-way propagation plus switching delay.
+	PropDelay time.Duration
+	// MTU is the IP MTU (the paper configures 9000 everywhere).
+	MTU int
+}
+
+// Link100G is the evaluation link: 100 Gbit/s Ethernet (ConnectX-5 in
+// IPoIB mode) with jumbo frames.
+var Link100G = Link{
+	BandwidthBps: 12.5e9,
+	PropDelay:    1500 * time.Nanosecond,
+	MTU:          9000,
+}
+
+// wireBytes returns the on-wire size of n payload bytes including
+// per-segment header overhead.
+func (l Link) wireBytes(n int) float64 {
+	if n == 0 {
+		return segHeaderBytes
+	}
+	mss := l.MTU - 40
+	segs := (n + mss - 1) / mss
+	return float64(n) + float64(segs*segHeaderBytes)
+}
+
+// WireTime returns the serialization plus propagation time of one
+// message of n payload bytes.
+func (l Link) WireTime(n int) time.Duration {
+	return time.Duration(l.wireBytes(n)/l.BandwidthBps*1e9) + l.PropDelay
+}
+
+// A Path combines a link with the stacks at each end and the shared
+// clock. The client side is the application (possibly a unikernel),
+// the server side runs the Cricket server (native Linux in the paper).
+type Path struct {
+	Clock  *Clock
+	Link   Link
+	Client Stack
+	Server Stack
+}
+
+// RequestCost returns the simulated one-way time for a client-to-
+// server message of n bytes: client TX, wire, server RX.
+func (p *Path) RequestCost(n int) time.Duration {
+	return p.Client.TxCost(n, p.Link.MTU) + p.Link.WireTime(n) + p.Server.RxCost(n, p.Link.MTU)
+}
+
+// ResponseCost returns the simulated one-way time for a server-to-
+// client message of n bytes: server TX, wire, client RX.
+func (p *Path) ResponseCost(n int) time.Duration {
+	return p.Server.TxCost(n, p.Link.MTU) + p.Link.WireTime(n) + p.Client.RxCost(n, p.Link.MTU)
+}
+
+// RoundTripCost returns the simulated request-response time excluding
+// server processing.
+func (p *Path) RoundTripCost(reqBytes, respBytes int) time.Duration {
+	return p.RequestCost(reqBytes) + p.ResponseCost(respBytes)
+}
+
+// MessageCost returns the simulated time to deliver one n-byte RPC
+// message in the given direction. The first segment passes through
+// every stage sequentially (this is the latency term that dominates
+// the Fig 6 microbenchmarks); the remainder is pipelined through the
+// endpoints and the wire so the slowest stage dominates (the
+// bandwidth term that dominates the Fig 7 bulk transfers).
+func (p *Path) MessageCost(n int, toServer bool, conc int) time.Duration {
+	mss := p.Link.MTU - 40
+	head := n
+	if head > mss {
+		head = mss
+	}
+	var lat time.Duration
+	if toServer {
+		lat = p.Client.TxCost(head, p.Link.MTU) + p.Link.WireTime(head) + p.Server.RxCost(head, p.Link.MTU)
+	} else {
+		lat = p.Server.TxCost(head, p.Link.MTU) + p.Link.WireTime(head) + p.Client.RxCost(head, p.Link.MTU)
+	}
+	if n <= mss {
+		return lat
+	}
+	return lat + p.StreamCost(n-head, toServer, conc)
+}
+
+// StreamCost returns the simulated time to move n bytes client-to-
+// server (toServer) or server-to-client as one pipelined bulk stream
+// over conc parallel connections. With pipelining the bottleneck stage
+// dominates instead of the stage sum; parallel connections divide the
+// endpoint CPU costs (up to the conc sockets Cricket's multithreaded
+// transfer uses) but never the wire.
+func (p *Path) StreamCost(n int, toServer bool, conc int) time.Duration {
+	if conc < 1 {
+		conc = 1
+	}
+	var tx, rx time.Duration
+	if toServer {
+		tx = p.Client.TxCost(n, p.Link.MTU)
+		rx = p.Server.RxCost(n, p.Link.MTU)
+	} else {
+		tx = p.Server.TxCost(n, p.Link.MTU)
+		rx = p.Client.RxCost(n, p.Link.MTU)
+	}
+	tx /= time.Duration(conc)
+	rx /= time.Duration(conc)
+	wire := p.Link.WireTime(n)
+	max := tx
+	if wire > max {
+		max = wire
+	}
+	if rx > max {
+		max = rx
+	}
+	return max
+}

@@ -1,0 +1,52 @@
+package netsim
+
+import (
+	"io"
+	"net"
+	"sync/atomic"
+)
+
+// A CountingConn wraps a stream transport and counts the bytes moved
+// in each direction. The Cricket client uses the deltas around each
+// RPC to charge path costs onto the virtual clock.
+type CountingConn struct {
+	conn    io.ReadWriteCloser
+	read    atomic.Int64
+	written atomic.Int64
+}
+
+// NewCountingConn wraps conn.
+func NewCountingConn(conn io.ReadWriteCloser) *CountingConn {
+	return &CountingConn{conn: conn}
+}
+
+// Read implements io.Reader.
+func (c *CountingConn) Read(p []byte) (int, error) {
+	n, err := c.conn.Read(p)
+	c.read.Add(int64(n))
+	return n, err
+}
+
+// Write implements io.Writer.
+func (c *CountingConn) Write(p []byte) (int, error) {
+	n, err := c.conn.Write(p)
+	c.written.Add(int64(n))
+	return n, err
+}
+
+// Close implements io.Closer.
+func (c *CountingConn) Close() error { return c.conn.Close() }
+
+// BytesRead reports the cumulative bytes read.
+func (c *CountingConn) BytesRead() int64 { return c.read.Load() }
+
+// BytesWritten reports the cumulative bytes written.
+func (c *CountingConn) BytesWritten() int64 { return c.written.Load() }
+
+// Pipe returns an in-process full-duplex byte stream with counting on
+// the client side. The server half is a plain transport; functional
+// bytes flow for real while timing is simulated separately.
+func Pipe() (client *CountingConn, server net.Conn) {
+	c, s := net.Pipe()
+	return NewCountingConn(c), s
+}

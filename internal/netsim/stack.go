@@ -1,0 +1,185 @@
+package netsim
+
+import (
+	"math"
+	"strings"
+	"time"
+)
+
+// Offloads is a bit set of NIC/virtio features a network stack can
+// exploit. Missing features force the guest to do the work in
+// software, which is precisely the overhead the paper measures.
+type Offloads uint32
+
+// Offload feature bits.
+const (
+	// OffloadTxChecksum is VIRTIO_NET_F_CSUM: the device computes
+	// transmit checksums.
+	OffloadTxChecksum Offloads = 1 << iota
+	// OffloadRxChecksum is VIRTIO_NET_F_GUEST_CSUM: received packets
+	// arrive with validated checksums.
+	OffloadRxChecksum
+	// OffloadTSO lets the stack hand up to 64 KiB segments to the
+	// device, which performs TCP segmentation.
+	OffloadTSO
+	// OffloadScatterGather transmits from non-contiguous buffers,
+	// removing one copy on the TX path.
+	OffloadScatterGather
+	// OffloadMrgRxBuf is VIRTIO_NET_F_MRG_RXBUF: merged receive
+	// buffers reduce per-packet RX descriptor handling.
+	OffloadMrgRxBuf
+)
+
+// Has reports whether all bits in f are present.
+func (o Offloads) Has(f Offloads) bool { return o&f == f }
+
+func (o Offloads) String() string {
+	if o == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, f := range []struct {
+		bit  Offloads
+		name string
+	}{
+		{OffloadTxChecksum, "tx-csum"},
+		{OffloadRxChecksum, "rx-csum"},
+		{OffloadTSO, "tso"},
+		{OffloadScatterGather, "sg"},
+		{OffloadMrgRxBuf, "mrg-rxbuf"},
+	} {
+		if o.Has(f.bit) {
+			parts = append(parts, f.name)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Header overhead per TCP segment: Ethernet(14)+IP(20)+TCP(20+12 opts).
+const segHeaderBytes = 66
+
+// tsoChunk is the segment size the stack processes when the device
+// performs segmentation.
+const tsoChunk = 64 << 10
+
+// A Stack models the cost of pushing bytes through one endpoint's
+// network path: system-call entry, protocol processing per segment,
+// data copies, software checksums, and (for guests under a hypervisor)
+// VM exits for device notifications.
+type Stack struct {
+	// Name identifies the stack in reports, e.g. "linux", "smoltcp".
+	Name string
+
+	// SyscallNS is the cost of one send/recv entry into the stack
+	// (system call for Linux, plain function call for unikernels).
+	SyscallNS float64
+
+	// PerSegTxNS and PerSegRxNS are protocol/driver processing costs
+	// per TCP segment handled in software.
+	PerSegTxNS float64
+	PerSegRxNS float64
+
+	// CopiesTx and CopiesRx count data copies on each path (user to
+	// skb, bounce buffers, ...). Scatter-gather removes one TX copy.
+	CopiesTx int
+	CopiesRx int
+
+	// CopyBps is single-core memcpy bandwidth in bytes/second.
+	CopyBps float64
+
+	// ChecksumBps is software checksum speed in bytes/second, charged
+	// when the corresponding checksum offload is missing.
+	ChecksumBps float64
+
+	// VMExitNS is the hypervisor exit/entry cost per device
+	// notification; zero for native execution.
+	VMExitNS float64
+
+	// NotifyBatch is how many segments one device notification covers
+	// (event-index/NAPI style batching).
+	NotifyBatch int
+
+	// Offloads are the feature bits this stack supports AND has
+	// enabled; intersect with the device's bits before use.
+	Offloads Offloads
+}
+
+// effectiveBatch returns the notification batch size, at least one.
+func (s *Stack) effectiveBatch() int {
+	if s.NotifyBatch < 1 {
+		return 1
+	}
+	return s.NotifyBatch
+}
+
+// segments returns how many units of software processing the stack
+// performs to transmit n payload bytes with the given MTU.
+func (s *Stack) txSegments(n, mtu int) int {
+	if n == 0 {
+		return 1
+	}
+	mss := mtu - 40 // IP+TCP headers inside MTU
+	if s.Offloads.Has(OffloadTSO) {
+		mss = tsoChunk
+	}
+	return (n + mss - 1) / mss
+}
+
+// rxUnits returns per-unit RX processing count for n received bytes.
+func (s *Stack) rxUnits(n, mtu int) int {
+	if n == 0 {
+		return 1
+	}
+	mss := mtu - 40
+	units := (n + mss - 1) / mss
+	if s.Offloads.Has(OffloadMrgRxBuf) {
+		// Merged buffers amortize descriptor handling ~4x.
+		units = (units + 3) / 4
+	}
+	return units
+}
+
+// TxCost returns the endpoint time to hand n bytes to the wire.
+func (s *Stack) TxCost(n, mtu int) time.Duration {
+	segs := s.txSegments(n, mtu)
+	copies := s.CopiesTx
+	if s.Offloads.Has(OffloadScatterGather) && copies > 1 {
+		copies--
+	}
+	ns := s.SyscallNS
+	ns += float64(segs) * s.PerSegTxNS
+	ns += float64(copies) * float64(n) / s.CopyBps * 1e9
+	if !s.Offloads.Has(OffloadTxChecksum) {
+		ns += float64(n) / s.ChecksumBps * 1e9
+	}
+	if s.VMExitNS > 0 {
+		notifies := int(math.Ceil(float64(segs) / float64(s.effectiveBatch())))
+		ns += float64(notifies) * s.VMExitNS
+	}
+	return time.Duration(ns)
+}
+
+// RxCost returns the endpoint time to deliver n received bytes to the
+// application.
+func (s *Stack) RxCost(n, mtu int) time.Duration {
+	units := s.rxUnits(n, mtu)
+	ns := s.SyscallNS
+	ns += float64(units) * s.PerSegRxNS
+	ns += float64(s.CopiesRx) * float64(n) / s.CopyBps * 1e9
+	if !s.Offloads.Has(OffloadRxChecksum) {
+		ns += float64(n) / s.ChecksumBps * 1e9
+	}
+	if s.VMExitNS > 0 {
+		notifies := int(math.Ceil(float64(units) / float64(s.effectiveBatch())))
+		ns += float64(notifies) * s.VMExitNS
+	}
+	return time.Duration(ns)
+}
+
+// WithOffloads returns a copy of the stack with the offload set
+// replaced — used by the ablation benchmarks that disable TSO and
+// checksum offloading the way the paper does with ethtool.
+func (s Stack) WithOffloads(o Offloads) Stack {
+	s.Offloads = o
+	return s
+}

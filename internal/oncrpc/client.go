@@ -1,0 +1,255 @@
+package oncrpc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cricket/internal/xdr"
+)
+
+// XIDMismatchError reports a reply whose transaction id does not
+// match the call — on datagram transports this is a stale reply and
+// is simply ignored.
+type XIDMismatchError struct{ Got, Want uint32 }
+
+func (e *XIDMismatchError) Error() string {
+	return fmt.Sprintf("oncrpc: reply xid %d, want %d", e.Got, e.Want)
+}
+
+// Client errors.
+var (
+	// ErrClientClosed reports a call on a closed client.
+	ErrClientClosed = errors.New("oncrpc: client closed")
+	// ErrTimeout reports a call that exceeded the client's timeout.
+	ErrTimeout = errors.New("oncrpc: call timed out")
+)
+
+// A Client issues ONC RPC calls for one (program, version) pair over a
+// single stream transport. It is safe for concurrent use: calls are
+// multiplexed by transaction id, so several goroutines may have calls
+// in flight simultaneously.
+type Client struct {
+	prog, vers uint32
+	conn       io.ReadWriteCloser
+	cred       OpaqueAuth
+	timeout    atomic.Int64 // nanoseconds; 0 means no timeout
+	xid        atomic.Uint32
+
+	wmu sync.Mutex // serializes record writes
+	rw  *RecordWriter
+	wb  bytes.Buffer // call assembly buffer, guarded by wmu
+
+	mu      sync.Mutex
+	pending map[uint32]chan []byte
+	closed  bool
+	readErr error
+
+	done chan struct{}
+}
+
+// NewClient returns a Client for program prog, version vers, speaking
+// over conn. The client owns conn and closes it on Close. Credentials
+// default to AUTH_NONE.
+func NewClient(conn io.ReadWriteCloser, prog, vers uint32) *Client {
+	c := &Client{
+		prog:    prog,
+		vers:    vers,
+		conn:    conn,
+		rw:      NewRecordWriter(conn),
+		pending: make(map[uint32]chan []byte),
+		done:    make(chan struct{}),
+	}
+	c.xid.Store(uint32(time.Now().UnixNano())) // unpredictable-ish initial xid
+	go c.readLoop()
+	return c
+}
+
+// Dial connects to an RPC server at a TCP address and returns a client
+// for the given program and version.
+func Dial(network, addr string, prog, vers uint32) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("oncrpc: dial: %w", err)
+	}
+	return NewClient(conn, prog, vers), nil
+}
+
+// SetCred sets the credential sent with subsequent calls.
+func (c *Client) SetCred(cred OpaqueAuth) {
+	c.wmu.Lock()
+	c.cred = cred
+	c.wmu.Unlock()
+}
+
+// SetTimeout bounds the round-trip time of subsequent calls; zero
+// disables the bound.
+func (c *Client) SetTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.timeout.Store(int64(d))
+}
+
+// SetFragmentSize configures record fragmentation for outgoing calls.
+func (c *Client) SetFragmentSize(size int) {
+	c.wmu.Lock()
+	c.rw.SetFragmentSize(size)
+	c.wmu.Unlock()
+}
+
+func (c *Client) readLoop() {
+	rr := NewRecordReader(c.conn)
+	for {
+		rec, err := rr.ReadRecord()
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		d := xdr.NewDecoder(bytes.NewReader(rec))
+		xid, err := d.Uint32()
+		if err != nil {
+			continue // malformed record; drop
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[xid]
+		if ok {
+			delete(c.pending, xid)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- rec
+		}
+		// Replies to unknown xids (e.g. timed-out calls) are dropped.
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	if c.readErr == nil {
+		if c.closed {
+			c.readErr = ErrClientClosed
+		} else {
+			c.readErr = fmt.Errorf("oncrpc: transport failed: %w", err)
+		}
+	}
+	for xid, ch := range c.pending {
+		close(ch)
+		delete(c.pending, xid)
+	}
+	c.mu.Unlock()
+	close(c.done)
+}
+
+// Call invokes proc with the given arguments and decodes the results
+// into reply. Either may be nil for void argument/result types. Call
+// returns an *AcceptError or *DeniedError for protocol-level failures
+// and a transport error if the connection breaks.
+func (c *Client) Call(proc uint32, args xdr.Marshaler, reply xdr.Unmarshaler) error {
+	xid := c.xid.Add(1)
+	ch := make(chan []byte, 1)
+
+	c.mu.Lock()
+	if c.closed || c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClientClosed
+		}
+		return err
+	}
+	c.pending[xid] = ch
+	c.mu.Unlock()
+
+	if err := c.send(xid, proc, args); err != nil {
+		c.mu.Lock()
+		delete(c.pending, xid)
+		c.mu.Unlock()
+		return err
+	}
+
+	var timeoutCh <-chan time.Time
+	if d := time.Duration(c.timeout.Load()); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeoutCh = t.C
+	}
+
+	select {
+	case rec, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.readErr
+			c.mu.Unlock()
+			return err
+		}
+		return decodeReply(rec, xid, reply)
+	case <-timeoutCh:
+		c.mu.Lock()
+		delete(c.pending, xid)
+		c.mu.Unlock()
+		return ErrTimeout
+	case <-c.done:
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		return err
+	}
+}
+
+func (c *Client) send(xid, proc uint32, args xdr.Marshaler) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wb.Reset()
+	e := xdr.NewEncoder(&c.wb)
+	hdr := CallHeader{XID: xid, Prog: c.prog, Vers: c.vers, Proc: proc, Cred: c.cred}
+	if err := hdr.MarshalXDR(e); err != nil {
+		return err
+	}
+	if args != nil {
+		if err := e.Marshal(args); err != nil {
+			return err
+		}
+	}
+	return c.rw.WriteRecord(c.wb.Bytes())
+}
+
+func decodeReply(rec []byte, xid uint32, reply xdr.Unmarshaler) error {
+	r := bytes.NewReader(rec)
+	d := xdr.NewDecoder(r)
+	var hdr ReplyHeader
+	if err := hdr.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	if hdr.XID != xid {
+		return &XIDMismatchError{Got: hdr.XID, Want: xid}
+	}
+	if err := hdr.Err(); err != nil {
+		return err
+	}
+	if reply != nil {
+		if err := d.Unmarshal(reply); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close shuts the client down, failing any in-flight calls.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done // wait for readLoop to drain and fail pending calls
+	return err
+}

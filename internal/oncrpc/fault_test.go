@@ -1,0 +1,319 @@
+package oncrpc
+
+// Fault-injection tests: transports that fail mid-stream, short
+// writes, corrupt replies, and abrupt server death. The client must
+// fail cleanly (correct error classification, no hangs, no goroutine
+// leaks) and the server must survive malformed input.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cricket/internal/xdr"
+)
+
+// failAfterConn fails every operation once limit bytes have been
+// written through it.
+type failAfterConn struct {
+	inner   io.ReadWriteCloser
+	mu      sync.Mutex
+	remain  int
+	tripped bool
+}
+
+func (c *failAfterConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	tripped := c.tripped
+	c.mu.Unlock()
+	if tripped {
+		return 0, io.ErrClosedPipe
+	}
+	return c.inner.Read(p)
+}
+
+func (c *failAfterConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.tripped {
+		c.mu.Unlock()
+		return 0, io.ErrClosedPipe
+	}
+	if len(p) >= c.remain {
+		n := c.remain
+		c.tripped = true
+		c.mu.Unlock()
+		if n > 0 {
+			c.inner.Write(p[:n])
+		}
+		c.inner.Close()
+		return n, io.ErrClosedPipe
+	}
+	c.remain -= len(p)
+	c.mu.Unlock()
+	return c.inner.Write(p)
+}
+
+func (c *failAfterConn) Close() error { return c.inner.Close() }
+
+func TestClientTransportFailsMidCall(t *testing.T) {
+	srv := NewServer()
+	srv.Register(testProg, testVers, DispatcherFunc(testDispatcher))
+	cliConn, srvConn := net.Pipe()
+	go srv.ServeConn(srvConn)
+	// Trip after 100 bytes: the first small call succeeds, a later
+	// large one dies mid-record.
+	fc := &failAfterConn{inner: cliConn, remain: 100}
+	c := NewClient(fc, testProg, testVers)
+	defer c.Close()
+
+	if err := c.Call(procNull, nil, nil); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	err := c.Call(procEcho, &blob{B: make([]byte, 64<<10)}, &blob{})
+	if err == nil {
+		t.Fatal("call over tripped transport succeeded")
+	}
+	// All subsequent calls fail fast, not hang.
+	done := make(chan error, 1)
+	go func() { done <- c.Call(procNull, nil, nil) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("call after transport death succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("call hung after transport death")
+	}
+}
+
+func TestServerDiesWithPendingCall(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	c := NewClient(cliConn, testProg, testVers)
+	defer c.Close()
+	// Server reads the request then drops the connection.
+	go func() {
+		buf := make([]byte, 1024)
+		srvConn.Read(buf)
+		srvConn.Close()
+	}()
+	err := c.Call(procNull, nil, nil)
+	if err == nil {
+		t.Fatal("call succeeded with dead server")
+	}
+	if errors.Is(err, ErrTimeout) {
+		t.Fatalf("should fail on transport error, not timeout: %v", err)
+	}
+}
+
+func TestCorruptReplyRecordIsDropped(t *testing.T) {
+	// A reply whose xid matches but whose body is garbage must error
+	// out the decode, not panic; a reply with an unknown xid must be
+	// ignored entirely.
+	cliConn, srvConn := net.Pipe()
+	c := NewClient(cliConn, testProg, testVers)
+	defer c.Close()
+
+	go func() {
+		rr := NewRecordReader(srvConn)
+		rw := NewRecordWriter(srvConn)
+		rec, err := rr.ReadRecord()
+		if err != nil {
+			return
+		}
+		// Extract the xid from the call.
+		d := xdr.NewDecoder(bytes.NewReader(rec))
+		xid, _ := d.Uint32()
+
+		// First send a record for a different xid: must be ignored.
+		var junk bytes.Buffer
+		e := xdr.NewEncoder(&junk)
+		e.PutUint32(xid + 999)
+		e.PutUint32(uint32(Reply))
+		rw.WriteRecord(junk.Bytes())
+
+		// Then a malformed reply for the right xid (truncated header).
+		var bad bytes.Buffer
+		e = xdr.NewEncoder(&bad)
+		e.PutUint32(xid)
+		rw.WriteRecord(bad.Bytes())
+	}()
+
+	err := c.Call(procNull, nil, nil)
+	if err == nil {
+		t.Fatal("corrupt reply decoded successfully")
+	}
+}
+
+func TestServerSurvivesGarbageRecords(t *testing.T) {
+	srv := NewServer()
+	srv.Register(testProg, testVers, DispatcherFunc(testDispatcher))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	// Send garbage on one connection.
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := NewRecordWriter(conn)
+	rw.WriteRecord([]byte{0xde, 0xad})           // undecodable header
+	rw.WriteRecord(bytes.Repeat([]byte{7}, 100)) // nonsense
+	conn.Close()
+
+	// A well-behaved client on a second connection still works.
+	c, err := Dial("tcp", l.Addr().String(), testProg, testVers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var sum int64Val
+	if err := c.Call(procAdd, &addArgs{A: 2, B: 3}, &sum); err != nil || sum.V != 5 {
+		t.Fatalf("sum=%d err=%v", sum.V, err)
+	}
+}
+
+func TestServerRejectsOversizedRecord(t *testing.T) {
+	srv := NewServer()
+	srv.MaxRecordSize = 1 << 10
+	srv.Register(testProg, testVers, DispatcherFunc(testDispatcher))
+	cliConn, srvConn := net.Pipe()
+	serveDone := make(chan error, 1)
+	go func() {
+		err := srv.ServeConn(srvConn)
+		srvConn.Close() // as Serve does: drop the connection on error
+		serveDone <- err
+	}()
+	c := NewClient(cliConn, testProg, testVers)
+	defer c.Close()
+
+	err := c.Call(procEcho, &blob{B: make([]byte, 1<<20)}, &blob{})
+	if err == nil {
+		t.Fatal("oversized call accepted")
+	}
+	select {
+	case err := <-serveDone:
+		if !errors.Is(err, ErrRecordTooLarge) {
+			t.Fatalf("serve error = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not terminate the connection")
+	}
+}
+
+func TestNoGoroutineLeaksAcrossClientLifecycles(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 30; i++ {
+		srv := NewServer()
+		srv.Register(testProg, testVers, DispatcherFunc(testDispatcher))
+		cliConn, srvConn := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			srv.ServeConn(srvConn)
+			close(done)
+		}()
+		c := NewClient(cliConn, testProg, testVers)
+		if err := c.Call(procNull, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+		srvConn.Close()
+		<-done
+	}
+	// Allow the runtime a moment to retire exiting goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestConcurrentCallsDuringTransportFailure(t *testing.T) {
+	// Several goroutines mid-call when the transport dies: every one
+	// must receive an error promptly.
+	cliConn, srvConn := net.Pipe()
+	c := NewClient(cliConn, testProg, testVers)
+	defer c.Close()
+	// Server that absorbs requests but never replies.
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			if _, err := srvConn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.Call(procNull, nil, nil)
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond) // let the calls get in flight
+	srvConn.Close()
+
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight calls hung after transport death")
+	}
+	for i, err := range errs {
+		if err == nil {
+			t.Errorf("worker %d: call succeeded with no server", i)
+		}
+	}
+}
+
+// Property: the server's record handler never panics on arbitrary
+// call records.
+func TestQuickHandleRecordNeverPanics(t *testing.T) {
+	srv := NewServer()
+	srv.Register(testProg, testVers, DispatcherFunc(testDispatcher))
+	f := func(rec []byte) bool {
+		var out bytes.Buffer
+		srv.handleRecord(rec, &out)
+		return true
+	}
+	if err := quickCheck(f, 400); err != nil {
+		t.Fatal(err)
+	}
+	// With a valid call-header prefix so dispatch is reached.
+	g := func(tail []byte) bool {
+		var buf bytes.Buffer
+		e := xdr.NewEncoder(&buf)
+		hdr := CallHeader{XID: 3, Prog: testProg, Vers: testVers, Proc: procAdd}
+		if err := hdr.MarshalXDR(e); err != nil {
+			return false
+		}
+		buf.Write(tail)
+		var out bytes.Buffer
+		srv.handleRecord(buf.Bytes(), &out)
+		return true
+	}
+	if err := quickCheck(g, 400); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func quickCheck(f any, count int) error {
+	return quick.Check(f, &quick.Config{MaxCount: count})
+}

@@ -1,0 +1,152 @@
+package oncrpc
+
+import (
+	"errors"
+	"testing"
+
+	"cricket/internal/xdr"
+)
+
+func TestCallHeaderRoundTrip(t *testing.T) {
+	cred, err := NewSysAuth(&SysCred{Stamp: 7, MachineName: "node-a", UID: 1000, GID: 100, GIDs: []uint32{4, 24}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := CallHeader{XID: 0xdeadbeef, Prog: 99449, Vers: 1, Proc: 42, Cred: cred}
+	data, err := xdr.Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out CallHeader
+	if err := xdr.UnmarshalStrict(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.XID != in.XID || out.Prog != in.Prog || out.Vers != in.Vers || out.Proc != in.Proc {
+		t.Fatalf("got %+v", out)
+	}
+	if out.Cred.Flavor != AuthSys {
+		t.Fatalf("cred flavor %d", out.Cred.Flavor)
+	}
+	var sc SysCred
+	if err := xdr.UnmarshalStrict(out.Cred.Body, &sc); err != nil {
+		t.Fatal(err)
+	}
+	if sc.MachineName != "node-a" || sc.UID != 1000 || len(sc.GIDs) != 2 {
+		t.Fatalf("syscred %+v", sc)
+	}
+}
+
+func TestCallHeaderRejectsReplyType(t *testing.T) {
+	hdr := ReplyHeader{XID: 5, Stat: MsgAccepted, AccStat: Success}
+	data, err := xdr.Marshal(&hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var call CallHeader
+	if err := xdr.Unmarshal(data, &call); err == nil {
+		t.Fatal("decoding a reply as a call must fail")
+	}
+}
+
+func TestCallHeaderRejectsBadRPCVersion(t *testing.T) {
+	in := CallHeader{XID: 1, Prog: 2, Vers: 3, Proc: 4}
+	data, err := xdr.Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rpcvers is the third word; corrupt it.
+	data[11] = 9
+	var out CallHeader
+	err = xdr.Unmarshal(data, &out)
+	var ve *VersionError
+	if !errors.As(err, &ve) || ve.Got != 9 {
+		t.Fatalf("err = %v, want VersionError{9}", err)
+	}
+}
+
+func TestReplyHeaderRoundTripVariants(t *testing.T) {
+	cases := []ReplyHeader{
+		{XID: 1, Stat: MsgAccepted, AccStat: Success},
+		{XID: 2, Stat: MsgAccepted, AccStat: ProgUnavail},
+		{XID: 3, Stat: MsgAccepted, AccStat: ProgMismatch, Mismatch: MismatchInfo{Low: 1, High: 3}},
+		{XID: 4, Stat: MsgAccepted, AccStat: ProcUnavail},
+		{XID: 5, Stat: MsgAccepted, AccStat: GarbageArgs},
+		{XID: 6, Stat: MsgAccepted, AccStat: SystemErr},
+		{XID: 7, Stat: MsgDenied, RejStat: RPCMismatch, Mismatch: MismatchInfo{Low: 2, High: 2}},
+		{XID: 8, Stat: MsgDenied, RejStat: AuthError, AuthStat: AuthBadCred},
+	}
+	for _, in := range cases {
+		data, err := xdr.Marshal(&in)
+		if err != nil {
+			t.Fatalf("%+v: %v", in, err)
+		}
+		var out ReplyHeader
+		if err := xdr.UnmarshalStrict(data, &out); err != nil {
+			t.Fatalf("%+v: %v", in, err)
+		}
+		if out.XID != in.XID || out.Stat != in.Stat || out.AccStat != in.AccStat ||
+			out.RejStat != in.RejStat || out.AuthStat != in.AuthStat || out.Mismatch != in.Mismatch {
+			t.Fatalf("got %+v, want %+v", out, in)
+		}
+	}
+}
+
+func TestReplyHeaderErr(t *testing.T) {
+	ok := ReplyHeader{Stat: MsgAccepted, AccStat: Success}
+	if err := ok.Err(); err != nil {
+		t.Fatalf("success reply: %v", err)
+	}
+	pm := ReplyHeader{Stat: MsgAccepted, AccStat: ProgMismatch, Mismatch: MismatchInfo{Low: 1, High: 2}}
+	var ae *AcceptError
+	if err := pm.Err(); !errors.As(err, &ae) || ae.Stat != ProgMismatch {
+		t.Fatalf("err = %v", pm.Err())
+	}
+	dn := ReplyHeader{Stat: MsgDenied, RejStat: AuthError, AuthStat: AuthTooWeak}
+	var de *DeniedError
+	if err := dn.Err(); !errors.As(err, &de) || de.AuthStat != AuthTooWeak {
+		t.Fatalf("err = %v", dn.Err())
+	}
+}
+
+func TestAuthBodyLimit(t *testing.T) {
+	a := OpaqueAuth{Flavor: AuthNone, Body: make([]byte, maxAuthBody+1)}
+	if _, err := xdr.Marshal(&a); err == nil {
+		t.Fatal("oversized auth body must fail to encode")
+	}
+	// Craft an oversized wire body and verify decode rejects it.
+	big := OpaqueAuth{Flavor: AuthNone, Body: make([]byte, maxAuthBody)}
+	data, err := xdr.Marshal(&big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[6] = 0x01
+	data[7] = 0x94 // length field 404, past the 400-byte limit
+	var out OpaqueAuth
+	if err := xdr.Unmarshal(data, &out); err == nil {
+		t.Fatal("oversized auth body must fail to decode")
+	}
+}
+
+func TestSysCredLimits(t *testing.T) {
+	long := make([]byte, 256)
+	for i := range long {
+		long[i] = 'a'
+	}
+	c := SysCred{MachineName: string(long)}
+	if _, err := xdr.Marshal(&c); err == nil {
+		t.Fatal("256-byte machine name must fail")
+	}
+	c = SysCred{MachineName: "ok", GIDs: make([]uint32, 17)}
+	if _, err := xdr.Marshal(&c); err == nil {
+		t.Fatal("17 gids must fail")
+	}
+}
+
+func TestAcceptStatString(t *testing.T) {
+	if Success.String() != "SUCCESS" || ProgUnavail.String() != "PROG_UNAVAIL" {
+		t.Fatal("unexpected AcceptStat strings")
+	}
+	if got := AcceptStat(99).String(); got != "AcceptStat(99)" {
+		t.Fatalf("got %q", got)
+	}
+}

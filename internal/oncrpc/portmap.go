@@ -1,0 +1,247 @@
+package oncrpc
+
+import (
+	"fmt"
+	"sync"
+
+	"cricket/internal/xdr"
+)
+
+// This file implements the port mapper (RPCBIND version 2, RFC 1833
+// §3: the PMAP program), the standard ONC RPC service-discovery
+// mechanism: servers register (program, version, protocol, port)
+// mappings; clients look the port up before dialing. libtirpc-based
+// Cricket clients locate the Cricket server this way.
+
+// Port mapper protocol constants.
+const (
+	// PmapProg and PmapVers identify the port mapper program itself,
+	// conventionally reachable on port 111.
+	PmapProg = 100000
+	PmapVers = 2
+	// PmapPort is the well-known rpcbind port.
+	PmapPort = 111
+
+	// Transport protocol numbers (RFC 1833).
+	IPProtoTCP = 6
+	IPProtoUDP = 17
+)
+
+// Port mapper procedures.
+const (
+	PmapProcNull    = 0
+	PmapProcSet     = 1
+	PmapProcUnset   = 2
+	PmapProcGetport = 3
+	PmapProcDump    = 4
+)
+
+// A Mapping is one (program, version, protocol) → port registration.
+type Mapping struct {
+	Prog, Vers, Prot, Port uint32
+}
+
+// MarshalXDR encodes the mapping (struct mapping, RFC 1833).
+func (m *Mapping) MarshalXDR(e *xdr.Encoder) error {
+	e.PutUint32(m.Prog)
+	e.PutUint32(m.Vers)
+	e.PutUint32(m.Prot)
+	return e.PutUint32(m.Port)
+}
+
+// UnmarshalXDR decodes the mapping.
+func (m *Mapping) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	if m.Prog, err = d.Uint32(); err != nil {
+		return err
+	}
+	if m.Vers, err = d.Uint32(); err != nil {
+		return err
+	}
+	if m.Prot, err = d.Uint32(); err != nil {
+		return err
+	}
+	m.Port, err = d.Uint32()
+	return err
+}
+
+// A Portmap is the server-side registration table. Attach it to an
+// RPC server with Register (it serves program 100000 version 2).
+type Portmap struct {
+	mu   sync.Mutex
+	maps map[Mapping]uint32 // key has Port zeroed; value is the port
+}
+
+// NewPortmap returns an empty registration table.
+func NewPortmap() *Portmap {
+	return &Portmap{maps: make(map[Mapping]uint32)}
+}
+
+func key(m Mapping) Mapping {
+	m.Port = 0
+	return m
+}
+
+// Set registers a mapping (PMAPPROC_SET semantics): it fails if the
+// (prog, vers, prot) triple is already bound.
+func (p *Portmap) Set(m Mapping) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := key(m)
+	if _, dup := p.maps[k]; dup {
+		return false
+	}
+	p.maps[k] = m.Port
+	return true
+}
+
+// Unset removes every protocol binding of (prog, vers)
+// (PMAPPROC_UNSET semantics).
+func (p *Portmap) Unset(prog, vers uint32) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	removed := false
+	for k := range p.maps {
+		if k.Prog == prog && k.Vers == vers {
+			delete(p.maps, k)
+			removed = true
+		}
+	}
+	return removed
+}
+
+// Getport returns the registered port, or 0 when not found
+// (PMAPPROC_GETPORT semantics).
+func (p *Portmap) Getport(prog, vers, prot uint32) uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.maps[Mapping{Prog: prog, Vers: vers, Prot: prot}]
+}
+
+// Dump returns all registrations (PMAPPROC_DUMP semantics).
+func (p *Portmap) Dump() []Mapping {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Mapping, 0, len(p.maps))
+	for k, port := range p.maps {
+		k.Port = port
+		out = append(out, k)
+	}
+	return out
+}
+
+// Register attaches the port mapper program to an RPC server.
+func (p *Portmap) Register(srv *Server) {
+	srv.Register(PmapProg, PmapVers, DispatcherFunc(p.dispatch))
+}
+
+func (p *Portmap) dispatch(proc uint32, d *xdr.Decoder, e *xdr.Encoder) error {
+	switch proc {
+	case PmapProcNull:
+		return nil
+	case PmapProcSet:
+		var m Mapping
+		if err := m.UnmarshalXDR(d); err != nil {
+			return fmt.Errorf("%w: %v", ErrGarbageArgs, err)
+		}
+		return e.PutBool(p.Set(m))
+	case PmapProcUnset:
+		var m Mapping
+		if err := m.UnmarshalXDR(d); err != nil {
+			return fmt.Errorf("%w: %v", ErrGarbageArgs, err)
+		}
+		return e.PutBool(p.Unset(m.Prog, m.Vers))
+	case PmapProcGetport:
+		var m Mapping
+		if err := m.UnmarshalXDR(d); err != nil {
+			return fmt.Errorf("%w: %v", ErrGarbageArgs, err)
+		}
+		return e.PutUint32(p.Getport(m.Prog, m.Vers, m.Prot))
+	case PmapProcDump:
+		// pmaplist: a linked list in XDR optional-data form.
+		for _, m := range p.Dump() {
+			e.PutBool(true)
+			if err := m.MarshalXDR(e); err != nil {
+				return err
+			}
+		}
+		return e.PutBool(false)
+	default:
+		return ErrProcUnavail
+	}
+}
+
+// pmapBool decodes a boolean reply.
+type pmapBool struct{ V bool }
+
+func (b *pmapBool) UnmarshalXDR(d *xdr.Decoder) error {
+	v, err := d.Bool()
+	b.V = v
+	return err
+}
+
+// pmapPort decodes a port reply.
+type pmapPort struct{ V uint32 }
+
+func (p *pmapPort) UnmarshalXDR(d *xdr.Decoder) error {
+	v, err := d.Uint32()
+	p.V = v
+	return err
+}
+
+// pmapList decodes a pmaplist reply.
+type pmapList struct{ Maps []Mapping }
+
+func (l *pmapList) UnmarshalXDR(d *xdr.Decoder) error {
+	for {
+		more, err := d.Bool()
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+		var m Mapping
+		if err := m.UnmarshalXDR(d); err != nil {
+			return err
+		}
+		l.Maps = append(l.Maps, m)
+	}
+}
+
+// A PortmapClient queries a remote port mapper.
+type PortmapClient struct{ rpc *Client }
+
+// NewPortmapClient wraps an RPC client bound to the port mapper
+// program.
+func NewPortmapClient(rpc *Client) *PortmapClient { return &PortmapClient{rpc: rpc} }
+
+// Set registers a mapping with the remote port mapper.
+func (c *PortmapClient) Set(m Mapping) (bool, error) {
+	var ok pmapBool
+	err := c.rpc.Call(PmapProcSet, &m, &ok)
+	return ok.V, err
+}
+
+// Unset removes (prog, vers) mappings from the remote port mapper.
+func (c *PortmapClient) Unset(prog, vers uint32) (bool, error) {
+	m := Mapping{Prog: prog, Vers: vers}
+	var ok pmapBool
+	err := c.rpc.Call(PmapProcUnset, &m, &ok)
+	return ok.V, err
+}
+
+// Getport looks a service's port up; 0 means unregistered.
+func (c *PortmapClient) Getport(prog, vers, prot uint32) (uint32, error) {
+	m := Mapping{Prog: prog, Vers: vers, Prot: prot}
+	var port pmapPort
+	err := c.rpc.Call(PmapProcGetport, &m, &port)
+	return port.V, err
+}
+
+// Dump lists all registrations.
+func (c *PortmapClient) Dump() ([]Mapping, error) {
+	var l pmapList
+	err := c.rpc.Call(PmapProcDump, nil, &l)
+	return l.Maps, err
+}

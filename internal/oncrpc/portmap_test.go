@@ -1,0 +1,178 @@
+package oncrpc
+
+import (
+	"net"
+	"sort"
+	"testing"
+)
+
+func newPortmapPair(t *testing.T) (*Portmap, *PortmapClient) {
+	t.Helper()
+	pm := NewPortmap()
+	srv := NewServer()
+	pm.Register(srv)
+	cliConn, srvConn := net.Pipe()
+	go srv.ServeConn(srvConn)
+	rpc := NewClient(cliConn, PmapProg, PmapVers)
+	t.Cleanup(func() {
+		rpc.Close()
+		srvConn.Close()
+	})
+	return pm, NewPortmapClient(rpc)
+}
+
+func TestPortmapSetGetport(t *testing.T) {
+	_, c := newPortmapPair(t)
+	m := Mapping{Prog: 0x20000ade, Vers: 1, Prot: IPProtoTCP, Port: 9999}
+	ok, err := c.Set(m)
+	if err != nil || !ok {
+		t.Fatalf("set: ok=%v err=%v", ok, err)
+	}
+	// Duplicate registration is refused.
+	ok, err = c.Set(Mapping{Prog: 0x20000ade, Vers: 1, Prot: IPProtoTCP, Port: 12345})
+	if err != nil || ok {
+		t.Fatalf("dup set: ok=%v err=%v", ok, err)
+	}
+	port, err := c.Getport(0x20000ade, 1, IPProtoTCP)
+	if err != nil || port != 9999 {
+		t.Fatalf("getport = %d err=%v", port, err)
+	}
+	// Unknown lookups return 0, not an error (RFC 1833 semantics).
+	port, err = c.Getport(0x20000ade, 2, IPProtoTCP)
+	if err != nil || port != 0 {
+		t.Fatalf("unknown vers: %d err=%v", port, err)
+	}
+	port, err = c.Getport(0x20000ade, 1, IPProtoUDP)
+	if err != nil || port != 0 {
+		t.Fatalf("unknown prot: %d err=%v", port, err)
+	}
+}
+
+func TestPortmapUnset(t *testing.T) {
+	_, c := newPortmapPair(t)
+	c.Set(Mapping{Prog: 7, Vers: 1, Prot: IPProtoTCP, Port: 100})
+	c.Set(Mapping{Prog: 7, Vers: 1, Prot: IPProtoUDP, Port: 100})
+	c.Set(Mapping{Prog: 7, Vers: 2, Prot: IPProtoTCP, Port: 200})
+	// Unset removes every protocol of (prog, vers).
+	ok, err := c.Unset(7, 1)
+	if err != nil || !ok {
+		t.Fatalf("unset: ok=%v err=%v", ok, err)
+	}
+	if port, _ := c.Getport(7, 1, IPProtoTCP); port != 0 {
+		t.Fatalf("tcp mapping survived: %d", port)
+	}
+	if port, _ := c.Getport(7, 1, IPProtoUDP); port != 0 {
+		t.Fatalf("udp mapping survived: %d", port)
+	}
+	if port, _ := c.Getport(7, 2, IPProtoTCP); port != 200 {
+		t.Fatalf("other version removed: %d", port)
+	}
+	// Unsetting nothing reports false.
+	ok, err = c.Unset(99, 9)
+	if err != nil || ok {
+		t.Fatalf("empty unset: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestPortmapDump(t *testing.T) {
+	_, c := newPortmapPair(t)
+	want := []Mapping{
+		{Prog: 1, Vers: 1, Prot: IPProtoTCP, Port: 10},
+		{Prog: 2, Vers: 1, Prot: IPProtoTCP, Port: 20},
+		{Prog: 2, Vers: 2, Prot: IPProtoUDP, Port: 21},
+	}
+	for _, m := range want {
+		if ok, err := c.Set(m); err != nil || !ok {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(got, func(i, j int) bool {
+		if got[i].Prog != got[j].Prog {
+			return got[i].Prog < got[j].Prog
+		}
+		return got[i].Vers < got[j].Vers
+	})
+	if len(got) != len(want) {
+		t.Fatalf("dump = %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dump[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPortmapEndToEndDiscovery exercises the full libtirpc-style flow
+// over real TCP: a Cricket-like service registers itself, a client
+// asks the port mapper where it lives, then dials it.
+func TestPortmapEndToEndDiscovery(t *testing.T) {
+	// The "rpcbind" server.
+	pm := NewPortmap()
+	pmSrv := NewServer()
+	pm.Register(pmSrv)
+	pmL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go pmSrv.Serve(pmL)
+	defer pmSrv.Close()
+
+	// The application service on its own port.
+	appSrv := NewServer()
+	appSrv.Register(testProg, testVers, DispatcherFunc(testDispatcher))
+	appL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go appSrv.Serve(appL)
+	defer appSrv.Close()
+	appPort := uint32(appL.Addr().(*net.TCPAddr).Port)
+
+	// Service registers with rpcbind.
+	reg, err := Dial("tcp", pmL.Addr().String(), PmapProg, PmapVers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	if ok, err := NewPortmapClient(reg).Set(Mapping{Prog: testProg, Vers: testVers, Prot: IPProtoTCP, Port: appPort}); err != nil || !ok {
+		t.Fatalf("register: ok=%v err=%v", ok, err)
+	}
+
+	// Client discovers and dials.
+	disc, err := Dial("tcp", pmL.Addr().String(), PmapProg, PmapVers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disc.Close()
+	port, err := NewPortmapClient(disc).Getport(testProg, testVers, IPProtoTCP)
+	if err != nil || port == 0 {
+		t.Fatalf("discovery: port=%d err=%v", port, err)
+	}
+	app, err := Dial("tcp", net.JoinHostPort("127.0.0.1", itoa(port)), testProg, testVers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	var sum int64Val
+	if err := app.Call(procAdd, &addArgs{A: 20, B: 22}, &sum); err != nil || sum.V != 42 {
+		t.Fatalf("call through discovered port: sum=%d err=%v", sum.V, err)
+	}
+}
+
+func itoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [10]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

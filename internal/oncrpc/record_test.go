@@ -1,0 +1,253 @@
+package oncrpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordRoundTripSingleFragment(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRecordWriter(&buf)
+	msg := []byte("hello cricket")
+	if err := w.WriteRecord(msg); err != nil {
+		t.Fatal(err)
+	}
+	// Single fragment: 4-byte header with last bit, then payload.
+	if got, want := buf.Len(), 4+len(msg); got != want {
+		t.Fatalf("wire length %d, want %d", got, want)
+	}
+	h := binary.BigEndian.Uint32(buf.Bytes()[:4])
+	if h&lastFragmentBit == 0 {
+		t.Fatal("last-fragment bit not set")
+	}
+	if int(h&^lastFragmentBit) != len(msg) {
+		t.Fatalf("fragment length %d, want %d", h&^lastFragmentBit, len(msg))
+	}
+	r := NewRecordReader(&buf)
+	got, err := r.ReadRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRecordEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRecordWriter(&buf)
+	if err := w.WriteRecord(nil); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRecordReader(&buf)
+	got, err := r.ReadRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d bytes", len(got))
+	}
+}
+
+func TestRecordFragmentation(t *testing.T) {
+	// 10 bytes with fragment size 3 -> fragments of 3,3,3,1.
+	var buf bytes.Buffer
+	w := NewRecordWriter(&buf)
+	w.SetFragmentSize(3)
+	msg := []byte("0123456789")
+	if err := w.WriteRecord(msg); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.Len(), 4*4+10; got != want {
+		t.Fatalf("wire length %d, want %d", got, want)
+	}
+	// Check fragment headers.
+	wire := buf.Bytes()
+	offsets := []struct {
+		length uint32
+		last   bool
+	}{{3, false}, {3, false}, {3, false}, {1, true}}
+	pos := 0
+	for i, f := range offsets {
+		h := binary.BigEndian.Uint32(wire[pos:])
+		if (h&lastFragmentBit != 0) != f.last {
+			t.Errorf("fragment %d last bit = %v, want %v", i, h&lastFragmentBit != 0, f.last)
+		}
+		if h&^lastFragmentBit != f.length {
+			t.Errorf("fragment %d length = %d, want %d", i, h&^lastFragmentBit, f.length)
+		}
+		pos += 4 + int(f.length)
+	}
+	r := NewRecordReader(&buf)
+	got, err := r.ReadRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRecordFragmentSizeBoundary(t *testing.T) {
+	// Record exactly equal to the fragment size stays a single fragment.
+	var buf bytes.Buffer
+	w := NewRecordWriter(&buf)
+	w.SetFragmentSize(8)
+	if err := w.WriteRecord(make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 12 {
+		t.Fatalf("wire length %d, want 12 (one fragment)", buf.Len())
+	}
+}
+
+func TestRecordMultipleSequential(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRecordWriter(&buf)
+	w.SetFragmentSize(5)
+	msgs := [][]byte{[]byte("first"), []byte("the second record"), {}, []byte("x")}
+	for _, m := range msgs {
+		if err := w.WriteRecord(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewRecordReader(&buf)
+	for i, m := range msgs {
+		got, err := r.ReadRecord()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, m) {
+			t.Fatalf("record %d: got %q, want %q", i, got, m)
+		}
+	}
+	if _, err := r.ReadRecord(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestRecordMaxSize(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRecordWriter(&buf)
+	if err := w.WriteRecord(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRecordReader(&buf)
+	r.SetMaxRecordSize(64)
+	if _, err := r.ReadRecord(); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("err = %v, want ErrRecordTooLarge", err)
+	}
+}
+
+func TestRecordMaxSizeAcrossFragments(t *testing.T) {
+	// Each fragment under the limit, sum over it.
+	var buf bytes.Buffer
+	w := NewRecordWriter(&buf)
+	w.SetFragmentSize(40)
+	if err := w.WriteRecord(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRecordReader(&buf)
+	r.SetMaxRecordSize(64)
+	if _, err := r.ReadRecord(); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("err = %v, want ErrRecordTooLarge", err)
+	}
+}
+
+func TestRecordZeroNonFinalFragmentRejected(t *testing.T) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.BigEndian, uint32(0)) // non-final, zero length
+	r := NewRecordReader(&buf)
+	if _, err := r.ReadRecord(); !errors.Is(err, ErrZeroFragment) {
+		t.Fatalf("err = %v, want ErrZeroFragment", err)
+	}
+}
+
+func TestRecordTruncatedMidFragment(t *testing.T) {
+	var full bytes.Buffer
+	w := NewRecordWriter(&full)
+	if err := w.WriteRecord([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < full.Len(); cut++ {
+		r := NewRecordReader(bytes.NewReader(full.Bytes()[:cut]))
+		if _, err := r.ReadRecord(); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d: err = %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestSetFragmentSizePanics(t *testing.T) {
+	for _, bad := range []int{0, -1, maxFragmentLen + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetFragmentSize(%d) did not panic", bad)
+				}
+			}()
+			NewRecordWriter(io.Discard).SetFragmentSize(bad)
+		}()
+	}
+}
+
+// Property: any payload round-trips for any fragment size.
+func TestQuickRecordRoundTrip(t *testing.T) {
+	f := func(payload []byte, fragSizeSeed uint16) bool {
+		fragSize := int(fragSizeSeed)%4096 + 1
+		var buf bytes.Buffer
+		w := NewRecordWriter(&buf)
+		w.SetFragmentSize(fragSize)
+		if err := w.WriteRecord(payload); err != nil {
+			return false
+		}
+		r := NewRecordReader(&buf)
+		got, err := r.ReadRecord()
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a sequence of records over one stream round-trips in order.
+func TestQuickRecordSequence(t *testing.T) {
+	f := func(payloads [][]byte, fragSizeSeed uint16) bool {
+		fragSize := int(fragSizeSeed)%512 + 1
+		var buf bytes.Buffer
+		w := NewRecordWriter(&buf)
+		w.SetFragmentSize(fragSize)
+		for _, p := range payloads {
+			if err := w.WriteRecord(p); err != nil {
+				return false
+			}
+		}
+		r := NewRecordReader(&buf)
+		for _, p := range payloads {
+			got, err := r.ReadRecord()
+			if err != nil || !bytes.Equal(got, p) {
+				return false
+			}
+		}
+		_, err := r.ReadRecord()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRecordWrite1MiB(b *testing.B) {
+	p := make([]byte, 1<<20)
+	w := NewRecordWriter(io.Discard)
+	b.SetBytes(int64(len(p)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := w.WriteRecord(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

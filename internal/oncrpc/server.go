@@ -1,0 +1,283 @@
+package oncrpc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"cricket/internal/xdr"
+)
+
+// Dispatch errors. A Dispatcher returns these sentinels (possibly
+// wrapped) to select the matching RFC 5531 accept status; any other
+// error maps to SYSTEM_ERR.
+var (
+	// ErrProcUnavail reports an unknown procedure number.
+	ErrProcUnavail = errors.New("oncrpc: procedure unavailable")
+	// ErrGarbageArgs reports arguments that failed to decode.
+	ErrGarbageArgs = errors.New("oncrpc: garbage arguments")
+	// ErrServerClosed is returned by Serve after Close.
+	ErrServerClosed = errors.New("oncrpc: server closed")
+)
+
+// A Dispatcher executes one procedure of a registered program version.
+// It decodes arguments from dec and encodes results to enc. Results
+// written to enc are discarded unless the dispatcher returns nil.
+type Dispatcher interface {
+	Dispatch(proc uint32, dec *xdr.Decoder, enc *xdr.Encoder) error
+}
+
+// DispatcherFunc adapts a function to the Dispatcher interface.
+type DispatcherFunc func(proc uint32, dec *xdr.Decoder, enc *xdr.Encoder) error
+
+// Dispatch calls f.
+func (f DispatcherFunc) Dispatch(proc uint32, dec *xdr.Decoder, enc *xdr.Encoder) error {
+	return f(proc, dec, enc)
+}
+
+type progVers struct{ prog, vers uint32 }
+
+// A Server serves ONC RPC programs over stream transports. Programs
+// are registered with Register before serving; each accepted
+// connection is handled on its own goroutine with calls processed in
+// order (replies on one connection are never reordered).
+type Server struct {
+	mu        sync.Mutex
+	progs     map[progVers]Dispatcher
+	versRange map[uint32]MismatchInfo
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+
+	// ErrorLog receives per-connection failures. Nil silences them.
+	ErrorLog *log.Logger
+	// MaxRecordSize bounds incoming call records; zero means the
+	// package default.
+	MaxRecordSize int
+}
+
+// NewServer returns an empty Server.
+func NewServer() *Server {
+	return &Server{
+		progs:     make(map[progVers]Dispatcher),
+		versRange: make(map[uint32]MismatchInfo),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Register makes d the handler for (prog, vers). Registering the same
+// pair twice panics, as does a nil dispatcher.
+func (s *Server) Register(prog, vers uint32, d Dispatcher) {
+	if d == nil {
+		panic("oncrpc: Register with nil dispatcher")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := progVers{prog, vers}
+	if _, dup := s.progs[key]; dup {
+		panic(fmt.Sprintf("oncrpc: duplicate registration for prog %d vers %d", prog, vers))
+	}
+	s.progs[key] = d
+	r, ok := s.versRange[prog]
+	if !ok {
+		r = MismatchInfo{Low: vers, High: vers}
+	} else {
+		if vers < r.Low {
+			r.Low = vers
+		}
+		if vers > r.High {
+			r.High = vers
+		}
+	}
+	s.versRange[prog] = r
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.ErrorLog != nil {
+		s.ErrorLog.Printf(format, args...)
+	}
+}
+
+// Serve accepts connections from l until Close is called or the
+// listener fails.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go func() {
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			if err := s.ServeConn(conn); err != nil && err != io.EOF {
+				s.logf("oncrpc: connection %v: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// ListenAndServe listens on the TCP address addr and serves RPC calls.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// ServeConn serves RPC calls on a single already-established transport
+// until it is closed. It returns io.EOF on orderly shutdown by the
+// peer.
+func (s *Server) ServeConn(conn io.ReadWriter) error {
+	rr := NewRecordReader(conn)
+	if s.MaxRecordSize > 0 {
+		rr.SetMaxRecordSize(s.MaxRecordSize)
+	}
+	rw := NewRecordWriter(conn)
+	var reply bytes.Buffer
+	for {
+		rec, err := rr.ReadRecord()
+		if err != nil {
+			return err
+		}
+		reply.Reset()
+		if err := s.handleRecord(rec, &reply); err != nil {
+			return err
+		}
+		if err := rw.WriteRecord(reply.Bytes()); err != nil {
+			return err
+		}
+	}
+}
+
+// handleRecord processes one call record and writes the complete reply
+// record into out.
+func (s *Server) handleRecord(rec []byte, out *bytes.Buffer) error {
+	d := xdr.NewDecoder(bytes.NewReader(rec))
+	var call CallHeader
+	if err := call.UnmarshalXDR(d); err != nil {
+		var ve *VersionError
+		if errors.As(err, &ve) {
+			hdr := ReplyHeader{
+				XID: call.XID, Stat: MsgDenied, RejStat: RPCMismatch,
+				Mismatch: MismatchInfo{Low: RPCVersion, High: RPCVersion},
+			}
+			return xdr.NewEncoder(out).Marshal(&hdr)
+		}
+		// Undecodable header: nothing sensible to reply; drop the call.
+		s.logf("oncrpc: dropping undecodable call: %v", err)
+		return nil
+	}
+
+	s.mu.Lock()
+	disp, ok := s.progs[progVers{call.Prog, call.Vers}]
+	rng, progKnown := s.versRange[call.Prog]
+	s.mu.Unlock()
+
+	hdr := ReplyHeader{XID: call.XID, Stat: MsgAccepted, AccStat: Success}
+	switch {
+	case !progKnown:
+		hdr.AccStat = ProgUnavail
+	case !ok:
+		hdr.AccStat = ProgMismatch
+		hdr.Mismatch = rng
+	}
+	if hdr.AccStat != Success {
+		return xdr.NewEncoder(out).Marshal(&hdr)
+	}
+
+	// Run the dispatcher into a scratch buffer so a failing handler
+	// cannot corrupt the reply stream.
+	var results bytes.Buffer
+	enc := xdr.NewEncoder(&results)
+	err := disp.Dispatch(call.Proc, d, enc)
+	if err == nil {
+		err = enc.Err()
+	}
+	if err == nil && d.Err() != nil {
+		err = fmt.Errorf("%w: %v", ErrGarbageArgs, d.Err())
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrProcUnavail):
+		hdr.AccStat = ProcUnavail
+	case errors.Is(err, ErrGarbageArgs) || isDecodeError(err):
+		hdr.AccStat = GarbageArgs
+	default:
+		s.logf("oncrpc: prog %d vers %d proc %d: %v", call.Prog, call.Vers, call.Proc, err)
+		hdr.AccStat = SystemErr
+	}
+
+	e := xdr.NewEncoder(out)
+	if err := e.Marshal(&hdr); err != nil {
+		return err
+	}
+	if hdr.AccStat == Success {
+		if _, err := out.Write(results.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// isDecodeError classifies xdr decoding failures as GARBAGE_ARGS.
+func isDecodeError(err error) bool {
+	return errors.Is(err, xdr.ErrTooLong) ||
+		errors.Is(err, xdr.ErrBadBool) ||
+		errors.Is(err, xdr.ErrBadPadding) ||
+		errors.Is(err, xdr.ErrBadOptional) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.EOF) // argument stream exhausted mid-decode
+}
+
+// Close stops all listeners and closes active connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	return nil
+}

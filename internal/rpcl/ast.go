@@ -1,0 +1,165 @@
+package rpcl
+
+// This file defines the abstract syntax tree produced by the parser.
+// The shapes mirror RFC 4506 §6 (XDR language) plus the RFC 5531 §12
+// program/version/procedure extensions.
+
+// A Spec is one parsed RPCL source file.
+type Spec struct {
+	Consts   []*ConstDef
+	Enums    []*EnumDef
+	Structs  []*StructDef
+	Unions   []*UnionDef
+	Typedefs []*TypedefDef
+	Programs []*ProgramDef
+}
+
+// A ConstDef is `const NAME = value;`.
+type ConstDef struct {
+	Name  string
+	Value int64
+	Line  int
+}
+
+// An EnumDef is `enum NAME { A = 1, B = 2 };`.
+type EnumDef struct {
+	Name    string
+	Members []EnumMember
+	Line    int
+}
+
+// An EnumMember is one name/value pair of an enum body.
+type EnumMember struct {
+	Name  string
+	Value int64
+}
+
+// A StructDef is `struct NAME { decls... };`.
+type StructDef struct {
+	Name   string
+	Fields []*Decl
+	Line   int
+}
+
+// A UnionDef is `union NAME switch (decl) { cases... };`.
+type UnionDef struct {
+	Name    string
+	Disc    *Decl // discriminant declaration
+	Cases   []*UnionCase
+	Default *Decl // nil when absent; a void default has a Decl with Kind DeclVoid
+	Line    int
+}
+
+// A UnionCase is one or more case labels sharing an arm.
+type UnionCase struct {
+	Values []string // literal numbers or enum member identifiers
+	Arm    *Decl
+}
+
+// A TypedefDef is `typedef declaration;` where the declared name
+// becomes a new type.
+type TypedefDef struct {
+	Decl *Decl
+	Line int
+}
+
+// A ProgramDef is `program NAME { versions... } = number;`.
+type ProgramDef struct {
+	Name     string
+	Number   uint32
+	Versions []*VersionDef
+	Line     int
+}
+
+// A VersionDef is `version NAME { procs... } = number;`.
+type VersionDef struct {
+	Name   string
+	Number uint32
+	Procs  []*ProcDef
+}
+
+// A ProcDef is `ret NAME(args...) = number;`.
+type ProcDef struct {
+	Name   string
+	Number uint32
+	Ret    *TypeSpec
+	Args   []*TypeSpec
+	Line   int
+}
+
+// DeclKind classifies how a declaration applies array/pointer
+// decoration to its base type.
+type DeclKind int
+
+// Declaration kinds.
+const (
+	DeclPlain    DeclKind = iota // type name
+	DeclFixedArr                 // type name[n]
+	DeclVarArr                   // type name<n?>
+	DeclOptional                 // type *name
+	DeclVoid                     // void
+)
+
+// A Decl is a named declaration of a (possibly decorated) type.
+type Decl struct {
+	Kind DeclKind
+	Name string
+	Type *TypeSpec
+	// Size is the fixed length for DeclFixedArr or the bound for
+	// DeclVarArr ("" means unbounded). It may be a number literal or a
+	// const identifier.
+	Size string
+	Line int
+}
+
+// BaseKind classifies type specifiers.
+type BaseKind int
+
+// Base type kinds.
+const (
+	BaseInt BaseKind = iota
+	BaseUInt
+	BaseHyper
+	BaseUHyper
+	BaseFloat
+	BaseDouble
+	BaseBool
+	BaseString // only valid in string<> declarations
+	BaseOpaque // only valid in opaque[]/opaque<> declarations
+	BaseVoid
+	BaseNamed // reference to enum/struct/union/typedef by name
+)
+
+// A TypeSpec is a base type, possibly a named reference.
+type TypeSpec struct {
+	Kind BaseKind
+	Name string // for BaseNamed
+}
+
+func (t *TypeSpec) String() string {
+	switch t.Kind {
+	case BaseInt:
+		return "int"
+	case BaseUInt:
+		return "unsigned int"
+	case BaseHyper:
+		return "hyper"
+	case BaseUHyper:
+		return "unsigned hyper"
+	case BaseFloat:
+		return "float"
+	case BaseDouble:
+		return "double"
+	case BaseBool:
+		return "bool"
+	case BaseString:
+		return "string"
+	case BaseOpaque:
+		return "opaque"
+	case BaseVoid:
+		return "void"
+	case BaseNamed:
+		return t.Name
+	}
+	return "?"
+}

@@ -1,0 +1,209 @@
+package rpcl
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// A CheckError reports a semantic error in a parsed specification.
+type CheckError struct {
+	Line int
+	Msg  string
+}
+
+func (e *CheckError) Error() string {
+	return fmt.Sprintf("rpcl: line %d: %s", e.Line, e.Msg)
+}
+
+func checkErrf(line int, format string, args ...any) error {
+	return &CheckError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Check validates a Spec: unique type/const names, resolvable named
+// types, resolvable array bounds, valid union case values, unique
+// program/version/procedure numbers, and enum member uniqueness.
+func Check(spec *Spec) error {
+	types := make(map[string]int) // name -> defining line
+	addType := func(name string, line int) error {
+		if prev, dup := types[name]; dup {
+			return checkErrf(line, "type %s redefined (first defined at line %d)", name, prev)
+		}
+		types[name] = line
+		return nil
+	}
+
+	consts := make(map[string]int64)
+	enumMembers := make(map[string]int64)
+	for _, c := range spec.Consts {
+		if _, dup := consts[c.Name]; dup {
+			return checkErrf(c.Line, "const %s redefined", c.Name)
+		}
+		consts[c.Name] = c.Value
+	}
+	for _, e := range spec.Enums {
+		if err := addType(e.Name, e.Line); err != nil {
+			return err
+		}
+		seen := make(map[string]bool)
+		for _, m := range e.Members {
+			if seen[m.Name] {
+				return checkErrf(e.Line, "enum %s: member %s repeated", e.Name, m.Name)
+			}
+			seen[m.Name] = true
+			if _, dup := enumMembers[m.Name]; dup {
+				return checkErrf(e.Line, "enum member %s defined in more than one enum", m.Name)
+			}
+			enumMembers[m.Name] = m.Value
+		}
+	}
+	for _, s := range spec.Structs {
+		if err := addType(s.Name, s.Line); err != nil {
+			return err
+		}
+	}
+	for _, u := range spec.Unions {
+		if err := addType(u.Name, u.Line); err != nil {
+			return err
+		}
+	}
+	for _, t := range spec.Typedefs {
+		if err := addType(t.Decl.Name, t.Line); err != nil {
+			return err
+		}
+	}
+
+	resolveSize := func(size string, line int) error {
+		if size == "" {
+			return nil
+		}
+		if _, err := strconv.ParseInt(size, 0, 64); err == nil {
+			return nil
+		}
+		if _, ok := consts[size]; ok {
+			return nil
+		}
+		return checkErrf(line, "array bound %q is neither a number nor a defined const", size)
+	}
+	checkDecl := func(d *Decl, where string) error {
+		if d.Kind == DeclVoid {
+			return nil
+		}
+		if d.Type.Kind == BaseNamed {
+			if _, ok := types[d.Type.Name]; !ok {
+				return checkErrf(d.Line, "%s: unknown type %s", where, d.Type.Name)
+			}
+		}
+		switch d.Kind {
+		case DeclFixedArr, DeclVarArr:
+			if err := resolveSize(d.Size, d.Line); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for _, s := range spec.Structs {
+		fields := make(map[string]bool)
+		for _, f := range s.Fields {
+			if fields[f.Name] {
+				return checkErrf(f.Line, "struct %s: field %s repeated", s.Name, f.Name)
+			}
+			fields[f.Name] = true
+			if err := checkDecl(f, "struct "+s.Name); err != nil {
+				return err
+			}
+		}
+	}
+	for _, u := range spec.Unions {
+		if err := checkDecl(u.Disc, "union "+u.Name+" discriminant"); err != nil {
+			return err
+		}
+		switch u.Disc.Type.Kind {
+		case BaseInt, BaseUInt, BaseBool, BaseNamed:
+			// Named must be an enum; approximate by type existence (checked above).
+		default:
+			return checkErrf(u.Line, "union %s: discriminant must be int, unsigned, bool, or enum", u.Name)
+		}
+		seen := make(map[string]bool)
+		for _, c := range u.Cases {
+			for _, v := range c.Values {
+				if seen[v] {
+					return checkErrf(u.Line, "union %s: case %s repeated", u.Name, v)
+				}
+				seen[v] = true
+				if _, err := strconv.ParseInt(v, 0, 64); err != nil {
+					if _, ok := enumMembers[v]; !ok {
+						if v != "TRUE" && v != "FALSE" {
+							return checkErrf(u.Line, "union %s: case %s is neither a number nor an enum member", u.Name, v)
+						}
+					}
+				}
+			}
+			if err := checkDecl(c.Arm, "union "+u.Name); err != nil {
+				return err
+			}
+		}
+		if u.Default != nil {
+			if err := checkDecl(u.Default, "union "+u.Name+" default"); err != nil {
+				return err
+			}
+		}
+	}
+	for _, t := range spec.Typedefs {
+		if err := checkDecl(t.Decl, "typedef"); err != nil {
+			return err
+		}
+	}
+
+	progNums := make(map[uint32]string)
+	progNames := make(map[string]bool)
+	for _, prog := range spec.Programs {
+		if progNames[prog.Name] {
+			return checkErrf(prog.Line, "program %s redefined", prog.Name)
+		}
+		progNames[prog.Name] = true
+		if prev, dup := progNums[prog.Number]; dup {
+			return checkErrf(prog.Line, "program number %#x used by both %s and %s", prog.Number, prev, prog.Name)
+		}
+		progNums[prog.Number] = prog.Name
+		versNums := make(map[uint32]bool)
+		for _, v := range prog.Versions {
+			if versNums[v.Number] {
+				return checkErrf(prog.Line, "program %s: version %d repeated", prog.Name, v.Number)
+			}
+			versNums[v.Number] = true
+			procNums := make(map[uint32]string)
+			procNames := make(map[string]bool)
+			for _, proc := range v.Procs {
+				if procNames[proc.Name] {
+					return checkErrf(proc.Line, "procedure %s repeated", proc.Name)
+				}
+				procNames[proc.Name] = true
+				if prev, dup := procNums[proc.Number]; dup {
+					return checkErrf(proc.Line, "procedure number %d used by both %s and %s", proc.Number, prev, proc.Name)
+				}
+				procNums[proc.Number] = proc.Name
+				checkTS := func(ts *TypeSpec, what string) error {
+					switch ts.Kind {
+					case BaseNamed:
+						if _, ok := types[ts.Name]; !ok {
+							return checkErrf(proc.Line, "procedure %s: unknown %s type %s", proc.Name, what, ts.Name)
+						}
+					case BaseOpaque:
+						return checkErrf(proc.Line, "procedure %s: bare opaque is not a valid %s type", proc.Name, what)
+					}
+					return nil
+				}
+				if err := checkTS(proc.Ret, "return"); err != nil {
+					return err
+				}
+				for _, a := range proc.Args {
+					if err := checkTS(a, "argument"); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,828 @@
+package rpcl
+
+import (
+	"fmt"
+	"go/format"
+	"strconv"
+	"strings"
+)
+
+// GenOptions configure Go code generation.
+type GenOptions struct {
+	// Package is the Go package name of the generated file.
+	Package string
+	// XDRImport and RPCImport are the import paths of the runtime
+	// packages; they default to this module's implementations.
+	XDRImport string
+	RPCImport string
+}
+
+func (o *GenOptions) defaults() {
+	if o.Package == "" {
+		o.Package = "rpcgen"
+	}
+	if o.XDRImport == "" {
+		o.XDRImport = "cricket/internal/xdr"
+	}
+	if o.RPCImport == "" {
+		o.RPCImport = "cricket/internal/oncrpc"
+	}
+}
+
+// Generate emits a complete Go source file for the specification:
+// constants, enum/struct/union/typedef types with XDR marshaling,
+// and for every program version a typed client plus a server handler
+// interface with a dispatch adapter. The output is gofmt-formatted.
+func Generate(spec *Spec, opts GenOptions) ([]byte, error) {
+	opts.defaults()
+	g := &generator{spec: spec, opts: opts, syms: buildSymtab(spec)}
+	src, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	out, err := format.Source(src)
+	if err != nil {
+		// Return the raw source to aid debugging of generator bugs.
+		return src, fmt.Errorf("rpcl: generated code does not format: %w", err)
+	}
+	return out, nil
+}
+
+type symtab struct {
+	enums    map[string]bool
+	structs  map[string]bool
+	unions   map[string]bool
+	typedefs map[string]*Decl
+	consts   map[string]int64
+	members  map[string]string // enum member -> Go const name
+}
+
+func buildSymtab(spec *Spec) *symtab {
+	s := &symtab{
+		enums:    make(map[string]bool),
+		structs:  make(map[string]bool),
+		unions:   make(map[string]bool),
+		typedefs: make(map[string]*Decl),
+		consts:   make(map[string]int64),
+		members:  make(map[string]string),
+	}
+	for _, e := range spec.Enums {
+		s.enums[e.Name] = true
+		for _, m := range e.Members {
+			s.members[m.Name] = goName(m.Name)
+		}
+	}
+	for _, st := range spec.Structs {
+		s.structs[st.Name] = true
+	}
+	for _, u := range spec.Unions {
+		s.unions[u.Name] = true
+	}
+	for _, t := range spec.Typedefs {
+		s.typedefs[t.Decl.Name] = t.Decl
+	}
+	for _, c := range spec.Consts {
+		s.consts[c.Name] = c.Value
+	}
+	return s
+}
+
+type generator struct {
+	spec *Spec
+	opts GenOptions
+	syms *symtab
+	b    strings.Builder
+
+	needInt32Box  bool
+	needUint32Box bool
+	needInt64Box  bool
+	needUint64Box bool
+	needFloatBox  bool
+	needDoubleBox bool
+	needBoolBox   bool
+	needStringBox bool
+	needOpaqueBox bool
+}
+
+func (g *generator) pf(format string, args ...any) {
+	fmt.Fprintf(&g.b, format, args...)
+}
+
+// goName converts an RPCL identifier to an exported Go identifier:
+// CUDA_GET_DEVICE_COUNT -> CudaGetDeviceCount, mem_data -> MemData.
+func goName(s string) string {
+	parts := strings.Split(s, "_")
+	var b strings.Builder
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		if isAllUpper(p) {
+			p = strings.ToLower(p)
+		}
+		b.WriteString(strings.ToUpper(p[:1]))
+		b.WriteString(p[1:])
+	}
+	if b.Len() == 0 {
+		return "X"
+	}
+	return b.String()
+}
+
+func isAllUpper(s string) bool {
+	hasUpper := false
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' {
+			return false
+		}
+		if r >= 'A' && r <= 'Z' {
+			hasUpper = true
+		}
+	}
+	return hasUpper
+}
+
+// goFieldName converts an RPCL field name to an exported Go field.
+func goFieldName(s string) string { return goName(s) }
+
+// goType maps a type spec to the Go type used for plain declarations.
+func (g *generator) goType(ts *TypeSpec) string {
+	switch ts.Kind {
+	case BaseInt:
+		return "int32"
+	case BaseUInt:
+		return "uint32"
+	case BaseHyper:
+		return "int64"
+	case BaseUHyper:
+		return "uint64"
+	case BaseFloat:
+		return "float32"
+	case BaseDouble:
+		return "float64"
+	case BaseBool:
+		return "bool"
+	case BaseString:
+		return "string"
+	case BaseOpaque:
+		return "byte"
+	case BaseNamed:
+		return goName(ts.Name)
+	}
+	return "any"
+}
+
+// declGoType maps a full declaration to its Go field type.
+func (g *generator) declGoType(d *Decl) string {
+	base := g.goType(d.Type)
+	switch d.Kind {
+	case DeclPlain:
+		if d.Type.Kind == BaseString {
+			return "string"
+		}
+		return base
+	case DeclFixedArr, DeclVarArr:
+		if d.Type.Kind == BaseString && d.Kind == DeclVarArr && d.Size != "" || d.Type.Kind == BaseString {
+			// string<n> is a bounded string, not an array of strings.
+			return "string"
+		}
+		if d.Type.Kind == BaseOpaque {
+			return "[]byte"
+		}
+		return "[]" + base
+	case DeclOptional:
+		return "*" + base
+	}
+	return base
+}
+
+func (g *generator) sizeExpr(size string) string {
+	if size == "" {
+		return ""
+	}
+	if _, err := strconv.ParseInt(size, 0, 64); err == nil {
+		return size
+	}
+	return goName(size) // const reference
+}
+
+// encodeDecl emits statements encoding expr (of the decl's Go type).
+func (g *generator) encodeDecl(d *Decl, expr string) {
+	switch d.Kind {
+	case DeclVoid:
+		return
+	case DeclPlain:
+		g.encodePlain(d.Type, expr)
+	case DeclFixedArr:
+		size := g.sizeExpr(d.Size)
+		if d.Type.Kind == BaseOpaque {
+			g.pf("if len(%s) != %s { return fmt.Errorf(\"%s: got %%d bytes, want %s\", len(%s)) }\n", expr, size, d.Name, size, expr)
+			g.pf("if err := e.PutFixedOpaque(%s); err != nil { return err }\n", expr)
+			return
+		}
+		g.pf("if len(%s) != %s { return fmt.Errorf(\"%s: got %%d elements, want %s\", len(%s)) }\n", expr, size, d.Name, size, expr)
+		g.pf("for i := range %s {\n", expr)
+		g.encodePlain(d.Type, expr+"[i]")
+		g.pf("}\n")
+	case DeclVarArr:
+		if d.Type.Kind == BaseString {
+			if d.Size != "" {
+				g.pf("if len(%s) > %s { return fmt.Errorf(\"%s: string too long (%%d)\", len(%s)) }\n", expr, g.sizeExpr(d.Size), d.Name, expr)
+			}
+			g.pf("if err := e.PutString(%s); err != nil { return err }\n", expr)
+			return
+		}
+		if d.Type.Kind == BaseOpaque {
+			if d.Size != "" {
+				g.pf("if len(%s) > %s { return fmt.Errorf(\"%s: opaque too long (%%d)\", len(%s)) }\n", expr, g.sizeExpr(d.Size), d.Name, expr)
+			}
+			g.pf("if err := e.PutOpaque(%s); err != nil { return err }\n", expr)
+			return
+		}
+		if d.Size != "" {
+			g.pf("if len(%s) > %s { return fmt.Errorf(\"%s: array too long (%%d)\", len(%s)) }\n", expr, g.sizeExpr(d.Size), d.Name, expr)
+		}
+		g.pf("if err := e.PutUint32(uint32(len(%s))); err != nil { return err }\n", expr)
+		g.pf("for i := range %s {\n", expr)
+		g.encodePlain(d.Type, expr+"[i]")
+		g.pf("}\n")
+	case DeclOptional:
+		g.pf("if err := e.PutBool(%s != nil); err != nil { return err }\n", expr)
+		g.pf("if %s != nil {\n", expr)
+		g.encodePlain(d.Type, "(*"+expr+")")
+		g.pf("}\n")
+	}
+}
+
+// encodePlain emits statements encoding a single value of the base type.
+func (g *generator) encodePlain(ts *TypeSpec, expr string) {
+	switch ts.Kind {
+	case BaseInt:
+		g.pf("if err := e.PutInt32(%s); err != nil { return err }\n", expr)
+	case BaseUInt:
+		g.pf("if err := e.PutUint32(%s); err != nil { return err }\n", expr)
+	case BaseHyper:
+		g.pf("if err := e.PutInt64(%s); err != nil { return err }\n", expr)
+	case BaseUHyper:
+		g.pf("if err := e.PutUint64(%s); err != nil { return err }\n", expr)
+	case BaseFloat:
+		g.pf("if err := e.PutFloat32(%s); err != nil { return err }\n", expr)
+	case BaseDouble:
+		g.pf("if err := e.PutFloat64(%s); err != nil { return err }\n", expr)
+	case BaseBool:
+		g.pf("if err := e.PutBool(%s); err != nil { return err }\n", expr)
+	case BaseString:
+		g.pf("if err := e.PutString(%s); err != nil { return err }\n", expr)
+	case BaseOpaque:
+		g.pf("if err := e.PutOpaque(%s); err != nil { return err }\n", expr)
+	case BaseNamed:
+		name := ts.Name
+		switch {
+		case g.syms.enums[name]:
+			g.pf("if err := e.PutInt32(int32(%s)); err != nil { return err }\n", expr)
+		default:
+			// struct, union, or typedef: has MarshalXDR.
+			if strings.HasPrefix(expr, "(*") {
+				g.pf("if err := (%s).MarshalXDR(e); err != nil { return err }\n", strings.TrimPrefix(strings.TrimSuffix(expr, ")"), "(*"))
+			} else {
+				g.pf("if err := (&%s).MarshalXDR(e); err != nil { return err }\n", expr)
+			}
+		}
+	}
+}
+
+// decodeDecl emits statements decoding into expr.
+func (g *generator) decodeDecl(d *Decl, expr string) {
+	switch d.Kind {
+	case DeclVoid:
+		return
+	case DeclPlain:
+		g.decodePlain(d.Type, expr)
+	case DeclFixedArr:
+		size := g.sizeExpr(d.Size)
+		if d.Type.Kind == BaseOpaque {
+			g.pf("%s = make([]byte, %s)\n", expr, size)
+			g.pf("if err := d.FixedOpaque(%s); err != nil { return err }\n", expr)
+			return
+		}
+		g.pf("%s = make([]%s, %s)\n", expr, g.goType(d.Type), size)
+		g.pf("for i := range %s {\n", expr)
+		g.decodePlain(d.Type, expr+"[i]")
+		g.pf("}\n")
+	case DeclVarArr:
+		if d.Type.Kind == BaseString {
+			g.pf("if xv, err := d.String(); err != nil { return err } else { %s = xv }\n", expr)
+			if d.Size != "" {
+				g.pf("if len(%s) > %s { return fmt.Errorf(\"%s: string too long (%%d)\", len(%s)) }\n", expr, g.sizeExpr(d.Size), d.Name, expr)
+			}
+			return
+		}
+		if d.Type.Kind == BaseOpaque {
+			g.pf("if xv, err := d.Opaque(); err != nil { return err } else { %s = xv }\n", expr)
+			if d.Size != "" {
+				g.pf("if len(%s) > %s { return fmt.Errorf(\"%s: opaque too long (%%d)\", len(%s)) }\n", expr, g.sizeExpr(d.Size), d.Name, expr)
+			}
+			return
+		}
+		g.pf("{\nn, err := d.Uint32()\nif err != nil { return err }\n")
+		if d.Size != "" {
+			g.pf("if n > uint32(%s) { return fmt.Errorf(\"%s: array too long (%%d)\", n) }\n", g.sizeExpr(d.Size), d.Name)
+		}
+		g.pf("if n > 1<<24 { return fmt.Errorf(\"%s: unreasonable array length %%d\", n) }\n", d.Name)
+		g.pf("%s = make([]%s, n)\n", expr, g.goType(d.Type))
+		g.pf("for i := range %s {\n", expr)
+		g.decodePlain(d.Type, expr+"[i]")
+		g.pf("}\n}\n")
+	case DeclOptional:
+		g.pf("{\npresent, err := d.Bool()\nif err != nil { return err }\n")
+		g.pf("if present {\n%s = new(%s)\n", expr, g.goType(d.Type))
+		g.decodePlain(d.Type, "(*"+expr+")")
+		g.pf("} else { %s = nil }\n}\n", expr)
+	}
+}
+
+func (g *generator) decodePlain(ts *TypeSpec, expr string) {
+	simple := func(method, cast string) {
+		if cast == "" {
+			g.pf("if xv, err := d.%s(); err != nil { return err } else { %s = xv }\n", method, expr)
+		} else {
+			g.pf("if xv, err := d.%s(); err != nil { return err } else { %s = %s(xv) }\n", method, expr, cast)
+		}
+	}
+	switch ts.Kind {
+	case BaseInt:
+		simple("Int32", "")
+	case BaseUInt:
+		simple("Uint32", "")
+	case BaseHyper:
+		simple("Int64", "")
+	case BaseUHyper:
+		simple("Uint64", "")
+	case BaseFloat:
+		simple("Float32", "")
+	case BaseDouble:
+		simple("Float64", "")
+	case BaseBool:
+		simple("Bool", "")
+	case BaseString:
+		simple("String", "")
+	case BaseOpaque:
+		simple("Opaque", "")
+	case BaseNamed:
+		name := ts.Name
+		switch {
+		case g.syms.enums[name]:
+			simple("Int32", goName(name))
+		default:
+			target := expr
+			if strings.HasPrefix(expr, "(*") {
+				target = strings.TrimPrefix(strings.TrimSuffix(expr, ")"), "(*")
+			} else {
+				target = "&" + expr
+			}
+			g.pf("if err := (%s).UnmarshalXDR(d); err != nil { return err }\n", target)
+		}
+	}
+}
+
+func (g *generator) run() ([]byte, error) {
+	g.pf("// Code generated by rpcgen (cricket/internal/rpcl); DO NOT EDIT.\n\n")
+	g.pf("package %s\n\n", g.opts.Package)
+
+	// Body first (into a separate builder) so we know which helper
+	// boxes are needed; imports depend only on static analysis, so we
+	// simply always import what the body may use and rely on the body
+	// referencing every import at least once via the var _ trick.
+	var body generator = *g
+	body.b = strings.Builder{}
+	body.emitConsts()
+	body.emitEnums()
+	body.emitTypedefs()
+	body.emitStructs()
+	body.emitUnions()
+	if err := body.emitPrograms(); err != nil {
+		return nil, err
+	}
+	body.emitBoxes()
+
+	g.pf("import (\n\t\"fmt\"\n\n\t%q\n\t%q\n)\n\n", g.opts.RPCImport, g.opts.XDRImport)
+	g.pf("// Referenced unconditionally so specs that use only a subset of\n")
+	g.pf("// features still compile.\nvar (\n\t_ = fmt.Errorf\n\t_ oncrpc.Dispatcher\n\t_ xdr.Marshaler\n)\n\n")
+	g.b.WriteString(body.b.String())
+	return []byte(g.b.String()), nil
+}
+
+func (g *generator) emitConsts() {
+	if len(g.spec.Consts) == 0 {
+		return
+	}
+	g.pf("// Constants from the RPCL specification.\nconst (\n")
+	for _, c := range g.spec.Consts {
+		g.pf("\t%s = %d\n", goName(c.Name), c.Value)
+	}
+	g.pf(")\n\n")
+}
+
+func (g *generator) emitEnums() {
+	for _, e := range g.spec.Enums {
+		name := goName(e.Name)
+		g.pf("// %s mirrors RPCL enum %s.\ntype %s int32\n\n", name, e.Name, name)
+		g.pf("// Values of %s.\nconst (\n", name)
+		for _, m := range e.Members {
+			g.pf("\t%s %s = %d\n", goName(m.Name), name, m.Value)
+		}
+		g.pf(")\n\n")
+	}
+}
+
+func (g *generator) emitTypedefs() {
+	for _, t := range g.spec.Typedefs {
+		d := t.Decl
+		name := goName(d.Name)
+		g.pf("// %s mirrors RPCL typedef %s.\ntype %s %s\n\n", name, d.Name, name, g.typedefUnderlying(d))
+		// Marshal/Unmarshal via a Decl clone that targets the value.
+		g.pf("// MarshalXDR encodes the value in XDR.\n")
+		g.pf("func (v *%s) MarshalXDR(e *xdr.Encoder) error {\n", name)
+		clone := *d
+		clone.Type = d.Type
+		g.encodeTypedefValue(&clone, name)
+		g.pf("return nil\n}\n\n")
+		g.pf("// UnmarshalXDR decodes the value from XDR.\n")
+		g.pf("func (v *%s) UnmarshalXDR(d *xdr.Decoder) error {\n", name)
+		g.decodeTypedefValue(&clone, name)
+		g.pf("return nil\n}\n\n")
+	}
+}
+
+// typedefUnderlying returns the Go underlying type of a typedef decl.
+func (g *generator) typedefUnderlying(d *Decl) string {
+	return g.declGoType(d)
+}
+
+func (g *generator) encodeTypedefValue(d *Decl, name string) {
+	// Named typedef types need conversion to the underlying shape.
+	under := g.declGoType(d)
+	g.pf("u := %s(*v)\n_ = u\n", under)
+	clone := *d
+	g.encodeDecl(&clone, "u")
+}
+
+func (g *generator) decodeTypedefValue(d *Decl, name string) {
+	under := g.declGoType(d)
+	g.pf("var u %s\n_ = u\n", under)
+	clone := *d
+	g.decodeDecl(&clone, "u")
+	g.pf("*v = %s(u)\n", name)
+}
+
+func (g *generator) emitStructs() {
+	for _, s := range g.spec.Structs {
+		name := goName(s.Name)
+		g.pf("// %s mirrors RPCL struct %s.\ntype %s struct {\n", name, s.Name, name)
+		for _, f := range s.Fields {
+			g.pf("\t%s %s\n", goFieldName(f.Name), g.declGoType(f))
+		}
+		g.pf("}\n\n")
+		g.pf("// MarshalXDR encodes the struct in XDR field order.\n")
+		g.pf("func (v *%s) MarshalXDR(e *xdr.Encoder) error {\n", name)
+		for _, f := range s.Fields {
+			g.encodeDecl(f, "v."+goFieldName(f.Name))
+		}
+		g.pf("return nil\n}\n\n")
+		g.pf("// UnmarshalXDR decodes the struct in XDR field order.\n")
+		g.pf("func (v *%s) UnmarshalXDR(d *xdr.Decoder) error {\n", name)
+		for _, f := range s.Fields {
+			g.decodeDecl(f, "v."+goFieldName(f.Name))
+		}
+		g.pf("return nil\n}\n\n")
+	}
+}
+
+// caseGoValue renders a union case label as a Go expression.
+func (g *generator) caseGoValue(v string, disc *Decl) string {
+	if v == "TRUE" {
+		return "true"
+	}
+	if v == "FALSE" {
+		return "false"
+	}
+	if _, err := strconv.ParseInt(v, 0, 64); err == nil {
+		return v
+	}
+	return goName(v) // enum member const
+}
+
+func (g *generator) emitUnions() {
+	for _, u := range g.spec.Unions {
+		name := goName(u.Name)
+		discField := goFieldName(u.Disc.Name)
+		g.pf("// %s mirrors RPCL union %s. The %s field selects the arm.\n", name, u.Name, discField)
+		g.pf("type %s struct {\n", name)
+		g.pf("\t%s %s\n", discField, g.declGoType(u.Disc))
+		for _, c := range u.Cases {
+			if c.Arm.Kind != DeclVoid {
+				g.pf("\t%s %s\n", goFieldName(c.Arm.Name), g.declGoType(c.Arm))
+			}
+		}
+		if u.Default != nil && u.Default.Kind != DeclVoid {
+			g.pf("\t%s %s\n", goFieldName(u.Default.Name), g.declGoType(u.Default))
+		}
+		g.pf("}\n\n")
+
+		g.pf("// MarshalXDR encodes the active arm selected by %s.\n", discField)
+		g.pf("func (v *%s) MarshalXDR(e *xdr.Encoder) error {\n", name)
+		g.encodeDecl(u.Disc, "v."+discField)
+		g.pf("switch v.%s {\n", discField)
+		for _, c := range u.Cases {
+			labels := make([]string, len(c.Values))
+			for i, cv := range c.Values {
+				labels[i] = g.caseGoValue(cv, u.Disc)
+			}
+			g.pf("case %s:\n", strings.Join(labels, ", "))
+			if c.Arm.Kind != DeclVoid {
+				g.encodeDecl(c.Arm, "v."+goFieldName(c.Arm.Name))
+			}
+		}
+		g.pf("default:\n")
+		if u.Default == nil {
+			g.pf("return fmt.Errorf(\"%s: bad discriminant %%v\", v.%s)\n", name, discField)
+		} else if u.Default.Kind != DeclVoid {
+			g.encodeDecl(u.Default, "v."+goFieldName(u.Default.Name))
+		}
+		g.pf("}\nreturn nil\n}\n\n")
+
+		g.pf("// UnmarshalXDR decodes the discriminant and the matching arm.\n")
+		g.pf("func (v *%s) UnmarshalXDR(d *xdr.Decoder) error {\n", name)
+		g.decodeDecl(u.Disc, "v."+discField)
+		g.pf("switch v.%s {\n", discField)
+		for _, c := range u.Cases {
+			labels := make([]string, len(c.Values))
+			for i, cv := range c.Values {
+				labels[i] = g.caseGoValue(cv, u.Disc)
+			}
+			g.pf("case %s:\n", strings.Join(labels, ", "))
+			if c.Arm.Kind != DeclVoid {
+				g.decodeDecl(c.Arm, "v."+goFieldName(c.Arm.Name))
+			}
+		}
+		g.pf("default:\n")
+		if u.Default == nil {
+			g.pf("return fmt.Errorf(\"%s: bad discriminant %%v\", v.%s)\n", name, discField)
+		} else if u.Default.Kind != DeclVoid {
+			g.decodeDecl(u.Default, "v."+goFieldName(u.Default.Name))
+		}
+		g.pf("}\nreturn nil\n}\n\n")
+	}
+}
+
+// boxFor returns (boxType, fieldAccess) for a primitive return type,
+// marking the box as needed.
+func (g *generator) boxFor(ts *TypeSpec) (string, bool) {
+	switch ts.Kind {
+	case BaseInt:
+		g.needInt32Box = true
+		return "xdrInt32Box", true
+	case BaseUInt:
+		g.needUint32Box = true
+		return "xdrUint32Box", true
+	case BaseHyper:
+		g.needInt64Box = true
+		return "xdrInt64Box", true
+	case BaseUHyper:
+		g.needUint64Box = true
+		return "xdrUint64Box", true
+	case BaseFloat:
+		g.needFloatBox = true
+		return "xdrFloat32Box", true
+	case BaseDouble:
+		g.needDoubleBox = true
+		return "xdrFloat64Box", true
+	case BaseBool:
+		g.needBoolBox = true
+		return "xdrBoolBox", true
+	case BaseString:
+		g.needStringBox = true
+		return "xdrStringBox", true
+	}
+	return "", false
+}
+
+// goRetType maps a procedure return type spec to a Go type.
+func (g *generator) goRetType(ts *TypeSpec) string {
+	if ts.Kind == BaseVoid {
+		return ""
+	}
+	if ts.Kind == BaseNamed && g.syms.enums[ts.Name] {
+		return goName(ts.Name)
+	}
+	return g.goType(ts)
+}
+
+func (g *generator) emitPrograms() error {
+	for _, prog := range g.spec.Programs {
+		progConst := goName(prog.Name)
+		g.pf("// %s is the RPC program number of %s.\nconst %s = %#x\n\n", progConst, prog.Name, progConst, prog.Number)
+		for _, v := range prog.Versions {
+			if err := g.emitVersion(prog, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g *generator) emitVersion(prog *ProgramDef, v *VersionDef) error {
+	versName := goName(v.Name)
+	g.pf("// %s is version %d of program %s.\nconst %s = %d\n\n", versName, v.Number, prog.Name, versName, v.Number)
+
+	g.pf("// Procedure numbers of %s.\nconst (\n", v.Name)
+	for _, p := range v.Procs {
+		g.pf("\tProc%s = %d\n", goName(p.Name), p.Number)
+	}
+	g.pf(")\n\n")
+
+	cliName := versName + "Client"
+	g.pf("// %s is a typed client for program %s version %d.\n", cliName, prog.Name, v.Number)
+	g.pf("type %s struct {\n\tRPC *oncrpc.Client\n}\n\n", cliName)
+	g.pf("// New%s wraps an established RPC client.\n", cliName)
+	g.pf("func New%s(rpc *oncrpc.Client) *%s { return &%s{RPC: rpc} }\n\n", cliName, cliName, cliName)
+
+	handlerName := versName + "Handler"
+	var handlerSigs []string
+
+	for _, p := range v.Procs {
+		mName := goName(p.Name)
+		argsType := "args" + versName + mName
+
+		// Argument struct (if any args).
+		var params, fields, assigns []string
+		for i, a := range p.Args {
+			pn := fmt.Sprintf("a%d", i)
+			fn := fmt.Sprintf("A%d", i)
+			t := g.goType(a)
+			if a.Kind == BaseNamed && g.syms.enums[a.Name] {
+				t = goName(a.Name)
+			}
+			params = append(params, pn+" "+t)
+			fields = append(fields, fn+" "+t)
+			assigns = append(assigns, fn+": "+pn)
+		}
+		if len(p.Args) > 0 {
+			g.pf("type %s struct {\n", argsType)
+			for _, f := range fields {
+				g.pf("\t%s\n", f)
+			}
+			g.pf("}\n\n")
+			g.pf("func (v *%s) MarshalXDR(e *xdr.Encoder) error {\n", argsType)
+			for i, a := range p.Args {
+				g.encodeArgTS(a, fmt.Sprintf("v.A%d", i))
+			}
+			g.pf("return nil\n}\n\n")
+			g.pf("func (v *%s) UnmarshalXDR(d *xdr.Decoder) error {\n", argsType)
+			for i, a := range p.Args {
+				g.decodeArgTS(a, fmt.Sprintf("v.A%d", i))
+			}
+			g.pf("return nil\n}\n\n")
+		}
+
+		retType := g.goRetType(p.Ret)
+		// Client method.
+		g.pf("// %s invokes RPC procedure %s (%d).\n", mName, p.Name, p.Number)
+		switch {
+		case p.Ret.Kind == BaseVoid:
+			g.pf("func (c *%s) %s(%s) error {\n", cliName, mName, strings.Join(params, ", "))
+			g.pf("return c.RPC.Call(Proc%s, %s, nil)\n}\n\n", mName, g.argsExpr(argsType, assigns, len(p.Args)))
+			handlerSigs = append(handlerSigs, fmt.Sprintf("%s(%s) error", mName, strings.Join(params, ", ")))
+		case g.isStructReturn(p.Ret):
+			g.pf("func (c *%s) %s(%s) (%s, error) {\n", cliName, mName, strings.Join(params, ", "), retType)
+			g.pf("var ret %s\n", retType)
+			g.pf("err := c.RPC.Call(Proc%s, %s, &ret)\nreturn ret, err\n}\n\n", mName, g.argsExpr(argsType, assigns, len(p.Args)))
+			handlerSigs = append(handlerSigs, fmt.Sprintf("%s(%s) (%s, error)", mName, strings.Join(params, ", "), retType))
+		default:
+			box, ok := g.boxFor(g.effectiveTS(p.Ret))
+			if !ok {
+				return fmt.Errorf("rpcl: procedure %s: unsupported return type %s", p.Name, p.Ret)
+			}
+			g.pf("func (c *%s) %s(%s) (%s, error) {\n", cliName, mName, strings.Join(params, ", "), retType)
+			g.pf("var ret %s\n", box)
+			g.pf("err := c.RPC.Call(Proc%s, %s, &ret)\nreturn %s(ret.V), err\n}\n\n", mName, g.argsExpr(argsType, assigns, len(p.Args)), retType)
+			handlerSigs = append(handlerSigs, fmt.Sprintf("%s(%s) (%s, error)", mName, strings.Join(params, ", "), retType))
+		}
+	}
+
+	// Handler interface + registration.
+	g.pf("// %s is the server-side interface of program %s version %d.\n", handlerName, prog.Name, v.Number)
+	g.pf("type %s interface {\n", handlerName)
+	for _, sig := range handlerSigs {
+		g.pf("\t%s\n", sig)
+	}
+	g.pf("}\n\n")
+
+	g.pf("// Register%s registers h with an RPC server.\n", versName)
+	g.pf("func Register%s(srv *oncrpc.Server, h %s) {\n", versName, handlerName)
+	g.pf("srv.Register(%s, %s, oncrpc.DispatcherFunc(func(proc uint32, d *xdr.Decoder, e *xdr.Encoder) error {\n", goName(prog.Name), versName)
+	g.pf("switch proc {\n")
+	for _, p := range v.Procs {
+		mName := goName(p.Name)
+		argsType := "args" + versName + mName
+		g.pf("case Proc%s:\n", mName)
+		callArgs := make([]string, len(p.Args))
+		if len(p.Args) > 0 {
+			g.pf("var args %s\n", argsType)
+			g.pf("if err := args.UnmarshalXDR(d); err != nil { return fmt.Errorf(\"%%w: %%v\", oncrpc.ErrGarbageArgs, err) }\n")
+			for i := range p.Args {
+				callArgs[i] = fmt.Sprintf("args.A%d", i)
+			}
+		}
+		call := fmt.Sprintf("h.%s(%s)", mName, strings.Join(callArgs, ", "))
+		switch {
+		case p.Ret.Kind == BaseVoid:
+			g.pf("return %s\n", call)
+		case g.isStructReturn(p.Ret):
+			g.pf("ret, err := %s\nif err != nil { return err }\nreturn (&ret).MarshalXDR(e)\n", call)
+		default:
+			g.pf("ret, err := %s\nif err != nil { return err }\n", call)
+			g.encodeArgTS(p.Ret, "ret")
+			g.pf("return nil\n")
+		}
+	}
+	g.pf("default:\nreturn oncrpc.ErrProcUnavail\n}\n}))\n}\n\n")
+	return nil
+}
+
+// effectiveTS resolves enum-named types to int32 for boxing.
+func (g *generator) effectiveTS(ts *TypeSpec) *TypeSpec {
+	if ts.Kind == BaseNamed && g.syms.enums[ts.Name] {
+		return &TypeSpec{Kind: BaseInt}
+	}
+	return ts
+}
+
+// isStructReturn reports whether a return type has its own XDR methods.
+func (g *generator) isStructReturn(ts *TypeSpec) bool {
+	if ts.Kind != BaseNamed {
+		return false
+	}
+	return g.syms.structs[ts.Name] || g.syms.unions[ts.Name] || g.syms.typedefs[ts.Name] != nil
+}
+
+func (g *generator) argsExpr(argsType string, assigns []string, n int) string {
+	if n == 0 {
+		return "nil"
+	}
+	return "&" + argsType + "{" + strings.Join(assigns, ", ") + "}"
+}
+
+// encodeArgTS encodes a bare type-spec value (procedure arg/return).
+func (g *generator) encodeArgTS(ts *TypeSpec, expr string) {
+	if ts.Kind == BaseNamed && g.syms.enums[ts.Name] {
+		g.pf("if err := e.PutInt32(int32(%s)); err != nil { return err }\n", expr)
+		return
+	}
+	g.encodePlain(ts, expr)
+}
+
+// decodeArgTS decodes a bare type-spec value.
+func (g *generator) decodeArgTS(ts *TypeSpec, expr string) {
+	if ts.Kind == BaseNamed && g.syms.enums[ts.Name] {
+		g.pf("if xv, err := d.Int32(); err != nil { return err } else { %s = %s(xv) }\n", expr, goName(ts.Name))
+		return
+	}
+	g.decodePlain(ts, expr)
+}
+
+func (g *generator) emitBoxes() {
+	box := func(name, typ, put, get, cast string) {
+		g.pf("type %s struct{ V %s }\n\n", name, typ)
+		g.pf("func (b *%s) MarshalXDR(e *xdr.Encoder) error { return e.%s(b.V) }\n\n", name, put)
+		if cast == "" {
+			g.pf("func (b *%s) UnmarshalXDR(d *xdr.Decoder) error { v, err := d.%s(); b.V = v; return err }\n\n", name, get)
+		} else {
+			g.pf("func (b *%s) UnmarshalXDR(d *xdr.Decoder) error { v, err := d.%s(); b.V = %s(v); return err }\n\n", name, get, cast)
+		}
+	}
+	if g.needInt32Box {
+		box("xdrInt32Box", "int32", "PutInt32", "Int32", "")
+	}
+	if g.needUint32Box {
+		box("xdrUint32Box", "uint32", "PutUint32", "Uint32", "")
+	}
+	if g.needInt64Box {
+		box("xdrInt64Box", "int64", "PutInt64", "Int64", "")
+	}
+	if g.needUint64Box {
+		box("xdrUint64Box", "uint64", "PutUint64", "Uint64", "")
+	}
+	if g.needFloatBox {
+		box("xdrFloat32Box", "float32", "PutFloat32", "Float32", "")
+	}
+	if g.needDoubleBox {
+		box("xdrFloat64Box", "float64", "PutFloat64", "Float64", "")
+	}
+	if g.needBoolBox {
+		box("xdrBoolBox", "bool", "PutBool", "Bool", "")
+	}
+	if g.needStringBox {
+		box("xdrStringBox", "string", "PutString", "String", "")
+	}
+}

@@ -1,0 +1,222 @@
+// Package rpcl implements the Remote Procedure Call Language (RPCL,
+// RFC 5531 §12 extending the XDR language of RFC 4506 §6): a lexer, a
+// parser producing an AST, semantic checks, and a Go code generator
+// that emits client stubs, server dispatch skeletons, and XDR
+// marshaling code for every type in a specification.
+//
+// This is the counterpart of the paper's RPC-Lib code generation:
+// RPC-Lib uses Rust procedural macros to turn the Cricket RPCL file
+// into client routines at compile time; here cmd/rpcgen plays the same
+// role for Go. Functions listed in an RPCL file become callable with
+// no hand-written marshaling.
+package rpcl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokPunct // one of ; : , = { } ( ) [ ] < > *
+	TokKeyword
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokPunct:
+		return "punctuation"
+	case TokKeyword:
+		return "keyword"
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// keywords of the RPCL language.
+var keywords = map[string]bool{
+	"bool": true, "case": true, "const": true, "default": true,
+	"double": true, "quadruple": true, "enum": true, "float": true,
+	"hyper": true, "int": true, "opaque": true, "string": true,
+	"struct": true, "switch": true, "typedef": true, "union": true,
+	"unsigned": true, "void": true, "program": true, "version": true,
+}
+
+// A Token is one lexical element with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// A SyntaxError reports a lexical or parse failure with its position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("rpcl: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src       string
+	pos       int
+	line, col int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpace consumes whitespace, C comments, C++ line comments, and
+// preprocessor lines (rpcgen passes `%` and `#` lines through; we skip
+// them).
+func (l *lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#' || c == '%':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &SyntaxError{Line: startLine, Col: startCol, Msg: "unterminated comment"}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Line: l.line, Col: l.col}, nil
+	}
+	line, col := l.line, l.col
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+	case unicode.IsDigit(rune(c)) || c == '-':
+		start := l.pos
+		l.advance()
+		if c == '0' && l.pos < len(l.src) && (l.peek() == 'x' || l.peek() == 'X') {
+			l.advance()
+		}
+		for l.pos < len(l.src) && (isIdentCont(l.peek())) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if text == "-" {
+			return Token{}, &SyntaxError{Line: line, Col: col, Msg: "bare '-'"}
+		}
+		return Token{Kind: TokNumber, Text: text, Line: line, Col: col}, nil
+	case strings.IndexByte(";:,={}()[]<>*", c) >= 0:
+		l.advance()
+		return Token{Kind: TokPunct, Text: string(c), Line: line, Col: col}, nil
+	default:
+		return Token{}, l.errorf("unexpected character %q", c)
+	}
+}
+
+// Lex tokenizes an entire RPCL source, for testing and tooling.
+func Lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

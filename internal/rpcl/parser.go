@@ -1,0 +1,595 @@
+package rpcl
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Parse parses a complete RPCL source file into a Spec and runs the
+// semantic checks of Check on the result.
+func Parse(src string) (*Spec, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	spec := &Spec{}
+	for p.tok.Kind != TokEOF {
+		if err := p.parseDefinition(spec); err != nil {
+			return nil, err
+		}
+	}
+	if err := Check(spec); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+type parser struct {
+	lex *lexer
+	tok Token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Line: p.tok.Line, Col: p.tok.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// expect consumes a token of the given kind and text (text ignored if
+// empty) and returns it.
+func (p *parser) expect(kind TokenKind, text string) (Token, error) {
+	if p.tok.Kind != kind || (text != "" && p.tok.Text != text) {
+		want := text
+		if want == "" {
+			want = kind.String()
+		}
+		return Token{}, p.errorf("expected %s, found %s", want, p.tok)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *parser) accept(kind TokenKind, text string) bool {
+	if p.tok.Kind == kind && (text == "" || p.tok.Text == text) {
+		if err := p.advance(); err != nil {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseDefinition(spec *Spec) error {
+	if p.tok.Kind != TokKeyword {
+		return p.errorf("expected definition keyword, found %s", p.tok)
+	}
+	switch p.tok.Text {
+	case "const":
+		d, err := p.parseConst()
+		if err != nil {
+			return err
+		}
+		spec.Consts = append(spec.Consts, d)
+	case "enum":
+		d, err := p.parseEnum()
+		if err != nil {
+			return err
+		}
+		spec.Enums = append(spec.Enums, d)
+	case "struct":
+		d, err := p.parseStruct()
+		if err != nil {
+			return err
+		}
+		spec.Structs = append(spec.Structs, d)
+	case "union":
+		d, err := p.parseUnion()
+		if err != nil {
+			return err
+		}
+		spec.Unions = append(spec.Unions, d)
+	case "typedef":
+		d, err := p.parseTypedef()
+		if err != nil {
+			return err
+		}
+		spec.Typedefs = append(spec.Typedefs, d)
+	case "program":
+		d, err := p.parseProgram()
+		if err != nil {
+			return err
+		}
+		spec.Programs = append(spec.Programs, d)
+	default:
+		return p.errorf("unexpected keyword %q at top level", p.tok.Text)
+	}
+	return nil
+}
+
+func parseNumber(text string) (int64, error) {
+	return strconv.ParseInt(text, 0, 64)
+}
+
+func (p *parser) parseConst() (*ConstDef, error) {
+	line := p.tok.Line
+	if _, err := p.expect(TokKeyword, "const"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "="); err != nil {
+		return nil, err
+	}
+	num, err := p.expect(TokNumber, "")
+	if err != nil {
+		return nil, err
+	}
+	v, err := parseNumber(num.Text)
+	if err != nil {
+		return nil, p.errorf("bad constant %q: %v", num.Text, err)
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &ConstDef{Name: name.Text, Value: v, Line: line}, nil
+}
+
+func (p *parser) parseEnum() (*EnumDef, error) {
+	line := p.tok.Line
+	if _, err := p.expect(TokKeyword, "enum"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	members, err := p.parseEnumBody()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &EnumDef{Name: name.Text, Members: members, Line: line}, nil
+}
+
+func (p *parser) parseEnumBody() ([]EnumMember, error) {
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var members []EnumMember
+	for {
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "="); err != nil {
+			return nil, err
+		}
+		num, err := p.expect(TokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseNumber(num.Text)
+		if err != nil {
+			return nil, p.errorf("bad enum value %q: %v", num.Text, err)
+		}
+		if v < math.MinInt32 || v > math.MaxInt32 {
+			return nil, p.errorf("enum value %d out of int32 range", v)
+		}
+		members = append(members, EnumMember{Name: name.Text, Value: v})
+		if p.accept(TokPunct, ",") {
+			continue
+		}
+		if _, err := p.expect(TokPunct, "}"); err != nil {
+			return nil, err
+		}
+		return members, nil
+	}
+}
+
+func (p *parser) parseStruct() (*StructDef, error) {
+	line := p.tok.Line
+	if _, err := p.expect(TokKeyword, "struct"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	fields, err := p.parseStructBody()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &StructDef{Name: name.Text, Fields: fields, Line: line}, nil
+}
+
+func (p *parser) parseStructBody() ([]*Decl, error) {
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var fields []*Decl
+	for {
+		d, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		if d.Kind != DeclVoid {
+			fields = append(fields, d)
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		if p.accept(TokPunct, "}") {
+			return fields, nil
+		}
+	}
+}
+
+func (p *parser) parseUnion() (*UnionDef, error) {
+	line := p.tok.Line
+	if _, err := p.expect(TokKeyword, "union"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "switch"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	disc, err := p.parseDecl()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	u := &UnionDef{Name: name.Text, Disc: disc, Line: line}
+	for {
+		switch {
+		case p.tok.Kind == TokKeyword && p.tok.Text == "case":
+			var vals []string
+			for p.accept(TokKeyword, "case") {
+				v, err := p.parseCaseValue()
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, v)
+				if _, err := p.expect(TokPunct, ":"); err != nil {
+					return nil, err
+				}
+			}
+			arm, err := p.parseDecl()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ";"); err != nil {
+				return nil, err
+			}
+			u.Cases = append(u.Cases, &UnionCase{Values: vals, Arm: arm})
+		case p.tok.Kind == TokKeyword && p.tok.Text == "default":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ":"); err != nil {
+				return nil, err
+			}
+			arm, err := p.parseDecl()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ";"); err != nil {
+				return nil, err
+			}
+			u.Default = arm
+		case p.tok.Kind == TokPunct && p.tok.Text == "}":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ";"); err != nil {
+				return nil, err
+			}
+			if len(u.Cases) == 0 {
+				return nil, p.errorf("union %s has no cases", u.Name)
+			}
+			return u, nil
+		default:
+			return nil, p.errorf("expected case, default, or }, found %s", p.tok)
+		}
+	}
+}
+
+func (p *parser) parseCaseValue() (string, error) {
+	if p.tok.Kind == TokNumber || p.tok.Kind == TokIdent {
+		v := p.tok.Text
+		return v, p.advance()
+	}
+	return "", p.errorf("expected case value, found %s", p.tok)
+}
+
+func (p *parser) parseTypedef() (*TypedefDef, error) {
+	line := p.tok.Line
+	if _, err := p.expect(TokKeyword, "typedef"); err != nil {
+		return nil, err
+	}
+	d, err := p.parseDecl()
+	if err != nil {
+		return nil, err
+	}
+	if d.Kind == DeclVoid {
+		return nil, p.errorf("typedef of void")
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &TypedefDef{Decl: d, Line: line}, nil
+}
+
+func (p *parser) parseProgram() (*ProgramDef, error) {
+	line := p.tok.Line
+	if _, err := p.expect(TokKeyword, "program"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	prog := &ProgramDef{Name: name.Text, Line: line}
+	for {
+		v, err := p.parseVersion()
+		if err != nil {
+			return nil, err
+		}
+		prog.Versions = append(prog.Versions, v)
+		if p.accept(TokPunct, "}") {
+			break
+		}
+	}
+	if _, err := p.expect(TokPunct, "="); err != nil {
+		return nil, err
+	}
+	num, err := p.expect(TokNumber, "")
+	if err != nil {
+		return nil, err
+	}
+	n, err := parseNumber(num.Text)
+	if err != nil || n < 0 || n > math.MaxUint32 {
+		return nil, p.errorf("bad program number %q", num.Text)
+	}
+	prog.Number = uint32(n)
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func (p *parser) parseVersion() (*VersionDef, error) {
+	if _, err := p.expect(TokKeyword, "version"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	v := &VersionDef{Name: name.Text}
+	for {
+		proc, err := p.parseProc()
+		if err != nil {
+			return nil, err
+		}
+		v.Procs = append(v.Procs, proc)
+		if p.accept(TokPunct, "}") {
+			break
+		}
+	}
+	if _, err := p.expect(TokPunct, "="); err != nil {
+		return nil, err
+	}
+	num, err := p.expect(TokNumber, "")
+	if err != nil {
+		return nil, err
+	}
+	n, err := parseNumber(num.Text)
+	if err != nil || n < 0 || n > math.MaxUint32 {
+		return nil, p.errorf("bad version number %q", num.Text)
+	}
+	v.Number = uint32(n)
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func (p *parser) parseProc() (*ProcDef, error) {
+	line := p.tok.Line
+	ret, err := p.parseTypeSpec()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	proc := &ProcDef{Name: name.Text, Ret: ret, Line: line}
+	for {
+		arg, err := p.parseTypeSpec()
+		if err != nil {
+			return nil, err
+		}
+		if arg.Kind != BaseVoid {
+			proc.Args = append(proc.Args, arg)
+		} else if len(proc.Args) > 0 || !p.peekPunct(")") {
+			return nil, p.errorf("void must be the only parameter")
+		}
+		if p.accept(TokPunct, ",") {
+			continue
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	if _, err := p.expect(TokPunct, "="); err != nil {
+		return nil, err
+	}
+	num, err := p.expect(TokNumber, "")
+	if err != nil {
+		return nil, err
+	}
+	n, err := parseNumber(num.Text)
+	if err != nil || n < 0 || n > math.MaxUint32 {
+		return nil, p.errorf("bad procedure number %q", num.Text)
+	}
+	proc.Number = uint32(n)
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return proc, nil
+}
+
+func (p *parser) peekPunct(text string) bool {
+	return p.tok.Kind == TokPunct && p.tok.Text == text
+}
+
+// parseTypeSpec parses a bare type specifier (no declarator).
+func (p *parser) parseTypeSpec() (*TypeSpec, error) {
+	switch p.tok.Kind {
+	case TokIdent:
+		name := p.tok.Text
+		return &TypeSpec{Kind: BaseNamed, Name: name}, p.advance()
+	case TokKeyword:
+		switch p.tok.Text {
+		case "int":
+			return &TypeSpec{Kind: BaseInt}, p.advance()
+		case "hyper":
+			return &TypeSpec{Kind: BaseHyper}, p.advance()
+		case "float":
+			return &TypeSpec{Kind: BaseFloat}, p.advance()
+		case "double":
+			return &TypeSpec{Kind: BaseDouble}, p.advance()
+		case "bool":
+			return &TypeSpec{Kind: BaseBool}, p.advance()
+		case "void":
+			return &TypeSpec{Kind: BaseVoid}, p.advance()
+		case "string":
+			return &TypeSpec{Kind: BaseString}, p.advance()
+		case "opaque":
+			return &TypeSpec{Kind: BaseOpaque}, p.advance()
+		case "unsigned":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.Kind == TokKeyword {
+				switch p.tok.Text {
+				case "int":
+					return &TypeSpec{Kind: BaseUInt}, p.advance()
+				case "hyper":
+					return &TypeSpec{Kind: BaseUHyper}, p.advance()
+				}
+			}
+			// bare "unsigned" means unsigned int
+			return &TypeSpec{Kind: BaseUInt}, nil
+		}
+	}
+	return nil, p.errorf("expected type, found %s", p.tok)
+}
+
+// parseDecl parses a declaration: a type specifier with a declarator.
+func (p *parser) parseDecl() (*Decl, error) {
+	line := p.tok.Line
+	ts, err := p.parseTypeSpec()
+	if err != nil {
+		return nil, err
+	}
+	if ts.Kind == BaseVoid {
+		return &Decl{Kind: DeclVoid, Type: ts, Line: line}, nil
+	}
+	// Optional: type *name
+	if p.accept(TokPunct, "*") {
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if ts.Kind == BaseString || ts.Kind == BaseOpaque {
+			return nil, p.errorf("%s cannot be optional", ts)
+		}
+		return &Decl{Kind: DeclOptional, Name: name.Text, Type: ts, Line: line}, nil
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	d := &Decl{Kind: DeclPlain, Name: name.Text, Type: ts, Line: line}
+	switch {
+	case p.accept(TokPunct, "["):
+		size, err := p.parseSizeValue()
+		if err != nil {
+			return nil, err
+		}
+		if size == "" {
+			return nil, p.errorf("fixed array requires a size")
+		}
+		if _, err := p.expect(TokPunct, "]"); err != nil {
+			return nil, err
+		}
+		d.Kind = DeclFixedArr
+		d.Size = size
+	case p.accept(TokPunct, "<"):
+		size, err := p.parseSizeValue()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ">"); err != nil {
+			return nil, err
+		}
+		d.Kind = DeclVarArr
+		d.Size = size
+	default:
+		if ts.Kind == BaseString {
+			return nil, p.errorf("string requires <> declarator")
+		}
+		if ts.Kind == BaseOpaque {
+			return nil, p.errorf("opaque requires [] or <> declarator")
+		}
+	}
+	return d, nil
+}
+
+// parseSizeValue parses an optional array bound: a number or const
+// identifier; empty means unbounded (valid only for <>).
+func (p *parser) parseSizeValue() (string, error) {
+	if p.tok.Kind == TokNumber || p.tok.Kind == TokIdent {
+		v := p.tok.Text
+		return v, p.advance()
+	}
+	return "", nil
+}

@@ -1,0 +1,40 @@
+package xdr
+
+import "bytes"
+
+// Marshal encodes v into a fresh byte slice.
+func Marshal(v Marshaler) ([]byte, error) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	if err := e.Marshal(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes v from data. Trailing bytes are not an error; use
+// UnmarshalStrict to reject them.
+func Unmarshal(data []byte, v Unmarshaler) error {
+	d := NewDecoder(bytes.NewReader(data))
+	return d.Unmarshal(v)
+}
+
+// UnmarshalStrict decodes v from data and rejects trailing bytes.
+func UnmarshalStrict(data []byte, v Unmarshaler) error {
+	r := bytes.NewReader(data)
+	d := NewDecoder(r)
+	if err := d.Unmarshal(v); err != nil {
+		return err
+	}
+	if r.Len() != 0 {
+		return ErrTrailingBytes
+	}
+	return nil
+}
+
+// ErrTrailingBytes reports undecoded bytes left after UnmarshalStrict.
+var ErrTrailingBytes = errTrailing{}
+
+type errTrailing struct{}
+
+func (errTrailing) Error() string { return "xdr: trailing bytes after decode" }

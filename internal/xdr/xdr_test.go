@@ -1,0 +1,634 @@
+package xdr
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPad(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 3}, {2, 2}, {3, 1}, {4, 0}, {5, 3}, {8, 0}, {9, 3},
+	}
+	for _, c := range cases {
+		if got := Pad(c.n); got != c.want {
+			t.Errorf("Pad(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestOpaqueLen(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 4}, {1, 8}, {4, 8}, {5, 12}, {100, 104},
+	}
+	for _, c := range cases {
+		if got := OpaqueLen(c.n); got != c.want {
+			t.Errorf("OpaqueLen(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func roundTrip(t *testing.T, enc func(*Encoder) error, dec func(*Decoder) error) {
+	t.Helper()
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	if err := enc(e); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if buf.Len()%Alignment != 0 {
+		t.Fatalf("encoded length %d not 4-aligned", buf.Len())
+	}
+	d := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err := dec(d); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if d.Len() != int64(buf.Len()) {
+		t.Fatalf("decoder consumed %d of %d bytes", d.Len(), buf.Len())
+	}
+}
+
+func TestUint32RoundTrip(t *testing.T) {
+	for _, v := range []uint32{0, 1, 0x7fffffff, 0x80000000, math.MaxUint32} {
+		roundTrip(t,
+			func(e *Encoder) error { return e.PutUint32(v) },
+			func(d *Decoder) error {
+				got, err := d.Uint32()
+				if err != nil {
+					return err
+				}
+				if got != v {
+					t.Errorf("got %d, want %d", got, v)
+				}
+				return nil
+			})
+	}
+}
+
+func TestInt32BigEndianWire(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	if err := e.PutInt32(-1); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0xff, 0xff, 0xff, 0xff}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("wire = %x, want %x", buf.Bytes(), want)
+	}
+	buf.Reset()
+	if err := e.PutUint32(0x01020304); err != nil {
+		t.Fatal(err)
+	}
+	// Encoder is sticky but Reset was not called; re-create for clarity.
+	e = NewEncoder(&buf)
+	buf.Reset()
+	if err := e.PutUint32(0x01020304); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), []byte{1, 2, 3, 4}) {
+		t.Fatalf("wire = %x, want 01020304", buf.Bytes())
+	}
+}
+
+func TestHyperRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, math.MaxInt64, math.MaxUint64, 0x0102030405060708} {
+		roundTrip(t,
+			func(e *Encoder) error { return e.PutUint64(v) },
+			func(d *Decoder) error {
+				got, err := d.Uint64()
+				if err != nil {
+					return err
+				}
+				if got != v {
+					t.Errorf("got %d, want %d", got, v)
+				}
+				return nil
+			})
+	}
+}
+
+func TestBool(t *testing.T) {
+	for _, v := range []bool{true, false} {
+		roundTrip(t,
+			func(e *Encoder) error { return e.PutBool(v) },
+			func(d *Decoder) error {
+				got, err := d.Bool()
+				if err != nil {
+					return err
+				}
+				if got != v {
+					t.Errorf("got %v, want %v", got, v)
+				}
+				return nil
+			})
+	}
+}
+
+func TestBoolRejectsGarbage(t *testing.T) {
+	d := NewDecoder(bytes.NewReader([]byte{0, 0, 0, 2}))
+	if _, err := d.Bool(); !errors.Is(err, ErrBadBool) {
+		t.Fatalf("err = %v, want ErrBadBool", err)
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1.5, -2.75, math.Pi, math.Inf(1), math.Inf(-1), math.SmallestNonzeroFloat64} {
+		roundTrip(t,
+			func(e *Encoder) error { return e.PutFloat64(v) },
+			func(d *Decoder) error {
+				got, err := d.Float64()
+				if err != nil {
+					return err
+				}
+				if got != v {
+					t.Errorf("got %v, want %v", got, v)
+				}
+				return nil
+			})
+	}
+	roundTrip(t,
+		func(e *Encoder) error { return e.PutFloat32(float32(math.Pi)) },
+		func(d *Decoder) error {
+			got, err := d.Float32()
+			if err != nil {
+				return err
+			}
+			if got != float32(math.Pi) {
+				t.Errorf("got %v", got)
+			}
+			return nil
+		})
+}
+
+func TestFloatNaN(t *testing.T) {
+	roundTrip(t,
+		func(e *Encoder) error { return e.PutFloat64(math.NaN()) },
+		func(d *Decoder) error {
+			got, err := d.Float64()
+			if err != nil {
+				return err
+			}
+			if !math.IsNaN(got) {
+				t.Errorf("got %v, want NaN", got)
+			}
+			return nil
+		})
+}
+
+func TestOpaqueRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 100, 4096} {
+		p := make([]byte, n)
+		for i := range p {
+			p[i] = byte(i * 7)
+		}
+		roundTrip(t,
+			func(e *Encoder) error { return e.PutOpaque(p) },
+			func(d *Decoder) error {
+				got, err := d.Opaque()
+				if err != nil {
+					return err
+				}
+				if !bytes.Equal(got, p) {
+					t.Errorf("opaque mismatch at n=%d", n)
+				}
+				return nil
+			})
+	}
+}
+
+func TestFixedOpaquePadding(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	if err := e.PutFixedOpaque([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 2, 3, 0}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("wire = %x, want %x", buf.Bytes(), want)
+	}
+	d := NewDecoder(bytes.NewReader(buf.Bytes()))
+	got := make([]byte, 3)
+	if err := d.FixedOpaque(got); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 4 {
+		t.Fatalf("consumed %d, want 4", d.Len())
+	}
+}
+
+func TestNonzeroPaddingRejected(t *testing.T) {
+	// opaque<> of length 1 with nonzero pad byte.
+	wire := []byte{0, 0, 0, 1, 0xaa, 0xff, 0, 0}
+	d := NewDecoder(bytes.NewReader(wire))
+	if _, err := d.Opaque(); !errors.Is(err, ErrBadPadding) {
+		t.Fatalf("err = %v, want ErrBadPadding", err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "a", "abc", "abcd", "hello world", strings.Repeat("x", 1000), "unicode: héllo ☃"} {
+		roundTrip(t,
+			func(e *Encoder) error { return e.PutString(s) },
+			func(d *Decoder) error {
+				got, err := d.String()
+				if err != nil {
+					return err
+				}
+				if got != s {
+					t.Errorf("got %q, want %q", got, s)
+				}
+				return nil
+			})
+	}
+}
+
+func TestMaxSizeEnforced(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	if err := e.PutOpaque(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(bytes.NewReader(buf.Bytes()))
+	d.SetMaxSize(64)
+	if _, err := d.Opaque(); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("err = %v, want ErrTooLong", err)
+	}
+}
+
+func TestHostileLengthDoesNotAllocate(t *testing.T) {
+	// A 4 GiB length prefix with no data must fail fast via the max
+	// size check, not by attempting a huge allocation then EOF.
+	wire := []byte{0xff, 0xff, 0xff, 0xff}
+	d := NewDecoder(bytes.NewReader(wire))
+	d.SetMaxSize(1 << 20)
+	if _, err := d.Opaque(); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("err = %v, want ErrTooLong", err)
+	}
+}
+
+func TestOpaqueInto(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	src := []byte{9, 8, 7, 6, 5}
+	if err := e.PutOpaque(src); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(bytes.NewReader(buf.Bytes()))
+	dst := make([]byte, 0, 16)
+	got, err := d.OpaqueInto(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("got %v", got)
+	}
+	if &got[0] != &dst[:1][0] {
+		t.Error("OpaqueInto did not reuse the provided buffer")
+	}
+	// Too small a buffer must still succeed by allocating.
+	d = NewDecoder(bytes.NewReader(buf.Bytes()))
+	got, err = d.OpaqueInto(make([]byte, 0, 2))
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatalf("got %v, err %v", got, err)
+	}
+}
+
+func TestSlices(t *testing.T) {
+	u32 := []uint32{1, 2, 3, math.MaxUint32}
+	u64 := []uint64{4, 5, math.MaxUint64}
+	f64 := []float64{1.5, -2.5, math.Pi}
+	roundTrip(t,
+		func(e *Encoder) error {
+			if err := e.PutUint32Slice(u32); err != nil {
+				return err
+			}
+			if err := e.PutUint64Slice(u64); err != nil {
+				return err
+			}
+			return e.PutFloat64Slice(f64)
+		},
+		func(d *Decoder) error {
+			g1, err := d.Uint32Slice()
+			if err != nil {
+				return err
+			}
+			g2, err := d.Uint64Slice()
+			if err != nil {
+				return err
+			}
+			g3, err := d.Float64Slice()
+			if err != nil {
+				return err
+			}
+			if len(g1) != len(u32) || g1[3] != math.MaxUint32 {
+				t.Errorf("u32 = %v", g1)
+			}
+			if len(g2) != len(u64) || g2[2] != math.MaxUint64 {
+				t.Errorf("u64 = %v", g2)
+			}
+			if len(g3) != len(f64) || g3[2] != math.Pi {
+				t.Errorf("f64 = %v", g3)
+			}
+			return nil
+		})
+}
+
+func TestEmptySlices(t *testing.T) {
+	roundTrip(t,
+		func(e *Encoder) error { return e.PutUint32Slice(nil) },
+		func(d *Decoder) error {
+			got, err := d.Uint32Slice()
+			if err != nil {
+				return err
+			}
+			if len(got) != 0 {
+				t.Errorf("got %v", got)
+			}
+			return nil
+		})
+}
+
+type pair struct {
+	A uint32
+	B string
+}
+
+func (p *pair) MarshalXDR(e *Encoder) error {
+	e.PutUint32(p.A)
+	return e.PutString(p.B)
+}
+
+func (p *pair) UnmarshalXDR(d *Decoder) error {
+	var err error
+	if p.A, err = d.Uint32(); err != nil {
+		return err
+	}
+	p.B, err = d.String()
+	return err
+}
+
+func TestMarshalUnmarshalBytes(t *testing.T) {
+	in := &pair{A: 42, B: "cricket"}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out pair
+	if err := UnmarshalStrict(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != *in {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestUnmarshalStrictTrailing(t *testing.T) {
+	in := &pair{A: 1, B: "x"}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, 0, 0, 0, 0)
+	var out pair
+	if err := UnmarshalStrict(data, &out); !errors.Is(err, ErrTrailingBytes) {
+		t.Fatalf("err = %v, want ErrTrailingBytes", err)
+	}
+	// Non-strict Unmarshal tolerates the same input.
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+}
+
+func TestOptional(t *testing.T) {
+	in := &pair{A: 7, B: "opt"}
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	if err := e.PutOptional(true, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PutOptional(false, in); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(bytes.NewReader(buf.Bytes()))
+	var got pair
+	present, err := d.Optional(func(d *Decoder) error { return got.UnmarshalXDR(d) })
+	if err != nil || !present {
+		t.Fatalf("present=%v err=%v", present, err)
+	}
+	if got != *in {
+		t.Fatalf("got %+v", got)
+	}
+	present, err = d.Optional(func(d *Decoder) error { t.Error("decode called for absent value"); return nil })
+	if err != nil || present {
+		t.Fatalf("present=%v err=%v", present, err)
+	}
+}
+
+func TestOptionalBadDiscriminant(t *testing.T) {
+	d := NewDecoder(bytes.NewReader([]byte{0, 0, 0, 9}))
+	if _, err := d.Optional(func(*Decoder) error { return nil }); !errors.Is(err, ErrBadOptional) {
+		t.Fatalf("err = %v, want ErrBadOptional", err)
+	}
+}
+
+func TestStickyErrors(t *testing.T) {
+	// Encoder: a writer that fails keeps failing.
+	e := NewEncoder(failWriter{})
+	if err := e.PutUint32(1); err == nil {
+		t.Fatal("want error from failWriter")
+	}
+	first := e.Err()
+	if err := e.PutString("more"); err != first {
+		t.Fatalf("sticky error changed: %v vs %v", err, first)
+	}
+	// Decoder: short input.
+	d := NewDecoder(bytes.NewReader([]byte{0, 0}))
+	if _, err := d.Uint32(); err == nil {
+		t.Fatal("want short-read error")
+	}
+	firstD := d.Err()
+	if _, err := d.Uint32(); err != firstD {
+		t.Fatalf("sticky error changed")
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(failWriter{})
+	_ = e.PutUint32(1)
+	var buf bytes.Buffer
+	e.Reset(&buf)
+	if e.Err() != nil || e.Len() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	if err := e.PutUint32(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoderReset(t *testing.T) {
+	d := NewDecoder(bytes.NewReader(nil))
+	_, _ = d.Uint32()
+	d.Reset(bytes.NewReader([]byte{0, 0, 0, 5}))
+	v, err := d.Uint32()
+	if err != nil || v != 5 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func TestShortReadReportsUnexpectedEOF(t *testing.T) {
+	d := NewDecoder(bytes.NewReader([]byte{0, 0, 0, 8, 1, 2}))
+	if _, err := d.Opaque(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want wrapped ErrUnexpectedEOF", err)
+	}
+}
+
+// Property: every opaque payload round-trips and its encoding is
+// 4-aligned with the documented length.
+func TestQuickOpaqueRoundTrip(t *testing.T) {
+	f := func(p []byte) bool {
+		var buf bytes.Buffer
+		e := NewEncoder(&buf)
+		if err := e.PutOpaque(p); err != nil {
+			return false
+		}
+		if buf.Len() != OpaqueLen(len(p)) {
+			return false
+		}
+		d := NewDecoder(bytes.NewReader(buf.Bytes()))
+		got, err := d.Opaque()
+		return err == nil && bytes.Equal(got, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: integers of all widths round-trip.
+func TestQuickIntegerRoundTrip(t *testing.T) {
+	f := func(a uint32, b int32, c uint64, d int64) bool {
+		var buf bytes.Buffer
+		e := NewEncoder(&buf)
+		e.PutUint32(a)
+		e.PutInt32(b)
+		e.PutUint64(c)
+		if err := e.PutInt64(d); err != nil {
+			return false
+		}
+		dec := NewDecoder(bytes.NewReader(buf.Bytes()))
+		ga, _ := dec.Uint32()
+		gb, _ := dec.Int32()
+		gc, _ := dec.Uint64()
+		gd, err := dec.Int64()
+		return err == nil && ga == a && gb == b && gc == c && gd == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: strings round-trip (including arbitrary bytes, since XDR
+// strings are opaque).
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		var buf bytes.Buffer
+		e := NewEncoder(&buf)
+		if err := e.PutString(s); err != nil {
+			return false
+		}
+		d := NewDecoder(bytes.NewReader(buf.Bytes()))
+		got, err := d.String()
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: float64 bit patterns survive (NaN payloads included).
+func TestQuickFloatBits(t *testing.T) {
+	f := func(bits uint64) bool {
+		v := math.Float64frombits(bits)
+		var buf bytes.Buffer
+		e := NewEncoder(&buf)
+		if err := e.PutFloat64(v); err != nil {
+			return false
+		}
+		d := NewDecoder(bytes.NewReader(buf.Bytes()))
+		got, err := d.Float64()
+		return err == nil && math.Float64bits(got) == bits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeUint32(b *testing.B) {
+	e := NewEncoder(io.Discard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = e.PutUint32(uint32(i))
+	}
+}
+
+func BenchmarkOpaqueRoundTrip4K(b *testing.B) {
+	p := make([]byte, 4096)
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	d := NewDecoder(nil)
+	dst := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		e.Reset(&buf)
+		_ = e.PutOpaque(p)
+		d.Reset(bytes.NewReader(buf.Bytes()))
+		if _, err := d.OpaqueInto(dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: decoding arbitrary bytes as any sequence of types never
+// panics; it either succeeds or errors.
+func TestQuickDecoderNeverPanics(t *testing.T) {
+	f := func(data []byte, ops []uint8) bool {
+		d := NewDecoder(bytes.NewReader(data))
+		d.SetMaxSize(1 << 16)
+		for _, op := range ops {
+			switch op % 10 {
+			case 0:
+				d.Uint32()
+			case 1:
+				d.Int32()
+			case 2:
+				d.Uint64()
+			case 3:
+				d.Bool()
+			case 4:
+				d.Float32()
+			case 5:
+				d.Float64()
+			case 6:
+				d.String()
+			case 7:
+				d.Opaque()
+			case 8:
+				d.Uint32Slice()
+			case 9:
+				d.Optional(func(d *Decoder) error { _, err := d.Uint32(); return err })
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
