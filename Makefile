@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet ci bench generate
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci is the gate: everything builds, vets clean, and the full test
+# suite passes under the race detector.
+ci: build vet race
+
+bench:
+	$(GO) run ./cmd/benchharness -all -ci
+
+generate:
+	$(GO) run ./cmd/rpcgen -pkg cricket -o internal/cricket/gen_cricket.go internal/cricket/cricket.x
+	$(GO) run ./cmd/rpcgen -pkg rpcltest -o internal/rpcltest/gen_mini.go internal/rpcltest/mini.x

@@ -35,6 +35,7 @@ func main() {
 	ablCubin := flag.Bool("ablation-cubin", false, "cubin compression ablation")
 	ablMTU := flag.Bool("ablation-mtu", false, "MTU ablation")
 	ablFuture := flag.Bool("ablation-future", false, "§5 future-work projection (Hermit TSO, vDPA)")
+	recovery := flag.Bool("recovery", false, "session recovery latency vs replayed state")
 	flag.Parse()
 
 	scale := bench.ScalePaper
@@ -120,6 +121,16 @@ func main() {
 	section(*ablFuture, func() {
 		runRows("Ablation (§5 outlook): Hermit with TSO and vDPA, bulk H2D", "MiB/s",
 			func() ([]bench.Row, error) { return bench.AblationFutureWork(bwBytes) })
+	})
+	section(*recovery, func() {
+		counts := []int{1, 16, 64, 256}
+		runs := 5
+		if *ci {
+			counts = []int{1, 16}
+			runs = 2
+		}
+		runRows("Session recovery after server restart (wall-clock ms)", "ms",
+			func() ([]bench.Row, error) { return bench.Recovery(counts, runs) })
 	})
 
 	if !ran {

@@ -12,14 +12,22 @@
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
 	"net"
 	"os"
+	"time"
 
 	"cricket/internal/apps"
 	"cricket/internal/core"
 	"cricket/internal/cricket"
+	"cricket/internal/cubin"
+	"cricket/internal/cuda"
+	"cricket/internal/gpu"
 	"cricket/internal/guest"
 )
 
@@ -30,6 +38,8 @@ func main() {
 	iters := flag.Int("iters", 0, "iteration/pass count (0: small demo default)")
 	direction := flag.String("direction", "h2d", "bandwidth direction: h2d or d2h")
 	full := flag.Bool("paper-scale", false, "run the full paper-scale workload (timing replay)")
+	session := flag.Bool("session", false, "with -server: use a fault-tolerant session (reconnect + replay)")
+	pauseMs := flag.Int("pause-ms", 0, "with -session: pause after checkpoint, before the launch (a window to kill/restart the server)")
 	flag.Parse()
 
 	p, ok := guest.ByName(*platform)
@@ -39,7 +49,11 @@ func main() {
 	}
 
 	if *server != "" {
-		runRemote(*server, p, *app)
+		if *session {
+			runSession(*server, p, *pauseMs)
+		} else {
+			runRemote(*server, p, *app)
+		}
 		return
 	}
 
@@ -165,4 +179,82 @@ func runRemote(addr string, p guest.Platform, app string) {
 	}
 	fmt.Printf("memory round trip (1 MiB): ok=%v\n", ok)
 	_ = app
+}
+
+// runSession drives a matrixMul workload through a fault-tolerant
+// session: the server may be killed and restarted while this runs (use
+// -pause-ms to open a window between the checkpoint and the launch)
+// and the workload still completes, bit-identical. The result checksum
+// and the session's recovery counters are printed so a harness can
+// compare a faulted run against a fault-free one.
+func runSession(addr string, p guest.Platform, pauseMs int) {
+	s, err := cricket.NewSession(cricket.SessionOptions{
+		Options: cricket.Options{Platform: p},
+		Redial: func() (io.ReadWriteCloser, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer s.Close()
+
+	const dim = 32 // one 32x32 matrixMul tile
+	var fb cubin.FatBinary
+	fb.AddImage(cuda.BuiltinImage(80), true)
+	mod, err := s.ModuleLoad(fb.Encode())
+	if err != nil {
+		fatal(err)
+	}
+	f, err := s.ModuleGetFunction(mod, cuda.KernelMatrixMul)
+	if err != nil {
+		fatal(err)
+	}
+	size := uint64(dim * dim * 4)
+	dA, err := s.Malloc(size)
+	if err != nil {
+		fatal(err)
+	}
+	dB, err := s.Malloc(size)
+	if err != nil {
+		fatal(err)
+	}
+	dC, err := s.Malloc(size)
+	if err != nil {
+		fatal(err)
+	}
+	host := make([]byte, size)
+	for i := 0; i < dim*dim; i++ {
+		binary.LittleEndian.PutUint32(host[i*4:], math.Float32bits(float32(i%7)+0.5))
+	}
+	if err := s.MemcpyHtoD(dA, host); err != nil {
+		fatal(err)
+	}
+	if err := s.MemcpyHtoD(dB, host); err != nil {
+		fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		fatal(err)
+	}
+	if pauseMs > 0 {
+		fmt.Printf("checkpointed; pausing %dms (kill the server now)\n", pauseMs)
+		time.Sleep(time.Duration(pauseMs) * time.Millisecond)
+	}
+	args := cuda.NewArgBuffer().Ptr(dC).Ptr(dA).Ptr(dB).I32(dim).I32(dim).Bytes()
+	if err := s.LaunchKernel(f, gpu.Dim3{X: 1, Y: 1, Z: 1}, gpu.Dim3{X: 32, Y: 32, Z: 1}, 0, 0, args); err != nil {
+		fatal(err)
+	}
+	if err := s.DeviceSynchronize(); err != nil {
+		fatal(err)
+	}
+	out, err := s.MemcpyDtoH(dC, size)
+	if err != nil {
+		fatal(err)
+	}
+	sum := fnv.New64a()
+	sum.Write(out)
+	st := s.SessionStats()
+	fmt.Printf("matrixmul result checksum: %016x\n", sum.Sum64())
+	fmt.Printf("session stats: reconnects=%d replays=%d restores=%d dials=%d recovery=%s\n",
+		st.Reconnects, st.Replays, st.Restores, st.DialAttempts, st.RecoveryTime.Round(time.Millisecond))
 }

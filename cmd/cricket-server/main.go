@@ -39,6 +39,7 @@ func main() {
 	listen := flag.String("listen", ":9999", "TCP listen address for RPC")
 	dataListen := flag.String("data-listen", "", "TCP listen address for parallel-socket data channels (empty: disabled)")
 	gpus := flag.String("gpus", "a100", "comma-separated device list (a100, t4, p40)")
+	ckpDir := flag.String("checkpoint-dir", "", "directory for persisted checkpoints; existing ones are loaded at boot (empty: in-memory only)")
 	flag.Parse()
 
 	var devices []*gpu.Device
@@ -58,6 +59,13 @@ func main() {
 	rpcSrv := oncrpc.NewServer()
 	rpcSrv.ErrorLog = log.Default()
 	srv.Attach(rpcSrv)
+
+	if *ckpDir != "" {
+		if err := srv.SetCheckpointDir(*ckpDir); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("persisting checkpoints to %s (epoch %#x)", *ckpDir, srv.Epoch())
+	}
 
 	if *dataListen != "" {
 		dl, err := net.Listen("tcp", *dataListen)

@@ -7,6 +7,7 @@ package repro
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"os"
@@ -99,6 +100,129 @@ func TestEndToEndBinaries(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("output missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// startServer launches the server binary and waits for its listener.
+func startServer(t *testing.T, bin, addr, ckpDir string) *exec.Cmd {
+	t.Helper()
+	srv := exec.Command(bin, "-listen", addr, "-gpus", "a100", "-checkpoint-dir", ckpDir)
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		conn, err := net.DialTimeout("tcp", addr, 100*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			return srv
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	srv.Process.Kill()
+	srv.Wait()
+	t.Fatal("server never came up")
+	return nil
+}
+
+func checksumLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "matrixmul result checksum:") {
+			return line
+		}
+	}
+	t.Fatalf("no checksum in output:\n%s", out)
+	return ""
+}
+
+// TestEndToEndSessionSurvivesServerRestart kills and restarts the real
+// server binary while a session client is mid-workload; the client must
+// reconnect, replay, restore the persisted checkpoint, and produce a
+// result bit-identical to a fault-free run.
+func TestEndToEndSessionSurvivesServerRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	dir := t.TempDir()
+	serverBin := buildBinary(t, dir, "cmd/cricket-server")
+	runBin := buildBinary(t, dir, "cmd/cricket-run")
+
+	addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	ckpDir := filepath.Join(dir, "ckpt")
+	srv := startServer(t, serverBin, addr, ckpDir)
+	defer func() {
+		if srv != nil && srv.Process != nil {
+			srv.Process.Kill()
+			srv.Wait()
+		}
+	}()
+
+	// Fault-free baseline.
+	out, err := exec.Command(runBin, "-server", addr, "-session").CombinedOutput()
+	if err != nil {
+		t.Fatalf("baseline run: %v\n%s", err, out)
+	}
+	baseline := checksumLine(t, string(out))
+	if !strings.Contains(string(out), "reconnects=0") {
+		t.Fatalf("baseline run reconnected:\n%s", out)
+	}
+
+	// The baseline checkpointed too; drop its file so the one the
+	// faulted run writes is what signals the kill window.
+	if err := os.Remove(filepath.Join(ckpDir, "dev0.ckpt")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Faulted run: the client checkpoints, then pauses; we kill the
+	// server inside that window and restart it on the same address
+	// with the same checkpoint directory.
+	run := exec.Command(runBin, "-server", addr, "-session", "-pause-ms", "3000")
+	stdout, err := run.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Stderr = os.Stderr
+	if err := run.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var faulted string
+	done := make(chan error, 1)
+	go func() {
+		b, _ := io.ReadAll(stdout)
+		faulted = string(b)
+		done <- run.Wait()
+	}()
+
+	// Wait for the checkpoint to land on disk, then kill mid-pause.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(filepath.Join(ckpDir, "dev0.ckpt")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("checkpoint file never appeared")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	srv.Process.Kill()
+	srv.Wait()
+	srv = startServer(t, serverBin, addr, ckpDir)
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("faulted run: %v\n%s", err, faulted)
+		}
+	case <-time.After(60 * time.Second):
+		run.Process.Kill()
+		t.Fatal("faulted run never finished")
+	}
+	if got := checksumLine(t, faulted); got != baseline {
+		t.Errorf("result diverged across restart:\n  baseline: %s\n  faulted:  %s", baseline, got)
+	}
+	if !strings.Contains(faulted, "reconnects=1") || !strings.Contains(faulted, "replays=1") || !strings.Contains(faulted, "restores=1") {
+		t.Errorf("recovery not visible in session stats:\n%s", faulted)
 	}
 }
 

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"cricket/internal/cricket"
+	"cricket/internal/cuda"
+	"cricket/internal/gpu"
+	"cricket/internal/guest"
+	"cricket/internal/oncrpc"
+)
+
+// This file benchmarks the fault-tolerance layer: how long a session
+// takes to recover from a server restart as a function of how much
+// state it must replay. Recovery is dominated by real round trips and
+// replay work, not simulated platform costs, so these figures are wall
+// clock over in-process pipes — a lower bound isolating Cricket's own
+// replay overhead from network latency.
+
+// restartableServer hosts a Cricket server that can be killed and
+// rebooted, for driving session recovery.
+type restartableServer struct {
+	mu     sync.Mutex
+	rpcSrv *oncrpc.Server
+	conns  []net.Conn
+}
+
+func newRestartableServer() *restartableServer {
+	s := &restartableServer{}
+	s.boot()
+	return s
+}
+
+func (s *restartableServer) boot() {
+	rt := cuda.NewRuntime(nil, gpu.New(gpu.SpecA100))
+	rpcSrv := oncrpc.NewServer()
+	cricket.NewServer(rt).Attach(rpcSrv)
+	s.mu.Lock()
+	s.rpcSrv = rpcSrv
+	s.mu.Unlock()
+}
+
+func (s *restartableServer) redial() (io.ReadWriteCloser, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rpcSrv == nil {
+		return nil, errors.New("bench: server down")
+	}
+	cli, srv := net.Pipe()
+	s.conns = append(s.conns, srv)
+	go s.rpcSrv.ServeConn(srv)
+	return cli, nil
+}
+
+// restart kills every connection and boots a fresh instance with a new
+// epoch, forcing the next session call to reconnect and replay.
+func (s *restartableServer) restart() {
+	s.mu.Lock()
+	for _, c := range s.conns {
+		c.Close()
+	}
+	s.conns = nil
+	s.rpcSrv = nil
+	s.mu.Unlock()
+	s.boot()
+}
+
+func (s *restartableServer) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.conns {
+		c.Close()
+	}
+	s.conns = nil
+	s.rpcSrv = nil
+}
+
+// Recovery measures session recovery latency after a server restart,
+// scaling the number of live allocations the session must replay. Each
+// row reports the mean wall-clock recovery time over `runs` restarts.
+func Recovery(allocCounts []int, runs int) ([]Row, error) {
+	if len(allocCounts) == 0 {
+		allocCounts = []int{1, 16, 64, 256}
+	}
+	if runs <= 0 {
+		runs = 5
+	}
+	var rows []Row
+	for _, n := range allocCounts {
+		srv := newRestartableServer()
+		s, err := cricket.NewSession(cricket.SessionOptions{
+			Options:     cricket.Options{Platform: guest.NativeRust()},
+			Redial:      srv.redial,
+			BackoffBase: time.Millisecond,
+			Seed:        1,
+		})
+		if err != nil {
+			srv.close()
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if _, err := s.Malloc(64 << 10); err != nil {
+				s.Close()
+				srv.close()
+				return nil, err
+			}
+		}
+		var total time.Duration
+		for r := 0; r < runs; r++ {
+			srv.restart()
+			start := time.Now()
+			if err := s.Ping(); err != nil {
+				s.Close()
+				srv.close()
+				return nil, fmt.Errorf("recovery with %d allocs: %w", n, err)
+			}
+			total += time.Since(start)
+		}
+		st := s.SessionStats()
+		s.Close()
+		srv.close()
+		rows = append(rows, Row{
+			Platform: fmt.Sprintf("%d allocations", n),
+			Value:    float64(total.Microseconds()) / float64(runs) / 1e3, // ms
+			Detail: fmt.Sprintf("%d reconnects, %d replays over %d restarts",
+				st.Reconnects, st.Replays, runs),
+		})
+	}
+	return rows, nil
+}

@@ -1,6 +1,7 @@
 package cricket
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -46,6 +47,15 @@ type Options struct {
 	DataDial func() (io.ReadWriteCloser, error)
 	// Timeout bounds each RPC round trip; zero means none.
 	Timeout time.Duration
+	// CallTimeout bounds each control-plane call (everything except
+	// bulk data movement) with a per-call deadline; zero means no
+	// per-call bound. Unlike Timeout it is enforced by a context
+	// deadline, so a Session can distinguish a slow call from a dead
+	// transport.
+	CallTimeout time.Duration
+	// BulkTimeout is CallTimeout for bulk calls (memcpy, module load),
+	// which legitimately take longer than control traffic.
+	BulkTimeout time.Duration
 }
 
 // ErrTransferUnsupported reports a transfer method the client's
@@ -69,6 +79,9 @@ type Client struct {
 	transfer TransferMethod
 	sockets  int
 
+	callTimeout time.Duration
+	bulkTimeout time.Duration
+
 	channels []*dataChannel
 
 	mu    sync.Mutex
@@ -90,12 +103,14 @@ func Connect(conn io.ReadWriteCloser, opts Options) (*Client, error) {
 		rpc.SetTimeout(opts.Timeout)
 	}
 	c := &Client{
-		gen:      NewRpcCdVersClient(rpc),
-		rpc:      rpc,
-		conn:     cc,
-		platform: opts.Platform,
-		transfer: opts.Transfer,
-		sockets:  opts.Sockets,
+		gen:         NewRpcCdVersClient(rpc),
+		rpc:         rpc,
+		conn:        cc,
+		platform:    opts.Platform,
+		transfer:    opts.Transfer,
+		sockets:     opts.Sockets,
+		callTimeout: opts.CallTimeout,
+		bulkTimeout: opts.BulkTimeout,
 	}
 	if c.sockets < 1 {
 		c.sockets = 1
@@ -105,9 +120,18 @@ func Connect(conn io.ReadWriteCloser, opts Options) (*Client, error) {
 		c.sim = true
 	}
 	if opts.Transfer != TransferRPCArgs {
-		if code, err := c.gen.MtSetTransfer(int32(opts.Transfer), int32(c.sockets)); err != nil {
+		// Close the RPC client on failure, or its readLoop goroutine
+		// (and the connection it owns) leak: Connect never hands the
+		// half-built client to the caller.
+		ctx, cancel := c.ctxFor(false)
+		code, err := c.gen.MtSetTransferContext(ctx, int32(opts.Transfer), int32(c.sockets))
+		cancel()
+		if err != nil {
+			rpc.Close()
 			return nil, err
-		} else if code != 0 {
+		}
+		if code != 0 {
+			rpc.Close()
 			return nil, cuda.Error(code)
 		}
 	}
@@ -163,18 +187,37 @@ func (c *Client) SimNow() time.Duration {
 	return c.path.Clock.Now()
 }
 
+// ctxFor returns the context bounding one call: BulkTimeout for bulk
+// data movement, CallTimeout for everything else. With no configured
+// bound it returns the background context and the client-wide Timeout
+// (if any) still applies inside oncrpc.
+func (c *Client) ctxFor(bulk bool) (context.Context, context.CancelFunc) {
+	d := c.callTimeout
+	if bulk {
+		d = c.bulkTimeout
+	}
+	if d <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), d)
+}
+
 // account runs one RPC and charges its request/response path costs
 // (derived from actual bytes moved on the wire) to the virtual clock.
-// conc is the simulated connection parallelism for bulk payloads.
-func (c *Client) account(conc int, fn func() error) error {
+// conc is the simulated connection parallelism for bulk payloads. The
+// mutex guards only counter updates, never the round trip itself, so
+// Stats() stays responsive while a call is blocked on the network.
+func (c *Client) account(bulk bool, conc int, fn func(ctx context.Context) error) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.stats.APICalls++
+	c.mu.Unlock()
+	ctx, cancel := c.ctxFor(bulk)
+	defer cancel()
 	if !c.sim {
-		return fn()
+		return fn(ctx)
 	}
 	w0, r0 := c.conn.BytesWritten(), c.conn.BytesRead()
-	err := fn()
+	err := fn(ctx)
 	req := int(c.conn.BytesWritten() - w0)
 	resp := int(c.conn.BytesRead() - r0)
 	c.path.Clock.Advance(c.path.MessageCost(req, true, conc) + c.path.MessageCost(resp, false, conc))
@@ -194,20 +237,20 @@ func inband(code int32, err error) error {
 
 // Ping issues the null procedure.
 func (c *Client) Ping() error {
-	return c.account(1, func() error { return c.gen.RpcNull() })
+	return c.account(false, 1, func(ctx context.Context) error { return c.gen.RpcNullContext(ctx) })
 }
 
 // GetDeviceCount implements cudaGetDeviceCount.
 func (c *Client) GetDeviceCount() (int, error) {
 	var n int32
-	err := c.account(1, func() (e error) { n, e = c.gen.CudaGetDeviceCount(); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) { n, e = c.gen.CudaGetDeviceCountContext(ctx); return })
 	return int(n), err
 }
 
 // GetDeviceProperties implements cudaGetDeviceProperties.
 func (c *Client) GetDeviceProperties(dev int) (cuda.DeviceProp, error) {
 	var res PropResult
-	err := c.account(1, func() (e error) { res, e = c.gen.CudaGetDeviceProperties(int32(dev)); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) { res, e = c.gen.CudaGetDevicePropertiesContext(ctx, int32(dev)); return })
 	if err = inband(res.Err, err); err != nil {
 		return cuda.DeviceProp{}, err
 	}
@@ -228,21 +271,21 @@ func (c *Client) GetDeviceProperties(dev int) (cuda.DeviceProp, error) {
 // SetDevice implements cudaSetDevice.
 func (c *Client) SetDevice(dev int) error {
 	var code int32
-	err := c.account(1, func() (e error) { code, e = c.gen.CudaSetDevice(int32(dev)); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaSetDeviceContext(ctx, int32(dev)); return })
 	return inband(code, err)
 }
 
 // GetDevice implements cudaGetDevice.
 func (c *Client) GetDevice() (int, error) {
 	var dev int32
-	err := c.account(1, func() (e error) { dev, e = c.gen.CudaGetDevice(); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) { dev, e = c.gen.CudaGetDeviceContext(ctx); return })
 	return int(dev), err
 }
 
 // Malloc implements cudaMalloc.
 func (c *Client) Malloc(size uint64) (gpu.Ptr, error) {
 	var res PtrResult
-	err := c.account(1, func() (e error) { res, e = c.gen.CudaMalloc(size); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) { res, e = c.gen.CudaMallocContext(ctx, size); return })
 	if err = inband(res.Err, err); err != nil {
 		return 0, err
 	}
@@ -252,7 +295,7 @@ func (c *Client) Malloc(size uint64) (gpu.Ptr, error) {
 // Free implements cudaFree.
 func (c *Client) Free(p gpu.Ptr) error {
 	var code int32
-	err := c.account(1, func() (e error) { code, e = c.gen.CudaFree(uint64(p)); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaFreeContext(ctx, uint64(p)); return })
 	return inband(code, err)
 }
 
@@ -270,8 +313,8 @@ func (c *Client) transferConc() int {
 // simulated cost reflects the selected strategy.
 func (c *Client) MemcpyHtoD(dst gpu.Ptr, data []byte) error {
 	if c.transfer == TransferSharedMem || c.transfer == TransferRDMA {
-		return c.directTransfer(len(data), true, func() (int32, error) {
-			return c.gen.CudaMemcpyHtod(uint64(dst), MemData(data))
+		return c.directTransfer(len(data), true, func(ctx context.Context) (int32, error) {
+			return c.gen.CudaMemcpyHtodContext(ctx, uint64(dst), MemData(data))
 		})
 	}
 	if c.transfer == TransferParallelSockets && len(c.channels) > 0 {
@@ -280,14 +323,18 @@ func (c *Client) MemcpyHtoD(dst gpu.Ptr, data []byte) error {
 		})
 	}
 	var code int32
-	err := c.account(c.transferConc(), func() (e error) {
-		code, e = c.gen.CudaMemcpyHtod(uint64(dst), MemData(data))
+	err := c.account(true, c.transferConc(), func(ctx context.Context) (e error) {
+		code, e = c.gen.CudaMemcpyHtodContext(ctx, uint64(dst), MemData(data))
 		return
 	})
-	c.mu.Lock()
-	c.stats.BytesToDevice += uint64(len(data))
-	c.mu.Unlock()
-	return inband(code, err)
+	// Count only bytes the device actually accepted; a failed copy
+	// moved nothing.
+	if err = inband(code, err); err == nil {
+		c.mu.Lock()
+		c.stats.BytesToDevice += uint64(len(data))
+		c.mu.Unlock()
+	}
+	return err
 }
 
 // MemcpyDtoH implements cudaMemcpy(DeviceToHost), returning a fresh
@@ -305,9 +352,9 @@ func (c *Client) MemcpyDtoH(src gpu.Ptr, n uint64) ([]byte, error) {
 	}
 	if c.transfer == TransferSharedMem || c.transfer == TransferRDMA {
 		var res DataResult
-		err := c.directTransfer(int(n), false, func() (int32, error) {
+		err := c.directTransfer(int(n), false, func(ctx context.Context) (int32, error) {
 			var e error
-			res, e = c.gen.CudaMemcpyDtoh(uint64(src), n)
+			res, e = c.gen.CudaMemcpyDtohContext(ctx, uint64(src), n)
 			return res.Err, e
 		})
 		if err != nil {
@@ -316,16 +363,16 @@ func (c *Client) MemcpyDtoH(src gpu.Ptr, n uint64) ([]byte, error) {
 		return res.Data, nil
 	}
 	var res DataResult
-	err := c.account(c.transferConc(), func() (e error) {
-		res, e = c.gen.CudaMemcpyDtoh(uint64(src), n)
+	err := c.account(true, c.transferConc(), func(ctx context.Context) (e error) {
+		res, e = c.gen.CudaMemcpyDtohContext(ctx, uint64(src), n)
 		return
 	})
-	c.mu.Lock()
-	c.stats.BytesFromDevice += n
-	c.mu.Unlock()
 	if err = inband(res.Err, err); err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
+	c.stats.BytesFromDevice += n
+	c.mu.Unlock()
 	return res.Data, nil
 }
 
@@ -334,15 +381,19 @@ func (c *Client) MemcpyDtoH(src gpu.Ptr, n uint64) ([]byte, error) {
 func (c *Client) parallelTransfer(n int, toDevice bool, fn func() error) error {
 	c.mu.Lock()
 	c.stats.APICalls++
-	if toDevice {
-		c.stats.BytesToDevice += uint64(n)
-	} else {
-		c.stats.BytesFromDevice += uint64(n)
-	}
 	c.mu.Unlock()
 	err := fn()
 	if c.sim {
 		c.path.Clock.Advance(c.path.MessageCost(n, toDevice, c.sockets))
+	}
+	if err == nil {
+		c.mu.Lock()
+		if toDevice {
+			c.stats.BytesToDevice += uint64(n)
+		} else {
+			c.stats.BytesFromDevice += uint64(n)
+		}
+		c.mu.Unlock()
 	}
 	return err
 }
@@ -351,16 +402,22 @@ func (c *Client) parallelTransfer(n int, toDevice bool, fn func() error) error {
 // the TCP path: shared memory costs one memcpy, RDMA costs wire
 // serialization with no per-byte CPU work (GPUDirect: NIC writes
 // device memory directly).
-func (c *Client) directTransfer(n int, toDevice bool, fn func() (int32, error)) error {
+func (c *Client) directTransfer(n int, toDevice bool, fn func(ctx context.Context) (int32, error)) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.stats.APICalls++
-	if toDevice {
-		c.stats.BytesToDevice += uint64(n)
-	} else {
-		c.stats.BytesFromDevice += uint64(n)
+	c.mu.Unlock()
+	ctx, cancel := c.ctxFor(true)
+	defer cancel()
+	code, err := fn(ctx)
+	if inband(code, err) == nil {
+		c.mu.Lock()
+		if toDevice {
+			c.stats.BytesToDevice += uint64(n)
+		} else {
+			c.stats.BytesFromDevice += uint64(n)
+		}
+		c.mu.Unlock()
 	}
-	code, err := fn()
 	if c.sim {
 		// The server already charged the PCIe device copy onto the
 		// shared clock. Direct methods eliminate the staging buffer,
@@ -388,42 +445,42 @@ func (c *Client) directTransfer(n int, toDevice bool, fn func() (int32, error)) 
 // MemcpyDtoD implements cudaMemcpy(DeviceToDevice).
 func (c *Client) MemcpyDtoD(dst, src gpu.Ptr, n uint64) error {
 	var code int32
-	err := c.account(1, func() (e error) { code, e = c.gen.CudaMemcpyDtod(uint64(dst), uint64(src), n); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaMemcpyDtodContext(ctx, uint64(dst), uint64(src), n); return })
 	return inband(code, err)
 }
 
 // Memset implements cudaMemset.
 func (c *Client) Memset(p gpu.Ptr, value byte, n uint64) error {
 	var code int32
-	err := c.account(1, func() (e error) { code, e = c.gen.CudaMemset(uint64(p), uint32(value), n); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaMemsetContext(ctx, uint64(p), uint32(value), n); return })
 	return inband(code, err)
 }
 
 // MemGetInfo implements cudaMemGetInfo.
 func (c *Client) MemGetInfo() (free, total uint64, err error) {
 	var mi MemInfo
-	err = c.account(1, func() (e error) { mi, e = c.gen.CudaMemGetInfo(); return })
+	err = c.account(false, 1, func(ctx context.Context) (e error) { mi, e = c.gen.CudaMemGetInfoContext(ctx); return })
 	return mi.FreeMem, mi.TotalMem, err
 }
 
 // DeviceSynchronize implements cudaDeviceSynchronize.
 func (c *Client) DeviceSynchronize() error {
 	var code int32
-	err := c.account(1, func() (e error) { code, e = c.gen.CudaDeviceSynchronize(); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaDeviceSynchronizeContext(ctx); return })
 	return inband(code, err)
 }
 
 // DeviceReset implements cudaDeviceReset.
 func (c *Client) DeviceReset() error {
 	var code int32
-	err := c.account(1, func() (e error) { code, e = c.gen.CudaDeviceReset(); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaDeviceResetContext(ctx); return })
 	return inband(code, err)
 }
 
 // StreamCreate implements cudaStreamCreate.
 func (c *Client) StreamCreate() (cuda.Stream, error) {
 	var res HandleResult
-	err := c.account(1, func() (e error) { res, e = c.gen.CudaStreamCreate(); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) { res, e = c.gen.CudaStreamCreateContext(ctx); return })
 	if err = inband(res.Err, err); err != nil {
 		return 0, err
 	}
@@ -433,21 +490,21 @@ func (c *Client) StreamCreate() (cuda.Stream, error) {
 // StreamDestroy implements cudaStreamDestroy.
 func (c *Client) StreamDestroy(s cuda.Stream) error {
 	var code int32
-	err := c.account(1, func() (e error) { code, e = c.gen.CudaStreamDestroy(uint64(s)); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaStreamDestroyContext(ctx, uint64(s)); return })
 	return inband(code, err)
 }
 
 // StreamSynchronize implements cudaStreamSynchronize.
 func (c *Client) StreamSynchronize(s cuda.Stream) error {
 	var code int32
-	err := c.account(1, func() (e error) { code, e = c.gen.CudaStreamSynchronize(uint64(s)); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaStreamSynchronizeContext(ctx, uint64(s)); return })
 	return inband(code, err)
 }
 
 // EventCreate implements cudaEventCreate.
 func (c *Client) EventCreate() (cuda.Event, error) {
 	var res HandleResult
-	err := c.account(1, func() (e error) { res, e = c.gen.CudaEventCreate(); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) { res, e = c.gen.CudaEventCreateContext(ctx); return })
 	if err = inband(res.Err, err); err != nil {
 		return 0, err
 	}
@@ -457,14 +514,14 @@ func (c *Client) EventCreate() (cuda.Event, error) {
 // EventRecord implements cudaEventRecord.
 func (c *Client) EventRecord(ev cuda.Event, s cuda.Stream) error {
 	var code int32
-	err := c.account(1, func() (e error) { code, e = c.gen.CudaEventRecord(uint64(ev), uint64(s)); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaEventRecordContext(ctx, uint64(ev), uint64(s)); return })
 	return inband(code, err)
 }
 
 // EventElapsed implements cudaEventElapsedTime (milliseconds).
 func (c *Client) EventElapsed(start, end cuda.Event) (float32, error) {
 	var res FloatResult
-	err := c.account(1, func() (e error) { res, e = c.gen.CudaEventElapsed(uint64(start), uint64(end)); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) { res, e = c.gen.CudaEventElapsedContext(ctx, uint64(start), uint64(end)); return })
 	if err = inband(res.Err, err); err != nil {
 		return 0, err
 	}
@@ -474,34 +531,34 @@ func (c *Client) EventElapsed(start, end cuda.Event) (float32, error) {
 // EventDestroy implements cudaEventDestroy.
 func (c *Client) EventDestroy(ev cuda.Event) error {
 	var code int32
-	err := c.account(1, func() (e error) { code, e = c.gen.CudaEventDestroy(uint64(ev)); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaEventDestroyContext(ctx, uint64(ev)); return })
 	return inband(code, err)
 }
 
 // ModuleLoad ships a cubin/fatbin image to the server (cuModuleLoad).
 func (c *Client) ModuleLoad(image []byte) (cuda.Module, error) {
 	var res HandleResult
-	err := c.account(c.transferConc(), func() (e error) { res, e = c.gen.CuModuleLoad(MemData(image)); return })
-	c.mu.Lock()
-	c.stats.ModuleBytes += uint64(len(image))
-	c.mu.Unlock()
+	err := c.account(true, c.transferConc(), func(ctx context.Context) (e error) { res, e = c.gen.CuModuleLoadContext(ctx, MemData(image)); return })
 	if err = inband(res.Err, err); err != nil {
 		return 0, err
 	}
+	c.mu.Lock()
+	c.stats.ModuleBytes += uint64(len(image))
+	c.mu.Unlock()
 	return cuda.Module(res.Handle), nil
 }
 
 // ModuleUnload implements cuModuleUnload.
 func (c *Client) ModuleUnload(m cuda.Module) error {
 	var code int32
-	err := c.account(1, func() (e error) { code, e = c.gen.CuModuleUnload(uint64(m)); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CuModuleUnloadContext(ctx, uint64(m)); return })
 	return inband(code, err)
 }
 
 // ModuleGetFunction implements cuModuleGetFunction.
 func (c *Client) ModuleGetFunction(m cuda.Module, name string) (cuda.Function, error) {
 	var res HandleResult
-	err := c.account(1, func() (e error) { res, e = c.gen.CuModuleGetFunction(uint64(m), name); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) { res, e = c.gen.CuModuleGetFunctionContext(ctx, uint64(m), name); return })
 	if err = inband(res.Err, err); err != nil {
 		return 0, err
 	}
@@ -511,7 +568,7 @@ func (c *Client) ModuleGetFunction(m cuda.Module, name string) (cuda.Function, e
 // ModuleGetGlobal implements cuModuleGetGlobal.
 func (c *Client) ModuleGetGlobal(m cuda.Module, name string) (gpu.Ptr, uint64, error) {
 	var res GlobalResult
-	err := c.account(1, func() (e error) { res, e = c.gen.CuModuleGetGlobal(uint64(m), name); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) { res, e = c.gen.CuModuleGetGlobalContext(ctx, uint64(m), name); return })
 	if err = inband(res.Err, err); err != nil {
 		return 0, 0, err
 	}
@@ -526,8 +583,8 @@ func (c *Client) LaunchKernel(f cuda.Function, grid, block gpu.Dim3, sharedMem u
 		c.path.Clock.Advance(time.Duration(c.platform.LaunchExtraNS) * time.Nanosecond)
 	}
 	var code int32
-	err := c.account(1, func() (e error) {
-		code, e = c.gen.CuLaunchKernel(LaunchArgs{
+	err := c.account(false, 1, func(ctx context.Context) (e error) {
+		code, e = c.gen.CuLaunchKernelContext(ctx, LaunchArgs{
 			Func:  uint64(f),
 			GridX: grid.X, GridY: grid.Y, GridZ: grid.Z,
 			BlockX: block.X, BlockY: block.Y, BlockZ: block.Z,
@@ -546,14 +603,14 @@ func (c *Client) LaunchKernel(f cuda.Function, grid, block gpu.Dim3, sharedMem u
 // Checkpoint asks the server to capture device state.
 func (c *Client) Checkpoint() error {
 	var code int32
-	err := c.account(1, func() (e error) { code, e = c.gen.CkpCheckpoint(); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CkpCheckpointContext(ctx); return })
 	return inband(code, err)
 }
 
 // Restore asks the server to roll back to the latest checkpoint.
 func (c *Client) Restore() error {
 	var code int32
-	err := c.account(1, func() (e error) { code, e = c.gen.CkpRestore(); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CkpRestoreContext(ctx); return })
 	return inband(code, err)
 }
 

@@ -19,9 +19,13 @@ package cricket
 //go:generate go run ../../cmd/rpcgen -pkg cricket -o gen_cricket.go cricket.x
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"log"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -81,11 +85,13 @@ type ServerStats struct {
 // client connections — that sharing is the point of Cricket: many
 // unikernels, one GPU.
 type Server struct {
-	rt *cuda.Runtime
+	rt    *cuda.Runtime
+	epoch uint64 // random per-instance id, exposed via SRV_GET_EPOCH
 
 	mu        sync.Mutex
 	stats     ServerStats
 	snapshots map[int]*gpu.Snapshot // device ordinal -> latest checkpoint
+	ckpDir    string                // when set, checkpoints persist here
 	sched     *Scheduler
 
 	// ErrorLog, when set, receives server-side failures.
@@ -94,12 +100,20 @@ type Server struct {
 
 // NewServer wraps a CUDA runtime.
 func NewServer(rt *cuda.Runtime) *Server {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("cricket: no entropy for server epoch: " + err.Error())
+	}
 	return &Server{
 		rt:        rt,
+		epoch:     binary.LittleEndian.Uint64(b[:]) | 1, // never zero
 		snapshots: make(map[int]*gpu.Snapshot),
 		sched:     NewScheduler(PolicyFIFO, 0),
 	}
 }
+
+// Epoch returns the server instance's random boot epoch.
+func (s *Server) Epoch() uint64 { return s.epoch }
 
 // Attach registers the Cricket program on an RPC server.
 func (s *Server) Attach(rpcSrv *oncrpc.Server) {
@@ -193,19 +207,24 @@ func (s *Server) CudaFree(ptr uint64) (int32, error) {
 }
 
 // CudaMemcpyHtod implements cudaMemcpy(..., cudaMemcpyHostToDevice).
+// Transfer counters record only bytes that actually reached the GPU.
 func (s *Server) CudaMemcpyHtod(dst uint64, data MemData) (int32, error) {
-	s.count(func(st *ServerStats) { st.Calls++; st.BytesToGPU += uint64(len(data)) })
+	s.count(func(st *ServerStats) { st.Calls++ })
 	_, err := s.rt.MemcpyHtoD(gpu.Ptr(dst), data)
+	if err == nil {
+		s.count(func(st *ServerStats) { st.BytesToGPU += uint64(len(data)) })
+	}
 	return errCode(err), nil
 }
 
 // CudaMemcpyDtoh implements cudaMemcpy(..., cudaMemcpyDeviceToHost).
 func (s *Server) CudaMemcpyDtoh(src uint64, n uint64) (DataResult, error) {
-	s.count(func(st *ServerStats) { st.Calls++; st.BytesFromGPU += n })
+	s.count(func(st *ServerStats) { st.Calls++ })
 	b, _, err := s.rt.MemcpyDtoH(gpu.Ptr(src), n)
 	if err != nil {
 		return DataResult{Err: errCode(err)}, nil
 	}
+	s.count(func(st *ServerStats) { st.BytesFromGPU += n })
 	return DataResult{Err: 0, Data: b}, nil
 }
 
@@ -230,11 +249,13 @@ func (s *Server) CudaMemGetInfo() (MemInfo, error) {
 	return MemInfo{FreeMem: free, TotalMem: total}, nil
 }
 
-// CudaDeviceSynchronize implements cudaDeviceSynchronize.
+// CudaDeviceSynchronize implements cudaDeviceSynchronize. It reports
+// deferred errors from asynchronous work (failed launches), like the
+// real call.
 func (s *Server) CudaDeviceSynchronize() (int32, error) {
 	s.count(func(st *ServerStats) { st.Calls++ })
-	s.rt.DeviceSynchronize()
-	return 0, nil
+	_, err := s.rt.DeviceSynchronize()
+	return errCode(err), nil
 }
 
 // CudaDeviceReset implements cudaDeviceReset.
@@ -247,7 +268,10 @@ func (s *Server) CudaDeviceReset() (int32, error) {
 // CudaStreamCreate implements cudaStreamCreate.
 func (s *Server) CudaStreamCreate() (HandleResult, error) {
 	s.count(func(st *ServerStats) { st.Calls++ })
-	h, _ := s.rt.StreamCreate()
+	h, _, err := s.rt.StreamCreate()
+	if err != nil {
+		return HandleResult{Err: errCode(err)}, nil
+	}
 	return HandleResult{Err: 0, Handle: uint64(h)}, nil
 }
 
@@ -268,7 +292,10 @@ func (s *Server) CudaStreamSynchronize(h uint64) (int32, error) {
 // CudaEventCreate implements cudaEventCreate.
 func (s *Server) CudaEventCreate() (HandleResult, error) {
 	s.count(func(st *ServerStats) { st.Calls++ })
-	h, _ := s.rt.EventCreate()
+	h, _, err := s.rt.EventCreate()
+	if err != nil {
+		return HandleResult{Err: errCode(err)}, nil
+	}
 	return HandleResult{Err: 0, Handle: uint64(h)}, nil
 }
 
@@ -300,11 +327,12 @@ func (s *Server) CudaEventDestroy(ev uint64) (int32, error) {
 // bytes (read from a file on its side), the server parses, registers,
 // and allocates.
 func (s *Server) CuModuleLoad(image MemData) (HandleResult, error) {
-	s.count(func(st *ServerStats) { st.Calls++; st.BytesToGPU += uint64(len(image)) })
+	s.count(func(st *ServerStats) { st.Calls++ })
 	m, _, err := s.rt.ModuleLoad(image)
 	if err != nil {
 		return HandleResult{Err: errCode(err)}, nil
 	}
+	s.count(func(st *ServerStats) { st.BytesToGPU += uint64(len(image)) })
 	return HandleResult{Err: 0, Handle: uint64(m)}, nil
 }
 
@@ -347,18 +375,38 @@ func (s *Server) CuLaunchKernel(a LaunchArgs) (int32, error) {
 	return errCode(err), nil
 }
 
-// CkpCheckpoint captures the current device's full memory state.
+// CkpCheckpoint captures the current device's full memory state. A
+// failed snapshot is reported in-band and never installed as the
+// device's latest checkpoint. When a checkpoint directory is
+// configured, the snapshot is also persisted there so it survives
+// server restarts.
 func (s *Server) CkpCheckpoint() (int32, error) {
-	s.count(func(st *ServerStats) { st.Calls++; st.Checkpoints++ })
+	s.count(func(st *ServerStats) { st.Calls++ })
 	dev, _ := s.rt.GetDevice()
 	d, err := s.rt.Device(dev)
 	if err != nil {
 		return errCode(err), nil
 	}
-	snap, _ := d.Snapshot()
+	snap, _, err := d.Snapshot()
+	if err != nil {
+		if s.ErrorLog != nil {
+			s.ErrorLog.Printf("cricket: checkpoint failed: %v", err)
+		}
+		return int32(cuda.ErrorMemoryAllocation), nil
+	}
 	s.mu.Lock()
 	s.snapshots[dev] = snap
+	s.stats.Checkpoints++
+	dir := s.ckpDir
 	s.mu.Unlock()
+	if dir != "" {
+		if err := writeCheckpointFile(dir, dev, snap); err != nil {
+			if s.ErrorLog != nil {
+				s.ErrorLog.Printf("cricket: persisting checkpoint: %v", err)
+			}
+			return int32(cuda.ErrorUnknown), nil
+		}
+	}
 	return 0, nil
 }
 
@@ -384,15 +432,28 @@ func (s *Server) CkpRestore() (int32, error) {
 
 // MtSetTransfer negotiates the bulk transfer method; the server
 // accepts any method it supports. Sockets is the parallel connection
-// count for TransferParallelSockets.
+// count for TransferParallelSockets and must be at least 1 — zero or
+// negative counts would negotiate a data path with no connections.
 func (s *Server) MtSetTransfer(method, sockets int32) (int32, error) {
 	s.count(func(st *ServerStats) { st.Calls++ })
+	if sockets < 1 {
+		return int32(cuda.ErrorInvalidValue), nil
+	}
 	switch TransferMethod(method) {
 	case TransferRPCArgs, TransferParallelSockets, TransferSharedMem, TransferRDMA:
 		return 0, nil
 	default:
 		return int32(cuda.ErrorInvalidValue), nil
 	}
+}
+
+// SrvGetEpoch returns the server instance's random boot epoch. A
+// reconnecting client compares it with the epoch it saw at connect
+// time: a change means the server restarted and every handle and
+// device allocation the client held is gone.
+func (s *Server) SrvGetEpoch() (uint64, error) {
+	s.count(func(st *ServerStats) { st.Calls++ })
+	return s.epoch, nil
 }
 
 // LatestSnapshot returns the most recent checkpoint of a device, for
@@ -435,5 +496,66 @@ func (s *Server) LoadCheckpoint(dev int, r io.Reader) error {
 	s.mu.Lock()
 	s.snapshots[dev] = snap
 	s.mu.Unlock()
+	return nil
+}
+
+// checkpointPath names the persisted checkpoint file for one device.
+func checkpointPath(dir string, dev int) string {
+	return filepath.Join(dir, fmt.Sprintf("dev%d.ckpt", dev))
+}
+
+// writeCheckpointFile persists a snapshot atomically (temp file +
+// rename), so a crash mid-write never corrupts the previous
+// checkpoint.
+func writeCheckpointFile(dir string, dev int, snap *gpu.Snapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "ckpt-*")
+	if err != nil {
+		return err
+	}
+	if _, err := snap.WriteTo(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), checkpointPath(dir, dev))
+}
+
+// SetCheckpointDir enables durable checkpoints: every CKP_CHECKPOINT
+// writes through to dir, and any checkpoints already present there are
+// loaded immediately — so a freshly started server can offer
+// CKP_RESTORE of state captured by a previous instance. Loading skips
+// files for device ordinals the runtime does not have.
+func (s *Server) SetCheckpointDir(dir string) error {
+	s.mu.Lock()
+	s.ckpDir = dir
+	s.mu.Unlock()
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	n, _ := s.rt.GetDeviceCount()
+	for dev := 0; dev < n; dev++ {
+		f, err := os.Open(checkpointPath(dir, dev))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return err
+		}
+		err = s.LoadCheckpoint(dev, f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("cricket: loading checkpoint for device %d: %w", dev, err)
+		}
+	}
 	return nil
 }

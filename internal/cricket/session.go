@@ -1,0 +1,880 @@
+package cricket
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"cricket/internal/cubin"
+	"cricket/internal/cuda"
+	"cricket/internal/gpu"
+	"cricket/internal/oncrpc"
+)
+
+// This file implements fault-tolerant Cricket sessions. A plain Client
+// dies with its transport: one dropped TCP connection (or one server
+// restart) poisons every in-flight and future call. A Session wraps
+// the same CUDA API but owns a redial function and enough replay state
+// to survive both failure modes:
+//
+//   - Connection loss, server alive: reconnect with exponential
+//     backoff and resume. The server kept its handle tables, so
+//     nothing needs replaying — the session detects this by comparing
+//     the server's boot epoch (SRV_GET_EPOCH) against the one it saw
+//     at connect time.
+//   - Server restart: every server-side handle and allocation is gone.
+//     The session replays its resources on the new instance: reloads
+//     modules, re-resolves functions and globals, re-allocates device
+//     memory, and recreates streams and events. Because the server
+//     handles change across a replay, the session hands the
+//     application stable virtual handles and translates at the API
+//     boundary — including device-pointer parameters inside kernel
+//     argument buffers, located via the module's cubin parameter
+//     metadata.
+//
+// Memory *contents* survive a restart only through checkpoints: when
+// the application checkpoints (CkpCheckpoint) and the server persists
+// checkpoints durably (Server.SetCheckpointDir), a replay first asks
+// the new instance to CKP_RESTORE, then migrates each surviving
+// allocation into its fresh buffer with device-to-device copies.
+// Allocations made after the last checkpoint come back zeroed, and
+// event timestamps recorded before the failure are lost — EventElapsed
+// across a replay reports an in-band error, exactly as CUDA reports
+// unrecorded events.
+//
+// Failure semantics at the call boundary: transport errors are
+// retried transparently (the call may execute twice server-side —
+// Cricket's CUDA surface is idempotent at this granularity or
+// replayed under fresh handles); per-call deadline expiries
+// (oncrpc.ErrTimeout) and in-band CUDA errors are returned to the
+// caller and do NOT trigger reconnection, because the transport is
+// still usable.
+
+// ErrSessionClosed reports a call on a closed session.
+var ErrSessionClosed = errors.New("cricket: session closed")
+
+// ErrGiveUp reports that reconnection attempts exhausted the session's
+// attempt budget.
+var ErrGiveUp = errors.New("cricket: reconnect attempts exhausted")
+
+// SessionOptions configure a fault-tolerant session.
+type SessionOptions struct {
+	// Options configure each underlying Client (platform, transfer
+	// method, timeouts). They are reapplied on every reconnect.
+	Options
+	// Redial opens a fresh transport to the server. Required.
+	Redial func() (io.ReadWriteCloser, error)
+	// MaxAttempts bounds consecutive reconnect attempts per recovery
+	// (default 8). The budget resets after a successful reconnect.
+	MaxAttempts int
+	// BackoffBase is the first retry delay (default 50ms); each
+	// attempt doubles it up to BackoffMax (default 5s). Jitter in
+	// [50%, 100%] of the computed delay decorrelates reconnect storms.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Restore asks a restarted server for CKP_RESTORE before replaying
+	// resources, recovering checkpointed memory contents (default on;
+	// set NoRestore to disable).
+	NoRestore bool
+	// Seed makes the backoff jitter deterministic for tests; zero
+	// seeds from the clock.
+	Seed int64
+	// Sleep replaces time.Sleep between attempts (tests).
+	Sleep func(time.Duration)
+}
+
+func (o *SessionOptions) withDefaults() SessionOptions {
+	v := *o
+	if v.MaxAttempts <= 0 {
+		v.MaxAttempts = 8
+	}
+	if v.BackoffBase <= 0 {
+		v.BackoffBase = 50 * time.Millisecond
+	}
+	if v.BackoffMax <= 0 {
+		v.BackoffMax = 5 * time.Second
+	}
+	if v.Sleep == nil {
+		v.Sleep = time.Sleep
+	}
+	return v
+}
+
+// SessionStats count recovery activity; they are the observable record
+// of what fault tolerance cost.
+type SessionStats struct {
+	// Reconnects counts successful reconnections.
+	Reconnects uint64
+	// Replays counts reconnections that found a restarted server and
+	// replayed session resources.
+	Replays uint64
+	// Restores counts replays whose CKP_RESTORE recovered checkpointed
+	// memory contents.
+	Restores uint64
+	// DialAttempts counts every dial, including failed ones.
+	DialAttempts uint64
+	// RecoveryTime is total wall-clock time spent reconnecting.
+	RecoveryTime time.Duration
+}
+
+// Virtual handle/pointer state. Handles the application holds never
+// change; the session remaps them to current server values.
+type sessAlloc struct {
+	size uint64
+	srv  gpu.Ptr
+}
+
+type sessGlobal struct {
+	mod  uint64 // virtual module handle
+	name string
+	size uint64
+	srv  gpu.Ptr
+}
+
+type sessModule struct {
+	image []byte
+	meta  *cubin.Image // parsed client-side for param layouts
+	srv   cuda.Module
+}
+
+type sessFunc struct {
+	mod  uint64 // virtual module handle
+	name string
+	srv  cuda.Function
+}
+
+// A Session is a fault-tolerant Cricket client: the same CUDA surface
+// as Client, surviving transport failures and server restarts. Methods
+// are safe for use from one application goroutine; Stats and
+// SessionStats may be read concurrently.
+type Session struct {
+	opts SessionOptions
+	rng  *rand.Rand
+
+	mu     sync.Mutex
+	c      *Client
+	epoch  uint64 // server epoch at last connect; 0 = unknown
+	closed bool
+
+	dev      int // last cudaSetDevice, replayed on recovery
+	nextV    uint64
+	nextVPtr gpu.Ptr
+	allocs   map[gpu.Ptr]*sessAlloc
+	globals  map[gpu.Ptr]*sessGlobal
+	modules  map[uint64]*sessModule
+	funcs    map[uint64]*sessFunc
+	streams  map[uint64]cuda.Stream
+	events   map[uint64]cuda.Event
+
+	statmu sync.Mutex
+	sstats SessionStats
+}
+
+// virtual pointer arena: far above any real device address, with a
+// guard gap so out-of-bounds arithmetic never lands in a neighbor.
+const (
+	vPtrBase  gpu.Ptr = 1 << 62
+	vPtrGuard gpu.Ptr = 1 << 20
+)
+
+// NewSession dials the server and returns a connected session.
+func NewSession(opts SessionOptions) (*Session, error) {
+	if opts.Redial == nil {
+		return nil, errors.New("cricket: SessionOptions.Redial is required")
+	}
+	o := opts.withDefaults()
+	seed := o.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	s := &Session{
+		opts:     o,
+		rng:      rand.New(rand.NewSource(seed)),
+		nextVPtr: vPtrBase,
+		allocs:   make(map[gpu.Ptr]*sessAlloc),
+		globals:  make(map[gpu.Ptr]*sessGlobal),
+		modules:  make(map[uint64]*sessModule),
+		funcs:    make(map[uint64]*sessFunc),
+		streams:  make(map[uint64]cuda.Stream),
+		events:   make(map[uint64]cuda.Event),
+	}
+	c, epoch, err := s.dialOnce()
+	if err != nil {
+		return nil, err
+	}
+	s.c, s.epoch = c, epoch
+	return s, nil
+}
+
+// dialOnce opens one transport and client and learns the server epoch.
+func (s *Session) dialOnce() (*Client, uint64, error) {
+	s.statmu.Lock()
+	s.sstats.DialAttempts++
+	s.statmu.Unlock()
+	conn, err := s.opts.Redial()
+	if err != nil {
+		return nil, 0, err
+	}
+	c, err := Connect(conn, s.opts.Options)
+	if err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	epoch, err := c.gen.SrvGetEpoch()
+	if err != nil {
+		if oncrpc.IsTransportError(err) {
+			c.Close()
+			return nil, 0, err
+		}
+		// Pre-epoch server: recovery still works, but every reconnect
+		// must assume a restart and replay.
+		epoch = 0
+	}
+	return c, epoch, nil
+}
+
+// Stats returns the underlying client's transfer counters. Counters
+// reset on reconnect (they belong to one connection); SessionStats
+// records recovery activity across the whole session.
+func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	c := s.c
+	s.mu.Unlock()
+	if c == nil {
+		return Stats{}
+	}
+	return c.Stats()
+}
+
+// SessionStats returns the recovery counters.
+func (s *Session) SessionStats() SessionStats {
+	s.statmu.Lock()
+	defer s.statmu.Unlock()
+	return s.sstats
+}
+
+// Close shuts the session down.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.c != nil {
+		return s.c.Close()
+	}
+	return nil
+}
+
+// backoff returns the jittered delay before reconnect attempt i
+// (0-based): base*2^i capped at max, scaled into [50%, 100%].
+func (s *Session) backoff(i int) time.Duration {
+	d := s.opts.BackoffBase << uint(i)
+	if d <= 0 || d > s.opts.BackoffMax {
+		d = s.opts.BackoffMax
+	}
+	return d/2 + time.Duration(s.rng.Int63n(int64(d/2)+1))
+}
+
+// recover reconnects after a transport failure, replaying state if the
+// server restarted. Called with s.mu held. It retries up to
+// MaxAttempts times with exponential backoff before giving up.
+func (s *Session) recover() error {
+	start := time.Now()
+	if s.c != nil {
+		s.c.Close() // tear down the dead transport and its readLoop
+		s.c = nil
+	}
+	var lastErr error
+	for i := 0; i < s.opts.MaxAttempts; i++ {
+		if i > 0 || lastErr != nil {
+			s.opts.Sleep(s.backoff(i))
+		}
+		c, epoch, err := s.dialOnce()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		replayed := false
+		if epoch == 0 || s.epoch == 0 || epoch != s.epoch {
+			// Restarted (or unidentifiable) server: all our server-side
+			// state is gone. Rebuild it.
+			if err := s.replay(c); err != nil {
+				c.Close()
+				lastErr = err
+				continue
+			}
+			replayed = true
+		}
+		s.c, s.epoch = c, epoch
+		s.statmu.Lock()
+		s.sstats.Reconnects++
+		if replayed {
+			s.sstats.Replays++
+		}
+		s.sstats.RecoveryTime += time.Since(start)
+		s.statmu.Unlock()
+		return nil
+	}
+	s.statmu.Lock()
+	s.sstats.RecoveryTime += time.Since(start)
+	s.statmu.Unlock()
+	if lastErr == nil {
+		lastErr = errors.New("no attempts made")
+	}
+	return fmt.Errorf("%w after %d attempts: %v", ErrGiveUp, s.opts.MaxAttempts, lastErr)
+}
+
+// replay rebuilds the session's server-side state on a fresh server
+// instance: device selection, optional checkpoint restore, modules,
+// functions, globals, allocations, streams, and events.
+func (s *Session) replay(c *Client) error {
+	if err := c.SetDevice(s.dev); err != nil {
+		return fmt.Errorf("replay: set device: %w", err)
+	}
+	// Ask for checkpointed contents first: restore replaces the whole
+	// memory space, so it must precede any reallocation. A server with
+	// no checkpoint answers in-band and we continue without contents.
+	restored := false
+	if !s.opts.NoRestore {
+		if err := c.Restore(); err == nil {
+			restored = true
+		} else if oncrpc.IsTransportError(err) {
+			return err
+		}
+	}
+	// Reload modules; function and global handles hang off them.
+	for _, m := range s.modules {
+		srv, err := c.ModuleLoad(m.image)
+		if err != nil {
+			return fmt.Errorf("replay: module load: %w", err)
+		}
+		m.srv = srv
+	}
+	for _, f := range s.funcs {
+		m, ok := s.modules[f.mod]
+		if !ok {
+			continue
+		}
+		srv, err := c.ModuleGetFunction(m.srv, f.name)
+		if err != nil {
+			return fmt.Errorf("replay: function %q: %w", f.name, err)
+		}
+		f.srv = srv
+	}
+	for _, g := range s.globals {
+		m, ok := s.modules[g.mod]
+		if !ok {
+			continue
+		}
+		oldSrv := g.srv
+		srv, size, err := c.ModuleGetGlobal(m.srv, g.name)
+		if err != nil {
+			return fmt.Errorf("replay: global %q: %w", g.name, err)
+		}
+		g.srv, g.size = srv, size
+		if restored && oldSrv != 0 && oldSrv != srv {
+			// Migrate the checkpointed contents into the fresh global,
+			// then drop the checkpoint-era buffer. Best-effort: a
+			// global that postdates the checkpoint has no old bytes.
+			if err := c.MemcpyDtoD(srv, oldSrv, size); err == nil {
+				c.Free(oldSrv)
+			}
+		}
+	}
+	// Reallocate device memory under the restored allocator (its bump
+	// pointer and free list came back with the snapshot, so fresh
+	// allocations never collide with checkpointed ones), then migrate
+	// contents out of the checkpoint-era buffers.
+	for _, a := range s.allocs {
+		oldSrv := a.srv
+		srv, err := c.Malloc(a.size)
+		if err != nil {
+			return fmt.Errorf("replay: malloc %d bytes: %w", a.size, err)
+		}
+		a.srv = srv
+		if restored && oldSrv != 0 {
+			if err := c.MemcpyDtoD(srv, oldSrv, a.size); err == nil {
+				c.Free(oldSrv)
+			}
+		}
+	}
+	for v := range s.streams {
+		srv, err := c.StreamCreate()
+		if err != nil {
+			return fmt.Errorf("replay: stream: %w", err)
+		}
+		s.streams[v] = srv
+	}
+	for v := range s.events {
+		// Recreated events are unrecorded: timestamps do not survive a
+		// server restart.
+		srv, err := c.EventCreate()
+		if err != nil {
+			return fmt.Errorf("replay: event: %w", err)
+		}
+		s.events[v] = srv
+	}
+	if restored {
+		s.statmu.Lock()
+		s.sstats.Restores++
+		s.statmu.Unlock()
+	}
+	return nil
+}
+
+// do runs one client operation, transparently recovering from
+// transport failures. Called with s.mu held by the public methods.
+func (s *Session) do(op func(c *Client) error) error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	for {
+		if s.c == nil {
+			if err := s.recover(); err != nil {
+				return err
+			}
+		}
+		err := op(s.c)
+		if !oncrpc.IsTransportError(err) {
+			return err
+		}
+		if rerr := s.recover(); rerr != nil {
+			return fmt.Errorf("%w (while recovering from: %w)", rerr, err)
+		}
+	}
+}
+
+// ---- virtual handle plumbing ----
+
+func (s *Session) newVHandle() uint64 {
+	s.nextV++
+	return s.nextV
+}
+
+// vPtrFor reserves a stable virtual range of the given size.
+func (s *Session) newVPtr(size uint64) gpu.Ptr {
+	p := s.nextVPtr
+	s.nextVPtr += gpu.Ptr(size) + vPtrGuard
+	return p
+}
+
+// translate maps a virtual device pointer (possibly interior) to the
+// current server pointer. Null passes through; unknown pointers pass
+// through untranslated so the server rejects them with its own error.
+func (s *Session) translate(p gpu.Ptr) gpu.Ptr {
+	if p == 0 {
+		return 0
+	}
+	for v, a := range s.allocs {
+		if p >= v && p < v+gpu.Ptr(a.size) {
+			return a.srv + (p - v)
+		}
+	}
+	for v, g := range s.globals {
+		if p >= v && p < v+gpu.Ptr(g.size) {
+			return g.srv + (p - v)
+		}
+	}
+	return p
+}
+
+// ---- CUDA surface ----
+
+// Ping issues the null procedure.
+func (s *Session) Ping() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.do(func(c *Client) error { return c.Ping() })
+}
+
+// GetDeviceCount implements cudaGetDeviceCount.
+func (s *Session) GetDeviceCount() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int
+	err := s.do(func(c *Client) (e error) { n, e = c.GetDeviceCount(); return })
+	return n, err
+}
+
+// GetDeviceProperties implements cudaGetDeviceProperties.
+func (s *Session) GetDeviceProperties(dev int) (cuda.DeviceProp, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var p cuda.DeviceProp
+	err := s.do(func(c *Client) (e error) { p, e = c.GetDeviceProperties(dev); return })
+	return p, err
+}
+
+// SetDevice implements cudaSetDevice; the selection is replayed on
+// recovery.
+func (s *Session) SetDevice(dev int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.do(func(c *Client) error { return c.SetDevice(dev) })
+	if err == nil {
+		s.dev = dev
+	}
+	return err
+}
+
+// GetDevice implements cudaGetDevice.
+func (s *Session) GetDevice() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var dev int
+	err := s.do(func(c *Client) (e error) { dev, e = c.GetDevice(); return })
+	return dev, err
+}
+
+// Malloc implements cudaMalloc, returning a stable virtual pointer.
+func (s *Session) Malloc(size uint64) (gpu.Ptr, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var srv gpu.Ptr
+	err := s.do(func(c *Client) (e error) { srv, e = c.Malloc(size); return })
+	if err != nil {
+		return 0, err
+	}
+	v := s.newVPtr(size)
+	s.allocs[v] = &sessAlloc{size: size, srv: srv}
+	return v, nil
+}
+
+// Free implements cudaFree.
+func (s *Session) Free(p gpu.Ptr) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.allocs[p]
+	if !ok {
+		// Not session-managed (null or stale): forward for the
+		// server's own verdict.
+		return s.do(func(c *Client) error { return c.Free(s.translate(p)) })
+	}
+	err := s.do(func(c *Client) error { return c.Free(a.srv) })
+	if err == nil {
+		delete(s.allocs, p)
+	}
+	return err
+}
+
+// MemcpyHtoD implements cudaMemcpy(HostToDevice).
+func (s *Session) MemcpyHtoD(dst gpu.Ptr, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.do(func(c *Client) error { return c.MemcpyHtoD(s.translate(dst), data) })
+}
+
+// MemcpyDtoH implements cudaMemcpy(DeviceToHost).
+func (s *Session) MemcpyDtoH(src gpu.Ptr, n uint64) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []byte
+	err := s.do(func(c *Client) (e error) { out, e = c.MemcpyDtoH(s.translate(src), n); return })
+	return out, err
+}
+
+// MemcpyDtoD implements cudaMemcpy(DeviceToDevice).
+func (s *Session) MemcpyDtoD(dst, src gpu.Ptr, n uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.do(func(c *Client) error { return c.MemcpyDtoD(s.translate(dst), s.translate(src), n) })
+}
+
+// Memset implements cudaMemset.
+func (s *Session) Memset(p gpu.Ptr, value byte, n uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.do(func(c *Client) error { return c.Memset(s.translate(p), value, n) })
+}
+
+// MemGetInfo implements cudaMemGetInfo.
+func (s *Session) MemGetInfo() (free, total uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err = s.do(func(c *Client) (e error) { free, total, e = c.MemGetInfo(); return })
+	return free, total, err
+}
+
+// DeviceSynchronize implements cudaDeviceSynchronize.
+func (s *Session) DeviceSynchronize() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.do(func(c *Client) error { return c.DeviceSynchronize() })
+}
+
+// StreamCreate implements cudaStreamCreate with a stable virtual
+// handle.
+func (s *Session) StreamCreate() (cuda.Stream, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var srv cuda.Stream
+	err := s.do(func(c *Client) (e error) { srv, e = c.StreamCreate(); return })
+	if err != nil {
+		return 0, err
+	}
+	v := s.newVHandle()
+	s.streams[v] = srv
+	return cuda.Stream(v), nil
+}
+
+// stream maps a virtual stream handle (0 = default stream passes
+// through).
+func (s *Session) stream(v cuda.Stream) cuda.Stream {
+	if v == 0 {
+		return 0
+	}
+	if srv, ok := s.streams[uint64(v)]; ok {
+		return srv
+	}
+	return v
+}
+
+// StreamDestroy implements cudaStreamDestroy.
+func (s *Session) StreamDestroy(v cuda.Stream) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.do(func(c *Client) error { return c.StreamDestroy(s.stream(v)) })
+	if err == nil {
+		delete(s.streams, uint64(v))
+	}
+	return err
+}
+
+// StreamSynchronize implements cudaStreamSynchronize.
+func (s *Session) StreamSynchronize(v cuda.Stream) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.do(func(c *Client) error { return c.StreamSynchronize(s.stream(v)) })
+}
+
+// EventCreate implements cudaEventCreate with a stable virtual handle.
+func (s *Session) EventCreate() (cuda.Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var srv cuda.Event
+	err := s.do(func(c *Client) (e error) { srv, e = c.EventCreate(); return })
+	if err != nil {
+		return 0, err
+	}
+	v := s.newVHandle()
+	s.events[v] = srv
+	return cuda.Event(v), nil
+}
+
+func (s *Session) event(v cuda.Event) cuda.Event {
+	if srv, ok := s.events[uint64(v)]; ok {
+		return srv
+	}
+	return v
+}
+
+// EventRecord implements cudaEventRecord.
+func (s *Session) EventRecord(ev cuda.Event, st cuda.Stream) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.do(func(c *Client) error { return c.EventRecord(s.event(ev), s.stream(st)) })
+}
+
+// EventElapsed implements cudaEventElapsedTime. Timestamps recorded
+// before a server restart are lost; elapsed queries across a replay
+// report the server's unrecorded-event error.
+func (s *Session) EventElapsed(start, end cuda.Event) (float32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ms float32
+	err := s.do(func(c *Client) (e error) { ms, e = c.EventElapsed(s.event(start), s.event(end)); return })
+	return ms, err
+}
+
+// EventDestroy implements cudaEventDestroy.
+func (s *Session) EventDestroy(ev cuda.Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.do(func(c *Client) error { return c.EventDestroy(s.event(ev)) })
+	if err == nil {
+		delete(s.events, uint64(ev))
+	}
+	return err
+}
+
+// ModuleLoad implements cuModuleLoad with a stable virtual handle. The
+// image is retained client-side: it is replayed to a restarted server,
+// and its cubin metadata locates device-pointer parameters inside
+// kernel argument buffers.
+func (s *Session) ModuleLoad(image []byte) (cuda.Module, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var srv cuda.Module
+	err := s.do(func(c *Client) (e error) { srv, e = c.ModuleLoad(image); return })
+	if err != nil {
+		return 0, err
+	}
+	kept := append([]byte(nil), image...)
+	meta, merr := cubin.ExtractMetadata(kept)
+	if merr != nil {
+		meta = nil // unparseable client-side: launches pass args through
+	}
+	v := s.newVHandle()
+	s.modules[v] = &sessModule{image: kept, meta: meta, srv: srv}
+	return cuda.Module(v), nil
+}
+
+// ModuleUnload implements cuModuleUnload.
+func (s *Session) ModuleUnload(v cuda.Module) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.modules[uint64(v)]
+	if !ok {
+		return s.do(func(c *Client) error { return c.ModuleUnload(v) })
+	}
+	err := s.do(func(c *Client) error { return c.ModuleUnload(m.srv) })
+	if err == nil {
+		delete(s.modules, uint64(v))
+		for fv, f := range s.funcs {
+			if f.mod == uint64(v) {
+				delete(s.funcs, fv)
+			}
+		}
+		for gv, g := range s.globals {
+			if g.mod == uint64(v) {
+				delete(s.globals, gv)
+			}
+		}
+	}
+	return err
+}
+
+// ModuleGetFunction implements cuModuleGetFunction with a stable
+// virtual handle.
+func (s *Session) ModuleGetFunction(v cuda.Module, name string) (cuda.Function, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.modules[uint64(v)]
+	if !ok {
+		return 0, cuda.ErrorInvalidHandle
+	}
+	var srv cuda.Function
+	err := s.do(func(c *Client) (e error) { srv, e = c.ModuleGetFunction(m.srv, name); return })
+	if err != nil {
+		return 0, err
+	}
+	fv := s.newVHandle()
+	s.funcs[fv] = &sessFunc{mod: uint64(v), name: name, srv: srv}
+	return cuda.Function(fv), nil
+}
+
+// ModuleGetGlobal implements cuModuleGetGlobal, returning a stable
+// virtual pointer for the global.
+func (s *Session) ModuleGetGlobal(v cuda.Module, name string) (gpu.Ptr, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.modules[uint64(v)]
+	if !ok {
+		return 0, 0, cuda.ErrorInvalidHandle
+	}
+	var (
+		srv  gpu.Ptr
+		size uint64
+	)
+	err := s.do(func(c *Client) (e error) { srv, size, e = c.ModuleGetGlobal(m.srv, name); return })
+	if err != nil {
+		return 0, 0, err
+	}
+	// The same global resolved twice keeps its virtual address.
+	for gv, g := range s.globals {
+		if g.mod == uint64(v) && g.name == name {
+			g.srv, g.size = srv, size
+			return gv, size, nil
+		}
+	}
+	gv := s.newVPtr(size)
+	s.globals[gv] = &sessGlobal{mod: uint64(v), name: name, size: size, srv: srv}
+	return gv, size, nil
+}
+
+// LaunchKernel implements cuLaunchKernel. Device-pointer parameters in
+// the argument buffer are virtual and rewritten to current server
+// pointers using the kernel's cubin parameter layout, so a buffer
+// built before a server restart still launches correctly after one.
+func (s *Session) LaunchKernel(f cuda.Function, grid, block gpu.Dim3, sharedMem uint32, st cuda.Stream, args []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn, ok := s.funcs[uint64(f)]
+	if !ok {
+		return cuda.ErrorInvalidDeviceFunction
+	}
+	return s.do(func(c *Client) error {
+		buf := s.rewriteArgs(fn, args)
+		return c.LaunchKernel(fn.srv, grid, block, sharedMem, s.stream(st), buf)
+	})
+}
+
+// rewriteArgs returns a copy of the argument buffer with virtual
+// device pointers translated to current server pointers. Rewriting
+// happens inside the retry loop: after a replay the same virtual
+// buffer re-translates against the new mappings.
+func (s *Session) rewriteArgs(fn *sessFunc, args []byte) []byte {
+	m, ok := s.modules[fn.mod]
+	if !ok || m.meta == nil {
+		return args
+	}
+	k, ok := m.meta.Kernel(fn.name)
+	if !ok {
+		return args
+	}
+	buf := append([]byte(nil), args...)
+	for _, p := range k.Params {
+		if p.Kind != cubin.ParamPointer || p.Size != 8 {
+			continue
+		}
+		end := int(p.Offset) + 8
+		if end > len(buf) {
+			continue
+		}
+		slot := buf[p.Offset:end]
+		vp := gpu.Ptr(leU64(slot))
+		putLeU64(slot, uint64(s.translate(vp)))
+	}
+	return buf
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLeU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// Checkpoint asks the server to capture device state. With a
+// checkpoint directory configured server-side, this is what makes
+// memory contents survive a server restart.
+func (s *Session) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.do(func(c *Client) error { return c.Checkpoint() })
+}
+
+// Restore asks the server to roll back to the latest checkpoint.
+// Session-managed pointers keep working: the snapshot preserves the
+// allocator layout, so server pointers are identical after a restore.
+func (s *Session) Restore() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.do(func(c *Client) error { return c.Restore() })
+}
+
+// Reconnects reports how many times the session has reconnected.
+func (s *Session) Reconnects() uint64 {
+	s.statmu.Lock()
+	defer s.statmu.Unlock()
+	return s.sstats.Reconnects
+}

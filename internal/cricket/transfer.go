@@ -76,14 +76,18 @@ func (s *Server) ServeDataConn(conn io.ReadWriter) error {
 				return err
 			}
 			_, err := s.rt.MemcpyHtoD(ptr, payload)
-			s.count(func(st *ServerStats) { st.BytesToGPU += n })
+			if err == nil {
+				s.count(func(st *ServerStats) { st.BytesToGPU += n })
+			}
 			binary.BigEndian.PutUint32(status[:], uint32(cuda.Code(err)))
 			if _, err := conn.Write(status[:]); err != nil {
 				return err
 			}
 		case dataOpRead:
 			payload, _, err := s.rt.MemcpyDtoH(ptr, n)
-			s.count(func(st *ServerStats) { st.BytesFromGPU += n })
+			if err == nil {
+				s.count(func(st *ServerStats) { st.BytesFromGPU += n })
+			}
 			binary.BigEndian.PutUint32(status[:], uint32(cuda.Code(err)))
 			if _, err := conn.Write(status[:]); err != nil {
 				return err

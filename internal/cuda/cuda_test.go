@@ -158,15 +158,15 @@ func TestClockAccumulatesCharges(t *testing.T) {
 
 func TestStreamsAndEvents(t *testing.T) {
 	r := newRuntime(t)
-	s, _ := r.StreamCreate()
+	s, _, _ := r.StreamCreate()
 	if s == 0 {
 		t.Fatal("zero stream handle")
 	}
 	if _, err := r.StreamSynchronize(s); err != nil {
 		t.Fatal(err)
 	}
-	e1, _ := r.EventCreate()
-	e2, _ := r.EventCreate()
+	e1, _, _ := r.EventCreate()
+	e2, _, _ := r.EventCreate()
 	if _, err := r.EventRecord(e1, s); err != nil {
 		t.Fatal(err)
 	}
@@ -203,8 +203,8 @@ func TestStreamsAndEvents(t *testing.T) {
 
 func TestEventElapsedUnrecorded(t *testing.T) {
 	r := newRuntime(t)
-	e1, _ := r.EventCreate()
-	e2, _ := r.EventCreate()
+	e1, _, _ := r.EventCreate()
+	e2, _, _ := r.EventCreate()
 	if _, _, err := r.EventElapsed(e1, e2); !errors.Is(err, ErrorInvalidValue) {
 		t.Fatalf("err = %v", err)
 	}

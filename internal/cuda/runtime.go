@@ -62,7 +62,15 @@ type Runtime struct {
 	events    map[Event]*eventState
 	nextID    uint64
 
+	// handleLimit caps live streams+events; 0 means unlimited. Real
+	// drivers fail handle creation when per-context resources run out;
+	// the cap gives that failure mode a deterministic trigger.
+	handleLimit int
+
 	lastErr Error
+	// asyncErr is a launch failure waiting to be reported by the next
+	// DeviceSynchronize, CUDA's deferred async-error model.
+	asyncErr Error
 }
 
 type moduleState struct {
@@ -270,11 +278,19 @@ func (r *Runtime) Memset(p gpu.Ptr, value byte, n uint64) (time.Duration, error)
 
 // DeviceSynchronize waits for all streams (cudaDeviceSynchronize). In
 // the simulation all work is already complete; the cost models the
-// driver round trip.
-func (r *Runtime) DeviceSynchronize() time.Duration {
+// driver round trip. Like CUDA, it reports a failure from previously
+// launched asynchronous work: a pending launch error is returned once
+// and cleared.
+func (r *Runtime) DeviceSynchronize() (time.Duration, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.charge(1 * time.Microsecond)
+	d := r.charge(1 * time.Microsecond)
+	if r.asyncErr != Success {
+		err := r.asyncErr
+		r.asyncErr = Success
+		return d, err
+	}
+	return d, nil
 }
 
 // DeviceReset releases all device state (cudaDeviceReset).
@@ -290,14 +306,36 @@ func (r *Runtime) DeviceReset() time.Duration {
 	return r.charge(50 * time.Microsecond)
 }
 
+// SetHandleLimit caps the number of live streams and events combined
+// (the default stream does not count); zero removes the cap. Creation
+// beyond the cap fails with ErrorMemoryAllocation, the code real
+// drivers use when per-context resources are exhausted.
+func (r *Runtime) SetHandleLimit(n int) {
+	r.mu.Lock()
+	r.handleLimit = n
+	r.mu.Unlock()
+}
+
+// handleRoom reports whether another stream/event handle fits under
+// the cap. Called with r.mu held.
+func (r *Runtime) handleRoom() bool {
+	if r.handleLimit <= 0 {
+		return true
+	}
+	return len(r.streams)-1+len(r.events) < r.handleLimit
+}
+
 // StreamCreate returns a new stream handle (cudaStreamCreate).
-func (r *Runtime) StreamCreate() (Stream, time.Duration) {
+func (r *Runtime) StreamCreate() (Stream, time.Duration, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if !r.handleRoom() {
+		return 0, r.charge(400 * time.Nanosecond), r.note(ErrorMemoryAllocation)
+	}
 	r.nextID++
 	s := Stream(r.nextID)
 	r.streams[s] = &streamState{}
-	return s, r.charge(900 * time.Nanosecond)
+	return s, r.charge(900 * time.Nanosecond), nil
 }
 
 // StreamDestroy releases a stream (cudaStreamDestroy).
@@ -334,13 +372,16 @@ func (r *Runtime) now() time.Duration {
 }
 
 // EventCreate returns a new event handle (cudaEventCreate).
-func (r *Runtime) EventCreate() (Event, time.Duration) {
+func (r *Runtime) EventCreate() (Event, time.Duration, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if !r.handleRoom() {
+		return 0, r.charge(400 * time.Nanosecond), r.note(ErrorMemoryAllocation)
+	}
 	r.nextID++
 	e := Event(r.nextID)
 	r.events[e] = &eventState{}
-	return e, r.charge(700 * time.Nanosecond)
+	return e, r.charge(700 * time.Nanosecond), nil
 }
 
 // EventRecord timestamps an event on a stream (cudaEventRecord).
@@ -533,14 +574,17 @@ func (r *Runtime) LaunchKernel(f Function, grid, block gpu.Dim3, sharedMem uint3
 	cfg := gpu.LaunchConfig{Grid: grid, Block: block, SharedMem: sharedMem + fs.kernel.SharedMem}
 	dur, err := dev.Launch(fs.kernel.Name, cfg, argBuf, layout)
 	if err != nil {
+		var code Error
 		switch {
 		case errors.Is(err, gpu.ErrBadLaunch):
-			return 0, r.note(ErrorLaunchOutOfResources)
-		case errors.Is(err, gpu.ErrBadArgs), errors.Is(err, gpu.ErrInvalidPtr):
-			return 0, r.note(ErrorLaunchFailure)
+			code = ErrorLaunchOutOfResources
 		default:
-			return 0, r.note(ErrorLaunchFailure)
+			code = ErrorLaunchFailure
 		}
+		// A failed launch also poisons the device until the next
+		// synchronize, CUDA's async-error model.
+		r.asyncErr = code
+		return 0, r.note(code)
 	}
 	st.busyUntil = r.now() + dur
 	return r.charge(dur), nil

@@ -74,6 +74,7 @@ type Device struct {
 	launches   uint64
 	flopsTotal float64
 	timingOnly bool
+	snapBudget uint64 // max bytes a Snapshot may stage; 0 = unlimited
 }
 
 // SetTimingOnly switches the device between full functional execution

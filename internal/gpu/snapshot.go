@@ -1,6 +1,15 @@
 package gpu
 
-import "time"
+import (
+	"errors"
+	"time"
+)
+
+// ErrSnapshotBudget reports a checkpoint attempt whose live data
+// exceeds the device's configured staging budget (the host memory set
+// aside for device-to-host readback). Checkpointing is all-or-nothing:
+// a partial snapshot would be useless, so the attempt fails cleanly.
+var ErrSnapshotBudget = errors.New("gpu: snapshot exceeds staging budget")
 
 // A Snapshot is a deep copy of a device's memory state: every live
 // allocation with its contents, plus the allocator bookkeeping needed
@@ -29,11 +38,30 @@ func (s *Snapshot) Bytes() uint64 {
 // Allocations reports the number of captured allocations.
 func (s *Snapshot) Allocations() int { return len(s.allocs) }
 
+// SetSnapshotBudget bounds the total live bytes a Snapshot may stage;
+// zero removes the bound. Snapshot fails with ErrSnapshotBudget when
+// live data exceeds the budget.
+func (d *Device) SetSnapshotBudget(bytes uint64) {
+	d.mu.Lock()
+	d.snapBudget = bytes
+	d.mu.Unlock()
+}
+
 // Snapshot captures the device's full memory state. The returned
-// duration models the device-to-host readback of all live data.
-func (d *Device) Snapshot() (*Snapshot, time.Duration) {
+// duration models the device-to-host readback of all live data. It
+// fails when live data exceeds the staging budget, if one is set.
+func (d *Device) Snapshot() (*Snapshot, time.Duration, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.snapBudget > 0 {
+		var live uint64
+		for _, a := range d.mem.allocs {
+			live += uint64(len(a.data))
+		}
+		if live > d.snapBudget {
+			return nil, 0, ErrSnapshotBudget
+		}
+	}
 	s := &Snapshot{
 		next:     d.mem.next,
 		used:     d.mem.used,
@@ -49,7 +77,7 @@ func (d *Device) Snapshot() (*Snapshot, time.Duration) {
 		bytes += uint64(len(data))
 	}
 	s.free = append([]freeRange(nil), d.mem.free...)
-	return s, d.copyTime(bytes)
+	return s, d.copyTime(bytes), nil
 }
 
 // RestoreSnapshot replaces the device's memory state with the

@@ -14,7 +14,7 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	d.Write(p1, bytes.Repeat([]byte{1}, 100))
 	d.Write(p2, bytes.Repeat([]byte{2}, 200))
 
-	snap, dur := d.Snapshot()
+	snap, dur, _ := d.Snapshot()
 	if dur <= 0 {
 		t.Fatal("no snapshot cost")
 	}
@@ -62,7 +62,7 @@ func TestSnapshotIsDeepCopy(t *testing.T) {
 	d := New(SpecA100)
 	p, _, _ := d.Malloc(16)
 	d.Write(p, bytes.Repeat([]byte{5}, 16))
-	snap, _ := d.Snapshot()
+	snap, _, _ := d.Snapshot()
 	// Mutating the device after the snapshot must not change the
 	// snapshot, and restoring twice must be stable.
 	d.Write(p, bytes.Repeat([]byte{7}, 16))
@@ -81,7 +81,7 @@ func TestSnapshotIsDeepCopy(t *testing.T) {
 
 func TestSnapshotEmptyDevice(t *testing.T) {
 	d := New(SpecA100)
-	snap, _ := d.Snapshot()
+	snap, _, _ := d.Snapshot()
 	if snap.Allocations() != 0 || snap.Bytes() != 0 {
 		t.Fatalf("empty snapshot: %+v", snap)
 	}
@@ -112,7 +112,7 @@ func TestQuickSnapshotFixpoint(t *testing.T) {
 			d.Write(p, bytes.Repeat([]byte{fill + byte(i)}, int(s)+1))
 			ptrs = append(ptrs, p)
 		}
-		snap, _ := d.Snapshot()
+		snap, _, _ := d.Snapshot()
 		// Scramble.
 		for _, p := range ptrs {
 			d.Memset(p, 0xFF, 1)
@@ -177,7 +177,7 @@ func TestSnapshotSerializationRoundTrip(t *testing.T) {
 	d.Write(p2, bytes.Repeat([]byte{0xbb}, 300))
 	d.Free(p1) // leave a free-list entry to serialize
 
-	snap, _ := d.Snapshot()
+	snap, _, _ := d.Snapshot()
 	var buf bytes.Buffer
 	n, err := snap.WriteTo(&buf)
 	if err != nil {
@@ -217,7 +217,7 @@ func TestReadSnapshotRejectsCorruption(t *testing.T) {
 	d := New(SpecA100)
 	p, _, _ := d.Malloc(64)
 	d.Write(p, bytes.Repeat([]byte{1}, 64))
-	snap, _ := d.Snapshot()
+	snap, _, _ := d.Snapshot()
 	var buf bytes.Buffer
 	if _, err := snap.WriteTo(&buf); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// sink drains and discards everything written to the far end of a
+// pipe so writes through the FaultConn never block on the reader.
+func sink(conn net.Conn) {
+	go func() { io.Copy(io.Discard, conn) }()
+}
+
+func TestFaultDropDeliversBytesUpToThreshold(t *testing.T) {
+	near, far := net.Pipe()
+	sink(far)
+	fc := NewFaultConn(near, Fault{AfterBytes: 100, Kind: FaultDrop})
+
+	if n, err := fc.Write(make([]byte, 60)); n != 60 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err := fc.Write(make([]byte, 60))
+	if err == nil {
+		t.Fatal("write crossing drop threshold succeeded")
+	}
+	if n != 40 {
+		t.Fatalf("delivered %d bytes past first, want 40 (threshold 100)", n)
+	}
+	if _, err := fc.Write([]byte{1}); err != io.ErrClosedPipe {
+		t.Fatalf("write after drop: %v", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); err != io.ErrClosedPipe {
+		t.Fatalf("read after drop: %v", err)
+	}
+	if fc.Trips() != 1 {
+		t.Fatalf("trips = %d", fc.Trips())
+	}
+}
+
+func TestFaultDropCountsReads(t *testing.T) {
+	near, far := net.Pipe()
+	fc := NewFaultConn(near, Fault{AfterBytes: 10, Kind: FaultDrop})
+	go far.Write(make([]byte, 64))
+
+	buf := make([]byte, 64)
+	n, err := fc.Read(buf)
+	if err != nil && n == 0 {
+		t.Fatalf("first read: n=%d err=%v", n, err)
+	}
+	if n > 10 {
+		t.Fatalf("read delivered %d bytes past a 10-byte drop threshold", n)
+	}
+	if _, err := fc.Read(buf); err != io.ErrClosedPipe {
+		t.Fatalf("read after drop: %v", err)
+	}
+}
+
+func TestFaultStallDelaysThenProceeds(t *testing.T) {
+	near, far := net.Pipe()
+	sink(far)
+	const stall = 50 * time.Millisecond
+	fc := NewFaultConn(near, Fault{AfterBytes: 1, Kind: FaultStall, Stall: stall})
+
+	start := time.Now()
+	if _, err := fc.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("stalled write failed: %v", err)
+	}
+	if d := time.Since(start); d < stall {
+		t.Fatalf("write returned after %v, want >= %v", d, stall)
+	}
+	// The connection survives a stall.
+	if _, err := fc.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("write after stall: %v", err)
+	}
+}
+
+func TestFaultCloseSurfacesInnerErrors(t *testing.T) {
+	near, far := net.Pipe()
+	sink(far)
+	fc := NewFaultConn(near, Fault{AfterBytes: 1, Kind: FaultClose})
+
+	fc.Write(make([]byte, 8)) // trips the close
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := fc.Write([]byte{1}); err != nil {
+			return // inner conn's own error surfaced
+		}
+	}
+	t.Fatal("writes kept succeeding after FaultClose")
+}
+
+func TestScheduleIsDeterministicAndMonotonic(t *testing.T) {
+	a := Schedule(42, 10, 1000, FaultDrop, 0)
+	b := Schedule(42, 10, 1000, FaultDrop, 0)
+	if len(a) != 10 {
+		t.Fatalf("len = %d", len(a))
+	}
+	var prev int64
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].AfterBytes <= prev {
+			t.Fatalf("offsets not strictly increasing at %d: %d after %d", i, a[i].AfterBytes, prev)
+		}
+		prev = a[i].AfterBytes
+	}
+	if c := Schedule(43, 10, 1000, FaultDrop, 0); c[0].AfterBytes == a[0].AfterBytes && c[9].AfterBytes == a[9].AfterBytes {
+		t.Fatal("different seeds produced an identical schedule")
+	}
+}

@@ -2,6 +2,7 @@ package oncrpc
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -26,9 +27,23 @@ func (e *XIDMismatchError) Error() string {
 var (
 	// ErrClientClosed reports a call on a closed client.
 	ErrClientClosed = errors.New("oncrpc: client closed")
-	// ErrTimeout reports a call that exceeded the client's timeout.
+	// ErrTimeout reports a call that exceeded its deadline. The call
+	// may still execute on the server; only the reply is abandoned.
 	ErrTimeout = errors.New("oncrpc: call timed out")
+	// ErrTransport reports a broken connection. Every error caused by
+	// transport failure wraps it, so callers can distinguish "the
+	// connection died" (reconnectable) from protocol or in-band
+	// errors with errors.Is(err, ErrTransport).
+	ErrTransport = errors.New("oncrpc: transport failed")
 )
+
+// IsTransportError reports whether err means the client's connection
+// is unusable and a caller holding a redial path should reconnect.
+// Timeouts are not transport errors: the connection stays usable and
+// the timed-out call may still have executed.
+func IsTransportError(err error) bool {
+	return errors.Is(err, ErrTransport) || errors.Is(err, ErrClientClosed)
+}
 
 // A Client issues ONC RPC calls for one (program, version) pair over a
 // single stream transport. It is safe for concurrent use: calls are
@@ -135,7 +150,7 @@ func (c *Client) failAll(err error) {
 		if c.closed {
 			c.readErr = ErrClientClosed
 		} else {
-			c.readErr = fmt.Errorf("oncrpc: transport failed: %w", err)
+			c.readErr = fmt.Errorf("%w: %w", ErrTransport, err)
 		}
 	}
 	for xid, ch := range c.pending {
@@ -149,8 +164,23 @@ func (c *Client) failAll(err error) {
 // Call invokes proc with the given arguments and decodes the results
 // into reply. Either may be nil for void argument/result types. Call
 // returns an *AcceptError or *DeniedError for protocol-level failures
-// and a transport error if the connection breaks.
+// and an error wrapping ErrTransport if the connection breaks. The
+// round trip is bounded by the client-wide SetTimeout, if any.
 func (c *Client) Call(proc uint32, args xdr.Marshaler, reply xdr.Unmarshaler) error {
+	return c.CallContext(context.Background(), proc, args, reply)
+}
+
+// CallContext is Call with a per-call bound: the call fails once ctx
+// is cancelled or its deadline passes, without waiting for the
+// client-wide timeout and without poisoning the connection — the late
+// reply, if any, is dropped by xid. A ctx deadline takes precedence
+// over the SetTimeout value; with neither, the call waits forever.
+// Deadline expiry returns an error wrapping both ErrTimeout and
+// context.DeadlineExceeded; cancellation returns ctx.Err().
+func (c *Client) CallContext(ctx context.Context, proc uint32, args xdr.Marshaler, reply xdr.Unmarshaler) error {
+	if err := ctx.Err(); err != nil {
+		return abandonErr(err)
+	}
 	xid := c.xid.Add(1)
 	ch := make(chan []byte, 1)
 
@@ -173,11 +203,15 @@ func (c *Client) Call(proc uint32, args xdr.Marshaler, reply xdr.Unmarshaler) er
 		return err
 	}
 
+	// The client-wide timeout applies only when the context carries no
+	// deadline of its own.
 	var timeoutCh <-chan time.Time
-	if d := time.Duration(c.timeout.Load()); d > 0 {
-		t := time.NewTimer(d)
-		defer t.Stop()
-		timeoutCh = t.C
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		if d := time.Duration(c.timeout.Load()); d > 0 {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			timeoutCh = t.C
+		}
 	}
 
 	select {
@@ -189,6 +223,11 @@ func (c *Client) Call(proc uint32, args xdr.Marshaler, reply xdr.Unmarshaler) er
 			return err
 		}
 		return decodeReply(rec, xid, reply)
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, xid)
+		c.mu.Unlock()
+		return abandonErr(ctx.Err())
 	case <-timeoutCh:
 		c.mu.Lock()
 		delete(c.pending, xid)
@@ -200,6 +239,15 @@ func (c *Client) Call(proc uint32, args xdr.Marshaler, reply xdr.Unmarshaler) er
 		c.mu.Unlock()
 		return err
 	}
+}
+
+// abandonErr classifies a context error: deadline expiry is a timeout
+// (the connection survives), cancellation passes through.
+func abandonErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrTimeout, err)
+	}
+	return err
 }
 
 func (c *Client) send(xid, proc uint32, args xdr.Marshaler) error {
@@ -216,7 +264,12 @@ func (c *Client) send(xid, proc uint32, args xdr.Marshaler) error {
 			return err
 		}
 	}
-	return c.rw.WriteRecord(c.wb.Bytes())
+	if err := c.rw.WriteRecord(c.wb.Bytes()); err != nil {
+		// A failed record write means the connection is gone (the
+		// record may be half-sent, so it cannot be reused either way).
+		return fmt.Errorf("%w: %w", ErrTransport, err)
+	}
+	return nil
 }
 
 func decodeReply(rec []byte, xid uint32, reply xdr.Unmarshaler) error {

@@ -7,8 +7,8 @@ package oncrpc
 
 import (
 	"bytes"
+	"context"
 	"errors"
-	"io"
 	"net"
 	"runtime"
 	"sync"
@@ -16,59 +16,18 @@ import (
 	"testing/quick"
 	"time"
 
+	"cricket/internal/netsim"
 	"cricket/internal/xdr"
 )
-
-// failAfterConn fails every operation once limit bytes have been
-// written through it.
-type failAfterConn struct {
-	inner   io.ReadWriteCloser
-	mu      sync.Mutex
-	remain  int
-	tripped bool
-}
-
-func (c *failAfterConn) Read(p []byte) (int, error) {
-	c.mu.Lock()
-	tripped := c.tripped
-	c.mu.Unlock()
-	if tripped {
-		return 0, io.ErrClosedPipe
-	}
-	return c.inner.Read(p)
-}
-
-func (c *failAfterConn) Write(p []byte) (int, error) {
-	c.mu.Lock()
-	if c.tripped {
-		c.mu.Unlock()
-		return 0, io.ErrClosedPipe
-	}
-	if len(p) >= c.remain {
-		n := c.remain
-		c.tripped = true
-		c.mu.Unlock()
-		if n > 0 {
-			c.inner.Write(p[:n])
-		}
-		c.inner.Close()
-		return n, io.ErrClosedPipe
-	}
-	c.remain -= len(p)
-	c.mu.Unlock()
-	return c.inner.Write(p)
-}
-
-func (c *failAfterConn) Close() error { return c.inner.Close() }
 
 func TestClientTransportFailsMidCall(t *testing.T) {
 	srv := NewServer()
 	srv.Register(testProg, testVers, DispatcherFunc(testDispatcher))
 	cliConn, srvConn := net.Pipe()
 	go srv.ServeConn(srvConn)
-	// Trip after 100 bytes: the first small call succeeds, a later
-	// large one dies mid-record.
-	fc := &failAfterConn{inner: cliConn, remain: 100}
+	// Trip after 200 bytes: the first small call round-trips under the
+	// threshold, a later large one dies mid-record.
+	fc := netsim.NewFaultConn(cliConn, netsim.Fault{AfterBytes: 200, Kind: netsim.FaultDrop})
 	c := NewClient(fc, testProg, testVers)
 	defer c.Close()
 
@@ -78,6 +37,9 @@ func TestClientTransportFailsMidCall(t *testing.T) {
 	err := c.Call(procEcho, &blob{B: make([]byte, 64<<10)}, &blob{})
 	if err == nil {
 		t.Fatal("call over tripped transport succeeded")
+	}
+	if !IsTransportError(err) {
+		t.Fatalf("mid-call failure not classified as transport error: %v", err)
 	}
 	// All subsequent calls fail fast, not hang.
 	done := make(chan error, 1)
@@ -316,4 +278,142 @@ func TestQuickHandleRecordNeverPanics(t *testing.T) {
 
 func quickCheck(f any, count int) error {
 	return quick.Check(f, &quick.Config{MaxCount: count})
+}
+
+// stallDispatcher answers procNull only after release is closed,
+// simulating a server wedged on one call.
+type stallDispatcher struct {
+	release chan struct{}
+}
+
+func (s *stallDispatcher) Dispatch(proc uint32, dec *xdr.Decoder, enc *xdr.Encoder) error {
+	if proc == procNull {
+		<-s.release
+		return nil
+	}
+	return testDispatcher(proc, dec, enc)
+}
+
+func TestCallContextDeadlineBoundsOneCall(t *testing.T) {
+	srv := NewServer()
+	stall := &stallDispatcher{release: make(chan struct{})}
+	srv.Register(testProg, testVers, stall)
+	cliConn, srvConn := net.Pipe()
+	go srv.ServeConn(srvConn)
+	c := NewClient(cliConn, testProg, testVers)
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.CallContext(ctx, procNull, nil, nil)
+	if !errors.Is(err, ErrTimeout) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline expiry = %v, want ErrTimeout wrapping DeadlineExceeded", err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("deadline did not bound the call")
+	}
+	if IsTransportError(err) {
+		t.Fatal("a timed-out call must not be classified as a transport failure")
+	}
+
+	// The connection survives: release the wedged handler (its late
+	// reply is dropped by xid) and issue a normal bounded call.
+	close(stall.release)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	var sum int64Val
+	if err := c.CallContext(ctx2, procAdd, &addArgs{A: 2, B: 3}, &sum); err != nil || sum.V != 5 {
+		t.Fatalf("call after per-call timeout: sum=%d err=%v", sum.V, err)
+	}
+}
+
+func TestCallContextCancellation(t *testing.T) {
+	srv := NewServer()
+	stall := &stallDispatcher{release: make(chan struct{})}
+	defer close(stall.release)
+	srv.Register(testProg, testVers, stall)
+	cliConn, srvConn := net.Pipe()
+	go srv.ServeConn(srvConn)
+	c := NewClient(cliConn, testProg, testVers)
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- c.CallContext(ctx, procNull, nil, nil) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled call = %v, want context.Canceled", err)
+		}
+		if errors.Is(err, ErrTimeout) {
+			t.Fatal("cancellation misreported as timeout")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled call hung")
+	}
+
+	// A context that is already dead never reaches the wire.
+	if err := c.CallContext(ctx, procNull, nil, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled call = %v", err)
+	}
+}
+
+func TestCallContextDeadlineOverridesGlobalTimeout(t *testing.T) {
+	srv := NewServer()
+	stall := &stallDispatcher{release: make(chan struct{})}
+	defer close(stall.release)
+	srv.Register(testProg, testVers, stall)
+	cliConn, srvConn := net.Pipe()
+	go srv.ServeConn(srvConn)
+	c := NewClient(cliConn, testProg, testVers)
+	defer c.Close()
+	c.SetTimeout(30 * time.Millisecond)
+
+	// A per-call deadline longer than the global timeout wins: the
+	// call must NOT fail at the 30ms global mark.
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.CallContext(ctx, procNull, nil, nil)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	if d := time.Since(start); d < 200*time.Millisecond {
+		t.Fatalf("call failed after %v; global timeout overrode the per-call deadline", d)
+	}
+}
+
+func TestFaultConnScheduleKillsClientDeterministically(t *testing.T) {
+	// The same seeded schedule produces the same failure call index on
+	// two fresh client/server pairs.
+	run := func() (int, error) {
+		srv := NewServer()
+		srv.Register(testProg, testVers, DispatcherFunc(testDispatcher))
+		cliConn, srvConn := net.Pipe()
+		go srv.ServeConn(srvConn)
+		fc := netsim.NewFaultConn(cliConn, netsim.Schedule(7, 1, 4096, netsim.FaultDrop, 0)...)
+		c := NewClient(fc, testProg, testVers)
+		defer c.Close()
+		for i := 0; i < 1000; i++ {
+			var got blob
+			if err := c.Call(procEcho, &blob{B: make([]byte, 256)}, &got); err != nil {
+				return i, err
+			}
+		}
+		return -1, nil
+	}
+	i1, err1 := run()
+	i2, err2 := run()
+	if err1 == nil || err2 == nil {
+		t.Fatal("scheduled fault never tripped")
+	}
+	if i1 != i2 {
+		t.Fatalf("fault tripped at call %d then call %d; schedule not deterministic", i1, i2)
+	}
+	if !IsTransportError(err1) {
+		t.Fatalf("scheduled drop not a transport error: %v", err1)
+	}
 }

@@ -405,9 +405,9 @@ func (g *generator) run() ([]byte, error) {
 	}
 	body.emitBoxes()
 
-	g.pf("import (\n\t\"fmt\"\n\n\t%q\n\t%q\n)\n\n", g.opts.RPCImport, g.opts.XDRImport)
+	g.pf("import (\n\t\"context\"\n\t\"fmt\"\n\n\t%q\n\t%q\n)\n\n", g.opts.RPCImport, g.opts.XDRImport)
 	g.pf("// Referenced unconditionally so specs that use only a subset of\n")
-	g.pf("// features still compile.\nvar (\n\t_ = fmt.Errorf\n\t_ oncrpc.Dispatcher\n\t_ xdr.Marshaler\n)\n\n")
+	g.pf("// features still compile.\nvar (\n\t_ = context.Background\n\t_ = fmt.Errorf\n\t_ oncrpc.Dispatcher\n\t_ xdr.Marshaler\n)\n\n")
 	g.b.WriteString(body.b.String())
 	return []byte(g.b.String()), nil
 }
@@ -686,17 +686,31 @@ func (g *generator) emitVersion(prog *ProgramDef, v *VersionDef) error {
 		}
 
 		retType := g.goRetType(p.Ret)
-		// Client method.
+		// Client methods: a plain form using the client-wide timeout,
+		// and a Context form carrying a per-call deadline.
+		argNames := make([]string, len(p.Args))
+		for i := range p.Args {
+			argNames[i] = fmt.Sprintf("a%d", i)
+		}
+		passThrough := strings.Join(append([]string{"context.Background()"}, argNames...), ", ")
+		ctxParams := strings.Join(append([]string{"ctx context.Context"}, params...), ", ")
+		argsE := g.argsExpr(argsType, assigns, len(p.Args))
 		g.pf("// %s invokes RPC procedure %s (%d).\n", mName, p.Name, p.Number)
 		switch {
 		case p.Ret.Kind == BaseVoid:
 			g.pf("func (c *%s) %s(%s) error {\n", cliName, mName, strings.Join(params, ", "))
-			g.pf("return c.RPC.Call(Proc%s, %s, nil)\n}\n\n", mName, g.argsExpr(argsType, assigns, len(p.Args)))
+			g.pf("return c.%sContext(%s)\n}\n\n", mName, passThrough)
+			g.pf("// %sContext is %s bounded by a per-call context.\n", mName, mName)
+			g.pf("func (c *%s) %sContext(%s) error {\n", cliName, mName, ctxParams)
+			g.pf("return c.RPC.CallContext(ctx, Proc%s, %s, nil)\n}\n\n", mName, argsE)
 			handlerSigs = append(handlerSigs, fmt.Sprintf("%s(%s) error", mName, strings.Join(params, ", ")))
 		case g.isStructReturn(p.Ret):
 			g.pf("func (c *%s) %s(%s) (%s, error) {\n", cliName, mName, strings.Join(params, ", "), retType)
+			g.pf("return c.%sContext(%s)\n}\n\n", mName, passThrough)
+			g.pf("// %sContext is %s bounded by a per-call context.\n", mName, mName)
+			g.pf("func (c *%s) %sContext(%s) (%s, error) {\n", cliName, mName, ctxParams, retType)
 			g.pf("var ret %s\n", retType)
-			g.pf("err := c.RPC.Call(Proc%s, %s, &ret)\nreturn ret, err\n}\n\n", mName, g.argsExpr(argsType, assigns, len(p.Args)))
+			g.pf("err := c.RPC.CallContext(ctx, Proc%s, %s, &ret)\nreturn ret, err\n}\n\n", mName, argsE)
 			handlerSigs = append(handlerSigs, fmt.Sprintf("%s(%s) (%s, error)", mName, strings.Join(params, ", "), retType))
 		default:
 			box, ok := g.boxFor(g.effectiveTS(p.Ret))
@@ -704,8 +718,11 @@ func (g *generator) emitVersion(prog *ProgramDef, v *VersionDef) error {
 				return fmt.Errorf("rpcl: procedure %s: unsupported return type %s", p.Name, p.Ret)
 			}
 			g.pf("func (c *%s) %s(%s) (%s, error) {\n", cliName, mName, strings.Join(params, ", "), retType)
+			g.pf("return c.%sContext(%s)\n}\n\n", mName, passThrough)
+			g.pf("// %sContext is %s bounded by a per-call context.\n", mName, mName)
+			g.pf("func (c *%s) %sContext(%s) (%s, error) {\n", cliName, mName, ctxParams, retType)
 			g.pf("var ret %s\n", box)
-			g.pf("err := c.RPC.Call(Proc%s, %s, &ret)\nreturn %s(ret.V), err\n}\n\n", mName, g.argsExpr(argsType, assigns, len(p.Args)), retType)
+			g.pf("err := c.RPC.CallContext(ctx, Proc%s, %s, &ret)\nreturn %s(ret.V), err\n}\n\n", mName, argsE, retType)
 			handlerSigs = append(handlerSigs, fmt.Sprintf("%s(%s) (%s, error)", mName, strings.Join(params, ", "), retType))
 		}
 	}
