@@ -14,12 +14,15 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# ci is the gate: everything builds, vets clean, and the full test
-# suite passes under the race detector.
+# ci is the gate: everything builds, vets clean, the full test suite
+# passes under the race detector, and the batching smoke criterion
+# (Hermit batch>=32 at least 2x unbatched launch rate) holds.
 ci: build vet race
+	$(GO) run ./cmd/benchharness -ablation-batch -smoke
 
 bench:
 	$(GO) run ./cmd/benchharness -all -ci
+	$(GO) run ./cmd/benchharness -ablation-batch -ci -batch-json BENCH_batch.json
 
 generate:
 	$(GO) run ./cmd/rpcgen -pkg cricket -o internal/cricket/gen_cricket.go internal/cricket/cricket.x

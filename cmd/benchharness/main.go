@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +37,9 @@ func main() {
 	ablMTU := flag.Bool("ablation-mtu", false, "MTU ablation")
 	ablFuture := flag.Bool("ablation-future", false, "§5 future-work projection (Hermit TSO, vDPA)")
 	recovery := flag.Bool("recovery", false, "session recovery latency vs replayed state")
+	ablBatch := flag.Bool("ablation-batch", false, "BATCH_EXEC ablation: kernel-launch rate by batch size")
+	smoke := flag.Bool("smoke", false, "with -ablation-batch: tiny sweep, assert Hermit batch>=32 beats unbatched 2x")
+	batchJSON := flag.String("batch-json", "", "with -ablation-batch: also write points as JSON to this file")
 	flag.Parse()
 
 	scale := bench.ScalePaper
@@ -121,6 +125,39 @@ func main() {
 	section(*ablFuture, func() {
 		runRows("Ablation (§5 outlook): Hermit with TSO and vDPA, bulk H2D", "MiB/s",
 			func() ([]bench.Row, error) { return bench.AblationFutureWork(bwBytes) })
+	})
+	section(*ablBatch, func() {
+		batchCalls, sizes := calls, bench.DefaultBatchSizes
+		if *smoke {
+			batchCalls, sizes = 2_000, []int{0, 32}
+		}
+		start := time.Now()
+		points, err := bench.AblationBatch(batchCalls, sizes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchharness: ablation-batch: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.RenderBatch(points))
+		fmt.Printf("  [generated in %v wall time]\n\n", time.Since(start).Round(time.Millisecond))
+		if *batchJSON != "" {
+			data, err := json.MarshalIndent(points, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*batchJSON, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchharness: write %s: %v\n", *batchJSON, err)
+				os.Exit(1)
+			}
+		}
+		if *smoke {
+			const want = 2.0
+			got := bench.BatchSpeedup(points, "Hermit", 32)
+			if got < want {
+				fmt.Fprintf(os.Stderr, "benchharness: smoke: Hermit batch>=32 speedup %.2fx, want >=%.1fx\n", got, want)
+				os.Exit(1)
+			}
+			fmt.Printf("smoke ok: Hermit batch>=32 launches %.2fx faster than unbatched\n", got)
+		}
 	})
 	section(*recovery, func() {
 		counts := []int{1, 16, 64, 256}

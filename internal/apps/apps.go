@@ -17,6 +17,7 @@ package apps
 
 import (
 	"fmt"
+	"hash/fnv"
 	"time"
 
 	"cricket/internal/core"
@@ -42,6 +43,10 @@ type Result struct {
 	// Verified reports that the numerical results matched the host
 	// reference on the functionally-executed iterations.
 	Verified bool
+	// OutputDigest is an FNV-1a hash of the verified output bytes read
+	// back from the device, so two runs (e.g. batched and unbatched)
+	// can be checked for bit-identical results, not just both-verified.
+	OutputDigest uint64
 }
 
 // Total returns the GNU-time-style end-to-end duration.
@@ -59,6 +64,13 @@ func builtinFatbin() []byte {
 	var fb cubin.FatBinary
 	fb.AddImage(cuda.BuiltinImage(80), true)
 	return fb.Encode()
+}
+
+// outputDigest hashes application output bytes for Result.OutputDigest.
+func outputDigest(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
 }
 
 // rngCharge returns the simulated cost of generating n random bytes on

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"cricket/internal/core"
+	"cricket/internal/cricket"
 	"cricket/internal/gpu"
 	"cricket/internal/guest"
 )
@@ -281,6 +282,51 @@ func TestBandwidthAsymmetryOnHermit(t *testing.T) {
 	ratio := nativeH2D / nativeD2H
 	if ratio < 0.9 || ratio > 1.1 {
 		t.Errorf("native asymmetric: %.2f", ratio)
+	}
+}
+
+// TestAppsBatchedBitIdentical runs every proxy application with the
+// client's BATCH_EXEC queue on and off: results must be bit-identical
+// (same output digest) and the per-run Stats must not change — the
+// batching layer is a pure transport optimization.
+func TestAppsBatchedBitIdentical(t *testing.T) {
+	apps := map[string]func(*core.VirtualGPU) (Result, error){
+		"matrixMul":    func(vg *core.VirtualGPU) (Result, error) { return smallMatrixMul().Run(vg) },
+		"histogram":    func(vg *core.VirtualGPU) (Result, error) { return smallHistogram().Run(vg) },
+		"linearSolver": func(vg *core.VirtualGPU) (Result, error) { return smallSolver().Run(vg) },
+	}
+	for name, run := range apps {
+		name, run := name, run
+		t.Run(name, func(t *testing.T) {
+			exec := func(opts cricket.Options) Result {
+				cl := core.NewCluster()
+				defer cl.Close()
+				vg, err := cl.ConnectOpts(guest.RustyHermit(), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer vg.Close()
+				res, err := run(vg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Verified {
+					t.Fatal("result not verified")
+				}
+				return res
+			}
+			plain := exec(cricket.Options{})
+			batched := exec(cricket.Options{Batch: 32})
+			if plain.OutputDigest == 0 || batched.OutputDigest == 0 {
+				t.Fatal("output digest not recorded")
+			}
+			if plain.OutputDigest != batched.OutputDigest {
+				t.Fatalf("batched output differs: %#x vs %#x", batched.OutputDigest, plain.OutputDigest)
+			}
+			if plain.Stats != batched.Stats {
+				t.Fatalf("stats diverge:\n  unbatched %+v\n  batched   %+v", plain.Stats, batched.Stats)
+			}
+		})
 	}
 }
 

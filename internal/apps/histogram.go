@@ -166,6 +166,7 @@ func (h Histogram) Run(vg *core.VirtualGPU) (Result, error) {
 	if err != nil {
 		return res, err
 	}
+	res.OutputDigest = outputDigest(out)
 	var want [cuda.HistogramBins]uint32
 	for _, b := range data {
 		want[b]++

@@ -156,6 +156,7 @@ func (l LinearSolver) Run(vg *core.VirtualGPU) (Result, error) {
 			return err
 		}
 		if verify {
+			res.OutputDigest = outputDigest(xb)
 			for i := 0; i < n; i++ {
 				x := math.Float64frombits(binary.LittleEndian.Uint64(xb[i*8:]))
 				if math.Abs(x-xTrue[i]) > 1e-8 {

@@ -160,6 +160,7 @@ func (m MatrixMul) Run(vg *core.VirtualGPU) (Result, error) {
 	if err != nil {
 		return res, err
 	}
+	res.OutputDigest = outputDigest(out)
 	// Every C element must equal wA * valB (within float tolerance).
 	want := float32(m.WA) * valB
 	res.Verified = true

@@ -1,0 +1,54 @@
+package bench
+
+import "testing"
+
+// The acceptance criterion of the batching work: on the RustyHermit
+// platform, a batch size of at least 32 must improve the Fig 6c
+// kernel-launch rate by at least 2x over the unbatched client.
+func TestAblationBatchHermitSpeedupCriterion(t *testing.T) {
+	points, err := AblationBatch(2_000, []int{0, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 10 { // 5 platforms x 2 sizes
+		t.Fatalf("points = %d, want 10", len(points))
+	}
+	for _, pt := range points {
+		if pt.CallsPerSec <= 0 || pt.TimeToSyncSec <= 0 {
+			t.Fatalf("degenerate point: %+v", pt)
+		}
+	}
+	got := BatchSpeedup(points, "Hermit", 32)
+	if got < 2.0 {
+		t.Fatalf("Hermit batch>=32 speedup = %.2fx, want >= 2x", got)
+	}
+	t.Logf("Hermit batch-32 speedup: %.2fx", got)
+}
+
+// Batching must help every platform monotonically in this sweep's
+// range: more coalescing never makes the launch rate worse, and batch
+// 1 stays within noise of unbatched (the queue adds no simulated
+// cost of its own).
+func TestAblationBatchShape(t *testing.T) {
+	points, err := AblationBatch(1_000, []int{0, 1, 8, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPlatform := map[string][]BatchPoint{}
+	for _, pt := range points {
+		byPlatform[pt.Platform] = append(byPlatform[pt.Platform], pt)
+	}
+	for platform, pts := range byPlatform {
+		if len(pts) != 4 {
+			t.Fatalf("%s: %d points", platform, len(pts))
+		}
+		unbatched, b1, b8, b64 := pts[0], pts[1], pts[2], pts[3]
+		if ratio := b1.CallsPerSec / unbatched.CallsPerSec; ratio < 0.95 {
+			t.Errorf("%s: batch 1 regresses launch rate to %.2fx of unbatched", platform, ratio)
+		}
+		if b8.CallsPerSec <= b1.CallsPerSec || b64.CallsPerSec <= b8.CallsPerSec {
+			t.Errorf("%s: launch rate not monotone: 1->%.0f 8->%.0f 64->%.0f",
+				platform, b1.CallsPerSec, b8.CallsPerSec, b64.CallsPerSec)
+		}
+	}
+}

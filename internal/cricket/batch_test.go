@@ -1,0 +1,249 @@
+package cricket
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+	"time"
+
+	"cricket/internal/cuda"
+	"cricket/internal/gpu"
+	"cricket/internal/guest"
+)
+
+// launchSetup loads the builtin vectorAdd kernel and allocates its
+// three buffers, returning the function, the argument buffer, and the
+// output pointer.
+func launchSetup(t testing.TB, c *Client, n int) (cuda.Function, []byte, gpu.Ptr) {
+	t.Helper()
+	m, err := c.ModuleLoad(builtinFatbin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.ModuleGetFunction(m, cuda.KernelVectorAdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Malloc(uint64(n * 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Malloc(uint64(n * 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Malloc(uint64(n * 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, n*4)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(float32(i)))
+	}
+	if err := c.MemcpyHtoD(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MemcpyHtoD(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	args := cuda.NewArgBuffer().Ptr(a).Ptr(b).Ptr(out).I32(int32(n)).Bytes()
+	return f, args, out
+}
+
+var batchDims = struct{ grid, block gpu.Dim3 }{
+	grid:  gpu.Dim3{X: 1, Y: 1, Z: 1},
+	block: gpu.Dim3{X: 128, Y: 1, Z: 1},
+}
+
+// A batched run and its unbatched twin must produce bit-identical
+// device contents and report identical client Stats.
+func TestBatchedAndUnbatchedBitIdenticalWithSameStats(t *testing.T) {
+	const n = 128
+	run := func(opts Options) ([]byte, Stats) {
+		h := newHarness(t, guest.RustyHermit(), opts)
+		f, args, out := launchSetup(t, h.Client, n)
+		for i := 0; i < 10; i++ {
+			if err := h.Client.LaunchKernel(f, batchDims.grid, batchDims.block, 0, 0, args); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := h.Client.Memset(out, 0, 4); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Client.MemcpyHtoDAsync(out, []byte{1, 2, 3, 4}, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Client.DeviceSynchronize(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := h.Client.MemcpyDtoH(out, n*4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, h.Client.Stats()
+	}
+	plainOut, plainStats := run(Options{})
+	batchOut, batchStats := run(Options{Batch: 4})
+	if !bytes.Equal(plainOut, batchOut) {
+		t.Fatal("batched run produced different device contents")
+	}
+	if plainStats != batchStats {
+		t.Fatalf("stats diverge:\n  unbatched %+v\n  batched   %+v", plainStats, batchStats)
+	}
+}
+
+// Queued work must reach the server before any synchronous RPC: a
+// readback right after queued launches sees their effect even though
+// the queue is far from its flush threshold.
+func TestBatchFlushesBeforeSynchronousCall(t *testing.T) {
+	const n = 64
+	h := newHarness(t, guest.NativeRust(), Options{Batch: 1000})
+	f, args, out := launchSetup(t, h.Client, n)
+	if err := h.Client.LaunchKernel(f, batchDims.grid, gpu.Dim3{X: n, Y: 1, Z: 1}, 0, 0, args); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Client.MemcpyDtoH(out, n*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v := math.Float32frombits(binary.LittleEndian.Uint32(got[i*4:]))
+		if v != float32(2*i) {
+			t.Fatalf("out[%d] = %g: queued launch not flushed before readback", i, v)
+		}
+	}
+	if kl := h.Server.Stats().KernelLaunches; kl != 1 {
+		t.Fatalf("server saw %d launches, want 1", kl)
+	}
+}
+
+// A failing entry does not error at the call site; it surfaces once at
+// the next sync point with the same error the unbatched call returns
+// inline, then clears — CUDA's deferred async error model.
+func TestBatchDeferredErrorSurfacesOnceAtSync(t *testing.T) {
+	plain := newHarness(t, guest.NativeRust(), Options{})
+	inline := plain.Client.LaunchKernel(cuda.Function(0xdead), batchDims.grid, batchDims.block, 0, 0, nil)
+	if inline == nil {
+		t.Fatal("unbatched launch with a bogus function succeeded")
+	}
+
+	h := newHarness(t, guest.NativeRust(), Options{Batch: 8})
+	if err := h.Client.LaunchKernel(cuda.Function(0xdead), batchDims.grid, batchDims.block, 0, 0, nil); err != nil {
+		t.Fatalf("batched enqueue returned inline error: %v", err)
+	}
+	if err := h.Client.DeviceSynchronize(); err == nil {
+		t.Fatal("sync after failed batched launch returned nil")
+	} else if err.Error() != inline.Error() {
+		t.Fatalf("deferred error %q, inline twin %q", err, inline)
+	}
+	if err := h.Client.DeviceSynchronize(); err != nil {
+		t.Fatalf("second sync repeated the error: %v", err)
+	}
+}
+
+// The age timer bounds queue staleness: a queued launch ships without
+// any further client activity.
+func TestBatchAgeTimerFlushes(t *testing.T) {
+	h := newHarness(t, guest.NativeRust(), Options{Batch: 1000, BatchAge: 5 * time.Millisecond})
+	f, args, _ := launchSetup(t, h.Client, 32)
+	if err := h.Client.LaunchKernel(f, batchDims.grid, batchDims.block, 0, 0, args); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for h.Server.Stats().KernelLaunches == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("age timer never flushed the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// The steady-state enqueue path allocates nothing: entry slots and
+// payload buffers are recycled across flushes.
+func TestBatchEnqueueZeroAlloc(t *testing.T) {
+	const batch = 128
+	h := newHarness(t, guest.NativeRust(), Options{Batch: batch})
+	f, args, _ := launchSetup(t, h.Client, 32)
+	// Warm two full batches so every Data buffer in the ring has been
+	// grown to the argument size.
+	for i := 0; i < 2*batch; i++ {
+		if err := h.Client.LaunchKernel(f, batchDims.grid, batchDims.block, 0, 0, args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Client.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// 100 enqueues fit in the empty queue, so the measured loop never
+	// flushes: it is the pure hot path.
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := h.Client.LaunchKernel(f, batchDims.grid, batchDims.block, 0, 0, args); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("batched launch enqueue allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// Topology queries are cached client-side when requested: repeat calls
+// answer locally (no server round trip) and InvalidateTopology forces
+// the next call back to the wire.
+func TestTopologyCache(t *testing.T) {
+	h := newHarness(t, guest.NativeRust(), Options{CacheTopology: true})
+	base := h.Server.Stats().Calls
+
+	for i := 0; i < 5; i++ {
+		if n, err := h.Client.GetDeviceCount(); err != nil || n != 1 {
+			t.Fatalf("count=%d err=%v", n, err)
+		}
+	}
+	if got := h.Server.Stats().Calls - base; got != 1 {
+		t.Fatalf("server saw %d GetDeviceCount calls, want 1", got)
+	}
+	var first cuda.DeviceProp
+	for i := 0; i < 5; i++ {
+		p, err := h.Client.GetDeviceProperties(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = p
+		} else if p != first {
+			t.Fatal("cached properties diverge from first answer")
+		}
+	}
+	if got := h.Server.Stats().Calls - base; got != 2 {
+		t.Fatalf("server saw %d topology calls, want 2", got)
+	}
+	if st := h.Client.Stats(); st.APICalls != 10 {
+		t.Fatalf("client APICalls = %d, want 10: cached hits still count", st.APICalls)
+	}
+
+	h.Client.InvalidateTopology()
+	if _, err := h.Client.GetDeviceCount(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Client.GetDeviceProperties(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Server.Stats().Calls - base; got != 4 {
+		t.Fatalf("server saw %d topology calls after invalidation, want 4", got)
+	}
+}
+
+// The uncached default keeps Fig 6a honest: every query pays the round
+// trip.
+func TestTopologyUncachedByDefault(t *testing.T) {
+	h := newHarness(t, guest.NativeRust(), Options{})
+	base := h.Server.Stats().Calls
+	for i := 0; i < 3; i++ {
+		if _, err := h.Client.GetDeviceCount(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.Server.Stats().Calls - base; got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}

@@ -56,6 +56,27 @@ type Options struct {
 	// BulkTimeout is CallTimeout for bulk calls (memcpy, module load),
 	// which legitimately take longer than control traffic.
 	BulkTimeout time.Duration
+	// Batch, when positive, enables asynchronous call batching:
+	// launches, async copies, memsets, event records, and stream-sync
+	// markers queue client-side and ship as one BATCH_EXEC record of
+	// up to Batch entries (see batch.go for the flush and error
+	// semantics). Zero — the default — keeps every call a synchronous
+	// round trip.
+	Batch int
+	// BatchBytes flushes the queue early once queued payload bytes
+	// exceed it; defaults to 1 MiB when batching is enabled.
+	BatchBytes int
+	// BatchAge, when positive, flushes a non-empty queue this long
+	// after its first entry, bounding how stale queued work can get
+	// when the application stops calling. Zero disables the timer,
+	// which keeps simulated runs deterministic.
+	BatchAge time.Duration
+	// CacheTopology caches the answers to the idempotent device
+	// topology queries (GetDeviceCount, GetDeviceProperties) so
+	// polling loops stop paying a round trip per iteration. Off by
+	// default: the Fig 6a microbenchmark measures exactly that round
+	// trip. See Client.InvalidateTopology.
+	CacheTopology bool
 }
 
 // ErrTransferUnsupported reports a transfer method the client's
@@ -84,8 +105,17 @@ type Client struct {
 
 	channels []*dataChannel
 
+	// batch is the pending command queue, nil when batching is off.
+	batch *batchQueue
+
 	mu    sync.Mutex
 	stats Stats
+
+	// Topology cache (Options.CacheTopology), guarded by mu.
+	cacheTopo  bool
+	devCount   int
+	devCountOK bool
+	props      map[int]cuda.DeviceProp
 }
 
 // Connect builds a client over an established transport.
@@ -114,6 +144,19 @@ func Connect(conn io.ReadWriteCloser, opts Options) (*Client, error) {
 	}
 	if c.sockets < 1 {
 		c.sockets = 1
+	}
+	c.cacheTopo = opts.CacheTopology
+	if opts.Batch > 0 {
+		maxBytes := opts.BatchBytes
+		if maxBytes <= 0 {
+			maxBytes = 1 << 20
+		}
+		c.batch = &batchQueue{
+			entries:  make([]BatchEntry, 0, opts.Batch),
+			maxN:     opts.Batch,
+			maxBytes: maxBytes,
+			age:      opts.BatchAge,
+		}
 	}
 	if opts.Clock != nil {
 		c.path = guest.NewPath(opts.Clock, opts.Platform)
@@ -159,8 +202,18 @@ func Dial(addr string, opts Options) (*Client, error) {
 	return c, nil
 }
 
-// Close shuts down the transport and any data channels.
+// Close flushes any queued batched calls (best effort), then shuts
+// down the transport and any data channels.
 func (c *Client) Close() error {
+	if c.batch != nil {
+		c.Flush()
+		c.batch.mu.Lock()
+		if c.batch.timer != nil {
+			c.batch.timer.Stop()
+			c.batch.timer = nil
+		}
+		c.batch.mu.Unlock()
+	}
 	c.closeDataChannels()
 	return c.rpc.Close()
 }
@@ -211,6 +264,14 @@ func (c *Client) account(bulk bool, conc int, fn func(ctx context.Context) error
 	c.mu.Lock()
 	c.stats.APICalls++
 	c.mu.Unlock()
+	return c.charge(bulk, conc, fn)
+}
+
+// charge is account without the API-call count: it runs one RPC and
+// bills its wire cost to the virtual clock. BatchExec uses it
+// directly because a batch record is one wire message carrying many
+// logical calls, which are counted per entry instead.
+func (c *Client) charge(bulk bool, conc int, fn func(ctx context.Context) error) error {
 	ctx, cancel := c.ctxFor(bulk)
 	defer cancel()
 	if !c.sim {
@@ -237,25 +298,62 @@ func inband(code int32, err error) error {
 
 // Ping issues the null procedure.
 func (c *Client) Ping() error {
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
 	return c.account(false, 1, func(ctx context.Context) error { return c.gen.RpcNullContext(ctx) })
 }
 
-// GetDeviceCount implements cudaGetDeviceCount.
+// GetDeviceCount implements cudaGetDeviceCount. With CacheTopology a
+// repeat query answers from the cache — it still counts as a logical
+// API call, but touches no wire.
 func (c *Client) GetDeviceCount() (int, error) {
+	if c.cacheTopo {
+		c.mu.Lock()
+		if c.devCountOK {
+			c.stats.APICalls++
+			n := c.devCount
+			c.mu.Unlock()
+			return n, nil
+		}
+		c.mu.Unlock()
+	}
+	if err := c.flushBatch(); err != nil {
+		return 0, err
+	}
 	var n int32
 	err := c.account(false, 1, func(ctx context.Context) (e error) { n, e = c.gen.CudaGetDeviceCountContext(ctx); return })
+	if err == nil && c.cacheTopo {
+		c.mu.Lock()
+		c.devCount, c.devCountOK = int(n), true
+		c.mu.Unlock()
+	}
 	return int(n), err
 }
 
-// GetDeviceProperties implements cudaGetDeviceProperties.
+// GetDeviceProperties implements cudaGetDeviceProperties; results are
+// cached per device under CacheTopology (properties are immutable for
+// a server instance).
 func (c *Client) GetDeviceProperties(dev int) (cuda.DeviceProp, error) {
+	if c.cacheTopo {
+		c.mu.Lock()
+		if p, ok := c.props[dev]; ok {
+			c.stats.APICalls++
+			c.mu.Unlock()
+			return p, nil
+		}
+		c.mu.Unlock()
+	}
+	if err := c.flushBatch(); err != nil {
+		return cuda.DeviceProp{}, err
+	}
 	var res PropResult
 	err := c.account(false, 1, func(ctx context.Context) (e error) { res, e = c.gen.CudaGetDevicePropertiesContext(ctx, int32(dev)); return })
 	if err = inband(res.Err, err); err != nil {
 		return cuda.DeviceProp{}, err
 	}
 	p := res.Prop
-	return cuda.DeviceProp{
+	prop := cuda.DeviceProp{
 		Name:                p.Name,
 		TotalGlobalMem:      p.TotalGlobalMem,
 		Major:               p.Major,
@@ -265,11 +363,23 @@ func (c *Client) GetDeviceProperties(dev int) (cuda.DeviceProp, error) {
 		MaxThreadsPerBlock:  p.MaxThreadsPerBlock,
 		SharedMemPerBlock:   p.SharedMemPerBlock,
 		MemoryBandwidthGBps: p.MemoryBandwidthGbps,
-	}, nil
+	}
+	if c.cacheTopo {
+		c.mu.Lock()
+		if c.props == nil {
+			c.props = make(map[int]cuda.DeviceProp)
+		}
+		c.props[dev] = prop
+		c.mu.Unlock()
+	}
+	return prop, nil
 }
 
 // SetDevice implements cudaSetDevice.
 func (c *Client) SetDevice(dev int) error {
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
 	var code int32
 	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaSetDeviceContext(ctx, int32(dev)); return })
 	return inband(code, err)
@@ -277,6 +387,9 @@ func (c *Client) SetDevice(dev int) error {
 
 // GetDevice implements cudaGetDevice.
 func (c *Client) GetDevice() (int, error) {
+	if err := c.flushBatch(); err != nil {
+		return 0, err
+	}
 	var dev int32
 	err := c.account(false, 1, func(ctx context.Context) (e error) { dev, e = c.gen.CudaGetDeviceContext(ctx); return })
 	return int(dev), err
@@ -284,6 +397,9 @@ func (c *Client) GetDevice() (int, error) {
 
 // Malloc implements cudaMalloc.
 func (c *Client) Malloc(size uint64) (gpu.Ptr, error) {
+	if err := c.flushBatch(); err != nil {
+		return 0, err
+	}
 	var res PtrResult
 	err := c.account(false, 1, func(ctx context.Context) (e error) { res, e = c.gen.CudaMallocContext(ctx, size); return })
 	if err = inband(res.Err, err); err != nil {
@@ -294,6 +410,9 @@ func (c *Client) Malloc(size uint64) (gpu.Ptr, error) {
 
 // Free implements cudaFree.
 func (c *Client) Free(p gpu.Ptr) error {
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
 	var code int32
 	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaFreeContext(ctx, uint64(p)); return })
 	return inband(code, err)
@@ -312,6 +431,9 @@ func (c *Client) transferConc() int {
 // through RPC arguments (the in-process transport), while the
 // simulated cost reflects the selected strategy.
 func (c *Client) MemcpyHtoD(dst gpu.Ptr, data []byte) error {
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
 	if c.transfer == TransferSharedMem || c.transfer == TransferRDMA {
 		return c.directTransfer(len(data), true, func(ctx context.Context) (int32, error) {
 			return c.gen.CudaMemcpyHtodContext(ctx, uint64(dst), MemData(data))
@@ -338,8 +460,21 @@ func (c *Client) MemcpyHtoD(dst gpu.Ptr, data []byte) error {
 }
 
 // MemcpyDtoH implements cudaMemcpy(DeviceToHost), returning a fresh
-// buffer of n bytes.
+// buffer of n bytes. It is a sync point: queued batched work flushes
+// first and a deferred async error surfaces here (the copy still ran,
+// but — like CUDA — its result is unspecified after a failed launch).
 func (c *Client) MemcpyDtoH(src gpu.Ptr, n uint64) ([]byte, error) {
+	if err := c.flushBatch(); err != nil {
+		return nil, err
+	}
+	b, err := c.memcpyDtoH(src, n)
+	if d := c.takeDeferred(); d != nil {
+		return nil, d
+	}
+	return b, err
+}
+
+func (c *Client) memcpyDtoH(src gpu.Ptr, n uint64) ([]byte, error) {
 	if c.transfer == TransferParallelSockets && len(c.channels) > 0 {
 		out := make([]byte, n)
 		err := c.parallelTransfer(int(n), false, func() error {
@@ -444,13 +579,21 @@ func (c *Client) directTransfer(n int, toDevice bool, fn func(ctx context.Contex
 
 // MemcpyDtoD implements cudaMemcpy(DeviceToDevice).
 func (c *Client) MemcpyDtoD(dst, src gpu.Ptr, n uint64) error {
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
 	var code int32
 	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaMemcpyDtodContext(ctx, uint64(dst), uint64(src), n); return })
 	return inband(code, err)
 }
 
-// Memset implements cudaMemset.
+// Memset implements cudaMemset. With batching enabled the fill is
+// queued (cudaMemset on device memory is asynchronous with respect to
+// the host); failures surface at the next sync point.
 func (c *Client) Memset(p gpu.Ptr, value byte, n uint64) error {
+	if c.batch != nil {
+		return c.enqueue(BatchOpMemset, uint64(p), 0, n, uint32(value), gpu.Dim3{}, gpu.Dim3{}, nil)
+	}
 	var code int32
 	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaMemsetContext(ctx, uint64(p), uint32(value), n); return })
 	return inband(code, err)
@@ -458,20 +601,35 @@ func (c *Client) Memset(p gpu.Ptr, value byte, n uint64) error {
 
 // MemGetInfo implements cudaMemGetInfo.
 func (c *Client) MemGetInfo() (free, total uint64, err error) {
+	if err := c.flushBatch(); err != nil {
+		return 0, 0, err
+	}
 	var mi MemInfo
 	err = c.account(false, 1, func(ctx context.Context) (e error) { mi, e = c.gen.CudaMemGetInfoContext(ctx); return })
 	return mi.FreeMem, mi.TotalMem, err
 }
 
-// DeviceSynchronize implements cudaDeviceSynchronize.
+// DeviceSynchronize implements cudaDeviceSynchronize. It is the
+// primary sync point: queued batched work flushes first, and a
+// deferred batch error is reported here once, taking precedence over
+// the server's own (matching) async status.
 func (c *Client) DeviceSynchronize() error {
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
 	var code int32
 	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaDeviceSynchronizeContext(ctx); return })
+	if d := c.takeDeferred(); d != nil {
+		return d
+	}
 	return inband(code, err)
 }
 
 // DeviceReset implements cudaDeviceReset.
 func (c *Client) DeviceReset() error {
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
 	var code int32
 	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaDeviceResetContext(ctx); return })
 	return inband(code, err)
@@ -479,6 +637,9 @@ func (c *Client) DeviceReset() error {
 
 // StreamCreate implements cudaStreamCreate.
 func (c *Client) StreamCreate() (cuda.Stream, error) {
+	if err := c.flushBatch(); err != nil {
+		return 0, err
+	}
 	var res HandleResult
 	err := c.account(false, 1, func(ctx context.Context) (e error) { res, e = c.gen.CudaStreamCreateContext(ctx); return })
 	if err = inband(res.Err, err); err != nil {
@@ -489,13 +650,22 @@ func (c *Client) StreamCreate() (cuda.Stream, error) {
 
 // StreamDestroy implements cudaStreamDestroy.
 func (c *Client) StreamDestroy(s cuda.Stream) error {
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
 	var code int32
 	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaStreamDestroyContext(ctx, uint64(s)); return })
 	return inband(code, err)
 }
 
-// StreamSynchronize implements cudaStreamSynchronize.
+// StreamSynchronize implements cudaStreamSynchronize. With batching
+// enabled it queues as an ordering marker — in the simulated runtime
+// all stream work is complete by the time the batch executes, so the
+// marker preserves CUDA's ordering contract without a round trip.
 func (c *Client) StreamSynchronize(s cuda.Stream) error {
+	if c.batch != nil {
+		return c.enqueue(BatchOpStreamSync, 0, uint64(s), 0, 0, gpu.Dim3{}, gpu.Dim3{}, nil)
+	}
 	var code int32
 	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaStreamSynchronizeContext(ctx, uint64(s)); return })
 	return inband(code, err)
@@ -503,6 +673,9 @@ func (c *Client) StreamSynchronize(s cuda.Stream) error {
 
 // EventCreate implements cudaEventCreate.
 func (c *Client) EventCreate() (cuda.Event, error) {
+	if err := c.flushBatch(); err != nil {
+		return 0, err
+	}
 	var res HandleResult
 	err := c.account(false, 1, func(ctx context.Context) (e error) { res, e = c.gen.CudaEventCreateContext(ctx); return })
 	if err = inband(res.Err, err); err != nil {
@@ -511,17 +684,29 @@ func (c *Client) EventCreate() (cuda.Event, error) {
 	return cuda.Event(res.Handle), nil
 }
 
-// EventRecord implements cudaEventRecord.
+// EventRecord implements cudaEventRecord, an asynchronous call that
+// queues under batching.
 func (c *Client) EventRecord(ev cuda.Event, s cuda.Stream) error {
+	if c.batch != nil {
+		return c.enqueue(BatchOpEventRecord, uint64(ev), uint64(s), 0, 0, gpu.Dim3{}, gpu.Dim3{}, nil)
+	}
 	var code int32
 	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaEventRecordContext(ctx, uint64(ev), uint64(s)); return })
 	return inband(code, err)
 }
 
-// EventElapsed implements cudaEventElapsedTime (milliseconds).
+// EventElapsed implements cudaEventElapsedTime (milliseconds). It is
+// a sync point: the events must have been recorded, so the queue
+// flushes and a deferred batch error surfaces here.
 func (c *Client) EventElapsed(start, end cuda.Event) (float32, error) {
+	if err := c.flushBatch(); err != nil {
+		return 0, err
+	}
 	var res FloatResult
 	err := c.account(false, 1, func(ctx context.Context) (e error) { res, e = c.gen.CudaEventElapsedContext(ctx, uint64(start), uint64(end)); return })
+	if d := c.takeDeferred(); d != nil {
+		return 0, d
+	}
 	if err = inband(res.Err, err); err != nil {
 		return 0, err
 	}
@@ -530,6 +715,9 @@ func (c *Client) EventElapsed(start, end cuda.Event) (float32, error) {
 
 // EventDestroy implements cudaEventDestroy.
 func (c *Client) EventDestroy(ev cuda.Event) error {
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
 	var code int32
 	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaEventDestroyContext(ctx, uint64(ev)); return })
 	return inband(code, err)
@@ -537,6 +725,9 @@ func (c *Client) EventDestroy(ev cuda.Event) error {
 
 // ModuleLoad ships a cubin/fatbin image to the server (cuModuleLoad).
 func (c *Client) ModuleLoad(image []byte) (cuda.Module, error) {
+	if err := c.flushBatch(); err != nil {
+		return 0, err
+	}
 	var res HandleResult
 	err := c.account(true, c.transferConc(), func(ctx context.Context) (e error) { res, e = c.gen.CuModuleLoadContext(ctx, MemData(image)); return })
 	if err = inband(res.Err, err); err != nil {
@@ -550,6 +741,9 @@ func (c *Client) ModuleLoad(image []byte) (cuda.Module, error) {
 
 // ModuleUnload implements cuModuleUnload.
 func (c *Client) ModuleUnload(m cuda.Module) error {
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
 	var code int32
 	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CuModuleUnloadContext(ctx, uint64(m)); return })
 	return inband(code, err)
@@ -557,6 +751,9 @@ func (c *Client) ModuleUnload(m cuda.Module) error {
 
 // ModuleGetFunction implements cuModuleGetFunction.
 func (c *Client) ModuleGetFunction(m cuda.Module, name string) (cuda.Function, error) {
+	if err := c.flushBatch(); err != nil {
+		return 0, err
+	}
 	var res HandleResult
 	err := c.account(false, 1, func(ctx context.Context) (e error) { res, e = c.gen.CuModuleGetFunctionContext(ctx, uint64(m), name); return })
 	if err = inband(res.Err, err); err != nil {
@@ -567,6 +764,9 @@ func (c *Client) ModuleGetFunction(m cuda.Module, name string) (cuda.Function, e
 
 // ModuleGetGlobal implements cuModuleGetGlobal.
 func (c *Client) ModuleGetGlobal(m cuda.Module, name string) (gpu.Ptr, uint64, error) {
+	if err := c.flushBatch(); err != nil {
+		return 0, 0, err
+	}
 	var res GlobalResult
 	err := c.account(false, 1, func(ctx context.Context) (e error) { res, e = c.gen.CuModuleGetGlobalContext(ctx, uint64(m), name); return })
 	if err = inband(res.Err, err); err != nil {
@@ -579,6 +779,13 @@ func (c *Client) ModuleGetGlobal(m cuda.Module, name string) (gpu.Ptr, uint64, e
 // language profile's launch bookkeeping (the C <<<...>>> compatibility
 // logic the Rust port omits, paper §4.2) before forwarding.
 func (c *Client) LaunchKernel(f cuda.Function, grid, block gpu.Dim3, sharedMem uint32, s cuda.Stream, args []byte) error {
+	if c.batch != nil {
+		// The launch queues without touching the wire; stats and the
+		// language profile's launch bookkeeping are charged per entry
+		// at flush (BatchExec). The args buffer is captured into a
+		// recycled entry buffer, keeping the hot path allocation-free.
+		return c.enqueue(BatchOpLaunch, uint64(f), uint64(s), 0, sharedMem, grid, block, args)
+	}
 	if c.sim && c.platform.LaunchExtraNS > 0 {
 		c.path.Clock.Advance(time.Duration(c.platform.LaunchExtraNS) * time.Nanosecond)
 	}
@@ -600,15 +807,26 @@ func (c *Client) LaunchKernel(f cuda.Function, grid, block gpu.Dim3, sharedMem u
 	return inband(code, err)
 }
 
-// Checkpoint asks the server to capture device state.
+// Checkpoint asks the server to capture device state. It is a sync
+// point: a checkpoint must include all queued work, and a deferred
+// batch error surfaces here rather than being silently captured.
 func (c *Client) Checkpoint() error {
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
 	var code int32
 	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CkpCheckpointContext(ctx); return })
+	if d := c.takeDeferred(); d != nil {
+		return d
+	}
 	return inband(code, err)
 }
 
 // Restore asks the server to roll back to the latest checkpoint.
 func (c *Client) Restore() error {
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
 	var code int32
 	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CkpRestoreContext(ctx); return })
 	return inband(code, err)

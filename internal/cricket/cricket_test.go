@@ -74,7 +74,7 @@ func TestSpecFileParsesAndMatchesGenerated(t *testing.T) {
 		t.Fatalf("program number %#x, generated %#x", spec.Programs[0].Number, RpcCdProg)
 	}
 	procs := spec.Programs[0].Versions[0].Procs
-	if len(procs) != 30 {
+	if len(procs) != 31 {
 		t.Fatalf("%d procedures in spec", len(procs))
 	}
 	// Spot-check generated procedure numbers against the spec.
@@ -84,6 +84,9 @@ func TestSpecFileParsesAndMatchesGenerated(t *testing.T) {
 	}
 	if byName["CUDA_MALLOC"] != ProcCudaMalloc || byName["CU_LAUNCH_KERNEL"] != ProcCuLaunchKernel {
 		t.Fatal("generated procedure numbers diverge from cricket.x")
+	}
+	if byName["BATCH_EXEC"] != ProcBatchExec {
+		t.Fatal("BATCH_EXEC procedure number diverges from cricket.x")
 	}
 }
 

@@ -375,6 +375,52 @@ func (s *Server) CuLaunchKernel(a LaunchArgs) (int32, error) {
 	return errCode(err), nil
 }
 
+// BatchExec executes a batch of queued asynchronous calls strictly in
+// submission order and returns one CUDA status code per entry.
+// Execution does not stop at a failed entry: like a CUDA stream whose
+// launch faulted, later entries still run (the simulated runtime keeps
+// them independent), and the client decides which error to surface.
+// Stats count each entry as one call, so a batching client is
+// indistinguishable from an unbatched one in the server's accounting.
+func (s *Server) BatchExec(a BatchArgs) (BatchResult, error) {
+	status := make([]int32, len(a.Entries))
+	for i := range a.Entries {
+		e := &a.Entries[i]
+		var err error
+		switch e.Op {
+		case BatchOpLaunch:
+			s.count(func(st *ServerStats) { st.Calls++; st.KernelLaunches++ })
+			grid := gpu.Dim3{X: e.GridX, Y: e.GridY, Z: e.GridZ}
+			block := gpu.Dim3{X: e.BlockX, Y: e.BlockY, Z: e.BlockZ}
+			_, err = s.rt.LaunchKernel(cuda.Function(e.Handle), grid, block, e.Value, cuda.Stream(e.Stream), e.Data)
+			if err != nil && s.ErrorLog != nil {
+				s.ErrorLog.Printf("cricket: batched launch failed: %v", err)
+			}
+		case BatchOpMemcpyHtod:
+			s.count(func(st *ServerStats) { st.Calls++ })
+			_, err = s.rt.MemcpyHtoD(gpu.Ptr(e.Handle), e.Data)
+			if err == nil {
+				n := uint64(len(e.Data))
+				s.count(func(st *ServerStats) { st.BytesToGPU += n })
+			}
+		case BatchOpMemset:
+			s.count(func(st *ServerStats) { st.Calls++ })
+			_, err = s.rt.Memset(gpu.Ptr(e.Handle), byte(e.Value), e.N)
+		case BatchOpEventRecord:
+			s.count(func(st *ServerStats) { st.Calls++ })
+			_, err = s.rt.EventRecord(cuda.Event(e.Handle), cuda.Stream(e.Stream))
+		case BatchOpStreamSync:
+			s.count(func(st *ServerStats) { st.Calls++ })
+			_, err = s.rt.StreamSynchronize(cuda.Stream(e.Stream))
+		default:
+			s.count(func(st *ServerStats) { st.Calls++ })
+			err = cuda.ErrorInvalidValue
+		}
+		status[i] = errCode(err)
+	}
+	return BatchResult{Status: status}, nil
+}
+
 // CkpCheckpoint captures the current device's full memory state. A
 // failed snapshot is reported in-band and never installed as the
 // device's latest checkpoint. When a checkpoint directory is

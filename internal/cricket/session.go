@@ -169,8 +169,40 @@ type Session struct {
 	streams  map[uint64]cuda.Stream
 	events   map[uint64]cuda.Event
 
+	// Batched execution (Options.Batch). The session owns the queue —
+	// a Client dies with its transport, and a queue that died with it
+	// could not be replayed — so sub-clients always run unbatched.
+	// Entries are recorded in VIRTUAL handle terms and translated to
+	// server handles at flush time, inside the do() retry loop: a
+	// flush that rides through a server restart re-translates against
+	// the replayed mappings, making the whole batch idempotent.
+	batchq        []sessBatchOp
+	batchBytes    int
+	batchMaxN     int // 0 = batching off
+	batchMaxBytes int
+	batchAge      time.Duration
+	batchTimer    *time.Timer
+	batchDeferred error        // first in-band batch failure awaiting a sync point
+	wireBuf       []BatchEntry // reused flush translation buffer
+
 	statmu sync.Mutex
 	sstats SessionStats
+}
+
+// sessBatchOp is one queued asynchronous call in virtual-handle
+// terms. Which fields are meaningful depends on op, mirroring
+// batch_entry in cricket.x.
+type sessBatchOp struct {
+	op          int32
+	fn          *sessFunc // launch: replay updates fn.srv in place
+	grid, block gpu.Dim3
+	shared      uint32
+	stream      cuda.Stream // virtual
+	event       cuda.Event  // virtual
+	ptr         gpu.Ptr     // virtual destination (htod, memset)
+	val         byte
+	n           uint64
+	data        []byte // captured payload: launch args (virtual) or htod bytes
 }
 
 // virtual pointer arena: far above any real device address, with a
@@ -191,7 +223,6 @@ func NewSession(opts SessionOptions) (*Session, error) {
 		seed = time.Now().UnixNano()
 	}
 	s := &Session{
-		opts:     o,
 		rng:      rand.New(rand.NewSource(seed)),
 		nextVPtr: vPtrBase,
 		allocs:   make(map[gpu.Ptr]*sessAlloc),
@@ -201,6 +232,18 @@ func NewSession(opts SessionOptions) (*Session, error) {
 		streams:  make(map[uint64]cuda.Stream),
 		events:   make(map[uint64]cuda.Event),
 	}
+	if o.Batch > 0 {
+		s.batchMaxN = o.Batch
+		s.batchMaxBytes = o.BatchBytes
+		if s.batchMaxBytes <= 0 {
+			s.batchMaxBytes = 1 << 20
+		}
+		s.batchAge = o.BatchAge
+		// The session owns the queue; its clients stay unbatched so a
+		// transport death cannot take queued entries with it.
+		o.Options.Batch = 0
+	}
+	s.opts = o
 	c, epoch, err := s.dialOnce()
 	if err != nil {
 		return nil, err
@@ -256,12 +299,18 @@ func (s *Session) SessionStats() SessionStats {
 	return s.sstats
 }
 
-// Close shuts the session down.
+// Close flushes any queued batched calls (best effort) and shuts the
+// session down.
 func (s *Session) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil
+	}
+	s.flushBatchLocked()
+	if s.batchTimer != nil {
+		s.batchTimer.Stop()
+		s.batchTimer = nil
 	}
 	s.closed = true
 	if s.c != nil {
@@ -449,6 +498,132 @@ func (s *Session) do(op func(c *Client) error) error {
 	}
 }
 
+// ---- batched execution ----
+
+// batching reports whether the session queues asynchronous calls.
+func (s *Session) batching() bool { return s.batchMaxN > 0 }
+
+// enqueueLocked appends one virtual-terms entry and flushes when a
+// threshold is reached. Called with s.mu held.
+func (s *Session) enqueueLocked(op sessBatchOp) error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	s.batchq = append(s.batchq, op)
+	s.batchBytes += len(op.data)
+	if len(s.batchq) >= s.batchMaxN || s.batchBytes > s.batchMaxBytes {
+		return s.flushBatchLocked()
+	}
+	if s.batchAge > 0 && s.batchTimer == nil {
+		s.batchTimer = time.AfterFunc(s.batchAge, func() { s.Flush() })
+	}
+	return nil
+}
+
+// flushBatchLocked translates the queue to server handles and ships
+// it as one BATCH_EXEC through do(). Translation happens inside the
+// retry closure: when a flush rides through a reconnect-and-replay,
+// the retried batch re-translates every entry against the replayed
+// mappings (fresh function/stream/event handles, fresh allocations,
+// rewritten launch-arg pointers), so the whole batch is replayed
+// intact. The record-marked transport guarantees a half-written batch
+// never executed, so a retry after a mid-batch drop executes the
+// batch exactly once. Called with s.mu held.
+func (s *Session) flushBatchLocked() error {
+	if len(s.batchq) == 0 {
+		return nil
+	}
+	if s.batchTimer != nil {
+		s.batchTimer.Stop()
+		s.batchTimer = nil
+	}
+	ops := s.batchq
+	err := s.do(func(c *Client) error {
+		entries := s.wireBuf[:0]
+		for i := range ops {
+			op := &ops[i]
+			e := BatchEntry{Op: op.op}
+			switch op.op {
+			case BatchOpLaunch:
+				e.Handle = uint64(op.fn.srv)
+				e.Stream = uint64(s.stream(op.stream))
+				e.Value = op.shared
+				e.GridX, e.GridY, e.GridZ = op.grid.X, op.grid.Y, op.grid.Z
+				e.BlockX, e.BlockY, e.BlockZ = op.block.X, op.block.Y, op.block.Z
+				e.Data = s.rewriteArgs(op.fn, op.data)
+			case BatchOpMemcpyHtod:
+				e.Handle = uint64(s.translate(op.ptr))
+				e.Stream = uint64(s.stream(op.stream))
+				e.Data = op.data
+			case BatchOpMemset:
+				e.Handle = uint64(s.translate(op.ptr))
+				e.Value = uint32(op.val)
+				e.N = op.n
+			case BatchOpEventRecord:
+				e.Handle = uint64(s.event(op.event))
+				e.Stream = uint64(s.stream(op.stream))
+			case BatchOpStreamSync:
+				e.Stream = uint64(s.stream(op.stream))
+			}
+			entries = append(entries, e)
+		}
+		s.wireBuf = entries
+		sts, err := c.BatchExec(entries)
+		if err != nil {
+			return err
+		}
+		if s.batchDeferred == nil {
+			for _, st := range sts {
+				if st != 0 {
+					s.batchDeferred = cuda.Error(st)
+					break
+				}
+			}
+		}
+		return nil
+	})
+	s.batchq = s.batchq[:0]
+	s.batchBytes = 0
+	return err
+}
+
+// takeDeferredLocked reports and clears the pending batch error at a
+// sync point. Called with s.mu held.
+func (s *Session) takeDeferredLocked() error {
+	err := s.batchDeferred
+	s.batchDeferred = nil
+	return err
+}
+
+// Flush sends any queued batched calls now (no-op when batching is
+// off or the queue is empty). In-band per-entry failures surface at
+// the next sync point, not here.
+func (s *Session) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
+	return s.flushBatchLocked()
+}
+
+// MemcpyHtoDAsync implements cudaMemcpyAsync(HostToDevice): the
+// payload is captured (the caller may reuse data immediately) and
+// queued under batching, or copied synchronously without it.
+func (s *Session) MemcpyHtoDAsync(dst gpu.Ptr, data []byte, st cuda.Stream) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.batching() {
+		return s.enqueueLocked(sessBatchOp{
+			op:     BatchOpMemcpyHtod,
+			ptr:    dst,
+			stream: st,
+			data:   append([]byte(nil), data...),
+		})
+	}
+	return s.do(func(c *Client) error { return c.MemcpyHtoD(s.translate(dst), data) })
+}
+
 // ---- virtual handle plumbing ----
 
 func (s *Session) newVHandle() uint64 {
@@ -489,6 +664,9 @@ func (s *Session) translate(p gpu.Ptr) gpu.Ptr {
 func (s *Session) Ping() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.flushBatchLocked(); err != nil {
+		return err
+	}
 	return s.do(func(c *Client) error { return c.Ping() })
 }
 
@@ -496,6 +674,9 @@ func (s *Session) Ping() error {
 func (s *Session) GetDeviceCount() (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.flushBatchLocked(); err != nil {
+		return 0, err
+	}
 	var n int
 	err := s.do(func(c *Client) (e error) { n, e = c.GetDeviceCount(); return })
 	return n, err
@@ -505,6 +686,9 @@ func (s *Session) GetDeviceCount() (int, error) {
 func (s *Session) GetDeviceProperties(dev int) (cuda.DeviceProp, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.flushBatchLocked(); err != nil {
+		return cuda.DeviceProp{}, err
+	}
 	var p cuda.DeviceProp
 	err := s.do(func(c *Client) (e error) { p, e = c.GetDeviceProperties(dev); return })
 	return p, err
@@ -515,6 +699,9 @@ func (s *Session) GetDeviceProperties(dev int) (cuda.DeviceProp, error) {
 func (s *Session) SetDevice(dev int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.flushBatchLocked(); err != nil {
+		return err
+	}
 	err := s.do(func(c *Client) error { return c.SetDevice(dev) })
 	if err == nil {
 		s.dev = dev
@@ -526,6 +713,9 @@ func (s *Session) SetDevice(dev int) error {
 func (s *Session) GetDevice() (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.flushBatchLocked(); err != nil {
+		return 0, err
+	}
 	var dev int
 	err := s.do(func(c *Client) (e error) { dev, e = c.GetDevice(); return })
 	return dev, err
@@ -535,6 +725,9 @@ func (s *Session) GetDevice() (int, error) {
 func (s *Session) Malloc(size uint64) (gpu.Ptr, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.flushBatchLocked(); err != nil {
+		return 0, err
+	}
 	var srv gpu.Ptr
 	err := s.do(func(c *Client) (e error) { srv, e = c.Malloc(size); return })
 	if err != nil {
@@ -545,10 +738,14 @@ func (s *Session) Malloc(size uint64) (gpu.Ptr, error) {
 	return v, nil
 }
 
-// Free implements cudaFree.
+// Free implements cudaFree. Queued work may reference the
+// allocation, so the batch flushes first.
 func (s *Session) Free(p gpu.Ptr) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.flushBatchLocked(); err != nil {
+		return err
+	}
 	a, ok := s.allocs[p]
 	if !ok {
 		// Not session-managed (null or stale): forward for the
@@ -562,19 +759,30 @@ func (s *Session) Free(p gpu.Ptr) error {
 	return err
 }
 
-// MemcpyHtoD implements cudaMemcpy(HostToDevice).
+// MemcpyHtoD implements cudaMemcpy(HostToDevice) — synchronous, so
+// queued work flushes first to preserve ordering.
 func (s *Session) MemcpyHtoD(dst gpu.Ptr, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.flushBatchLocked(); err != nil {
+		return err
+	}
 	return s.do(func(c *Client) error { return c.MemcpyHtoD(s.translate(dst), data) })
 }
 
-// MemcpyDtoH implements cudaMemcpy(DeviceToHost).
+// MemcpyDtoH implements cudaMemcpy(DeviceToHost). It is a sync point:
+// the batch flushes first and a deferred batch error surfaces here.
 func (s *Session) MemcpyDtoH(src gpu.Ptr, n uint64) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.flushBatchLocked(); err != nil {
+		return nil, err
+	}
 	var out []byte
 	err := s.do(func(c *Client) (e error) { out, e = c.MemcpyDtoH(s.translate(src), n); return })
+	if d := s.takeDeferredLocked(); d != nil {
+		return nil, d
+	}
 	return out, err
 }
 
@@ -582,13 +790,20 @@ func (s *Session) MemcpyDtoH(src gpu.Ptr, n uint64) ([]byte, error) {
 func (s *Session) MemcpyDtoD(dst, src gpu.Ptr, n uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.flushBatchLocked(); err != nil {
+		return err
+	}
 	return s.do(func(c *Client) error { return c.MemcpyDtoD(s.translate(dst), s.translate(src), n) })
 }
 
-// Memset implements cudaMemset.
+// Memset implements cudaMemset, queued in virtual terms under
+// batching (the destination translates at flush time).
 func (s *Session) Memset(p gpu.Ptr, value byte, n uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.batching() {
+		return s.enqueueLocked(sessBatchOp{op: BatchOpMemset, ptr: p, val: value, n: n})
+	}
 	return s.do(func(c *Client) error { return c.Memset(s.translate(p), value, n) })
 }
 
@@ -596,15 +811,27 @@ func (s *Session) Memset(p gpu.Ptr, value byte, n uint64) error {
 func (s *Session) MemGetInfo() (free, total uint64, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.flushBatchLocked(); err != nil {
+		return 0, 0, err
+	}
 	err = s.do(func(c *Client) (e error) { free, total, e = c.MemGetInfo(); return })
 	return free, total, err
 }
 
-// DeviceSynchronize implements cudaDeviceSynchronize.
+// DeviceSynchronize implements cudaDeviceSynchronize — the primary
+// sync point: the batch flushes and a deferred batch error is
+// reported here once, like CUDA's async error model.
 func (s *Session) DeviceSynchronize() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.do(func(c *Client) error { return c.DeviceSynchronize() })
+	if err := s.flushBatchLocked(); err != nil {
+		return err
+	}
+	err := s.do(func(c *Client) error { return c.DeviceSynchronize() })
+	if d := s.takeDeferredLocked(); d != nil {
+		return d
+	}
+	return err
 }
 
 // StreamCreate implements cudaStreamCreate with a stable virtual
@@ -612,6 +839,9 @@ func (s *Session) DeviceSynchronize() error {
 func (s *Session) StreamCreate() (cuda.Stream, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.flushBatchLocked(); err != nil {
+		return 0, err
+	}
 	var srv cuda.Stream
 	err := s.do(func(c *Client) (e error) { srv, e = c.StreamCreate(); return })
 	if err != nil {
@@ -634,10 +864,14 @@ func (s *Session) stream(v cuda.Stream) cuda.Stream {
 	return v
 }
 
-// StreamDestroy implements cudaStreamDestroy.
+// StreamDestroy implements cudaStreamDestroy. Queued work may target
+// the stream, so the batch flushes first.
 func (s *Session) StreamDestroy(v cuda.Stream) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.flushBatchLocked(); err != nil {
+		return err
+	}
 	err := s.do(func(c *Client) error { return c.StreamDestroy(s.stream(v)) })
 	if err == nil {
 		delete(s.streams, uint64(v))
@@ -645,10 +879,14 @@ func (s *Session) StreamDestroy(v cuda.Stream) error {
 	return err
 }
 
-// StreamSynchronize implements cudaStreamSynchronize.
+// StreamSynchronize implements cudaStreamSynchronize; under batching
+// it queues as an ordering marker (see Client.StreamSynchronize).
 func (s *Session) StreamSynchronize(v cuda.Stream) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.batching() {
+		return s.enqueueLocked(sessBatchOp{op: BatchOpStreamSync, stream: v})
+	}
 	return s.do(func(c *Client) error { return c.StreamSynchronize(s.stream(v)) })
 }
 
@@ -656,6 +894,9 @@ func (s *Session) StreamSynchronize(v cuda.Stream) error {
 func (s *Session) EventCreate() (cuda.Event, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.flushBatchLocked(); err != nil {
+		return 0, err
+	}
 	var srv cuda.Event
 	err := s.do(func(c *Client) (e error) { srv, e = c.EventCreate(); return })
 	if err != nil {
@@ -673,21 +914,32 @@ func (s *Session) event(v cuda.Event) cuda.Event {
 	return v
 }
 
-// EventRecord implements cudaEventRecord.
+// EventRecord implements cudaEventRecord; under batching it queues
+// and the virtual event/stream handles translate at flush time.
 func (s *Session) EventRecord(ev cuda.Event, st cuda.Stream) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.batching() {
+		return s.enqueueLocked(sessBatchOp{op: BatchOpEventRecord, event: ev, stream: st})
+	}
 	return s.do(func(c *Client) error { return c.EventRecord(s.event(ev), s.stream(st)) })
 }
 
 // EventElapsed implements cudaEventElapsedTime. Timestamps recorded
 // before a server restart are lost; elapsed queries across a replay
-// report the server's unrecorded-event error.
+// report the server's unrecorded-event error. A sync point: queued
+// work flushes first and a deferred batch error surfaces here.
 func (s *Session) EventElapsed(start, end cuda.Event) (float32, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.flushBatchLocked(); err != nil {
+		return 0, err
+	}
 	var ms float32
 	err := s.do(func(c *Client) (e error) { ms, e = c.EventElapsed(s.event(start), s.event(end)); return })
+	if d := s.takeDeferredLocked(); d != nil {
+		return 0, d
+	}
 	return ms, err
 }
 
@@ -695,6 +947,9 @@ func (s *Session) EventElapsed(start, end cuda.Event) (float32, error) {
 func (s *Session) EventDestroy(ev cuda.Event) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.flushBatchLocked(); err != nil {
+		return err
+	}
 	err := s.do(func(c *Client) error { return c.EventDestroy(s.event(ev)) })
 	if err == nil {
 		delete(s.events, uint64(ev))
@@ -709,6 +964,9 @@ func (s *Session) EventDestroy(ev cuda.Event) error {
 func (s *Session) ModuleLoad(image []byte) (cuda.Module, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.flushBatchLocked(); err != nil {
+		return 0, err
+	}
 	var srv cuda.Module
 	err := s.do(func(c *Client) (e error) { srv, e = c.ModuleLoad(image); return })
 	if err != nil {
@@ -728,6 +986,9 @@ func (s *Session) ModuleLoad(image []byte) (cuda.Module, error) {
 func (s *Session) ModuleUnload(v cuda.Module) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.flushBatchLocked(); err != nil {
+		return err
+	}
 	m, ok := s.modules[uint64(v)]
 	if !ok {
 		return s.do(func(c *Client) error { return c.ModuleUnload(v) })
@@ -754,6 +1015,9 @@ func (s *Session) ModuleUnload(v cuda.Module) error {
 func (s *Session) ModuleGetFunction(v cuda.Module, name string) (cuda.Function, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.flushBatchLocked(); err != nil {
+		return 0, err
+	}
 	m, ok := s.modules[uint64(v)]
 	if !ok {
 		return 0, cuda.ErrorInvalidHandle
@@ -773,6 +1037,9 @@ func (s *Session) ModuleGetFunction(v cuda.Module, name string) (cuda.Function, 
 func (s *Session) ModuleGetGlobal(v cuda.Module, name string) (gpu.Ptr, uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.flushBatchLocked(); err != nil {
+		return 0, 0, err
+	}
 	m, ok := s.modules[uint64(v)]
 	if !ok {
 		return 0, 0, cuda.ErrorInvalidHandle
@@ -807,6 +1074,16 @@ func (s *Session) LaunchKernel(f cuda.Function, grid, block gpu.Dim3, sharedMem 
 	fn, ok := s.funcs[uint64(f)]
 	if !ok {
 		return cuda.ErrorInvalidDeviceFunction
+	}
+	if s.batching() {
+		// Queued in virtual terms: the function handle and argument
+		// buffer translate inside flushBatchLocked's retry closure, so
+		// a batch replayed after reconnect re-resolves fresh server
+		// handles per entry.
+		return s.enqueueLocked(sessBatchOp{
+			op: BatchOpLaunch, fn: fn, grid: grid, block: block,
+			shared: sharedMem, stream: st, data: append([]byte(nil), args...),
+		})
 	}
 	return s.do(func(c *Client) error {
 		buf := s.rewriteArgs(fn, args)
@@ -860,7 +1137,14 @@ func putLeU64(b []byte, v uint64) {
 func (s *Session) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.do(func(c *Client) error { return c.Checkpoint() })
+	if err := s.flushBatchLocked(); err != nil {
+		return err
+	}
+	err := s.do(func(c *Client) error { return c.Checkpoint() })
+	if d := s.takeDeferredLocked(); d != nil {
+		return d
+	}
+	return err
 }
 
 // Restore asks the server to roll back to the latest checkpoint.
@@ -869,6 +1153,9 @@ func (s *Session) Checkpoint() error {
 func (s *Session) Restore() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.flushBatchLocked(); err != nil {
+		return err
+	}
 	return s.do(func(c *Client) error { return c.Restore() })
 }
 

@@ -52,6 +52,16 @@ const maxDataFrame = 1 << 30
 // listener, one goroutine each.
 func (s *Server) ServeDataConn(conn io.ReadWriter) error {
 	var hdr [4 + 1 + 8 + 8]byte
+	// payload is reused across frames (grown on demand, never shrunk)
+	// so a connection streaming many chunks allocates per high-water
+	// mark, not per frame.
+	var payload []byte
+	grow := func(n uint64) []byte {
+		if uint64(cap(payload)) < n {
+			payload = make([]byte, n)
+		}
+		return payload[:n]
+	}
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			if err == io.EOF {
@@ -71,11 +81,11 @@ func (s *Server) ServeDataConn(conn io.ReadWriter) error {
 		var status [4]byte
 		switch op {
 		case dataOpWrite:
-			payload := make([]byte, n)
-			if _, err := io.ReadFull(conn, payload); err != nil {
+			buf := grow(n)
+			if _, err := io.ReadFull(conn, buf); err != nil {
 				return err
 			}
-			_, err := s.rt.MemcpyHtoD(ptr, payload)
+			_, err := s.rt.MemcpyHtoD(ptr, buf)
 			if err == nil {
 				s.count(func(st *ServerStats) { st.BytesToGPU += n })
 			}
@@ -84,7 +94,8 @@ func (s *Server) ServeDataConn(conn io.ReadWriter) error {
 				return err
 			}
 		case dataOpRead:
-			payload, _, err := s.rt.MemcpyDtoH(ptr, n)
+			buf := grow(n)
+			_, err := s.rt.MemcpyDtoHInto(ptr, buf)
 			if err == nil {
 				s.count(func(st *ServerStats) { st.BytesFromGPU += n })
 			}
@@ -93,7 +104,7 @@ func (s *Server) ServeDataConn(conn io.ReadWriter) error {
 				return err
 			}
 			if cuda.Code(err) == cuda.Success {
-				if _, err := conn.Write(payload); err != nil {
+				if _, err := conn.Write(buf); err != nil {
 					return err
 				}
 			}

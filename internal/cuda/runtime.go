@@ -254,6 +254,19 @@ func (r *Runtime) MemcpyDtoH(src gpu.Ptr, n uint64) ([]byte, time.Duration, erro
 	return b, r.charge(d), nil
 }
 
+// MemcpyDtoHInto copies device memory into a caller-provided buffer,
+// filling it completely. It is the allocation-free sibling of
+// MemcpyDtoH for hot paths that recycle host buffers.
+func (r *Runtime) MemcpyDtoHInto(src gpu.Ptr, dst []byte) (time.Duration, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, err := r.cur().ReadInto(src, dst)
+	if err != nil {
+		return r.charge(d), r.note(ErrorInvalidDevicePointer)
+	}
+	return r.charge(d), nil
+}
+
 // MemcpyDtoD copies between device buffers.
 func (r *Runtime) MemcpyDtoD(dst, src gpu.Ptr, n uint64) (time.Duration, error) {
 	r.mu.Lock()

@@ -191,6 +191,20 @@ func (d *Device) Read(p Ptr, n uint64) ([]byte, time.Duration, error) {
 	return out, d.copyTime(n), nil
 }
 
+// ReadInto copies device memory into a caller-provided buffer,
+// filling it completely — the allocation-free variant of Read for
+// callers that recycle buffers (the data-channel server).
+func (d *Device) ReadInto(p Ptr, dst []byte) (time.Duration, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	src, err := d.mem.region(p, uint64(len(dst)))
+	if err != nil {
+		return 0, err
+	}
+	copy(dst, src)
+	return d.copyTime(uint64(len(dst))), nil
+}
+
 // Memset fills device memory with a byte value.
 func (d *Device) Memset(p Ptr, v byte, n uint64) (time.Duration, error) {
 	d.mu.Lock()

@@ -59,6 +59,7 @@ type Client struct {
 	wmu sync.Mutex // serializes record writes
 	rw  *RecordWriter
 	wb  bytes.Buffer // call assembly buffer, guarded by wmu
+	enc *xdr.Encoder // reusable encoder over wb, guarded by wmu
 
 	mu      sync.Mutex
 	pending map[uint32]chan []byte
@@ -254,7 +255,15 @@ func (c *Client) send(xid, proc uint32, args xdr.Marshaler) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	c.wb.Reset()
-	e := xdr.NewEncoder(&c.wb)
+	// The encoder is recycled across calls (it only holds a writer and
+	// running counters), so assembling a call allocates nothing beyond
+	// what the arguments themselves marshal.
+	if c.enc == nil {
+		c.enc = xdr.NewEncoder(&c.wb)
+	} else {
+		c.enc.Reset(&c.wb)
+	}
+	e := c.enc
 	hdr := CallHeader{XID: xid, Prog: c.prog, Vers: c.vers, Proc: proc, Cred: c.cred}
 	if err := hdr.MarshalXDR(e); err != nil {
 		return err

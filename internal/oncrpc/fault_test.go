@@ -252,7 +252,7 @@ func TestQuickHandleRecordNeverPanics(t *testing.T) {
 	srv.Register(testProg, testVers, DispatcherFunc(testDispatcher))
 	f := func(rec []byte) bool {
 		var out bytes.Buffer
-		srv.handleRecord(rec, &out)
+		srv.handleRecord(rec, &out, newConnScratch())
 		return true
 	}
 	if err := quickCheck(f, 400); err != nil {
@@ -268,7 +268,7 @@ func TestQuickHandleRecordNeverPanics(t *testing.T) {
 		}
 		buf.Write(tail)
 		var out bytes.Buffer
-		srv.handleRecord(buf.Bytes(), &out)
+		srv.handleRecord(buf.Bytes(), &out, newConnScratch())
 		return true
 	}
 	if err := quickCheck(g, 400); err != nil {

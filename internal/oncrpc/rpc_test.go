@@ -360,7 +360,7 @@ func TestRPCMismatchDenied(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := srv.handleRecord(callBuf.Bytes(), &out); err != nil {
+	if err := srv.handleRecord(callBuf.Bytes(), &out, newConnScratch()); err != nil {
 		t.Fatal(err)
 	}
 	var hdr ReplyHeader
@@ -390,7 +390,7 @@ func TestFailingHandlerDoesNotLeakPartialResults(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := srv.handleRecord(callBuf.Bytes(), &out); err != nil {
+	if err := srv.handleRecord(callBuf.Bytes(), &out, newConnScratch()); err != nil {
 		t.Fatal(err)
 	}
 	var reply ReplyHeader

@@ -169,6 +169,7 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 		rr.SetMaxRecordSize(s.MaxRecordSize)
 	}
 	rw := NewRecordWriter(conn)
+	sc := newConnScratch()
 	var reply bytes.Buffer
 	for {
 		rec, err := rr.ReadRecord()
@@ -176,7 +177,7 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 			return err
 		}
 		reply.Reset()
-		if err := s.handleRecord(rec, &reply); err != nil {
+		if err := s.handleRecord(rec, &reply, sc); err != nil {
 			return err
 		}
 		if err := rw.WriteRecord(reply.Bytes()); err != nil {
@@ -185,10 +186,39 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 	}
 }
 
+// connScratch holds one connection's decode/encode state, recycled
+// across records: replies on a connection are strictly sequential, so
+// a single reader, decoder, encoder, and results buffer serve every
+// call. This keeps per-record dispatch overhead out of steady-state
+// allocation (batched hot paths issue many records).
+type connScratch struct {
+	rd      bytes.Reader
+	dec     *xdr.Decoder
+	enc     *xdr.Encoder
+	results bytes.Buffer
+}
+
+func newConnScratch() *connScratch {
+	sc := &connScratch{}
+	sc.dec = xdr.NewDecoder(&sc.rd)
+	sc.enc = xdr.NewEncoder(io.Discard)
+	return sc
+}
+
+// encTo retargets the recycled encoder. The previous target must be
+// finished: the encoder holds no buffered state, only the destination
+// writer and running counters.
+func (sc *connScratch) encTo(w io.Writer) *xdr.Encoder {
+	sc.enc.Reset(w)
+	return sc.enc
+}
+
 // handleRecord processes one call record and writes the complete reply
-// record into out.
-func (s *Server) handleRecord(rec []byte, out *bytes.Buffer) error {
-	d := xdr.NewDecoder(bytes.NewReader(rec))
+// record into out, using the connection's recycled scratch state.
+func (s *Server) handleRecord(rec []byte, out *bytes.Buffer, sc *connScratch) error {
+	sc.rd.Reset(rec)
+	sc.dec.Reset(&sc.rd)
+	d := sc.dec
 	var call CallHeader
 	if err := call.UnmarshalXDR(d); err != nil {
 		var ve *VersionError
@@ -197,7 +227,7 @@ func (s *Server) handleRecord(rec []byte, out *bytes.Buffer) error {
 				XID: call.XID, Stat: MsgDenied, RejStat: RPCMismatch,
 				Mismatch: MismatchInfo{Low: RPCVersion, High: RPCVersion},
 			}
-			return xdr.NewEncoder(out).Marshal(&hdr)
+			return sc.encTo(out).Marshal(&hdr)
 		}
 		// Undecodable header: nothing sensible to reply; drop the call.
 		s.logf("oncrpc: dropping undecodable call: %v", err)
@@ -218,13 +248,13 @@ func (s *Server) handleRecord(rec []byte, out *bytes.Buffer) error {
 		hdr.Mismatch = rng
 	}
 	if hdr.AccStat != Success {
-		return xdr.NewEncoder(out).Marshal(&hdr)
+		return sc.encTo(out).Marshal(&hdr)
 	}
 
 	// Run the dispatcher into a scratch buffer so a failing handler
 	// cannot corrupt the reply stream.
-	var results bytes.Buffer
-	enc := xdr.NewEncoder(&results)
+	sc.results.Reset()
+	enc := sc.encTo(&sc.results)
 	err := disp.Dispatch(call.Proc, d, enc)
 	if err == nil {
 		err = enc.Err()
@@ -243,12 +273,12 @@ func (s *Server) handleRecord(rec []byte, out *bytes.Buffer) error {
 		hdr.AccStat = SystemErr
 	}
 
-	e := xdr.NewEncoder(out)
+	e := sc.encTo(out)
 	if err := e.Marshal(&hdr); err != nil {
 		return err
 	}
 	if hdr.AccStat == Success {
-		if _, err := out.Write(results.Bytes()); err != nil {
+		if _, err := out.Write(sc.results.Bytes()); err != nil {
 			return err
 		}
 	}

@@ -29,6 +29,7 @@ var ErrTooBigForUDP = fmt.Errorf("oncrpc: message exceeds %d-byte UDP payload", 
 // closed. Each datagram is one call; malformed datagrams are dropped.
 func (s *Server) ServePacket(conn net.PacketConn) error {
 	buf := make([]byte, maxUDPPayload)
+	sc := newConnScratch()
 	for {
 		n, addr, err := conn.ReadFrom(buf)
 		if err != nil {
@@ -37,7 +38,7 @@ func (s *Server) ServePacket(conn net.PacketConn) error {
 		rec := make([]byte, n)
 		copy(rec, buf[:n])
 		var out bytes.Buffer
-		if err := s.handleRecord(rec, &out); err != nil {
+		if err := s.handleRecord(rec, &out, sc); err != nil {
 			s.logf("oncrpc: udp: %v", err)
 			continue
 		}

@@ -105,7 +105,7 @@ func TestUDPRetransmission(t *testing.T) {
 			rec := make([]byte, n)
 			copy(rec, buf[:n])
 			var out bytes.Buffer
-			if err := srv.handleRecord(rec, &out); err != nil {
+			if err := srv.handleRecord(rec, &out, newConnScratch()); err != nil {
 				continue
 			}
 			pc.WriteTo(out.Bytes(), addr)
