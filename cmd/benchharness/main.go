@@ -18,6 +18,8 @@ import (
 
 	"cricket/internal/apps"
 	"cricket/internal/bench"
+	"cricket/internal/guest"
+	"cricket/internal/obs"
 )
 
 func main() {
@@ -40,6 +42,7 @@ func main() {
 	ablBatch := flag.Bool("ablation-batch", false, "BATCH_EXEC ablation: kernel-launch rate by batch size")
 	smoke := flag.Bool("smoke", false, "with -ablation-batch: tiny sweep, assert Hermit batch>=32 beats unbatched 2x")
 	batchJSON := flag.String("batch-json", "", "with -ablation-batch: also write points as JSON to this file")
+	latencyJSON := flag.String("latency-json", "", "run the observability latency profile and write per-procedure p50/p99 as JSON to this file")
 	flag.Parse()
 
 	scale := bench.ScalePaper
@@ -157,6 +160,41 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("smoke ok: Hermit batch>=32 launches %.2fx faster than unbatched\n", got)
+		}
+	})
+	section(*latencyJSON != "", func() {
+		if *latencyJSON == "" {
+			return // -all without a file: nothing to write
+		}
+		latCalls := 10_000
+		if *ci {
+			latCalls = 1_000
+		}
+		p, _ := guest.ByName("Hermit")
+		start := time.Now()
+		metrics, err := bench.LatencyProfile(p, latCalls)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchharness: latency profile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Latency profile (%s, %d calls/procedure, wall-clock µs)\n", p.Name, latCalls)
+		printStats := func(side string, rows []obs.ProcStats) {
+			for _, r := range rows {
+				fmt.Printf("  %-6s %-26s n=%-7d p50=%8.2f p99=%8.2f max=%8.2f\n",
+					side, r.Proc, r.Count, r.P50US, r.P99US, r.MaxUS)
+			}
+		}
+		printStats("client", metrics.Client)
+		printStats("server", metrics.Server)
+		printStats("device", metrics.Device)
+		fmt.Printf("  [generated in %v wall time]\n\n", time.Since(start).Round(time.Millisecond))
+		data, err := json.MarshalIndent(metrics, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*latencyJSON, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchharness: write %s: %v\n", *latencyJSON, err)
+			os.Exit(1)
 		}
 	})
 	section(*recovery, func() {

@@ -13,6 +13,7 @@ package main
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -29,6 +30,7 @@ import (
 	"cricket/internal/cuda"
 	"cricket/internal/gpu"
 	"cricket/internal/guest"
+	"cricket/internal/obs"
 )
 
 func main() {
@@ -40,6 +42,7 @@ func main() {
 	full := flag.Bool("paper-scale", false, "run the full paper-scale workload (timing replay)")
 	session := flag.Bool("session", false, "with -server: use a fault-tolerant session (reconnect + replay)")
 	pauseMs := flag.Int("pause-ms", 0, "with -session: pause after checkpoint, before the launch (a window to kill/restart the server)")
+	traceOut := flag.String("trace", "", "write a JSON call trace (spans + per-procedure latency metrics) to this file at exit")
 	flag.Parse()
 
 	p, ok := guest.ByName(*platform)
@@ -48,22 +51,34 @@ func main() {
 		os.Exit(2)
 	}
 
+	var col *obs.Collector
+	if *traceOut != "" {
+		col = cricket.NewCollector(0)
+	}
+
 	if *server != "" {
 		if *session {
-			runSession(*server, p, *pauseMs)
+			runSession(*server, p, *pauseMs, col)
 		} else {
-			runRemote(*server, p, *app)
+			runRemote(*server, p, *app, col)
 		}
+		dumpTrace(col, *traceOut)
 		return
 	}
 
 	cl := core.NewCluster()
 	defer cl.Close()
-	vg, err := cl.Connect(p)
+	if col != nil {
+		// In-process runs own both ends, so client and server spans
+		// land in the same collector and join by call id.
+		cl.Cricket.SetObserver(col)
+	}
+	vg, err := cl.ConnectOpts(p, cricket.Options{Obs: col})
 	if err != nil {
 		fatal(err)
 	}
 	defer vg.Close()
+	defer dumpTrace(col, *traceOut)
 
 	switch *app {
 	case "matrixmul":
@@ -127,15 +142,36 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// dumpTrace writes the collected spans and per-procedure latency
+// metrics as one JSON document. No-op without a collector.
+func dumpTrace(col *obs.Collector, path string) {
+	if col == nil || path == "" {
+		return
+	}
+	out := struct {
+		Metrics obs.Metrics `json:"metrics"`
+		Spans   []obs.Span  `json:"spans"`
+	}{col.Metrics(), col.Spans()}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cricket-run: write trace:", err)
+		return
+	}
+	fmt.Printf("trace written to %s (%d spans)\n", path, len(out.Spans))
+}
+
 // runRemote issues a smoke workload against a real TCP server: device
 // discovery plus a memory round trip. Applications measure themselves
 // over real networks, so no simulated platform costs apply.
-func runRemote(addr string, p guest.Platform, app string) {
+func runRemote(addr string, p guest.Platform, app string, col *obs.Collector) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		fatal(err)
 	}
-	c, err := cricket.Connect(conn, cricket.Options{Platform: p})
+	c, err := cricket.Connect(conn, cricket.Options{Platform: p, Obs: col})
 	if err != nil {
 		fatal(err)
 	}
@@ -187,9 +223,9 @@ func runRemote(addr string, p guest.Platform, app string) {
 // and the workload still completes, bit-identical. The result checksum
 // and the session's recovery counters are printed so a harness can
 // compare a faulted run against a fault-free one.
-func runSession(addr string, p guest.Platform, pauseMs int) {
+func runSession(addr string, p guest.Platform, pauseMs int, col *obs.Collector) {
 	s, err := cricket.NewSession(cricket.SessionOptions{
-		Options: cricket.Options{Platform: p},
+		Options: cricket.Options{Platform: p, Obs: col},
 		Redial: func() (io.ReadWriteCloser, error) {
 			return net.DialTimeout("tcp", addr, 5*time.Second)
 		},

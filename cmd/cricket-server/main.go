@@ -6,14 +6,17 @@
 //
 // Usage:
 //
-//	cricket-server [-listen :9999] [-gpus a100,t4]
+//	cricket-server [-listen :9999] [-gpus a100,t4] [-metrics-addr :9990]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 
@@ -40,6 +43,8 @@ func main() {
 	dataListen := flag.String("data-listen", "", "TCP listen address for parallel-socket data channels (empty: disabled)")
 	gpus := flag.String("gpus", "a100", "comma-separated device list (a100, t4, p40)")
 	ckpDir := flag.String("checkpoint-dir", "", "directory for persisted checkpoints; existing ones are loaded at boot (empty: in-memory only)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for the JSON metrics/trace endpoint (empty: observability disabled)")
+	traceRing := flag.Int("trace-ring", 0, "with -metrics-addr: trace ring-buffer capacity in spans (0: default)")
 	flag.Parse()
 
 	var devices []*gpu.Device
@@ -59,6 +64,41 @@ func main() {
 	rpcSrv := oncrpc.NewServer()
 	rpcSrv.ErrorLog = log.Default()
 	srv.Attach(rpcSrv)
+
+	if *metricsAddr != "" {
+		col := cricket.NewCollector(*traceRing)
+		srv.SetObserver(col)
+		mux := http.NewServeMux()
+		writeJSON := func(w http.ResponseWriter, write func(io.Writer) error) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := write(w); err != nil {
+				log.Printf("metrics: %v", err)
+			}
+		}
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, col.WriteMetricsJSON)
+		})
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, col.WriteTraceJSON)
+		})
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, func(wr io.Writer) error {
+				enc := json.NewEncoder(wr)
+				enc.SetIndent("", "  ")
+				return enc.Encode(srv.Stats())
+			})
+		})
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("metrics endpoint on http://%s/{metrics,trace,stats}", ml.Addr())
+		go func() {
+			if err := http.Serve(ml, mux); err != nil {
+				log.Printf("metrics listener: %v", err)
+			}
+		}()
+	}
 
 	if *ckpDir != "" {
 		if err := srv.SetCheckpointDir(*ckpDir); err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"cricket/internal/cuda"
 	"cricket/internal/gpu"
+	"cricket/internal/obs"
 )
 
 // This file implements the client side of batched execution (see
@@ -59,6 +60,9 @@ func (q *batchQueue) push(op int32, handle, stream, n uint64, value uint32, grid
 	}
 	e := &q.entries[len(q.entries)-1]
 	e.Op = op
+	// Recycled entries may carry a stale trace id from a previous
+	// flush; clear it so BatchExec mints a fresh one when tracing.
+	e.TraceId = 0
 	e.Handle = handle
 	e.Stream = stream
 	e.N = n
@@ -159,6 +163,19 @@ func (c *Client) BatchExec(entries []BatchEntry) ([]int32, error) {
 	if len(entries) == 0 {
 		return nil, nil
 	}
+	col := c.obs
+	if col != nil {
+		// Mint a per-entry call id so each logical call inside the
+		// batch joins with its server-side span. Minting here (not at
+		// enqueue) keeps the enqueue hot path free of tracing work and
+		// covers Session's replay queue, which also flushes through
+		// BatchExec. Entries that already carry an id keep it.
+		for i := range entries {
+			if entries[i].TraceId == 0 {
+				entries[i].TraceId = col.NextID()
+			}
+		}
+	}
 	var launches, payload uint64
 	for i := range entries {
 		switch entries[i].Op {
@@ -177,6 +194,10 @@ func (c *Client) BatchExec(entries []BatchEntry) ([]int32, error) {
 	if c.sim && launches > 0 && c.platform.LaunchExtraNS > 0 {
 		c.path.Clock.Advance(time.Duration(launches*uint64(c.platform.LaunchExtraNS)) * time.Nanosecond)
 	}
+	var t0 time.Time
+	if col != nil {
+		t0 = time.Now()
+	}
 	var res BatchResult
 	err := c.charge(payload > 0, 1, func(ctx context.Context) (e error) {
 		res, e = c.gen.BatchExecContext(ctx, BatchArgs{Entries: entries})
@@ -187,6 +208,25 @@ func (c *Client) BatchExec(entries []BatchEntry) ([]int32, error) {
 	}
 	if len(res.Status) != len(entries) {
 		return nil, fmt.Errorf("cricket: batch reply carries %d statuses for %d entries", len(res.Status), len(entries))
+	}
+	if col != nil {
+		// Amortize the batch round trip over its entries so each
+		// logical call gets a client histogram sample under the
+		// procedure it stands in for, mirroring the per-entry Stats
+		// accounting above.
+		wall := time.Since(t0)
+		share := wall / time.Duration(len(entries))
+		end := col.Now()
+		for i := range entries {
+			proc := batchProc(entries[i].Op)
+			col.ObserveClient(proc, share)
+			col.RecordSpan(obs.Span{
+				CallID: entries[i].TraceId, Entry: int32(i), Proc: proc,
+				Side: obs.SideClient, Stage: obs.StageCall,
+				Start: end - int64(wall), Dur: int64(share),
+				Err: res.Status[i],
+			})
+		}
 	}
 	var accepted uint64
 	for i, st := range res.Status {

@@ -12,6 +12,7 @@ import (
 	"cricket/internal/gpu"
 	"cricket/internal/guest"
 	"cricket/internal/netsim"
+	"cricket/internal/obs"
 	"cricket/internal/oncrpc"
 )
 
@@ -77,6 +78,12 @@ type Options struct {
 	// default: the Fig 6a microbenchmark measures exactly that round
 	// trip. See Client.InvalidateTopology.
 	CacheTopology bool
+	// Obs, when set, enables client-side observability: every RPC
+	// (and every batch entry) mints a 64-bit call id, carries it to
+	// the server in the RPC credential, and records a latency sample
+	// plus trace spans in this collector. Nil — the default — keeps
+	// the call paths free of tracing work.
+	Obs *obs.Collector
 }
 
 // ErrTransferUnsupported reports a transfer method the client's
@@ -102,6 +109,9 @@ type Client struct {
 
 	callTimeout time.Duration
 	bulkTimeout time.Duration
+
+	// obs is Options.Obs; nil disables all tracing work.
+	obs *obs.Collector
 
 	channels []*dataChannel
 
@@ -141,6 +151,10 @@ func Connect(conn io.ReadWriteCloser, opts Options) (*Client, error) {
 		sockets:     opts.Sockets,
 		callTimeout: opts.CallTimeout,
 		bulkTimeout: opts.BulkTimeout,
+		obs:         opts.Obs,
+	}
+	if c.obs != nil {
+		rpc.SetTrace(clientTrace(c.obs))
 	}
 	if c.sockets < 1 {
 		c.sockets = 1
@@ -321,14 +335,17 @@ func (c *Client) GetDeviceCount() (int, error) {
 	if err := c.flushBatch(); err != nil {
 		return 0, err
 	}
-	var n int32
-	err := c.account(false, 1, func(ctx context.Context) (e error) { n, e = c.gen.CudaGetDeviceCountContext(ctx); return })
-	if err == nil && c.cacheTopo {
+	var res IntResult
+	err := c.account(false, 1, func(ctx context.Context) (e error) { res, e = c.gen.CudaGetDeviceCountContext(ctx); return })
+	if err = inband(res.Err, err); err != nil {
+		return 0, err
+	}
+	if c.cacheTopo {
 		c.mu.Lock()
-		c.devCount, c.devCountOK = int(n), true
+		c.devCount, c.devCountOK = int(res.Value), true
 		c.mu.Unlock()
 	}
-	return int(n), err
+	return int(res.Value), nil
 }
 
 // GetDeviceProperties implements cudaGetDeviceProperties; results are
@@ -348,7 +365,10 @@ func (c *Client) GetDeviceProperties(dev int) (cuda.DeviceProp, error) {
 		return cuda.DeviceProp{}, err
 	}
 	var res PropResult
-	err := c.account(false, 1, func(ctx context.Context) (e error) { res, e = c.gen.CudaGetDevicePropertiesContext(ctx, int32(dev)); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) {
+		res, e = c.gen.CudaGetDevicePropertiesContext(ctx, int32(dev))
+		return
+	})
 	if err = inband(res.Err, err); err != nil {
 		return cuda.DeviceProp{}, err
 	}
@@ -390,9 +410,12 @@ func (c *Client) GetDevice() (int, error) {
 	if err := c.flushBatch(); err != nil {
 		return 0, err
 	}
-	var dev int32
-	err := c.account(false, 1, func(ctx context.Context) (e error) { dev, e = c.gen.CudaGetDeviceContext(ctx); return })
-	return int(dev), err
+	var res IntResult
+	err := c.account(false, 1, func(ctx context.Context) (e error) { res, e = c.gen.CudaGetDeviceContext(ctx); return })
+	if err = inband(res.Err, err); err != nil {
+		return 0, err
+	}
+	return int(res.Value), nil
 }
 
 // Malloc implements cudaMalloc.
@@ -583,7 +606,10 @@ func (c *Client) MemcpyDtoD(dst, src gpu.Ptr, n uint64) error {
 		return err
 	}
 	var code int32
-	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaMemcpyDtodContext(ctx, uint64(dst), uint64(src), n); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) {
+		code, e = c.gen.CudaMemcpyDtodContext(ctx, uint64(dst), uint64(src), n)
+		return
+	})
 	return inband(code, err)
 }
 
@@ -595,7 +621,10 @@ func (c *Client) Memset(p gpu.Ptr, value byte, n uint64) error {
 		return c.enqueue(BatchOpMemset, uint64(p), 0, n, uint32(value), gpu.Dim3{}, gpu.Dim3{}, nil)
 	}
 	var code int32
-	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaMemsetContext(ctx, uint64(p), uint32(value), n); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) {
+		code, e = c.gen.CudaMemsetContext(ctx, uint64(p), uint32(value), n)
+		return
+	})
 	return inband(code, err)
 }
 
@@ -604,9 +633,12 @@ func (c *Client) MemGetInfo() (free, total uint64, err error) {
 	if err := c.flushBatch(); err != nil {
 		return 0, 0, err
 	}
-	var mi MemInfo
-	err = c.account(false, 1, func(ctx context.Context) (e error) { mi, e = c.gen.CudaMemGetInfoContext(ctx); return })
-	return mi.FreeMem, mi.TotalMem, err
+	var res MemInfoResult
+	err = c.account(false, 1, func(ctx context.Context) (e error) { res, e = c.gen.CudaMemGetInfoContext(ctx); return })
+	if err = inband(res.Err, err); err != nil {
+		return 0, 0, err
+	}
+	return res.Info.FreeMem, res.Info.TotalMem, nil
 }
 
 // DeviceSynchronize implements cudaDeviceSynchronize. It is the
@@ -667,7 +699,10 @@ func (c *Client) StreamSynchronize(s cuda.Stream) error {
 		return c.enqueue(BatchOpStreamSync, 0, uint64(s), 0, 0, gpu.Dim3{}, gpu.Dim3{}, nil)
 	}
 	var code int32
-	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaStreamSynchronizeContext(ctx, uint64(s)); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) {
+		code, e = c.gen.CudaStreamSynchronizeContext(ctx, uint64(s))
+		return
+	})
 	return inband(code, err)
 }
 
@@ -691,7 +726,10 @@ func (c *Client) EventRecord(ev cuda.Event, s cuda.Stream) error {
 		return c.enqueue(BatchOpEventRecord, uint64(ev), uint64(s), 0, 0, gpu.Dim3{}, gpu.Dim3{}, nil)
 	}
 	var code int32
-	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.CudaEventRecordContext(ctx, uint64(ev), uint64(s)); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) {
+		code, e = c.gen.CudaEventRecordContext(ctx, uint64(ev), uint64(s))
+		return
+	})
 	return inband(code, err)
 }
 
@@ -703,7 +741,10 @@ func (c *Client) EventElapsed(start, end cuda.Event) (float32, error) {
 		return 0, err
 	}
 	var res FloatResult
-	err := c.account(false, 1, func(ctx context.Context) (e error) { res, e = c.gen.CudaEventElapsedContext(ctx, uint64(start), uint64(end)); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) {
+		res, e = c.gen.CudaEventElapsedContext(ctx, uint64(start), uint64(end))
+		return
+	})
 	if d := c.takeDeferred(); d != nil {
 		return 0, d
 	}
@@ -755,7 +796,10 @@ func (c *Client) ModuleGetFunction(m cuda.Module, name string) (cuda.Function, e
 		return 0, err
 	}
 	var res HandleResult
-	err := c.account(false, 1, func(ctx context.Context) (e error) { res, e = c.gen.CuModuleGetFunctionContext(ctx, uint64(m), name); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) {
+		res, e = c.gen.CuModuleGetFunctionContext(ctx, uint64(m), name)
+		return
+	})
 	if err = inband(res.Err, err); err != nil {
 		return 0, err
 	}
@@ -768,7 +812,10 @@ func (c *Client) ModuleGetGlobal(m cuda.Module, name string) (gpu.Ptr, uint64, e
 		return 0, 0, err
 	}
 	var res GlobalResult
-	err := c.account(false, 1, func(ctx context.Context) (e error) { res, e = c.gen.CuModuleGetGlobalContext(ctx, uint64(m), name); return })
+	err := c.account(false, 1, func(ctx context.Context) (e error) {
+		res, e = c.gen.CuModuleGetGlobalContext(ctx, uint64(m), name)
+		return
+	})
 	if err = inband(res.Err, err); err != nil {
 		return 0, 0, err
 	}

@@ -1,0 +1,192 @@
+package cricket
+
+import (
+	"time"
+
+	"cricket/internal/obs"
+	"cricket/internal/oncrpc"
+)
+
+// This file glues the generic observability package to the Cricket
+// protocol: procedure naming, collector construction, and the
+// oncrpc trace hooks that turn RPC-layer timings into per-procedure
+// histograms and joined client/server spans.
+
+// obsProcs sizes the per-procedure histogram tables: procedures 0-30
+// plus the pseudo-procedure for scheduler bookkeeping.
+const obsProcs = ProcSched + 1
+
+// ProcSched is a pseudo-procedure number (outside the RPC program's
+// range) under which scheduler bookkeeping time is recorded.
+const ProcSched = 31
+
+// ProcName returns the RPCL name of a Cricket procedure number.
+func ProcName(proc uint32) string {
+	switch proc {
+	case ProcRpcNull:
+		return "RPC_NULL"
+	case ProcCudaGetDeviceCount:
+		return "CUDA_GET_DEVICE_COUNT"
+	case ProcCudaGetDeviceProperties:
+		return "CUDA_GET_DEVICE_PROPERTIES"
+	case ProcCudaSetDevice:
+		return "CUDA_SET_DEVICE"
+	case ProcCudaGetDevice:
+		return "CUDA_GET_DEVICE"
+	case ProcCudaMalloc:
+		return "CUDA_MALLOC"
+	case ProcCudaFree:
+		return "CUDA_FREE"
+	case ProcCudaMemcpyHtod:
+		return "CUDA_MEMCPY_HTOD"
+	case ProcCudaMemcpyDtoh:
+		return "CUDA_MEMCPY_DTOH"
+	case ProcCudaMemcpyDtod:
+		return "CUDA_MEMCPY_DTOD"
+	case ProcCudaMemset:
+		return "CUDA_MEMSET"
+	case ProcCudaMemGetInfo:
+		return "CUDA_MEM_GET_INFO"
+	case ProcCudaDeviceSynchronize:
+		return "CUDA_DEVICE_SYNCHRONIZE"
+	case ProcCudaDeviceReset:
+		return "CUDA_DEVICE_RESET"
+	case ProcCudaStreamCreate:
+		return "CUDA_STREAM_CREATE"
+	case ProcCudaStreamDestroy:
+		return "CUDA_STREAM_DESTROY"
+	case ProcCudaStreamSynchronize:
+		return "CUDA_STREAM_SYNCHRONIZE"
+	case ProcCudaEventCreate:
+		return "CUDA_EVENT_CREATE"
+	case ProcCudaEventRecord:
+		return "CUDA_EVENT_RECORD"
+	case ProcCudaEventElapsed:
+		return "CUDA_EVENT_ELAPSED"
+	case ProcCudaEventDestroy:
+		return "CUDA_EVENT_DESTROY"
+	case ProcCuModuleLoad:
+		return "CU_MODULE_LOAD"
+	case ProcCuModuleUnload:
+		return "CU_MODULE_UNLOAD"
+	case ProcCuModuleGetFunction:
+		return "CU_MODULE_GET_FUNCTION"
+	case ProcCuModuleGetGlobal:
+		return "CU_MODULE_GET_GLOBAL"
+	case ProcCuLaunchKernel:
+		return "CU_LAUNCH_KERNEL"
+	case ProcCkpCheckpoint:
+		return "CKP_CHECKPOINT"
+	case ProcCkpRestore:
+		return "CKP_RESTORE"
+	case ProcMtSetTransfer:
+		return "MT_SET_TRANSFER"
+	case ProcSrvGetEpoch:
+		return "SRV_GET_EPOCH"
+	case ProcBatchExec:
+		return "BATCH_EXEC"
+	case ProcSched:
+		return "SCHED"
+	}
+	return "PROC_" + itoa(proc)
+}
+
+// itoa avoids pulling strconv into the hot import set for one
+// fall-through case.
+func itoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [10]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// batchProc maps a batch entry op to the logical procedure it stands
+// in for, so batched and unbatched calls share histogram rows.
+func batchProc(op int32) uint32 {
+	switch op {
+	case BatchOpLaunch:
+		return ProcCuLaunchKernel
+	case BatchOpMemcpyHtod:
+		return ProcCudaMemcpyHtod
+	case BatchOpMemset:
+		return ProcCudaMemset
+	case BatchOpEventRecord:
+		return ProcCudaEventRecord
+	case BatchOpStreamSync:
+		return ProcCudaStreamSynchronize
+	}
+	return ProcBatchExec
+}
+
+// NewCollector returns an obs.Collector sized and named for the
+// Cricket protocol. ringSize <= 0 selects the package default.
+func NewCollector(ringSize int) *obs.Collector {
+	return obs.New(obs.Config{Procs: obsProcs, RingSize: ringSize, ProcName: ProcName})
+}
+
+// clientTrace adapts a collector to the oncrpc client hooks: every
+// RPC yields a client histogram sample and a call span with its
+// encode/wire/decode breakdown.
+func clientTrace(col *obs.Collector) *oncrpc.ClientTrace {
+	return &oncrpc.ClientTrace{
+		Begin: func(proc uint32) uint64 { return col.NextID() },
+		End: func(proc uint32, id uint64, st oncrpc.CallStages, err error) {
+			total := st.Total()
+			col.ObserveClient(proc, total)
+			end := col.Now()
+			code := int32(0)
+			if err != nil {
+				code = -1 // transport/protocol failure, not an in-band CUDA code
+			}
+			col.RecordSpan(obs.Span{
+				CallID: id, Entry: -1, Proc: proc, Side: obs.SideClient,
+				Stage: obs.StageCall, Start: end - int64(total), Dur: int64(total), Err: code,
+			})
+			if st.Encode > 0 {
+				col.RecordSpan(obs.Span{
+					CallID: id, Entry: -1, Proc: proc, Side: obs.SideClient,
+					Stage: obs.StageEncode, Start: end - int64(total), Dur: int64(st.Encode), Err: code,
+				})
+			}
+			if st.Wire > 0 {
+				col.RecordSpan(obs.Span{
+					CallID: id, Entry: -1, Proc: proc, Side: obs.SideClient,
+					Stage: obs.StageWire, Start: end - int64(st.Wire) - int64(st.Decode), Dur: int64(st.Wire), Err: code,
+				})
+			}
+			if st.Decode > 0 {
+				col.RecordSpan(obs.Span{
+					CallID: id, Entry: -1, Proc: proc, Side: obs.SideClient,
+					Stage: obs.StageDecode, Start: end - int64(st.Decode), Dur: int64(st.Decode), Err: code,
+				})
+			}
+		},
+	}
+}
+
+// serverTrace adapts the server's collector to the oncrpc dispatch
+// hook: every dispatched RPC yields a server histogram sample and a
+// runtime-stage span joined to the client by the propagated id.
+func (s *Server) serverTrace() *oncrpc.ServerTrace {
+	return &oncrpc.ServerTrace{
+		Done: func(proc uint32, id uint64, d time.Duration, stat oncrpc.AcceptStat) {
+			col := s.collector.Load()
+			if col == nil {
+				return
+			}
+			col.ObserveServer(proc, d)
+			col.RecordSpan(obs.Span{
+				CallID: id, Entry: -1, Proc: proc, Side: obs.SideServer,
+				Stage: obs.StageRuntime, Start: col.Now() - int64(d), Dur: int64(d),
+				Err: int32(stat),
+			})
+		},
+	}
+}

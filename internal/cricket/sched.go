@@ -4,7 +4,10 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"cricket/internal/obs"
 )
 
 // Policy selects how the scheduler orders clients competing for the
@@ -47,6 +50,10 @@ type Scheduler struct {
 	maxClients int
 	seq        uint64
 	clients    map[string]*Usage
+
+	// obs, when set, receives a histogram sample and a span per
+	// Record call so scheduler bookkeeping time shows up in traces.
+	obs atomic.Pointer[obs.Collector]
 }
 
 // NewScheduler returns a scheduler with the given policy; maxClients 0
@@ -88,9 +95,35 @@ func (s *Scheduler) Detach(id string) {
 	s.mu.Unlock()
 }
 
+// SetObserver installs (or, with nil, removes) a collector that
+// records scheduler bookkeeping time under the ProcSched pseudo-
+// procedure. Safe to call concurrently with Record.
+func (s *Scheduler) SetObserver(col *obs.Collector) {
+	s.obs.Store(col)
+}
+
 // Record accumulates one call (and optionally one launch with its GPU
 // time) against a client.
 func (s *Scheduler) Record(id string, launch bool, gpuTime time.Duration) error {
+	col := s.obs.Load()
+	var t0 time.Time
+	if col != nil {
+		t0 = time.Now()
+	}
+	err := s.record(id, launch, gpuTime)
+	if col != nil {
+		d := time.Since(t0)
+		col.ObserveServer(ProcSched, d)
+		col.RecordSpan(obs.Span{
+			Entry: -1, Proc: ProcSched, Side: obs.SideServer,
+			Stage: obs.StageSched, Start: col.Now() - int64(d), Dur: int64(d),
+			Sim: int64(gpuTime),
+		})
+	}
+	return err
+}
+
+func (s *Scheduler) record(id string, launch bool, gpuTime time.Duration) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	u, ok := s.clients[id]

@@ -27,10 +27,12 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cricket/internal/cuda"
 	"cricket/internal/gpu"
+	"cricket/internal/obs"
 	"cricket/internal/oncrpc"
 )
 
@@ -88,11 +90,18 @@ type Server struct {
 	rt    *cuda.Runtime
 	epoch uint64 // random per-instance id, exposed via SRV_GET_EPOCH
 
-	mu        sync.Mutex
-	stats     ServerStats
-	snapshots map[int]*gpu.Snapshot // device ordinal -> latest checkpoint
-	ckpDir    string                // when set, checkpoints persist here
-	sched     *Scheduler
+	mu          sync.Mutex
+	stats       ServerStats
+	snapshots   map[int]*gpu.Snapshot // device ordinal -> latest checkpoint
+	ckpDir      string                // when set, checkpoints persist here
+	sched       *Scheduler
+	attached    []*oncrpc.Server // RPC servers this Server is registered on
+	noSharedMem bool             // reject TransferSharedMem negotiation
+
+	// collector, when set, receives per-call spans and histograms.
+	// Accessed atomically so observability can be toggled while
+	// serving; nil means disabled (the default).
+	collector atomic.Pointer[obs.Collector]
 
 	// ErrorLog, when set, receives server-side failures.
 	ErrorLog *log.Logger
@@ -115,9 +124,47 @@ func NewServer(rt *cuda.Runtime) *Server {
 // Epoch returns the server instance's random boot epoch.
 func (s *Server) Epoch() uint64 { return s.epoch }
 
-// Attach registers the Cricket program on an RPC server.
+// Attach registers the Cricket program on an RPC server. When an
+// observer is (or later becomes) installed, the RPC server's dispatch
+// trace feeds it, so server spans join client spans by trace id.
 func (s *Server) Attach(rpcSrv *oncrpc.Server) {
 	RegisterRpcCdVers(rpcSrv, s)
+	s.mu.Lock()
+	s.attached = append(s.attached, rpcSrv)
+	s.mu.Unlock()
+	if s.collector.Load() != nil {
+		rpcSrv.SetTrace(s.serverTrace())
+	}
+}
+
+// SetObserver installs (or with nil removes) the observability
+// collector: per-procedure server histograms, device-time histograms,
+// and server-side spans joined to client spans by the propagated call
+// id. Safe to call while serving.
+func (s *Server) SetObserver(col *obs.Collector) {
+	s.collector.Store(col)
+	s.sched.SetObserver(col)
+	s.mu.Lock()
+	attached := append([]*oncrpc.Server(nil), s.attached...)
+	s.mu.Unlock()
+	var tr *oncrpc.ServerTrace
+	if col != nil {
+		tr = s.serverTrace()
+	}
+	for _, rpcSrv := range attached {
+		rpcSrv.SetTrace(tr)
+	}
+}
+
+// Observer returns the installed collector, or nil.
+func (s *Server) Observer() *obs.Collector { return s.collector.Load() }
+
+// observeDevice records the runtime's simulated duration for proc
+// when observability is on. One nil check when it is off.
+func (s *Server) observeDevice(proc uint32, d time.Duration) {
+	if col := s.collector.Load(); col != nil {
+		col.ObserveDevice(proc, d)
+	}
 }
 
 // Scheduler returns the server's client scheduler.
@@ -148,17 +195,24 @@ func (s *Server) RpcNull() error {
 	return nil
 }
 
-// CudaGetDeviceCount implements cudaGetDeviceCount.
-func (s *Server) CudaGetDeviceCount() (int32, error) {
+// CudaGetDeviceCount implements cudaGetDeviceCount. Runtime errors
+// (a pending async launch failure) travel in-band like every other
+// handler's.
+func (s *Server) CudaGetDeviceCount() (IntResult, error) {
 	s.count(func(st *ServerStats) { st.Calls++ })
-	n, _ := s.rt.GetDeviceCount()
-	return int32(n), nil
+	n, d, err := s.rt.GetDeviceCount()
+	s.observeDevice(ProcCudaGetDeviceCount, d)
+	if err != nil {
+		return IntResult{Err: errCode(err)}, nil
+	}
+	return IntResult{Err: 0, Value: int32(n)}, nil
 }
 
 // CudaGetDeviceProperties implements cudaGetDeviceProperties.
 func (s *Server) CudaGetDeviceProperties(dev int32) (PropResult, error) {
 	s.count(func(st *ServerStats) { st.Calls++ })
-	p, _, err := s.rt.GetDeviceProperties(int(dev))
+	p, d, err := s.rt.GetDeviceProperties(int(dev))
+	s.observeDevice(ProcCudaGetDeviceProperties, d)
 	if err != nil {
 		return PropResult{Err: errCode(err)}, nil
 	}
@@ -178,21 +232,28 @@ func (s *Server) CudaGetDeviceProperties(dev int32) (PropResult, error) {
 // CudaSetDevice implements cudaSetDevice.
 func (s *Server) CudaSetDevice(dev int32) (int32, error) {
 	s.count(func(st *ServerStats) { st.Calls++ })
-	_, err := s.rt.SetDevice(int(dev))
+	d, err := s.rt.SetDevice(int(dev))
+	s.observeDevice(ProcCudaSetDevice, d)
 	return errCode(err), nil
 }
 
-// CudaGetDevice implements cudaGetDevice.
-func (s *Server) CudaGetDevice() (int32, error) {
+// CudaGetDevice implements cudaGetDevice. Runtime errors travel
+// in-band like every other handler's.
+func (s *Server) CudaGetDevice() (IntResult, error) {
 	s.count(func(st *ServerStats) { st.Calls++ })
-	dev, _ := s.rt.GetDevice()
-	return int32(dev), nil
+	dev, d, err := s.rt.GetDevice()
+	s.observeDevice(ProcCudaGetDevice, d)
+	if err != nil {
+		return IntResult{Err: errCode(err)}, nil
+	}
+	return IntResult{Err: 0, Value: int32(dev)}, nil
 }
 
 // CudaMalloc implements cudaMalloc.
 func (s *Server) CudaMalloc(size uint64) (PtrResult, error) {
 	s.count(func(st *ServerStats) { st.Calls++ })
-	p, _, err := s.rt.Malloc(size)
+	p, d, err := s.rt.Malloc(size)
+	s.observeDevice(ProcCudaMalloc, d)
 	if err != nil {
 		return PtrResult{Err: errCode(err)}, nil
 	}
@@ -202,7 +263,8 @@ func (s *Server) CudaMalloc(size uint64) (PtrResult, error) {
 // CudaFree implements cudaFree.
 func (s *Server) CudaFree(ptr uint64) (int32, error) {
 	s.count(func(st *ServerStats) { st.Calls++ })
-	_, err := s.rt.Free(gpu.Ptr(ptr))
+	d, err := s.rt.Free(gpu.Ptr(ptr))
+	s.observeDevice(ProcCudaFree, d)
 	return errCode(err), nil
 }
 
@@ -210,7 +272,8 @@ func (s *Server) CudaFree(ptr uint64) (int32, error) {
 // Transfer counters record only bytes that actually reached the GPU.
 func (s *Server) CudaMemcpyHtod(dst uint64, data MemData) (int32, error) {
 	s.count(func(st *ServerStats) { st.Calls++ })
-	_, err := s.rt.MemcpyHtoD(gpu.Ptr(dst), data)
+	d, err := s.rt.MemcpyHtoD(gpu.Ptr(dst), data)
+	s.observeDevice(ProcCudaMemcpyHtod, d)
 	if err == nil {
 		s.count(func(st *ServerStats) { st.BytesToGPU += uint64(len(data)) })
 	}
@@ -220,7 +283,8 @@ func (s *Server) CudaMemcpyHtod(dst uint64, data MemData) (int32, error) {
 // CudaMemcpyDtoh implements cudaMemcpy(..., cudaMemcpyDeviceToHost).
 func (s *Server) CudaMemcpyDtoh(src uint64, n uint64) (DataResult, error) {
 	s.count(func(st *ServerStats) { st.Calls++ })
-	b, _, err := s.rt.MemcpyDtoH(gpu.Ptr(src), n)
+	b, d, err := s.rt.MemcpyDtoH(gpu.Ptr(src), n)
+	s.observeDevice(ProcCudaMemcpyDtoh, d)
 	if err != nil {
 		return DataResult{Err: errCode(err)}, nil
 	}
@@ -238,15 +302,21 @@ func (s *Server) CudaMemcpyDtod(dst, src, n uint64) (int32, error) {
 // CudaMemset implements cudaMemset.
 func (s *Server) CudaMemset(ptr uint64, value uint32, n uint64) (int32, error) {
 	s.count(func(st *ServerStats) { st.Calls++ })
-	_, err := s.rt.Memset(gpu.Ptr(ptr), byte(value), n)
+	d, err := s.rt.Memset(gpu.Ptr(ptr), byte(value), n)
+	s.observeDevice(ProcCudaMemset, d)
 	return errCode(err), nil
 }
 
-// CudaMemGetInfo implements cudaMemGetInfo.
-func (s *Server) CudaMemGetInfo() (MemInfo, error) {
+// CudaMemGetInfo implements cudaMemGetInfo. Runtime errors travel
+// in-band like every other handler's.
+func (s *Server) CudaMemGetInfo() (MemInfoResult, error) {
 	s.count(func(st *ServerStats) { st.Calls++ })
-	free, total, _ := s.rt.MemGetInfo()
-	return MemInfo{FreeMem: free, TotalMem: total}, nil
+	free, total, d, err := s.rt.MemGetInfo()
+	s.observeDevice(ProcCudaMemGetInfo, d)
+	if err != nil {
+		return MemInfoResult{Err: errCode(err)}, nil
+	}
+	return MemInfoResult{Err: 0, Info: MemInfo{FreeMem: free, TotalMem: total}}, nil
 }
 
 // CudaDeviceSynchronize implements cudaDeviceSynchronize. It reports
@@ -254,15 +324,19 @@ func (s *Server) CudaMemGetInfo() (MemInfo, error) {
 // real call.
 func (s *Server) CudaDeviceSynchronize() (int32, error) {
 	s.count(func(st *ServerStats) { st.Calls++ })
-	_, err := s.rt.DeviceSynchronize()
+	d, err := s.rt.DeviceSynchronize()
+	s.observeDevice(ProcCudaDeviceSynchronize, d)
 	return errCode(err), nil
 }
 
-// CudaDeviceReset implements cudaDeviceReset.
+// CudaDeviceReset implements cudaDeviceReset. A pending async launch
+// error is reported in-band one final time, then cleared by the
+// reset.
 func (s *Server) CudaDeviceReset() (int32, error) {
 	s.count(func(st *ServerStats) { st.Calls++ })
-	s.rt.DeviceReset()
-	return 0, nil
+	d, err := s.rt.DeviceReset()
+	s.observeDevice(ProcCudaDeviceReset, d)
+	return errCode(err), nil
 }
 
 // CudaStreamCreate implements cudaStreamCreate.
@@ -328,7 +402,8 @@ func (s *Server) CudaEventDestroy(ev uint64) (int32, error) {
 // and allocates.
 func (s *Server) CuModuleLoad(image MemData) (HandleResult, error) {
 	s.count(func(st *ServerStats) { st.Calls++ })
-	m, _, err := s.rt.ModuleLoad(image)
+	m, d, err := s.rt.ModuleLoad(image)
+	s.observeDevice(ProcCuModuleLoad, d)
 	if err != nil {
 		return HandleResult{Err: errCode(err)}, nil
 	}
@@ -368,7 +443,8 @@ func (s *Server) CuLaunchKernel(a LaunchArgs) (int32, error) {
 	s.count(func(st *ServerStats) { st.Calls++; st.KernelLaunches++ })
 	grid := gpu.Dim3{X: a.GridX, Y: a.GridY, Z: a.GridZ}
 	block := gpu.Dim3{X: a.BlockX, Y: a.BlockY, Z: a.BlockZ}
-	_, err := s.rt.LaunchKernel(cuda.Function(a.Func), grid, block, a.SharedMem, cuda.Stream(a.Stream), a.Params)
+	d, err := s.rt.LaunchKernel(cuda.Function(a.Func), grid, block, a.SharedMem, cuda.Stream(a.Stream), a.Params)
+	s.observeDevice(ProcCuLaunchKernel, d)
 	if err != nil && s.ErrorLog != nil {
 		s.ErrorLog.Printf("cricket: launch failed: %v", err)
 	}
@@ -383,40 +459,63 @@ func (s *Server) CuLaunchKernel(a LaunchArgs) (int32, error) {
 // Stats count each entry as one call, so a batching client is
 // indistinguishable from an unbatched one in the server's accounting.
 func (s *Server) BatchExec(a BatchArgs) (BatchResult, error) {
+	// Per-entry observability mirrors the per-entry Stats accounting:
+	// with a collector installed, every entry yields a server span
+	// joined (via the entry's propagated trace id) to the client's
+	// per-entry span, plus histogram samples under the entry's logical
+	// procedure. Disabled, the loop pays one nil check up front.
+	col := s.collector.Load()
 	status := make([]int32, len(a.Entries))
 	for i := range a.Entries {
 		e := &a.Entries[i]
 		var err error
+		var dev time.Duration
+		var t0 time.Time
+		if col != nil {
+			t0 = time.Now()
+		}
 		switch e.Op {
 		case BatchOpLaunch:
 			s.count(func(st *ServerStats) { st.Calls++; st.KernelLaunches++ })
 			grid := gpu.Dim3{X: e.GridX, Y: e.GridY, Z: e.GridZ}
 			block := gpu.Dim3{X: e.BlockX, Y: e.BlockY, Z: e.BlockZ}
-			_, err = s.rt.LaunchKernel(cuda.Function(e.Handle), grid, block, e.Value, cuda.Stream(e.Stream), e.Data)
+			dev, err = s.rt.LaunchKernel(cuda.Function(e.Handle), grid, block, e.Value, cuda.Stream(e.Stream), e.Data)
 			if err != nil && s.ErrorLog != nil {
 				s.ErrorLog.Printf("cricket: batched launch failed: %v", err)
 			}
 		case BatchOpMemcpyHtod:
 			s.count(func(st *ServerStats) { st.Calls++ })
-			_, err = s.rt.MemcpyHtoD(gpu.Ptr(e.Handle), e.Data)
+			dev, err = s.rt.MemcpyHtoD(gpu.Ptr(e.Handle), e.Data)
 			if err == nil {
 				n := uint64(len(e.Data))
 				s.count(func(st *ServerStats) { st.BytesToGPU += n })
 			}
 		case BatchOpMemset:
 			s.count(func(st *ServerStats) { st.Calls++ })
-			_, err = s.rt.Memset(gpu.Ptr(e.Handle), byte(e.Value), e.N)
+			dev, err = s.rt.Memset(gpu.Ptr(e.Handle), byte(e.Value), e.N)
 		case BatchOpEventRecord:
 			s.count(func(st *ServerStats) { st.Calls++ })
-			_, err = s.rt.EventRecord(cuda.Event(e.Handle), cuda.Stream(e.Stream))
+			dev, err = s.rt.EventRecord(cuda.Event(e.Handle), cuda.Stream(e.Stream))
 		case BatchOpStreamSync:
 			s.count(func(st *ServerStats) { st.Calls++ })
-			_, err = s.rt.StreamSynchronize(cuda.Stream(e.Stream))
+			dev, err = s.rt.StreamSynchronize(cuda.Stream(e.Stream))
 		default:
 			s.count(func(st *ServerStats) { st.Calls++ })
 			err = cuda.ErrorInvalidValue
 		}
 		status[i] = errCode(err)
+		if col != nil {
+			wall := time.Since(t0)
+			proc := batchProc(e.Op)
+			col.ObserveServer(proc, wall)
+			col.ObserveDevice(proc, dev)
+			col.RecordSpan(obs.Span{
+				CallID: e.TraceId, Entry: int32(i), Proc: proc,
+				Side: obs.SideServer, Stage: obs.StageRuntime,
+				Start: col.Now() - int64(wall), Dur: int64(wall),
+				Sim: int64(dev), Err: status[i],
+			})
+		}
 	}
 	return BatchResult{Status: status}, nil
 }
@@ -428,7 +527,7 @@ func (s *Server) BatchExec(a BatchArgs) (BatchResult, error) {
 // server restarts.
 func (s *Server) CkpCheckpoint() (int32, error) {
 	s.count(func(st *ServerStats) { st.Calls++ })
-	dev, _ := s.rt.GetDevice()
+	dev, _, _ := s.rt.GetDevice()
 	d, err := s.rt.Device(dev)
 	if err != nil {
 		return errCode(err), nil
@@ -461,7 +560,7 @@ func (s *Server) CkpCheckpoint() (int32, error) {
 // in-band.
 func (s *Server) CkpRestore() (int32, error) {
 	s.count(func(st *ServerStats) { st.Calls++; st.Restores++ })
-	dev, _ := s.rt.GetDevice()
+	dev, _, _ := s.rt.GetDevice()
 	s.mu.Lock()
 	snap := s.snapshots[dev]
 	s.mu.Unlock()
@@ -476,21 +575,53 @@ func (s *Server) CkpRestore() (int32, error) {
 	return 0, nil
 }
 
-// MtSetTransfer negotiates the bulk transfer method; the server
-// accepts any method it supports. Sockets is the parallel connection
-// count for TransferParallelSockets and must be at least 1 — zero or
+// MtSetTransfer negotiates the bulk transfer method. Validation is
+// per-method: the socket count only parameterizes
+// TransferParallelSockets, where it must be at least 1 — zero or
 // negative counts would negotiate a data path with no connections.
+// The socketless methods (RPC arguments, shared memory, RDMA) accept
+// any socket count, so an RPC-args client advertising sockets=0 is
+// valid. Shared memory is additionally gated server-side: it only
+// works when client and server share a host, which a virtualized
+// guest never does (the client enforces the same rule at connect
+// time, but the server cannot rely on well-behaved clients).
 func (s *Server) MtSetTransfer(method, sockets int32) (int32, error) {
 	s.count(func(st *ServerStats) { st.Calls++ })
-	if sockets < 1 {
-		return int32(cuda.ErrorInvalidValue), nil
-	}
 	switch TransferMethod(method) {
-	case TransferRPCArgs, TransferParallelSockets, TransferSharedMem, TransferRDMA:
+	case TransferRPCArgs, TransferRDMA:
+		return 0, nil
+	case TransferParallelSockets:
+		if sockets < 1 {
+			return int32(cuda.ErrorInvalidValue), nil
+		}
+		return 0, nil
+	case TransferSharedMem:
+		if !s.allowSharedMem() {
+			return int32(cuda.ErrorNotSupported), nil
+		}
 		return 0, nil
 	default:
 		return int32(cuda.ErrorInvalidValue), nil
 	}
+}
+
+// allowSharedMem reports whether this server can offer shared-memory
+// transfers. The simulated server always shares a host with its
+// in-process clients; a deployment fronted by real sockets would
+// disable it via DisableSharedMem.
+func (s *Server) allowSharedMem() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.noSharedMem
+}
+
+// DisableSharedMem makes MtSetTransfer reject TransferSharedMem with
+// cudaErrorNotSupported — for servers reachable only over the
+// network, where a shared mapping cannot exist.
+func (s *Server) DisableSharedMem() {
+	s.mu.Lock()
+	s.noSharedMem = true
+	s.mu.Unlock()
 }
 
 // SrvGetEpoch returns the server instance's random boot epoch. A
@@ -551,8 +682,10 @@ func checkpointPath(dir string, dev int) string {
 }
 
 // writeCheckpointFile persists a snapshot atomically (temp file +
-// rename), so a crash mid-write never corrupts the previous
-// checkpoint.
+// fsync + rename), so a crash mid-write never corrupts the previous
+// checkpoint. Without the fsync the rename could land before the
+// data, leaving a complete-looking but empty checkpoint after a
+// power failure.
 func writeCheckpointFile(dir string, dev int, snap *gpu.Snapshot) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -562,6 +695,11 @@ func writeCheckpointFile(dir string, dev int, snap *gpu.Snapshot) error {
 		return err
 	}
 	if _, err := snap.WriteTo(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
@@ -579,16 +717,22 @@ func writeCheckpointFile(dir string, dev int, snap *gpu.Snapshot) error {
 // CKP_RESTORE of state captured by a previous instance. Loading skips
 // files for device ordinals the runtime does not have.
 func (s *Server) SetCheckpointDir(dir string) error {
-	s.mu.Lock()
-	s.ckpDir = dir
-	s.mu.Unlock()
 	if dir == "" {
+		s.mu.Lock()
+		s.ckpDir = ""
+		s.mu.Unlock()
 		return nil
 	}
+	// Create the directory before installing it: if MkdirAll fails,
+	// persistence stays fully disabled instead of every later
+	// checkpoint failing its write-through.
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	n, _ := s.rt.GetDeviceCount()
+	s.mu.Lock()
+	s.ckpDir = dir
+	s.mu.Unlock()
+	n, _, _ := s.rt.GetDeviceCount()
 	for dev := 0; dev < n; dev++ {
 		f, err := os.Open(checkpointPath(dir, dev))
 		if err != nil {

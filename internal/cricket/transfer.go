@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"cricket/internal/cuda"
 	"cricket/internal/gpu"
@@ -114,13 +115,38 @@ func (s *Server) ServeDataConn(conn io.ReadWriter) error {
 	}
 }
 
-// ServeData accepts data-channel connections from l until it fails.
+// ServeData accepts data-channel connections from l until the
+// listener fails permanently. Transient accept errors (e.g. EMFILE
+// under descriptor pressure) are retried with exponential backoff
+// instead of killing the data listener for every connected client.
 func (s *Server) ServeData(l net.Listener) error {
+	const (
+		minAcceptBackoff = 5 * time.Millisecond
+		maxAcceptBackoff = 1 * time.Second
+	)
+	backoff := minAcceptBackoff
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			// net.Error.Temporary is deprecated in general, but for
+			// Accept it still classifies exactly the transient
+			// syscall failures (EMFILE, ENFILE, ENOBUFS, ENOMEM,
+			// ECONNABORTED) worth retrying — the same test net/http's
+			// Serve loop uses.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() {
+				if s.ErrorLog != nil {
+					s.ErrorLog.Printf("cricket: data accept: %v; retrying in %v", err, backoff)
+				}
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > maxAcceptBackoff {
+					backoff = maxAcceptBackoff
+				}
+				continue
+			}
 			return err
 		}
+		backoff = minAcceptBackoff
 		go func() {
 			defer conn.Close()
 			if err := s.ServeDataConn(conn); err != nil && s.ErrorLog != nil {

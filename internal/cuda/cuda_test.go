@@ -47,7 +47,7 @@ func TestErrorCodesAndNames(t *testing.T) {
 
 func TestGetDeviceCountAndProperties(t *testing.T) {
 	r := NewRuntime(nil, gpu.New(gpu.SpecA100), gpu.New(gpu.SpecT4))
-	n, _ := r.GetDeviceCount()
+	n, _, _ := r.GetDeviceCount()
 	if n != 2 {
 		t.Fatalf("count = %d", n)
 	}
@@ -68,7 +68,7 @@ func TestSetDevice(t *testing.T) {
 	if _, err := r.SetDevice(1); err != nil {
 		t.Fatal(err)
 	}
-	cur, _ := r.GetDevice()
+	cur, _, _ := r.GetDevice()
 	if cur != 1 {
 		t.Fatalf("current = %d", cur)
 	}

@@ -36,6 +36,7 @@ const (
 	ErrorLaunchFailure         Error = 719
 	ErrorLaunchOutOfResources  Error = 701
 	ErrorNoDevice              Error = 100
+	ErrorNotSupported          Error = 801
 	ErrorUnknown               Error = 999
 )
 
@@ -80,6 +81,8 @@ func (e Error) Name() string {
 		return "cudaErrorLaunchOutOfResources"
 	case ErrorNoDevice:
 		return "cudaErrorNoDevice"
+	case ErrorNotSupported:
+		return "cudaErrorNotSupported"
 	}
 	return "cudaErrorUnknown"
 }

@@ -138,11 +138,25 @@ func (r *Runtime) GetLastError() Error {
 	return e
 }
 
+// asyncPending reports (without clearing) a failure from previously
+// launched asynchronous work. CUDA surfaces such errors on most
+// subsequent API calls ("may also return error codes from previous,
+// asynchronous launches"); only DeviceSynchronize, GetLastError, and
+// DeviceReset clear the pending code.
+func (r *Runtime) asyncPending() error {
+	if r.asyncErr != Success {
+		return r.asyncErr
+	}
+	return nil
+}
+
 // GetDeviceCount returns the number of devices (cudaGetDeviceCount).
-func (r *Runtime) GetDeviceCount() (int, time.Duration) {
+// Like CUDA, it reports a pending error from a previous asynchronous
+// launch, leaving it in place for DeviceSynchronize to clear.
+func (r *Runtime) GetDeviceCount() (int, time.Duration, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.devices), r.charge(300 * time.Nanosecond)
+	return len(r.devices), r.charge(300 * time.Nanosecond), r.asyncPending()
 }
 
 // SetDevice selects the current device (cudaSetDevice).
@@ -156,11 +170,13 @@ func (r *Runtime) SetDevice(i int) (time.Duration, error) {
 	return r.charge(500 * time.Nanosecond), nil
 }
 
-// GetDevice returns the current device ordinal (cudaGetDevice).
-func (r *Runtime) GetDevice() (int, time.Duration) {
+// GetDevice returns the current device ordinal (cudaGetDevice). Like
+// CUDA, it reports a pending error from a previous asynchronous
+// launch, leaving it in place for DeviceSynchronize to clear.
+func (r *Runtime) GetDevice() (int, time.Duration, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.current, r.charge(200 * time.Nanosecond)
+	return r.current, r.charge(200 * time.Nanosecond), r.asyncPending()
 }
 
 // Device returns the underlying simulator for ordinal i, for test and
@@ -225,11 +241,13 @@ func (r *Runtime) Free(p gpu.Ptr) (time.Duration, error) {
 }
 
 // MemGetInfo reports free and total device memory (cudaMemGetInfo).
-func (r *Runtime) MemGetInfo() (free, total uint64, dur time.Duration) {
+// Like CUDA, it reports a pending error from a previous asynchronous
+// launch, leaving it in place for DeviceSynchronize to clear.
+func (r *Runtime) MemGetInfo() (free, total uint64, dur time.Duration, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	free, total = r.cur().MemInfo()
-	return free, total, r.charge(600 * time.Nanosecond)
+	return free, total, r.charge(600 * time.Nanosecond), r.asyncPending()
 }
 
 // MemcpyHtoD copies host bytes to device memory.
@@ -306,8 +324,10 @@ func (r *Runtime) DeviceSynchronize() (time.Duration, error) {
 	return d, nil
 }
 
-// DeviceReset releases all device state (cudaDeviceReset).
-func (r *Runtime) DeviceReset() time.Duration {
+// DeviceReset releases all device state (cudaDeviceReset). A pending
+// asynchronous launch error is reported one final time and cleared
+// along with the rest of the device state.
+func (r *Runtime) DeviceReset() (time.Duration, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.cur().Reset()
@@ -316,7 +336,9 @@ func (r *Runtime) DeviceReset() time.Duration {
 			delete(r.modules, id)
 		}
 	}
-	return r.charge(50 * time.Microsecond)
+	err := r.asyncPending()
+	r.asyncErr = Success
+	return r.charge(50 * time.Microsecond), err
 }
 
 // SetHandleLimit caps the number of live streams and events combined

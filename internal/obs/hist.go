@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers every int64 nanosecond duration: bucket i counts
+// observations in [2^i ns, 2^(i+1) ns).
+const numBuckets = 63
+
+// A Histogram is a fixed-size log-bucketed latency histogram with an
+// allocation-free, lock-free record path. The zero value is ready to
+// use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	min     atomic.Int64 // nanoseconds; 0 means unset (values clamp to >=1)
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// bucketOf maps a (clamped, positive) nanosecond value to its bucket.
+func bucketOf(ns int64) int {
+	return bits.Len64(uint64(ns)) - 1
+}
+
+// Observe records one duration. Non-positive durations clamp to 1ns
+// so every observation lands in a bucket.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 1 {
+		ns = 1
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[bucketOf(ns)].Add(1)
+	for {
+		old := h.min.Load()
+		if old != 0 && old <= ns {
+			break
+		}
+		if h.min.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if old >= ns {
+			break
+		}
+		if h.max.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+}
+
+// Snapshot captures a consistent-enough copy for reporting. Counters
+// are read individually, so a snapshot taken concurrently with
+// Observe may be off by in-flight observations — fine for metrics.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	s.Min = time.Duration(h.min.Load())
+	s.Max = time.Duration(h.max.Load())
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     time.Duration
+	Min     time.Duration
+	Max     time.Duration
+	Buckets [numBuckets]uint64
+}
+
+// Mean returns the average observed duration, or 0 when empty.
+func (s *HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by walking the
+// buckets and interpolating linearly inside the matching one. The
+// estimate is clamped to the observed [Min, Max] range.
+func (s *HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= target {
+			lo := int64(1) << uint(i)
+			hi := lo << 1
+			frac := (target - cum) / float64(n)
+			est := time.Duration(float64(lo) + frac*float64(hi-lo))
+			if est < s.Min {
+				est = s.Min
+			}
+			if est > s.Max {
+				est = s.Max
+			}
+			return est
+		}
+		cum = next
+	}
+	return s.Max
+}
+
+// A HistSet holds one Histogram per procedure number, preallocated so
+// Observe never allocates or locks. Procedure numbers at or above the
+// set size are dropped.
+type HistSet struct {
+	h []Histogram
+}
+
+// NewHistSet returns a set sized for procedure numbers [0, n).
+func NewHistSet(n int) *HistSet {
+	return &HistSet{h: make([]Histogram, n)}
+}
+
+// Observe records d under proc. Nil sets and out-of-range procs are
+// no-ops.
+func (s *HistSet) Observe(proc uint32, d time.Duration) {
+	if s == nil || int(proc) >= len(s.h) {
+		return
+	}
+	s.h[proc].Observe(d)
+}
+
+// Snapshot returns snapshots of every histogram with at least one
+// observation, keyed by procedure number.
+func (s *HistSet) Snapshot() map[uint32]HistSnapshot {
+	if s == nil {
+		return nil
+	}
+	out := make(map[uint32]HistSnapshot)
+	for i := range s.h {
+		if s.h[i].count.Load() == 0 {
+			continue
+		}
+		out[uint32(i)] = s.h[i].Snapshot()
+	}
+	return out
+}

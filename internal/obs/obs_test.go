@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {1023, 9}, {1024, 10}, {1 << 40, 40},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	h.Observe(0) // clamps to 1ns
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(100 * time.Microsecond)
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if s.Min != 1 {
+		t.Errorf("min = %v, want 1ns", s.Min)
+	}
+	if s.Max != 100*time.Microsecond {
+		t.Errorf("max = %v, want 100µs", s.Max)
+	}
+	if s.Sum != 1+100+100_000 {
+		t.Errorf("sum = %v", s.Sum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	// 100 observations in [1µs, 2µs): p50 and p99 both land there.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Microsecond + time.Duration(i)*10*time.Nanosecond)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := s.Quantile(q)
+		if got < time.Microsecond || got >= 2*time.Microsecond {
+			t.Errorf("Quantile(%v) = %v, want within [1µs, 2µs)", q, got)
+		}
+	}
+	if got := s.Quantile(0); got < s.Min || got > s.Max {
+		t.Errorf("Quantile(0) = %v outside [%v, %v]", got, s.Min, s.Max)
+	}
+	if got := s.Quantile(1); got != s.Max {
+		t.Errorf("Quantile(1) = %v, want max %v", got, s.Max)
+	}
+}
+
+func TestHistogramQuantileSplit(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got >= 10*time.Microsecond {
+		t.Errorf("p50 = %v, want ~1µs", got)
+	}
+	if got := s.Quantile(0.99); got < 500*time.Microsecond {
+		t.Errorf("p99 = %v, want ~1ms", got)
+	}
+}
+
+func TestHistogramZeroAlloc(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(42 * time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestHistSetOutOfRange(t *testing.T) {
+	s := NewHistSet(4)
+	s.Observe(3, time.Microsecond)
+	s.Observe(4, time.Microsecond) // dropped
+	s.Observe(1000, time.Microsecond)
+	snap := s.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d procs, want 1", len(snap))
+	}
+	if snap[3].Count != 1 {
+		t.Fatalf("proc 3 count = %d, want 1", snap[3].Count)
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Span{CallID: uint64(i + 1)})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d, want 10", r.Total())
+	}
+	spans := r.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if want := uint64(7 + i); s.CallID != want {
+			t.Errorf("span %d id = %d, want %d (oldest-first)", i, s.CallID, want)
+		}
+	}
+}
+
+func TestNilCollectorNoops(t *testing.T) {
+	var c *Collector
+	if id := c.NextID(); id != 0 {
+		t.Errorf("nil NextID = %d, want 0", id)
+	}
+	c.ObserveClient(1, time.Microsecond)
+	c.ObserveServer(1, time.Microsecond)
+	c.ObserveDevice(1, time.Microsecond)
+	c.RecordSpan(Span{})
+	if spans := c.Spans(); spans != nil {
+		t.Errorf("nil Spans = %v, want nil", spans)
+	}
+	m := c.Metrics()
+	if len(m.Client)+len(m.Server)+len(m.Device) != 0 {
+		t.Errorf("nil Metrics non-empty: %+v", m)
+	}
+	if c.Now() != 0 {
+		t.Errorf("nil Now != 0")
+	}
+}
+
+func TestCollectorIDsUnique(t *testing.T) {
+	c := New(Config{})
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := make(map[uint64]bool, goroutines*per)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids := make([]uint64, per)
+			for i := range ids {
+				ids[i] = c.NextID()
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range ids {
+				if id == 0 || seen[id] {
+					t.Errorf("duplicate or zero id %d", id)
+					return
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := New(Config{Procs: 8, RingSize: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.ObserveClient(uint32(g%8), time.Duration(i)*time.Nanosecond)
+				c.RecordSpan(Span{CallID: c.NextID(), Proc: uint32(g)})
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			c.Metrics()
+			c.Spans()
+		}
+	}()
+	wg.Wait()
+	<-done
+}
+
+func TestMetricsJSON(t *testing.T) {
+	c := New(Config{Procs: 8, ProcName: func(p uint32) string {
+		if p == 2 {
+			return "CUDA_MALLOC"
+		}
+		return "?"
+	}})
+	for i := 0; i < 10; i++ {
+		c.ObserveClient(2, 5*time.Microsecond)
+		c.ObserveServer(2, 2*time.Microsecond)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m Metrics
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("metrics JSON invalid: %v\n%s", err, buf.String())
+	}
+	if len(m.Client) != 1 || m.Client[0].Proc != "CUDA_MALLOC" || m.Client[0].Count != 10 {
+		t.Fatalf("client stats = %+v", m.Client)
+	}
+	if m.Client[0].P50US <= 0 || m.Client[0].P99US < m.Client[0].P50US {
+		t.Fatalf("quantiles inconsistent: %+v", m.Client[0])
+	}
+	if len(m.Server) != 1 || m.Server[0].Count != 10 {
+		t.Fatalf("server stats = %+v", m.Server)
+	}
+}
+
+func TestTraceJSON(t *testing.T) {
+	c := New(Config{RingSize: 16, ProcName: func(p uint32) string { return "PROC" }})
+	c.RecordSpan(Span{CallID: 7, Entry: -1, Proc: 3, Side: SideServer, Stage: StageRuntime, Dur: 1500})
+	var buf bytes.Buffer
+	if err := c.WriteTraceJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"call_id": 7`, `"side": "server"`, `"stage": "runtime"`, `"name": "PROC"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace JSON missing %s:\n%s", want, out)
+		}
+	}
+	var raw []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	if len(raw) != 1 {
+		t.Fatalf("trace has %d spans, want 1", len(raw))
+	}
+}

@@ -1,0 +1,53 @@
+package obs
+
+import "sync"
+
+// A Ring retains the most recent spans in a preallocated circular
+// buffer. Record never allocates; older spans are overwritten once
+// the buffer wraps.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Span
+	total uint64 // spans ever recorded
+}
+
+// NewRing returns a ring retaining up to size spans.
+func NewRing(size int) *Ring {
+	if size < 1 {
+		size = 1
+	}
+	return &Ring{buf: make([]Span, size)}
+}
+
+// Record appends one span, overwriting the oldest when full.
+func (r *Ring) Record(s Span) {
+	r.mu.Lock()
+	r.buf[r.total%uint64(len(r.buf))] = s
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns the number of spans ever recorded (including ones
+// already overwritten).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot copies the retained spans oldest-first.
+func (r *Ring) Snapshot() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.total
+	size := uint64(len(r.buf))
+	if n > size {
+		n = size
+	}
+	out := make([]Span, n)
+	start := r.total - n
+	for i := uint64(0); i < n; i++ {
+		out[i] = r.buf[(start+i)%size]
+	}
+	return out
+}

@@ -3,6 +3,7 @@ package oncrpc
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -56,10 +57,13 @@ type Client struct {
 	timeout    atomic.Int64 // nanoseconds; 0 means no timeout
 	xid        atomic.Uint32
 
+	trace atomic.Pointer[ClientTrace]
+
 	wmu sync.Mutex // serializes record writes
 	rw  *RecordWriter
 	wb  bytes.Buffer // call assembly buffer, guarded by wmu
 	enc *xdr.Encoder // reusable encoder over wb, guarded by wmu
+	tid [8]byte      // AUTH_TRACE credential scratch, guarded by wmu
 
 	mu      sync.Mutex
 	pending map[uint32]chan []byte
@@ -101,6 +105,13 @@ func (c *Client) SetCred(cred OpaqueAuth) {
 	c.wmu.Lock()
 	c.cred = cred
 	c.wmu.Unlock()
+}
+
+// SetTrace installs tr as the hook set for subsequent calls; nil
+// disables tracing. While tracing is enabled the call credential is
+// replaced by AUTH_TRACE (see ClientTrace).
+func (c *Client) SetTrace(tr *ClientTrace) {
+	c.trace.Store(tr)
 }
 
 // SetTimeout bounds the round-trip time of subsequent calls; zero
@@ -182,6 +193,19 @@ func (c *Client) CallContext(ctx context.Context, proc uint32, args xdr.Marshale
 	if err := ctx.Err(); err != nil {
 		return abandonErr(err)
 	}
+	// Tracing state: when a hook set is installed, Begin mints the id
+	// carried in the AUTH_TRACE credential and every completion path
+	// below reports back through End. The disabled path costs one
+	// atomic load and nil checks.
+	tr := c.trace.Load()
+	var tid uint64
+	var t0 time.Time
+	if tr != nil {
+		if tr.Begin != nil {
+			tid = tr.Begin(proc)
+		}
+		t0 = time.Now()
+	}
 	xid := c.xid.Add(1)
 	ch := make(chan []byte, 1)
 
@@ -192,16 +216,17 @@ func (c *Client) CallContext(ctx context.Context, proc uint32, args xdr.Marshale
 		if err == nil {
 			err = ErrClientClosed
 		}
-		return err
+		return traceEnd(tr, proc, tid, t0, 0, err)
 	}
 	c.pending[xid] = ch
 	c.mu.Unlock()
 
-	if err := c.send(xid, proc, args); err != nil {
+	encDur, err := c.send(xid, proc, args, tid, tr != nil)
+	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, xid)
 		c.mu.Unlock()
-		return err
+		return traceEnd(tr, proc, tid, t0, encDur, err)
 	}
 
 	// The client-wide timeout applies only when the context carries no
@@ -221,25 +246,51 @@ func (c *Client) CallContext(ctx context.Context, proc uint32, args xdr.Marshale
 			c.mu.Lock()
 			err := c.readErr
 			c.mu.Unlock()
-			return err
+			return traceEnd(tr, proc, tid, t0, encDur, err)
 		}
-		return decodeReply(rec, xid, reply)
+		var tw time.Time
+		if tr != nil {
+			tw = time.Now()
+		}
+		err := decodeReply(rec, xid, reply)
+		if tr != nil && tr.End != nil {
+			wire := tw.Sub(t0) - encDur
+			if wire < 0 {
+				wire = 0
+			}
+			tr.End(proc, tid, CallStages{Encode: encDur, Wire: wire, Decode: time.Since(tw)}, err)
+		}
+		return err
 	case <-ctx.Done():
 		c.mu.Lock()
 		delete(c.pending, xid)
 		c.mu.Unlock()
-		return abandonErr(ctx.Err())
+		return traceEnd(tr, proc, tid, t0, encDur, abandonErr(ctx.Err()))
 	case <-timeoutCh:
 		c.mu.Lock()
 		delete(c.pending, xid)
 		c.mu.Unlock()
-		return ErrTimeout
+		return traceEnd(tr, proc, tid, t0, encDur, ErrTimeout)
 	case <-c.done:
 		c.mu.Lock()
 		err := c.readErr
 		c.mu.Unlock()
-		return err
+		return traceEnd(tr, proc, tid, t0, encDur, err)
 	}
+}
+
+// traceEnd reports a call that ended without a decoded reply (or with
+// no tracing at all, in which case it just forwards err). The time
+// since t0 beyond the encode stage is attributed to the wire.
+func traceEnd(tr *ClientTrace, proc uint32, tid uint64, t0 time.Time, enc time.Duration, err error) error {
+	if tr != nil && tr.End != nil {
+		wire := time.Since(t0) - enc
+		if wire < 0 {
+			wire = 0
+		}
+		tr.End(proc, tid, CallStages{Encode: enc, Wire: wire}, err)
+	}
+	return err
 }
 
 // abandonErr classifies a context error: deadline expiry is a timeout
@@ -251,7 +302,10 @@ func abandonErr(err error) error {
 	return err
 }
 
-func (c *Client) send(xid, proc uint32, args xdr.Marshaler) error {
+// send assembles and writes one call record. When traced, the call's
+// credential is replaced by AUTH_TRACE carrying tid and the returned
+// duration covers header+argument marshalling (the encode stage).
+func (c *Client) send(xid, proc uint32, args xdr.Marshaler, tid uint64, traced bool) (time.Duration, error) {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	c.wb.Reset()
@@ -265,20 +319,33 @@ func (c *Client) send(xid, proc uint32, args xdr.Marshaler) error {
 	}
 	e := c.enc
 	hdr := CallHeader{XID: xid, Prog: c.prog, Vers: c.vers, Proc: proc, Cred: c.cred}
+	var t0 time.Time
+	if traced {
+		// The credential scratch is guarded by wmu and MarshalXDR
+		// copies the body into the record buffer, so one array serves
+		// every call without allocating.
+		binary.BigEndian.PutUint64(c.tid[:], tid)
+		hdr.Cred = OpaqueAuth{Flavor: AuthTrace, Body: c.tid[:]}
+		t0 = time.Now()
+	}
 	if err := hdr.MarshalXDR(e); err != nil {
-		return err
+		return 0, err
 	}
 	if args != nil {
 		if err := e.Marshal(args); err != nil {
-			return err
+			return 0, err
 		}
+	}
+	var encDur time.Duration
+	if traced {
+		encDur = time.Since(t0)
 	}
 	if err := c.rw.WriteRecord(c.wb.Bytes()); err != nil {
 		// A failed record write means the connection is gone (the
 		// record may be half-sent, so it cannot be reused either way).
-		return fmt.Errorf("%w: %w", ErrTransport, err)
+		return encDur, fmt.Errorf("%w: %w", ErrTransport, err)
 	}
-	return nil
+	return encDur, nil
 }
 
 func decodeReply(rec []byte, xid uint32, reply xdr.Unmarshaler) error {

@@ -1,6 +1,7 @@
 package oncrpc
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -27,6 +28,12 @@ type AuthFlavor uint32
 const (
 	AuthNone AuthFlavor = 0
 	AuthSys  AuthFlavor = 1
+	// AuthTrace is a private-use flavor carrying an 8-byte big-endian
+	// trace id in the credential body, joining client and server spans
+	// of one call. RFC 5531 reserves the flavor number space beyond
+	// the IANA-assigned mechanisms; servers that do not understand the
+	// flavor treat the credential as opaque AUTH_NONE-equivalent.
+	AuthTrace AuthFlavor = 0x43525458 // "CRTX"
 )
 
 // maxAuthBody is the RFC 5531 bound on opaque auth bodies.
@@ -128,6 +135,22 @@ func (a *OpaqueAuth) UnmarshalXDR(d *xdr.Decoder) error {
 	}
 	a.Body = make([]byte, n)
 	return d.FixedOpaque(a.Body)
+}
+
+// NewTraceAuth builds an AUTH_TRACE credential carrying id.
+func NewTraceAuth(id uint64) OpaqueAuth {
+	body := make([]byte, 8)
+	binary.BigEndian.PutUint64(body, id)
+	return OpaqueAuth{Flavor: AuthTrace, Body: body}
+}
+
+// TraceID extracts the trace id from an AUTH_TRACE credential. It
+// returns zero ("untraced") for any other flavor or a malformed body.
+func TraceID(a OpaqueAuth) uint64 {
+	if a.Flavor != AuthTrace || len(a.Body) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(a.Body)
 }
 
 // SysCred is the AUTH_SYS credential body (RFC 5531 appendix A).

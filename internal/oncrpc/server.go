@@ -8,6 +8,8 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cricket/internal/xdr"
 )
@@ -53,6 +55,8 @@ type Server struct {
 	conns     map[net.Conn]struct{}
 	closed    bool
 
+	trace atomic.Pointer[ServerTrace]
+
 	// ErrorLog receives per-connection failures. Nil silences them.
 	ErrorLog *log.Logger
 	// MaxRecordSize bounds incoming call records; zero means the
@@ -95,6 +99,12 @@ func (s *Server) Register(prog, vers uint32, d Dispatcher) {
 		}
 	}
 	s.versRange[prog] = r
+}
+
+// SetTrace installs tr as the hook set for subsequently dispatched
+// calls; nil disables tracing. Safe to call while serving.
+func (s *Server) SetTrace(tr *ServerTrace) {
+	s.trace.Store(tr)
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -255,6 +265,11 @@ func (s *Server) handleRecord(rec []byte, out *bytes.Buffer, sc *connScratch) er
 	// cannot corrupt the reply stream.
 	sc.results.Reset()
 	enc := sc.encTo(&sc.results)
+	tr := s.trace.Load()
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	err := disp.Dispatch(call.Proc, d, enc)
 	if err == nil {
 		err = enc.Err()
@@ -271,6 +286,9 @@ func (s *Server) handleRecord(rec []byte, out *bytes.Buffer, sc *connScratch) er
 	default:
 		s.logf("oncrpc: prog %d vers %d proc %d: %v", call.Prog, call.Vers, call.Proc, err)
 		hdr.AccStat = SystemErr
+	}
+	if tr != nil && tr.Done != nil {
+		tr.Done(call.Proc, TraceID(call.Cred), time.Since(t0), hdr.AccStat)
 	}
 
 	e := sc.encTo(out)

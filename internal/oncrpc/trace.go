@@ -1,0 +1,47 @@
+package oncrpc
+
+import "time"
+
+// This file defines the tracing hooks of the RPC layer. Tracing is
+// off by default: both hook sets are installed through atomic
+// pointers, so the per-call cost of disabled tracing is one pointer
+// load and a nil check — no clock reads, no allocations.
+//
+// A traced client replaces the call's credential with AUTH_TRACE
+// carrying the 64-bit id minted by Begin; a traced server extracts
+// the id again, so client and server observations of one call join
+// without any change to the procedure signatures in between.
+
+// CallStages attributes a call's client-observed latency to its
+// stages. Stages a call never reached are zero.
+type CallStages struct {
+	Encode time.Duration // argument marshalling into the record buffer
+	Wire   time.Duration // record write + server processing + reply receipt
+	Decode time.Duration // reply unmarshalling
+}
+
+// Total returns the summed stage time.
+func (s CallStages) Total() time.Duration { return s.Encode + s.Wire + s.Decode }
+
+// ClientTrace hooks every call issued by a Client it is installed on.
+// Both funcs may be invoked concurrently from multiple goroutines.
+type ClientTrace struct {
+	// Begin fires as a call starts and mints its trace id, which is
+	// carried to the server in an AUTH_TRACE credential. Nil Begin
+	// traces with id zero ("untraced" on the server side).
+	Begin func(proc uint32) uint64
+	// End fires when the call completes, on every completion path:
+	// err is nil for a decoded Success reply and non-nil for accept/
+	// deny errors, timeouts, cancellation, and transport failures.
+	End func(proc uint32, id uint64, stages CallStages, err error)
+}
+
+// ServerTrace hooks every dispatched call on a Server.
+type ServerTrace struct {
+	// Done fires after a call was dispatched, with the trace id from
+	// its AUTH_TRACE credential (zero when absent or malformed), the
+	// dispatch duration, and the resulting accept status. Calls
+	// rejected before dispatch (unknown program/version, undecodable
+	// header) are not reported.
+	Done func(proc uint32, id uint64, d time.Duration, stat AcceptStat)
+}
