@@ -15,10 +15,14 @@ race:
 	$(GO) test -race ./...
 
 # ci is the gate: everything builds, vets clean, the full test suite
-# passes under the race detector, and the batching smoke criterion
-# (Hermit batch>=32 at least 2x unbatched launch rate) holds.
+# passes under the race detector, the batching smoke criterion
+# (Hermit batch>=32 at least 2x unbatched launch rate) holds, and a
+# seeded churn storm against a governed server upholds the resource
+# invariants (no leaked device bytes, no scheduler ghosts, surviving
+# digests bit-identical).
 ci: build vet race
 	$(GO) run ./cmd/benchharness -ablation-batch -smoke
+	$(GO) run ./cmd/benchharness -churn-smoke -ci
 
 bench:
 	$(GO) run ./cmd/benchharness -all -ci

@@ -39,6 +39,8 @@ func main() {
 	ablMTU := flag.Bool("ablation-mtu", false, "MTU ablation")
 	ablFuture := flag.Bool("ablation-future", false, "§5 future-work projection (Hermit TSO, vDPA)")
 	recovery := flag.Bool("recovery", false, "session recovery latency vs replayed state")
+	churnSmoke := flag.Bool("churn-smoke", false, "seeded churn/soak storm against a governed server; exit 1 on any invariant violation")
+	churnSeed := flag.Int64("churn-seed", 1, "with -churn-smoke: master seed for the churn plan")
 	ablBatch := flag.Bool("ablation-batch", false, "BATCH_EXEC ablation: kernel-launch rate by batch size")
 	smoke := flag.Bool("smoke", false, "with -ablation-batch: tiny sweep, assert Hermit batch>=32 beats unbatched 2x")
 	batchJSON := flag.String("batch-json", "", "with -ablation-batch: also write points as JSON to this file")
@@ -206,6 +208,32 @@ func main() {
 		}
 		runRows("Session recovery after server restart (wall-clock ms)", "ms",
 			func() ([]bench.Row, error) { return bench.Recovery(counts, runs) })
+	})
+	section(*churnSmoke, func() {
+		sessions, churnCalls := 16, 200
+		if *ci {
+			sessions, churnCalls = 8, 64
+		}
+		start := time.Now()
+		r, err := bench.Churn(sessions, churnCalls, *churnSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchharness: churn-smoke: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Churn storm: %d sessions x %d launches, seed %d\n", r.Sessions, r.Calls, *churnSeed)
+		fmt.Printf("  survivors=%d abandoned=%d failed=%d reconnects=%d replays=%d overloads=%d\n",
+			r.Survivors, r.Abandoned, r.Failed, r.Reconnects, r.Replays, r.Overloads)
+		fmt.Printf("  leases granted=%d expired=%d; reclaimed %d bytes, %d handles; %d calls shed\n",
+			r.Server.LeasesGranted, r.Server.LeasesExpired, r.Server.ReclaimedBytes,
+			r.Server.ReclaimedHandles, r.Server.CallsShed)
+		fmt.Printf("  [generated in %v wall time]\n\n", time.Since(start).Round(time.Millisecond))
+		if v := r.Violations(); len(v) != 0 {
+			for _, msg := range v {
+				fmt.Fprintf(os.Stderr, "benchharness: churn-smoke: VIOLATION: %s\n", msg)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("churn-smoke ok: zero leaked bytes, zero scheduler ghosts, surviving digests bit-identical")
 	})
 
 	if !ran {

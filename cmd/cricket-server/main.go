@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -18,7 +19,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"cricket/internal/cricket"
 	"cricket/internal/cuda"
@@ -45,6 +49,11 @@ func main() {
 	ckpDir := flag.String("checkpoint-dir", "", "directory for persisted checkpoints; existing ones are loaded at boot (empty: in-memory only)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for the JSON metrics/trace endpoint (empty: observability disabled)")
 	traceRing := flag.Int("trace-ring", 0, "with -metrics-addr: trace ring-buffer capacity in spans (0: default)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "client lease TTL: a client silent this long has its orphaned GPU resources reclaimed (0: leases never expire)")
+	maxClients := flag.Int("max-clients", 0, "cap on concurrently leased clients; excess attaches are shed with a retry hint (0: unlimited)")
+	maxClientMem := flag.Uint64("max-client-mem", 0, "per-client device-memory cap in bytes; cudaMemGetInfo reports the clamped view (0: unlimited)")
+	maxInflight := flag.Int("max-inflight", 0, "cap on concurrently executing calls; excess is shed with cudaErrorServerOverloaded plus a retry hint (0: unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "on SIGTERM/SIGINT: how long to let in-flight calls finish before hard-closing")
 	flag.Parse()
 
 	var devices []*gpu.Device
@@ -64,6 +73,21 @@ func main() {
 	rpcSrv := oncrpc.NewServer()
 	rpcSrv.ErrorLog = log.Default()
 	srv.Attach(rpcSrv)
+
+	if *leaseTTL > 0 || *maxClients > 0 || *maxClientMem > 0 || *maxInflight > 0 {
+		srv.SetLimits(cricket.Limits{
+			LeaseTTL:     *leaseTTL,
+			MaxClients:   *maxClients,
+			MaxClientMem: *maxClientMem,
+			MaxInflight:  *maxInflight,
+		})
+		log.Printf("governance: lease-ttl=%v max-clients=%d max-client-mem=%d max-inflight=%d",
+			*leaseTTL, *maxClients, *maxClientMem, *maxInflight)
+		if *leaseTTL > 0 {
+			stop := srv.StartLeaseSweeper(0)
+			defer stop()
+		}
+	}
 
 	if *metricsAddr != "" {
 		col := cricket.NewCollector(*traceRing)
@@ -132,7 +156,34 @@ func main() {
 	pm.Set(oncrpc.Mapping{Prog: cricket.RpcCdProg, Vers: cricket.RpcCdVers, Prot: oncrpc.IPProtoTCP, Port: port})
 
 	log.Printf("cricket server (prog %#x vers %d) listening on %s", cricket.RpcCdProg, cricket.RpcCdVers, l.Addr())
-	if err := rpcSrv.Serve(l); err != nil && err != oncrpc.ErrServerClosed {
-		log.Fatal(err)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- rpcSrv.Serve(l) }()
+	select {
+	case err := <-serveErr:
+		if err != nil && err != oncrpc.ErrServerClosed {
+			log.Fatal(err)
+		}
+	case got := <-sig:
+		// Graceful drain: stop accepting, let every in-flight call
+		// finish and write its reply (bounded by -drain-timeout),
+		// checkpoint, exit cleanly.
+		log.Printf("received %v: draining connections (timeout %v)", got, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		err := rpcSrv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			log.Printf("drain timed out, stragglers hard-closed: %v", err)
+		} else {
+			log.Printf("drain complete: every in-flight call finished")
+		}
+		if *ckpDir != "" {
+			if code, cerr := srv.CkpCheckpoint(); cerr != nil || code != 0 {
+				log.Printf("final checkpoint failed (code %d): %v", code, cerr)
+			} else {
+				log.Printf("final checkpoint persisted to %s", *ckpDir)
+			}
+		}
 	}
 }

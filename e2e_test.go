@@ -6,6 +6,7 @@ package repro
 // Figure 2 on one machine.
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
@@ -14,8 +15,12 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
+
+	"cricket/internal/cricket"
+	"cricket/internal/guest"
 )
 
 // freePort asks the kernel for an unused TCP port.
@@ -223,6 +228,121 @@ func TestEndToEndSessionSurvivesServerRestart(t *testing.T) {
 	}
 	if !strings.Contains(faulted, "reconnects=1") || !strings.Contains(faulted, "replays=1") || !strings.Contains(faulted, "restores=1") {
 		t.Errorf("recovery not visible in session stats:\n%s", faulted)
+	}
+}
+
+// TestEndToEndSIGTERMDrainExitsCleanly sends SIGTERM to the real
+// server binary while a governed client holds state and call traffic is
+// racing the signal: the server must drain (every accepted call either
+// completes with a valid reply or the connection closes — never a
+// corrupt response), write its final checkpoint, and exit 0.
+func TestEndToEndSIGTERMDrainExitsCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	dir := t.TempDir()
+	serverBin := buildBinary(t, dir, "cmd/cricket-server")
+	addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	ckpDir := filepath.Join(dir, "ckpt")
+
+	srv := exec.Command(serverBin,
+		"-listen", addr, "-gpus", "a100", "-checkpoint-dir", ckpDir,
+		"-drain-timeout", "5s", "-lease-ttl", "30s", "-max-inflight", "64")
+	var logBuf bytes.Buffer
+	srv.Stderr = &logBuf
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if srv.ProcessState == nil {
+			srv.Process.Kill()
+			srv.Wait()
+		}
+	}()
+	up := false
+	for i := 0; i < 100; i++ {
+		conn, err := net.DialTimeout("tcp", addr, 100*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			up = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !up {
+		t.Fatalf("server never came up:\n%s", logBuf.String())
+	}
+
+	// A governed client puts real state on the server so the final
+	// checkpoint has something to persist.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cricket.Connect(conn, cricket.Options{Platform: guest.NativeRust()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Attach(42); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	p, err := c.Malloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MemcpyHtoD(p, bytes.Repeat([]byte{0xd4}, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep calls racing the signal: each must either return the right
+	// answer or die with a transport error once the drain closes us.
+	trafficDone := make(chan error, 1)
+	go func() {
+		for {
+			n, err := c.GetDeviceCount()
+			if err != nil {
+				trafficDone <- nil // connection drained out from under us
+				return
+			}
+			if n != 1 {
+				trafficDone <- fmt.Errorf("corrupt reply during drain: %d devices", n)
+				return
+			}
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitDone := make(chan error, 1)
+	go func() { waitDone <- srv.Wait() }()
+	select {
+	case err := <-waitDone:
+		if err != nil {
+			t.Fatalf("server exited non-zero after SIGTERM: %v\n%s", err, logBuf.String())
+		}
+	case <-time.After(30 * time.Second):
+		srv.Process.Kill()
+		t.Fatalf("server never exited after SIGTERM\n%s", logBuf.String())
+	}
+	c.Close()
+	if err := <-trafficDone; err != nil {
+		t.Fatal(err)
+	}
+
+	logs := logBuf.String()
+	for _, want := range []string{"draining connections", "final checkpoint persisted"} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("server log missing %q:\n%s", want, logs)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(ckpDir, "dev0.ckpt")); err != nil {
+		t.Errorf("final checkpoint not on disk: %v", err)
+	}
+	if _, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		t.Error("listener still accepting after clean exit")
 	}
 }
 

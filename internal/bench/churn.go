@@ -1,0 +1,320 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"cricket/internal/cricket"
+	"cricket/internal/cubin"
+	"cricket/internal/cuda"
+	"cricket/internal/gpu"
+	"cricket/internal/guest"
+	"cricket/internal/netsim"
+	"cricket/internal/oncrpc"
+)
+
+// This file is the chaos/soak harness for the server's resource
+// governance: many concurrent sessions hammer one governed server
+// while a deterministic churn plan (internal/netsim) kills, resets,
+// and stalls their connections, and a quarter of the guests are
+// abandoned outright — the moral equivalent of destroying a unikernel
+// VM without letting it clean up. At the end the harness checks the
+// governance invariants: every device byte reclaimed, no scheduler
+// ghosts, no leases left, and every surviving guest's output
+// bit-identical to a fault-free run.
+
+// ChurnResult summarizes one churn storm and the end-state invariant
+// checks.
+type ChurnResult struct {
+	Sessions  int // concurrent sessions launched
+	Calls     int // kernel launches each session attempts
+	Survivors int // sessions that finished their workload
+	Abandoned int // sessions killed mid-run without cleanup
+	Failed    int // sessions that exhausted their attempt budget
+
+	Digest     uint64 // fault-free baseline output digest
+	Mismatches int    // survivors whose digest differs from the baseline
+
+	Reconnects uint64 // summed across sessions
+	Replays    uint64
+	Overloads  uint64
+
+	Server cricket.ServerStats
+
+	// End-state invariants (all must be zero).
+	LeakedAllocs int // live device allocations after reclamation
+	LeasesLeft   int // leases still registered
+	SchedClients int // scheduler slots still attached
+}
+
+// Violations lists every breached invariant; empty means the storm
+// upheld all of them.
+func (r ChurnResult) Violations() []string {
+	var v []string
+	if r.Survivors == 0 {
+		v = append(v, "no session survived the storm")
+	}
+	if r.Failed > 0 {
+		v = append(v, fmt.Sprintf("%d session(s) exhausted their attempt budget", r.Failed))
+	}
+	if r.Mismatches > 0 {
+		v = append(v, fmt.Sprintf("%d surviving digest(s) differ from the fault-free run", r.Mismatches))
+	}
+	if r.LeakedAllocs > 0 {
+		v = append(v, fmt.Sprintf("%d device allocation(s) leaked", r.LeakedAllocs))
+	}
+	if r.LeasesLeft > 0 {
+		v = append(v, fmt.Sprintf("%d lease(s) never reclaimed", r.LeasesLeft))
+	}
+	if r.SchedClients > 0 {
+		v = append(v, fmt.Sprintf("%d scheduler client(s) never detached", r.SchedClients))
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// churnFatbin builds the sample-kernel fat binary the guests load.
+func churnFatbin() []byte {
+	var fb cubin.FatBinary
+	fb.AddImage(cuda.BuiltinImage(80), true)
+	return fb.Encode()
+}
+
+// churnWorkload is one guest's deterministic application: a 32x32
+// matrixMul launched `calls` times with periodic memory churn (memset
+// plus a transient allocation) and periodic result sampling folded
+// into a digest. Identical inputs yield an identical digest, so any
+// divergence under faults is a correctness loss, not noise. A
+// non-negative abandonAt stops mid-run without any cleanup.
+func churnWorkload(s *cricket.Session, calls, abandonAt int) (uint64, error) {
+	const dim = 32
+	size := uint64(dim * dim * 4)
+	m, err := s.ModuleLoad(churnFatbin())
+	if err != nil {
+		return 0, err
+	}
+	f, err := s.ModuleGetFunction(m, cuda.KernelMatrixMul)
+	if err != nil {
+		return 0, err
+	}
+	dA, err := s.Malloc(size)
+	if err != nil {
+		return 0, err
+	}
+	dB, err := s.Malloc(size)
+	if err != nil {
+		return 0, err
+	}
+	dC, err := s.Malloc(size)
+	if err != nil {
+		return 0, err
+	}
+	host := make([]byte, size)
+	for i := 0; i < dim*dim; i++ {
+		binary.LittleEndian.PutUint32(host[i*4:], math.Float32bits(float32(i%7)+0.5))
+	}
+	h := fnv.New64a()
+	args := cuda.NewArgBuffer().Ptr(dC).Ptr(dA).Ptr(dB).I32(dim).I32(dim).Bytes()
+	grid := gpu.Dim3{X: 1, Y: 1, Z: 1}
+	block := gpu.Dim3{X: 32, Y: 32, Z: 1}
+	for i := 0; i < calls; i++ {
+		if i == abandonAt {
+			return 0, nil
+		}
+		// Inputs are re-uploaded every iteration so the computation is
+		// self-contained: a replay onto a fresh lease (whose buffers
+		// come back zeroed) is corrected by the next upload.
+		if err := s.MemcpyHtoD(dA, host); err != nil {
+			return 0, err
+		}
+		if err := s.MemcpyHtoD(dB, host); err != nil {
+			return 0, err
+		}
+		if err := s.LaunchKernel(f, grid, block, 0, 0, args); err != nil {
+			return 0, err
+		}
+		if i%16 == 5 {
+			// Transient allocation plus a memset: handle churn for the
+			// lease tables and the reclamation sweep to chew on.
+			tmp, err := s.Malloc(size)
+			if err != nil {
+				return 0, err
+			}
+			if err := s.Memset(tmp, byte(i), size); err != nil {
+				return 0, err
+			}
+			if err := s.Free(tmp); err != nil {
+				return 0, err
+			}
+		}
+		if i%32 == 31 || i == calls-1 {
+			if err := s.DeviceSynchronize(); err != nil {
+				return 0, err
+			}
+			out, err := s.MemcpyDtoH(dC, size)
+			if err != nil {
+				return 0, err
+			}
+			h.Write(out)
+		}
+	}
+	return h.Sum64(), nil
+}
+
+// Churn runs `sessions` concurrent guests for `calls` kernel launches
+// each against one governed server while the seeded churn plan
+// disrupts their connections, then checks the reclamation invariants.
+// Every fourth session is abandoned mid-run to exercise orphan GC.
+func Churn(sessions, calls int, seed int64) (ChurnResult, error) {
+	if sessions <= 0 {
+		sessions = 16
+	}
+	if calls <= 0 {
+		calls = 200
+	}
+	res := ChurnResult{Sessions: sessions, Calls: calls}
+
+	// Fault-free baseline digest on a pristine, ungoverned server.
+	base := newRestartableServer()
+	bs, err := cricket.NewSession(cricket.SessionOptions{
+		Options: cricket.Options{Platform: guest.NativeRust()},
+		Redial:  base.redial,
+		Seed:    1,
+	})
+	if err != nil {
+		base.close()
+		return res, err
+	}
+	res.Digest, err = churnWorkload(bs, calls, -1)
+	bs.Close()
+	base.close()
+	if err != nil {
+		return res, fmt.Errorf("baseline workload: %w", err)
+	}
+
+	// The governed server. The TTL comfortably exceeds the worst-case
+	// reconnect backoff, so a live guest never loses its lease to a
+	// transient drop; only abandoned guests expire. MaxInflight is set
+	// below the session count so admission control genuinely sheds
+	// under the storm.
+	const ttl = time.Second
+	rt := cuda.NewRuntime(nil, gpu.New(gpu.SpecA100))
+	srv := cricket.NewServer(rt)
+	srv.SetLimits(cricket.Limits{
+		LeaseTTL:    ttl,
+		MaxClients:  sessions + 2,
+		MaxInflight: maxInt(2, sessions-2),
+		RetryAfter:  200 * time.Microsecond,
+	})
+	stopSweep := srv.StartLeaseSweeper(25 * time.Millisecond)
+	rpcSrv := oncrpc.NewServer()
+	srv.Attach(rpcSrv)
+	plan := netsim.NewChurn(seed)
+
+	type outcome struct {
+		digest    uint64
+		abandoned bool
+		err       error
+		stats     cricket.SessionStats
+	}
+	outcomes := make([]outcome, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			attempt := 0
+			redial := func() (io.ReadWriteCloser, error) {
+				cli, sc := net.Pipe()
+				go rpcSrv.ServeConn(sc)
+				conn := plan.Wrap(i, attempt, cli)
+				attempt++
+				return conn, nil
+			}
+			// A fault can kill the very first handshake; dialing is part
+			// of the storm, so the initial connect retries like any
+			// recovery would.
+			var s *cricket.Session
+			var err error
+			for try := 0; try < 25; try++ {
+				s, err = cricket.NewSession(cricket.SessionOptions{
+					Options:     cricket.Options{Platform: guest.NativeRust()},
+					Redial:      redial,
+					Nonce:       uint64(i) + 1,
+					Seed:        seed + int64(i) + 1,
+					MaxAttempts: 25,
+					BackoffBase: 500 * time.Microsecond,
+					BackoffMax:  10 * time.Millisecond,
+				})
+				if err == nil {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			if err != nil {
+				outcomes[i] = outcome{err: err}
+				return
+			}
+			abandonAt := -1
+			if i%4 == 3 {
+				abandonAt = calls / 3 // killed guest: no Free, no Detach, no Close
+			}
+			digest, err := churnWorkload(s, calls, abandonAt)
+			st := s.SessionStats()
+			if abandonAt >= 0 && err == nil {
+				outcomes[i] = outcome{abandoned: true, stats: st}
+				return // deliberately no Close: the lease must expire
+			}
+			s.Close()
+			outcomes[i] = outcome{digest: digest, err: err, stats: st}
+		}(i)
+	}
+	wg.Wait()
+
+	for _, o := range outcomes {
+		res.Reconnects += o.stats.Reconnects
+		res.Replays += o.stats.Replays
+		res.Overloads += o.stats.Overloads
+		switch {
+		case o.abandoned:
+			res.Abandoned++
+		case o.err != nil:
+			res.Failed++
+		default:
+			res.Survivors++
+			if o.digest != res.Digest {
+				res.Mismatches++
+			}
+		}
+	}
+
+	// Teardown: hard-close the abandoned guests' connections (their
+	// VMs are gone), then wait for the sweeper to reclaim the expired
+	// leases.
+	rpcSrv.Close()
+	deadline := time.Now().Add(3 * ttl)
+	for srv.LeaseCount() > 0 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	stopSweep()
+
+	res.Server = srv.Stats()
+	res.LeasesLeft = srv.LeaseCount()
+	res.SchedClients = len(srv.Scheduler().Clients())
+	if dev, err := rt.Device(0); err == nil {
+		res.LeakedAllocs = dev.LiveAllocations()
+	}
+	return res, nil
+}

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestChurnSmallStormUpholdsInvariants(t *testing.T) {
+	r, err := Churn(8, 64, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.Violations(); len(v) != 0 {
+		t.Fatalf("invariant violations: %v (result %+v)", v, r)
+	}
+	if r.Survivors != 6 || r.Abandoned != 2 {
+		t.Fatalf("got %d survivors, %d abandoned; want 6, 2", r.Survivors, r.Abandoned)
+	}
+	if r.Reconnects == 0 {
+		t.Fatal("churn plan injected no reconnects — the storm was a no-op")
+	}
+	if r.Server.LeasesExpired == 0 {
+		t.Fatal("abandoned sessions' leases never expired")
+	}
+	if r.Server.ReclaimedBytes == 0 {
+		t.Fatal("reclamation freed no bytes despite abandoned allocations")
+	}
+}
+
+func TestChurnFullStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 16x200 churn storm skipped in -short mode")
+	}
+	r, err := Churn(16, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.Violations(); len(v) != 0 {
+		t.Fatalf("invariant violations: %v (result %+v)", v, r)
+	}
+}

@@ -879,6 +879,55 @@ func (c *Client) Restore() error {
 	return inband(code, err)
 }
 
+// Attach performs the SRV_ATTACH lease handshake: the server grants a
+// resource lease scoped to the session nonce, or re-binds an existing
+// one when it has seen the nonce within the lease TTL. Info.Fresh
+// reports whether the lease is new — a reconnecting client whose
+// lease expired finds its handles gone and must replay. A server over
+// its client cap sheds the attach in-band (cudaErrorServerOverloaded)
+// with an AUTH_RETRY backpressure hint.
+func (c *Client) Attach(nonce uint64) (LeaseInfo, error) {
+	if err := c.flushBatch(); err != nil {
+		return LeaseInfo{}, err
+	}
+	var r LeaseResult
+	err := c.account(false, 1, func(ctx context.Context) (e error) {
+		r, e = c.gen.SrvAttachContext(ctx, AttachArgs{Nonce: nonce})
+		return
+	})
+	if err := inband(r.Err, err); err != nil {
+		return LeaseInfo{}, err
+	}
+	return r.Info, nil
+}
+
+// Renew sends the explicit lease heartbeat (SRV_RENEW), keeping the
+// lease alive across idle stretches with no other traffic.
+func (c *Client) Renew() error {
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
+	var code int32
+	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.SrvRenewContext(ctx); return })
+	return inband(code, err)
+}
+
+// Detach releases the client's lease and every server-side resource it
+// holds, immediately (SRV_DETACH) — eager reclamation instead of
+// waiting out the TTL.
+func (c *Client) Detach() error {
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
+	var code int32
+	err := c.account(false, 1, func(ctx context.Context) (e error) { code, e = c.gen.SrvDetachContext(ctx); return })
+	return inband(code, err)
+}
+
+// TakeRetryHint consumes the most recent AUTH_RETRY backpressure hint
+// the server stamped on a shed reply; zero when none is pending.
+func (c *Client) TakeRetryHint() time.Duration { return c.rpc.TakeRetryHint() }
+
 // Platform returns the client's execution platform.
 func (c *Client) Platform() guest.Platform { return c.platform }
 

@@ -74,7 +74,7 @@ func TestSpecFileParsesAndMatchesGenerated(t *testing.T) {
 		t.Fatalf("program number %#x, generated %#x", spec.Programs[0].Number, RpcCdProg)
 	}
 	procs := spec.Programs[0].Versions[0].Procs
-	if len(procs) != 31 {
+	if len(procs) != 34 {
 		t.Fatalf("%d procedures in spec", len(procs))
 	}
 	// Spot-check generated procedure numbers against the spec.

@@ -1,0 +1,383 @@
+package cricket
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"cricket/internal/cuda"
+	"cricket/internal/guest"
+)
+
+// fakeClock is an injectable time source for deterministic lease-expiry
+// tests: the sweeper fires exactly when the test advances it, never
+// because the test ran slowly.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func installFakeClock(srv *Server) *fakeClock {
+	fc := &fakeClock{now: time.Unix(1_000_000, 0)}
+	srv.mu.Lock()
+	srv.clock = fc.Now
+	srv.mu.Unlock()
+	return fc
+}
+
+func (fc *fakeClock) Now() time.Time {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.now
+}
+
+func (fc *fakeClock) Advance(d time.Duration) {
+	fc.mu.Lock()
+	fc.now = fc.now.Add(d)
+	fc.mu.Unlock()
+}
+
+func governedClient(t *testing.T, e *sessEnv, nonce uint64) (*Client, LeaseInfo) {
+	t.Helper()
+	conn, err := e.redial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Connect(conn, Options{Platform: guest.NativeRust()})
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	info, err := c.Attach(nonce)
+	if err != nil {
+		c.Close()
+		t.Fatalf("Attach: %v", err)
+	}
+	return c, info
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestLeaseSweeperReclaimsOrphanedResources(t *testing.T) {
+	e := newSessEnv(t, "")
+	srv := e.server()
+	srv.SetLimits(Limits{LeaseTTL: 50 * time.Millisecond})
+	fc := installFakeClock(srv)
+
+	c, info := governedClient(t, e, 0xbeef)
+	if info.Fresh != 1 {
+		t.Fatalf("first attach Fresh = %d, want 1", info.Fresh)
+	}
+	if info.TtlMs != 50 {
+		t.Fatalf("TtlMs = %d, want 50", info.TtlMs)
+	}
+	if _, err := c.Malloc(4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ModuleLoad(builtinFatbin()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.StreamCreate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EventCreate(); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := e.rt.Device(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.LiveAllocations() == 0 {
+		t.Fatal("allocation did not land on the device")
+	}
+
+	// Kill the client without detaching: the lease is now an orphan
+	// whose expiry clock starts at ConnEnd.
+	c.Close()
+	waitUntil(t, "scheduler detach on disconnect", func() bool {
+		return len(srv.Scheduler().Clients()) == 0
+	})
+
+	if n := srv.SweepLeases(); n != 0 {
+		t.Fatalf("sweep before TTL reclaimed %d leases, want 0", n)
+	}
+	fc.Advance(51 * time.Millisecond)
+	if n := srv.SweepLeases(); n != 1 {
+		t.Fatalf("sweep after TTL reclaimed %d leases, want 1", n)
+	}
+	if got := srv.LeaseCount(); got != 0 {
+		t.Fatalf("LeaseCount = %d after sweep, want 0", got)
+	}
+	if got := dev.LiveAllocations(); got != 0 {
+		t.Fatalf("device still holds %d allocations after sweep", got)
+	}
+	st := srv.Stats()
+	if st.LeasesExpired != 1 {
+		t.Fatalf("LeasesExpired = %d, want 1", st.LeasesExpired)
+	}
+	if st.ReclaimedBytes != 4096 {
+		t.Fatalf("ReclaimedBytes = %d, want 4096", st.ReclaimedBytes)
+	}
+	// alloc + module + stream + event
+	if st.ReclaimedHandles != 4 {
+		t.Fatalf("ReclaimedHandles = %d, want 4", st.ReclaimedHandles)
+	}
+}
+
+func TestDisconnectDetachesSchedulerKeepsLeaseWithoutTTL(t *testing.T) {
+	e := newSessEnv(t, "")
+	srv := e.server()
+
+	c, _ := governedClient(t, e, 0xcafe)
+	if got := len(srv.Scheduler().Clients()); got != 1 {
+		t.Fatalf("scheduler clients = %d after attach, want 1", got)
+	}
+	p, err := c.Malloc(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c.Close()
+	waitUntil(t, "scheduler detach on disconnect", func() bool {
+		return len(srv.Scheduler().Clients()) == 0
+	})
+	// No TTL: the lease — and the memory it tags — must survive the
+	// disconnect, exactly like an ungoverned server.
+	if got := srv.LeaseCount(); got != 1 {
+		t.Fatalf("LeaseCount = %d after disconnect with no TTL, want 1", got)
+	}
+
+	// Reconnecting with the same nonce re-binds the same lease and
+	// re-attaches the scheduler slot; the old allocation is still live.
+	c2, info := governedClient(t, e, 0xcafe)
+	defer c2.Close()
+	if info.Fresh != 0 {
+		t.Fatalf("re-attach Fresh = %d, want 0 (re-bound lease)", info.Fresh)
+	}
+	if got := len(srv.Scheduler().Clients()); got != 1 {
+		t.Fatalf("scheduler clients = %d after re-attach, want 1", got)
+	}
+	if err := c2.Free(p); err != nil {
+		t.Fatalf("allocation did not survive reconnect: %v", err)
+	}
+}
+
+// TestSessionReplaysBitIdenticallyOntoFreshLease is the tentpole's
+// recovery contract: a Session that reconnects after its lease expired
+// (handles swept, memory freed) gets a fresh lease, replays, and the
+// workload result is bit-identical to a fault-free run.
+func TestSessionReplaysBitIdenticallyOntoFreshLease(t *testing.T) {
+	e1 := newSessEnv(t, "")
+	s1 := newTestSession(t, e1)
+	want := matmulWorkload(t, s1, nil)
+
+	e2 := newSessEnv(t, "")
+	srv := e2.server()
+	srv.SetLimits(Limits{LeaseTTL: 50 * time.Millisecond})
+	fc := installFakeClock(srv)
+	s2 := newTestSession(t, e2)
+
+	got := matmulWorkload(t, s2, func() {
+		// Sever the connection (server instance stays up), let the
+		// lease expire, and sweep: every handle the workload created is
+		// reclaimed before the session's next call.
+		e2.kill(false)
+		waitUntil(t, "scheduler detach on disconnect", func() bool {
+			return len(srv.Scheduler().Clients()) == 0
+		})
+		fc.Advance(51 * time.Millisecond)
+		if n := srv.SweepLeases(); n != 1 {
+			t.Fatalf("sweep reclaimed %d leases, want 1", n)
+		}
+		dev, err := e2.rt.Device(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := dev.LiveAllocations(); got != 0 {
+			t.Fatalf("device still holds %d allocations after sweep", got)
+		}
+	})
+	if !bytes.Equal(got, want) {
+		t.Fatal("result differs from fault-free run after expired-lease replay")
+	}
+	st := s2.SessionStats()
+	if st.Reconnects != 1 || st.Replays != 1 {
+		t.Fatalf("stats = %+v, want 1 reconnect with 1 replay", st)
+	}
+	if st.Restores != 1 {
+		t.Fatalf("Restores = %d, want 1: contents must come back from the checkpoint", st.Restores)
+	}
+	if srv.Stats().LeasesExpired != 1 {
+		t.Fatalf("LeasesExpired = %d, want 1", srv.Stats().LeasesExpired)
+	}
+}
+
+func TestMaxClientsShedsInBandThenAdmitsAfterSlotFrees(t *testing.T) {
+	e := newSessEnv(t, "")
+	srv := e.server()
+	srv.SetLimits(Limits{MaxClients: 1, RetryAfter: 5 * time.Millisecond})
+
+	s1 := newTestSession(t, e) // holds the only slot
+	if err := s1.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A raw client sees the shed as the in-band overload code plus the
+	// configured retry hint — not a transport error.
+	conn, err := e.redial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Connect(conn, Options{Platform: guest.NativeRust()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, aerr := c.Attach(0x7777)
+	var ce cuda.Error
+	if !errors.As(aerr, &ce) || ce != cuda.ErrorServerOverloaded {
+		t.Fatalf("Attach over MaxClients = %v, want cudaErrorServerOverloaded", aerr)
+	}
+	if hint := c.TakeRetryHint(); hint != 5*time.Millisecond {
+		t.Fatalf("retry hint = %v, want 5ms", hint)
+	}
+	if srv.Stats().CallsShed == 0 {
+		t.Fatal("shed attach not counted in ServerStats.CallsShed")
+	}
+
+	// A bounded Session gives up with the same in-band code.
+	_, serr := NewSession(SessionOptions{
+		Options:     Options{Platform: guest.NativeRust()},
+		Redial:      e.redial,
+		Nonce:       0x8888,
+		Seed:        2,
+		MaxAttempts: 3,
+		Sleep:       func(time.Duration) {},
+	})
+	if !errors.As(serr, &ce) || ce != cuda.ErrorServerOverloaded {
+		t.Fatalf("NewSession over MaxClients = %v, want cudaErrorServerOverloaded", serr)
+	}
+
+	// A backoff-respecting Session outlasts the overload: the slot
+	// frees mid-retry and the attach eventually succeeds.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		s1.Close()
+	}()
+	s2, err := NewSession(SessionOptions{
+		Options:     Options{Platform: guest.NativeRust()},
+		Redial:      e.redial,
+		Nonce:       0x9999,
+		Seed:        3,
+		MaxAttempts: 500,
+		Sleep:       func(time.Duration) { time.Sleep(time.Millisecond) },
+	})
+	if err != nil {
+		t.Fatalf("backoff-respecting NewSession never admitted: %v", err)
+	}
+	defer s2.Close()
+	if err := s2.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if s2.SessionStats().Overloads == 0 {
+		t.Fatal("admitted session saw no overloads — the cap never engaged")
+	}
+}
+
+func TestMaxClientMemQuotaClampsAndRefunds(t *testing.T) {
+	e := newSessEnv(t, "")
+	e.server().SetLimits(Limits{MaxClientMem: 8192})
+
+	c, info := governedClient(t, e, 0xfeed)
+	defer c.Close()
+	if info.MemLimit != 8192 {
+		t.Fatalf("lease MemLimit = %d, want 8192", info.MemLimit)
+	}
+
+	free, total, err := c.MemGetInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 8192 || free != 8192 {
+		t.Fatalf("MemGetInfo = (free %d, total %d), want quota view (8192, 8192)", free, total)
+	}
+
+	p, err := c.Malloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, total, err = c.MemGetInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 8192 || free != 4096 {
+		t.Fatalf("MemGetInfo after 4KiB alloc = (free %d, total %d), want (4096, 8192)", free, total)
+	}
+
+	// Over quota: a permanent allocation failure, not overload —
+	// retrying cannot help.
+	_, err = c.Malloc(8192)
+	var ce cuda.Error
+	if !errors.As(err, &ce) || ce != cuda.ErrorMemoryAllocation {
+		t.Fatalf("over-quota Malloc = %v, want cudaErrorMemoryAllocation", err)
+	}
+	if hint := c.TakeRetryHint(); hint != 0 {
+		t.Fatalf("quota failure carried retry hint %v, want none", hint)
+	}
+
+	// Freeing refunds the quota in full.
+	if err := c.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Malloc(8192); err != nil {
+		t.Fatalf("full-quota Malloc after refund: %v", err)
+	}
+}
+
+func TestMaxInflightShedsWithRetryHint(t *testing.T) {
+	e := newSessEnv(t, "")
+	srv := e.server()
+	srv.SetLimits(Limits{MaxInflight: 1, RetryAfter: 7 * time.Millisecond})
+
+	c, _ := governedClient(t, e, 0xabcd)
+	defer c.Close()
+
+	// Occupy the only execution slot directly; the simulated runtime
+	// completes real calls instantly, so contention is injected rather
+	// than raced.
+	srv.mu.Lock()
+	srv.inflight = 1
+	srv.mu.Unlock()
+
+	_, err := c.GetDeviceCount()
+	var ce cuda.Error
+	if !errors.As(err, &ce) || ce != cuda.ErrorServerOverloaded {
+		t.Fatalf("call over MaxInflight = %v, want cudaErrorServerOverloaded", err)
+	}
+	if hint := c.TakeRetryHint(); hint != 7*time.Millisecond {
+		t.Fatalf("retry hint = %v, want 7ms", hint)
+	}
+	if hint := c.TakeRetryHint(); hint != 0 {
+		t.Fatalf("second TakeRetryHint = %v, want 0 (consumed)", hint)
+	}
+	if got := srv.Stats().CallsShed; got != 1 {
+		t.Fatalf("CallsShed = %d, want 1", got)
+	}
+
+	srv.mu.Lock()
+	srv.inflight = 0
+	srv.mu.Unlock()
+	if _, err := c.GetDeviceCount(); err != nil {
+		t.Fatalf("call after slot freed: %v", err)
+	}
+}

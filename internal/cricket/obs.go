@@ -12,13 +12,18 @@ import (
 // oncrpc trace hooks that turn RPC-layer timings into per-procedure
 // histograms and joined client/server spans.
 
-// obsProcs sizes the per-procedure histogram tables: procedures 0-30
-// plus the pseudo-procedure for scheduler bookkeeping.
-const obsProcs = ProcSched + 1
+// obsProcs sizes the per-procedure histogram tables: procedures 0-33
+// plus the pseudo-procedures for scheduler and lease bookkeeping.
+const obsProcs = ProcLease + 1
 
 // ProcSched is a pseudo-procedure number (outside the RPC program's
 // range) under which scheduler bookkeeping time is recorded.
-const ProcSched = 31
+const ProcSched = 34
+
+// ProcLease is a pseudo-procedure number under which lease-sweeper
+// reclamation work is recorded (attach/renew/detach RPCs use their
+// own procedure numbers; the sweeper runs outside any call).
+const ProcLease = 35
 
 // ProcName returns the RPCL name of a Cricket procedure number.
 func ProcName(proc uint32) string {
@@ -85,8 +90,16 @@ func ProcName(proc uint32) string {
 		return "SRV_GET_EPOCH"
 	case ProcBatchExec:
 		return "BATCH_EXEC"
+	case ProcSrvAttach:
+		return "SRV_ATTACH"
+	case ProcSrvRenew:
+		return "SRV_RENEW"
+	case ProcSrvDetach:
+		return "SRV_DETACH"
 	case ProcSched:
 		return "SCHED"
+	case ProcLease:
+		return "LEASE_SWEEP"
 	}
 	return "PROC_" + itoa(proc)
 }

@@ -79,6 +79,13 @@ type ServerStats struct {
 	KernelLaunches uint64
 	Checkpoints    uint64
 	Restores       uint64
+
+	// Resource governance (see lease.go).
+	LeasesGranted    uint64 // fresh leases issued by SRV_ATTACH
+	LeasesExpired    uint64 // leases reclaimed by the expiry sweeper
+	ReclaimedBytes   uint64 // device bytes freed by lease reclamation
+	ReclaimedHandles uint64 // handles freed by lease reclamation
+	CallsShed        uint64 // calls rejected by admission control
 }
 
 // A Server executes forwarded CUDA calls against a runtime. It
@@ -98,6 +105,15 @@ type Server struct {
 	attached    []*oncrpc.Server // RPC servers this Server is registered on
 	noSharedMem bool             // reject TransferSharedMem negotiation
 
+	// Resource governance (lease.go), all under mu. clock is the
+	// lease timebase, overridable in tests.
+	limits       Limits
+	leases       map[uint64]*lease
+	leaseByNonce map[uint64]*lease
+	leaseSeq     uint64
+	inflight     int
+	clock        func() time.Time
+
 	// collector, when set, receives per-call spans and histograms.
 	// Accessed atomically so observability can be toggled while
 	// serving; nil means disabled (the default).
@@ -114,21 +130,27 @@ func NewServer(rt *cuda.Runtime) *Server {
 		panic("cricket: no entropy for server epoch: " + err.Error())
 	}
 	return &Server{
-		rt:        rt,
-		epoch:     binary.LittleEndian.Uint64(b[:]) | 1, // never zero
-		snapshots: make(map[int]*gpu.Snapshot),
-		sched:     NewScheduler(PolicyFIFO, 0),
+		rt:           rt,
+		epoch:        binary.LittleEndian.Uint64(b[:]) | 1, // never zero
+		snapshots:    make(map[int]*gpu.Snapshot),
+		sched:        NewScheduler(PolicyFIFO, 0),
+		leases:       make(map[uint64]*lease),
+		leaseByNonce: make(map[uint64]*lease),
+		clock:        time.Now,
 	}
 }
 
 // Epoch returns the server instance's random boot epoch.
 func (s *Server) Epoch() uint64 { return s.epoch }
 
-// Attach registers the Cricket program on an RPC server. When an
-// observer is (or later becomes) installed, the RPC server's dispatch
-// trace feeds it, so server spans join client spans by trace id.
+// Attach registers the Cricket program on an RPC server. Every
+// connection gets its own per-connection handler carrying lease and
+// admission state (see lease.go); the underlying Server is shared.
+// When an observer is (or later becomes) installed, the RPC server's
+// dispatch trace feeds it, so server spans join client spans by trace
+// id.
 func (s *Server) Attach(rpcSrv *oncrpc.Server) {
-	RegisterRpcCdVers(rpcSrv, s)
+	RegisterRpcCdVersConn(rpcSrv, func() RpcCdVersHandler { return s.newConn() })
 	s.mu.Lock()
 	s.attached = append(s.attached, rpcSrv)
 	s.mu.Unlock()

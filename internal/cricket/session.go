@@ -1,6 +1,8 @@
 package cricket
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -84,6 +86,12 @@ type SessionOptions struct {
 	Seed int64
 	// Sleep replaces time.Sleep between attempts (tests).
 	Sleep func(time.Duration)
+	// Nonce identifies the session to the server's lease layer
+	// (SRV_ATTACH). Reconnecting with the same nonce inside the lease
+	// TTL re-binds the existing lease, so server-side handles survive
+	// the drop; after expiry the server grants a fresh lease and the
+	// session replays. Zero mints a random nonce.
+	Nonce uint64
 }
 
 func (o *SessionOptions) withDefaults() SessionOptions {
@@ -118,6 +126,10 @@ type SessionStats struct {
 	DialAttempts uint64
 	// RecoveryTime is total wall-clock time spent reconnecting.
 	RecoveryTime time.Duration
+	// Overloads counts calls (and attaches) the server shed under
+	// admission control; each one was retried after backing off on the
+	// server's hint.
+	Overloads uint64
 }
 
 // Virtual handle/pointer state. Handles the application holds never
@@ -151,12 +163,14 @@ type sessFunc struct {
 // are safe for use from one application goroutine; Stats and
 // SessionStats may be read concurrently.
 type Session struct {
-	opts SessionOptions
-	rng  *rand.Rand
+	opts  SessionOptions
+	rng   *rand.Rand
+	nonce uint64 // lease identity presented at every SRV_ATTACH
 
 	mu     sync.Mutex
 	c      *Client
-	epoch  uint64 // server epoch at last connect; 0 = unknown
+	epoch  uint64        // server epoch at last connect; 0 = unknown
+	hint   time.Duration // pending server backpressure hint for the next backoff
 	closed bool
 
 	dev      int // last cudaSetDevice, replayed on recovery
@@ -232,6 +246,10 @@ func NewSession(opts SessionOptions) (*Session, error) {
 		streams:  make(map[uint64]cuda.Stream),
 		events:   make(map[uint64]cuda.Event),
 	}
+	s.nonce = o.Nonce
+	if s.nonce == 0 {
+		s.nonce = mintNonce()
+	}
 	if o.Batch > 0 {
 		s.batchMaxN = o.Batch
 		s.batchMaxBytes = o.BatchBytes
@@ -244,39 +262,95 @@ func NewSession(opts SessionOptions) (*Session, error) {
 		o.Options.Batch = 0
 	}
 	s.opts = o
-	c, epoch, err := s.dialOnce()
+	c, epoch, _, err := s.dialOnce()
 	if err != nil {
-		return nil, err
+		if !isOverload(err) {
+			return nil, err
+		}
+		// The server shed our attach under admission control. That is
+		// backpressure, not rejection: back off on its hint and keep
+		// trying, up to the session's attempt budget.
+		if rerr := s.recover(); rerr != nil {
+			return nil, rerr
+		}
+		return s, nil
 	}
 	s.c, s.epoch = c, epoch
 	return s, nil
 }
 
-// dialOnce opens one transport and client and learns the server epoch.
-func (s *Session) dialOnce() (*Client, uint64, error) {
+// mintNonce draws a random nonzero session nonce. Sessions in the same
+// process (and, with overwhelming probability, across guests) never
+// collide, so one session's lease cannot be re-bound by another.
+func mintNonce() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// No entropy source: fall back to the clock; uniqueness within
+		// a process still holds well enough for tests and sims.
+		return uint64(time.Now().UnixNano()) | 1
+	}
+	return binary.LittleEndian.Uint64(b[:]) | 1
+}
+
+// isOverload reports the in-band status of a call the server shed
+// under admission control.
+func isOverload(err error) bool {
+	var ce cuda.Error
+	return errors.As(err, &ce) && ce == cuda.ErrorServerOverloaded
+}
+
+// dialOnce opens one transport and client, learns the server epoch,
+// and attaches the session's lease. fresh reports that the server
+// granted a brand-new lease — our handles are gone (expired lease or
+// restarted server) and the caller must replay.
+func (s *Session) dialOnce() (c *Client, epoch uint64, fresh bool, err error) {
 	s.statmu.Lock()
 	s.sstats.DialAttempts++
 	s.statmu.Unlock()
 	conn, err := s.opts.Redial()
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
-	c, err := Connect(conn, s.opts.Options)
+	c, err = Connect(conn, s.opts.Options)
 	if err != nil {
 		conn.Close()
-		return nil, 0, err
+		return nil, 0, false, err
 	}
-	epoch, err := c.gen.SrvGetEpoch()
+	epoch, err = c.gen.SrvGetEpoch()
 	if err != nil {
 		if oncrpc.IsTransportError(err) {
 			c.Close()
-			return nil, 0, err
+			return nil, 0, false, err
 		}
 		// Pre-epoch server: recovery still works, but every reconnect
 		// must assume a restart and replay.
 		epoch = 0
 	}
-	return c, epoch, nil
+	// Lease handshake. A governed server grants or re-binds the lease
+	// for this session's nonce; Fresh tells us whether our server-side
+	// handles survived.
+	info, aerr := c.Attach(s.nonce)
+	switch {
+	case aerr == nil:
+		fresh = info.Fresh != 0
+	case oncrpc.IsTransportError(aerr):
+		c.Close()
+		return nil, 0, false, aerr
+	case isOverload(aerr):
+		// Admission control shed the attach: capture the server's
+		// backpressure hint for recover()'s next sleep and fail the
+		// dial so it backs off and retries.
+		s.hint = c.TakeRetryHint()
+		s.statmu.Lock()
+		s.sstats.Overloads++
+		s.statmu.Unlock()
+		c.Close()
+		return nil, 0, false, aerr
+	default:
+		// Pre-lease server (RPC-level "procedure unavailable"): run
+		// ungoverned; the epoch comparison alone decides replays.
+	}
+	return c, epoch, fresh, nil
 }
 
 // Stats returns the underlying client's transfer counters. Counters
@@ -314,9 +388,25 @@ func (s *Session) Close() error {
 	}
 	s.closed = true
 	if s.c != nil {
+		// Release the lease eagerly so the server reclaims now instead
+		// of waiting out the TTL. Best effort: on a dead transport or a
+		// pre-lease server the sweeper (or connection end) catches it.
+		_ = s.c.Detach()
 		return s.c.Close()
 	}
 	return nil
+}
+
+// Renew sends an explicit lease heartbeat (SRV_RENEW), keeping the
+// session's server-side resources alive across idle stretches longer
+// than the lease TTL. Ordinary calls renew implicitly.
+func (s *Session) Renew() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.flushBatchLocked(); err != nil {
+		return err
+	}
+	return s.do(func(c *Client) error { return c.Renew() })
 }
 
 // backoff returns the jittered delay before reconnect attempt i
@@ -341,17 +431,25 @@ func (s *Session) recover() error {
 	var lastErr error
 	for i := 0; i < s.opts.MaxAttempts; i++ {
 		if i > 0 || lastErr != nil {
-			s.opts.Sleep(s.backoff(i))
+			d := s.backoff(i)
+			// A server that shed us sent how long to stay away; honor
+			// the longer of its hint and our own backoff.
+			if s.hint > d {
+				d = s.hint
+			}
+			s.hint = 0
+			s.opts.Sleep(d)
 		}
-		c, epoch, err := s.dialOnce()
+		c, epoch, fresh, err := s.dialOnce()
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		replayed := false
-		if epoch == 0 || s.epoch == 0 || epoch != s.epoch {
-			// Restarted (or unidentifiable) server: all our server-side
-			// state is gone. Rebuild it.
+		if fresh || epoch == 0 || s.epoch == 0 || epoch != s.epoch {
+			// Restarted (or unidentifiable) server, or a fresh lease
+			// after ours expired: all our server-side state is gone.
+			// Rebuild it.
 			if err := s.replay(c); err != nil {
 				c.Close()
 				lastErr = err
@@ -375,7 +473,9 @@ func (s *Session) recover() error {
 	if lastErr == nil {
 		lastErr = errors.New("no attempts made")
 	}
-	return fmt.Errorf("%w after %d attempts: %v", ErrGiveUp, s.opts.MaxAttempts, lastErr)
+	// Both errors join the chain: callers match ErrGiveUp to detect
+	// exhaustion and errors.As the cause (e.g. ErrorServerOverloaded).
+	return fmt.Errorf("%w after %d attempts: %w", ErrGiveUp, s.opts.MaxAttempts, lastErr)
 }
 
 // replay rebuilds the session's server-side state on a fresh server
@@ -482,6 +582,7 @@ func (s *Session) do(op func(c *Client) error) error {
 	if s.closed {
 		return ErrSessionClosed
 	}
+	shed := 0
 	for {
 		if s.c == nil {
 			if err := s.recover(); err != nil {
@@ -489,6 +590,25 @@ func (s *Session) do(op func(c *Client) error) error {
 			}
 		}
 		err := op(s.c)
+		if isOverload(err) {
+			// The server shed this call under admission control.
+			// Governance degrades to queueing, not failure: back off on
+			// the server's hint (or our own jitter) and retry, up to
+			// the session's attempt budget.
+			shed++
+			s.statmu.Lock()
+			s.sstats.Overloads++
+			s.statmu.Unlock()
+			if shed >= s.opts.MaxAttempts {
+				return err
+			}
+			d := s.c.TakeRetryHint()
+			if d <= 0 {
+				d = s.backoff(shed - 1)
+			}
+			s.opts.Sleep(d)
+			continue
+		}
 		if !oncrpc.IsTransportError(err) {
 			return err
 		}
@@ -571,6 +691,23 @@ func (s *Session) flushBatchLocked() error {
 		sts, err := c.BatchExec(entries)
 		if err != nil {
 			return err
+		}
+		if len(sts) > 0 {
+			// A governed server sheds a batch all-or-nothing: every
+			// status is the overload code and nothing executed. Surface
+			// that to do() as a retryable overload instead of deferring
+			// per-entry errors — the retried batch re-translates and
+			// runs intact.
+			allShed := true
+			for _, st := range sts {
+				if st != overloadCode {
+					allShed = false
+					break
+				}
+			}
+			if allShed {
+				return cuda.ErrorServerOverloaded
+			}
 		}
 		if s.batchDeferred == nil {
 			for _, st := range sts {

@@ -38,6 +38,12 @@ const (
 	ErrorNoDevice              Error = 100
 	ErrorNotSupported          Error = 801
 	ErrorUnknown               Error = 999
+
+	// ErrorServerOverloaded is a Cricket extension (outside CUDA's
+	// assigned code space): the remote server shed the call under
+	// admission control. The call did not execute; retrying after the
+	// server's RetryAfter hint is expected to succeed.
+	ErrorServerOverloaded Error = 1000
 )
 
 // Error implements the error interface with cudaGetErrorString-style
@@ -83,6 +89,8 @@ func (e Error) Name() string {
 		return "cudaErrorNoDevice"
 	case ErrorNotSupported:
 		return "cudaErrorNotSupported"
+	case ErrorServerOverloaded:
+		return "cudaErrorServerOverloaded"
 	}
 	return "cudaErrorUnknown"
 }

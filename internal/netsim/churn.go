@@ -1,0 +1,96 @@
+package netsim
+
+import (
+	"io"
+	"math/rand"
+	"time"
+)
+
+// This file builds the churn driver used by the chaos/soak harness: a
+// deterministic plan of connection-level misbehavior for many
+// concurrent sessions. One master seed fans out into an independent
+// sub-seed per (session, attempt) pair, so every connection a session
+// opens — including the redials its recovery layer makes after earlier
+// faults — draws its own reproducible fault schedule. Two runs with
+// the same seed kill, partition, and stall exactly the same bytes on
+// exactly the same connections.
+
+// A Churn is a deterministic churn plan. The zero value is unusable;
+// construct with NewChurn and adjust the knobs before handing it to
+// concurrent users (the plan itself is stateless and safe to share).
+type Churn struct {
+	// Seed is the master seed every per-connection schedule derives
+	// from.
+	Seed int64
+	// SurviveProb is the probability a given connection gets no faults
+	// at all and lives until the peer closes it.
+	SurviveProb float64
+	// MeanBytes is the average number of bytes a faulty connection
+	// moves between faults.
+	MeanBytes int64
+	// MaxStall bounds the pause injected by stall faults.
+	MaxStall time.Duration
+}
+
+// NewChurn returns a churn plan with moderate defaults: three in four
+// connections suffer faults, spaced ~16 KiB apart.
+func NewChurn(seed int64) *Churn {
+	return &Churn{
+		Seed:        seed,
+		SurviveProb: 0.25,
+		MeanBytes:   16 << 10,
+		MaxStall:    2 * time.Millisecond,
+	}
+}
+
+// connSeed mixes the master seed with the (session, attempt) identity
+// into an independent sub-seed, using splitmix64-style finalization so
+// neighboring identities land far apart in the generator's state
+// space.
+func (c *Churn) connSeed(session, attempt int) int64 {
+	h := uint64(c.Seed)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	h ^= uint64(session+1) * 0xBF58476D1CE4E5B9
+	h *= 0x94D049BB133111EB
+	h ^= uint64(attempt+1) * 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	h *= 0xC4CEB9FE1A85EC53
+	h ^= h >> 29
+	return int64(h & (1<<63 - 1))
+}
+
+// Faults returns the fault schedule for the attempt-th connection of
+// one session. The same (session, attempt) always yields the same
+// schedule; a nil result means the connection survives.
+func (c *Churn) Faults(session, attempt int) []Fault {
+	rng := rand.New(rand.NewSource(c.connSeed(session, attempt)))
+	if rng.Float64() < c.SurviveProb {
+		return nil
+	}
+	// Mix the failure modes: half the faulty connections die mid-stream
+	// (a killed guest), three in ten are reset (a partition dropping
+	// the path), the rest wedge for a bounded stall (congestion).
+	kind := FaultDrop
+	var stall time.Duration
+	switch roll := rng.Float64(); {
+	case roll < 0.5:
+		kind = FaultDrop
+	case roll < 0.8:
+		kind = FaultClose
+	default:
+		kind = FaultStall
+		if c.MaxStall > 0 {
+			stall = time.Duration(1 + rng.Int63n(int64(c.MaxStall)))
+		}
+	}
+	mean := c.MeanBytes
+	if mean < 1 {
+		mean = 1
+	}
+	return Schedule(rng.Int63(), 1+rng.Intn(2), mean, kind, stall)
+}
+
+// Wrap injects the (session, attempt) schedule into a freshly dialed
+// transport.
+func (c *Churn) Wrap(session, attempt int, inner io.ReadWriteCloser) *FaultConn {
+	return NewFaultConn(inner, c.Faults(session, attempt)...)
+}

@@ -1,0 +1,102 @@
+package netsim
+
+import (
+	"testing"
+)
+
+func schedulesEqual(a, b []Fault) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	a, b := NewChurn(42), NewChurn(42)
+	for sess := 0; sess < 8; sess++ {
+		for att := 0; att < 8; att++ {
+			if !schedulesEqual(a.Faults(sess, att), b.Faults(sess, att)) {
+				t.Fatalf("session %d attempt %d: same seed produced different schedules", sess, att)
+			}
+		}
+	}
+}
+
+func TestChurnIndependentPerConnection(t *testing.T) {
+	c := NewChurn(7)
+	c.SurviveProb = 0 // every connection faulty, so schedules are comparable
+	base := c.Faults(0, 0)
+	distinct := 0
+	for sess := 0; sess < 4; sess++ {
+		for att := 0; att < 4; att++ {
+			if sess == 0 && att == 0 {
+				continue
+			}
+			if !schedulesEqual(base, c.Faults(sess, att)) {
+				distinct++
+			}
+		}
+	}
+	if distinct < 14 {
+		t.Fatalf("only %d/15 sibling connections drew distinct schedules", distinct)
+	}
+}
+
+func TestChurnSeedChangesPlan(t *testing.T) {
+	a, b := NewChurn(1), NewChurn(2)
+	a.SurviveProb, b.SurviveProb = 0, 0
+	same := 0
+	for sess := 0; sess < 8; sess++ {
+		if schedulesEqual(a.Faults(sess, 0), b.Faults(sess, 0)) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Fatal("different master seeds produced identical plans")
+	}
+}
+
+func TestChurnSurvivorsAndMix(t *testing.T) {
+	c := NewChurn(3)
+	var survived, drops, closes, stalls int
+	for sess := 0; sess < 64; sess++ {
+		fs := c.Faults(sess, 0)
+		if fs == nil {
+			survived++
+			continue
+		}
+		switch fs[0].Kind {
+		case FaultDrop:
+			drops++
+		case FaultClose:
+			closes++
+		case FaultStall:
+			stalls++
+			if fs[0].Stall <= 0 || fs[0].Stall > c.MaxStall {
+				t.Fatalf("stall %v outside (0, %v]", fs[0].Stall, c.MaxStall)
+			}
+		}
+	}
+	if survived == 0 || drops == 0 || closes == 0 || stalls == 0 {
+		t.Fatalf("plan lacks variety: %d survivors, %d drops, %d closes, %d stalls",
+			survived, drops, closes, stalls)
+	}
+}
+
+func TestChurnMaxStallZero(t *testing.T) {
+	c := NewChurn(5)
+	c.SurviveProb = 0
+	c.MaxStall = 0
+	for sess := 0; sess < 32; sess++ {
+		for _, f := range c.Faults(sess, 0) {
+			if f.Kind == FaultStall && f.Stall != 0 {
+				t.Fatalf("MaxStall=0 produced stall %v", f.Stall)
+			}
+		}
+	}
+}

@@ -59,6 +59,10 @@ type Client struct {
 
 	trace atomic.Pointer[ClientTrace]
 
+	// retryHint holds the most recent AUTH_RETRY reply-verifier hint in
+	// nanoseconds (see RetryAfterHint); TakeRetryHint consumes it.
+	retryHint atomic.Int64
+
 	wmu sync.Mutex // serializes record writes
 	rw  *RecordWriter
 	wb  bytes.Buffer // call assembly buffer, guarded by wmu
@@ -252,7 +256,7 @@ func (c *Client) CallContext(ctx context.Context, proc uint32, args xdr.Marshale
 		if tr != nil {
 			tw = time.Now()
 		}
-		err := decodeReply(rec, xid, reply)
+		err := c.decodeReply(rec, xid, reply)
 		if tr != nil && tr.End != nil {
 			wire := tw.Sub(t0) - encDur
 			if wire < 0 {
@@ -348,25 +352,50 @@ func (c *Client) send(xid, proc uint32, args xdr.Marshaler, tid uint64, traced b
 	return encDur, nil
 }
 
-func decodeReply(rec []byte, xid uint32, reply xdr.Unmarshaler) error {
+func (c *Client) decodeReply(rec []byte, xid uint32, reply xdr.Unmarshaler) error {
+	verf, err := decodeReplyVerf(rec, xid, reply)
+	if hint, ok := RetryAfterHint(verf); ok {
+		c.retryHint.Store(int64(hint))
+	}
+	return err
+}
+
+// decodeReplyVerf decodes one reply record, returning the reply
+// verifier alongside any error so callers can inspect backpressure
+// hints even on in-band failures.
+func decodeReplyVerf(rec []byte, xid uint32, reply xdr.Unmarshaler) (OpaqueAuth, error) {
 	r := bytes.NewReader(rec)
 	d := xdr.NewDecoder(r)
 	var hdr ReplyHeader
 	if err := hdr.UnmarshalXDR(d); err != nil {
-		return err
+		return OpaqueAuth{}, err
 	}
 	if hdr.XID != xid {
-		return &XIDMismatchError{Got: hdr.XID, Want: xid}
+		return hdr.Verf, &XIDMismatchError{Got: hdr.XID, Want: xid}
 	}
 	if err := hdr.Err(); err != nil {
-		return err
+		return hdr.Verf, err
 	}
 	if reply != nil {
 		if err := d.Unmarshal(reply); err != nil {
-			return err
+			return hdr.Verf, err
 		}
 	}
-	return nil
+	return hdr.Verf, nil
+}
+
+func decodeReply(rec []byte, xid uint32, reply xdr.Unmarshaler) error {
+	_, err := decodeReplyVerf(rec, xid, reply)
+	return err
+}
+
+// TakeRetryHint consumes and returns the most recent AUTH_RETRY
+// backpressure hint received in a reply verifier (zero when no hint
+// arrived since the last take). An overloaded server pairs an in-band
+// "try later" error with this hint; callers that retry should sleep at
+// least this long first.
+func (c *Client) TakeRetryHint() time.Duration {
+	return time.Duration(c.retryHint.Swap(0))
 }
 
 // Close shuts the client down, failing any in-flight calls.

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"cricket/internal/xdr"
 )
@@ -34,6 +35,13 @@ const (
 	// the IANA-assigned mechanisms; servers that do not understand the
 	// flavor treat the credential as opaque AUTH_NONE-equivalent.
 	AuthTrace AuthFlavor = 0x43525458 // "CRTX"
+	// AuthRetry is a private-use flavor carried in a *reply verifier*:
+	// an 8-byte big-endian retry-after hint in nanoseconds. An
+	// overloaded server attaches it to load-shedding replies so a
+	// backoff-capable client can requeue instead of hammering; clients
+	// that do not understand the flavor ignore the verifier, as RFC
+	// 5531 permits.
+	AuthRetry AuthFlavor = 0x43525241 // "CRRA"
 )
 
 // maxAuthBody is the RFC 5531 bound on opaque auth bodies.
@@ -151,6 +159,27 @@ func TraceID(a OpaqueAuth) uint64 {
 		return 0
 	}
 	return binary.BigEndian.Uint64(a.Body)
+}
+
+// NewRetryAuth builds an AUTH_RETRY reply verifier carrying a
+// retry-after hint. Non-positive hints are clamped to zero.
+func NewRetryAuth(d time.Duration) OpaqueAuth {
+	if d < 0 {
+		d = 0
+	}
+	body := make([]byte, 8)
+	binary.BigEndian.PutUint64(body, uint64(d))
+	return OpaqueAuth{Flavor: AuthRetry, Body: body}
+}
+
+// RetryAfterHint extracts the retry-after hint from an AUTH_RETRY
+// verifier. It returns (0, false) for any other flavor or a malformed
+// body, so callers can distinguish "no hint" from a zero hint.
+func RetryAfterHint(a OpaqueAuth) (time.Duration, bool) {
+	if a.Flavor != AuthRetry || len(a.Body) != 8 {
+		return 0, false
+	}
+	return time.Duration(binary.BigEndian.Uint64(a.Body)), true
 }
 
 // SysCred is the AUTH_SYS credential body (RFC 5531 appendix A).

@@ -2,6 +2,7 @@ package oncrpc
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -22,7 +23,7 @@ var (
 	ErrProcUnavail = errors.New("oncrpc: procedure unavailable")
 	// ErrGarbageArgs reports arguments that failed to decode.
 	ErrGarbageArgs = errors.New("oncrpc: garbage arguments")
-	// ErrServerClosed is returned by Serve after Close.
+	// ErrServerClosed is returned by Serve after Close or Shutdown.
 	ErrServerClosed = errors.New("oncrpc: server closed")
 )
 
@@ -41,19 +42,42 @@ func (f DispatcherFunc) Dispatch(proc uint32, dec *xdr.Decoder, enc *xdr.Encoder
 	return f(proc, dec, enc)
 }
 
+// ConnEnder is an optional interface for per-connection dispatchers
+// (see RegisterConn): ConnEnd is called exactly once when the
+// connection the dispatcher was minted for stops being served, however
+// it ended — peer close, transport failure, Close, or drain. Servers
+// use it to release per-client state (leases, scheduler slots).
+type ConnEnder interface {
+	ConnEnd()
+}
+
+// ReplyVerfer is an optional interface for dispatchers: after each
+// dispatched call the server asks for a verifier to stamp on the
+// reply. Returning the zero OpaqueAuth (AUTH_NONE, empty body) keeps
+// the default verifier; an overloaded server returns an AUTH_RETRY
+// hint (see NewRetryAuth). Calls arrive from the connection's serving
+// goroutine, never concurrently for one dispatcher instance.
+type ReplyVerfer interface {
+	ReplyVerf() OpaqueAuth
+}
+
 type progVers struct{ prog, vers uint32 }
 
 // A Server serves ONC RPC programs over stream transports. Programs
-// are registered with Register before serving; each accepted
+// are registered with Register (one shared dispatcher) or RegisterConn
+// (a dispatcher instance per connection) before serving; each accepted
 // connection is handled on its own goroutine with calls processed in
 // order (replies on one connection are never reordered).
 type Server struct {
 	mu        sync.Mutex
+	cond      *sync.Cond // broadcast when a connection is removed
 	progs     map[progVers]Dispatcher
+	connProgs map[progVers]func() Dispatcher
 	versRange map[uint32]MismatchInfo
 	listeners map[net.Listener]struct{}
-	conns     map[net.Conn]struct{}
+	conns     map[*servedConn]struct{}
 	closed    bool
+	draining  bool
 
 	trace atomic.Pointer[ServerTrace]
 
@@ -64,29 +88,77 @@ type Server struct {
 	MaxRecordSize int
 }
 
-// NewServer returns an empty Server.
-func NewServer() *Server {
-	return &Server{
-		progs:     make(map[progVers]Dispatcher),
-		versRange: make(map[uint32]MismatchInfo),
-		listeners: make(map[net.Listener]struct{}),
-		conns:     make(map[net.Conn]struct{}),
+// servedConn is the per-connection state the server tracks for every
+// transport it is serving, whether accepted by Serve or handed to
+// ServeConn directly: the transport itself (closed on Close, and on
+// Shutdown when idle) and whether a call is currently in flight on it
+// (busy connections drain gracefully).
+type servedConn struct {
+	rwc  io.ReadWriter
+	busy bool // processing a record, reply not yet written (under Server.mu)
+}
+
+// closeTransport closes the underlying transport when it is closable.
+// Transports that are not io.Closers (plain in-memory ReadWriters)
+// cannot be interrupted; their ServeConn returns when the stream ends.
+func (cs *servedConn) closeTransport() {
+	if c, ok := cs.rwc.(io.Closer); ok {
+		c.Close()
 	}
 }
 
-// Register makes d the handler for (prog, vers). Registering the same
-// pair twice panics, as does a nil dispatcher.
+// NewServer returns an empty Server.
+func NewServer() *Server {
+	s := &Server{
+		progs:     make(map[progVers]Dispatcher),
+		connProgs: make(map[progVers]func() Dispatcher),
+		versRange: make(map[uint32]MismatchInfo),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[*servedConn]struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Register makes d the handler for (prog, vers), shared across every
+// connection. Registering the same pair twice panics, as does a nil
+// dispatcher.
 func (s *Server) Register(prog, vers uint32, d Dispatcher) {
 	if d == nil {
 		panic("oncrpc: Register with nil dispatcher")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.registerLocked(prog, vers)
+	s.progs[progVers{prog, vers}] = d
+}
+
+// RegisterConn makes f the dispatcher factory for (prog, vers): every
+// connection gets its own Dispatcher instance, minted lazily at the
+// connection's first call for the program. A per-connection dispatcher
+// may implement ConnEnder to learn when its connection ends and
+// ReplyVerfer to stamp reply verifiers (backpressure hints). The same
+// duplicate-registration rules as Register apply.
+func (s *Server) RegisterConn(prog, vers uint32, f func() Dispatcher) {
+	if f == nil {
+		panic("oncrpc: RegisterConn with nil factory")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.registerLocked(prog, vers)
+	s.connProgs[progVers{prog, vers}] = f
+}
+
+// registerLocked records the version range and rejects duplicates
+// across both registration styles. Called with s.mu held.
+func (s *Server) registerLocked(prog, vers uint32) {
 	key := progVers{prog, vers}
 	if _, dup := s.progs[key]; dup {
 		panic(fmt.Sprintf("oncrpc: duplicate registration for prog %d vers %d", prog, vers))
 	}
-	s.progs[key] = d
+	if _, dup := s.connProgs[key]; dup {
+		panic(fmt.Sprintf("oncrpc: duplicate registration for prog %d vers %d", prog, vers))
+	}
 	r, ok := s.versRange[prog]
 	if !ok {
 		r = MismatchInfo{Low: vers, High: vers}
@@ -113,11 +185,11 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// Serve accepts connections from l until Close is called or the
-// listener fails.
+// Serve accepts connections from l until Close or Shutdown is called
+// or the listener fails.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
 		return ErrServerClosed
 	}
@@ -132,29 +204,22 @@ func (s *Server) Serve(l net.Listener) error {
 		conn, err := l.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			stopped := s.closed || s.draining
 			s.mu.Unlock()
-			if closed {
+			if stopped {
 				return ErrServerClosed
 			}
 			return err
 		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return ErrServerClosed
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
 		go func() {
-			defer func() {
-				conn.Close()
-				s.mu.Lock()
-				delete(s.conns, conn)
-				s.mu.Unlock()
-			}()
-			if err := s.ServeConn(conn); err != nil && err != io.EOF {
+			// ServeConn registers the connection (or rejects it when the
+			// server stopped between Accept and here — registration and
+			// Close are serialized on s.mu, so the connection is either
+			// tracked and closed by Close, or refused and closed below;
+			// no window leaks it).
+			defer conn.Close()
+			err := s.ServeConn(conn)
+			if err != nil && err != io.EOF && err != ErrServerClosed {
 				s.logf("oncrpc: connection %v: %v", conn.RemoteAddr(), err)
 			}
 		}()
@@ -172,40 +237,109 @@ func (s *Server) ListenAndServe(addr string) error {
 
 // ServeConn serves RPC calls on a single already-established transport
 // until it is closed. It returns io.EOF on orderly shutdown by the
-// peer.
+// peer and ErrServerClosed when Close or Shutdown ended the
+// connection. The connection is tracked for the server's lifetime:
+// Close closes it (when the transport is an io.Closer) and Shutdown
+// lets its in-flight call finish first.
 func (s *Server) ServeConn(conn io.ReadWriter) error {
+	cs, err := s.addConn(conn)
+	if err != nil {
+		return err
+	}
+	defer s.removeConn(cs)
 	rr := NewRecordReader(conn)
 	if s.MaxRecordSize > 0 {
 		rr.SetMaxRecordSize(s.MaxRecordSize)
 	}
 	rw := NewRecordWriter(conn)
 	sc := newConnScratch()
+	defer sc.connEnd()
 	var reply bytes.Buffer
 	for {
 		rec, err := rr.ReadRecord()
 		if err != nil {
+			if s.stopped() {
+				return ErrServerClosed
+			}
 			return err
 		}
+		s.setBusy(cs, true)
 		reply.Reset()
-		if err := s.handleRecord(rec, &reply, sc); err != nil {
+		err = s.handleRecord(rec, &reply, sc)
+		if err == nil {
+			err = rw.WriteRecord(reply.Bytes())
+		}
+		s.setBusy(cs, false)
+		if err != nil {
+			if s.stopped() {
+				return ErrServerClosed
+			}
 			return err
 		}
-		if err := rw.WriteRecord(reply.Bytes()); err != nil {
-			return err
+		// A draining server finishes the in-flight call (the record was
+		// fully processed and its reply written above), then stops
+		// reading: the client sees a complete reply followed by EOF,
+		// never a mid-record reset.
+		if s.stopped() {
+			return ErrServerClosed
 		}
 	}
+}
+
+// addConn registers a transport, atomically with respect to Close and
+// Shutdown: a stopped server refuses the connection instead of letting
+// it escape both close paths.
+func (s *Server) addConn(rwc io.ReadWriter) (*servedConn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.draining {
+		return nil, ErrServerClosed
+	}
+	cs := &servedConn{rwc: rwc}
+	s.conns[cs] = struct{}{}
+	return cs, nil
+}
+
+func (s *Server) removeConn(cs *servedConn) {
+	s.mu.Lock()
+	delete(s.conns, cs)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+func (s *Server) setBusy(cs *servedConn, busy bool) {
+	s.mu.Lock()
+	cs.busy = busy
+	s.mu.Unlock()
+}
+
+// stopped reports whether Close or Shutdown has been called.
+func (s *Server) stopped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed || s.draining
+}
+
+// NumConns reports how many connections are currently being served.
+func (s *Server) NumConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
 }
 
 // connScratch holds one connection's decode/encode state, recycled
 // across records: replies on a connection are strictly sequential, so
 // a single reader, decoder, encoder, and results buffer serve every
 // call. This keeps per-record dispatch overhead out of steady-state
-// allocation (batched hot paths issue many records).
+// allocation (batched hot paths issue many records). It also holds the
+// connection's per-connection dispatcher instances (RegisterConn),
+// minted lazily and told when the connection ends.
 type connScratch struct {
 	rd      bytes.Reader
 	dec     *xdr.Decoder
 	enc     *xdr.Encoder
 	results bytes.Buffer
+	perConn map[progVers]Dispatcher
 }
 
 func newConnScratch() *connScratch {
@@ -215,12 +349,44 @@ func newConnScratch() *connScratch {
 	return sc
 }
 
+// connEnd notifies every per-connection dispatcher that its connection
+// is gone.
+func (sc *connScratch) connEnd() {
+	for _, d := range sc.perConn {
+		if ce, ok := d.(ConnEnder); ok {
+			ce.ConnEnd()
+		}
+	}
+}
+
 // encTo retargets the recycled encoder. The previous target must be
 // finished: the encoder holds no buffered state, only the destination
 // writer and running counters.
 func (sc *connScratch) encTo(w io.Writer) *xdr.Encoder {
 	sc.enc.Reset(w)
 	return sc.enc
+}
+
+// dispatcherFor resolves the dispatcher serving (prog, vers) on this
+// connection: an already-minted per-connection instance, a fresh one
+// from the factory, or the shared dispatcher.
+func (s *Server) dispatcherFor(sc *connScratch, key progVers) (Dispatcher, bool) {
+	if d, ok := sc.perConn[key]; ok {
+		return d, true
+	}
+	s.mu.Lock()
+	f, isConn := s.connProgs[key]
+	d, ok := s.progs[key]
+	s.mu.Unlock()
+	if isConn {
+		nd := f()
+		if sc.perConn == nil {
+			sc.perConn = make(map[progVers]Dispatcher, 1)
+		}
+		sc.perConn[key] = nd
+		return nd, true
+	}
+	return d, ok
 }
 
 // handleRecord processes one call record and writes the complete reply
@@ -244,8 +410,8 @@ func (s *Server) handleRecord(rec []byte, out *bytes.Buffer, sc *connScratch) er
 		return nil
 	}
 
+	disp, ok := s.dispatcherFor(sc, progVers{call.Prog, call.Vers})
 	s.mu.Lock()
-	disp, ok := s.progs[progVers{call.Prog, call.Vers}]
 	rng, progKnown := s.versRange[call.Prog]
 	s.mu.Unlock()
 
@@ -287,6 +453,9 @@ func (s *Server) handleRecord(rec []byte, out *bytes.Buffer, sc *connScratch) er
 		s.logf("oncrpc: prog %d vers %d proc %d: %v", call.Prog, call.Vers, call.Proc, err)
 		hdr.AccStat = SystemErr
 	}
+	if rv, ok := disp.(ReplyVerfer); ok {
+		hdr.Verf = rv.ReplyVerf()
+	}
 	if tr != nil && tr.Done != nil {
 		tr.Done(call.Proc, TraceID(call.Cred), time.Since(t0), hdr.AccStat)
 	}
@@ -313,19 +482,69 @@ func isDecodeError(err error) bool {
 		errors.Is(err, io.EOF) // argument stream exhausted mid-decode
 }
 
-// Close stops all listeners and closes active connections.
+// Close stops all listeners and closes active connections, cutting
+// in-flight calls mid-record. Use Shutdown to drain gracefully.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
 	for l := range s.listeners {
 		l.Close()
 	}
-	for c := range s.conns {
-		c.Close()
+	for cs := range s.conns {
+		cs.closeTransport()
 	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
 	return nil
+}
+
+// Shutdown drains the server gracefully: it stops the listeners,
+// closes idle connections, and lets each connection with a call in
+// flight finish processing that call and write its reply before the
+// connection ends — a client never sees a mid-record reset. Shutdown
+// returns once every connection has drained, or ctx.Err() after
+// hard-closing the stragglers when ctx expires first. After Shutdown
+// the server is closed: Serve returns ErrServerClosed and new
+// connections are refused.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for cs := range s.conns {
+		// Idle connections are blocked reading the next record; close
+		// them now. Busy connections finish their call first — their
+		// serving loop observes the drain after writing the reply.
+		if !cs.busy {
+			cs.closeTransport()
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		for len(s.conns) > 0 && !s.closed {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return s.Close()
+	case <-ctx.Done():
+		s.Close() // deadline passed: hard-close the stragglers
+		<-done
+		return ctx.Err()
+	}
 }

@@ -735,9 +735,32 @@ func (g *generator) emitVersion(prog *ProgramDef, v *VersionDef) error {
 	}
 	g.pf("}\n\n")
 
-	g.pf("// Register%s registers h with an RPC server.\n", versName)
+	dispName := "dispatcher" + versName
+	g.pf("// %s adapts a %s to oncrpc.Dispatcher. When the handler\n", dispName, handlerName)
+	g.pf("// additionally implements oncrpc.ConnEnder or oncrpc.ReplyVerfer,\n")
+	g.pf("// those calls are forwarded to it (per-connection handlers use\n")
+	g.pf("// them for teardown and backpressure hints).\n")
+	g.pf("type %s struct{ h %s }\n\n", dispName, handlerName)
+	g.pf("// New%sDispatcher wraps h as an oncrpc.Dispatcher.\n", versName)
+	g.pf("func New%sDispatcher(h %s) oncrpc.Dispatcher { return %s{h} }\n\n", versName, handlerName, dispName)
+	g.pf("// ConnEnd forwards connection teardown to the handler when it\n// cares (oncrpc.ConnEnder).\n")
+	g.pf("func (dp %s) ConnEnd() {\n", dispName)
+	g.pf("if ce, ok := dp.h.(oncrpc.ConnEnder); ok { ce.ConnEnd() }\n}\n\n")
+	g.pf("// ReplyVerf forwards reply-verifier stamping to the handler when\n// it implements oncrpc.ReplyVerfer.\n")
+	g.pf("func (dp %s) ReplyVerf() oncrpc.OpaqueAuth {\n", dispName)
+	g.pf("if rv, ok := dp.h.(oncrpc.ReplyVerfer); ok { return rv.ReplyVerf() }\n")
+	g.pf("return oncrpc.OpaqueAuth{}\n}\n\n")
+	g.pf("// Register%s registers h with an RPC server, shared by every\n// connection.\n", versName)
 	g.pf("func Register%s(srv *oncrpc.Server, h %s) {\n", versName, handlerName)
-	g.pf("srv.Register(%s, %s, oncrpc.DispatcherFunc(func(proc uint32, d *xdr.Decoder, e *xdr.Encoder) error {\n", goName(prog.Name), versName)
+	g.pf("srv.Register(%s, %s, %s{h})\n}\n\n", goName(prog.Name), versName, dispName)
+	g.pf("// Register%sConn registers a per-connection handler factory: each\n", versName)
+	g.pf("// connection gets its own handler from f, whose ConnEnd (if\n")
+	g.pf("// implemented) runs when that connection ends.\n")
+	g.pf("func Register%sConn(srv *oncrpc.Server, f func() %s) {\n", versName, handlerName)
+	g.pf("srv.RegisterConn(%s, %s, func() oncrpc.Dispatcher { return %s{f()} })\n}\n\n", goName(prog.Name), versName, dispName)
+	g.pf("// Dispatch executes one procedure (oncrpc.Dispatcher).\n")
+	g.pf("func (dp %s) Dispatch(proc uint32, d *xdr.Decoder, e *xdr.Encoder) error {\n", dispName)
+	g.pf("h := dp.h\n")
 	g.pf("switch proc {\n")
 	for _, p := range v.Procs {
 		mName := goName(p.Name)
@@ -763,7 +786,7 @@ func (g *generator) emitVersion(prog *ProgramDef, v *VersionDef) error {
 			g.pf("return nil\n")
 		}
 	}
-	g.pf("default:\nreturn oncrpc.ErrProcUnavail\n}\n}))\n}\n\n")
+	g.pf("default:\nreturn oncrpc.ErrProcUnavail\n}\n}\n\n")
 	return nil
 }
 
