@@ -16,17 +16,21 @@ race:
 
 # ci is the gate: everything builds, vets clean, the full test suite
 # passes under the race detector, the batching smoke criterion
-# (Hermit batch>=32 at least 2x unbatched launch rate) holds, and a
+# (Hermit batch>=32 at least 2x unbatched launch rate) holds, a
 # seeded churn storm against a governed server upholds the resource
 # invariants (no leaked device bytes, no scheduler ghosts, surviving
-# digests bit-identical).
+# digests bit-identical), and a fleet storm that kills 1 of 3 members
+# mid-workload loses no session, keeps digests bit-identical to a
+# single-server run, and stays under 5% routed-vs-direct overhead.
 ci: build vet race
 	$(GO) run ./cmd/benchharness -ablation-batch -smoke
 	$(GO) run ./cmd/benchharness -churn-smoke -ci
+	$(GO) run ./cmd/benchharness -fleet-smoke -ci
 
 bench:
 	$(GO) run ./cmd/benchharness -all -ci
 	$(GO) run ./cmd/benchharness -ablation-batch -ci -batch-json BENCH_batch.json
+	$(GO) run ./cmd/benchharness -fleet-smoke -ci -fleet-json BENCH_fleet.json
 
 generate:
 	$(GO) run ./cmd/rpcgen -pkg cricket -o internal/cricket/gen_cricket.go internal/cricket/cricket.x

@@ -41,6 +41,9 @@ func main() {
 	recovery := flag.Bool("recovery", false, "session recovery latency vs replayed state")
 	churnSmoke := flag.Bool("churn-smoke", false, "seeded churn/soak storm against a governed server; exit 1 on any invariant violation")
 	churnSeed := flag.Int64("churn-seed", 1, "with -churn-smoke: master seed for the churn plan")
+	fleetSmoke := flag.Bool("fleet-smoke", false, "fleet chaos storm: kill 1 of 3 members mid-workload; exit 1 on lost sessions, digest drift, or >=5% routed overhead")
+	fleetSeed := flag.Int64("fleet-seed", 1, "with -fleet-smoke: master seed for the storm")
+	fleetJSON := flag.String("fleet-json", "", "with -fleet-smoke: also write the FleetResult as JSON to this file")
 	ablBatch := flag.Bool("ablation-batch", false, "BATCH_EXEC ablation: kernel-launch rate by batch size")
 	smoke := flag.Bool("smoke", false, "with -ablation-batch: tiny sweep, assert Hermit batch>=32 beats unbatched 2x")
 	batchJSON := flag.String("batch-json", "", "with -ablation-batch: also write points as JSON to this file")
@@ -234,6 +237,43 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("churn-smoke ok: zero leaked bytes, zero scheduler ghosts, surviving digests bit-identical")
+	})
+	section(*fleetSmoke, func() {
+		sessions, fleetCalls := 12, 128
+		if *ci {
+			sessions, fleetCalls = 6, 48
+		}
+		start := time.Now()
+		r, err := bench.Fleet(sessions, fleetCalls, *fleetSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchharness: fleet-smoke: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Fleet storm: %d sessions x %d launches across %d members, seed %d\n",
+			r.Sessions, r.Calls, r.Members, *fleetSeed)
+		fmt.Printf("  killed=%s survivors=%d failed=%d failovers=%d reconnects=%d replays=%d\n",
+			r.Killed, r.Survivors, r.Failed, r.Failovers, r.Reconnects, r.Replays)
+		fmt.Printf("  failover recovery %.2f ms (worst session, wall clock)\n", r.RecoveryMS)
+		fmt.Printf("  routed overhead %.2f%% simulated (%.3f vs %.3f ms), %.2f%% wall clock\n",
+			r.OverheadPct, r.RoutedSimMS, r.DirectSimMS, r.WallOverheadPct)
+		fmt.Printf("  [generated in %v wall time]\n\n", time.Since(start).Round(time.Millisecond))
+		if *fleetJSON != "" {
+			data, err := json.MarshalIndent(r, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*fleetJSON, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchharness: write %s: %v\n", *fleetJSON, err)
+				os.Exit(1)
+			}
+		}
+		if v := r.Violations(); len(v) != 0 {
+			for _, msg := range v {
+				fmt.Fprintf(os.Stderr, "benchharness: fleet-smoke: VIOLATION: %s\n", msg)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("fleet-smoke ok: zero lost sessions, digests bit-identical to single-server, routed overhead <5%")
 	})
 
 	if !ran {

@@ -1,0 +1,188 @@
+// Command cricket-fleet supervises a pool of cricket-server members:
+// it probes their health over the cricket RPC protocol (epoch plus
+// device-memory headroom), maintains the rendezvous-hashed placement
+// view, and serves that view over HTTP so operators and tooling can
+// see where any session key would land and which members are down.
+//
+// The fleet layer itself is a client-side library (internal/fleet):
+// guests embed the pool and route their own sessions. This binary is
+// the operational companion — the standing prober and status endpoint
+// for a deployment, or a one-shot health check for scripts.
+//
+// Usage:
+//
+//	cricket-fleet -members gpu0=host0:9999,gpu1=host1:9999,gpu2=host2:9999
+//	cricket-fleet -members host0:9999,host1:9999 -once
+//	cricket-fleet -members ... -status-addr :9980
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cricket/internal/fleet"
+)
+
+// parseMembers turns "name=addr,name=addr" (or bare "addr,addr") into
+// fleet members dialing TCP. A bare address doubles as its own name.
+func parseMembers(spec string, dialTimeout time.Duration) ([]fleet.Member, error) {
+	var members []fleet.Member
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr := part, part
+		if i := strings.IndexByte(part, '='); i >= 0 {
+			name, addr = part[:i], part[i+1:]
+		}
+		if name == "" || addr == "" {
+			return nil, fmt.Errorf("malformed member %q (want name=addr or addr)", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate member name %q", name)
+		}
+		seen[name] = true
+		members = append(members, fleet.Member{
+			Name: name,
+			Dial: func() (io.ReadWriteCloser, error) {
+				return net.DialTimeout("tcp", addr, dialTimeout)
+			},
+		})
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("no members in %q", spec)
+	}
+	return members, nil
+}
+
+func printStatus(w io.Writer, p *fleet.Pool) int {
+	down := 0
+	fmt.Fprintf(w, "%-12s %-6s %-18s %-10s %-14s %s\n",
+		"MEMBER", "STATE", "EPOCH", "SESSIONS", "FREE-MEM", "PROBES(FAIL)")
+	for _, st := range p.Members() {
+		state := "up"
+		if st.Down {
+			state = "DOWN"
+			down++
+		}
+		free := "?"
+		if st.MemKnown {
+			free = fmt.Sprintf("%d MiB", st.FreeMem>>20)
+		}
+		fmt.Fprintf(w, "%-12s %-6s %-18s %-10d %-14s %d(%d)\n",
+			st.Name, state, fmt.Sprintf("%#x", st.Epoch), st.Sessions, free, st.Probes, st.ProbeFails)
+	}
+	return down
+}
+
+func main() {
+	membersSpec := flag.String("members", "", "comma-separated pool members, name=host:port or host:port")
+	probeInterval := flag.Duration("probe-interval", time.Second, "health-probe period")
+	downAfter := flag.Int("down-after", 3, "consecutive probe/dial failures before a member is marked down")
+	upAfter := flag.Int("up-after", 2, "consecutive probe successes before a down member is marked up")
+	shedCooldown := flag.Duration("shed-cooldown", time.Second, "how long routing passes over a member after it sheds with a retry hint")
+	minHeadroom := flag.Uint64("min-headroom", 0, "device-memory bytes a member must report free to receive new placements (0: no floor)")
+	dialTimeout := flag.Duration("dial-timeout", 5*time.Second, "TCP connect timeout per member")
+	statusAddr := flag.String("status-addr", "", "HTTP listen address for the JSON status endpoint (empty: disabled)")
+	once := flag.Bool("once", false, "run one probe round, print the member table, exit 1 if any member is down")
+	flag.Parse()
+
+	if *membersSpec == "" {
+		fmt.Fprintln(os.Stderr, "cricket-fleet: -members is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	members, err := parseMembers(*membersSpec, *dialTimeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cricket-fleet:", err)
+		os.Exit(2)
+	}
+	pool, err := fleet.New(fleet.Options{
+		ProbeInterval: *probeInterval,
+		DownAfter:     *downAfter,
+		UpAfter:       *upAfter,
+		ShedCooldown:  *shedCooldown,
+		MinHeadroom:   *minHeadroom,
+	}, members...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cricket-fleet:", err)
+		os.Exit(2)
+	}
+
+	if *once {
+		// Enough rounds for the failure hysteresis to resolve, so a
+		// member dead right now is reported down, not merely suspect.
+		for i := 0; i < *downAfter; i++ {
+			pool.ProbeOnce()
+		}
+		if down := printStatus(os.Stdout, pool); down > 0 {
+			fmt.Fprintf(os.Stderr, "cricket-fleet: %d member(s) down\n", down)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *statusAddr != "" {
+		mux := http.NewServeMux()
+		writeJSON := func(w http.ResponseWriter, v any) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(v); err != nil {
+				log.Printf("status: %v", err)
+			}
+		}
+		mux.HandleFunc("/fleet", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, struct {
+				Members []fleet.MemberStatus `json:"members"`
+				Stats   fleet.PoolStats      `json:"stats"`
+			}{pool.Members(), pool.Stats()})
+		})
+		mux.HandleFunc("/place", func(w http.ResponseWriter, r *http.Request) {
+			key := r.URL.Query().Get("key")
+			if key == "" {
+				http.Error(w, "missing ?key=", http.StatusBadRequest)
+				return
+			}
+			placed, _ := pool.Placement(key)
+			writeJSON(w, struct {
+				Key     string   `json:"key"`
+				Ranking []string `json:"ranking"`
+				Placed  string   `json:"placed,omitempty"`
+			}{key, pool.RankFor(key), placed})
+		})
+		sl, err := net.Listen("tcp", *statusAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("status endpoint on http://%s/{fleet,place?key=...}", sl.Addr())
+		go func() {
+			if err := http.Serve(sl, mux); err != nil {
+				log.Printf("status listener: %v", err)
+			}
+		}()
+	}
+
+	stop := pool.StartProber()
+	defer stop()
+	log.Printf("probing %d member(s) every %v (down after %d failures, up after %d successes)",
+		len(members), *probeInterval, *downAfter, *upAfter)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	got := <-sig
+	log.Printf("received %v: stopping prober", got)
+	printStatus(os.Stderr, pool)
+}

@@ -99,6 +99,18 @@ func churnFatbin() []byte {
 // divergence under faults is a correctness loss, not noise. A
 // non-negative abandonAt stops mid-run without any cleanup.
 func churnWorkload(s *cricket.Session, calls, abandonAt int) (uint64, error) {
+	return churnWorkloadImpl(s, calls, abandonAt, nil)
+}
+
+// churnWorkloadHooked runs the same workload with a client-side hook
+// invoked at the top of every launch iteration. The hook performs no
+// session calls, so the operation sequence — and therefore the digest
+// — is identical to churnWorkload's fault-free run.
+func churnWorkloadHooked(s *cricket.Session, calls int, hook func(i int)) (uint64, error) {
+	return churnWorkloadImpl(s, calls, -1, hook)
+}
+
+func churnWorkloadImpl(s *cricket.Session, calls, abandonAt int, hook func(i int)) (uint64, error) {
 	const dim = 32
 	size := uint64(dim * dim * 4)
 	m, err := s.ModuleLoad(churnFatbin())
@@ -132,6 +144,9 @@ func churnWorkload(s *cricket.Session, calls, abandonAt int) (uint64, error) {
 	for i := 0; i < calls; i++ {
 		if i == abandonAt {
 			return 0, nil
+		}
+		if hook != nil {
+			hook(i)
 		}
 		// Inputs are re-uploaded every iteration so the computation is
 		// self-contained: a replay onto a fresh lease (whose buffers

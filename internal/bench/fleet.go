@@ -1,0 +1,439 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"cricket/internal/cricket"
+	"cricket/internal/cuda"
+	"cricket/internal/fleet"
+	"cricket/internal/gpu"
+	"cricket/internal/guest"
+	"cricket/internal/netsim"
+	"cricket/internal/oncrpc"
+)
+
+// This file is the fleet chaos harness plus the routed-vs-direct
+// overhead measurement. The chaos half answers the tentpole's
+// acceptance question directly: kill one of three members while many
+// placed sessions are mid-workload, and verify that zero sessions are
+// lost and every survivor's output digest is bit-identical to a
+// single-server run. The overhead half runs Fig 6-style
+// microbenchmark loops through a pool-routed session and a direct
+// session on identical simulated stacks: placement work happens only
+// at dial time, so the steady-state per-call cost must match — the
+// simulated-time comparison is deterministic and the gate is < 5%.
+
+// FleetResult summarizes one fleet chaos storm and the overhead
+// comparison.
+type FleetResult struct {
+	Members  int    // fleet size
+	Sessions int    // concurrent placed sessions
+	Calls    int    // kernel launches each session attempts
+	Killed   string // member killed mid-storm
+
+	Survivors  int
+	Failed     int    // sessions that exhausted their attempt budget (must be 0)
+	Mismatches int    // survivors whose digest differs from the baseline
+	Digest     uint64 // single-server baseline digest
+
+	Failovers  uint64 // placements moved off the dead member
+	Reconnects uint64 // summed across sessions
+	Replays    uint64
+
+	// RecoveryMS is the worst wall-clock time any session spent in
+	// reconnection across the storm — the failover recovery latency.
+	RecoveryMS float64
+
+	// Routed-vs-direct overhead on Fig 6-style micro loops. The
+	// simulated figures are deterministic; wall-clock is recorded for
+	// context but not gated (in-process pipes make it noisy).
+	DirectSimMS     float64
+	RoutedSimMS     float64
+	OverheadPct     float64 // simulated, gated < 5%
+	DirectWallMS    float64
+	RoutedWallMS    float64
+	WallOverheadPct float64
+
+	// End-state invariants over the surviving members.
+	LeasesLeft int
+}
+
+// Violations lists every breached fleet invariant; empty means the
+// storm upheld all of them.
+func (r FleetResult) Violations() []string {
+	var v []string
+	if r.Survivors != r.Sessions {
+		v = append(v, fmt.Sprintf("lost sessions: %d of %d survived (%d failed)",
+			r.Survivors, r.Sessions, r.Failed))
+	}
+	if r.Mismatches > 0 {
+		v = append(v, fmt.Sprintf("%d surviving digest(s) differ from the single-server run", r.Mismatches))
+	}
+	if r.Failovers == 0 {
+		v = append(v, "killing a member caused no failovers (kill missed the storm)")
+	}
+	if r.OverheadPct >= 5 {
+		v = append(v, fmt.Sprintf("routed overhead %.2f%% >= 5%% (simulated)", r.OverheadPct))
+	}
+	if r.LeasesLeft > 0 {
+		v = append(v, fmt.Sprintf("%d lease(s) left on surviving members after close", r.LeasesLeft))
+	}
+	return v
+}
+
+// fleetNode is one killable in-process cricket-server member.
+type fleetNode struct {
+	name string
+
+	mu     sync.Mutex
+	rpcSrv *oncrpc.Server
+	srv    *cricket.Server
+	conns  []net.Conn
+	dead   bool
+}
+
+func newFleetNode(name string, ttl time.Duration) (*fleetNode, func()) {
+	rt := cuda.NewRuntime(nil, gpu.New(gpu.SpecA100))
+	srv := cricket.NewServer(rt)
+	stop := func() {}
+	if ttl > 0 {
+		srv.SetLimits(cricket.Limits{LeaseTTL: ttl})
+		stop = srv.StartLeaseSweeper(25 * time.Millisecond)
+	}
+	rpcSrv := oncrpc.NewServer()
+	srv.Attach(rpcSrv)
+	n := &fleetNode{name: name, rpcSrv: rpcSrv, srv: srv}
+	return n, stop
+}
+
+func (n *fleetNode) dial() (io.ReadWriteCloser, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.dead {
+		return nil, fmt.Errorf("fleet member %s: down", n.name)
+	}
+	cli, srvConn := net.Pipe()
+	n.conns = append(n.conns, srvConn)
+	go n.rpcSrv.ServeConn(srvConn)
+	return cli, nil
+}
+
+// kill takes the member down for good: every connection severed,
+// every future dial refused.
+func (n *fleetNode) kill() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dead = true
+	for _, c := range n.conns {
+		c.Close()
+	}
+	n.conns = nil
+}
+
+func (n *fleetNode) close() {
+	n.kill()
+	n.rpcSrv.Close()
+}
+
+func (n *fleetNode) member() fleet.Member { return fleet.Member{Name: n.name, Dial: n.dial} }
+
+// Fleet runs the chaos storm and the overhead comparison.
+//
+// Storm: `sessions` concurrent guests place themselves across a
+// three-member pool and each runs the deterministic churn workload;
+// when the first guest crosses a third of its calls, the member
+// hosting the most sessions is killed and stays dead. Every affected
+// session must fail over (HRW next rank), replay, and finish with the
+// single-server digest.
+func Fleet(sessions, calls int, seed int64) (FleetResult, error) {
+	if sessions <= 0 {
+		sessions = 9
+	}
+	if calls <= 0 {
+		calls = 96
+	}
+	res := FleetResult{Members: 3, Sessions: sessions, Calls: calls}
+
+	// Single-server baseline digest (the bit-identity reference).
+	base := newRestartableServer()
+	bs, err := cricket.NewSession(cricket.SessionOptions{
+		Options: cricket.Options{Platform: guest.NativeRust()},
+		Redial:  base.redial,
+		Seed:    1,
+	})
+	if err != nil {
+		base.close()
+		return res, err
+	}
+	res.Digest, err = churnWorkload(bs, calls, -1)
+	bs.Close()
+	base.close()
+	if err != nil {
+		return res, fmt.Errorf("baseline workload: %w", err)
+	}
+
+	// Three governed members. The TTL outlives any reconnect backoff a
+	// live session performs; the dead member's leases are moot (its
+	// whole runtime dies with it), but surviving members must end the
+	// storm clean.
+	const ttl = time.Second
+	nodes := make([]*fleetNode, 0, 3)
+	members := make([]fleet.Member, 0, 3)
+	for i := 0; i < 3; i++ {
+		n, stopSweep := newFleetNode(fmt.Sprintf("gpu%d", i), ttl)
+		defer stopSweep()
+		defer n.close()
+		nodes = append(nodes, n)
+		members = append(members, n.member())
+	}
+	pool, err := fleet.New(fleet.Options{
+		ProbeInterval: 5 * time.Millisecond,
+		DownAfter:     2,
+		UpAfter:       2,
+	}, members...)
+	if err != nil {
+		return res, err
+	}
+	stopProber := pool.StartProber()
+	defer stopProber()
+
+	// The kill trigger: the first session to cross calls/3 takes down
+	// the member hosting the most sessions at that moment.
+	var killOnce sync.Once
+	killAt := calls / 3
+	kill := func() {
+		killOnce.Do(func() {
+			busiest, most := "", -1
+			for _, st := range pool.Members() {
+				if st.Sessions > most {
+					busiest, most = st.Name, st.Sessions
+				}
+			}
+			for _, n := range nodes {
+				if n.name == busiest {
+					res.Killed = busiest
+					n.kill()
+				}
+			}
+		})
+	}
+
+	type outcome struct {
+		digest uint64
+		err    error
+		stats  cricket.SessionStats
+	}
+	outcomes := make([]outcome, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := pool.Session(fmt.Sprintf("guest-%d", i), cricket.SessionOptions{
+				Options:     cricket.Options{Platform: guest.NativeRust()},
+				Seed:        seed + int64(i) + 1,
+				MaxAttempts: 25,
+				BackoffBase: 500 * time.Microsecond,
+				BackoffMax:  10 * time.Millisecond,
+			})
+			if err != nil {
+				outcomes[i] = outcome{err: err}
+				return
+			}
+			digest, err := fleetStormWorkload(s.Session, calls, killAt, kill)
+			st := s.SessionStats()
+			s.Close()
+			outcomes[i] = outcome{digest: digest, err: err, stats: st}
+		}(i)
+	}
+	wg.Wait()
+
+	var worstRecovery time.Duration
+	for _, o := range outcomes {
+		res.Reconnects += o.stats.Reconnects
+		res.Replays += o.stats.Replays
+		if o.stats.RecoveryTime > worstRecovery {
+			worstRecovery = o.stats.RecoveryTime
+		}
+		switch {
+		case o.err != nil:
+			res.Failed++
+		default:
+			res.Survivors++
+			if o.digest != res.Digest {
+				res.Mismatches++
+			}
+		}
+	}
+	res.RecoveryMS = float64(worstRecovery) / float64(time.Millisecond)
+	res.Failovers = pool.Stats().Failovers
+	stopProber()
+
+	// Surviving members must hold no leases once every session closed.
+	for _, n := range nodes {
+		if n.name == res.Killed {
+			continue
+		}
+		res.LeasesLeft += n.srv.LeaseCount()
+	}
+
+	// Overhead comparison on pristine stacks.
+	if err := res.measureOverhead(calls * 4); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// fleetStormWorkload is churnWorkload with a mid-run hook: hook fires
+// once when the workload crosses the at-th call. The operation
+// sequence (and so the digest) is identical to churnWorkload's
+// fault-free run.
+func fleetStormWorkload(s *cricket.Session, calls, at int, hook func()) (uint64, error) {
+	fired := false
+	return churnWorkloadHooked(s, calls, func(i int) {
+		if !fired && i == at {
+			fired = true
+			hook()
+		}
+	})
+}
+
+// measureOverhead runs the same Fig 6-style micro loop through a
+// direct session and a pool-routed session on identical simulated
+// platforms sharing nothing, and records both simulated and
+// wall-clock elapsed time.
+func (r *FleetResult) measureOverhead(calls int) error {
+	directSim, directWall, err := overheadRun(calls, func(node *fleetNode) (*cricket.Session, func(), error) {
+		s, err := cricket.NewSession(cricket.SessionOptions{
+			Options: overheadOptions(),
+			Redial:  node.dial,
+			Seed:    1,
+		})
+		return s, func() {}, err
+	})
+	if err != nil {
+		return fmt.Errorf("direct overhead run: %w", err)
+	}
+	routedSim, routedWall, err := overheadRun(calls, func(node *fleetNode) (*cricket.Session, func(), error) {
+		// Two pristine peers join the measured node so routing ranks a
+		// real fleet, with the background prober running as it would in
+		// steady state.
+		peer1, stop1 := newFleetNode("peer1", 0)
+		peer2, stop2 := newFleetNode("peer2", 0)
+		pool, err := fleet.New(fleet.Options{ProbeInterval: 20 * time.Millisecond},
+			node.member(), peer1.member(), peer2.member())
+		if err != nil {
+			stop1()
+			stop2()
+			return nil, nil, err
+		}
+		stopProber := pool.StartProber()
+		cleanup := func() {
+			stopProber()
+			peer1.close()
+			peer2.close()
+			stop1()
+			stop2()
+		}
+		// A key homed on the measured node keeps the two runs on
+		// identical servers.
+		key := ""
+		for i := 0; ; i++ {
+			key = fmt.Sprintf("overhead-%d", i)
+			if pool.RankFor(key)[0] == node.name {
+				break
+			}
+		}
+		s, err := pool.Session(key, cricket.SessionOptions{Options: overheadOptions(), Seed: 1})
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		return s.Session, cleanup, err
+	})
+	if err != nil {
+		return fmt.Errorf("routed overhead run: %w", err)
+	}
+	r.DirectSimMS = float64(directSim) / float64(time.Millisecond)
+	r.RoutedSimMS = float64(routedSim) / float64(time.Millisecond)
+	if directSim > 0 {
+		r.OverheadPct = (float64(routedSim)/float64(directSim) - 1) * 100
+	}
+	r.DirectWallMS = float64(directWall) / float64(time.Millisecond)
+	r.RoutedWallMS = float64(routedWall) / float64(time.Millisecond)
+	if directWall > 0 {
+		r.WallOverheadPct = (float64(routedWall)/float64(directWall) - 1) * 100
+	}
+	return nil
+}
+
+// overheadOptions is the simulated platform both overhead runs share:
+// the paper's Hermit guest with its network cost model on a private
+// virtual clock.
+func overheadOptions() cricket.Options {
+	return cricket.Options{Platform: guest.RustyHermit(), Clock: netsim.NewClock()}
+}
+
+// overheadRun executes the Fig 6 micro mix — cudaGetDeviceCount,
+// cudaMalloc/cudaFree pairs, and kernel launches — through whatever
+// session the factory builds against one fresh member, and returns
+// simulated and wall-clock elapsed time for the measured loop.
+func overheadRun(calls int, mkSession func(*fleetNode) (*cricket.Session, func(), error)) (sim, wall time.Duration, err error) {
+	node, stopSweep := newFleetNode("measured", 0)
+	defer stopSweep()
+	defer node.close()
+	s, cleanup, err := mkSession(node)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cleanup()
+	defer s.Close()
+
+	m, err := s.ModuleLoad(churnFatbin())
+	if err != nil {
+		return 0, 0, err
+	}
+	f, err := s.ModuleGetFunction(m, cuda.KernelMatrixMul)
+	if err != nil {
+		return 0, 0, err
+	}
+	const dim = 32
+	size := uint64(dim * dim * 4)
+	dA, err := s.Malloc(size)
+	if err != nil {
+		return 0, 0, err
+	}
+	args := cuda.NewArgBuffer().Ptr(dA).Ptr(dA).Ptr(dA).I32(dim).I32(dim).Bytes()
+	grid := gpu.Dim3{X: 1, Y: 1, Z: 1}
+	block := gpu.Dim3{X: 32, Y: 32, Z: 1}
+
+	simStart := s.SimNow()
+	wallStart := time.Now()
+	for i := 0; i < calls; i++ {
+		if _, err := s.GetDeviceCount(); err != nil {
+			return 0, 0, err
+		}
+	}
+	for i := 0; i < calls/2; i++ {
+		p, err := s.Malloc(1 << 20)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := s.Free(p); err != nil {
+			return 0, 0, err
+		}
+	}
+	for i := 0; i < calls; i++ {
+		if err := s.LaunchKernel(f, grid, block, 0, 0, args); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := s.DeviceSynchronize(); err != nil {
+		return 0, 0, err
+	}
+	return s.SimNow() - simStart, time.Since(wallStart), nil
+}

@@ -1,0 +1,22 @@
+package bench
+
+import "testing"
+
+// A small storm: enough sessions to spread across all three members
+// so the kill is guaranteed to strand someone, and enough calls that
+// the kill lands mid-workload.
+func TestFleetStormNoViolations(t *testing.T) {
+	res, err := Fleet(6, 48, 42)
+	if err != nil {
+		t.Fatalf("fleet storm: %v", err)
+	}
+	if res.Killed == "" {
+		t.Fatal("no member was killed")
+	}
+	for _, v := range res.Violations() {
+		t.Errorf("violation: %s", v)
+	}
+	t.Logf("killed=%s survivors=%d failovers=%d reconnects=%d replays=%d recovery=%.2fms overhead=%.2f%% (sim %.3f vs %.3f ms)",
+		res.Killed, res.Survivors, res.Failovers, res.Reconnects, res.Replays,
+		res.RecoveryMS, res.OverheadPct, res.DirectSimMS, res.RoutedSimMS)
+}

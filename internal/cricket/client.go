@@ -924,6 +924,20 @@ func (c *Client) Detach() error {
 	return inband(code, err)
 }
 
+// Epoch returns the server's boot epoch (SRV_GET_EPOCH): a random
+// per-instance id that changes when the server restarts. It doubles
+// as the fleet health prober's liveness ping — the procedure is never
+// shed by admission control, so probing works even against a
+// saturated member, and a changed value reveals a restart.
+func (c *Client) Epoch() (uint64, error) {
+	if err := c.flushBatch(); err != nil {
+		return 0, err
+	}
+	var epoch uint64
+	err := c.account(false, 1, func(ctx context.Context) (e error) { epoch, e = c.gen.SrvGetEpochContext(ctx); return })
+	return epoch, err
+}
+
 // TakeRetryHint consumes the most recent AUTH_RETRY backpressure hint
 // the server stamped on a shed reply; zero when none is pending.
 func (c *Client) TakeRetryHint() time.Duration { return c.rpc.TakeRetryHint() }

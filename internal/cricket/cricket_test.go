@@ -1014,6 +1014,18 @@ func TestInBandErrorArms(t *testing.T) {
 	if err := c.SetDevice(9); !errors.Is(err, cuda.ErrorInvalidDevice) {
 		t.Fatalf("bad device: %v", err)
 	}
+	// Negative ordinals must be rejected in-band too, and must not
+	// disturb the current device selection.
+	before, err := c.GetDevice()
+	if err != nil {
+		t.Fatalf("GetDevice: %v", err)
+	}
+	if err := c.SetDevice(-1); !errors.Is(err, cuda.ErrorInvalidDevice) {
+		t.Fatalf("negative device: %v", err)
+	}
+	if dev, err := c.GetDevice(); err != nil || dev != before {
+		t.Fatalf("device after rejected SetDevice = %d, %v (want %d)", dev, err, before)
+	}
 	if err := c.ModuleUnload(4242); !errors.Is(err, cuda.ErrorInvalidHandle) {
 		t.Fatalf("bad unload: %v", err)
 	}

@@ -62,13 +62,41 @@ var ErrSessionClosed = errors.New("cricket: session closed")
 // attempt budget.
 var ErrGiveUp = errors.New("cricket: reconnect attempts exhausted")
 
+// An EndpointDialer picks a server endpoint and opens a transport to
+// it, generalizing the fixed Redial target. A session consults it on
+// every connection attempt, so the chosen endpoint may change between
+// attempts — this is how the fleet layer (internal/fleet) re-points a
+// session at the next-ranked live server after a failure. After each
+// attempt the session reports the outcome through Result, giving a
+// load-aware picker the feedback it routes on. Implementations must
+// be safe for concurrent use by multiple sessions.
+type EndpointDialer interface {
+	// DialEndpoint picks an endpoint and opens a transport to it. The
+	// returned name identifies the endpoint in Result and
+	// Session.Endpoint; it must be stable across dials so outcomes
+	// aggregate per endpoint.
+	DialEndpoint() (conn io.ReadWriteCloser, endpoint string, err error)
+	// Result reports how the connection attempt against endpoint
+	// ended: nil after a successful connect-and-attach handshake, the
+	// dial, handshake, or attach error otherwise. In-band
+	// cudaErrorServerOverloaded sheds arrive here too — a load-aware
+	// picker treats them as a signal to spill the session to the next
+	// ranked endpoint.
+	Result(endpoint string, err error)
+}
+
 // SessionOptions configure a fault-tolerant session.
 type SessionOptions struct {
 	// Options configure each underlying Client (platform, transfer
 	// method, timeouts). They are reapplied on every reconnect.
 	Options
-	// Redial opens a fresh transport to the server. Required.
+	// Redial opens a fresh transport to the server. Required unless
+	// Dialer is set.
 	Redial func() (io.ReadWriteCloser, error)
+	// Dialer, when set, replaces Redial with an endpoint picker: every
+	// connection attempt (including reconnects) asks it for a possibly
+	// different endpoint. See EndpointDialer.
+	Dialer EndpointDialer
 	// MaxAttempts bounds consecutive reconnect attempts per recovery
 	// (default 8). The budget resets after a successful reconnect.
 	MaxAttempts int
@@ -167,11 +195,12 @@ type Session struct {
 	rng   *rand.Rand
 	nonce uint64 // lease identity presented at every SRV_ATTACH
 
-	mu     sync.Mutex
-	c      *Client
-	epoch  uint64        // server epoch at last connect; 0 = unknown
-	hint   time.Duration // pending server backpressure hint for the next backoff
-	closed bool
+	mu       sync.Mutex
+	c        *Client
+	epoch    uint64        // server epoch at last connect; 0 = unknown
+	endpoint string        // endpoint of the last successful connect (Dialer only)
+	hint     time.Duration // pending server backpressure hint for the next backoff
+	closed   bool
 
 	dev      int // last cudaSetDevice, replayed on recovery
 	nextV    uint64
@@ -228,8 +257,8 @@ const (
 
 // NewSession dials the server and returns a connected session.
 func NewSession(opts SessionOptions) (*Session, error) {
-	if opts.Redial == nil {
-		return nil, errors.New("cricket: SessionOptions.Redial is required")
+	if opts.Redial == nil && opts.Dialer == nil {
+		return nil, errors.New("cricket: SessionOptions.Redial or Dialer is required")
 	}
 	o := opts.withDefaults()
 	seed := o.Seed
@@ -264,12 +293,15 @@ func NewSession(opts SessionOptions) (*Session, error) {
 	s.opts = o
 	c, epoch, _, err := s.dialOnce()
 	if err != nil {
-		if !isOverload(err) {
+		if !isOverload(err) && o.Dialer == nil {
 			return nil, err
 		}
-		// The server shed our attach under admission control. That is
+		// The server shed our attach under admission control — that is
 		// backpressure, not rejection: back off on its hint and keep
-		// trying, up to the session's attempt budget.
+		// trying, up to the session's attempt budget. Likewise, with an
+		// endpoint picker a failed first dial may just mean the
+		// top-ranked member is unreachable; recover() retries and may
+		// land on the next-ranked one.
 		if rerr := s.recover(); rerr != nil {
 			return nil, rerr
 		}
@@ -302,24 +334,41 @@ func isOverload(err error) bool {
 // dialOnce opens one transport and client, learns the server epoch,
 // and attaches the session's lease. fresh reports that the server
 // granted a brand-new lease — our handles are gone (expired lease or
-// restarted server) and the caller must replay.
+// restarted server) and the caller must replay. With an EndpointDialer
+// configured, the attempt's outcome — success or any failure,
+// including an in-band overload shed of the attach — is reported back
+// through Result so the picker can route around the endpoint.
 func (s *Session) dialOnce() (c *Client, epoch uint64, fresh bool, err error) {
 	s.statmu.Lock()
 	s.sstats.DialAttempts++
 	s.statmu.Unlock()
-	conn, err := s.opts.Redial()
+	var conn io.ReadWriteCloser
+	var endpoint string
+	if s.opts.Dialer != nil {
+		conn, endpoint, err = s.opts.Dialer.DialEndpoint()
+	} else {
+		conn, err = s.opts.Redial()
+	}
+	report := func(err error) {
+		if s.opts.Dialer != nil {
+			s.opts.Dialer.Result(endpoint, err)
+		}
+	}
 	if err != nil {
+		report(err)
 		return nil, 0, false, err
 	}
 	c, err = Connect(conn, s.opts.Options)
 	if err != nil {
 		conn.Close()
+		report(err)
 		return nil, 0, false, err
 	}
 	epoch, err = c.gen.SrvGetEpoch()
 	if err != nil {
 		if oncrpc.IsTransportError(err) {
 			c.Close()
+			report(err)
 			return nil, 0, false, err
 		}
 		// Pre-epoch server: recovery still works, but every reconnect
@@ -335,6 +384,7 @@ func (s *Session) dialOnce() (c *Client, epoch uint64, fresh bool, err error) {
 		fresh = info.Fresh != 0
 	case oncrpc.IsTransportError(aerr):
 		c.Close()
+		report(aerr)
 		return nil, 0, false, aerr
 	case isOverload(aerr):
 		// Admission control shed the attach: capture the server's
@@ -345,12 +395,37 @@ func (s *Session) dialOnce() (c *Client, epoch uint64, fresh bool, err error) {
 		s.sstats.Overloads++
 		s.statmu.Unlock()
 		c.Close()
+		report(aerr)
 		return nil, 0, false, aerr
 	default:
 		// Pre-lease server (RPC-level "procedure unavailable"): run
 		// ungoverned; the epoch comparison alone decides replays.
 	}
+	s.endpoint = endpoint
+	report(nil)
 	return c, epoch, fresh, nil
+}
+
+// Endpoint reports the name of the endpoint the session most recently
+// connected to, as chosen by SessionOptions.Dialer; empty for plain
+// Redial sessions.
+func (s *Session) Endpoint() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.endpoint
+}
+
+// SimNow returns the virtual time of the session's simulated network
+// path, or zero without simulation (Options.Clock nil). The clock is
+// shared across reconnects, so simulated cost accumulates across the
+// whole session lifetime.
+func (s *Session) SimNow() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.c == nil {
+		return 0
+	}
+	return s.c.SimNow()
 }
 
 // Stats returns the underlying client's transfer counters. Counters
@@ -373,8 +448,15 @@ func (s *Session) SessionStats() SessionStats {
 	return s.sstats
 }
 
-// Close flushes any queued batched calls (best effort) and shuts the
-// session down.
+// Close flushes any queued batched calls (best effort), releases the
+// session's lease, and shuts the session down. The lease release
+// (SRV_DETACH) is best-effort but insistent: if the transport is
+// already down — or dies under the detach itself — Close makes one
+// fresh dial purely to send the detach, so a clean shutdown reclaims
+// server-side resources immediately instead of leaking the lease
+// until its TTL expires. Only when that dial also fails (server
+// unreachable) does reclamation fall back to the server's TTL sweeper
+// (or, for an ungoverned server, the connection-end cleanup).
 func (s *Session) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -387,14 +469,25 @@ func (s *Session) Close() error {
 		s.batchTimer = nil
 	}
 	s.closed = true
+	var err error
 	if s.c != nil {
-		// Release the lease eagerly so the server reclaims now instead
-		// of waiting out the TTL. Best effort: on a dead transport or a
-		// pre-lease server the sweeper (or connection end) catches it.
-		_ = s.c.Detach()
-		return s.c.Close()
+		derr := s.c.Detach()
+		err = s.c.Close()
+		s.c = nil
+		if !oncrpc.IsTransportError(derr) {
+			// Detach reached the server (or was answered in-band by a
+			// pre-lease server): the lease is gone, nothing to retry.
+			return err
+		}
 	}
-	return nil
+	// No usable transport carried the detach. One fresh dial — no
+	// backoff loop, no replay — re-binds the lease for our nonce and
+	// releases it.
+	if c, _, _, derr := s.dialOnce(); derr == nil {
+		_ = c.Detach()
+		c.Close()
+	}
+	return err
 }
 
 // Renew sends an explicit lease heartbeat (SRV_RENEW), keeping the

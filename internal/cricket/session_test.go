@@ -611,3 +611,73 @@ func TestDeviceSynchronizeReportsDeferredLaunchError(t *testing.T) {
 		t.Fatalf("second sync = %v, want success after error consumed", err)
 	}
 }
+
+// Regression: a rejected cudaSetDevice (negative or out-of-range
+// ordinal) must surface cudaErrorInvalidDevice in-band and must not
+// poison the device the session replays after a server restart.
+func TestSessionSetDeviceInvalidDoesNotPoisonReplay(t *testing.T) {
+	e := newSessEnv(t, "")
+	s := newTestSession(t, e)
+	if _, err := s.Malloc(64); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []int{-1, 9} {
+		if err := s.SetDevice(bad); !errors.Is(err, cuda.ErrorInvalidDevice) {
+			t.Fatalf("SetDevice(%d) = %v, want ErrorInvalidDevice", bad, err)
+		}
+	}
+	// The replay after a restart re-selects the session's device; had
+	// the rejected ordinal stuck, the whole recovery would fail here.
+	e.restart()
+	if _, err := s.Malloc(64); err != nil {
+		t.Fatalf("recovery after rejected SetDevice: %v", err)
+	}
+	if st := s.SessionStats(); st.Replays != 1 {
+		t.Fatalf("replays = %d, want 1", st.Replays)
+	}
+}
+
+// Session.Close must release the lease eagerly even when its
+// transport is already dead: it reconnects once purely to send the
+// detach, so server resources are reclaimed now rather than when the
+// TTL expires.
+func TestSessionCloseDetachesOverDeadTransport(t *testing.T) {
+	e := newSessEnv(t, "")
+	e.server().SetLimits(Limits{LeaseTTL: time.Hour})
+	s := newTestSession(t, e)
+	if _, err := s.Malloc(64); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.server().LeaseCount(); got != 1 {
+		t.Fatalf("leases before close = %d, want 1", got)
+	}
+	e.kill(false) // sever the transport; the server instance stays up
+	s.Close()
+	if got := e.server().LeaseCount(); got != 0 {
+		t.Fatalf("leases after close over dead transport = %d, want 0 (lease leaked until TTL)", got)
+	}
+}
+
+// When the server is unreachable at Close time the detach cannot be
+// delivered at all; the lease must then fall back to TTL expiry and
+// be reclaimed by the sweeper.
+func TestSessionCloseFallsBackToLeaseTTL(t *testing.T) {
+	e := newSessEnv(t, "")
+	e.server().SetLimits(Limits{LeaseTTL: time.Millisecond})
+	s := newTestSession(t, e)
+	if _, err := s.Malloc(64); err != nil {
+		t.Fatal(err)
+	}
+	e.kill(true) // server down: redials fail, the detach has nowhere to go
+	s.Close()
+	if got := e.server().LeaseCount(); got != 1 {
+		t.Fatalf("leases right after close = %d, want 1 (TTL not yet expired)", got)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if n := e.server().SweepLeases(); n != 1 {
+		t.Fatalf("sweeper reclaimed %d leases, want 1", n)
+	}
+	if got := e.server().LeaseCount(); got != 0 {
+		t.Fatalf("leases after sweep = %d, want 0", got)
+	}
+}

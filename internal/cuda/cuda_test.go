@@ -83,6 +83,27 @@ func TestSetDevice(t *testing.T) {
 	}
 }
 
+// Regression: negative ordinals (cudaSetDevice(-1)) must be rejected
+// with cudaErrorInvalidDevice like any other out-of-range index, and
+// must leave the current selection untouched.
+func TestSetDeviceRejectsNegative(t *testing.T) {
+	r := NewRuntime(nil, gpu.New(gpu.SpecA100), gpu.New(gpu.SpecT4))
+	if _, err := r.SetDevice(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []int{-1, -2, 1 << 20} {
+		if _, err := r.SetDevice(bad); !errors.Is(err, ErrorInvalidDevice) {
+			t.Fatalf("SetDevice(%d) = %v, want ErrorInvalidDevice", bad, err)
+		}
+		if cur, _, _ := r.GetDevice(); cur != 1 {
+			t.Fatalf("SetDevice(%d) moved current device to %d", bad, cur)
+		}
+	}
+	if e := r.GetLastError(); e != ErrorInvalidDevice {
+		t.Fatalf("last error = %v", e)
+	}
+}
+
 func TestMallocFreeMemcpy(t *testing.T) {
 	r := newRuntime(t)
 	p, _, err := r.Malloc(1024)

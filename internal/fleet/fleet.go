@@ -1,0 +1,471 @@
+// Package fleet multiplexes Cricket sessions across a pool of
+// cricket-server endpoints. The paper pairs each guest with exactly
+// one colocated server; scaling that design out means some layer must
+// decide which of N servers owns a given session, notice when a
+// server dies or sheds load, and move the affected sessions without
+// breaking them. This package is that layer:
+//
+//   - Placement: rendezvous (HRW) hashing over a session key (hrw.go)
+//     gives every key a deterministic member ranking that any party
+//     can recompute, and that barely shifts when the member list
+//     changes.
+//   - Routing: the ranking is demoted — never promoted — by live
+//     signals: members marked down by the health prober (prober.go)
+//     or by session dial failures are skipped, members that shed a
+//     session under admission control (AUTH_RETRY backpressure) are
+//     in a spill cooldown, and members without device-memory headroom
+//     (from the quota-clamped cudaMemGetInfo the prober reads) are
+//     passed over while any candidate with headroom remains.
+//   - Failover: sessions ride the PR-1 recovery machinery. The pool
+//     plugs into cricket.SessionOptions.Dialer, so a reconnect simply
+//     asks the pool again and may land on the next-ranked live
+//     member; the server epoch differs there, which is exactly the
+//     signal cricket.Session already uses to replay its virtual
+//     handles (bit-identically, from checkpoint when one exists).
+//     The dead member's leases expire via its TTL sweeper.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"cricket/internal/cricket"
+	"cricket/internal/cuda"
+)
+
+// ErrNoMembers reports a pick with no live member to place on: every
+// member is down or excluded. Sessions treat it like any failed dial
+// and retry with backoff, so the fleet heals in place once a member
+// returns.
+var ErrNoMembers = errors.New("fleet: no live members")
+
+// A Member names one cricket-server endpoint and knows how to open a
+// transport to it.
+type Member struct {
+	// Name is the stable identity hashed for placement. Renaming a
+	// member re-shards it.
+	Name string
+	// Dial opens a fresh transport to the endpoint.
+	Dial func() (io.ReadWriteCloser, error)
+}
+
+// Options tune a Pool. The zero value is usable: 1s probes, 3-failure
+// down threshold, 2-success up threshold, 1s shed cooldown, no memory
+// floor.
+type Options struct {
+	// Probe configures the short-lived clients the health prober
+	// opens (platform, timeouts). Leave the simulation clock unset so
+	// probes do not charge the sessions' virtual time.
+	Probe cricket.Options
+	// ProbeInterval is the health-probe period (default 1s).
+	ProbeInterval time.Duration
+	// DownAfter is how many consecutive failures (probes or session
+	// dials) mark a member down (default 3).
+	DownAfter int
+	// UpAfter is how many consecutive successful probes bring a down
+	// member back (default 2). Hysteresis on both edges keeps a flapping
+	// member from thrashing placements.
+	UpAfter int
+	// ShedCooldown is how long a member that shed a session under
+	// admission control is deprioritized before it is offered new
+	// placements again (default 1s).
+	ShedCooldown time.Duration
+	// MinHeadroom, when positive, deprioritizes members whose probed
+	// device-memory headroom is below it, as long as some live member
+	// still has headroom.
+	MinHeadroom uint64
+	// Clock overrides the cooldown timebase (tests).
+	Clock func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.DownAfter <= 0 {
+		o.DownAfter = 3
+	}
+	if o.UpAfter <= 0 {
+		o.UpAfter = 2
+	}
+	if o.ShedCooldown <= 0 {
+		o.ShedCooldown = time.Second
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+// MemberStatus is the externally visible state of one member, as
+// reported by Pool.Members (and serialized by cricket-fleet's status
+// endpoint).
+type MemberStatus struct {
+	Name     string
+	Down     bool
+	Epoch    uint64 // last probed boot epoch; 0 = never probed
+	Sessions int    // sessions currently placed here
+	FreeMem  uint64 // quota-clamped headroom from the last probe
+	TotalMem uint64
+	MemKnown bool // FreeMem/TotalMem carry a real probe result
+
+	Probes     uint64 // probes attempted
+	ProbeFails uint64 // probes failed
+	Fails      int    // consecutive failures counting toward DownAfter
+	Restarts   uint64 // epoch changes observed between probes
+	ShedUntil  time.Time
+}
+
+// PoolStats count routing activity across the pool's lifetime.
+type PoolStats struct {
+	Placements   uint64 // successful session placements (first or moved)
+	Failovers    uint64 // placements that moved a key off its previous member
+	Spills       uint64 // picks that skipped the key's top-ranked live member
+	Sheds        uint64 // overload sheds reported back by sessions
+	DialFailures uint64 // dial/handshake failures reported back by sessions
+	ProbeRounds  uint64
+	Transitions  uint64 // up<->down edges
+}
+
+// member is the pool-internal mutable state behind one Member.
+type member struct {
+	Member
+	down      bool
+	fails     int // consecutive probe/dial failures
+	oks       int // consecutive probe successes while down
+	epoch     uint64
+	sessions  int
+	shedUntil time.Time
+	freeMem   uint64
+	totalMem  uint64
+	memKnown  bool
+	probes    uint64
+	probeFail uint64
+	restarts  uint64
+}
+
+// A Pool is a routed set of cricket-server members. It is safe for
+// concurrent use by any number of sessions, the prober, and the
+// status surfaces.
+type Pool struct {
+	opts Options
+
+	mu         sync.Mutex
+	members    map[string]*member
+	placements map[string]string // session key -> member name
+	stats      PoolStats
+}
+
+// New builds a pool over the given members.
+func New(opts Options, members ...Member) (*Pool, error) {
+	p := &Pool{
+		opts:       opts.withDefaults(),
+		members:    make(map[string]*member),
+		placements: make(map[string]string),
+	}
+	for _, m := range members {
+		if err := p.Add(m); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Add registers a member. New keys whose ranking it tops will place
+// on it; existing sessions stay where they are until their next
+// reconnect asks the pool again.
+func (p *Pool) Add(m Member) error {
+	if m.Name == "" || m.Dial == nil {
+		return errors.New("fleet: member needs a name and a dial function")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.members[m.Name]; dup {
+		return fmt.Errorf("fleet: duplicate member %q", m.Name)
+	}
+	p.members[m.Name] = &member{Member: m}
+	return nil
+}
+
+// Remove drops a member from the pool. Sessions placed on it keep
+// their live connections; their next reconnect re-ranks among the
+// remaining members.
+func (p *Pool) Remove(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.members, name)
+}
+
+// Members returns every member's status, sorted by name.
+func (p *Pool) Members() []MemberStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]MemberStatus, 0, len(p.members))
+	for _, m := range p.members {
+		out = append(out, MemberStatus{
+			Name: m.Name, Down: m.down, Epoch: m.epoch, Sessions: m.sessions,
+			FreeMem: m.freeMem, TotalMem: m.totalMem, MemKnown: m.memKnown,
+			Probes: m.probes, ProbeFails: m.probeFail, Fails: m.fails,
+			Restarts: m.restarts, ShedUntil: m.shedUntil,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Stats returns the routing counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Placement reports which member currently hosts key.
+func (p *Pool) Placement(key string) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	name, ok := p.placements[key]
+	return name, ok
+}
+
+// RankFor returns key's full member ranking (home first, then the
+// failover order), ignoring health — the pure placement function.
+func (p *Pool) RankFor(key string) []string {
+	p.mu.Lock()
+	names := make([]string, 0, len(p.members))
+	for n := range p.members {
+		names = append(names, n)
+	}
+	p.mu.Unlock()
+	return Rank(key, names)
+}
+
+// pick chooses the member for key: rendezvous order, demoted by live
+// signals. Down members and the dialer's avoid set are skipped
+// outright; members in shed cooldown or without memory headroom are
+// passed over while a better candidate remains, but are still
+// preferred to failing the pick — load signals demote, they never
+// exclude, so a uniformly overloaded fleet keeps placing (and lets
+// server-side admission control arbitrate).
+func (p *Pool) pick(key string, avoid map[string]bool) (*member, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, 0, len(p.members))
+	for n := range p.members {
+		names = append(names, n)
+	}
+	ranked := Rank(key, names)
+	now := p.opts.Clock()
+	var first *member  // best-ranked live candidate, however loaded
+	var chosen *member // best-ranked live candidate passing the load gates
+	for _, n := range ranked {
+		m := p.members[n]
+		if m.down || avoid[n] {
+			continue
+		}
+		if first == nil {
+			first = m
+		}
+		if now.Before(m.shedUntil) {
+			continue
+		}
+		if p.opts.MinHeadroom > 0 && m.memKnown && m.freeMem < p.opts.MinHeadroom {
+			continue
+		}
+		chosen = m
+		break
+	}
+	if chosen == nil {
+		chosen = first // every live member demoted: take the best-ranked anyway
+	}
+	if chosen == nil {
+		return nil, ErrNoMembers
+	}
+	if len(ranked) > 0 && chosen.Name != ranked[0] {
+		p.stats.Spills++
+	}
+	return chosen, nil
+}
+
+// placed records a session's successful connect to member name.
+func (p *Pool) placed(key, name string) {
+	if name == "" {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := p.members[name]
+	if m != nil {
+		m.fails = 0
+	}
+	prev, had := p.placements[key]
+	if had && prev == name {
+		return // reconnect to the same member, not a new placement
+	}
+	if had {
+		if pm := p.members[prev]; pm != nil && pm.sessions > 0 {
+			pm.sessions--
+		}
+		p.stats.Failovers++
+	}
+	p.placements[key] = name
+	p.stats.Placements++
+	if m != nil {
+		m.sessions++
+	}
+}
+
+// failed folds a session's connect failure into the member's state.
+// Dial and transport failures count toward the same DownAfter
+// hysteresis the prober uses, so sessions crashing into a dead member
+// accelerate its detection; an in-band overload shed starts the spill
+// cooldown instead — that member is alive, just full.
+func (p *Pool) failed(name string, err error) {
+	if name == "" {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := p.members[name]
+	if m == nil {
+		return
+	}
+	var ce cuda.Error
+	if errors.As(err, &ce) && ce == cuda.ErrorServerOverloaded {
+		p.stats.Sheds++
+		m.shedUntil = p.opts.Clock().Add(p.opts.ShedCooldown)
+		return
+	}
+	p.stats.DialFailures++
+	p.failLocked(m)
+}
+
+// failLocked advances the down-edge hysteresis by one failure.
+func (p *Pool) failLocked(m *member) {
+	m.fails++
+	m.oks = 0
+	if !m.down && m.fails >= p.opts.DownAfter {
+		m.down = true
+		p.stats.Transitions++
+	}
+}
+
+// release drops key's placement (session closed).
+func (p *Pool) release(key string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	name, ok := p.placements[key]
+	if !ok {
+		return
+	}
+	delete(p.placements, key)
+	if m := p.members[name]; m != nil && m.sessions > 0 {
+		m.sessions--
+	}
+}
+
+// Dialer returns the cricket.EndpointDialer that places and re-places
+// connections for key. Hand it to cricket.SessionOptions.Dialer (or
+// use Pool.Session, which does). Each dialer also keeps a private
+// avoid set of members that failed during the current recovery, so a
+// session spills to the next rank on its very next attempt instead of
+// waiting for the global hysteresis to trip.
+func (p *Pool) Dialer(key string) cricket.EndpointDialer {
+	return &dialer{p: p, key: key, avoid: make(map[string]bool)}
+}
+
+type dialer struct {
+	p   *Pool
+	key string
+
+	mu    sync.Mutex
+	avoid map[string]bool
+}
+
+func (d *dialer) DialEndpoint() (io.ReadWriteCloser, string, error) {
+	d.mu.Lock()
+	avoid := make(map[string]bool, len(d.avoid))
+	for n := range d.avoid {
+		avoid[n] = true
+	}
+	d.mu.Unlock()
+	m, err := d.p.pick(d.key, avoid)
+	if err != nil && len(avoid) > 0 {
+		// Everything live is already on the avoid list: this recovery
+		// has failed all the way around the ring. Start over from the
+		// top of the ranking rather than wedging.
+		d.mu.Lock()
+		d.avoid = make(map[string]bool)
+		d.mu.Unlock()
+		m, err = d.p.pick(d.key, nil)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	conn, err := m.Dial()
+	if err != nil {
+		return nil, m.Name, err
+	}
+	return conn, m.Name, nil
+}
+
+func (d *dialer) Result(endpoint string, err error) {
+	if err == nil {
+		d.mu.Lock()
+		d.avoid = make(map[string]bool)
+		d.mu.Unlock()
+		d.p.placed(d.key, endpoint)
+		return
+	}
+	if endpoint != "" {
+		d.mu.Lock()
+		d.avoid[endpoint] = true
+		d.mu.Unlock()
+	}
+	d.p.failed(endpoint, err)
+}
+
+// A Session is a pool-placed cricket session. It behaves exactly like
+// the cricket.Session it embeds; Close additionally releases the
+// key's placement.
+type Session struct {
+	*cricket.Session
+	pool *Pool
+	key  string
+	once sync.Once
+}
+
+// Key returns the placement key the session was opened with.
+func (s *Session) Key() string { return s.key }
+
+// Close shuts the session down (flushing, detaching the lease — see
+// cricket.Session.Close) and releases its placement.
+func (s *Session) Close() error {
+	err := s.Session.Close()
+	s.once.Do(func() { s.pool.release(s.key) })
+	return err
+}
+
+// Session opens a fault-tolerant session placed by key. opts.Dialer
+// and opts.Redial are overridden with the pool's picker for key. A
+// zero opts.Nonce is derived deterministically from the key, so a
+// guest that restarts with the same key re-binds the lease it held
+// within the TTL — same-member reconnects keep their server-side
+// handles.
+func (p *Pool) Session(key string, opts cricket.SessionOptions) (*Session, error) {
+	opts.Dialer = p.Dialer(key)
+	opts.Redial = nil
+	if opts.Nonce == 0 {
+		opts.Nonce = score(key, "\x00nonce") | 1
+	}
+	cs, err := cricket.NewSession(opts)
+	if err != nil {
+		p.release(key)
+		return nil, err
+	}
+	return &Session{Session: cs, pool: p, key: key}, nil
+}

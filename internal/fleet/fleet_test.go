@@ -1,0 +1,445 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cricket/internal/cricket"
+	"cricket/internal/cubin"
+	"cricket/internal/cuda"
+	"cricket/internal/gpu"
+	"cricket/internal/guest"
+	"cricket/internal/oncrpc"
+)
+
+// testMember is one in-process cricket-server the tests can kill and
+// revive, standing in for a fleet node.
+type testMember struct {
+	name string
+
+	mu     sync.Mutex
+	rpcSrv *oncrpc.Server
+	srv    *cricket.Server
+	conns  []net.Conn
+	down   bool
+}
+
+func newTestMember(t *testing.T, name string) *testMember {
+	m := &testMember{name: name}
+	m.boot()
+	t.Cleanup(func() { m.kill() })
+	return m
+}
+
+func (m *testMember) boot() {
+	rt := cuda.NewRuntime(nil, gpu.New(gpu.SpecA100))
+	srv := cricket.NewServer(rt)
+	rpcSrv := oncrpc.NewServer()
+	srv.Attach(rpcSrv)
+	m.mu.Lock()
+	m.rpcSrv, m.srv, m.down = rpcSrv, srv, false
+	m.conns = nil
+	m.mu.Unlock()
+}
+
+func (m *testMember) dial() (io.ReadWriteCloser, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down {
+		return nil, errors.New("testMember: down")
+	}
+	cli, srvConn := net.Pipe()
+	m.conns = append(m.conns, srvConn)
+	go m.rpcSrv.ServeConn(srvConn)
+	return cli, nil
+}
+
+// kill severs every connection and refuses new dials until revive or
+// restart.
+func (m *testMember) kill() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.down = true
+	for _, c := range m.conns {
+		c.Close()
+	}
+	m.conns = nil
+}
+
+// revive brings the same instance (same epoch) back online.
+func (m *testMember) revive() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.down = false
+}
+
+// restart boots a fresh instance: new epoch, empty runtime.
+func (m *testMember) restart() {
+	m.kill()
+	m.boot()
+}
+
+func (m *testMember) member() Member { return Member{Name: m.name, Dial: m.dial} }
+
+func (m *testMember) server() *cricket.Server {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.srv
+}
+
+func testFatbin() []byte {
+	var fb cubin.FatBinary
+	fb.AddImage(cuda.BuiltinImage(80), true)
+	return fb.Encode()
+}
+
+// workload runs `rounds` deterministic matrixMul iterations,
+// re-uploading inputs each round (so a replay onto a fresh server is
+// self-correcting) and folding every readback into one digest.
+// between, when set, runs after round's readback — the hook where
+// tests kill members.
+func workload(t *testing.T, s *cricket.Session, rounds int, between func(round int)) uint64 {
+	t.Helper()
+	const dim = 32
+	size := uint64(dim * dim * 4)
+	m, err := s.ModuleLoad(testFatbin())
+	if err != nil {
+		t.Fatalf("module load: %v", err)
+	}
+	f, err := s.ModuleGetFunction(m, cuda.KernelMatrixMul)
+	if err != nil {
+		t.Fatalf("get function: %v", err)
+	}
+	dA, err := s.Malloc(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dB, err := s.Malloc(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dC, err := s.Malloc(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := make([]byte, size)
+	for i := 0; i < dim*dim; i++ {
+		binary.LittleEndian.PutUint32(host[i*4:], math.Float32bits(float32(i%5)+0.25))
+	}
+	args := cuda.NewArgBuffer().Ptr(dC).Ptr(dA).Ptr(dB).I32(dim).I32(dim).Bytes()
+	grid := gpu.Dim3{X: 1, Y: 1, Z: 1}
+	block := gpu.Dim3{X: 32, Y: 32, Z: 1}
+	h := fnv.New64a()
+	for r := 0; r < rounds; r++ {
+		if err := s.MemcpyHtoD(dA, host); err != nil {
+			t.Fatalf("round %d upload A: %v", r, err)
+		}
+		if err := s.MemcpyHtoD(dB, host); err != nil {
+			t.Fatalf("round %d upload B: %v", r, err)
+		}
+		if err := s.LaunchKernel(f, grid, block, 0, 0, args); err != nil {
+			t.Fatalf("round %d launch: %v", r, err)
+		}
+		if err := s.DeviceSynchronize(); err != nil {
+			t.Fatalf("round %d sync: %v", r, err)
+		}
+		out, err := s.MemcpyDtoH(dC, size)
+		if err != nil {
+			t.Fatalf("round %d readback: %v", r, err)
+		}
+		h.Write(out)
+		if between != nil {
+			between(r)
+		}
+	}
+	return h.Sum64()
+}
+
+func fastSessionOpts() cricket.SessionOptions {
+	return cricket.SessionOptions{
+		Options:     cricket.Options{Platform: guest.NativeRust()},
+		Seed:        1,
+		Sleep:       func(time.Duration) {},
+		MaxAttempts: 10,
+	}
+}
+
+func TestRankDeterministicAndMinimalReshard(t *testing.T) {
+	members := []string{"gpu0", "gpu1", "gpu2", "gpu3"}
+	// Deterministic: the same inputs always rank identically, in any
+	// argument order.
+	for i := 0; i < 3; i++ {
+		a := Rank("some-key", members)
+		b := Rank("some-key", []string{"gpu3", "gpu1", "gpu0", "gpu2"})
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("ranking not deterministic: %v vs %v", a, b)
+			}
+		}
+	}
+	// Minimal disruption: removing one member only moves the keys it
+	// owned; every other key keeps its home.
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	without := []string{"gpu0", "gpu1", "gpu3"}
+	moved, kept := 0, 0
+	for _, k := range keys {
+		before := Rank(k, members)[0]
+		after := Rank(k, without)[0]
+		if before == "gpu2" {
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved %s -> %s though its home survived", k, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+	// Sanity: all four members own some keys (balance, loosely).
+	owners := map[string]int{}
+	for _, k := range keys {
+		owners[Rank(k, members)[0]]++
+	}
+	for _, m := range members {
+		if owners[m] == 0 {
+			t.Fatalf("member %s owns no keys out of %d: %v", m, len(keys), owners)
+		}
+	}
+}
+
+func TestPickDemotesDownShedAndHeadroom(t *testing.T) {
+	now := time.Unix(1000, 0)
+	p, err := New(Options{
+		Clock:        func() time.Time { return now },
+		MinHeadroom:  1 << 20,
+		ShedCooldown: time.Second,
+	},
+		Member{Name: "a", Dial: func() (io.ReadWriteCloser, error) { return nil, errors.New("x") }},
+		Member{Name: "b", Dial: func() (io.ReadWriteCloser, error) { return nil, errors.New("x") }},
+		Member{Name: "c", Dial: func() (io.ReadWriteCloser, error) { return nil, errors.New("x") }},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "route-key"
+	ranked := p.RankFor(key)
+	home := ranked[0]
+
+	m, err := p.pick(key, nil)
+	if err != nil || m.Name != home {
+		t.Fatalf("healthy pick = %v, %v; want %s", m, err, home)
+	}
+	// A down home spills to the next rank.
+	p.members[home].down = true
+	if m, _ = p.pick(key, nil); m.Name != ranked[1] {
+		t.Fatalf("down home: picked %s, want %s", m.Name, ranked[1])
+	}
+	p.members[home].down = false
+	// A shed cooldown demotes the home, too.
+	p.members[home].shedUntil = now.Add(500 * time.Millisecond)
+	if m, _ = p.pick(key, nil); m.Name != ranked[1] {
+		t.Fatalf("shed home: picked %s, want %s", m.Name, ranked[1])
+	}
+	// ...until the cooldown lapses.
+	now = now.Add(2 * time.Second)
+	if m, _ = p.pick(key, nil); m.Name != home {
+		t.Fatalf("after cooldown: picked %s, want %s", m.Name, home)
+	}
+	// A home without memory headroom is passed over while another
+	// member has headroom.
+	p.members[home].memKnown = true
+	p.members[home].freeMem = 1 << 10
+	if m, _ = p.pick(key, nil); m.Name != ranked[1] {
+		t.Fatalf("no headroom: picked %s, want %s", m.Name, ranked[1])
+	}
+	// When EVERY live member is demoted, load signals stop excluding:
+	// the best-ranked live member is still chosen.
+	for _, n := range ranked[1:] {
+		p.members[n].shedUntil = now.Add(time.Hour)
+	}
+	if m, _ = p.pick(key, nil); m.Name != home {
+		t.Fatalf("all demoted: picked %s, want %s", m.Name, home)
+	}
+	// All down: no pick.
+	for _, n := range ranked {
+		p.members[n].down = true
+	}
+	if _, err := p.pick(key, nil); !errors.Is(err, ErrNoMembers) {
+		t.Fatalf("all down: %v, want ErrNoMembers", err)
+	}
+	if p.Stats().Spills == 0 {
+		t.Fatal("spills never counted")
+	}
+}
+
+func TestProberHysteresis(t *testing.T) {
+	tm := newTestMember(t, "solo")
+	p, err := New(Options{DownAfter: 2, UpAfter: 2}, tm.member())
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := func() MemberStatus { return p.Members()[0] }
+
+	if failed := p.ProbeOnce(); failed != 0 {
+		t.Fatalf("healthy probe failed: %d", failed)
+	}
+	if st := status(); st.Down || st.Epoch == 0 || !st.MemKnown {
+		t.Fatalf("after healthy probe: %+v", st)
+	}
+	epoch := status().Epoch
+
+	// One failure is not enough to mark it down (hysteresis)...
+	tm.kill()
+	p.ProbeOnce()
+	if status().Down {
+		t.Fatal("down after a single probe failure")
+	}
+	// ...two are.
+	p.ProbeOnce()
+	if !status().Down {
+		t.Fatal("not down after DownAfter failures")
+	}
+	// Recovery is symmetric: one success keeps it down, the second
+	// brings it back.
+	tm.revive()
+	p.ProbeOnce()
+	if !status().Down {
+		t.Fatal("up after a single success")
+	}
+	p.ProbeOnce()
+	if st := status(); st.Down {
+		t.Fatal("not up after UpAfter successes")
+	} else if st.Epoch != epoch {
+		t.Fatalf("epoch changed across revive: %d -> %d", epoch, st.Epoch)
+	}
+
+	// A restart (new instance) is detected as an epoch change.
+	tm.restart()
+	p.ProbeOnce()
+	if st := status(); st.Epoch == epoch || st.Restarts != 1 {
+		t.Fatalf("restart not detected: %+v (old epoch %d)", st, epoch)
+	}
+}
+
+// keyHomedOn finds a key whose HRW home is the wanted member —
+// deterministically, so tests can stage exactly the failover they
+// mean to.
+func keyHomedOn(t *testing.T, p *Pool, want string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if p.RankFor(k)[0] == want {
+			return k
+		}
+	}
+	t.Fatalf("no key homed on %s in 10000 tries", want)
+	return ""
+}
+
+// The heart of the tentpole: kill the member hosting a session
+// mid-workload and the session must fail over to the next-ranked
+// member, replay, and produce output bit-identical to an undisturbed
+// single-server run.
+func TestSessionFailoverBitIdentical(t *testing.T) {
+	// Baseline digest on a lone direct server.
+	solo := newTestMember(t, "solo")
+	ds, err := cricket.NewSession(func() cricket.SessionOptions {
+		o := fastSessionOpts()
+		o.Redial = solo.dial
+		return o
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 4
+	want := workload(t, ds, rounds, nil)
+	ds.Close()
+
+	a := newTestMember(t, "a")
+	b := newTestMember(t, "b")
+	p, err := New(Options{DownAfter: 2, UpAfter: 1}, a.member(), b.member())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyHomedOn(t, p, "a")
+	s, err := p.Session(key, fastSessionOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Endpoint() != "a" {
+		t.Fatalf("placed on %s, want home a", s.Endpoint())
+	}
+	got := workload(t, s.Session, rounds, func(r int) {
+		if r == 1 {
+			a.kill() // the home dies mid-workload
+		}
+	})
+	if got != want {
+		t.Fatalf("failover digest %x != single-server digest %x", got, want)
+	}
+	if s.Endpoint() != "b" {
+		t.Fatalf("session ended on %s, want failover target b", s.Endpoint())
+	}
+	if name, _ := p.Placement(key); name != "b" {
+		t.Fatalf("placement records %s, want b", name)
+	}
+	st := p.Stats()
+	if st.Failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", st.Failovers)
+	}
+	ss := s.SessionStats()
+	if ss.Replays == 0 {
+		t.Fatal("failover did not replay session state")
+	}
+
+	// Close releases the placement.
+	s.Close()
+	if _, ok := p.Placement(key); ok {
+		t.Fatal("placement survived Close")
+	}
+	if bs := p.Members()[1]; bs.Name != "b" || bs.Sessions != 0 {
+		t.Fatalf("member b still counts sessions: %+v", bs)
+	}
+}
+
+// Sessions keyed differently spread across members, and each sticks
+// to its HRW home while the fleet is healthy.
+func TestPlacementFollowsRanking(t *testing.T) {
+	a := newTestMember(t, "a")
+	b := newTestMember(t, "b")
+	p, err := New(Options{}, a.member(), b.member())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"a", "b"} {
+		key := keyHomedOn(t, p, want)
+		s, err := p.Session(key, fastSessionOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Endpoint() != want {
+			t.Fatalf("key %q placed on %s, want %s", key, s.Endpoint(), want)
+		}
+		if got := workload(t, s.Session, 1, nil); got == 0 {
+			t.Fatal("empty digest")
+		}
+		s.Close()
+	}
+	if st := p.Stats(); st.Placements != 2 || st.Failovers != 0 {
+		t.Fatalf("stats = %+v, want 2 placements, 0 failovers", st)
+	}
+}

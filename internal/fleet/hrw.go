@@ -1,0 +1,50 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Placement uses rendezvous (highest-random-weight) hashing: every
+// (key, member) pair gets a deterministic pseudo-random score and the
+// key belongs to the highest-scoring member. The property that makes
+// HRW the right fit for a GPU fleet is minimal disruption: adding or
+// removing a member only moves the keys whose top score involved that
+// member — every other session keeps its placement, its lease, and
+// its server-side handles. Scores need no coordination, so every
+// client, the fleet binary, and the tests all compute the same
+// ranking independently.
+
+// score hashes the (key, member) pair. FNV-1a alone avalanches poorly
+// on short inputs, so the sum is finished with a splitmix64-style
+// mixer; without it, members with a shared prefix get correlated
+// rankings.
+func score(key, member string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0}) // separator: ("ab","c") must not collide with ("a","bc")
+	h.Write([]byte(member))
+	s := h.Sum64()
+	s ^= s >> 33
+	s *= 0xFF51AFD7ED558CCD
+	s ^= s >> 33
+	s *= 0xC4CEB9FE1A85EC53
+	s ^= s >> 33
+	return s
+}
+
+// Rank orders members for key by descending HRW score, breaking the
+// (practically unreachable) score ties by name so the order is a
+// total, deterministic function of its inputs. The first element is
+// the key's home member; the rest is its failover order.
+func Rank(key string, members []string) []string {
+	out := append([]string(nil), members...)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := score(key, out[i]), score(key, out[j])
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"io"
+	"testing"
+
+	"cricket/internal/cricket"
+	"cricket/internal/netsim"
+)
+
+// Satellite coverage: an asymmetric partition. Member A is perfectly
+// healthy — but THIS client cannot reach it (netsim.MultiPlan blocks
+// the dial path), while member B is reachable. The session must try
+// its HRW home A, spill to B, and produce output bit-identical to a
+// session dialed straight at B.
+func TestAsymmetricPartitionLandsOnNextRank(t *testing.T) {
+	a := newTestMember(t, "a")
+	b := newTestMember(t, "b")
+
+	// Baseline: the same workload dialed straight at B's server — no
+	// fleet, no partition.
+	direct, err := cricket.NewSession(func() cricket.SessionOptions {
+		o := fastSessionOpts()
+		o.Redial = b.dial
+		return o
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 3
+	want := workload(t, direct, rounds, nil)
+	direct.Close()
+	b.restart() // pristine instance for the routed run
+
+	// The fleet view, from behind the partition: every dial funnels
+	// through the plan, and the path to A is blocked.
+	plan := netsim.NewMultiPlan()
+	planned := func(name string, dial func() (io.ReadWriteCloser, error)) Member {
+		return Member{Name: name, Dial: plan.Dialer(name, dial)}
+	}
+	plan.Block("a")
+	p, err := New(Options{DownAfter: 2, UpAfter: 1}, planned("a", a.dial), planned("b", b.dial))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	key := keyHomedOn(t, p, "a")
+	s, err := p.Session(key, fastSessionOpts())
+	if err != nil {
+		t.Fatalf("session across partition: %v", err)
+	}
+	defer s.Close()
+
+	if got := plan.Dials("a"); got == 0 {
+		t.Fatal("session never tried its home member a")
+	}
+	if s.Endpoint() != "b" {
+		t.Fatalf("landed on %s, want b", s.Endpoint())
+	}
+	got := workload(t, s.Session, rounds, nil)
+	if got != want {
+		t.Fatalf("partitioned digest %x != direct-to-B digest %x", got, want)
+	}
+
+	// A is not down globally — only unreachable from here. The prober
+	// (sharing this client's network view) eventually marks it down;
+	// until then the per-dialer avoid set carried the spill. Verify
+	// the probe path agrees with the dial path.
+	p.ProbeOnce()
+	p.ProbeOnce()
+	for _, st := range p.Members() {
+		if st.Name == "a" && !st.Down {
+			t.Fatalf("a still up after %d failed probes from behind the partition", st.Probes)
+		}
+	}
+
+	// Healing the partition lets A come back and host new keys again.
+	plan.Unblock("a")
+	p.ProbeOnce()
+	if st := p.Members()[0]; st.Name != "a" || st.Down {
+		t.Fatalf("a did not recover after the partition healed: %+v", st)
+	}
+}

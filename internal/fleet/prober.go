@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"cricket/internal/cricket"
+)
+
+// The health prober is the pool's only active component: everything
+// else reacts to sessions. Each round it opens one short-lived client
+// per member, reads the boot epoch (SRV_GET_EPOCH — the one procedure
+// admission control never sheds, so a saturated member still probes
+// healthy) and the quota-clamped memory headroom, and folds the
+// outcome into the member's hysteresis counters. DownAfter
+// consecutive failures mark a member down; UpAfter consecutive
+// successes bring it back. Session dial failures feed the same
+// counters (Pool.failed), so a busy fleet detects death faster than
+// the probe period alone would.
+
+// ProbeOnce probes every member once, in name order, and returns how
+// many probes failed. It is synchronous; StartProber runs it on a
+// ticker.
+func (p *Pool) ProbeOnce() int {
+	p.mu.Lock()
+	names := make([]string, 0, len(p.members))
+	for n := range p.members {
+		names = append(names, n)
+	}
+	p.mu.Unlock()
+	sort.Strings(names)
+	failed := 0
+	for _, n := range names {
+		if !p.probe(n) {
+			failed++
+		}
+	}
+	p.mu.Lock()
+	p.stats.ProbeRounds++
+	p.mu.Unlock()
+	return failed
+}
+
+// probe runs one health probe against member name and reports
+// success. A member removed mid-probe is skipped.
+func (p *Pool) probe(name string) bool {
+	p.mu.Lock()
+	m := p.members[name]
+	if m == nil {
+		p.mu.Unlock()
+		return true
+	}
+	dial := m.Dial
+	m.probes++
+	p.mu.Unlock()
+
+	epoch, free, total, memOK, err := probeEndpoint(dial, p.opts.Probe)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m = p.members[name]
+	if m == nil {
+		return true
+	}
+	if err != nil {
+		m.probeFail++
+		p.failLocked(m)
+		return false
+	}
+	if m.epoch != 0 && epoch != 0 && epoch != m.epoch {
+		// The member rebooted between probes. Nothing to do here:
+		// sessions placed on it discover the new epoch on their next
+		// call and replay. Recorded for the status surface.
+		m.restarts++
+	}
+	m.epoch = epoch
+	if memOK {
+		m.freeMem, m.totalMem, m.memKnown = free, total, true
+	}
+	if m.down {
+		m.oks++
+		if m.oks >= p.opts.UpAfter {
+			m.down = false
+			m.fails, m.oks = 0, 0
+			p.stats.Transitions++
+		}
+	} else {
+		m.fails = 0
+	}
+	return true
+}
+
+// probeEndpoint opens one short-lived client and reads the liveness
+// and load signals. A memory-info failure (e.g. shed under inflight
+// admission control) does not fail the probe — the epoch answered, so
+// the member is alive; the pool just keeps its previous headroom view.
+func probeEndpoint(dial func() (io.ReadWriteCloser, error), opts cricket.Options) (epoch, free, total uint64, memOK bool, err error) {
+	conn, err := dial()
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	c, err := cricket.Connect(conn, opts)
+	if err != nil {
+		conn.Close()
+		return 0, 0, 0, false, err
+	}
+	defer c.Close()
+	epoch, err = c.Epoch()
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	if f, t, merr := c.MemGetInfo(); merr == nil {
+		free, total, memOK = f, t, true
+	}
+	return epoch, free, total, memOK, nil
+}
+
+// StartProber launches the background prober at Options.ProbeInterval
+// and returns its stop function (idempotent).
+func (p *Pool) StartProber() (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(p.opts.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				p.ProbeOnce()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,120 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// This file extends the single-connection fault injector and the
+// per-session churn plans to a fleet of endpoints. A MultiPlan scripts
+// reachability and per-connection faults for a set of named endpoints,
+// so tests can express asymmetric partitions ("this client reaches B
+// but not A, even though A is healthy"), per-member churn, and mid-run
+// topology changes — all deterministically, from the dialing client's
+// point of view.
+
+// ErrUnreachable is returned by MultiPlan.Dial for a blocked endpoint.
+// It models a partition between the dialing client and that endpoint;
+// the endpoint itself may be perfectly healthy, the partition is
+// asymmetric and scoped to this plan's point of view.
+var ErrUnreachable = errors.New("netsim: endpoint unreachable")
+
+// A MultiPlan scripts connection behavior across a set of named
+// endpoints. Endpoints spring into existence on first use; the zero
+// state of an endpoint is "reachable, no faults". Safe for concurrent
+// use.
+type MultiPlan struct {
+	mu  sync.Mutex
+	eps map[string]*endpointPlan
+}
+
+type endpointPlan struct {
+	blocked bool
+	churn   *Churn
+	session int // churn session id distinguishing endpoints sharing one plan
+	dials   int // dial attempts, including blocked ones
+	opened  int // successful dials; numbers churn attempts
+}
+
+// NewMultiPlan returns an empty plan: every endpoint reachable, no
+// faults scheduled.
+func NewMultiPlan() *MultiPlan {
+	return &MultiPlan{eps: make(map[string]*endpointPlan)}
+}
+
+func (p *MultiPlan) epLocked(name string) *endpointPlan {
+	e := p.eps[name]
+	if e == nil {
+		e = &endpointPlan{}
+		p.eps[name] = e
+	}
+	return e
+}
+
+// Block makes every subsequent Dial against endpoint fail with
+// ErrUnreachable, partitioning the dialing client from it. Existing
+// connections are unaffected — sever those separately (close them or
+// schedule faults) if the test wants a full partition.
+func (p *MultiPlan) Block(endpoint string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.epLocked(endpoint).blocked = true
+}
+
+// Unblock heals the partition to endpoint.
+func (p *MultiPlan) Unblock(endpoint string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.epLocked(endpoint).blocked = false
+}
+
+// SetChurn attaches a churn plan to endpoint: the i-th successful dial
+// is wrapped with the (session, i) fault schedule. The session id
+// keeps endpoints sharing one Churn on independent schedules.
+func (p *MultiPlan) SetChurn(endpoint string, session int, c *Churn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.epLocked(endpoint)
+	e.churn, e.session = c, session
+}
+
+// Dial runs one scripted connection attempt against endpoint: blocked
+// endpoints fail with ErrUnreachable; otherwise open provides the
+// transport, wrapped with the endpoint's next churn fault schedule
+// when one is attached.
+func (p *MultiPlan) Dial(endpoint string, open func() (io.ReadWriteCloser, error)) (io.ReadWriteCloser, error) {
+	p.mu.Lock()
+	e := p.epLocked(endpoint)
+	e.dials++
+	if e.blocked {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("dial %s: %w", endpoint, ErrUnreachable)
+	}
+	churn, session, attempt := e.churn, e.session, e.opened
+	e.opened++
+	p.mu.Unlock()
+	conn, err := open()
+	if err != nil {
+		return nil, err
+	}
+	if churn != nil {
+		return churn.Wrap(session, attempt, conn), nil
+	}
+	return conn, nil
+}
+
+// Dialer curries Dial into the redial signature the cricket session
+// and fleet layers expect.
+func (p *MultiPlan) Dialer(endpoint string, open func() (io.ReadWriteCloser, error)) func() (io.ReadWriteCloser, error) {
+	return func() (io.ReadWriteCloser, error) { return p.Dial(endpoint, open) }
+}
+
+// Dials reports how many dial attempts endpoint has seen, including
+// blocked ones.
+func (p *MultiPlan) Dials(endpoint string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epLocked(endpoint).dials
+}

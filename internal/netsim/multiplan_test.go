@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+)
+
+func pipeOpen() (func() (io.ReadWriteCloser, error), func() net.Conn) {
+	var last net.Conn
+	open := func() (io.ReadWriteCloser, error) {
+		a, b := net.Pipe()
+		last = b
+		return a, nil
+	}
+	return open, func() net.Conn { return last }
+}
+
+func TestMultiPlanBlockUnblock(t *testing.T) {
+	p := NewMultiPlan()
+	open, _ := pipeOpen()
+
+	if _, err := p.Dial("a", open); err != nil {
+		t.Fatalf("unblocked dial: %v", err)
+	}
+	p.Block("a")
+	if _, err := p.Dial("a", open); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("blocked dial = %v, want ErrUnreachable", err)
+	}
+	// The partition is per endpoint: b is untouched.
+	if _, err := p.Dial("b", open); err != nil {
+		t.Fatalf("dial b during a's partition: %v", err)
+	}
+	p.Unblock("a")
+	if _, err := p.Dial("a", open); err != nil {
+		t.Fatalf("healed dial: %v", err)
+	}
+	if got := p.Dials("a"); got != 3 {
+		t.Fatalf("a dials = %d, want 3 (blocked attempts count)", got)
+	}
+	if got := p.Dials("b"); got != 1 {
+		t.Fatalf("b dials = %d, want 1", got)
+	}
+}
+
+func TestMultiPlanChurnWrapsSuccessiveAttempts(t *testing.T) {
+	churn := NewChurn(7)
+	churn.SurviveProb = 0 // every connection gets faults
+	p := NewMultiPlan()
+	p.SetChurn("a", 3, churn)
+	open, peer := pipeOpen()
+
+	conn, err := p.Dial("a", open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, ok := conn.(*FaultConn)
+	if !ok {
+		t.Fatalf("churned dial returned %T, want *FaultConn", conn)
+	}
+	peer().Close()
+	fc.Close()
+
+	// Attempt numbering is per endpoint and deterministic: the i-th
+	// successful dial carries the (session, i) schedule.
+	want0 := churn.Faults(3, 0)
+	want1 := churn.Faults(3, 1)
+	if len(want0) == 0 || len(want1) == 0 {
+		t.Fatal("expected non-empty schedules with SurviveProb 0")
+	}
+	conn2, err := p.Dial("a", open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer().Close()
+	conn2.Close()
+
+	// Blocked attempts must not consume churn attempt numbers: block,
+	// fail one dial, unblock, and the next schedule is still attempt 2.
+	p.Block("a")
+	if _, err := p.Dial("a", open); err == nil {
+		t.Fatal("blocked dial succeeded")
+	}
+	p.Unblock("a")
+	if _, err := p.Dial("a", open); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Dials("a"); got != 4 {
+		t.Fatalf("dials = %d, want 4", got)
+	}
+}
+
+// An endpoint never mentioned before behaves as reachable and
+// fault-free.
+func TestMultiPlanZeroStateEndpoint(t *testing.T) {
+	p := NewMultiPlan()
+	open, peer := pipeOpen()
+	conn, err := p.Dial("fresh", open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := conn.(*FaultConn); ok {
+		t.Fatal("fault injector attached to an unconfigured endpoint")
+	}
+	peer().Close()
+	conn.Close()
+}
