@@ -19,18 +19,23 @@ race:
 # (Hermit batch>=32 at least 2x unbatched launch rate) holds, a
 # seeded churn storm against a governed server upholds the resource
 # invariants (no leaked device bytes, no scheduler ghosts, surviving
-# digests bit-identical), and a fleet storm that kills 1 of 3 members
+# digests bit-identical), a fleet storm that kills 1 of 3 members
 # mid-workload loses no session, keeps digests bit-identical to a
-# single-server run, and stays under 5% routed-vs-direct overhead.
+# single-server run, and stays under 5% routed-vs-direct overhead,
+# and the transport ablation proves all four transfer methods
+# bit-preserving with the zero-copy paths beating parallel sockets
+# and the shm bulk path allocation-free.
 ci: build vet race
 	$(GO) run ./cmd/benchharness -ablation-batch -smoke
 	$(GO) run ./cmd/benchharness -churn-smoke -ci
 	$(GO) run ./cmd/benchharness -fleet-smoke -ci
+	$(GO) run ./cmd/benchharness -transport-smoke -ci
 
 bench:
 	$(GO) run ./cmd/benchharness -all -ci
 	$(GO) run ./cmd/benchharness -ablation-batch -ci -batch-json BENCH_batch.json
 	$(GO) run ./cmd/benchharness -fleet-smoke -ci -fleet-json BENCH_fleet.json
+	$(GO) run ./cmd/benchharness -transport-smoke -ci -transport-json BENCH_transport.json
 
 generate:
 	$(GO) run ./cmd/rpcgen -pkg cricket -o internal/cricket/gen_cricket.go internal/cricket/cricket.x

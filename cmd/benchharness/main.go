@@ -44,6 +44,8 @@ func main() {
 	fleetSmoke := flag.Bool("fleet-smoke", false, "fleet chaos storm: kill 1 of 3 members mid-workload; exit 1 on lost sessions, digest drift, or >=5% routed overhead")
 	fleetSeed := flag.Int64("fleet-seed", 1, "with -fleet-smoke: master seed for the storm")
 	fleetJSON := flag.String("fleet-json", "", "with -fleet-smoke: also write the FleetResult as JSON to this file")
+	transportSmoke := flag.Bool("transport-smoke", false, "transport ablation: all four transfer methods; exit 1 on digest drift, zero-copy paths not beating sockets, or shm allocations")
+	transportJSON := flag.String("transport-json", "", "with -transport-smoke: also write the TransportResult as JSON to this file")
 	ablBatch := flag.Bool("ablation-batch", false, "BATCH_EXEC ablation: kernel-launch rate by batch size")
 	smoke := flag.Bool("smoke", false, "with -ablation-batch: tiny sweep, assert Hermit batch>=32 beats unbatched 2x")
 	batchJSON := flag.String("batch-json", "", "with -ablation-batch: also write points as JSON to this file")
@@ -237,6 +239,45 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("churn-smoke ok: zero leaked bytes, zero scheduler ghosts, surviving digests bit-identical")
+	})
+	section(*transportSmoke, func() {
+		xferBytes := 64 << 20
+		if *ci {
+			xferBytes = 8 << 20
+		}
+		start := time.Now()
+		r, err := bench.Transport(xferBytes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchharness: transport-smoke: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Transport ablation: %d MiB bulk transfers, native C client\n", r.Bytes>>20)
+		for _, m := range r.Methods {
+			allocs := "-"
+			if m.AllocsPerOp >= 0 {
+				allocs = fmt.Sprintf("%.1f allocs/op", m.AllocsPerOp)
+			}
+			fmt.Printf("  %-18s write %8.0f MiB/s  read %8.0f MiB/s  digests %016x/%016x/%016x  %s\n",
+				m.Method, m.WriteMiBps, m.ReadMiBps, m.MatrixMul, m.Histogram, m.LinearSolver, allocs)
+		}
+		fmt.Printf("  [generated in %v wall time]\n\n", time.Since(start).Round(time.Millisecond))
+		if *transportJSON != "" {
+			data, err := json.MarshalIndent(r, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*transportJSON, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchharness: write %s: %v\n", *transportJSON, err)
+				os.Exit(1)
+			}
+		}
+		if v := r.Violations(); len(v) != 0 {
+			for _, msg := range v {
+				fmt.Fprintf(os.Stderr, "benchharness: transport-smoke: VIOLATION: %s\n", msg)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("transport-smoke ok: digests bit-identical across transports, zero-copy paths beat sockets, shm bulk path allocation-free")
 	})
 	section(*fleetSmoke, func() {
 		sessions, fleetCalls := 12, 128

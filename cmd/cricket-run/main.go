@@ -40,6 +40,10 @@ func main() {
 	iters := flag.Int("iters", 0, "iteration/pass count (0: small demo default)")
 	direction := flag.String("direction", "h2d", "bandwidth direction: h2d or d2h")
 	full := flag.Bool("paper-scale", false, "run the full paper-scale workload (timing replay)")
+	transfer := flag.String("transfer", "rpc-args", "bulk-transfer method: rpc-args (inline), parallel-sockets (sockets), shared-memory (shm), rdma")
+	sockets := flag.Int("sockets", 4, "with -transfer parallel-sockets: data-connection count")
+	dataServer := flag.String("data-server", "", "with -server and -transfer parallel-sockets: the server's data-channel address (cricket-server -data-listen); empty moves bytes inline")
+	requireTransfer := flag.Bool("require-transfer", false, "fail instead of degrading to rpc-args when the server refuses -transfer")
 	session := flag.Bool("session", false, "with -server: use a fault-tolerant session (reconnect + replay)")
 	pauseMs := flag.Int("pause-ms", 0, "with -session: pause after checkpoint, before the launch (a window to kill/restart the server)")
 	traceOut := flag.String("trace", "", "write a JSON call trace (spans + per-procedure latency metrics) to this file at exit")
@@ -50,17 +54,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cricket-run: unknown platform %q\n", *platform)
 		os.Exit(2)
 	}
+	method, ok := cricket.TransferMethodByName(*transfer)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cricket-run: unknown transfer method %q\n", *transfer)
+		os.Exit(2)
+	}
 
 	var col *obs.Collector
 	if *traceOut != "" {
 		col = cricket.NewCollector(0)
 	}
 
+	opts := cricket.Options{
+		Obs:             col,
+		Transfer:        method,
+		Sockets:         *sockets,
+		RequireTransfer: *requireTransfer,
+	}
+	if *dataServer != "" {
+		addr := *dataServer
+		opts.DataDial = func() (io.ReadWriteCloser, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+
 	if *server != "" {
+		opts.Platform = p
 		if *session {
-			runSession(*server, p, *pauseMs, col)
+			runSession(*server, opts, *pauseMs)
 		} else {
-			runRemote(*server, p, *app, col)
+			runRemote(*server, opts, *app)
 		}
 		dumpTrace(col, *traceOut)
 		return
@@ -73,12 +96,15 @@ func main() {
 		// land in the same collector and join by call id.
 		cl.Cricket.SetObserver(col)
 	}
-	vg, err := cl.ConnectOpts(p, cricket.Options{Obs: col})
+	vg, err := cl.ConnectOpts(p, opts)
 	if err != nil {
 		fatal(err)
 	}
 	defer vg.Close()
 	defer dumpTrace(col, *traceOut)
+	if eff := vg.Raw().Transfer(); eff != method {
+		fmt.Fprintf(os.Stderr, "cricket-run: note: server degraded transfer from %s to %s\n", method, eff)
+	}
 
 	switch *app {
 	case "matrixmul":
@@ -166,12 +192,12 @@ func dumpTrace(col *obs.Collector, path string) {
 // runRemote issues a smoke workload against a real TCP server: device
 // discovery plus a memory round trip. Applications measure themselves
 // over real networks, so no simulated platform costs apply.
-func runRemote(addr string, p guest.Platform, app string, col *obs.Collector) {
+func runRemote(addr string, opts cricket.Options, app string) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		fatal(err)
 	}
-	c, err := cricket.Connect(conn, cricket.Options{Platform: p, Obs: col})
+	c, err := cricket.Connect(conn, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -180,7 +206,7 @@ func runRemote(addr string, p guest.Platform, app string, col *obs.Collector) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("connected to %s: %d device(s)\n", addr, n)
+	fmt.Printf("connected to %s: %d device(s), transfer method %s\n", addr, n, c.Transfer())
 	for i := 0; i < n; i++ {
 		prop, err := c.GetDeviceProperties(i)
 		if err != nil {
@@ -223,9 +249,9 @@ func runRemote(addr string, p guest.Platform, app string, col *obs.Collector) {
 // and the workload still completes, bit-identical. The result checksum
 // and the session's recovery counters are printed so a harness can
 // compare a faulted run against a fault-free one.
-func runSession(addr string, p guest.Platform, pauseMs int, col *obs.Collector) {
+func runSession(addr string, opts cricket.Options, pauseMs int) {
 	s, err := cricket.NewSession(cricket.SessionOptions{
-		Options: cricket.Options{Platform: p, Obs: col},
+		Options: opts,
 		Redial: func() (io.ReadWriteCloser, error) {
 			return net.DialTimeout("tcp", addr, 5*time.Second)
 		},

@@ -54,6 +54,7 @@ func main() {
 	maxClientMem := flag.Uint64("max-client-mem", 0, "per-client device-memory cap in bytes; cudaMemGetInfo reports the clamped view (0: unlimited)")
 	maxInflight := flag.Int("max-inflight", 0, "cap on concurrently executing calls; excess is shed with cudaErrorServerOverloaded plus a retry hint (0: unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "on SIGTERM/SIGINT: how long to let in-flight calls finish before hard-closing")
+	disableShm := flag.Bool("disable-shm", false, "refuse shared-memory transfer negotiation (clients degrade to rpc-args, or fail if they require it)")
 	flag.Parse()
 
 	var devices []*gpu.Device
@@ -73,6 +74,11 @@ func main() {
 	rpcSrv := oncrpc.NewServer()
 	rpcSrv.ErrorLog = log.Default()
 	srv.Attach(rpcSrv)
+
+	if *disableShm {
+		srv.DisableSharedMem()
+		log.Printf("shared-memory transfers disabled by policy")
+	}
 
 	if *leaseTTL > 0 || *maxClients > 0 || *maxClientMem > 0 || *maxInflight > 0 {
 		srv.SetLimits(cricket.Limits{

@@ -1,0 +1,281 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cricket/internal/cricket"
+	"cricket/internal/fleet"
+	"cricket/internal/guest"
+	"cricket/internal/netsim"
+)
+
+// xferNode wraps a fleet member with the three bulk carriers so a kill
+// takes down the member's data connections, shm segments, and RDMA
+// queue pairs along with its control plane.
+type xferNode struct {
+	*fleetNode
+	mu    sync.Mutex
+	conns []io.Closer
+	rings []*netsim.ShmRing
+	eps   []*netsim.RdmaEndpoint
+}
+
+// alive returns the member's server, or an error once it was killed.
+func (n *xferNode) alive() (*cricket.Server, error) {
+	n.fleetNode.mu.Lock()
+	defer n.fleetNode.mu.Unlock()
+	if n.dead {
+		return nil, errNodeDown(n.name)
+	}
+	return n.srv, nil
+}
+
+func (n *xferNode) dataDial() (io.ReadWriteCloser, error) {
+	srv, err := n.alive()
+	if err != nil {
+		return nil, err
+	}
+	dc, ds := net.Pipe()
+	n.mu.Lock()
+	n.conns = append(n.conns, ds)
+	n.mu.Unlock()
+	go srv.ServeDataConn(ds)
+	return dc, nil
+}
+
+func (n *xferNode) shmOpen() (*netsim.ShmRing, error) {
+	srv, err := n.alive()
+	if err != nil {
+		return nil, err
+	}
+	ring := netsim.NewShmRing(8, 256<<10)
+	n.mu.Lock()
+	n.rings = append(n.rings, ring)
+	n.mu.Unlock()
+	go srv.ServeShm(ring)
+	return ring, nil
+}
+
+func (n *xferNode) rdmaOpen() (*netsim.RdmaEndpoint, error) {
+	srv, err := n.alive()
+	if err != nil {
+		return nil, err
+	}
+	cep, sep := netsim.NewRdmaPair(8)
+	n.mu.Lock()
+	n.eps = append(n.eps, cep)
+	n.mu.Unlock()
+	go srv.ServeRDMA(sep, make([]byte, 1<<20))
+	return cep, nil
+}
+
+func (n *xferNode) kill() {
+	n.mu.Lock()
+	for _, c := range n.conns {
+		c.Close()
+	}
+	for _, r := range n.rings {
+		r.Close()
+	}
+	for _, ep := range n.eps {
+		ep.Close()
+	}
+	n.conns, n.rings, n.eps = nil, nil, nil
+	n.mu.Unlock()
+	n.fleetNode.kill()
+}
+
+// fleetBulkWorkload uploads a full position-dependent buffer every
+// iteration (so a failover onto a fresh member is corrected by the
+// next upload) and digests one final readback: the end state depends
+// only on the last upload, making the digest bit-identical across
+// transports and fault schedules.
+func fleetBulkWorkload(s *cricket.Session, iters, size, killAt int, kill func()) (uint64, error) {
+	p, err := s.Malloc(uint64(size))
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, size)
+	for i := 0; i < iters; i++ {
+		if i == killAt && kill != nil {
+			kill()
+		}
+		for j := range buf {
+			buf[j] = byte(j*5+j>>10) ^ byte(i)
+		}
+		if err := s.MemcpyHtoD(p, buf); err != nil {
+			return 0, err
+		}
+	}
+	out, err := s.MemcpyDtoH(p, uint64(size))
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	h.Write(out)
+	return h.Sum64(), nil
+}
+
+// TestFleetFailoverPerTransport kills the member a session is placed
+// on right before a multi-chunk upload, once per bulk transport: the
+// transfer hits the dead carrier partway through, and the session must
+// fail over to a surviving member, replay, renegotiate the transport
+// there, and finish with a digest bit-identical to the inline run.
+func TestFleetFailoverPerTransport(t *testing.T) {
+	const (
+		iters  = 12
+		size   = 1 << 20
+		killAt = iters / 3
+	)
+
+	// Inline single-server baseline: the bit-identity reference.
+	base := newRestartableServer()
+	bs, err := cricket.NewSession(cricket.SessionOptions{
+		Options: cricket.Options{Platform: guest.NativeC()},
+		Redial:  base.redial,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fleetBulkWorkload(bs, iters, size, -1, nil)
+	bs.Close()
+	base.close()
+	if err != nil {
+		t.Fatalf("baseline workload: %v", err)
+	}
+
+	methods := []cricket.TransferMethod{
+		cricket.TransferParallelSockets,
+		cricket.TransferSharedMem,
+		cricket.TransferRDMA,
+	}
+	for _, m := range methods {
+		t.Run(m.String(), func(t *testing.T) {
+			nodes := make(map[string]*xferNode, 3)
+			members := make([]fleet.Member, 0, 3)
+			for i := 0; i < 3; i++ {
+				fn, stopSweep := newFleetNode(fmt.Sprintf("%s-gpu%d", m, i), 0)
+				t.Cleanup(stopSweep)
+				t.Cleanup(fn.close)
+				nodes[fn.name] = &xferNode{fleetNode: fn}
+				members = append(members, fleet.Member{Name: fn.name, Dial: fn.dial})
+			}
+			pool, err := fleet.New(fleet.Options{
+				ProbeInterval: 5 * time.Millisecond,
+				DownAfter:     2,
+				UpAfter:       2,
+			}, members...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stopProber := pool.StartProber()
+			t.Cleanup(stopProber)
+
+			// The transport hooks must open carriers against the member
+			// this session's control connection goes to — including the
+			// failover target. The session's own dialer is the only
+			// race-free source: it names the endpoint before Connect
+			// opens carriers there, and unlike Member.Dial it is never
+			// touched by the health prober (which dials every member on
+			// each probe round), and unlike the pool's placement table
+			// it is already current while the failover Connect is still
+			// in flight.
+			const key = "bulk-guest"
+			td := &trackingDialer{EndpointDialer: pool.Dialer(key)}
+			node := func() *xferNode {
+				name := td.current()
+				n := nodes[name]
+				if n == nil {
+					t.Fatalf("no dialed member (%q)", name)
+				}
+				return n
+			}
+			opts := cricket.Options{Platform: guest.NativeC(), Transfer: m, Sockets: 3}
+			switch m {
+			case cricket.TransferParallelSockets:
+				opts.DataDial = func() (io.ReadWriteCloser, error) { return node().dataDial() }
+			case cricket.TransferSharedMem:
+				opts.ShmOpen = func() (*netsim.ShmRing, error) { return node().shmOpen() }
+			case cricket.TransferRDMA:
+				opts.RdmaOpen = func() (*netsim.RdmaEndpoint, error) { return node().rdmaOpen() }
+			}
+			s, err := cricket.NewSession(cricket.SessionOptions{
+				Options:     opts,
+				Dialer:      td,
+				Seed:        1,
+				MaxAttempts: 25,
+				BackoffBase: 500 * time.Microsecond,
+				BackoffMax:  10 * time.Millisecond,
+				Sleep:       func(time.Duration) {},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { s.Close() })
+
+			if got := s.Transfer(); got != m {
+				t.Fatalf("negotiated %v, want %v", got, m)
+			}
+			got, err := fleetBulkWorkload(s, iters, size, killAt, func() { node().kill() })
+			if err != nil {
+				t.Fatalf("workload across failover: %v", err)
+			}
+			if got != want {
+				t.Fatalf("digest %#x differs from inline baseline %#x", got, want)
+			}
+			if st := s.SessionStats(); st.Reconnects == 0 {
+				t.Fatalf("kill caused no reconnects: %+v", st)
+			}
+			if pool.Stats().Failovers == 0 {
+				t.Fatal("kill caused no failovers")
+			}
+			// The replacement carrier must live on a surviving member.
+			if _, err := node().alive(); err != nil {
+				t.Fatal("session ended on the dead member")
+			}
+			if got := s.Transfer(); got != m {
+				t.Fatalf("failover degraded the transport to %v", got)
+			}
+		})
+	}
+}
+
+// trackingDialer remembers which member the session last successfully
+// dialed, so carrier hooks invoked during the subsequent Connect (and
+// any later lazy reopen) target the same member.
+type trackingDialer struct {
+	cricket.EndpointDialer
+	mu   sync.Mutex
+	name string
+}
+
+func (d *trackingDialer) DialEndpoint() (io.ReadWriteCloser, string, error) {
+	conn, name, err := d.EndpointDialer.DialEndpoint()
+	if err == nil {
+		d.mu.Lock()
+		d.name = name
+		d.mu.Unlock()
+	}
+	return conn, name, err
+}
+
+func (d *trackingDialer) current() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.name
+}
+
+func errNodeDown(name string) error {
+	return &nodeDownError{name}
+}
+
+type nodeDownError struct{ name string }
+
+func (e *nodeDownError) Error() string { return "fleet member " + e.name + ": down" }

@@ -54,6 +54,8 @@ type Cluster struct {
 
 	mu     sync.Mutex
 	conns  []net.Conn
+	rings  []*netsim.ShmRing
+	eps    []*netsim.RdmaEndpoint
 	nextID int
 	closed bool
 }
@@ -115,6 +117,30 @@ func (cl *Cluster) ConnectOpts(platform guest.Platform, opts cricket.Options) (*
 			return dc, nil
 		}
 	}
+	if opts.Transfer == cricket.TransferSharedMem && opts.ShmOpen == nil {
+		// In-process shared-memory ring: the server consumes device
+		// copies straight from the segment (zero-copy bulk path).
+		opts.ShmOpen = func() (*netsim.ShmRing, error) {
+			ring := netsim.NewShmRing(32, 512<<10)
+			go cl.Cricket.ServeShm(ring)
+			cl.mu.Lock()
+			cl.rings = append(cl.rings, ring)
+			cl.mu.Unlock()
+			return ring, nil
+		}
+	}
+	if opts.Transfer == cricket.TransferRDMA && opts.RdmaOpen == nil {
+		// In-process RDMA-shaped queue pair with a 4 MiB server
+		// staging window.
+		opts.RdmaOpen = func() (*netsim.RdmaEndpoint, error) {
+			cep, sep := netsim.NewRdmaPair(16)
+			go cl.Cricket.ServeRDMA(sep, make([]byte, 4<<20))
+			cl.mu.Lock()
+			cl.eps = append(cl.eps, cep)
+			cl.mu.Unlock()
+			return cep, nil
+		}
+	}
 	c, err := cricket.Connect(cliConn, opts)
 	if err != nil {
 		cliConn.Close()
@@ -147,10 +173,17 @@ func (cl *Cluster) Close() {
 	}
 	cl.closed = true
 	conns := cl.conns
-	cl.conns = nil
+	rings, eps := cl.rings, cl.eps
+	cl.conns, cl.rings, cl.eps = nil, nil, nil
 	cl.mu.Unlock()
 	for _, c := range conns {
 		c.Close()
+	}
+	for _, r := range rings {
+		r.Close()
+	}
+	for _, ep := range eps {
+		ep.Close()
 	}
 	cl.RPC.Close()
 }

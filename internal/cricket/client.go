@@ -46,6 +46,21 @@ type Options struct {
 	// for TransferParallelSockets. When nil, the strategy falls back
 	// to inline RPC arguments with simulated concurrency costs only.
 	DataDial func() (io.ReadWriteCloser, error)
+	// ShmOpen maps one shared-memory ring to the server for
+	// TransferSharedMem (the server must be serving the ring's
+	// consumer side, see Server.ServeShm). When nil, the negotiated
+	// method keeps moving bytes inline with direct-path costs only.
+	ShmOpen func() (*netsim.ShmRing, error)
+	// RdmaOpen connects one RDMA-shaped queue pair to the server for
+	// TransferRDMA (see Server.ServeRDMA). When nil, like ShmOpen,
+	// the method is modeled over the inline path.
+	RdmaOpen func() (*netsim.RdmaEndpoint, error)
+	// RequireTransfer makes Connect fail when the server refuses the
+	// requested transfer method instead of degrading to RPC
+	// arguments. Without it, negotiation is authoritative but
+	// forgiving: the client falls back and Transfer() reports the
+	// effective method.
+	RequireTransfer bool
 	// Timeout bounds each RPC round trip; zero means none.
 	Timeout time.Duration
 	// CallTimeout bounds each control-plane call (everything except
@@ -113,7 +128,9 @@ type Client struct {
 	// obs is Options.Obs; nil disables all tracing work.
 	obs *obs.Collector
 
-	channels []*dataChannel
+	// tr moves bulk memcpy payloads; installed by Connect after
+	// negotiation (see transport.go).
+	tr Transport
 
 	// batch is the pending command queue, nil when batching is off.
 	batch *batchQueue
@@ -188,15 +205,48 @@ func Connect(conn io.ReadWriteCloser, opts Options) (*Client, error) {
 			return nil, err
 		}
 		if code != 0 {
-			rpc.Close()
-			return nil, cuda.Error(code)
+			// A policy refusal (cudaErrorNotSupported, e.g. a server
+			// with shared memory disabled) degrades to inline RPC
+			// arguments unless the caller demanded the method; the
+			// negotiation outcome is authoritative either way, so
+			// Transfer() reports what is actually in effect. Any
+			// other code is a malformed request and always fails.
+			if opts.RequireTransfer || cuda.Error(code) != cuda.ErrorNotSupported {
+				rpc.Close()
+				if opts.RequireTransfer {
+					return nil, fmt.Errorf("%w: server refused %s: %w",
+						ErrTransferUnsupported, opts.Transfer, cuda.Error(code))
+				}
+				return nil, cuda.Error(code)
+			}
+			c.transfer = TransferRPCArgs
 		}
 	}
-	if opts.Transfer == TransferParallelSockets && opts.DataDial != nil {
-		if err := c.openDataChannels(opts.DataDial); err != nil {
-			rpc.Close()
-			return nil, err
+	var err error
+	switch {
+	case c.transfer == TransferParallelSockets && opts.DataDial != nil:
+		st := &socketTransport{c: c, dial: opts.DataDial, sockets: c.sockets, maxFrame: maxDataFrame}
+		if err = st.open(); err == nil {
+			c.tr = st
 		}
+	case c.transfer == TransferSharedMem && opts.ShmOpen != nil:
+		st := &shmTransport{c: c, open: opts.ShmOpen}
+		if err = st.Reopen(); err == nil {
+			c.tr = st
+		}
+	case c.transfer == TransferRDMA && opts.RdmaOpen != nil:
+		rt := &rdmaTransport{c: c, open: opts.RdmaOpen}
+		if err = rt.Reopen(); err == nil {
+			c.tr = rt
+		}
+	case c.transfer == TransferSharedMem || c.transfer == TransferRDMA:
+		c.tr = &modelTransport{c: c}
+	default:
+		c.tr = &inlineTransport{c: c}
+	}
+	if err != nil {
+		rpc.Close()
+		return nil, err
 	}
 	return c, nil
 }
@@ -228,7 +278,9 @@ func (c *Client) Close() error {
 		}
 		c.batch.mu.Unlock()
 	}
-	c.closeDataChannels()
+	if c.tr != nil {
+		c.tr.Close()
+	}
 	return c.rpc.Close()
 }
 
@@ -450,36 +502,23 @@ func (c *Client) transferConc() int {
 }
 
 // MemcpyHtoD implements cudaMemcpy(HostToDevice). Bulk data travels
-// per the configured transfer method; functionally everything flows
-// through RPC arguments (the in-process transport), while the
-// simulated cost reflects the selected strategy.
+// over the negotiated transport (see transport.go): inline RPC
+// arguments, framed parallel sockets, the shared-memory ring, or the
+// RDMA-shaped path.
 func (c *Client) MemcpyHtoD(dst gpu.Ptr, data []byte) error {
 	if err := c.flushBatch(); err != nil {
 		return err
 	}
-	if c.transfer == TransferSharedMem || c.transfer == TransferRDMA {
-		return c.directTransfer(len(data), true, func(ctx context.Context) (int32, error) {
-			return c.gen.CudaMemcpyHtodContext(ctx, uint64(dst), MemData(data))
-		})
+	return c.tr.Write(dst, data)
+}
+
+// MemcpyHtoDv is the vectored MemcpyHtoD: bufs land back to back at
+// dst. Transports with gather support coalesce; others iterate.
+func (c *Client) MemcpyHtoDv(dst gpu.Ptr, bufs [][]byte) error {
+	if err := c.flushBatch(); err != nil {
+		return err
 	}
-	if c.transfer == TransferParallelSockets && len(c.channels) > 0 {
-		return c.parallelTransfer(len(data), true, func() error {
-			return c.parallelWrite(dst, data)
-		})
-	}
-	var code int32
-	err := c.account(true, c.transferConc(), func(ctx context.Context) (e error) {
-		code, e = c.gen.CudaMemcpyHtodContext(ctx, uint64(dst), MemData(data))
-		return
-	})
-	// Count only bytes the device actually accepted; a failed copy
-	// moved nothing.
-	if err = inband(code, err); err == nil {
-		c.mu.Lock()
-		c.stats.BytesToDevice += uint64(len(data))
-		c.mu.Unlock()
-	}
-	return err
+	return c.tr.Writev(dst, bufs)
 }
 
 // MemcpyDtoH implements cudaMemcpy(DeviceToHost), returning a fresh
@@ -498,40 +537,41 @@ func (c *Client) MemcpyDtoH(src gpu.Ptr, n uint64) ([]byte, error) {
 }
 
 func (c *Client) memcpyDtoH(src gpu.Ptr, n uint64) ([]byte, error) {
-	if c.transfer == TransferParallelSockets && len(c.channels) > 0 {
-		out := make([]byte, n)
-		err := c.parallelTransfer(int(n), false, func() error {
-			return c.parallelRead(src, out)
-		})
-		if err != nil {
-			return nil, err
-		}
-		return out, nil
+	if ar, ok := c.tr.(allocReader); ok {
+		return ar.ReadAlloc(src, n)
 	}
-	if c.transfer == TransferSharedMem || c.transfer == TransferRDMA {
-		var res DataResult
-		err := c.directTransfer(int(n), false, func(ctx context.Context) (int32, error) {
-			var e error
-			res, e = c.gen.CudaMemcpyDtohContext(ctx, uint64(src), n)
-			return res.Err, e
-		})
-		if err != nil {
-			return nil, err
-		}
-		return res.Data, nil
-	}
-	var res DataResult
-	err := c.account(true, c.transferConc(), func(ctx context.Context) (e error) {
-		res, e = c.gen.CudaMemcpyDtohContext(ctx, uint64(src), n)
-		return
-	})
-	if err = inband(res.Err, err); err != nil {
+	out := make([]byte, n)
+	if err := c.tr.Read(src, out); err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	c.stats.BytesFromDevice += n
-	c.mu.Unlock()
-	return res.Data, nil
+	return out, nil
+}
+
+// MemcpyDtoHInto is MemcpyDtoH into a caller-provided buffer, the
+// allocation-free form: with the shared-memory transport the device
+// bytes move segment-to-buffer with no heap allocation at all.
+func (c *Client) MemcpyDtoHInto(src gpu.Ptr, dst []byte) error {
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
+	err := c.tr.Read(src, dst)
+	if d := c.takeDeferred(); d != nil {
+		return d
+	}
+	return err
+}
+
+// MemcpyDtoHIntov is the vectored MemcpyDtoHInto: consecutive device
+// memory at src scatters into bufs.
+func (c *Client) MemcpyDtoHIntov(src gpu.Ptr, bufs [][]byte) error {
+	if err := c.flushBatch(); err != nil {
+		return err
+	}
+	err := c.tr.Readv(src, bufs)
+	if d := c.takeDeferred(); d != nil {
+		return d
+	}
+	return err
 }
 
 // parallelTransfer performs a bulk move over the side-channel data
@@ -556,47 +596,67 @@ func (c *Client) parallelTransfer(n int, toDevice bool, fn func() error) error {
 	return err
 }
 
-// directTransfer performs a bulk move whose simulated cost bypasses
-// the TCP path: shared memory costs one memcpy, RDMA costs wire
-// serialization with no per-byte CPU work (GPUDirect: NIC writes
-// device memory directly).
-func (c *Client) directTransfer(n int, toDevice bool, fn func(ctx context.Context) (int32, error)) error {
+// countCall bumps the logical API-call counter. Kept closure-free:
+// the zero-allocation transports call it per transfer.
+func (c *Client) countCall() {
 	c.mu.Lock()
 	c.stats.APICalls++
 	c.mu.Unlock()
+}
+
+// addBytes counts transfer volume in the given direction. Callers
+// only count bytes the device actually accepted or produced.
+func (c *Client) addBytes(toDevice bool, n uint64) {
+	c.mu.Lock()
+	if toDevice {
+		c.stats.BytesToDevice += n
+	} else {
+		c.stats.BytesFromDevice += n
+	}
+	c.mu.Unlock()
+}
+
+// chargeDirectMove bills the simulated cost of an n-byte direct
+// (shared-memory or RDMA) transfer. The server already charged the
+// PCIe device copy onto the shared clock; direct methods eliminate
+// the staging buffer, so the data-movement phase (host copy or wire)
+// OVERLAPS the PCIe phase: total = max(move, pcie). Charge the
+// remainder.
+func (c *Client) chargeDirectMove(n int) {
+	if !c.sim {
+		return
+	}
+	pcie := gpu.PCIeCopyTime(uint64(n))
+	var move time.Duration
+	switch c.transfer {
+	case TransferSharedMem:
+		// One cross-process copy at host memcpy speed plus a
+		// doorbell round trip.
+		move = time.Duration(float64(n)/c.platform.Stack.CopyBps*1e9)*time.Nanosecond + 4*time.Microsecond
+	case TransferRDMA:
+		// Registered-memory direct placement: wire time plus
+		// completion handling, no endpoint byte costs.
+		move = c.path.Link.WireTime(n) + 6*time.Microsecond
+	}
+	if move > pcie {
+		c.path.Clock.Advance(move - pcie)
+	}
+}
+
+// directTransfer performs a bulk move whose simulated cost bypasses
+// the TCP path: shared memory costs one memcpy, RDMA costs wire
+// serialization with no per-byte CPU work (GPUDirect: NIC writes
+// device memory directly). It carries the modelTransport, where the
+// negotiated direct method has no real carrier wired.
+func (c *Client) directTransfer(n int, toDevice bool, fn func(ctx context.Context) (int32, error)) error {
+	c.countCall()
 	ctx, cancel := c.ctxFor(true)
 	defer cancel()
 	code, err := fn(ctx)
 	if inband(code, err) == nil {
-		c.mu.Lock()
-		if toDevice {
-			c.stats.BytesToDevice += uint64(n)
-		} else {
-			c.stats.BytesFromDevice += uint64(n)
-		}
-		c.mu.Unlock()
+		c.addBytes(toDevice, uint64(n))
 	}
-	if c.sim {
-		// The server already charged the PCIe device copy onto the
-		// shared clock. Direct methods eliminate the staging buffer,
-		// so the data-movement phase (host copy or wire) OVERLAPS the
-		// PCIe phase: total = max(move, pcie). Charge the remainder.
-		pcie := gpu.PCIeCopyTime(uint64(n))
-		var move time.Duration
-		switch c.transfer {
-		case TransferSharedMem:
-			// One cross-process copy at host memcpy speed plus a
-			// doorbell round trip.
-			move = time.Duration(float64(n)/c.platform.Stack.CopyBps*1e9)*time.Nanosecond + 4*time.Microsecond
-		case TransferRDMA:
-			// Registered-memory direct placement: wire time plus
-			// completion handling, no endpoint byte costs.
-			move = c.path.Link.WireTime(n) + 6*time.Microsecond
-		}
-		if move > pcie {
-			c.path.Clock.Advance(move - pcie)
-		}
-	}
+	c.chargeDirectMove(n)
 	return inband(code, err)
 }
 
@@ -945,5 +1005,11 @@ func (c *Client) TakeRetryHint() time.Duration { return c.rpc.TakeRetryHint() }
 // Platform returns the client's execution platform.
 func (c *Client) Platform() guest.Platform { return c.platform }
 
-// Transfer returns the active bulk-transfer method.
+// Transfer returns the effective bulk-transfer method: the outcome of
+// the Connect negotiation, which may be a degrade from the requested
+// one (see Options.RequireTransfer).
 func (c *Client) Transfer() TransferMethod { return c.transfer }
+
+// TransportCaps describes the active transport: effective method,
+// carrier parallelism, frame/slot/window granularity, zero-copy.
+func (c *Client) TransportCaps() TransportCaps { return c.tr.Caps() }

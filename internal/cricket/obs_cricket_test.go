@@ -296,24 +296,25 @@ func TestServeDataRetriesTemporaryAcceptErrors(t *testing.T) {
 	}
 }
 
-// parallelXfer must handle transfers smaller than the channel count
-// (only the covering prefix of channels runs) and empty transfers (no
-// ops at all) without faulting or dispatching out-of-range chunks.
+// The socket transport's xfer must handle transfers smaller than the
+// channel count (only the covering prefix of channels runs) and empty
+// transfers (no ops at all) without faulting or dispatching
+// out-of-range chunks.
 func TestParallelXferSmallTransfers(t *testing.T) {
-	mk := func(k int) *Client {
-		c := &Client{}
+	mk := func(k int) *socketTransport {
+		st := &socketTransport{c: &Client{}, sockets: k}
 		for i := 0; i < k; i++ {
-			c.channels = append(c.channels, &dataChannel{})
+			st.channels = append(st.channels, &dataChannel{})
 		}
-		return c
+		return st
 	}
 
 	t.Run("n less than channels", func(t *testing.T) {
-		c := mk(4)
+		st := mk(4)
 		type chunk struct{ off, n int }
 		got := make([]chunk, 4)
 		var calls atomic.Int32
-		err := c.parallelXfer(2, func(ch *dataChannel, off, n int) error {
+		err := st.xfer(2, func(ch *dataChannel, off, n int) error {
 			got[off] = chunk{off, n}
 			calls.Add(1)
 			return nil
@@ -330,8 +331,8 @@ func TestParallelXferSmallTransfers(t *testing.T) {
 	})
 
 	t.Run("n zero", func(t *testing.T) {
-		c := mk(3)
-		err := c.parallelXfer(0, func(ch *dataChannel, off, n int) error {
+		st := mk(3)
+		err := st.xfer(0, func(ch *dataChannel, off, n int) error {
 			t.Errorf("unexpected op at off=%d n=%d", off, n)
 			return nil
 		})
@@ -341,8 +342,8 @@ func TestParallelXferSmallTransfers(t *testing.T) {
 	})
 
 	t.Run("no channels", func(t *testing.T) {
-		c := mk(0)
-		if err := c.parallelXfer(8, func(*dataChannel, int, int) error { return nil }); err == nil {
+		st := mk(0)
+		if err := st.xfer(8, func(*dataChannel, int, int) error { return nil }); err == nil {
 			t.Fatal("expected an error with zero channels")
 		}
 	})

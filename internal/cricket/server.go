@@ -71,6 +71,22 @@ func (m TransferMethod) String() string {
 	return "unknown"
 }
 
+// TransferMethodByName resolves a method from its canonical name (as
+// printed by String) or a short alias (inline, sockets, shm).
+func TransferMethodByName(name string) (TransferMethod, bool) {
+	switch name {
+	case "rpc-args", "inline":
+		return TransferRPCArgs, true
+	case "parallel-sockets", "sockets":
+		return TransferParallelSockets, true
+	case "shared-memory", "shm":
+		return TransferSharedMem, true
+	case "rdma":
+		return TransferRDMA, true
+	}
+	return 0, false
+}
+
 // ServerStats are cumulative counters for one Cricket server.
 type ServerStats struct {
 	Calls          uint64
@@ -205,6 +221,20 @@ func (s *Server) Runtime() *cuda.Runtime { return s.rt }
 func (s *Server) count(f func(*ServerStats)) {
 	s.mu.Lock()
 	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// addServerBytes bumps the transfer-volume counters without the
+// count closure: the shm ring consumer and the data channels sit on
+// allocation-free hot paths, and a captured-variable closure per
+// frame would break their 0 allocs/op pin.
+func (s *Server) addServerBytes(toGPU bool, n uint64) {
+	s.mu.Lock()
+	if toGPU {
+		s.stats.BytesToGPU += n
+	} else {
+		s.stats.BytesFromGPU += n
+	}
 	s.mu.Unlock()
 }
 

@@ -428,6 +428,21 @@ func (s *Session) SimNow() time.Duration {
 	return s.c.SimNow()
 }
 
+// Transfer reports the effective bulk-transfer method negotiated on
+// the session's current connection. Like Client.Transfer it reflects
+// what the server accepted, not what was requested, and it can change
+// across reconnects (each recovery renegotiates against the member it
+// lands on). Disconnected sessions report TransferRPCArgs.
+func (s *Session) Transfer() TransferMethod {
+	s.mu.Lock()
+	c := s.c
+	s.mu.Unlock()
+	if c == nil {
+		return TransferRPCArgs
+	}
+	return c.Transfer()
+}
+
 // Stats returns the underlying client's transfer counters. Counters
 // reset on reconnect (they belong to one connection); SessionStats
 // records recovery activity across the whole session.
@@ -702,7 +717,11 @@ func (s *Session) do(op func(c *Client) error) error {
 			s.opts.Sleep(d)
 			continue
 		}
-		if !oncrpc.IsTransportError(err) {
+		// Bulk-transport carrier faults (a dead data channel, shm
+		// ring, or RDMA queue pair) are recoverable the same way RPC
+		// transport errors are: reconnecting renegotiates the method
+		// and reopens the carrier, and the datapath op is idempotent.
+		if !oncrpc.IsTransportError(err) && !errors.Is(err, ErrCarrier) {
 			return err
 		}
 		if rerr := s.recover(); rerr != nil {

@@ -11,6 +11,7 @@ import (
 
 	"cricket/internal/cuda"
 	"cricket/internal/gpu"
+	"cricket/internal/netsim"
 )
 
 // This file implements Cricket's side-channel bulk data path: the
@@ -88,7 +89,7 @@ func (s *Server) ServeDataConn(conn io.ReadWriter) error {
 			}
 			_, err := s.rt.MemcpyHtoD(ptr, buf)
 			if err == nil {
-				s.count(func(st *ServerStats) { st.BytesToGPU += n })
+				s.addServerBytes(true, n)
 			}
 			binary.BigEndian.PutUint32(status[:], uint32(cuda.Code(err)))
 			if _, err := conn.Write(status[:]); err != nil {
@@ -98,7 +99,7 @@ func (s *Server) ServeDataConn(conn io.ReadWriter) error {
 			buf := grow(n)
 			_, err := s.rt.MemcpyDtoHInto(ptr, buf)
 			if err == nil {
-				s.count(func(st *ServerStats) { st.BytesFromGPU += n })
+				s.addServerBytes(false, n)
 			}
 			binary.BigEndian.PutUint32(status[:], uint32(cuda.Code(err)))
 			if _, err := conn.Write(status[:]); err != nil {
@@ -156,128 +157,200 @@ func (s *Server) ServeData(l net.Listener) error {
 	}
 }
 
+// ServeShm runs the server-side consumer of one shared-memory ring:
+// each published descriptor is a device copy executed straight from
+// (or into) the ring's segment window — the zero-copy half of the
+// shared-memory method. It returns when the ring closes. The per-slot
+// path performs no heap allocations, which the transport benchmark's
+// AllocsPerRun pin depends on.
+func (s *Server) ServeShm(r *netsim.ShmRing) {
+	r.Serve(func(op uint32, ptr uint64, buf []byte) uint32 {
+		switch op {
+		case dataOpWrite:
+			_, err := s.rt.MemcpyHtoD(gpu.Ptr(ptr), buf)
+			if err == nil {
+				s.addServerBytes(true, uint64(len(buf)))
+			}
+			return uint32(cuda.Code(err))
+		case dataOpRead:
+			_, err := s.rt.MemcpyDtoHInto(gpu.Ptr(ptr), buf)
+			if err == nil {
+				s.addServerBytes(false, uint64(len(buf)))
+			}
+			return uint32(cuda.Code(err))
+		default:
+			return uint32(cuda.ErrorInvalidValue)
+		}
+	})
+}
+
+// ServeRDMA serves one RDMA-shaped connection: it registers window as
+// the staging region, advertises it to the client (rdmaOpHello), and
+// then executes command messages — writes read the client's one-sided
+// payload out of the window; reads one-sided-write device bytes into
+// the client's registered buffer before the status reply. It returns
+// when the queue pair closes.
+func (s *Server) ServeRDMA(ep *netsim.RdmaEndpoint, window []byte) {
+	defer ep.Close()
+	wkey := ep.RegisterMR(window)
+	if err := ep.PostSend(netsim.RdmaMsg{Op: rdmaOpHello, Key: wkey, Len: uint64(len(window))}); err != nil {
+		return
+	}
+	if _, ok := ep.PollCQ(); !ok {
+		return
+	}
+	for {
+		msg, ok := ep.Recv()
+		if !ok {
+			return
+		}
+		var err error
+		switch msg.Op {
+		case dataOpWrite:
+			if msg.Len > uint64(len(window)) {
+				err = cuda.ErrorInvalidValue
+			} else if _, err = s.rt.MemcpyHtoD(gpu.Ptr(msg.Ptr), window[:msg.Len]); err == nil {
+				s.addServerBytes(true, msg.Len)
+			}
+		case dataOpRead:
+			if msg.Len > uint64(len(window)) {
+				err = cuda.ErrorInvalidValue
+			} else if _, err = s.rt.MemcpyDtoHInto(gpu.Ptr(msg.Ptr), window[:msg.Len]); err == nil {
+				if ep.PostWrite(wkey, 0, msg.Len, msg.Key, msg.Off) != nil {
+					return
+				}
+				wc, ok := ep.PollCQ()
+				if !ok {
+					return
+				}
+				if wc.Err != nil {
+					err = cuda.ErrorInvalidValue
+				} else {
+					s.addServerBytes(false, msg.Len)
+				}
+			}
+		default:
+			err = cuda.ErrorInvalidValue
+		}
+		if ep.PostSend(netsim.RdmaMsg{Op: msg.Op, Status: uint32(cuda.Code(err))}) != nil {
+			return
+		}
+		if _, ok := ep.PollCQ(); !ok {
+			return
+		}
+	}
+}
+
 // dataChannel is one client-side data connection with its frame
-// buffers.
+// scratch buffers, kept in the struct so the per-frame path performs
+// no allocations.
 type dataChannel struct {
 	mu   sync.Mutex
 	conn io.ReadWriteCloser
+	// maxFrame caps one frame payload; zero means maxDataFrame.
+	maxFrame int
+
+	hdr  [21]byte
+	st   [4]byte
+	vecb [2][]byte
+	bufs net.Buffers
 }
 
-// write pushes one chunk to the device through this channel.
+// frameMax returns the effective per-frame payload cap.
+func (dc *dataChannel) frameMax() int {
+	if dc.maxFrame > 0 {
+		return dc.maxFrame
+	}
+	return maxDataFrame
+}
+
+// writeFrame emits one frame header (and payload, for writes) as a
+// single gathered write: the header and payload spans coalesce into
+// one net.Buffers writev instead of two stream writes. The backing
+// vector is rebuilt each call because WriteTo consumes it.
+func (dc *dataChannel) writeFrame(op byte, ptr gpu.Ptr, n int, payload []byte) error {
+	binary.BigEndian.PutUint32(dc.hdr[0:], dataMagic)
+	dc.hdr[4] = op
+	binary.BigEndian.PutUint64(dc.hdr[5:], uint64(ptr))
+	binary.BigEndian.PutUint64(dc.hdr[13:], uint64(n))
+	dc.vecb[0] = dc.hdr[:]
+	if len(payload) > 0 {
+		dc.vecb[1] = payload
+		dc.bufs = dc.vecb[:2]
+	} else {
+		dc.bufs = dc.vecb[:1]
+	}
+	if _, err := dc.bufs.WriteTo(dc.conn); err != nil {
+		return carrier(err)
+	}
+	return nil
+}
+
+// readStatus reads one frame's status reply; a non-success CUDA code
+// is in-band (the stream stays synchronized), an I/O failure is a
+// carrier fault.
+func (dc *dataChannel) readStatus() error {
+	if _, err := io.ReadFull(dc.conn, dc.st[:]); err != nil {
+		return carrier(err)
+	}
+	if code := cuda.Error(binary.BigEndian.Uint32(dc.st[:])); code != cuda.Success {
+		return code
+	}
+	return nil
+}
+
+// write pushes one contiguous span to the device through this
+// channel, split into frames of at most frameMax payload bytes so an
+// oversized memcpy never emits a frame the server rejects.
 func (dc *dataChannel) write(ptr gpu.Ptr, payload []byte) error {
 	dc.mu.Lock()
 	defer dc.mu.Unlock()
-	var hdr [21]byte
-	binary.BigEndian.PutUint32(hdr[0:], dataMagic)
-	hdr[4] = dataOpWrite
-	binary.BigEndian.PutUint64(hdr[5:], uint64(ptr))
-	binary.BigEndian.PutUint64(hdr[13:], uint64(len(payload)))
-	if _, err := dc.conn.Write(hdr[:]); err != nil {
-		return err
+	fmax := dc.frameMax()
+	off := 0
+	for {
+		n := len(payload) - off
+		if n > fmax {
+			n = fmax
+		}
+		if err := dc.writeFrame(dataOpWrite, ptr+gpu.Ptr(off), n, payload[off:off+n]); err != nil {
+			return err
+		}
+		if err := dc.readStatus(); err != nil {
+			return err
+		}
+		off += n
+		if off >= len(payload) {
+			return nil
+		}
 	}
-	if _, err := dc.conn.Write(payload); err != nil {
-		return err
-	}
-	var status [4]byte
-	if _, err := io.ReadFull(dc.conn, status[:]); err != nil {
-		return err
-	}
-	if code := cuda.Error(binary.BigEndian.Uint32(status[:])); code != cuda.Success {
-		return code
-	}
-	return nil
 }
 
-// read pulls one chunk from the device through this channel.
+// read pulls one contiguous span from the device through this
+// channel, framed like write.
 func (dc *dataChannel) read(ptr gpu.Ptr, dst []byte) error {
 	dc.mu.Lock()
 	defer dc.mu.Unlock()
-	var hdr [21]byte
-	binary.BigEndian.PutUint32(hdr[0:], dataMagic)
-	hdr[4] = dataOpRead
-	binary.BigEndian.PutUint64(hdr[5:], uint64(ptr))
-	binary.BigEndian.PutUint64(hdr[13:], uint64(len(dst)))
-	if _, err := dc.conn.Write(hdr[:]); err != nil {
-		return err
+	fmax := dc.frameMax()
+	off := 0
+	for {
+		n := len(dst) - off
+		if n > fmax {
+			n = fmax
+		}
+		if err := dc.writeFrame(dataOpRead, ptr+gpu.Ptr(off), n, nil); err != nil {
+			return err
+		}
+		if err := dc.readStatus(); err != nil {
+			return err
+		}
+		if _, err := io.ReadFull(dc.conn, dst[off:off+n]); err != nil {
+			return carrier(err)
+		}
+		off += n
+		if off >= len(dst) {
+			return nil
+		}
 	}
-	var status [4]byte
-	if _, err := io.ReadFull(dc.conn, status[:]); err != nil {
-		return err
-	}
-	if code := cuda.Error(binary.BigEndian.Uint32(status[:])); code != cuda.Success {
-		return code
-	}
-	_, err := io.ReadFull(dc.conn, dst)
-	return err
 }
 
 func (dc *dataChannel) close() error { return dc.conn.Close() }
-
-// openDataChannels dials the configured number of data connections.
-func (c *Client) openDataChannels(dial func() (io.ReadWriteCloser, error)) error {
-	for i := 0; i < c.sockets; i++ {
-		conn, err := dial()
-		if err != nil {
-			c.closeDataChannels()
-			return fmt.Errorf("cricket: data channel %d: %w", i, err)
-		}
-		c.channels = append(c.channels, &dataChannel{conn: conn})
-	}
-	return nil
-}
-
-func (c *Client) closeDataChannels() {
-	for _, ch := range c.channels {
-		ch.close()
-	}
-	c.channels = nil
-}
-
-// parallelWrite moves data to the device over the data channels, one
-// contiguous chunk per channel, concurrently.
-func (c *Client) parallelWrite(dst gpu.Ptr, data []byte) error {
-	return c.parallelXfer(len(data), func(ch *dataChannel, off, n int) error {
-		return ch.write(dst+gpu.Ptr(off), data[off:off+n])
-	})
-}
-
-// parallelRead moves data from the device over the data channels.
-func (c *Client) parallelRead(src gpu.Ptr, dst []byte) error {
-	return c.parallelXfer(len(dst), func(ch *dataChannel, off, n int) error {
-		return ch.read(src+gpu.Ptr(off), dst[off:off+n])
-	})
-}
-
-// parallelXfer splits an n-byte transfer across the channels and runs
-// the chunk operations concurrently, returning the first error.
-func (c *Client) parallelXfer(n int, op func(ch *dataChannel, off, n int) error) error {
-	k := len(c.channels)
-	if k == 0 {
-		return errors.New("cricket: no data channels open")
-	}
-	chunk := (n + k - 1) / k
-	var wg sync.WaitGroup
-	errs := make([]error, k)
-	for i := 0; i < k; i++ {
-		off := i * chunk
-		if off >= n {
-			break
-		}
-		size := chunk
-		if off+size > n {
-			size = n - off
-		}
-		wg.Add(1)
-		go func(i, off, size int) {
-			defer wg.Done()
-			errs[i] = op(c.channels[i], off, size)
-		}(i, off, size)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}

@@ -1,0 +1,781 @@
+package cricket
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"cricket/internal/cuda"
+	"cricket/internal/gpu"
+	"cricket/internal/netsim"
+)
+
+// This file puts the bulk datapath behind a Transport interface
+// (paper §4.2: the transfer method is a per-connection negotiation,
+// and the methods differ only in how memcpy payloads move — RPC
+// arguments, parallel sockets, shared memory, or GPUDirect RDMA).
+// Connect negotiates a method with the server and installs the
+// matching implementation; MemcpyHtoD/DtoH and friends only ever talk
+// to the interface. Each implementation owns its carrier (data
+// connections, shm ring, RDMA queue pair) and its simulated cost
+// accounting.
+
+// ErrCarrier reports a bulk-transport carrier failure: the side
+// channel died or desynchronized, as opposed to an in-band CUDA
+// status. Sessions treat it like an RPC transport error — the call is
+// idempotent at the datapath level, so they reconnect (renegotiating
+// and reopening the transport) and retry.
+var ErrCarrier = errors.New("cricket: bulk-transport carrier failed")
+
+// carrier tags err as a carrier-level fault.
+func carrier(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrCarrier, err)
+}
+
+// Carrier-level fault details.
+var (
+	errShmClosed  = errors.New("shared-memory ring closed")
+	errRdmaClosed = errors.New("rdma queue pair closed")
+	errRdmaHello  = errors.New("rdma window handshake failed")
+)
+
+// TransportCaps describe a negotiated transport.
+type TransportCaps struct {
+	// Method is the effective transfer method after negotiation,
+	// which may be a degrade from the requested one (see
+	// Options.RequireTransfer).
+	Method TransferMethod
+	// Sockets is the carrier parallelism (data connections for
+	// parallel sockets; 1 otherwise).
+	Sockets int
+	// MaxFrame is the largest contiguous payload one carrier unit
+	// moves (frame, slot, or RDMA window); larger transfers split.
+	MaxFrame int
+	// ZeroCopy reports that payload bytes move through shared or
+	// registered memory rather than per-frame stream buffers.
+	ZeroCopy bool
+}
+
+// A Transport moves bulk memcpy payloads between host and device
+// memory. Implementations are used sequentially, like the Client that
+// owns them. Write and Read are whole-transfer operations: the
+// transport splits, frames, and reassembles internally. Writev/Readv
+// are the vectored forms over consecutive device memory. Reopen
+// re-establishes the carrier after a reconnect (session replay calls
+// Connect, which renegotiates and reopens); Close releases it.
+type Transport interface {
+	Caps() TransportCaps
+	Write(ptr gpu.Ptr, data []byte) error
+	Read(ptr gpu.Ptr, dst []byte) error
+	Writev(ptr gpu.Ptr, bufs [][]byte) error
+	Readv(ptr gpu.Ptr, bufs [][]byte) error
+	Reopen() error
+	Close() error
+}
+
+// allocReader is implemented by transports that can return a
+// server-allocated buffer directly, letting MemcpyDtoH skip one copy.
+type allocReader interface {
+	ReadAlloc(ptr gpu.Ptr, n uint64) ([]byte, error)
+}
+
+// writevSeq is the generic vectored write: consecutive Writes over
+// advancing device addresses.
+func writevSeq(t Transport, ptr gpu.Ptr, bufs [][]byte) error {
+	for _, b := range bufs {
+		if len(b) == 0 {
+			continue
+		}
+		if err := t.Write(ptr, b); err != nil {
+			return err
+		}
+		ptr += gpu.Ptr(len(b))
+	}
+	return nil
+}
+
+// readvSeq is the generic vectored read.
+func readvSeq(t Transport, ptr gpu.Ptr, bufs [][]byte) error {
+	for _, b := range bufs {
+		if len(b) == 0 {
+			continue
+		}
+		if err := t.Read(ptr, b); err != nil {
+			return err
+		}
+		ptr += gpu.Ptr(len(b))
+	}
+	return nil
+}
+
+// maxInlineChunk bounds one inline RPC memcpy payload: the data-frame
+// cap less headroom for the XDR/RPC envelope, so a full chunk still
+// fits the peer's record-size limit.
+const maxInlineChunk = maxDataFrame - (1 << 12)
+
+// inlineTransport is method (1): payloads travel as RPC arguments on
+// the control connection. It also serves the modeled parallel-sockets
+// configuration (no DataDial): bytes move inline while the simulated
+// cost uses the configured socket concurrency.
+type inlineTransport struct {
+	c *Client
+}
+
+func (t *inlineTransport) Caps() TransportCaps {
+	return TransportCaps{Method: t.c.transfer, Sockets: t.c.transferConc(), MaxFrame: maxInlineChunk}
+}
+
+func (t *inlineTransport) Write(ptr gpu.Ptr, data []byte) error {
+	c := t.c
+	off := 0
+	for {
+		n := len(data) - off
+		if n > maxInlineChunk {
+			n = maxInlineChunk
+		}
+		chunk := data[off : off+n]
+		dst := uint64(ptr) + uint64(off)
+		var code int32
+		err := c.account(true, c.transferConc(), func(ctx context.Context) (e error) {
+			code, e = c.gen.CudaMemcpyHtodContext(ctx, dst, MemData(chunk))
+			return
+		})
+		// Count only bytes the device actually accepted; a failed
+		// copy moved nothing.
+		if err = inband(code, err); err != nil {
+			return err
+		}
+		c.addBytes(true, uint64(n))
+		off += n
+		if off >= len(data) {
+			return nil
+		}
+	}
+}
+
+func (t *inlineTransport) Read(ptr gpu.Ptr, dst []byte) error {
+	c := t.c
+	off := 0
+	for {
+		n := len(dst) - off
+		if n > maxInlineChunk {
+			n = maxInlineChunk
+		}
+		src := uint64(ptr) + uint64(off)
+		var res DataResult
+		err := c.account(true, c.transferConc(), func(ctx context.Context) (e error) {
+			res, e = c.gen.CudaMemcpyDtohContext(ctx, src, uint64(n))
+			return
+		})
+		if err = inband(res.Err, err); err != nil {
+			return err
+		}
+		copy(dst[off:off+n], res.Data)
+		c.addBytes(false, uint64(n))
+		off += n
+		if off >= len(dst) {
+			return nil
+		}
+	}
+}
+
+// ReadAlloc returns the server's reply buffer directly when the
+// transfer fits one chunk, saving the copy into a caller buffer.
+func (t *inlineTransport) ReadAlloc(ptr gpu.Ptr, n uint64) ([]byte, error) {
+	if n > maxInlineChunk {
+		out := make([]byte, n)
+		if err := t.Read(ptr, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	c := t.c
+	var res DataResult
+	err := c.account(true, c.transferConc(), func(ctx context.Context) (e error) {
+		res, e = c.gen.CudaMemcpyDtohContext(ctx, uint64(ptr), n)
+		return
+	})
+	if err = inband(res.Err, err); err != nil {
+		return nil, err
+	}
+	c.addBytes(false, n)
+	return res.Data, nil
+}
+
+func (t *inlineTransport) Writev(ptr gpu.Ptr, bufs [][]byte) error { return writevSeq(t, ptr, bufs) }
+func (t *inlineTransport) Readv(ptr gpu.Ptr, bufs [][]byte) error  { return readvSeq(t, ptr, bufs) }
+func (t *inlineTransport) Reopen() error                           { return nil }
+func (t *inlineTransport) Close() error                            { return nil }
+
+// modelTransport serves a negotiated shared-memory or RDMA method
+// with no carrier hook wired: bytes still move inline over RPC (the
+// in-process transport), while the simulated cost models the direct
+// path — one host memcpy for shm, wire serialization for RDMA.
+type modelTransport struct {
+	c *Client
+}
+
+func (t *modelTransport) Caps() TransportCaps {
+	return TransportCaps{Method: t.c.transfer, Sockets: 1, MaxFrame: maxInlineChunk}
+}
+
+func (t *modelTransport) Write(ptr gpu.Ptr, data []byte) error {
+	c := t.c
+	off := 0
+	for {
+		n := len(data) - off
+		if n > maxInlineChunk {
+			n = maxInlineChunk
+		}
+		chunk := data[off : off+n]
+		dst := uint64(ptr) + uint64(off)
+		err := c.directTransfer(n, true, func(ctx context.Context) (int32, error) {
+			return c.gen.CudaMemcpyHtodContext(ctx, dst, MemData(chunk))
+		})
+		if err != nil {
+			return err
+		}
+		off += n
+		if off >= len(data) {
+			return nil
+		}
+	}
+}
+
+func (t *modelTransport) Read(ptr gpu.Ptr, dst []byte) error {
+	c := t.c
+	off := 0
+	for {
+		n := len(dst) - off
+		if n > maxInlineChunk {
+			n = maxInlineChunk
+		}
+		src := uint64(ptr) + uint64(off)
+		var res DataResult
+		err := c.directTransfer(n, false, func(ctx context.Context) (int32, error) {
+			var e error
+			res, e = c.gen.CudaMemcpyDtohContext(ctx, src, uint64(n))
+			return res.Err, e
+		})
+		if err != nil {
+			return err
+		}
+		copy(dst[off:off+n], res.Data)
+		off += n
+		if off >= len(dst) {
+			return nil
+		}
+	}
+}
+
+func (t *modelTransport) ReadAlloc(ptr gpu.Ptr, n uint64) ([]byte, error) {
+	if n > maxInlineChunk {
+		out := make([]byte, n)
+		if err := t.Read(ptr, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	c := t.c
+	var res DataResult
+	err := c.directTransfer(int(n), false, func(ctx context.Context) (int32, error) {
+		var e error
+		res, e = c.gen.CudaMemcpyDtohContext(ctx, uint64(ptr), n)
+		return res.Err, e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Data, nil
+}
+
+func (t *modelTransport) Writev(ptr gpu.Ptr, bufs [][]byte) error { return writevSeq(t, ptr, bufs) }
+func (t *modelTransport) Readv(ptr gpu.Ptr, bufs [][]byte) error  { return readvSeq(t, ptr, bufs) }
+func (t *modelTransport) Reopen() error                           { return nil }
+func (t *modelTransport) Close() error                            { return nil }
+
+// socketTransport is method (2): dedicated data connections carry
+// framed payloads, one contiguous span per connection concurrently
+// (the paper's one-thread-per-socket path).
+type socketTransport struct {
+	c       *Client
+	dial    func() (io.ReadWriteCloser, error)
+	sockets int
+	// maxFrame caps one frame payload; tests shrink it to exercise
+	// splitting without gigabyte buffers.
+	maxFrame int
+
+	channels []*dataChannel
+	// poisoned marks the channel set as desynchronized: a failed
+	// chunk may leave half-written frames or unread replies on the
+	// other connections, so the whole set is burned and re-dialed
+	// before the next transfer rather than reused.
+	poisoned bool
+}
+
+func (t *socketTransport) Caps() TransportCaps {
+	return TransportCaps{Method: TransferParallelSockets, Sockets: t.sockets, MaxFrame: t.maxFrame}
+}
+
+// open dials the configured number of data connections.
+func (t *socketTransport) open() error {
+	chs := make([]*dataChannel, 0, t.sockets)
+	for i := 0; i < t.sockets; i++ {
+		conn, err := t.dial()
+		if err != nil {
+			for _, ch := range chs {
+				ch.close()
+			}
+			return carrier(fmt.Errorf("data channel %d: %w", i, err))
+		}
+		chs = append(chs, &dataChannel{conn: conn, maxFrame: t.maxFrame})
+	}
+	t.channels = chs
+	t.poisoned = false
+	return nil
+}
+
+// Reopen burns the current channel set and dials a fresh one.
+func (t *socketTransport) Reopen() error {
+	for _, ch := range t.channels {
+		ch.close()
+	}
+	t.channels = nil
+	return t.open()
+}
+
+// ensure re-dials a poisoned or never-opened channel set.
+func (t *socketTransport) ensure() error {
+	if !t.poisoned && len(t.channels) > 0 {
+		return nil
+	}
+	return t.Reopen()
+}
+
+// xfer splits an n-byte transfer across the channels and runs the
+// chunk operations concurrently, returning the first error. Any
+// carrier-level chunk failure poisons the set.
+func (t *socketTransport) xfer(n int, op func(ch *dataChannel, off, size int) error) error {
+	if err := t.ensure(); err != nil {
+		return err
+	}
+	k := len(t.channels)
+	if k == 0 {
+		return carrier(errors.New("no data channels open"))
+	}
+	chunk := (n + k - 1) / k
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	for i := 0; i < k; i++ {
+		off := i * chunk
+		if off >= n {
+			break
+		}
+		size := chunk
+		if off+size > n {
+			size = n - off
+		}
+		wg.Add(1)
+		go func(i, off, size int) {
+			defer wg.Done()
+			errs[i] = op(t.channels[i], off, size)
+		}(i, off, size)
+	}
+	wg.Wait()
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if errors.Is(err, ErrCarrier) {
+			t.poisoned = true
+		}
+	}
+	return first
+}
+
+func (t *socketTransport) Write(ptr gpu.Ptr, data []byte) error {
+	return t.c.parallelTransfer(len(data), true, func() error {
+		return t.xfer(len(data), func(ch *dataChannel, off, size int) error {
+			return ch.write(ptr+gpu.Ptr(off), data[off:off+size])
+		})
+	})
+}
+
+func (t *socketTransport) Read(ptr gpu.Ptr, dst []byte) error {
+	return t.c.parallelTransfer(len(dst), false, func() error {
+		return t.xfer(len(dst), func(ch *dataChannel, off, size int) error {
+			return ch.read(ptr+gpu.Ptr(off), dst[off:off+size])
+		})
+	})
+}
+
+func (t *socketTransport) Writev(ptr gpu.Ptr, bufs [][]byte) error { return writevSeq(t, ptr, bufs) }
+func (t *socketTransport) Readv(ptr gpu.Ptr, bufs [][]byte) error  { return readvSeq(t, ptr, bufs) }
+
+func (t *socketTransport) Close() error {
+	for _, ch := range t.channels {
+		ch.close()
+	}
+	t.channels = nil
+	return nil
+}
+
+// shmTransport is method (3): payloads move through a shared-memory
+// segment with a descriptor ring over it; the client copies into (or
+// out of) ring slots in place and the server's consumer runs the
+// device copy straight from the segment. The success path performs no
+// heap allocations (pinned by the transport benchmark).
+type shmTransport struct {
+	c    *Client
+	open func() (*netsim.ShmRing, error)
+	ring *netsim.ShmRing
+}
+
+func (t *shmTransport) Caps() TransportCaps {
+	caps := TransportCaps{Method: TransferSharedMem, Sockets: 1, ZeroCopy: true}
+	if t.ring != nil {
+		caps.MaxFrame = t.ring.SlotSize()
+	}
+	return caps
+}
+
+// Reopen maps a fresh segment (the hook dials the server, which
+// serves the new ring).
+func (t *shmTransport) Reopen() error {
+	if t.ring != nil {
+		t.ring.Close()
+		t.ring = nil
+	}
+	r, err := t.open()
+	if err != nil {
+		return carrier(err)
+	}
+	t.ring = r
+	return nil
+}
+
+func (t *shmTransport) ensure() error {
+	if t.ring == nil {
+		return t.Reopen()
+	}
+	if t.ring.Closed() {
+		// The segment vanished under us: the peer died or unmapped
+		// it. Surface the carrier fault rather than silently mapping
+		// a fresh segment — the server behind the hook may be a
+		// different instance whose device state a session must replay
+		// first. The transport is poisoned; the next transfer
+		// re-opens.
+		t.ring = nil
+		return carrier(errShmClosed)
+	}
+	return nil
+}
+
+// poison tears down a carrier that faulted mid-transfer so the next
+// transfer maps a fresh segment instead of reusing a dead one.
+func (t *shmTransport) poison(err error) {
+	if errors.Is(err, ErrCarrier) && t.ring != nil {
+		t.ring.Close()
+		t.ring = nil
+	}
+}
+
+func (t *shmTransport) Write(ptr gpu.Ptr, data []byte) error {
+	if err := t.ensure(); err != nil {
+		return err
+	}
+	t.c.countCall()
+	err := shmWrite(t.ring, ptr, data)
+	t.c.chargeDirectMove(len(data))
+	if err == nil {
+		t.c.addBytes(true, uint64(len(data)))
+	}
+	t.poison(err)
+	return err
+}
+
+func (t *shmTransport) Read(ptr gpu.Ptr, dst []byte) error {
+	if err := t.ensure(); err != nil {
+		return err
+	}
+	t.c.countCall()
+	err := shmRead(t.ring, ptr, dst)
+	t.c.chargeDirectMove(len(dst))
+	if err == nil {
+		t.c.addBytes(false, uint64(len(dst)))
+	}
+	t.poison(err)
+	return err
+}
+
+func (t *shmTransport) Writev(ptr gpu.Ptr, bufs [][]byte) error { return writevSeq(t, ptr, bufs) }
+func (t *shmTransport) Readv(ptr gpu.Ptr, bufs [][]byte) error  { return readvSeq(t, ptr, bufs) }
+
+func (t *shmTransport) Close() error {
+	if t.ring != nil {
+		t.ring.Close()
+		t.ring = nil
+	}
+	return nil
+}
+
+// shmWrite pipelines a write through the ring: claim a slot, copy the
+// chunk into the segment in place, publish, and keep the ring full,
+// reaping completions as slots run out. Allocation-free on success.
+func shmWrite(r *netsim.ShmRing, ptr gpu.Ptr, data []byte) error {
+	slot := r.SlotSize()
+	off := 0
+	var status uint32
+	for off < len(data) || r.Outstanding() > 0 {
+		if off < len(data) {
+			n := len(data) - off
+			if n > slot {
+				n = slot
+			}
+			if buf, ok := r.Produce(dataOpWrite, uint64(ptr)+uint64(off), n); ok {
+				copy(buf, data[off:off+n])
+				r.Publish()
+				off += n
+				continue
+			}
+			if r.Closed() {
+				return carrier(errShmClosed)
+			}
+			// Ring full: fall through and reap a completion.
+		}
+		_, st, ok := r.Reap()
+		if !ok {
+			return carrier(errShmClosed)
+		}
+		if st != 0 && status == 0 {
+			status = st
+		}
+	}
+	if status != 0 {
+		return cuda.Error(status)
+	}
+	return nil
+}
+
+// shmRead pipelines a read: publish read descriptors, then drain
+// completed slots in order, copying each filled window out. The
+// in-order completion guarantee of the SPSC ring keeps reassembly a
+// running offset.
+func shmRead(r *netsim.ShmRing, ptr gpu.Ptr, dst []byte) error {
+	slot := r.SlotSize()
+	off, roff := 0, 0
+	var status uint32
+	for off < len(dst) || r.Outstanding() > 0 {
+		if off < len(dst) {
+			n := len(dst) - off
+			if n > slot {
+				n = slot
+			}
+			if _, ok := r.Produce(dataOpRead, uint64(ptr)+uint64(off), n); ok {
+				r.Publish()
+				off += n
+				continue
+			}
+			if r.Closed() {
+				return carrier(errShmClosed)
+			}
+		}
+		buf, st, ok := r.Reap()
+		if !ok {
+			return carrier(errShmClosed)
+		}
+		if st != 0 && status == 0 {
+			status = st
+		}
+		copy(dst[roff:], buf)
+		roff += len(buf)
+	}
+	if status != 0 {
+		return cuda.Error(status)
+	}
+	return nil
+}
+
+// rdmaOpHello is the server's window advertisement on a fresh RDMA
+// connection: Key and Len describe the registered staging region the
+// client one-sided-writes into.
+const rdmaOpHello = 3
+
+// rdmaTransport is method (4): the GPUDirect-RDMA-shaped path. Writes
+// land in the server's registered window with one-sided RDMA WRITE
+// verbs and a command message rings the doorbell; reads post a
+// command and the server one-sided-writes straight into the caller's
+// registered buffer before the status arrives.
+type rdmaTransport struct {
+	c    *Client
+	open func() (*netsim.RdmaEndpoint, error)
+
+	ep    *netsim.RdmaEndpoint
+	wkey  uint32
+	wsize int
+}
+
+func (t *rdmaTransport) Caps() TransportCaps {
+	return TransportCaps{Method: TransferRDMA, Sockets: 1, MaxFrame: t.wsize, ZeroCopy: true}
+}
+
+// Reopen connects a fresh queue pair and waits for the server's
+// window advertisement.
+func (t *rdmaTransport) Reopen() error {
+	if t.ep != nil {
+		t.ep.Close()
+		t.ep = nil
+	}
+	ep, err := t.open()
+	if err != nil {
+		return carrier(err)
+	}
+	hello, ok := ep.Recv()
+	if !ok || hello.Op != rdmaOpHello || hello.Len == 0 {
+		ep.Close()
+		return carrier(errRdmaHello)
+	}
+	t.ep, t.wkey, t.wsize = ep, hello.Key, int(hello.Len)
+	return nil
+}
+
+func (t *rdmaTransport) ensure() error {
+	if t.ep == nil {
+		return t.Reopen()
+	}
+	if t.ep.Closed() {
+		// Same poisoning contract as the shm ring: a dead queue pair
+		// fails this transfer with a carrier fault (letting a session
+		// reconnect and replay) and the next transfer reconnects.
+		t.ep = nil
+		return carrier(errRdmaClosed)
+	}
+	return nil
+}
+
+// poison tears down a queue pair that faulted mid-transfer.
+func (t *rdmaTransport) poison(err error) {
+	if errors.Is(err, ErrCarrier) && t.ep != nil {
+		t.ep.Close()
+		t.ep = nil
+	}
+}
+
+func (t *rdmaTransport) Write(ptr gpu.Ptr, data []byte) error {
+	if err := t.ensure(); err != nil {
+		return err
+	}
+	t.c.countCall()
+	err := t.write(ptr, data)
+	t.c.chargeDirectMove(len(data))
+	if err == nil {
+		t.c.addBytes(true, uint64(len(data)))
+	}
+	t.poison(err)
+	return err
+}
+
+func (t *rdmaTransport) write(ptr gpu.Ptr, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	ep := t.ep
+	lkey := ep.RegisterMR(data)
+	defer ep.DeregisterMR(lkey)
+	for off := 0; off < len(data); {
+		n := len(data) - off
+		if n > t.wsize {
+			n = t.wsize
+		}
+		if err := ep.PostWrite(lkey, uint64(off), uint64(n), t.wkey, 0); err != nil {
+			return carrier(err)
+		}
+		if wc, ok := ep.PollCQ(); !ok {
+			return carrier(errRdmaClosed)
+		} else if wc.Err != nil {
+			return carrier(wc.Err)
+		}
+		if err := ep.PostSend(netsim.RdmaMsg{Op: dataOpWrite, Ptr: uint64(ptr) + uint64(off), Len: uint64(n)}); err != nil {
+			return carrier(err)
+		}
+		if _, ok := ep.PollCQ(); !ok {
+			return carrier(errRdmaClosed)
+		}
+		st, ok := ep.Recv()
+		if !ok {
+			return carrier(errRdmaClosed)
+		}
+		if st.Status != 0 {
+			return cuda.Error(st.Status)
+		}
+		off += n
+	}
+	return nil
+}
+
+func (t *rdmaTransport) Read(ptr gpu.Ptr, dst []byte) error {
+	if err := t.ensure(); err != nil {
+		return err
+	}
+	t.c.countCall()
+	err := t.read(ptr, dst)
+	t.c.chargeDirectMove(len(dst))
+	if err == nil {
+		t.c.addBytes(false, uint64(len(dst)))
+	}
+	t.poison(err)
+	return err
+}
+
+func (t *rdmaTransport) read(ptr gpu.Ptr, dst []byte) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	ep := t.ep
+	rkey := ep.RegisterMR(dst)
+	defer ep.DeregisterMR(rkey)
+	for off := 0; off < len(dst); {
+		n := len(dst) - off
+		if n > t.wsize {
+			n = t.wsize
+		}
+		if err := ep.PostSend(netsim.RdmaMsg{Op: dataOpRead, Ptr: uint64(ptr) + uint64(off), Key: rkey, Off: uint64(off), Len: uint64(n)}); err != nil {
+			return carrier(err)
+		}
+		if _, ok := ep.PollCQ(); !ok {
+			return carrier(errRdmaClosed)
+		}
+		// The server's one-sided write into rkey happens before its
+		// status send, so dst[off:off+n] is filled by the time the
+		// status arrives.
+		st, ok := ep.Recv()
+		if !ok {
+			return carrier(errRdmaClosed)
+		}
+		if st.Status != 0 {
+			return cuda.Error(st.Status)
+		}
+		off += n
+	}
+	return nil
+}
+
+func (t *rdmaTransport) Writev(ptr gpu.Ptr, bufs [][]byte) error { return writevSeq(t, ptr, bufs) }
+func (t *rdmaTransport) Readv(ptr gpu.Ptr, bufs [][]byte) error  { return readvSeq(t, ptr, bufs) }
+
+func (t *rdmaTransport) Close() error {
+	if t.ep != nil {
+		t.ep.Close()
+		t.ep = nil
+	}
+	return nil
+}

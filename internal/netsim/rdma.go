@@ -1,0 +1,201 @@
+package netsim
+
+import (
+	"errors"
+	"sync"
+)
+
+// This file models the paper's GPUDirect-RDMA-shaped transfer method:
+// the client writes payloads directly into a server-registered memory
+// region with one-sided RDMA WRITE verbs and only the doorbell/command
+// travels as a message. The model keeps the verb shapes — memory
+// region registration, posted work requests, completion-queue polling,
+// send/receive messages — while moving real bytes in process; the
+// virtual clock charges the modeled wire cost separately.
+
+// ErrRdmaClosed reports a verb posted to a torn-down queue pair.
+var ErrRdmaClosed = errors.New("netsim: rdma queue pair closed")
+
+// ErrRdmaBounds reports an access outside a registered region.
+var ErrRdmaBounds = errors.New("netsim: rdma access out of region bounds")
+
+// RdmaMsg is one send/receive message on the command channel. The
+// fields are opaque to the model; the endpoints agree on semantics.
+type RdmaMsg struct {
+	Op     uint32
+	Status uint32
+	Ptr    uint64
+	Key    uint32
+	Off    uint64
+	Len    uint64
+}
+
+// RdmaWc is one work completion.
+type RdmaWc struct {
+	// Op echoes the completed verb: WcWrite or WcSend.
+	Op uint32
+	// Err is non-nil if the work request failed.
+	Err error
+}
+
+// Completion opcodes.
+const (
+	WcWrite uint32 = 1
+	WcSend  uint32 = 2
+)
+
+// An RdmaEndpoint is one side of a modeled reliable-connected queue
+// pair. Verbs posted here complete on the local completion queue;
+// sends surface at the peer's Recv.
+type RdmaEndpoint struct {
+	peer *RdmaEndpoint
+
+	mu   sync.Mutex
+	mrs  map[uint32][]byte
+	next uint32
+
+	cq chan RdmaWc
+	rq chan RdmaMsg
+
+	quit chan struct{}
+	once *sync.Once
+}
+
+// NewRdmaPair returns two connected endpoints whose completion and
+// receive queues hold depth entries. Closing either side tears down
+// the pair.
+func NewRdmaPair(depth int) (*RdmaEndpoint, *RdmaEndpoint) {
+	if depth <= 0 {
+		panic("netsim: invalid rdma queue depth")
+	}
+	quit := make(chan struct{})
+	once := &sync.Once{}
+	a := &RdmaEndpoint{mrs: make(map[uint32][]byte), next: 1, cq: make(chan RdmaWc, depth), rq: make(chan RdmaMsg, depth), quit: quit, once: once}
+	b := &RdmaEndpoint{mrs: make(map[uint32][]byte), next: 1, cq: make(chan RdmaWc, depth), rq: make(chan RdmaMsg, depth), quit: quit, once: once}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Closed reports whether the queue pair has been torn down.
+func (ep *RdmaEndpoint) Closed() bool {
+	select {
+	case <-ep.quit:
+		return true
+	default:
+		return false
+	}
+}
+
+// RegisterMR registers buf as a memory region and returns its key.
+// The region aliases buf: remote writes land in the caller's memory,
+// which is the whole point of the one-sided path.
+func (ep *RdmaEndpoint) RegisterMR(buf []byte) uint32 {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	key := ep.next
+	ep.next++
+	ep.mrs[key] = buf
+	return key
+}
+
+// DeregisterMR invalidates a region key.
+func (ep *RdmaEndpoint) DeregisterMR(key uint32) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	delete(ep.mrs, key)
+}
+
+// region resolves a window inside a registered region.
+func (ep *RdmaEndpoint) region(key uint32, off uint64, n uint64) ([]byte, error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	buf, ok := ep.mrs[key]
+	if !ok {
+		return nil, ErrRdmaBounds
+	}
+	if off+n > uint64(len(buf)) {
+		return nil, ErrRdmaBounds
+	}
+	return buf[off : off+n], nil
+}
+
+// complete queues a work completion on the local CQ.
+func (ep *RdmaEndpoint) complete(op uint32, err error) error {
+	select {
+	case ep.cq <- RdmaWc{Op: op, Err: err}:
+		return nil
+	case <-ep.quit:
+		return ErrRdmaClosed
+	}
+}
+
+// PostWrite posts a one-sided RDMA WRITE moving n bytes from the
+// local region (localKey, localOff) into the peer's region
+// (remoteKey, remoteOff). The peer is not notified; a completion is
+// queued on the local CQ only.
+func (ep *RdmaEndpoint) PostWrite(localKey uint32, localOff uint64, n uint64, remoteKey uint32, remoteOff uint64) error {
+	if ep.Closed() {
+		return ErrRdmaClosed
+	}
+	src, err := ep.region(localKey, localOff, n)
+	if err == nil {
+		var dst []byte
+		dst, err = ep.peer.region(remoteKey, remoteOff, n)
+		if err == nil {
+			copy(dst, src)
+		}
+	}
+	return ep.complete(WcWrite, err)
+}
+
+// PostSend posts msg on the command channel: it lands at the peer's
+// Recv and completes on the local CQ.
+func (ep *RdmaEndpoint) PostSend(msg RdmaMsg) error {
+	if ep.Closed() {
+		return ErrRdmaClosed
+	}
+	select {
+	case ep.peer.rq <- msg:
+	case <-ep.quit:
+		return ErrRdmaClosed
+	}
+	return ep.complete(WcSend, nil)
+}
+
+// PollCQ blocks for the next local work completion. Completions
+// already queued are drained even after close; ok=false means the
+// pair closed with nothing left.
+func (ep *RdmaEndpoint) PollCQ() (RdmaWc, bool) {
+	select {
+	case wc := <-ep.cq:
+		return wc, true
+	default:
+	}
+	select {
+	case wc := <-ep.cq:
+		return wc, true
+	case <-ep.quit:
+		return RdmaWc{}, false
+	}
+}
+
+// Recv blocks for the next message from the peer. Messages already
+// queued are drained even after close.
+func (ep *RdmaEndpoint) Recv() (RdmaMsg, bool) {
+	select {
+	case msg := <-ep.rq:
+		return msg, true
+	default:
+	}
+	select {
+	case msg := <-ep.rq:
+		return msg, true
+	case <-ep.quit:
+		return RdmaMsg{}, false
+	}
+}
+
+// Close tears down the queue pair from either side; it is idempotent.
+func (ep *RdmaEndpoint) Close() {
+	ep.once.Do(func() { close(ep.quit) })
+}

@@ -1,0 +1,188 @@
+package netsim
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestShmRingRoundTrip(t *testing.T) {
+	r := NewShmRing(4, 64)
+	var mu sync.Mutex
+	got := map[uint64][]byte{}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r.Serve(func(op uint32, ptr uint64, buf []byte) uint32 {
+			if op == 1 { // write: record payload
+				mu.Lock()
+				got[ptr] = append([]byte(nil), buf...)
+				mu.Unlock()
+				return 0
+			}
+			// read: fill payload
+			for i := range buf {
+				buf[i] = byte(ptr) + byte(i)
+			}
+			return 0
+		})
+	}()
+
+	// Writes, more than the ring depth to force reuse.
+	for i := 0; i < 10; i++ {
+		payload := bytes.Repeat([]byte{byte(i)}, 8+i)
+		buf, ok := r.Produce(1, uint64(i), len(payload))
+		if !ok {
+			t.Fatalf("Produce %d failed", i)
+		}
+		copy(buf, payload)
+		r.Publish()
+		if _, st, ok := r.Reap(); !ok || st != 0 {
+			t.Fatalf("Reap %d: ok=%v status=%d", i, ok, st)
+		}
+	}
+	mu.Lock()
+	for i := 0; i < 10; i++ {
+		want := bytes.Repeat([]byte{byte(i)}, 8+i)
+		if !bytes.Equal(got[uint64(i)], want) {
+			t.Fatalf("slot %d: got %v want %v", i, got[uint64(i)], want)
+		}
+	}
+	mu.Unlock()
+
+	// Read op returns filled buffer.
+	if _, ok := r.Produce(2, 7, 5); !ok {
+		t.Fatal("Produce read failed")
+	}
+	r.Publish()
+	out, st, ok := r.Reap()
+	if !ok || st != 0 {
+		t.Fatalf("Reap read: ok=%v status=%d", ok, st)
+	}
+	if want := []byte{7, 8, 9, 10, 11}; !bytes.Equal(out, want) {
+		t.Fatalf("read payload: got %v want %v", out, want)
+	}
+
+	r.Close()
+	wg.Wait()
+	if _, ok := r.Produce(1, 0, 1); ok {
+		t.Fatal("Produce succeeded on closed ring")
+	}
+	if _, _, ok := r.Reap(); ok {
+		t.Fatal("Reap succeeded on closed empty ring")
+	}
+}
+
+func TestShmRingFullAndOversize(t *testing.T) {
+	r := NewShmRing(2, 16)
+	defer r.Close()
+	if _, ok := r.Produce(1, 0, 17); ok {
+		t.Fatal("oversize Produce succeeded")
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := r.Produce(1, uint64(i), 4); !ok {
+			t.Fatalf("Produce %d failed", i)
+		}
+		r.Publish()
+	}
+	if _, ok := r.Produce(1, 9, 4); ok {
+		t.Fatal("Produce on full ring succeeded")
+	}
+	if got := r.Outstanding(); got != 2 {
+		t.Fatalf("Outstanding = %d, want 2", got)
+	}
+}
+
+func TestShmRingPipelined(t *testing.T) {
+	// Producer keeps the ring full; consumer completes in order.
+	r := NewShmRing(4, 8)
+	go r.Serve(func(op uint32, ptr uint64, buf []byte) uint32 {
+		return uint32(ptr) // echo the descriptor back as status
+	})
+	defer r.Close()
+	const total = 100
+	sent, reaped := 0, 0
+	for reaped < total {
+		for sent < total {
+			if _, ok := r.Produce(1, uint64(sent), 4); !ok {
+				break // full: drain first
+			}
+			r.Publish()
+			sent++
+		}
+		_, st, ok := r.Reap()
+		if !ok {
+			t.Fatal("Reap failed")
+		}
+		if int(st) != reaped {
+			t.Fatalf("completion out of order: got %d want %d", st, reaped)
+		}
+		reaped++
+	}
+}
+
+func TestRdmaOneSidedWrite(t *testing.T) {
+	cli, srv := NewRdmaPair(8)
+	defer cli.Close()
+
+	window := make([]byte, 64)
+	wkey := srv.RegisterMR(window)
+
+	local := []byte("one-sided payload")
+	lkey := cli.RegisterMR(local)
+	if err := cli.PostWrite(lkey, 0, uint64(len(local)), wkey, 8); err != nil {
+		t.Fatalf("PostWrite: %v", err)
+	}
+	wc, ok := cli.PollCQ()
+	if !ok || wc.Op != WcWrite || wc.Err != nil {
+		t.Fatalf("PollCQ: ok=%v wc=%+v", ok, wc)
+	}
+	if !bytes.Equal(window[8:8+len(local)], local) {
+		t.Fatalf("window = %q", window[8:8+len(local)])
+	}
+
+	// Command channel round trip.
+	if err := cli.PostSend(RdmaMsg{Op: 42, Ptr: 7, Len: uint64(len(local))}); err != nil {
+		t.Fatalf("PostSend: %v", err)
+	}
+	if wc, ok := cli.PollCQ(); !ok || wc.Op != WcSend {
+		t.Fatalf("send completion: ok=%v wc=%+v", ok, wc)
+	}
+	msg, ok := srv.Recv()
+	if !ok || msg.Op != 42 || msg.Ptr != 7 {
+		t.Fatalf("Recv: ok=%v msg=%+v", ok, msg)
+	}
+
+	// Out-of-bounds write completes with an error.
+	if err := cli.PostWrite(lkey, 0, uint64(len(local)), wkey, 60); err != nil {
+		t.Fatalf("PostWrite oob: %v", err)
+	}
+	if wc, ok := cli.PollCQ(); !ok || wc.Err == nil {
+		t.Fatalf("oob completion: ok=%v wc=%+v", ok, wc)
+	}
+
+	// Deregistered key fails.
+	srv.DeregisterMR(wkey)
+	cli.PostWrite(lkey, 0, 1, wkey, 0)
+	if wc, ok := cli.PollCQ(); !ok || wc.Err == nil {
+		t.Fatalf("deregistered completion: ok=%v wc=%+v", ok, wc)
+	}
+}
+
+func TestRdmaClose(t *testing.T) {
+	cli, srv := NewRdmaPair(4)
+	srv.Close()
+	if !cli.Closed() {
+		t.Fatal("peer not closed with pair")
+	}
+	if err := cli.PostSend(RdmaMsg{}); err != ErrRdmaClosed {
+		t.Fatalf("PostSend after close: %v", err)
+	}
+	if _, ok := cli.PollCQ(); ok {
+		t.Fatal("PollCQ succeeded on closed pair")
+	}
+	if _, ok := srv.Recv(); ok {
+		t.Fatal("Recv succeeded on closed pair")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 )
 
 // Record-marking constants (RFC 5531 §11).
@@ -57,6 +58,10 @@ type RecordWriter struct {
 	w        io.Writer
 	fragSize int
 	hdr      [4]byte
+	// vecb/bufs are the gathered-write scratch vectors, kept in the
+	// struct so fragment emission allocates nothing per call.
+	vecb [][]byte
+	bufs net.Buffers
 }
 
 // NewRecordWriter returns a RecordWriter with the default fragment size.
@@ -76,8 +81,22 @@ func (rw *RecordWriter) SetFragmentSize(size int) {
 // WriteRecord writes p as one record, fragmenting as needed. An empty
 // record is legal and is sent as a single empty terminal fragment.
 func (rw *RecordWriter) WriteRecord(p []byte) error {
+	return rw.WriteRecordv(p)
+}
+
+// WriteRecordv writes the concatenation of bufs as one record without
+// staging it into a contiguous buffer: for each fragment, the 4-byte
+// record mark and the payload spans covering it are coalesced into a
+// single gathered (writev-style) write. Callers with header+payload
+// pairs avoid both the copy and the extra small write per fragment.
+func (rw *RecordWriter) WriteRecordv(bufs ...[]byte) error {
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	bi, bo := 0, 0 // cursor into bufs
 	for {
-		n := len(p)
+		n := total
 		last := true
 		if n > rw.fragSize {
 			n, last = rw.fragSize, false
@@ -87,18 +106,33 @@ func (rw *RecordWriter) WriteRecord(p []byte) error {
 			hdr |= lastFragmentBit
 		}
 		binary.BigEndian.PutUint32(rw.hdr[:], hdr)
-		if _, err := rw.w.Write(rw.hdr[:]); err != nil {
-			return fmt.Errorf("oncrpc: write fragment header: %w", err)
-		}
-		if n > 0 {
-			if _, err := rw.w.Write(p[:n]); err != nil {
-				return fmt.Errorf("oncrpc: write fragment body: %w", err)
+		rw.vecb = append(rw.vecb[:0], rw.hdr[:])
+		for remain := n; remain > 0; {
+			b := bufs[bi][bo:]
+			if len(b) == 0 {
+				bi, bo = bi+1, 0
+				continue
 			}
+			if len(b) > remain {
+				b = b[:remain]
+			}
+			rw.vecb = append(rw.vecb, b)
+			bo += len(b)
+			remain -= len(b)
+			if bo == len(bufs[bi]) {
+				bi, bo = bi+1, 0
+			}
+		}
+		// WriteTo consumes the vector, so hand it a fresh header
+		// sliced from the persistent scratch each fragment.
+		rw.bufs = net.Buffers(rw.vecb)
+		if _, err := rw.bufs.WriteTo(rw.w); err != nil {
+			return fmt.Errorf("oncrpc: write fragment: %w", err)
 		}
 		if last {
 			return nil
 		}
-		p = p[n:]
+		total -= n
 	}
 }
 

@@ -251,3 +251,75 @@ func BenchmarkRecordWrite1MiB(b *testing.B) {
 		}
 	}
 }
+
+func TestRecordVectoredMatchesContiguous(t *testing.T) {
+	// WriteRecordv over any split of the payload must emit exactly
+	// the bytes WriteRecord emits for the concatenation, including
+	// fragment boundaries that land mid-buffer.
+	payload := make([]byte, 1000)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	splits := [][]int{
+		{1000},
+		{0, 1000, 0},
+		{1, 2, 997},
+		{300, 300, 300, 100},
+		{999, 1},
+		{7, 0, 13, 500, 480},
+	}
+	for _, fragSize := range []int{64, 333, 1000, 4096} {
+		var want bytes.Buffer
+		w := NewRecordWriter(&want)
+		w.SetFragmentSize(fragSize)
+		if err := w.WriteRecord(payload); err != nil {
+			t.Fatal(err)
+		}
+		for _, split := range splits {
+			var bufs [][]byte
+			off := 0
+			for _, n := range split {
+				bufs = append(bufs, payload[off:off+n])
+				off += n
+			}
+			var got bytes.Buffer
+			vw := NewRecordWriter(&got)
+			vw.SetFragmentSize(fragSize)
+			if err := vw.WriteRecordv(bufs...); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Fatalf("fragSize=%d split=%v: vectored wire bytes differ", fragSize, split)
+			}
+			r := NewRecordReader(&got)
+			rec, err := r.ReadRecord()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(rec, payload) {
+				t.Fatalf("fragSize=%d split=%v: round trip corrupted", fragSize, split)
+			}
+		}
+	}
+}
+
+func TestRecordVectoredEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRecordWriter(&buf)
+	if err := w.WriteRecordv(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRecordv(nil, []byte{}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRecordReader(&buf)
+	for i := 0; i < 2; i++ {
+		rec, err := r.ReadRecord()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec) != 0 {
+			t.Fatalf("record %d: got %d bytes", i, len(rec))
+		}
+	}
+}
