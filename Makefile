@@ -15,27 +15,34 @@ race:
 	$(GO) test -race ./...
 
 # ci is the gate: everything builds, vets clean, the full test suite
-# passes under the race detector, the batching smoke criterion
-# (Hermit batch>=32 at least 2x unbatched launch rate) holds, a
-# seeded churn storm against a governed server upholds the resource
-# invariants (no leaked device bytes, no scheduler ghosts, surviving
-# digests bit-identical), a fleet storm that kills 1 of 3 members
-# mid-workload loses no session, keeps digests bit-identical to a
-# single-server run, and stays under 5% routed-vs-direct overhead,
-# and the transport ablation proves all four transfer methods
-# bit-preserving with the zero-copy paths beating parallel sockets
-# and the shm bulk path allocation-free.
+# passes under the race detector (with a doubled run over the tuning
+# controllers and the datapath they govern, to shake out ordering
+# flakes), the batching smoke criterion (Hermit batch>=32 at least 2x
+# unbatched launch rate) holds, a seeded churn storm against a
+# governed server upholds the resource invariants (no leaked device
+# bytes, no scheduler ghosts, surviving digests bit-identical), a
+# fleet storm that kills 1 of 3 members mid-workload loses no
+# session, keeps digests bit-identical to a single-server run, and
+# stays under 5% routed-vs-direct overhead, the transport ablation
+# proves all four transfer methods bit-preserving with the zero-copy
+# paths beating parallel sockets and the shm bulk path
+# allocation-free, and the self-tuning ablation shows the adaptive
+# window+admission matching the best static config's throughput with
+# a tighter tail under shifting open-loop load.
 ci: build vet race
+	$(GO) test -race -count=2 ./internal/tune ./internal/cricket
 	$(GO) run ./cmd/benchharness -ablation-batch -smoke
 	$(GO) run ./cmd/benchharness -churn-smoke -ci
 	$(GO) run ./cmd/benchharness -fleet-smoke -ci
 	$(GO) run ./cmd/benchharness -transport-smoke -ci
+	$(GO) run ./cmd/benchharness -adaptive-smoke -ci
 
 bench:
 	$(GO) run ./cmd/benchharness -all -ci
 	$(GO) run ./cmd/benchharness -ablation-batch -ci -batch-json BENCH_batch.json
 	$(GO) run ./cmd/benchharness -fleet-smoke -ci -fleet-json BENCH_fleet.json
 	$(GO) run ./cmd/benchharness -transport-smoke -ci -transport-json BENCH_transport.json
+	$(GO) run ./cmd/benchharness -adaptive-smoke -adaptive-json BENCH_adaptive.json
 
 generate:
 	$(GO) run ./cmd/rpcgen -pkg cricket -o internal/cricket/gen_cricket.go internal/cricket/cricket.x

@@ -46,6 +46,8 @@ func main() {
 	fleetJSON := flag.String("fleet-json", "", "with -fleet-smoke: also write the FleetResult as JSON to this file")
 	transportSmoke := flag.Bool("transport-smoke", false, "transport ablation: all four transfer methods; exit 1 on digest drift, zero-copy paths not beating sockets, or shm allocations")
 	transportJSON := flag.String("transport-json", "", "with -transport-smoke: also write the TransportResult as JSON to this file")
+	adaptiveSmoke := flag.Bool("adaptive-smoke", false, "self-tuning ablation: adaptive window+admission vs static configs under shifting open-loop load; exit 1 if adaptive loses on throughput or tail")
+	adaptiveJSON := flag.String("adaptive-json", "", "with -adaptive-smoke: also write the AdaptiveResult as JSON to this file")
 	ablBatch := flag.Bool("ablation-batch", false, "BATCH_EXEC ablation: kernel-launch rate by batch size")
 	smoke := flag.Bool("smoke", false, "with -ablation-batch: tiny sweep, assert Hermit batch>=32 beats unbatched 2x")
 	batchJSON := flag.String("batch-json", "", "with -ablation-batch: also write points as JSON to this file")
@@ -278,6 +280,48 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("transport-smoke ok: digests bit-identical across transports, zero-copy paths beat sockets, shm bulk path allocation-free")
+	})
+	section(*adaptiveSmoke, func() {
+		acfg := bench.AdaptiveConfig{}
+		if *ci {
+			// Long enough for the controllers to settle out of their
+			// initial guesses; the full default trace runs under make bench.
+			acfg.Arrivals = 1200
+		}
+		start := time.Now()
+		r, err := bench.Adaptive(acfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchharness: adaptive-smoke: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Self-tuning ablation: %d arrivals/phase, %d exec slots x %v service\n",
+			r.ArrivalsPerPhase, r.ExecSlots, r.Service)
+		for _, ph := range r.Phases {
+			fmt.Printf("  phase %-6s interval %-8v (%d arrivals)\n", ph.Name, ph.Interval, ph.Arrivals)
+		}
+		for _, run := range r.Runs {
+			fmt.Printf("  %-13s served=%-6d dropped=%-6d failed=%-4d p50=%-10v p99=%-10v %7.0f calls/s  window=%d server-limit=%d\n",
+				run.Name, run.Served, run.Dropped, run.Failed, run.P50, run.P99,
+				run.Throughput, run.FinalWindow, run.ServerMaxInflight)
+		}
+		fmt.Printf("  [generated in %v wall time]\n\n", time.Since(start).Round(time.Millisecond))
+		if *adaptiveJSON != "" {
+			data, err := json.MarshalIndent(r, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*adaptiveJSON, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchharness: write %s: %v\n", *adaptiveJSON, err)
+				os.Exit(1)
+			}
+		}
+		if v := r.Violations(); len(v) != 0 {
+			for _, msg := range v {
+				fmt.Fprintf(os.Stderr, "benchharness: adaptive-smoke: VIOLATION: %s\n", msg)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("adaptive-smoke ok: adaptive matches best static throughput with a tighter tail, both controllers active")
 	})
 	section(*fleetSmoke, func() {
 		sessions, fleetCalls := 12, 128

@@ -31,6 +31,7 @@ import (
 	"cricket/internal/gpu"
 	"cricket/internal/guest"
 	"cricket/internal/obs"
+	"cricket/internal/tune"
 )
 
 func main() {
@@ -46,6 +47,8 @@ func main() {
 	requireTransfer := flag.Bool("require-transfer", false, "fail instead of degrading to rpc-args when the server refuses -transfer")
 	session := flag.Bool("session", false, "with -server: use a fault-tolerant session (reconnect + replay)")
 	pauseMs := flag.Int("pause-ms", 0, "with -session: pause after checkpoint, before the launch (a window to kill/restart the server)")
+	window := flag.Int("window", 0, "with -session: in-flight call window (0: uncapped; with -adaptive-window: the upper bound)")
+	adaptiveWindow := flag.Bool("adaptive-window", false, "with -session: walk the in-flight window to the knee of the latency curve instead of pinning it")
 	traceOut := flag.String("trace", "", "write a JSON call trace (spans + per-procedure latency metrics) to this file at exit")
 	flag.Parse()
 
@@ -81,7 +84,7 @@ func main() {
 	if *server != "" {
 		opts.Platform = p
 		if *session {
-			runSession(*server, opts, *pauseMs)
+			runSession(*server, opts, *pauseMs, sessionWindow(*window, *adaptiveWindow))
 		} else {
 			runRemote(*server, opts, *app)
 		}
@@ -249,9 +252,10 @@ func runRemote(addr string, opts cricket.Options, app string) {
 // and the workload still completes, bit-identical. The result checksum
 // and the session's recovery counters are printed so a harness can
 // compare a faulted run against a fault-free one.
-func runSession(addr string, opts cricket.Options, pauseMs int) {
+func runSession(addr string, opts cricket.Options, pauseMs int, win *tune.Window) {
 	s, err := cricket.NewSession(cricket.SessionOptions{
 		Options: opts,
+		Window:  win,
 		Redial: func() (io.ReadWriteCloser, error) {
 			return net.DialTimeout("tcp", addr, 5*time.Second)
 		},
@@ -319,4 +323,25 @@ func runSession(addr string, opts cricket.Options, pauseMs int) {
 	fmt.Printf("matrixmul result checksum: %016x\n", sum.Sum64())
 	fmt.Printf("session stats: reconnects=%d replays=%d restores=%d dials=%d recovery=%s\n",
 		st.Reconnects, st.Replays, st.Restores, st.DialAttempts, st.RecoveryTime.Round(time.Millisecond))
+	if win != nil {
+		ws := win.Stats()
+		fmt.Printf("window stats: window=%d grows=%d shrinks=%d backoffs=%d samples=%d\n",
+			ws.Window, ws.Grows, ws.Shrinks, ws.Backoffs, ws.Samples)
+	}
+}
+
+// sessionWindow builds the session's in-flight gate from the -window
+// and -adaptive-window flags: nil (uncapped), a pinned window, or the
+// adaptive controller bounded by -window.
+func sessionWindow(n int, adaptive bool) *tune.Window {
+	switch {
+	case adaptive:
+		if n <= 0 {
+			n = 64
+		}
+		return tune.NewWindow(tune.WindowConfig{Max: n})
+	case n > 0:
+		return tune.Static(n)
+	}
+	return nil
 }

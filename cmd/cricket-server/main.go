@@ -53,6 +53,7 @@ func main() {
 	maxClients := flag.Int("max-clients", 0, "cap on concurrently leased clients; excess attaches are shed with a retry hint (0: unlimited)")
 	maxClientMem := flag.Uint64("max-client-mem", 0, "per-client device-memory cap in bytes; cudaMemGetInfo reports the clamped view (0: unlimited)")
 	maxInflight := flag.Int("max-inflight", 0, "cap on concurrently executing calls; excess is shed with cudaErrorServerOverloaded plus a retry hint (0: unlimited)")
+	adaptiveAdmission := flag.Bool("adaptive-admission", false, "adaptively tune the in-flight ceiling and shed retry hint from windowed dispatch latency; -max-inflight is superseded")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "on SIGTERM/SIGINT: how long to let in-flight calls finish before hard-closing")
 	disableShm := flag.Bool("disable-shm", false, "refuse shared-memory transfer negotiation (clients degrade to rpc-args, or fail if they require it)")
 	flag.Parse()
@@ -128,6 +129,23 @@ func main() {
 				log.Printf("metrics listener: %v", err)
 			}
 		}()
+	}
+
+	if *adaptiveAdmission {
+		// The tuner reads windowed dispatch-latency deltas from the
+		// observer; install a collector even when the metrics endpoint
+		// is off.
+		if srv.Observer() == nil {
+			srv.SetObserver(cricket.NewCollector(*traceRing))
+		}
+		tuner, err := srv.StartAutoTuner(cricket.AutoTuneConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tuner.Stop()
+		limits := srv.Limits()
+		log.Printf("adaptive admission: max-inflight starts at %d, retry hint %v, both walk with measured load",
+			limits.MaxInflight, limits.RetryAfter)
 	}
 
 	if *ckpDir != "" {

@@ -1,0 +1,392 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cricket/internal/cricket"
+	"cricket/internal/cuda"
+	"cricket/internal/gpu"
+	"cricket/internal/guest"
+	"cricket/internal/obs"
+	"cricket/internal/oncrpc"
+	"cricket/internal/tune"
+)
+
+// This file is the self-tuning-datapath ablation: the same open-loop
+// offered-load trace is replayed against three configurations of one
+// governed server, and the only difference between them is who picks
+// the concurrency operating point.
+//
+//   - static-small pins the client window at 2: a hand-tuned "safe"
+//     config that protects latency by leaving throughput on the table.
+//   - static-large pins the window at the maximum: a hand-tuned
+//     "fast" config that buys throughput with a standing queue.
+//   - adaptive runs the tune.Window controller on the client and the
+//     server's admission AutoTuner together, and has to *find* the
+//     knee that the static configs guess at.
+//
+// The load is open-loop on purpose. A closed loop (fixed worker
+// count, back-to-back calls) lets Little's law hide the cost of a
+// queue: throughput looks identical whether calls wait in line or
+// not. With arrivals paced by a clock, an oversized window shows up
+// exactly where it hurts — in the p99 — while an undersized one shows
+// up as drops. The server models execution with a K-slot semaphore
+// and a fixed service time, so the latency/concurrency curve has a
+// real knee at K instead of being flat noise.
+//
+// Arrivals that find the datapath saturated are dropped at the edge:
+// a new call is admitted only while the number outstanding is below
+// a small multiple of the *current* window, so the queue a config tolerates scales
+// with the operating point it chose. That is the whole bet of the
+// adaptive config — a well-placed window keeps queues short enough
+// that served throughput stays at capacity while the tail stays near
+// the service time.
+
+// AdaptivePhase is one segment of the offered-load trace.
+type AdaptivePhase struct {
+	Name     string
+	Interval time.Duration // arrival spacing (open loop)
+	Arrivals int
+}
+
+// AdaptiveConfig sizes the ablation. The zero value selects defaults
+// scaled for `make bench`; CI passes a smaller Arrivals.
+type AdaptiveConfig struct {
+	// Arrivals is the per-phase arrival count (default 2500).
+	Arrivals int
+	// ExecSlots is K in the server's K-slot execution model (default 4).
+	ExecSlots int
+	// Service is the modeled per-call device time (default 200µs).
+	Service time.Duration
+	// Sessions is the client session pool size (default 3*MaxWindow).
+	Sessions int
+	// MaxWindow bounds the client window (default 32); static-large
+	// pins there.
+	MaxWindow int
+	// Seed feeds the session RNGs.
+	Seed int64
+}
+
+func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if c.Arrivals <= 0 {
+		c.Arrivals = 2500
+	}
+	if c.ExecSlots <= 0 {
+		c.ExecSlots = 4
+	}
+	if c.Service <= 0 {
+		// Coarse enough that sleep granularity (~100µs jitter on a busy
+		// Go runtime) stays small relative to the modeled service time.
+		c.Service = time.Millisecond
+	}
+	if c.MaxWindow <= 0 {
+		c.MaxWindow = 32
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 3 * c.MaxWindow
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// phases builds the shifting offered-load trace: under, over, and
+// near capacity, where capacity is ExecSlots/Service calls per
+// second.
+func (c AdaptiveConfig) phases() []AdaptivePhase {
+	slot := c.Service / time.Duration(c.ExecSlots) // spacing at exactly capacity
+	return []AdaptivePhase{
+		{Name: "warm", Interval: 2 * slot, Arrivals: c.Arrivals},     // 0.5x capacity
+		{Name: "surge", Interval: slot / 2, Arrivals: c.Arrivals},    // 2x capacity
+		{Name: "calm", Interval: 3 * slot / 2, Arrivals: c.Arrivals}, // 0.66x capacity
+	}
+}
+
+// AdaptiveRun is one configuration's outcome over the full trace.
+type AdaptiveRun struct {
+	Name    string
+	Served  int // calls completed successfully
+	Dropped int // arrivals shed at the client edge (outstanding bound)
+	Failed  int // calls that exhausted their attempt budget
+
+	P50, P99   time.Duration // end-to-end latency of served calls
+	Throughput float64       // served calls per second of trace time
+
+	Overloads uint64 // server sheds absorbed by session retries
+
+	FinalWindow    int // client window when the trace ended
+	WindowGrows    uint64
+	WindowShrinks  uint64
+	WindowBackoffs uint64
+	WindowSamples  uint64 // latency observations folded into the controller
+
+	ServerMaxInflight int    // server admission ceiling when the trace ended
+	TunerGrows        uint64 // adaptive run only
+	TunerShrinks      uint64
+	TunerIntervals    uint64
+}
+
+// AdaptiveResult is the full ablation: the trace and one run per
+// configuration.
+type AdaptiveResult struct {
+	ArrivalsPerPhase int
+	ExecSlots        int
+	Service          time.Duration
+	Phases           []AdaptivePhase
+	Runs             []AdaptiveRun
+}
+
+func (r AdaptiveResult) run(name string) *AdaptiveRun {
+	for i := range r.Runs {
+		if r.Runs[i].Name == name {
+			return &r.Runs[i]
+		}
+	}
+	return nil
+}
+
+// Violations checks the ablation's claim: the adaptive config must
+// match the best static throughput while beating the
+// best-throughput static config's tail, and both controllers must
+// have actually moved. Empty means the claim held.
+func (r AdaptiveResult) Violations() []string {
+	var v []string
+	adaptive := r.run("adaptive")
+	if adaptive == nil {
+		return []string{"no adaptive run recorded"}
+	}
+	var bestStatic *AdaptiveRun
+	for i := range r.Runs {
+		run := &r.Runs[i]
+		if run.Served == 0 {
+			v = append(v, fmt.Sprintf("%s served nothing", run.Name))
+		}
+		if run.Name == "adaptive" {
+			continue
+		}
+		if bestStatic == nil || run.Served > bestStatic.Served {
+			bestStatic = run
+		}
+	}
+	if bestStatic == nil {
+		return append(v, "no static baseline recorded")
+	}
+	if 100*adaptive.Served < 85*bestStatic.Served {
+		v = append(v, fmt.Sprintf("adaptive served %d, under 85%% of best static %s's %d",
+			adaptive.Served, bestStatic.Name, bestStatic.Served))
+	}
+	if adaptive.P99 > bestStatic.P99 {
+		v = append(v, fmt.Sprintf("adaptive p99 %v exceeds best-throughput static %s's %v",
+			adaptive.P99, bestStatic.Name, bestStatic.P99))
+	}
+	// A window that held its initial size all trace is a legitimate
+	// outcome (it started at the knee); a window that never *measured*
+	// is a wiring bug.
+	if adaptive.WindowSamples == 0 {
+		v = append(v, "adaptive client window never observed a call")
+	}
+	if adaptive.TunerIntervals == 0 {
+		v = append(v, "server auto-tuner never ran a control interval")
+	}
+	return v
+}
+
+// Adaptive replays the offered-load trace against the three
+// configurations and returns the ablation.
+func Adaptive(cfg AdaptiveConfig) (AdaptiveResult, error) {
+	cfg = cfg.withDefaults()
+	res := AdaptiveResult{
+		ArrivalsPerPhase: cfg.Arrivals,
+		ExecSlots:        cfg.ExecSlots,
+		Service:          cfg.Service,
+		Phases:           cfg.phases(),
+	}
+	runs := []struct {
+		name     string
+		window   func() *tune.Window
+		autotune bool
+	}{
+		{"static-small", func() *tune.Window { return tune.Static(2) }, false},
+		{"static-large", func() *tune.Window { return tune.Static(cfg.MaxWindow) }, false},
+		{"adaptive", func() *tune.Window {
+			// Inflate and Step are loosened from the controller defaults
+			// for the same reason as the server tuner's: sleep-modeled
+			// service times carry scheduler jitter that a real device's
+			// latency distribution would not, and a too-eager tail gate
+			// turns steady-state saturation into a shrink/regrow cycle.
+			return tune.NewWindow(tune.WindowConfig{
+				Min: 2, Max: cfg.MaxWindow, Initial: 8,
+				Inflate: 4, Step: 2,
+			})
+		}, true},
+	}
+	for _, rc := range runs {
+		run, err := adaptiveRun(cfg, rc.name, rc.window(), rc.autotune)
+		if err != nil {
+			return res, fmt.Errorf("%s: %w", rc.name, err)
+		}
+		res.Runs = append(res.Runs, run)
+	}
+	return res, nil
+}
+
+// adaptiveRun replays the trace once against a fresh governed server.
+func adaptiveRun(cfg AdaptiveConfig, name string, win *tune.Window, autotune bool) (AdaptiveRun, error) {
+	run := AdaptiveRun{Name: name}
+
+	rt := cuda.NewRuntime(nil, gpu.New(gpu.SpecA100))
+	srv := cricket.NewServer(rt)
+	srv.SetLimits(cricket.Limits{
+		MaxClients:  cfg.Sessions + 2,
+		MaxInflight: 2 * cfg.MaxWindow, // static runs: client window is the governor
+		RetryAfter:  200 * time.Microsecond,
+	})
+	// The execution model: K slots of fixed service time. This is what
+	// puts a knee in the latency/concurrency curve — beyond K the only
+	// thing more concurrency buys is queueing.
+	sem := make(chan struct{}, cfg.ExecSlots)
+	srv.SetExecModel(func() {
+		sem <- struct{}{}
+		time.Sleep(cfg.Service)
+		<-sem
+	})
+	var tuner *cricket.AutoTuner
+	if autotune {
+		srv.SetObserver(cricket.NewCollector(16))
+		var err error
+		tuner, err = srv.StartAutoTuner(cricket.AutoTuneConfig{
+			// Min pins the ceiling at twice the device's concurrency: the
+			// tuner may convert deep queueing into sheds, but it must
+			// never under-admit below the client's useful operating
+			// point, or shed-retry storms feed back into the client
+			// controller and both spiral down. Inflate is loosened above
+			// its default because sleep-modeled service times carry
+			// scheduler jitter a real device would not.
+			Admission: tune.AdmissionConfig{
+				Min:     2 * cfg.ExecSlots,
+				Max:     2 * cfg.MaxWindow,
+				Initial: 4 * cfg.ExecSlots,
+				Inflate: 8,
+			},
+			Interval: 10 * time.Millisecond,
+		})
+		if err != nil {
+			return run, err
+		}
+		defer tuner.Stop()
+	}
+	rpcSrv := oncrpc.NewServer()
+	srv.Attach(rpcSrv)
+	defer rpcSrv.Close()
+
+	// The session pool: arrivals borrow a connected session, issue one
+	// call through the shared window, and return it. An empty pool is
+	// never the drop signal — the outstanding bound below is — so the
+	// pool is sized past the worst-case bound.
+	pool := make(chan *cricket.Session, cfg.Sessions)
+	for i := 0; i < cfg.Sessions; i++ {
+		s, err := cricket.NewSession(cricket.SessionOptions{
+			Options: cricket.Options{Platform: guest.NativeRust()},
+			Redial: func() (io.ReadWriteCloser, error) {
+				cli, sc := net.Pipe()
+				go rpcSrv.ServeConn(sc)
+				return cli, nil
+			},
+			Nonce:       uint64(i) + 1,
+			Seed:        cfg.Seed + int64(i),
+			Window:      win,
+			MaxAttempts: 8,
+			BackoffBase: 200 * time.Microsecond,
+			BackoffMax:  5 * time.Millisecond,
+		})
+		if err != nil {
+			return run, err
+		}
+		defer s.Close()
+		pool <- s
+	}
+
+	hist := &obs.Histogram{}
+	var served, dropped, failed atomic.Int64
+	var outstanding atomic.Int64
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for _, ph := range cfg.phases() {
+		next := time.Now()
+		for i := 0; i < ph.Arrivals; i++ {
+			next = next.Add(ph.Interval)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			// Edge admission: the queue an arrival may join scales with
+			// the operating point in force right now. A config that
+			// chose a small window drops early and keeps its tail short;
+			// one that chose a large window queues deep and pays in p99.
+			if int(outstanding.Load()) >= 3*win.Window() {
+				dropped.Add(1)
+				continue
+			}
+			var s *cricket.Session
+			select {
+			case s = <-pool:
+			default:
+				dropped.Add(1)
+				continue
+			}
+			outstanding.Add(1)
+			wg.Add(1)
+			t0 := time.Now()
+			go func() {
+				defer wg.Done()
+				_, err := s.GetDeviceCount()
+				d := time.Since(t0)
+				outstanding.Add(-1)
+				pool <- s
+				if err != nil {
+					failed.Add(1)
+					return
+				}
+				served.Add(1)
+				hist.Observe(d)
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	run.Served = int(served.Load())
+	run.Dropped = int(dropped.Load())
+	run.Failed = int(failed.Load())
+	snap := hist.Snapshot()
+	run.P50 = snap.Quantile(0.50)
+	run.P99 = snap.Quantile(0.99)
+	if sec := elapsed.Seconds(); sec > 0 {
+		run.Throughput = float64(run.Served) / sec
+	}
+	ws := win.Stats()
+	run.FinalWindow = ws.Window
+	run.WindowGrows = ws.Grows
+	run.WindowShrinks = ws.Shrinks
+	run.WindowBackoffs = ws.Backoffs
+	run.WindowSamples = ws.Samples
+	run.ServerMaxInflight = srv.Limits().MaxInflight
+	if tuner != nil {
+		ts := tuner.Stats()
+		run.TunerGrows = ts.Grows
+		run.TunerShrinks = ts.Shrinks
+		run.TunerIntervals = ts.Intervals
+	}
+	// Session-level overloads: sheds the retry loop absorbed.
+	close(pool)
+	for s := range pool {
+		run.Overloads += s.SessionStats().Overloads
+	}
+	return run, nil
+}

@@ -1,0 +1,32 @@
+package bench
+
+import "testing"
+
+// A scaled-down trace must complete cleanly with every configuration
+// serving traffic and the adaptive controllers demonstrably running.
+// The comparative latency/throughput claims are checked by the
+// benchharness smoke (timing-sensitive), not here.
+func TestAdaptiveSmallTrace(t *testing.T) {
+	res, err := Adaptive(AdaptiveConfig{Arrivals: 300, Seed: 42})
+	if err != nil {
+		t.Fatalf("Adaptive: %v", err)
+	}
+	if len(res.Runs) != 3 {
+		t.Fatalf("got %d runs, want 3", len(res.Runs))
+	}
+	for _, run := range res.Runs {
+		if run.Served == 0 {
+			t.Errorf("%s: served nothing (dropped %d, failed %d)", run.Name, run.Dropped, run.Failed)
+		}
+	}
+	adaptive := res.run("adaptive")
+	if adaptive == nil {
+		t.Fatal("no adaptive run")
+	}
+	if adaptive.TunerIntervals == 0 {
+		t.Error("auto-tuner never ran a control interval")
+	}
+	if adaptive.WindowSamples == 0 {
+		t.Error("adaptive window never observed a call")
+	}
+}

@@ -1,0 +1,109 @@
+package cricket
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"cricket/internal/tune"
+)
+
+// This file closes the server-side control loop: a background tuner
+// samples the observer's dispatch histograms on an interval, diffs
+// successive snapshots into windowed quantiles (obs.HistSnapshot.Sub),
+// and feeds them to a tune.Admission controller that walks
+// Limits.MaxInflight and the AUTH_RETRY hint to the server's measured
+// operating point. Static limits remain available by simply not
+// starting the tuner; a started tuner owns only the two admission
+// knobs and leaves lease TTLs and memory quotas untouched.
+
+// AutoTuneConfig configures StartAutoTuner. The zero value selects
+// the admission controller's documented defaults and a 100ms control
+// interval.
+type AutoTuneConfig struct {
+	// Admission tunes the controller bounds and gates.
+	Admission tune.AdmissionConfig
+	// Interval is the control period: how often the dispatch-histogram
+	// delta is read and the limits re-derived (default 100ms).
+	Interval time.Duration
+}
+
+// An AutoTuner is a running admission control loop, returned by
+// StartAutoTuner.
+type AutoTuner struct {
+	mu   sync.Mutex
+	adm  *tune.Admission
+	stop func()
+}
+
+// StartAutoTuner starts adaptive admission control: every Interval it
+// reads the windowed delta of the server's dispatch histograms and the
+// shed counter, folds them into the admission controller, and applies
+// the resulting MaxInflight ceiling and RetryAfter hint via the normal
+// limits path. The server must have an observer installed (SetObserver)
+// — the windowed quantiles come from its histograms. The tuner applies
+// the controller's initial operating point before returning, so a
+// freshly started server is governed from the first call.
+func (s *Server) StartAutoTuner(cfg AutoTuneConfig) (*AutoTuner, error) {
+	col := s.Observer()
+	if col == nil {
+		return nil, errors.New("cricket: StartAutoTuner requires an observer (SetObserver) for windowed latency deltas")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 100 * time.Millisecond
+	}
+	at := &AutoTuner{adm: tune.NewAdmission(cfg.Admission)}
+	limit, hint := at.adm.Operating()
+	s.applyAdmission(limit, hint)
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(cfg.Interval)
+		defer t.Stop()
+		prev := col.ServerMerged()
+		prevShed := s.Stats().CallsShed
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+			cur := col.ServerMerged()
+			delta := cur.Sub(prev)
+			prev = cur
+			shed := s.Stats().CallsShed
+			o := tune.AdmissionObs{
+				Count: delta.Count,
+				P50:   delta.Quantile(0.50),
+				P99:   delta.Quantile(0.99),
+				Sheds: shed - prevShed,
+			}
+			prevShed = shed
+			at.mu.Lock()
+			limit, hint := at.adm.Update(o)
+			at.mu.Unlock()
+			s.applyAdmission(limit, hint)
+		}
+	}()
+	var once sync.Once
+	at.stop = func() { once.Do(func() { close(done) }) }
+	return at, nil
+}
+
+// applyAdmission installs the tuner's two knobs, leaving every other
+// limit (lease TTL, client and memory caps) as configured.
+func (s *Server) applyAdmission(maxInflight int, retryAfter time.Duration) {
+	s.mu.Lock()
+	s.limits.MaxInflight = maxInflight
+	s.limits.RetryAfter = retryAfter
+	s.mu.Unlock()
+}
+
+// Stop ends the control loop. The last applied limits remain in force.
+func (t *AutoTuner) Stop() { t.stop() }
+
+// Stats returns the admission controller's counters.
+func (t *AutoTuner) Stats() tune.AdmissionStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.adm.Stats()
+}

@@ -1,0 +1,110 @@
+package cricket
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cricket/internal/obs"
+	"cricket/internal/tune"
+)
+
+// The exec model must run exactly once per admitted call and never for
+// a shed one — it stands in for device execution, and shed calls never
+// reach the device.
+func TestExecModelRunsOnlyForAdmittedCalls(t *testing.T) {
+	e := newSessEnv(t, "")
+	srv := e.server()
+	var ran atomic.Int64
+	srv.SetExecModel(func() { ran.Add(1) })
+	srv.SetLimits(Limits{MaxInflight: 1, RetryAfter: time.Millisecond})
+
+	c, _ := governedClient(t, e, 0x1111)
+	defer c.Close()
+	if _, err := c.GetDeviceCount(); err != nil {
+		t.Fatal(err)
+	}
+	// Attach is not begin()-gated, so only the call above ran the model.
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("exec model ran %d times after one admitted call, want 1", got)
+	}
+
+	srv.mu.Lock()
+	srv.inflight = 1
+	srv.mu.Unlock()
+	if _, err := c.GetDeviceCount(); !isOverload(err) {
+		t.Fatalf("call over MaxInflight = %v, want overload", err)
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("exec model ran %d times after a shed call, want still 1", got)
+	}
+	srv.mu.Lock()
+	srv.inflight = 0
+	srv.mu.Unlock()
+
+	srv.SetExecModel(nil)
+	if _, err := c.GetDeviceCount(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("exec model ran %d times after removal, want still 1", got)
+	}
+}
+
+// StartAutoTuner needs windowed histograms; without an observer it
+// must refuse rather than run blind.
+func TestAutoTunerRequiresObserver(t *testing.T) {
+	e := newSessEnv(t, "")
+	if _, err := e.server().StartAutoTuner(AutoTuneConfig{}); err == nil {
+		t.Fatal("StartAutoTuner without an observer succeeded, want error")
+	}
+}
+
+// The tuner applies the controller's initial operating point
+// immediately, then grows the ceiling while traffic stays healthy —
+// the server ends up governed at a measured limit, not the guess it
+// started from.
+func TestAutoTunerGovernsAndGrowsUnderHealthyLoad(t *testing.T) {
+	e := newSessEnv(t, "")
+	srv := e.server()
+	srv.SetObserver(obs.New(obs.Config{ProcName: ProcName}))
+
+	at, err := srv.StartAutoTuner(AutoTuneConfig{
+		Admission: tune.AdmissionConfig{Min: 2, Max: 64, Initial: 4, MinCount: 4},
+		Interval:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("StartAutoTuner: %v", err)
+	}
+	defer at.Stop()
+
+	// The initial operating point is in force before any traffic.
+	if l := srv.Limits(); l.MaxInflight != 4 {
+		t.Fatalf("MaxInflight = %d right after start, want initial 4", l.MaxInflight)
+	}
+	if l := srv.Limits(); l.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v right after start, want > 0", l.RetryAfter)
+	}
+
+	c, _ := governedClient(t, e, 0x2222)
+	defer c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 8; i++ {
+			if _, err := c.GetDeviceCount(); err != nil {
+				t.Fatalf("GetDeviceCount: %v", err)
+			}
+		}
+		if srv.Limits().MaxInflight > 4 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if l := srv.Limits(); l.MaxInflight <= 4 {
+		t.Fatalf("MaxInflight = %d after healthy load, want grown above 4 (tuner stats %+v)",
+			l.MaxInflight, at.Stats())
+	}
+	if st := at.Stats(); st.Grows == 0 {
+		t.Fatalf("tuner stats %+v: no growth recorded", st)
+	}
+}

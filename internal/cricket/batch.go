@@ -80,6 +80,16 @@ func (c *Client) enqueue(op int32, handle, stream, n uint64, value uint32, grid,
 	q := c.batch
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	// Flush before pushing when this entry would take the queued
+	// payload past maxBytes; pushing first and checking after shipped
+	// batches above the threshold by up to one entry. The arithmetic
+	// pre-check keeps push's recycled buffers as the only hot path. An
+	// entry larger than maxBytes by itself still ships alone.
+	if len(q.entries) > 0 && q.bytes+len(payload) > q.maxBytes {
+		if err := c.flushLocked(); err != nil {
+			return err
+		}
+	}
 	q.push(op, handle, stream, n, value, grid, block, payload)
 	if len(q.entries) >= q.maxN || q.bytes > q.maxBytes {
 		return c.flushLocked()

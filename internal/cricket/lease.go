@@ -179,6 +179,13 @@ func (sc *serverConn) begin() bool {
 	}
 	s.inflight++
 	s.mu.Unlock()
+	// The exec model (benchmarks' stand-in for device execution) runs
+	// outside the lock so modeled service time serializes on the
+	// model's own capacity, not on Server.mu — and only for admitted
+	// calls, so sheds stay as cheap as real rejects must be.
+	if f := s.execModel.Load(); f != nil {
+		(*f)()
+	}
 	return true
 }
 

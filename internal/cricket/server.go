@@ -135,6 +135,12 @@ type Server struct {
 	// serving; nil means disabled (the default).
 	collector atomic.Pointer[obs.Collector]
 
+	// execModel, when set, runs once per admitted call before the
+	// procedure executes — a stand-in for device execution cost so
+	// load tests and admission tuning have a real saturation point.
+	// Shed calls never run it. Accessed atomically.
+	execModel atomic.Pointer[func()]
+
 	// ErrorLog, when set, receives server-side failures.
 	ErrorLog *log.Logger
 }
@@ -203,6 +209,20 @@ func (s *Server) observeDevice(proc uint32, d time.Duration) {
 	if col := s.collector.Load(); col != nil {
 		col.ObserveDevice(proc, d)
 	}
+}
+
+// SetExecModel installs (or with nil removes) a hook run once per
+// admitted call, after admission control and while the call counts
+// against MaxInflight. Benchmarks install a model of device execution
+// — typically a K-slot semaphore plus a service time, standing in for
+// a K-way-parallel GPU — so the admission controller has a genuine
+// latency/throughput knee to find. Safe to call while serving.
+func (s *Server) SetExecModel(f func()) {
+	if f == nil {
+		s.execModel.Store(nil)
+		return
+	}
+	s.execModel.Store(&f)
 }
 
 // Scheduler returns the server's client scheduler.

@@ -14,6 +14,7 @@ import (
 	"cricket/internal/cuda"
 	"cricket/internal/gpu"
 	"cricket/internal/oncrpc"
+	"cricket/internal/tune"
 )
 
 // This file implements fault-tolerant Cricket sessions. A plain Client
@@ -120,6 +121,20 @@ type SessionOptions struct {
 	// the drop; after expiry the server grants a fresh lease and the
 	// session replays. Zero mints a random nonce.
 	Nonce uint64
+	// Window, when set, gates every RPC the session issues through an
+	// adaptive in-flight window (internal/tune). The window is
+	// typically shared by every session in the process, so total
+	// concurrency against the server walks the knee of the
+	// latency/throughput curve instead of scaling with session count.
+	// Overload sheds feed the window as backpressure. Nil disables
+	// gating.
+	Window *tune.Window
+	// Coalescer, when set (and Options.Batch > 0), adapts the batch
+	// flush thresholds from observed flush latency instead of keeping
+	// the static Batch/BatchBytes values. The session adopts the
+	// coalescer's thresholds at connect and after every flush; the
+	// enqueue hot path is untouched. Not shared between sessions.
+	Coalescer *tune.Coalescer
 }
 
 func (o *SessionOptions) withDefaults() SessionOptions {
@@ -225,8 +240,9 @@ type Session struct {
 	batchMaxBytes int
 	batchAge      time.Duration
 	batchTimer    *time.Timer
-	batchDeferred error        // first in-band batch failure awaiting a sync point
-	wireBuf       []BatchEntry // reused flush translation buffer
+	batchDeferred error           // first in-band batch failure awaiting a sync point
+	wireBuf       []BatchEntry    // reused flush translation buffer
+	coalescer     *tune.Coalescer // adaptive thresholds; nil = static
 
 	statmu sync.Mutex
 	sstats SessionStats
@@ -289,6 +305,13 @@ func NewSession(opts SessionOptions) (*Session, error) {
 		// The session owns the queue; its clients stay unbatched so a
 		// transport death cannot take queued entries with it.
 		o.Options.Batch = 0
+		if o.Coalescer != nil {
+			// Adaptive coalescing: the tuner owns the thresholds from
+			// here on; Batch/BatchBytes were just the starting point
+			// unless the tuner was seeded with its own.
+			s.coalescer = o.Coalescer
+			s.batchMaxN, s.batchMaxBytes = s.coalescer.Thresholds()
+		}
 	}
 	s.opts = o
 	c, epoch, _, err := s.dialOnce()
@@ -330,6 +353,26 @@ func isOverload(err error) bool {
 	var ce cuda.Error
 	return errors.As(err, &ce) && ce == cuda.ErrorServerOverloaded
 }
+
+// An OverloadError is an admission-control shed annotated with the
+// server's advertised retry hint. It unwraps to
+// cuda.ErrorServerOverloaded, so every existing errors.As-based
+// overload check (isOverload, the fleet's shed detection) sees it
+// unchanged; consumers that can use the hint — the fleet's shed
+// cooldown — extract it with errors.As on *OverloadError.
+type OverloadError struct {
+	Hint time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	if e.Hint > 0 {
+		return fmt.Sprintf("%v (retry after %v)", cuda.ErrorServerOverloaded, e.Hint)
+	}
+	return cuda.ErrorServerOverloaded.Error()
+}
+
+// Unwrap exposes the in-band overload status for errors.As/Is.
+func (e *OverloadError) Unwrap() error { return cuda.ErrorServerOverloaded }
 
 // dialOnce opens one transport and client, learns the server epoch,
 // and attaches the session's lease. fresh reports that the server
@@ -389,14 +432,17 @@ func (s *Session) dialOnce() (c *Client, epoch uint64, fresh bool, err error) {
 	case isOverload(aerr):
 		// Admission control shed the attach: capture the server's
 		// backpressure hint for recover()'s next sleep and fail the
-		// dial so it backs off and retries.
+		// dial so it backs off and retries. The hint rides the error as
+		// an OverloadError so the endpoint picker can size its shed
+		// cooldown from the server's own operating point.
 		s.hint = c.TakeRetryHint()
 		s.statmu.Lock()
 		s.sstats.Overloads++
 		s.statmu.Unlock()
 		c.Close()
-		report(aerr)
-		return nil, 0, false, aerr
+		werr := &OverloadError{Hint: s.hint}
+		report(werr)
+		return nil, 0, false, werr
 	default:
 		// Pre-lease server (RPC-level "procedure unavailable"): run
 		// ungoverned; the epoch comparison alone decides replays.
@@ -690,6 +736,17 @@ func (s *Session) do(op func(c *Client) error) error {
 	if s.closed {
 		return ErrSessionClosed
 	}
+	// With an adaptive window configured, every operation holds one
+	// window slot for its whole lifetime — including retries and
+	// recovery — so total in-flight work against the server is bounded
+	// by the window, and the controller sees the concurrency level each
+	// latency sample was taken at.
+	w := s.opts.Window
+	var rif int
+	if w != nil {
+		rif = w.Acquire()
+		defer w.Release()
+	}
 	shed := 0
 	for {
 		if s.c == nil {
@@ -697,12 +754,21 @@ func (s *Session) do(op func(c *Client) error) error {
 				return err
 			}
 		}
+		var t0 time.Time
+		if w != nil {
+			t0 = time.Now()
+		}
 		err := op(s.c)
 		if isOverload(err) {
 			// The server shed this call under admission control.
 			// Governance degrades to queueing, not failure: back off on
 			// the server's hint (or our own jitter) and retry, up to
-			// the session's attempt budget.
+			// the session's attempt budget. A shed reply returns fast,
+			// so it must not be recorded as a latency sample — it feeds
+			// the window as explicit backpressure instead.
+			if w != nil {
+				w.Backpressure()
+			}
 			shed++
 			s.statmu.Lock()
 			s.sstats.Overloads++
@@ -722,6 +788,9 @@ func (s *Session) do(op func(c *Client) error) error {
 		// transport errors are: reconnecting renegotiates the method
 		// and reopens the carrier, and the datapath op is idempotent.
 		if !oncrpc.IsTransportError(err) && !errors.Is(err, ErrCarrier) {
+			if w != nil {
+				w.Observe(rif, time.Since(t0))
+			}
 			return err
 		}
 		if rerr := s.recover(); rerr != nil {
@@ -740,6 +809,16 @@ func (s *Session) batching() bool { return s.batchMaxN > 0 }
 func (s *Session) enqueueLocked(op sessBatchOp) error {
 	if s.closed {
 		return ErrSessionClosed
+	}
+	// Flush before appending when this entry would push the queue past
+	// the byte threshold. Appending first and checking after (the old
+	// order) shipped batches above batchMaxBytes by up to one whole
+	// entry. An entry larger than the threshold on its own still ships
+	// alone — it cannot be split — but never atop queued entries.
+	if len(s.batchq) > 0 && s.batchBytes+len(op.data) > s.batchMaxBytes {
+		if err := s.flushBatchLocked(); err != nil {
+			return err
+		}
 	}
 	s.batchq = append(s.batchq, op)
 	s.batchBytes += len(op.data)
@@ -770,6 +849,11 @@ func (s *Session) flushBatchLocked() error {
 		s.batchTimer = nil
 	}
 	ops := s.batchq
+	flushBytes := s.batchBytes
+	var t0 time.Time
+	if s.coalescer != nil {
+		t0 = time.Now()
+	}
 	err := s.do(func(c *Client) error {
 		entries := s.wireBuf[:0]
 		for i := range ops {
@@ -831,6 +915,12 @@ func (s *Session) flushBatchLocked() error {
 		}
 		return nil
 	})
+	if s.coalescer != nil && err == nil {
+		// Feed the tuner the whole flush — queue depth, payload, and
+		// end-to-end latency including any retries — and adopt its
+		// updated thresholds for the next batch.
+		s.batchMaxN, s.batchMaxBytes = s.coalescer.OnFlush(len(ops), flushBytes, time.Since(t0))
+	}
 	s.batchq = s.batchq[:0]
 	s.batchBytes = 0
 	return err

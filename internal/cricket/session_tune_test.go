@@ -1,0 +1,127 @@
+package cricket
+
+import (
+	"testing"
+	"time"
+
+	"cricket/internal/guest"
+	"cricket/internal/tune"
+)
+
+// A session with an adaptive Window must feed server sheds into the
+// controller as backpressure (multiplicative decrease) rather than as
+// latency samples, and keep serving once the congestion clears.
+func TestSessionWindowBackpressureOnOverload(t *testing.T) {
+	e := newSessEnv(t, "")
+	srv := e.server()
+	srv.SetLimits(Limits{MaxInflight: 1, RetryAfter: time.Millisecond})
+
+	w := tune.NewWindow(tune.WindowConfig{Min: 1, Max: 8, Initial: 8})
+	s, err := NewSession(SessionOptions{
+		Options:     Options{Platform: guest.NativeRust()},
+		Redial:      e.redial,
+		Seed:        1,
+		Sleep:       func(time.Duration) {},
+		MaxAttempts: 3,
+		Window:      w,
+	})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer s.Close()
+	if _, err := s.Malloc(64); err != nil {
+		t.Fatalf("Malloc before congestion: %v", err)
+	}
+
+	// Occupy the only execution slot directly (the simulated runtime
+	// completes real calls instantly, so contention is injected, not
+	// raced): every call now sheds until the attempt budget runs out.
+	srv.mu.Lock()
+	srv.inflight = 1
+	srv.mu.Unlock()
+	if _, err := s.Malloc(64); !isOverload(err) {
+		t.Fatalf("Malloc under congestion = %v, want overload", err)
+	}
+	st := w.Stats()
+	if st.Backoffs < 1 {
+		t.Fatalf("Backoffs = %d, want >= 1 (sheds must reach the window)", st.Backoffs)
+	}
+	if st.Window >= 8 {
+		t.Fatalf("window = %d after sheds, want < initial 8", st.Window)
+	}
+	if st.Inflight != 0 {
+		t.Fatalf("inflight = %d after the call returned, want 0 (slot leaked)", st.Inflight)
+	}
+
+	srv.mu.Lock()
+	srv.inflight = 0
+	srv.mu.Unlock()
+	before := w.Stats().Samples
+	if _, err := s.Malloc(64); err != nil {
+		t.Fatalf("Malloc after congestion cleared: %v", err)
+	}
+	if after := w.Stats().Samples; after <= before {
+		t.Fatalf("samples %d -> %d: successful call was not observed", before, after)
+	}
+}
+
+// A session with a Coalescer must adopt the tuner's thresholds after
+// every flush: full cheap batches grow the entry threshold away from
+// its initial value, and the session's own limits track the tuner's.
+func TestSessionCoalescerAdaptsThresholds(t *testing.T) {
+	e := newSessEnv(t, "")
+	tuner := tune.NewCoalescer(tune.CoalesceConfig{
+		MinN: 2, Initial: 4, MaxN: 64, FlushesPerAdjust: 2,
+	})
+	s, err := NewSession(SessionOptions{
+		Options:   Options{Platform: guest.NativeRust(), Batch: 999, BatchBytes: 1 << 30},
+		Redial:    e.redial,
+		Seed:      1,
+		Sleep:     func(time.Duration) {},
+		Coalescer: tuner,
+	})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer s.Close()
+
+	thresholds := func() (n, b int) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.batchMaxN, s.batchMaxBytes
+	}
+	// The session must start at the tuner's operating point, not the
+	// static Batch/BatchBytes options.
+	if n, _ := thresholds(); n != 4 {
+		t.Fatalf("initial batchMaxN = %d, want the tuner's 4", n)
+	}
+
+	dst, err := s.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 16)
+	// Fill batches exactly to the current threshold so every flush is
+	// "full" — the signal that the threshold binds and growth pays.
+	for i := 0; i < 12; i++ {
+		n, _ := thresholds()
+		for j := 0; j < n; j++ {
+			if err := s.MemcpyHtoDAsync(dst, payload, 0); err != nil {
+				t.Fatalf("enqueue: %v", err)
+			}
+		}
+	}
+	st := tuner.Stats()
+	if st.Grows == 0 {
+		t.Fatalf("tuner stats %+v: full cheap batches never grew the threshold", st)
+	}
+	gotN, gotB := thresholds()
+	wantN, wantB := tuner.Thresholds()
+	if gotN != wantN || gotB != wantB {
+		t.Fatalf("session thresholds (%d, %d) diverge from tuner (%d, %d)",
+			gotN, gotB, wantN, wantB)
+	}
+	if gotN <= 4 {
+		t.Fatalf("batchMaxN = %d, want grown above initial 4", gotN)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -72,7 +73,11 @@ type Options struct {
 	UpAfter int
 	// ShedCooldown is how long a member that shed a session under
 	// admission control is deprioritized before it is offered new
-	// placements again (default 1s).
+	// placements again (default 1s). It is the fallback base: a shed
+	// that carries the server's own retry hint (an adaptive-admission
+	// server advertising its operating point) uses the hint as the
+	// base instead. Either base gets up to 50% deterministic jitter so
+	// the cooldowns of sessions shed together expire apart.
 	ShedCooldown time.Duration
 	// MinHeadroom, when positive, deprioritizes members whose probed
 	// device-memory headroom is below it, as long as some live member
@@ -80,6 +85,9 @@ type Options struct {
 	MinHeadroom uint64
 	// Clock overrides the cooldown timebase (tests).
 	Clock func() time.Time
+	// Seed seeds the shed-cooldown jitter (default 1), making routing
+	// decisions reproducible for a given event order.
+	Seed uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -97,6 +105,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Clock == nil {
 		o.Clock = time.Now
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
 	}
 	return o
 }
@@ -158,6 +169,7 @@ type Pool struct {
 	members    map[string]*member
 	placements map[string]string // session key -> member name
 	stats      PoolStats
+	rng        *rand.Rand // shed-cooldown jitter, guarded by mu
 }
 
 // New builds a pool over the given members.
@@ -167,6 +179,7 @@ func New(opts Options, members ...Member) (*Pool, error) {
 		members:    make(map[string]*member),
 		placements: make(map[string]string),
 	}
+	p.rng = rand.New(rand.NewSource(int64(p.opts.Seed)))
 	for _, m := range members {
 		if err := p.Add(m); err != nil {
 			return nil, err
@@ -337,7 +350,18 @@ func (p *Pool) failed(name string, err error) {
 	var ce cuda.Error
 	if errors.As(err, &ce) && ce == cuda.ErrorServerOverloaded {
 		p.stats.Sheds++
-		m.shedUntil = p.opts.Clock().Add(p.opts.ShedCooldown)
+		// An adaptive-admission server advertises its operating point
+		// in the shed's retry hint ("come back after about two service
+		// times"); trust it over the static cooldown when present. Up
+		// to 50% jitter on either base keeps the sessions a member
+		// shed in one burst from all retrying it in the same instant.
+		base := p.opts.ShedCooldown
+		var oe *cricket.OverloadError
+		if errors.As(err, &oe) && oe.Hint > 0 {
+			base = oe.Hint
+		}
+		jitter := time.Duration(p.rng.Int63n(int64(base)/2 + 1))
+		m.shedUntil = p.opts.Clock().Add(base + jitter)
 		return
 	}
 	p.stats.DialFailures++

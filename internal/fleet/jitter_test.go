@@ -1,0 +1,158 @@
+package fleet
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"cricket/internal/cricket"
+	"cricket/internal/cuda"
+	"cricket/internal/guest"
+)
+
+// ioRWC and errNoDial keep the no-dial member literals readable: these
+// tests drive the cooldown bookkeeping directly and never dial.
+type ioRWC = io.ReadWriteCloser
+
+var errNoDial = errors.New("jitter tests do not dial")
+
+// jitterPool builds a pool of named no-dial members with a pinned
+// clock and seed, for exercising the shed-cooldown path directly.
+func jitterPool(t *testing.T, seed uint64, now time.Time, names ...string) *Pool {
+	t.Helper()
+	members := make([]Member, len(names))
+	for i, n := range names {
+		members[i] = Member{Name: n, Dial: func() (ioRWC, error) { return nil, errNoDial }}
+	}
+	p, err := New(Options{
+		Probe:        cricket.Options{Platform: guest.NativeRust()},
+		ShedCooldown: time.Second,
+		Clock:        func() time.Time { return now },
+		Seed:         seed,
+	}, members...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return p
+}
+
+func shedUntil(t *testing.T, p *Pool, name string) time.Time {
+	t.Helper()
+	for _, m := range p.Members() {
+		if m.Name == name {
+			return m.ShedUntil
+		}
+	}
+	t.Fatalf("member %q not found", name)
+	return time.Time{}
+}
+
+// Shed cooldowns must be jittered — a member that sheds a burst of
+// sessions must not see them all return in the same instant — and the
+// jitter must be deterministic under a fixed seed, bounded to
+// [base, 1.5*base], and reproducible across pools with equal seeds.
+func TestShedCooldownJitterDeterministicAndBounded(t *testing.T) {
+	now := time.Unix(1000, 0)
+	const n = 16
+	run := func(seed uint64) []time.Duration {
+		p := jitterPool(t, seed, now, "m0")
+		out := make([]time.Duration, n)
+		for i := range out {
+			p.failed("m0", cuda.ErrorServerOverloaded)
+			out[i] = shedUntil(t, p, "m0").Sub(now)
+		}
+		return out
+	}
+	a, b, c := run(7), run(7), run(8)
+	distinct := map[time.Duration]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cooldown %d diverges across equal seeds: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < time.Second || a[i] > 1500*time.Millisecond {
+			t.Fatalf("cooldown %d = %v outside [1s, 1.5s]", i, a[i])
+		}
+		distinct[a[i]] = true
+	}
+	if len(distinct) < n/2 {
+		t.Fatalf("only %d distinct cooldowns out of %d sheds: jitter is not spreading the herd", len(distinct), n)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("seeds 7 and 8 produced identical cooldown sequences")
+	}
+}
+
+// A shed carrying the server's retry hint must use the hint — the
+// advertised operating point — as the cooldown base instead of the
+// static ShedCooldown, still with bounded jitter on top.
+func TestShedCooldownUsesAdvertisedHint(t *testing.T) {
+	now := time.Unix(2000, 0)
+	p := jitterPool(t, 3, now, "m0")
+	for i := 0; i < 8; i++ {
+		p.failed("m0", &cricket.OverloadError{Hint: 20 * time.Millisecond})
+		d := shedUntil(t, p, "m0").Sub(now)
+		if d < 20*time.Millisecond || d > 30*time.Millisecond {
+			t.Fatalf("hinted cooldown = %v outside [20ms, 30ms]", d)
+		}
+	}
+	// Hintless sheds fall back to the static cooldown.
+	p.failed("m0", cuda.ErrorServerOverloaded)
+	if d := shedUntil(t, p, "m0").Sub(now); d < time.Second {
+		t.Fatalf("hintless cooldown = %v, want >= the 1s ShedCooldown", d)
+	}
+	if got := p.Stats().Sheds; got != 9 {
+		t.Fatalf("Sheds = %d, want 9", got)
+	}
+}
+
+// The cooldown keeps demoting the member until it expires, hint or
+// not: a pick inside the window spills past the shed member, and one
+// after the window returns to it.
+func TestShedCooldownDemotesUntilExpiry(t *testing.T) {
+	base := time.Unix(3000, 0)
+	now := base
+	members := []Member{
+		{Name: "a", Dial: func() (ioRWC, error) { return nil, errNoDial }},
+		{Name: "b", Dial: func() (ioRWC, error) { return nil, errNoDial }},
+	}
+	p, err := New(Options{
+		Probe:        cricket.Options{Platform: guest.NativeRust()},
+		ShedCooldown: time.Second,
+		Clock:        func() time.Time { return now },
+		Seed:         5,
+	}, members...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	const key = "some-session"
+	home, err := p.pick(key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.failed(home.Name, &cricket.OverloadError{Hint: 100 * time.Millisecond})
+	until := shedUntil(t, p, home.Name)
+
+	now = until.Add(-time.Millisecond)
+	m, err := p.pick(key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name == home.Name {
+		t.Fatalf("pick inside the cooldown landed on the shed member %q", home.Name)
+	}
+	now = until.Add(time.Millisecond)
+	m, err = p.pick(key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != home.Name {
+		t.Fatalf("pick after cooldown expiry = %q, want home %q", m.Name, home.Name)
+	}
+}

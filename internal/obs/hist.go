@@ -129,6 +129,75 @@ func (s *HistSnapshot) Quantile(q float64) time.Duration {
 	return s.Max
 }
 
+// Sub returns the windowed difference s - prev: the snapshot of only
+// the observations recorded between the two snapshots of the same
+// histogram. Feedback controllers sample on an interval and diff, so
+// each control decision sees that interval's traffic rather than the
+// lifetime average. Min and Max cannot be diffed exactly (they are
+// lifetime extremes), so the window's range is approximated from its
+// populated bucket edges, clamped to the lifetime [Min, Max]. A prev
+// that is not an earlier snapshot of the same histogram (count went
+// backwards) yields the zero snapshot.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	var d HistSnapshot
+	if s.Count <= prev.Count {
+		return d
+	}
+	d.Count = s.Count - prev.Count
+	d.Sum = s.Sum - prev.Sum
+	lo, hi := -1, -1
+	for i := range s.Buckets {
+		if s.Buckets[i] < prev.Buckets[i] {
+			return HistSnapshot{}
+		}
+		d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+		if d.Buckets[i] > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	if lo >= 0 {
+		d.Min = time.Duration(int64(1) << uint(lo))
+		if d.Min < s.Min {
+			d.Min = s.Min
+		}
+		d.Max = time.Duration(int64(1) << uint(hi+1))
+		if d.Max > s.Max {
+			d.Max = s.Max
+		}
+		if d.Max < d.Min {
+			d.Max = d.Min
+		}
+	}
+	return d
+}
+
+// Merge folds another snapshot into s, summing counts and widening
+// the range — the union view of several histograms (e.g. every
+// server-side procedure) as if they were one.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	if o.Count == 0 {
+		return
+	}
+	if s.Count == 0 {
+		*s = o
+		return
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Min > 0 && (s.Min == 0 || o.Min < s.Min) {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
 // A HistSet holds one Histogram per procedure number, preallocated so
 // Observe never allocates or locks. Procedure numbers at or above the
 // set size are dropped.
@@ -148,6 +217,24 @@ func (s *HistSet) Observe(proc uint32, d time.Duration) {
 		return
 	}
 	s.h[proc].Observe(d)
+}
+
+// Merged returns the union snapshot of every histogram in the set —
+// all procedures folded into one distribution. Allocation-free after
+// the receiver; used by controllers sampling on a tight interval.
+func (s *HistSet) Merged() HistSnapshot {
+	var out HistSnapshot
+	if s == nil {
+		return out
+	}
+	for i := range s.h {
+		if s.h[i].count.Load() == 0 {
+			continue
+		}
+		snap := s.h[i].Snapshot()
+		out.Merge(snap)
+	}
+	return out
 }
 
 // Snapshot returns snapshots of every histogram with at least one

@@ -178,6 +178,26 @@ func (c *Collector) ObserveDevice(proc uint32, d time.Duration) {
 	c.device.Observe(proc, d)
 }
 
+// ServerMerged returns the union snapshot of every server-side
+// procedure histogram: one distribution of all dispatch latencies.
+// Sampling it on an interval and diffing with HistSnapshot.Sub gives
+// the windowed view the admission controller feeds on. A nil
+// collector returns the zero snapshot.
+func (c *Collector) ServerMerged() HistSnapshot {
+	if c == nil {
+		return HistSnapshot{}
+	}
+	return c.server.Merged()
+}
+
+// ClientMerged is ServerMerged for the client-side histograms.
+func (c *Collector) ClientMerged() HistSnapshot {
+	if c == nil {
+		return HistSnapshot{}
+	}
+	return c.client.Merged()
+}
+
 // RecordSpan appends a span to the trace ring.
 func (c *Collector) RecordSpan(s Span) {
 	if c == nil {

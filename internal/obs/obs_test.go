@@ -81,6 +81,143 @@ func TestHistogramQuantileSplit(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if s.Mean() != 0 {
+		t.Errorf("empty Mean = %v, want 0", s.Mean())
+	}
+}
+
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	var h Histogram
+	// All observations land in bucket [1µs, 2µs); every quantile must
+	// come back inside the observed [Min, Max], including the clamped
+	// out-of-range inputs.
+	h.Observe(1200 * time.Nanosecond)
+	h.Observe(1500 * time.Nanosecond)
+	h.Observe(1800 * time.Nanosecond)
+	s := h.Snapshot()
+	for _, q := range []float64{-0.5, 0, 0.25, 0.5, 0.75, 1, 1.5} {
+		got := s.Quantile(q)
+		if got < s.Min || got > s.Max {
+			t.Errorf("Quantile(%v) = %v outside observed [%v, %v]", q, got, s.Min, s.Max)
+		}
+	}
+	if got := s.Quantile(1); got != s.Max {
+		t.Errorf("Quantile(1) = %v, want max %v", got, s.Max)
+	}
+	if got := s.Quantile(0); got < s.Min {
+		t.Errorf("Quantile(0) = %v below min %v", got, s.Min)
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(5 * time.Microsecond)
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 5*time.Microsecond {
+			t.Errorf("single-sample Quantile(%v) = %v, want 5µs", q, got)
+		}
+	}
+}
+
+// TestSnapshotSub covers the windowed-delta path the feedback
+// controllers sample: only the observations between two snapshots.
+func TestSnapshotSub(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	prev := h.Snapshot()
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	cur := h.Snapshot()
+	d := cur.Sub(prev)
+	if d.Count != 10 {
+		t.Fatalf("delta count = %d, want 10", d.Count)
+	}
+	if d.Sum != 10*time.Millisecond {
+		t.Fatalf("delta sum = %v, want 10ms", d.Sum)
+	}
+	// The window holds only ~1ms observations: its p50 must be near
+	// 1ms even though the lifetime histogram is 90% 1µs.
+	if p50 := d.Quantile(0.5); p50 < 500*time.Microsecond {
+		t.Fatalf("delta p50 = %v, want ~1ms", p50)
+	}
+	if d.Min < 512*time.Microsecond || d.Max < d.Min {
+		t.Fatalf("delta range [%v, %v] does not cover the window", d.Min, d.Max)
+	}
+	// An empty window diffs to the zero snapshot.
+	if z := cur.Sub(cur); z.Count != 0 || z.Quantile(0.99) != 0 {
+		t.Fatalf("self-delta not empty: %+v", z)
+	}
+	// A reset histogram (count going backwards) diffs to zero rather
+	// than underflowing.
+	if z := prev.Sub(cur); z.Count != 0 {
+		t.Fatalf("backwards delta not empty: %+v", z)
+	}
+}
+
+func TestSnapshotMergeAndMerged(t *testing.T) {
+	set := NewHistSet(8)
+	for i := 0; i < 50; i++ {
+		set.Observe(1, time.Microsecond)
+	}
+	for i := 0; i < 50; i++ {
+		set.Observe(5, time.Millisecond)
+	}
+	m := set.Merged()
+	if m.Count != 100 {
+		t.Fatalf("merged count = %d, want 100", m.Count)
+	}
+	if m.Min != time.Microsecond || m.Max != time.Millisecond {
+		t.Fatalf("merged range [%v, %v]", m.Min, m.Max)
+	}
+	if p99 := m.Quantile(0.99); p99 < 500*time.Microsecond {
+		t.Fatalf("merged p99 = %v, want ~1ms", p99)
+	}
+	if p25 := m.Quantile(0.25); p25 > 10*time.Microsecond {
+		t.Fatalf("merged p25 = %v, want ~1µs", p25)
+	}
+	var nilSet *HistSet
+	if z := nilSet.Merged(); z.Count != 0 {
+		t.Fatalf("nil set merged = %+v", z)
+	}
+	var nilCol *Collector
+	if z := nilCol.ServerMerged(); z.Count != 0 {
+		t.Fatalf("nil collector merged = %+v", z)
+	}
+}
+
+// TestSnapshotSubThenMergeWindowing is the controller's actual
+// sampling pattern: merge the per-proc set, diff against the previous
+// merge, read windowed quantiles.
+func TestSnapshotSubThenMergeWindowing(t *testing.T) {
+	c := New(Config{Procs: 8})
+	for i := 0; i < 20; i++ {
+		c.ObserveServer(2, 10*time.Microsecond)
+	}
+	prev := c.ServerMerged()
+	for i := 0; i < 20; i++ {
+		c.ObserveServer(3, 2*time.Millisecond)
+	}
+	d := c.ServerMerged().Sub(prev)
+	if d.Count != 20 {
+		t.Fatalf("windowed count = %d, want 20", d.Count)
+	}
+	if p50 := d.Quantile(0.5); p50 < time.Millisecond {
+		t.Fatalf("windowed p50 = %v, want ~2ms", p50)
+	}
+}
+
 func TestHistogramZeroAlloc(t *testing.T) {
 	var h Histogram
 	allocs := testing.AllocsPerRun(1000, func() {

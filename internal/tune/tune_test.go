@@ -1,0 +1,372 @@
+package tune
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced timebase for the controllers.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Value() != 0 || e.Samples() != 0 {
+		t.Fatalf("zero EWMA not empty: %v/%d", e.Value(), e.Samples())
+	}
+	e.Observe(10)
+	if e.Value() != 10 {
+		t.Fatalf("first observation should seed: %v", e.Value())
+	}
+	e.Observe(20)
+	if e.Value() != 15 {
+		t.Fatalf("ewma = %v, want 15", e.Value())
+	}
+	if e.Samples() != 2 {
+		t.Fatalf("samples = %d", e.Samples())
+	}
+}
+
+// serviceModel returns the latency of running at a given RIF level on
+// a service with `slots` parallel units and a fixed service time:
+// flat until the units are saturated, then proportional to the queue.
+func serviceModel(slots int, svc time.Duration) func(rif int) time.Duration {
+	return func(rif int) time.Duration {
+		waves := (rif + slots - 1) / slots
+		if waves < 1 {
+			waves = 1
+		}
+		return time.Duration(waves) * svc
+	}
+}
+
+// TestWindowConvergesToKnee drives the controller with a synthetic
+// 4-wide service and checks that the window settles just past the
+// knee instead of running to either bound.
+func TestWindowConvergesToKnee(t *testing.T) {
+	fc := &fakeClock{}
+	w := NewWindow(WindowConfig{
+		Min: 1, Max: 64,
+		Period: 10 * time.Millisecond, MinSamples: 16,
+		Clock: fc.Now,
+	})
+	model := serviceModel(4, time.Millisecond)
+	for i := 0; i < 4000; i++ {
+		rif := w.Window() // offered load always fills the window
+		fc.Advance(time.Millisecond)
+		w.Observe(rif, model(rif))
+	}
+	got := w.Window()
+	if got < 4 || got > 12 {
+		t.Fatalf("window = %d, want near the knee of a 4-wide service (4..12); stats %+v", got, w.Stats())
+	}
+	st := w.Stats()
+	if st.Grows == 0 {
+		t.Fatalf("window never grew: %+v", st)
+	}
+}
+
+// TestWindowBacksOffOnInflation checks the multiplicative decrease
+// path: a latency spike that detaches the recent tail from the
+// long-run EWMA must shrink the window.
+func TestWindowBacksOffOnInflation(t *testing.T) {
+	fc := &fakeClock{}
+	w := NewWindow(WindowConfig{
+		Min: 1, Max: 64, Initial: 16,
+		Period: 10 * time.Millisecond, MinSamples: 16,
+		Clock: fc.Now,
+	})
+	// Establish a 1ms baseline across the RIF levels real traffic
+	// sweeps as load fluctuates, then spike to 20ms.
+	for i := 0; i < 200; i++ {
+		fc.Advance(time.Millisecond)
+		w.Observe(i%16+1, time.Millisecond)
+	}
+	before := w.Window()
+	for i := 0; i < 200; i++ {
+		fc.Advance(time.Millisecond)
+		w.Observe(w.Window(), 20*time.Millisecond)
+	}
+	if got := w.Window(); got >= before {
+		t.Fatalf("window = %d after inflation, want < %d; stats %+v", got, before, w.Stats())
+	}
+	if w.Stats().Shrinks == 0 {
+		t.Fatalf("no shrinks recorded: %+v", w.Stats())
+	}
+}
+
+// TestWindowBackpressure checks that an explicit overload signal
+// forces an immediate multiplicative decrease.
+func TestWindowBackpressure(t *testing.T) {
+	fc := &fakeClock{}
+	w := NewWindow(WindowConfig{Min: 1, Max: 64, Initial: 32, Clock: fc.Now})
+	fc.Advance(time.Second)
+	w.Backpressure()
+	if got := w.Window(); got != 16 {
+		t.Fatalf("window = %d after backpressure, want 16", got)
+	}
+	// Rate-limited: a second signal inside Period is a no-op.
+	w.Backpressure()
+	if got := w.Window(); got != 16 {
+		t.Fatalf("window = %d after rate-limited backpressure, want 16", got)
+	}
+	fc.Advance(time.Second)
+	w.Backpressure()
+	if got := w.Window(); got != 8 {
+		t.Fatalf("window = %d after second backpressure, want 8", got)
+	}
+	if w.Stats().Backoffs != 2 {
+		t.Fatalf("backoffs = %d, want 2", w.Stats().Backoffs)
+	}
+}
+
+// TestWindowStaticPinned checks that Min == Max disables the
+// controller while the gate still works.
+func TestWindowStaticPinned(t *testing.T) {
+	w := Static(3)
+	for i := 0; i < 500; i++ {
+		w.Observe(3, time.Duration(i)*time.Millisecond)
+	}
+	if got := w.Window(); got != 3 {
+		t.Fatalf("static window moved to %d", got)
+	}
+	st := w.Stats()
+	if st.Grows != 0 || st.Shrinks != 0 {
+		t.Fatalf("static window adjusted: %+v", st)
+	}
+}
+
+// TestWindowGateEnforced hammers Acquire/Release from many goroutines
+// and checks concurrency never exceeds the window.
+func TestWindowGateEnforced(t *testing.T) {
+	w := Static(4)
+	var cur, peak, over atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				w.Acquire()
+				n := cur.Add(1)
+				if n > 4 {
+					over.Add(1)
+				}
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				cur.Add(-1)
+				w.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if over.Load() > 0 {
+		t.Fatalf("concurrency exceeded the window %d times (peak %d)", over.Load(), peak.Load())
+	}
+	if peak.Load() == 0 {
+		t.Fatal("no concurrency observed")
+	}
+}
+
+// TestWindowDoesNotGrowWhenSlack checks that a non-binding window
+// holds: growing a knob nothing pushes against just removes the
+// guardrail.
+func TestWindowDoesNotGrowWhenSlack(t *testing.T) {
+	fc := &fakeClock{}
+	w := NewWindow(WindowConfig{
+		Min: 1, Max: 64, Initial: 8,
+		Period: 10 * time.Millisecond, MinSamples: 16,
+		Clock: fc.Now,
+	})
+	for i := 0; i < 1000; i++ {
+		fc.Advance(time.Millisecond)
+		w.Observe(2, time.Millisecond) // offered load well below the window
+	}
+	if got := w.Window(); got != 8 {
+		t.Fatalf("slack window moved to %d, want 8", got)
+	}
+}
+
+// TestCoalescerGrowsToAmortize drives the tuner with a flush cost of
+// fixed-overhead + marginal-per-entry and checks it grows the entry
+// threshold until amortization stops paying, then holds.
+func TestCoalescerGrowsToAmortize(t *testing.T) {
+	c := NewCoalescer(CoalesceConfig{MinN: 4, MaxN: 512})
+	cost := func(n int) time.Duration {
+		return 100*time.Microsecond + time.Duration(n)*10*time.Microsecond
+	}
+	var trail []int
+	for i := 0; i < 400; i++ {
+		n, _ := c.Thresholds()
+		c.OnFlush(n, n*256, cost(n))
+		trail = append(trail, n)
+	}
+	final, finalBytes := c.Thresholds()
+	if final <= 4 {
+		t.Fatalf("threshold never grew: %d (stats %+v)", final, c.Stats())
+	}
+	if final >= 512 {
+		t.Fatalf("threshold ran to the cap: %d (stats %+v)", final, c.Stats())
+	}
+	// Converged: the last quarter of the run holds one value.
+	for _, n := range trail[300:] {
+		if n != final {
+			t.Fatalf("threshold still moving late in the run: %d vs %d", n, final)
+		}
+	}
+	// Byte threshold tracks observed density (256 B/entry) with slack.
+	if finalBytes < final*256 {
+		t.Fatalf("byte threshold %d binds below %d entries of observed density", finalBytes, final)
+	}
+	if c.Stats().Grows == 0 {
+		t.Fatalf("no grows recorded: %+v", c.Stats())
+	}
+}
+
+// TestCoalescerShrinksOnDegradation checks the inflation gate: a
+// same-size jump in flush latency (a degrading server) sheds batch
+// richness.
+func TestCoalescerShrinksOnDegradation(t *testing.T) {
+	c := NewCoalescer(CoalesceConfig{MinN: 4, MaxN: 64, Initial: 64})
+	// Stable service at the current size...
+	for i := 0; i < 200; i++ {
+		c.OnFlush(64, 64*256, time.Millisecond)
+	}
+	before, _ := c.Thresholds()
+	// ...then a 100x degradation at the same size.
+	for i := 0; i < 64; i++ {
+		n, _ := c.Thresholds()
+		c.OnFlush(n, n*256, 100*time.Millisecond)
+	}
+	after, _ := c.Thresholds()
+	if after >= before {
+		t.Fatalf("threshold = %d after degradation, want < %d (stats %+v)", after, before, c.Stats())
+	}
+	if c.Stats().Shrinks == 0 {
+		t.Fatalf("no shrinks recorded: %+v", c.Stats())
+	}
+}
+
+// TestCoalescerRevertsBadGrowth checks that a growth step that makes
+// per-entry cost worse is undone.
+func TestCoalescerRevertsBadGrowth(t *testing.T) {
+	c := NewCoalescer(CoalesceConfig{MinN: 4, MaxN: 512, Initial: 8})
+	// Superlinear flush cost: amortization never pays past 8 entries,
+	// so the first growth step to 16 makes per-entry cost worse.
+	cost := func(n int) time.Duration {
+		return time.Duration(n*n) * 10 * time.Microsecond
+	}
+	for i := 0; i < 200; i++ {
+		n, _ := c.Thresholds()
+		c.OnFlush(n, n*64, cost(n))
+	}
+	if c.Stats().Reverts == 0 {
+		t.Fatalf("bad growth never reverted: %+v", c.Stats())
+	}
+	if n, _ := c.Thresholds(); n > 16 {
+		t.Fatalf("threshold = %d under superlinear cost, want <= 16", n)
+	}
+}
+
+// TestCoalescerIgnoresEmptyFlush checks the degenerate input.
+func TestCoalescerIgnoresEmptyFlush(t *testing.T) {
+	c := NewCoalescer(CoalesceConfig{})
+	n0, b0 := c.Thresholds()
+	n, b := c.OnFlush(0, 0, time.Millisecond)
+	if n != n0 || b != b0 || c.Stats().Flushes != 0 {
+		t.Fatalf("empty flush changed state: %d/%d -> %d/%d", n0, b0, n, b)
+	}
+}
+
+// TestAdmissionGrowsWhileHealthy checks additive increase under a
+// healthy tail and the service-time-tracking hint.
+func TestAdmissionGrowsWhileHealthy(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{Min: 2, Max: 64, Initial: 8, Step: 2})
+	var limit int
+	var hint time.Duration
+	for i := 0; i < 50; i++ {
+		limit, hint = a.Update(AdmissionObs{
+			Count: 100,
+			P50:   2 * time.Millisecond,
+			P99:   4 * time.Millisecond,
+		})
+	}
+	if limit != 64 {
+		t.Fatalf("limit = %d after healthy intervals, want cap 64", limit)
+	}
+	if hint != 4*time.Millisecond {
+		t.Fatalf("hint = %v, want 2x the 2ms baseline", hint)
+	}
+}
+
+// TestAdmissionShedsOnTailDetachment checks multiplicative decrease
+// when the interval p99 detaches from the service baseline, and that
+// the baseline itself is not polluted by the inflated interval.
+func TestAdmissionShedsOnTailDetachment(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{Min: 2, Max: 64, Initial: 32})
+	for i := 0; i < 10; i++ {
+		a.Update(AdmissionObs{Count: 100, P50: time.Millisecond, P99: 2 * time.Millisecond})
+	}
+	limit, _ := a.Operating()
+	l1, hint := a.Update(AdmissionObs{Count: 100, P50: 8 * time.Millisecond, P99: 40 * time.Millisecond})
+	if l1 >= limit {
+		t.Fatalf("limit = %d after detachment, want < %d", l1, limit)
+	}
+	if l2, _ := a.Update(AdmissionObs{Count: 100, P50: 8 * time.Millisecond, P99: 40 * time.Millisecond}); l2 >= l1 {
+		t.Fatalf("limit = %d after second detachment, want < %d", l2, l1)
+	}
+	// The inflated p50 must not have dragged the baseline: the hint
+	// still reflects the 1ms service time.
+	if hint > 4*time.Millisecond {
+		t.Fatalf("hint = %v, baseline polluted by queueing interval", hint)
+	}
+	if a.Stats().Shrinks < 2 {
+		t.Fatalf("shrinks = %d, want >= 2", a.Stats().Shrinks)
+	}
+}
+
+// TestAdmissionHoldsQuietIntervals checks that intervals below
+// MinCount leave the operating point alone.
+func TestAdmissionHoldsQuietIntervals(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{Min: 2, Max: 64, Initial: 16, MinCount: 8})
+	for i := 0; i < 20; i++ {
+		if limit, _ := a.Update(AdmissionObs{Count: 3, P50: time.Millisecond, P99: time.Hour}); limit != 16 {
+			t.Fatalf("quiet interval moved the limit to %d", limit)
+		}
+	}
+}
+
+// TestAdmissionHintClamped checks the hint bounds.
+func TestAdmissionHintClamped(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{HintMin: 5 * time.Millisecond, HintMax: 20 * time.Millisecond})
+	_, hint := a.Update(AdmissionObs{Count: 100, P50: time.Microsecond, P99: 2 * time.Microsecond})
+	if hint != 5*time.Millisecond {
+		t.Fatalf("hint = %v, want clamped to 5ms floor", hint)
+	}
+	for i := 0; i < 20; i++ {
+		_, hint = a.Update(AdmissionObs{Count: 100, P50: 100 * time.Millisecond, P99: 150 * time.Millisecond})
+	}
+	if hint != 20*time.Millisecond {
+		t.Fatalf("hint = %v, want clamped to 20ms ceiling", hint)
+	}
+}
