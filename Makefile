@@ -28,12 +28,19 @@ race:
 # paths beating parallel sockets and the shm bulk path
 # allocation-free, and the self-tuning ablation shows the adaptive
 # window+admission matching the best static config's throughput with
-# a tighter tail under shifting open-loop load.
+# a tighter tail under shifting open-loop load. The migration smoke
+# live-migrates a session off the busiest of 3 members mid-workload
+# (zero lost sessions, digests identical, cutover delta <=50% of a
+# full checkpoint, pause under the gate) and aborts cleanly back to
+# the source when the target dies mid-copy; the extra race leg doubles
+# down on the migration paths in fleet and cricket.
 ci: build vet race
 	$(GO) test -race -count=2 ./internal/tune ./internal/cricket
+	$(GO) test -race ./internal/fleet ./internal/cricket
 	$(GO) run ./cmd/benchharness -ablation-batch -smoke
 	$(GO) run ./cmd/benchharness -churn-smoke -ci
 	$(GO) run ./cmd/benchharness -fleet-smoke -ci
+	$(GO) run ./cmd/benchharness -migrate-smoke -ci
 	$(GO) run ./cmd/benchharness -transport-smoke -ci
 	$(GO) run ./cmd/benchharness -adaptive-smoke -ci
 
@@ -41,6 +48,7 @@ bench:
 	$(GO) run ./cmd/benchharness -all -ci
 	$(GO) run ./cmd/benchharness -ablation-batch -ci -batch-json BENCH_batch.json
 	$(GO) run ./cmd/benchharness -fleet-smoke -ci -fleet-json BENCH_fleet.json
+	$(GO) run ./cmd/benchharness -migrate-smoke -ci -migrate-json BENCH_migrate.json
 	$(GO) run ./cmd/benchharness -transport-smoke -ci -transport-json BENCH_transport.json
 	$(GO) run ./cmd/benchharness -adaptive-smoke -adaptive-json BENCH_adaptive.json
 

@@ -44,6 +44,9 @@ func main() {
 	fleetSmoke := flag.Bool("fleet-smoke", false, "fleet chaos storm: kill 1 of 3 members mid-workload; exit 1 on lost sessions, digest drift, or >=5% routed overhead")
 	fleetSeed := flag.Int64("fleet-seed", 1, "with -fleet-smoke: master seed for the storm")
 	fleetJSON := flag.String("fleet-json", "", "with -fleet-smoke: also write the FleetResult as JSON to this file")
+	migrateSmoke := flag.Bool("migrate-smoke", false, "live-migration storm: rebalance off the busiest of 3 members mid-workload plus a mid-copy target-kill abort; exit 1 on lost sessions, digest drift, oversized delta, or unbounded pause")
+	migrateSeed := flag.Int64("migrate-seed", 1, "with -migrate-smoke: master seed for the storm")
+	migrateJSON := flag.String("migrate-json", "", "with -migrate-smoke: also write the MigrateResult as JSON to this file")
 	transportSmoke := flag.Bool("transport-smoke", false, "transport ablation: all four transfer methods; exit 1 on digest drift, zero-copy paths not beating sockets, or shm allocations")
 	transportJSON := flag.String("transport-json", "", "with -transport-smoke: also write the TransportResult as JSON to this file")
 	adaptiveSmoke := flag.Bool("adaptive-smoke", false, "self-tuning ablation: adaptive window+admission vs static configs under shifting open-loop load; exit 1 if adaptive loses on throughput or tail")
@@ -359,6 +362,46 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("fleet-smoke ok: zero lost sessions, digests bit-identical to single-server, routed overhead <5%")
+	})
+	section(*migrateSmoke, func() {
+		sessions, migCalls := 9, 96
+		if *ci {
+			sessions, migCalls = 6, 48
+		}
+		start := time.Now()
+		r, err := bench.Migrate(sessions, migCalls, *migrateSeed, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchharness: migrate-smoke: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Migration storm: %d sessions x %d launches homed on 1 of %d members, seed %d\n",
+			r.Sessions, r.Calls, r.Members, *migrateSeed)
+		fmt.Printf("  migrated key=%s %s -> %s in %d pre-copy round(s)\n",
+			r.MigratedKey, r.From, r.To, r.Rounds)
+		fmt.Printf("  full checkpoint %d B, pre-copied %d B live, cutover delta %d B (%.1f%% of full)\n",
+			r.FullBytes, r.PrecopyBytes, r.DeltaBytes, 100*float64(r.DeltaBytes)/float64(r.FullBytes))
+		fmt.Printf("  cutover pause %.2f ms (gate %.0f ms); survivors=%d failed=%d mismatches=%d\n",
+			r.PauseMS, r.PauseGateMS, r.Survivors, r.Failed, r.Mismatches)
+		fmt.Printf("  abort phase: clean=%v source-intact=%v retry=%v\n",
+			r.AbortClean, r.AbortDigestOK, r.AbortRetryOK)
+		fmt.Printf("  [generated in %v wall time]\n\n", time.Since(start).Round(time.Millisecond))
+		if *migrateJSON != "" {
+			data, err := json.MarshalIndent(r, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*migrateJSON, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchharness: write %s: %v\n", *migrateJSON, err)
+				os.Exit(1)
+			}
+		}
+		if v := r.Violations(); len(v) != 0 {
+			for _, msg := range v {
+				fmt.Fprintf(os.Stderr, "benchharness: migrate-smoke: VIOLATION: %s\n", msg)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("migrate-smoke ok: zero lost sessions, digests bit-identical, delta <=50% of full, pause bounded, abort clean")
 	})
 
 	if !ran {

@@ -97,6 +97,7 @@ func main() {
 	dialTimeout := flag.Duration("dial-timeout", 5*time.Second, "TCP connect timeout per member")
 	statusAddr := flag.String("status-addr", "", "HTTP listen address for the JSON status endpoint (empty: disabled)")
 	once := flag.Bool("once", false, "run one probe round, print the member table, exit 1 if any member is down")
+	rebalance := flag.Bool("rebalance", false, "one-shot: probe, live-migrate one session off the busiest member, print the move, exit")
 	flag.Parse()
 
 	if *membersSpec == "" {
@@ -134,6 +135,29 @@ func main() {
 		return
 	}
 
+	if *rebalance {
+		// Rebalance moves sessions this process owns; the standalone
+		// supervisor owns none, so this is a no-op health pass unless
+		// the binary grows embedded sessions. Kept as the operational
+		// surface so embedders and scripts share one entry point.
+		for i := 0; i < *downAfter; i++ {
+			pool.ProbeOnce()
+		}
+		rep, err := pool.Rebalance()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cricket-fleet: rebalance:", err)
+			os.Exit(1)
+		}
+		if rep == nil {
+			fmt.Println("rebalance: pool already balanced (or no migratable sessions)")
+			return
+		}
+		fmt.Printf("rebalance: moved %s %s -> %s (rounds=%d full=%dB delta=%dB pause=%s)\n",
+			rep.Key, rep.From, rep.To, rep.Report.Rounds, rep.Report.FullBytes,
+			rep.Report.DeltaBytes, rep.Report.Pause.Round(10*time.Microsecond))
+		return
+	}
+
 	if *statusAddr != "" {
 		mux := http.NewServeMux()
 		writeJSON := func(w http.ResponseWriter, v any) {
@@ -149,6 +173,21 @@ func main() {
 				Members []fleet.MemberStatus `json:"members"`
 				Stats   fleet.PoolStats      `json:"stats"`
 			}{pool.Members(), pool.Stats()})
+		})
+		mux.HandleFunc("/rebalance", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST only", http.StatusMethodNotAllowed)
+				return
+			}
+			rep, err := pool.Rebalance()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			writeJSON(w, struct {
+				Moved  bool                   `json:"moved"`
+				Report *fleet.RebalanceReport `json:"report,omitempty"`
+			}{rep != nil, rep})
 		})
 		mux.HandleFunc("/place", func(w http.ResponseWriter, r *http.Request) {
 			key := r.URL.Query().Get("key")
@@ -167,7 +206,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("status endpoint on http://%s/{fleet,place?key=...}", sl.Addr())
+		log.Printf("status endpoint on http://%s/{fleet,place?key=...,rebalance}", sl.Addr())
 		go func() {
 			if err := http.Serve(sl, mux); err != nil {
 				log.Printf("status listener: %v", err)

@@ -46,6 +46,7 @@ func main() {
 	dataServer := flag.String("data-server", "", "with -server and -transfer parallel-sockets: the server's data-channel address (cricket-server -data-listen); empty moves bytes inline")
 	requireTransfer := flag.Bool("require-transfer", false, "fail instead of degrading to rpc-args when the server refuses -transfer")
 	session := flag.Bool("session", false, "with -server: use a fault-tolerant session (reconnect + replay)")
+	migrateTo := flag.String("migrate-to", "", "with -session: live-migrate the session to this server address mid-workload and print the migration report")
 	pauseMs := flag.Int("pause-ms", 0, "with -session: pause after checkpoint, before the launch (a window to kill/restart the server)")
 	window := flag.Int("window", 0, "with -session: in-flight call window (0: uncapped; with -adaptive-window: the upper bound)")
 	adaptiveWindow := flag.Bool("adaptive-window", false, "with -session: walk the in-flight window to the knee of the latency curve instead of pinning it")
@@ -84,7 +85,7 @@ func main() {
 	if *server != "" {
 		opts.Platform = p
 		if *session {
-			runSession(*server, opts, *pauseMs, sessionWindow(*window, *adaptiveWindow))
+			runSession(*server, opts, *pauseMs, *migrateTo, sessionWindow(*window, *adaptiveWindow))
 		} else {
 			runRemote(*server, opts, *app)
 		}
@@ -249,10 +250,13 @@ func runRemote(addr string, opts cricket.Options, app string) {
 // runSession drives a matrixMul workload through a fault-tolerant
 // session: the server may be killed and restarted while this runs (use
 // -pause-ms to open a window between the checkpoint and the launch)
-// and the workload still completes, bit-identical. The result checksum
-// and the session's recovery counters are printed so a harness can
-// compare a faulted run against a fault-free one.
-func runSession(addr string, opts cricket.Options, pauseMs int, win *tune.Window) {
+// and the workload still completes, bit-identical. With -migrate-to
+// the session live-migrates to a second server between the upload and
+// the launch, so the kernel runs — and the result reads back — on the
+// migration target. The result checksum and the session's recovery
+// counters are printed so a harness can compare a faulted or migrated
+// run against a plain one.
+func runSession(addr string, opts cricket.Options, pauseMs int, migrateTo string, win *tune.Window) {
 	s, err := cricket.NewSession(cricket.SessionOptions{
 		Options: opts,
 		Window:  win,
@@ -306,6 +310,18 @@ func runSession(addr string, opts cricket.Options, pauseMs int, win *tune.Window
 		fmt.Printf("checkpointed; pausing %dms (kill the server now)\n", pauseMs)
 		time.Sleep(time.Duration(pauseMs) * time.Millisecond)
 	}
+	if migrateTo != "" {
+		target := migrateTo
+		rep, err := s.MigrateVia(target, func() (io.ReadWriteCloser, error) {
+			return net.DialTimeout("tcp", target, 5*time.Second)
+		})
+		if err != nil {
+			fatal(fmt.Errorf("migrate to %s: %w", target, err))
+		}
+		fmt.Printf("migrated to %s: rounds=%d full=%dB precopy=%dB delta=%dB pause=%s\n",
+			rep.Target, rep.Rounds, rep.FullBytes, rep.PrecopyBytes, rep.DeltaBytes,
+			rep.Pause.Round(10*time.Microsecond))
+	}
 	args := cuda.NewArgBuffer().Ptr(dC).Ptr(dA).Ptr(dB).I32(dim).I32(dim).Bytes()
 	if err := s.LaunchKernel(f, gpu.Dim3{X: 1, Y: 1, Z: 1}, gpu.Dim3{X: 32, Y: 32, Z: 1}, 0, 0, args); err != nil {
 		fatal(err)
@@ -321,8 +337,8 @@ func runSession(addr string, opts cricket.Options, pauseMs int, win *tune.Window
 	sum.Write(out)
 	st := s.SessionStats()
 	fmt.Printf("matrixmul result checksum: %016x\n", sum.Sum64())
-	fmt.Printf("session stats: reconnects=%d replays=%d restores=%d dials=%d recovery=%s\n",
-		st.Reconnects, st.Replays, st.Restores, st.DialAttempts, st.RecoveryTime.Round(time.Millisecond))
+	fmt.Printf("session stats: reconnects=%d replays=%d restores=%d migrations=%d dials=%d recovery=%s\n",
+		st.Reconnects, st.Replays, st.Restores, st.Migrations, st.DialAttempts, st.RecoveryTime.Round(time.Millisecond))
 	if win != nil {
 		ws := win.Stats()
 		fmt.Printf("window stats: window=%d grows=%d shrinks=%d backoffs=%d samples=%d\n",

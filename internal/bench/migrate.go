@@ -1,0 +1,404 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"cricket/internal/cricket"
+	"cricket/internal/cuda"
+	"cricket/internal/fleet"
+	"cricket/internal/gpu"
+	"cricket/internal/guest"
+	"cricket/internal/netsim"
+)
+
+// This file is the live-migration storm: sessions homed on one of
+// three members run a workload with a large cold region and a small
+// hot working set; mid-storm the pool rebalances, live-migrating a
+// session off the busiest member. The gates are the tentpole's
+// acceptance criteria: zero lost sessions, every digest bit-identical
+// to a no-migration run, the stop-the-world cutover pause bounded,
+// and the delta checkpoint shipping at most half of what a full
+// stop-the-world checkpoint would have. A second phase kills the
+// migration target mid-copy and requires a clean abort back to the
+// source.
+
+// MigrateResult summarizes one migration storm.
+type MigrateResult struct {
+	Members  int
+	Sessions int
+	Calls    int
+
+	Survivors  int
+	Failed     int
+	Mismatches int
+	Digest     uint64 // no-migration baseline digest
+
+	// The rebalance migration performed mid-storm.
+	Migrations   uint64 // completed planned migrations (gate: >= 1)
+	MigratedKey  string
+	From, To     string
+	Rounds       int
+	FullBytes    uint64 // device state at cutover (full-checkpoint cost)
+	PrecopyBytes uint64 // shipped live, before the pause
+	DeltaBytes   uint64 // shipped inside the pause (gate: *2 <= FullBytes)
+	PauseMS      float64
+
+	// PauseGateMS is the cutover-pause bound the run was gated on.
+	PauseGateMS float64
+
+	// Abort phase: a target killed mid-copy must abort back to the
+	// source without corruption, and a retry must succeed.
+	AbortClean      bool
+	AbortRetryOK    bool
+	AbortDigestOK   bool
+	AbortFailReason string
+}
+
+// Violations lists every breached migration invariant; empty means
+// the storm upheld all of them.
+func (r MigrateResult) Violations() []string {
+	var v []string
+	if r.Survivors != r.Sessions {
+		v = append(v, fmt.Sprintf("lost sessions: %d of %d survived (%d failed)",
+			r.Survivors, r.Sessions, r.Failed))
+	}
+	if r.Mismatches > 0 {
+		v = append(v, fmt.Sprintf("%d digest(s) differ from the no-migration run", r.Mismatches))
+	}
+	if r.Migrations < 1 {
+		v = append(v, "rebalance performed no migration (storm never moved a session)")
+	}
+	if r.Migrations >= 1 && r.DeltaBytes*2 > r.FullBytes {
+		v = append(v, fmt.Sprintf("cutover delta %d B > 50%% of full checkpoint %d B", r.DeltaBytes, r.FullBytes))
+	}
+	if r.Migrations >= 1 && r.PauseMS > r.PauseGateMS {
+		v = append(v, fmt.Sprintf("cutover pause %.2fms exceeds the %.0fms gate", r.PauseMS, r.PauseGateMS))
+	}
+	if !r.AbortClean {
+		v = append(v, "mid-copy target kill did not abort cleanly: "+r.AbortFailReason)
+	}
+	if !r.AbortDigestOK {
+		v = append(v, "source state corrupted by the aborted migration")
+	}
+	if !r.AbortRetryOK {
+		v = append(v, "migration retry after the abort failed")
+	}
+	return v
+}
+
+// migrateWorkload is the storm's deterministic application: a 1 MiB
+// cold "weights" region uploaded once, then a hot 32x32 matrixMul
+// loop re-uploading its small inputs every iteration. The cold/hot
+// split is what makes delta checkpoints measurable — pre-copy ships
+// the megabyte while the session serves, and only the hot kilobytes
+// can be dirty at cutover. Both regions fold into the digest, so a
+// migration that corrupts either is caught.
+func migrateWorkload(s *cricket.Session, calls int, hook func(i int)) (uint64, error) {
+	const dim = 32
+	size := uint64(dim * dim * 4)
+	const coldSize = 1 << 20
+
+	m, err := s.ModuleLoad(churnFatbin())
+	if err != nil {
+		return 0, err
+	}
+	f, err := s.ModuleGetFunction(m, cuda.KernelMatrixMul)
+	if err != nil {
+		return 0, err
+	}
+	cold, err := s.Malloc(coldSize)
+	if err != nil {
+		return 0, err
+	}
+	weights := make([]byte, coldSize)
+	for i := range weights {
+		weights[i] = byte(i*29 + i>>10)
+	}
+	if err := s.MemcpyHtoD(cold, weights); err != nil {
+		return 0, err
+	}
+	dA, err := s.Malloc(size)
+	if err != nil {
+		return 0, err
+	}
+	dB, err := s.Malloc(size)
+	if err != nil {
+		return 0, err
+	}
+	dC, err := s.Malloc(size)
+	if err != nil {
+		return 0, err
+	}
+	host := make([]byte, size)
+	for i := 0; i < dim*dim; i++ {
+		binary.LittleEndian.PutUint32(host[i*4:], math.Float32bits(float32(i%9)+0.125))
+	}
+	args := cuda.NewArgBuffer().Ptr(dC).Ptr(dA).Ptr(dB).I32(dim).I32(dim).Bytes()
+	grid := gpu.Dim3{X: 1, Y: 1, Z: 1}
+	block := gpu.Dim3{X: 32, Y: 32, Z: 1}
+
+	h := fnv.New64a()
+	for i := 0; i < calls; i++ {
+		if hook != nil {
+			hook(i)
+		}
+		if err := s.MemcpyHtoD(dA, host); err != nil {
+			return 0, fmt.Errorf("call %d upload A: %w", i, err)
+		}
+		if err := s.MemcpyHtoD(dB, host); err != nil {
+			return 0, fmt.Errorf("call %d upload B: %w", i, err)
+		}
+		if err := s.LaunchKernel(f, grid, block, 0, 0, args); err != nil {
+			return 0, fmt.Errorf("call %d launch: %w", i, err)
+		}
+		if i%16 == 15 {
+			if err := s.DeviceSynchronize(); err != nil {
+				return 0, err
+			}
+			out, err := s.MemcpyDtoH(dC, size)
+			if err != nil {
+				return 0, fmt.Errorf("call %d readback: %w", i, err)
+			}
+			h.Write(out)
+		}
+	}
+	if err := s.DeviceSynchronize(); err != nil {
+		return 0, err
+	}
+	out, err := s.MemcpyDtoH(dC, size)
+	if err != nil {
+		return 0, err
+	}
+	h.Write(out)
+	// The cold region rides into the digest too: a migration that
+	// shipped it wrong (or not at all) breaks bit-identity.
+	back, err := s.MemcpyDtoH(cold, coldSize)
+	if err != nil {
+		return 0, fmt.Errorf("cold readback: %w", err)
+	}
+	h.Write(back)
+	return h.Sum64(), nil
+}
+
+// Migrate runs the live-migration storm and the mid-copy abort phase.
+func Migrate(sessions, calls int, seed int64, pauseGateMS float64) (MigrateResult, error) {
+	if sessions <= 0 {
+		sessions = 6
+	}
+	if calls <= 0 {
+		calls = 96
+	}
+	if pauseGateMS <= 0 {
+		pauseGateMS = 200
+	}
+	res := MigrateResult{Members: 3, Sessions: sessions, Calls: calls, PauseGateMS: pauseGateMS}
+
+	// No-migration baseline digest.
+	base := newRestartableServer()
+	bs, err := cricket.NewSession(cricket.SessionOptions{
+		Options: cricket.Options{Platform: guest.NativeRust()},
+		Redial:  base.redial,
+		Seed:    1,
+	})
+	if err != nil {
+		base.close()
+		return res, err
+	}
+	res.Digest, err = migrateWorkload(bs, calls, nil)
+	bs.Close()
+	base.close()
+	if err != nil {
+		return res, fmt.Errorf("baseline workload: %w", err)
+	}
+
+	nodes := make([]*fleetNode, 0, 3)
+	members := make([]fleet.Member, 0, 3)
+	for i := 0; i < 3; i++ {
+		n, stopSweep := newFleetNode(fmt.Sprintf("gpu%d", i), time.Second)
+		defer stopSweep()
+		defer n.close()
+		nodes = append(nodes, n)
+		members = append(members, n.member())
+	}
+	pool, err := fleet.New(fleet.Options{
+		ProbeInterval: 5 * time.Millisecond,
+		DownAfter:     2,
+		UpAfter:       2,
+	}, members...)
+	if err != nil {
+		return res, err
+	}
+	stopProber := pool.StartProber()
+	defer stopProber()
+
+	// Home every session on the same member so it is unambiguously the
+	// busiest and Rebalance has a spread to fix.
+	home := nodes[0].name
+	keys := make([]string, 0, sessions)
+	for i := 0; len(keys) < sessions; i++ {
+		k := fmt.Sprintf("mig-%d", i)
+		if pool.RankFor(k)[0] == home {
+			keys = append(keys, k)
+		}
+	}
+
+	// The first session to cross a third of its calls triggers one
+	// rebalance: the pool live-migrates a session off the busiest
+	// member while every workload (including the victim's) keeps
+	// running.
+	var rebOnce sync.Once
+	var rebErr error
+	rebalanceAt := calls / 3
+	rebalance := func() {
+		rebOnce.Do(func() {
+			rep, err := pool.Rebalance()
+			if err != nil {
+				rebErr = err
+				return
+			}
+			if rep != nil {
+				res.MigratedKey, res.From, res.To = rep.Key, rep.From, rep.To
+				res.Rounds = rep.Report.Rounds
+				res.FullBytes = rep.Report.FullBytes
+				res.PrecopyBytes = rep.Report.PrecopyBytes
+				res.DeltaBytes = rep.Report.DeltaBytes
+				res.PauseMS = float64(rep.Report.Pause) / float64(time.Millisecond)
+			}
+		})
+	}
+
+	type outcome struct {
+		digest uint64
+		err    error
+	}
+	outcomes := make([]outcome, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := pool.Session(keys[i], cricket.SessionOptions{
+				Options:     cricket.Options{Platform: guest.NativeRust()},
+				Seed:        seed + int64(i) + 1,
+				MaxAttempts: 25,
+				BackoffBase: 500 * time.Microsecond,
+				BackoffMax:  10 * time.Millisecond,
+			})
+			if err != nil {
+				outcomes[i] = outcome{err: err}
+				return
+			}
+			fired := false
+			digest, err := migrateWorkload(s.Session, calls, func(call int) {
+				if !fired && call == rebalanceAt {
+					fired = true
+					rebalance()
+				}
+			})
+			s.Close()
+			outcomes[i] = outcome{digest: digest, err: err}
+		}(i)
+	}
+	wg.Wait()
+	if rebErr != nil {
+		return res, fmt.Errorf("rebalance: %w", rebErr)
+	}
+	res.Migrations = pool.Stats().Migrations
+	for _, o := range outcomes {
+		switch {
+		case o.err != nil:
+			res.Failed++
+		default:
+			res.Survivors++
+			if o.digest != res.Digest {
+				res.Mismatches++
+			}
+		}
+	}
+
+	// Abort phase: the target dies mid-pre-copy. The migration must
+	// fail without touching source state, the workload must finish on
+	// the source bit-identically, and a retry against a healed target
+	// must complete.
+	if err := res.abortPhase(calls, seed); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// abortPhase runs the mid-copy target-kill scenario on a private
+// source/target pair.
+func (r *MigrateResult) abortPhase(calls int, seed int64) error {
+	src, stopSrc := newFleetNode("abort-src", 0)
+	defer stopSrc()
+	defer src.close()
+	tgt, stopTgt := newFleetNode("abort-tgt", 0)
+	defer stopTgt()
+	defer tgt.close()
+
+	s, err := cricket.NewSession(cricket.SessionOptions{
+		Options: cricket.Options{Platform: guest.NativeRust()},
+		Redial:  src.dial,
+		Seed:    seed + 101,
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	// Upload the workload's cold region first so there is real bulk to
+	// interrupt, then attempt the migration over a connection that
+	// drops a quarter-megabyte in — past the handshake and staging,
+	// well short of the megabyte of pre-copy.
+	faulty := func() (io.ReadWriteCloser, error) {
+		conn, err := tgt.dial()
+		if err != nil {
+			return nil, err
+		}
+		return netsim.NewFaultConn(conn, netsim.Fault{AfterBytes: 256 << 10, Kind: netsim.FaultDrop}), nil
+	}
+	digest := make(chan uint64, 1)
+	werr := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		var once sync.Once
+		d, err := migrateWorkload(s, calls, func(i int) {
+			once.Do(func() { close(started) })
+		})
+		digest <- d
+		werr <- err
+	}()
+	<-started
+	if _, err := s.MigrateVia("abort-tgt", faulty); err == nil {
+		r.AbortFailReason = "migration over a dying target connection reported success"
+		return nil
+	}
+	r.AbortClean = true
+	if err := <-werr; err != nil {
+		r.AbortFailReason = fmt.Sprintf("workload failed after abort: %v", err)
+		return nil
+	}
+	if d := <-digest; d == r.Digest {
+		r.AbortDigestOK = true
+	}
+
+	// Retry against the healed target must complete and leave the
+	// session serving there.
+	if _, err := s.MigrateVia("abort-tgt", tgt.dial); err != nil {
+		r.AbortFailReason = fmt.Sprintf("retry after abort: %v", err)
+		return nil
+	}
+	src.kill()
+	if err := s.Ping(); err != nil {
+		r.AbortFailReason = fmt.Sprintf("session dead on target after retry: %v", err)
+		return nil
+	}
+	r.AbortRetryOK = true
+	return nil
+}

@@ -1,0 +1,18 @@
+package bench
+
+import "testing"
+
+// A small migration storm: all sessions homed on one member, one
+// rebalance mid-workload, plus the mid-copy abort phase.
+func TestMigrateStormNoViolations(t *testing.T) {
+	res, err := Migrate(6, 48, 42, 0)
+	if err != nil {
+		t.Fatalf("migrate storm: %v", err)
+	}
+	for _, v := range res.Violations() {
+		t.Errorf("violation: %s", v)
+	}
+	t.Logf("migrated key=%s %s->%s rounds=%d full=%dB precopy=%dB delta=%dB pause=%.2fms survivors=%d",
+		res.MigratedKey, res.From, res.To, res.Rounds, res.FullBytes,
+		res.PrecopyBytes, res.DeltaBytes, res.PauseMS, res.Survivors)
+}

@@ -113,10 +113,19 @@ type Server struct {
 	rt    *cuda.Runtime
 	epoch uint64 // random per-instance id, exposed via SRV_GET_EPOCH
 
-	mu          sync.Mutex
-	stats       ServerStats
-	snapshots   map[int]*gpu.Snapshot // device ordinal -> latest checkpoint
-	ckpDir      string                // when set, checkpoints persist here
+	mu        sync.Mutex
+	stats     ServerStats
+	snapshots map[int]*gpu.Snapshot // device ordinal -> latest checkpoint
+	ckpDir    string                // when set, checkpoints persist here
+
+	// execMu serializes checkpoint/restore against batches in flight
+	// on *other* connections: BatchExec holds it shared for the whole
+	// entry loop, CkpCheckpoint/CkpRestore hold it exclusively around
+	// the snapshot. Without it a snapshot could land between two
+	// entries of one batch and capture a half-executed batch — a
+	// checkpoint the client believes is flush-then-snapshot but isn't.
+	// Individual (unbatched) calls need no gate: they are atomic units.
+	execMu      sync.RWMutex
 	sched       *Scheduler
 	attached    []*oncrpc.Server // RPC servers this Server is registered on
 	noSharedMem bool             // reject TransferSharedMem negotiation
@@ -538,6 +547,12 @@ func (s *Server) BatchExec(a BatchArgs) (BatchResult, error) {
 	// procedure. Disabled, the loop pays one nil check up front.
 	col := s.collector.Load()
 	status := make([]int32, len(a.Entries))
+	// A batch is one logical unit to checkpoint/restore: hold the
+	// shared side of execMu across the whole entry loop so a snapshot
+	// from another connection never lands mid-batch. Batches still run
+	// concurrently with each other.
+	s.execMu.RLock()
+	defer s.execMu.RUnlock()
 	for i := range a.Entries {
 		e := &a.Entries[i]
 		var err error
@@ -604,6 +619,11 @@ func (s *Server) CkpCheckpoint() (int32, error) {
 	if err != nil {
 		return errCode(err), nil
 	}
+	// Exclusive against in-flight batches: the snapshot waits for
+	// every running BatchExec to finish and blocks new ones, so it
+	// always captures whole batches (see execMu).
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
 	snap, _, err := d.Snapshot()
 	if err != nil {
 		if s.ErrorLog != nil {
@@ -643,7 +663,9 @@ func (s *Server) CkpRestore() (int32, error) {
 	if err != nil {
 		return errCode(err), nil
 	}
+	s.execMu.Lock()
 	d.RestoreSnapshot(snap)
+	s.execMu.Unlock()
 	return 0, nil
 }
 

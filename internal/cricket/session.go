@@ -173,6 +173,9 @@ type SessionStats struct {
 	// admission control; each one was retried after backing off on the
 	// server's hint.
 	Overloads uint64
+	// Migrations counts completed live migrations (MigrateTo /
+	// MigrateVia cutovers). Aborted migrations do not count.
+	Migrations uint64
 }
 
 // Virtual handle/pointer state. Handles the application holds never
@@ -180,13 +183,19 @@ type SessionStats struct {
 type sessAlloc struct {
 	size uint64
 	srv  gpu.Ptr
+	// dirty is the migration-era chunk bitset: bit i set means bytes
+	// [i*migrateChunk, (i+1)*migrateChunk) changed since the last
+	// pre-copy pass shipped them. Nil whenever no migration is
+	// tracking writes (the common case), so steady state pays nothing.
+	dirty []uint64
 }
 
 type sessGlobal struct {
-	mod  uint64 // virtual module handle
-	name string
-	size uint64
-	srv  gpu.Ptr
+	mod   uint64 // virtual module handle
+	name  string
+	size  uint64
+	srv   gpu.Ptr
+	dirty []uint64 // migration dirty-chunk bitset, as in sessAlloc
 }
 
 type sessModule struct {
@@ -216,6 +225,15 @@ type Session struct {
 	endpoint string        // endpoint of the last successful connect (Dialer only)
 	hint     time.Duration // pending server backpressure hint for the next backoff
 	closed   bool
+
+	// Live-migration state (migrate.go). migrating serializes
+	// MigrateTo; trackDirty turns writes into dirty-chunk marks for
+	// delta pre-copy; quiescing routes the drain's batch flush through
+	// doQuiet so the stop-the-world pause neither waits on nor feeds
+	// the adaptive window.
+	migrating  bool
+	trackDirty bool
+	quiescing  bool
 
 	dev      int // last cudaSetDevice, replayed on recovery
 	nextV    uint64
@@ -727,6 +745,10 @@ func (s *Session) replay(c *Client) error {
 		s.sstats.Restores++
 		s.statmu.Unlock()
 	}
+	// A replay during a migration pre-copy invalidates every chunk
+	// already shipped: the restored contents may predate them, and the
+	// server pointers changed. The next pass re-ships everything.
+	s.markAllDirtyLocked()
 	return nil
 }
 
@@ -747,6 +769,25 @@ func (s *Session) do(op func(c *Client) error) error {
 		rif = w.Acquire()
 		defer w.Release()
 	}
+	return s.doRetry(op, w, rif)
+}
+
+// doQuiet runs one client operation with the same retry and recovery
+// behavior as do, but outside the adaptive window: it neither waits
+// for a slot nor records latency samples. Migration's drain, pre-copy
+// and cutover traffic runs here — the artificial quiesce latency
+// spike must not collapse the shared window to Min, exactly as shed
+// replies are excluded from sampling. Called with s.mu held.
+func (s *Session) doQuiet(op func(c *Client) error) error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	return s.doRetry(op, nil, 0)
+}
+
+// doRetry is the shared retry loop behind do and doQuiet. A nil
+// window disables both backpressure feedback and latency sampling.
+func (s *Session) doRetry(op func(c *Client) error, w *tune.Window, rif int) error {
 	shed := 0
 	for {
 		if s.c == nil {
@@ -854,7 +895,16 @@ func (s *Session) flushBatchLocked() error {
 	if s.coalescer != nil {
 		t0 = time.Now()
 	}
-	err := s.do(func(c *Client) error {
+	// A migration drain flushes outside the adaptive window (doQuiet):
+	// the quiesce runs with s.mu held for the whole cutover, so gating
+	// it on a window shared with other sessions would stretch the
+	// stop-the-world pause, and its latency is not a signal the window
+	// controller should learn from.
+	doer := s.do
+	if s.quiescing {
+		doer = s.doQuiet
+	}
+	err := doer(func(c *Client) error {
 		entries := s.wireBuf[:0]
 		for i := range ops {
 			op := &ops[i]
@@ -921,6 +971,23 @@ func (s *Session) flushBatchLocked() error {
 		// updated thresholds for the next batch.
 		s.batchMaxN, s.batchMaxBytes = s.coalescer.OnFlush(len(ops), flushBytes, time.Since(t0))
 	}
+	if s.trackDirty {
+		// Batched writes dirty their chunks at flush time — the moment
+		// the write actually executed server-side — not at enqueue.
+		// Marked even on error: a failed batch may have partially
+		// executed, and a spurious re-ship is harmless.
+		for i := range ops {
+			op := &ops[i]
+			switch op.op {
+			case BatchOpLaunch:
+				s.markLaunchDirtyLocked(op.fn, op.data)
+			case BatchOpMemcpyHtod:
+				s.markDirtyLocked(op.ptr, uint64(len(op.data)))
+			case BatchOpMemset:
+				s.markDirtyLocked(op.ptr, op.n)
+			}
+		}
+	}
 	s.batchq = s.batchq[:0]
 	s.batchBytes = 0
 	return err
@@ -960,6 +1027,7 @@ func (s *Session) MemcpyHtoDAsync(dst gpu.Ptr, data []byte, st cuda.Stream) erro
 			data:   append([]byte(nil), data...),
 		})
 	}
+	s.markDirtyLocked(dst, uint64(len(data)))
 	return s.do(func(c *Client) error { return c.MemcpyHtoD(s.translate(dst), data) })
 }
 
@@ -996,6 +1064,136 @@ func (s *Session) translate(p gpu.Ptr) gpu.Ptr {
 	}
 	return p
 }
+
+// ---- dirty-chunk tracking (live migration, migrate.go) ----
+
+// dirtyWords is the bitset length (in uint64 words) covering size
+// bytes of device state at migrateChunk granularity.
+func dirtyWords(size uint64) int {
+	chunks := (size + migrateChunk - 1) / migrateChunk
+	return int((chunks + 63) / 64)
+}
+
+// markRange sets the dirty bits covering [off, off+n) of a range of
+// size bytes, allocating the bitset lazily on first mark.
+func markRange(dirty []uint64, size, off, n uint64) []uint64 {
+	if n == 0 || off >= size {
+		return dirty
+	}
+	if dirty == nil {
+		dirty = make([]uint64, dirtyWords(size))
+	}
+	end := off + n
+	if end > size {
+		end = size
+	}
+	for c := off / migrateChunk; c*migrateChunk < end; c++ {
+		dirty[c/64] |= 1 << (c % 64)
+	}
+	return dirty
+}
+
+// markDirtyLocked records a device write of n bytes at virtual
+// pointer p (possibly interior). Marking is conservative: it happens
+// whether or not the write ultimately succeeds, and under batching it
+// happens at flush time — marking at enqueue would let a pre-copy
+// pass clear the bit and ship the chunk before the queued write
+// executed, losing the update. No-op unless a migration is tracking
+// writes. Called with s.mu held.
+func (s *Session) markDirtyLocked(p gpu.Ptr, n uint64) {
+	if !s.trackDirty || p == 0 {
+		return
+	}
+	for v, a := range s.allocs {
+		if p >= v && p < v+gpu.Ptr(a.size) {
+			a.dirty = markRange(a.dirty, a.size, uint64(p-v), n)
+			return
+		}
+	}
+	for v, g := range s.globals {
+		if p >= v && p < v+gpu.Ptr(g.size) {
+			g.dirty = markRange(g.dirty, g.size, uint64(p-v), n)
+			return
+		}
+	}
+}
+
+// markLaunchDirtyLocked conservatively marks everything a kernel
+// launch can reach: each pointer parameter dirties its whole
+// containing allocation or global, since the kernel may write any
+// byte of it. Without parameter metadata the kernel could write
+// anything, so everything is marked. Called with s.mu held.
+func (s *Session) markLaunchDirtyLocked(fn *sessFunc, args []byte) {
+	if !s.trackDirty {
+		return
+	}
+	m, ok := s.modules[fn.mod]
+	if !ok || m.meta == nil {
+		s.markAllDirtyLocked()
+		return
+	}
+	k, ok := m.meta.Kernel(fn.name)
+	if !ok {
+		s.markAllDirtyLocked()
+		return
+	}
+	for _, p := range k.Params {
+		if p.Kind != cubin.ParamPointer || p.Size != 8 {
+			continue
+		}
+		end := int(p.Offset) + 8
+		if end > len(args) {
+			continue
+		}
+		vp := gpu.Ptr(leU64(args[p.Offset:end]))
+		if vp == 0 {
+			continue
+		}
+		for v, a := range s.allocs {
+			if vp >= v && vp < v+gpu.Ptr(a.size) {
+				a.dirty = markRange(a.dirty, a.size, 0, a.size)
+			}
+		}
+		for v, g := range s.globals {
+			if vp >= v && vp < v+gpu.Ptr(g.size) {
+				g.dirty = markRange(g.dirty, g.size, 0, g.size)
+			}
+		}
+	}
+}
+
+// markAllDirtyLocked marks every allocation and global fully dirty —
+// used when contents may have changed wholesale (a replay onto a
+// restarted server, a checkpoint restore) while a migration's
+// pre-copy is in flight. Called with s.mu held.
+func (s *Session) markAllDirtyLocked() {
+	if !s.trackDirty {
+		return
+	}
+	for _, a := range s.allocs {
+		a.dirty = markRange(a.dirty, a.size, 0, a.size)
+	}
+	for _, g := range s.globals {
+		g.dirty = markRange(g.dirty, g.size, 0, g.size)
+	}
+}
+
+// clearDirtyLocked drops every dirty bitset. Called with s.mu held.
+func (s *Session) clearDirtyLocked() {
+	for _, a := range s.allocs {
+		a.dirty = nil
+	}
+	for _, g := range s.globals {
+		g.dirty = nil
+	}
+}
+
+// quiesceLocked brings the session to a quiescent point: every queued
+// batched call is flushed (and therefore executed server-side) before
+// the caller snapshots or migrates state. Checkpoint and migration
+// share this gate, so neither can observe queued-but-unflushed
+// entries. Called with s.mu held.
+func (s *Session) quiesceLocked() error { return s.flushBatchLocked() }
 
 // ---- CUDA surface ----
 
@@ -1073,7 +1271,14 @@ func (s *Session) Malloc(size uint64) (gpu.Ptr, error) {
 		return 0, err
 	}
 	v := s.newVPtr(size)
-	s.allocs[v] = &sessAlloc{size: size, srv: srv}
+	a := &sessAlloc{size: size, srv: srv}
+	if s.trackDirty {
+		// Born mid-migration: the cutover reconcile stages it on the
+		// target, and the dirty bits make the delta pass ship its
+		// contents.
+		a.dirty = markRange(a.dirty, size, 0, size)
+	}
+	s.allocs[v] = a
 	return v, nil
 }
 
@@ -1106,6 +1311,7 @@ func (s *Session) MemcpyHtoD(dst gpu.Ptr, data []byte) error {
 	if err := s.flushBatchLocked(); err != nil {
 		return err
 	}
+	s.markDirtyLocked(dst, uint64(len(data)))
 	return s.do(func(c *Client) error { return c.MemcpyHtoD(s.translate(dst), data) })
 }
 
@@ -1132,6 +1338,7 @@ func (s *Session) MemcpyDtoD(dst, src gpu.Ptr, n uint64) error {
 	if err := s.flushBatchLocked(); err != nil {
 		return err
 	}
+	s.markDirtyLocked(dst, n)
 	return s.do(func(c *Client) error { return c.MemcpyDtoD(s.translate(dst), s.translate(src), n) })
 }
 
@@ -1143,6 +1350,7 @@ func (s *Session) Memset(p gpu.Ptr, value byte, n uint64) error {
 	if s.batching() {
 		return s.enqueueLocked(sessBatchOp{op: BatchOpMemset, ptr: p, val: value, n: n})
 	}
+	s.markDirtyLocked(p, n)
 	return s.do(func(c *Client) error { return c.Memset(s.translate(p), value, n) })
 }
 
@@ -1399,7 +1607,11 @@ func (s *Session) ModuleGetGlobal(v cuda.Module, name string) (gpu.Ptr, uint64, 
 		}
 	}
 	gv := s.newVPtr(size)
-	s.globals[gv] = &sessGlobal{mod: uint64(v), name: name, size: size, srv: srv}
+	g := &sessGlobal{mod: uint64(v), name: name, size: size, srv: srv}
+	if s.trackDirty {
+		g.dirty = markRange(g.dirty, size, 0, size)
+	}
+	s.globals[gv] = g
 	return gv, size, nil
 }
 
@@ -1424,6 +1636,7 @@ func (s *Session) LaunchKernel(f cuda.Function, grid, block gpu.Dim3, sharedMem 
 			shared: sharedMem, stream: st, data: append([]byte(nil), args...),
 		})
 	}
+	s.markLaunchDirtyLocked(fn, args)
 	return s.do(func(c *Client) error {
 		buf := s.rewriteArgs(fn, args)
 		return c.LaunchKernel(fn.srv, grid, block, sharedMem, s.stream(st), buf)
@@ -1472,11 +1685,15 @@ func putLeU64(b []byte, v uint64) {
 
 // Checkpoint asks the server to capture device state. With a
 // checkpoint directory configured server-side, this is what makes
-// memory contents survive a server restart.
+// memory contents survive a server restart. It quiesces first —
+// the same flush-then-snapshot gate migration uses — so queued
+// batched entries are always part of the checkpoint; the server
+// additionally serializes the snapshot against batches in flight on
+// other connections (Server.execMu).
 func (s *Session) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.flushBatchLocked(); err != nil {
+	if err := s.quiesceLocked(); err != nil {
 		return err
 	}
 	err := s.do(func(c *Client) error { return c.Checkpoint() })
@@ -1495,7 +1712,13 @@ func (s *Session) Restore() error {
 	if err := s.flushBatchLocked(); err != nil {
 		return err
 	}
-	return s.do(func(c *Client) error { return c.Restore() })
+	err := s.do(func(c *Client) error { return c.Restore() })
+	if err == nil {
+		// Rolled-back contents differ from anything a concurrent
+		// migration pre-copy already shipped.
+		s.markAllDirtyLocked()
+	}
+	return err
 }
 
 // Reconnects reports how many times the session has reconnected.

@@ -316,13 +316,25 @@ type socketTransport struct {
 	// other connections, so the whole set is burned and re-dialed
 	// before the next transfer rather than reused.
 	poisoned bool
+	// closed marks the transport permanently shut down: a transfer
+	// after Close must fail, never silently re-dial — a resurrected
+	// channel set would leak connections the owner believes released.
+	closed bool
 }
+
+// errTransportClosed reports a transfer attempted through a transport
+// whose owner already called Close.
+var errTransportClosed = errors.New("bulk transport closed")
 
 func (t *socketTransport) Caps() TransportCaps {
 	return TransportCaps{Method: TransferParallelSockets, Sockets: t.sockets, MaxFrame: t.maxFrame}
 }
 
-// open dials the configured number of data connections.
+// open dials the configured number of data connections. A dial that
+// fails partway closes the partial set AND leaves the transport
+// poisoned: a half-open set must never be reachable by the next
+// transfer, which would desync frames across a mix of old and new
+// connections. Only a fully-dialed set clears the poison.
 func (t *socketTransport) open() error {
 	chs := make([]*dataChannel, 0, t.sockets)
 	for i := 0; i < t.sockets; i++ {
@@ -331,6 +343,7 @@ func (t *socketTransport) open() error {
 			for _, ch := range chs {
 				ch.close()
 			}
+			t.poisoned = true
 			return carrier(fmt.Errorf("data channel %d: %w", i, err))
 		}
 		chs = append(chs, &dataChannel{conn: conn, maxFrame: t.maxFrame})
@@ -342,6 +355,9 @@ func (t *socketTransport) open() error {
 
 // Reopen burns the current channel set and dials a fresh one.
 func (t *socketTransport) Reopen() error {
+	if t.closed {
+		return carrier(errTransportClosed)
+	}
 	for _, ch := range t.channels {
 		ch.close()
 	}
@@ -351,6 +367,9 @@ func (t *socketTransport) Reopen() error {
 
 // ensure re-dials a poisoned or never-opened channel set.
 func (t *socketTransport) ensure() error {
+	if t.closed {
+		return carrier(errTransportClosed)
+	}
 	if !t.poisoned && len(t.channels) > 0 {
 		return nil
 	}
@@ -426,6 +445,8 @@ func (t *socketTransport) Close() error {
 		ch.close()
 	}
 	t.channels = nil
+	t.closed = true
+	t.poisoned = true
 	return nil
 }
 
@@ -438,6 +459,9 @@ type shmTransport struct {
 	c    *Client
 	open func() (*netsim.ShmRing, error)
 	ring *netsim.ShmRing
+	// closed marks the transport permanently shut down; see the
+	// socketTransport field of the same name.
+	closed bool
 }
 
 func (t *shmTransport) Caps() TransportCaps {
@@ -451,6 +475,9 @@ func (t *shmTransport) Caps() TransportCaps {
 // Reopen maps a fresh segment (the hook dials the server, which
 // serves the new ring).
 func (t *shmTransport) Reopen() error {
+	if t.closed {
+		return carrier(errTransportClosed)
+	}
 	if t.ring != nil {
 		t.ring.Close()
 		t.ring = nil
@@ -464,6 +491,9 @@ func (t *shmTransport) Reopen() error {
 }
 
 func (t *shmTransport) ensure() error {
+	if t.closed {
+		return carrier(errTransportClosed)
+	}
 	if t.ring == nil {
 		return t.Reopen()
 	}
@@ -525,6 +555,7 @@ func (t *shmTransport) Close() error {
 		t.ring.Close()
 		t.ring = nil
 	}
+	t.closed = true
 	return nil
 }
 
@@ -622,6 +653,9 @@ type rdmaTransport struct {
 	ep    *netsim.RdmaEndpoint
 	wkey  uint32
 	wsize int
+	// closed marks the transport permanently shut down; see the
+	// socketTransport field of the same name.
+	closed bool
 }
 
 func (t *rdmaTransport) Caps() TransportCaps {
@@ -631,6 +665,9 @@ func (t *rdmaTransport) Caps() TransportCaps {
 // Reopen connects a fresh queue pair and waits for the server's
 // window advertisement.
 func (t *rdmaTransport) Reopen() error {
+	if t.closed {
+		return carrier(errTransportClosed)
+	}
 	if t.ep != nil {
 		t.ep.Close()
 		t.ep = nil
@@ -649,6 +686,9 @@ func (t *rdmaTransport) Reopen() error {
 }
 
 func (t *rdmaTransport) ensure() error {
+	if t.closed {
+		return carrier(errTransportClosed)
+	}
 	if t.ep == nil {
 		return t.Reopen()
 	}
@@ -777,5 +817,6 @@ func (t *rdmaTransport) Close() error {
 		t.ep.Close()
 		t.ep = nil
 	}
+	t.closed = true
 	return nil
 }

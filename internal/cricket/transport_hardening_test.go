@@ -1,0 +1,214 @@
+package cricket
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+
+	"cricket/internal/guest"
+	"cricket/internal/netsim"
+)
+
+// onceCloseConn counts a connection's close exactly once, however
+// many times the transport layers call Close on their wrappers.
+type onceCloseConn struct {
+	io.ReadWriteCloser
+	once    sync.Once
+	onClose func()
+}
+
+func (c *onceCloseConn) Close() error {
+	c.once.Do(c.onClose)
+	return c.ReadWriteCloser.Close()
+}
+
+// ---- satellite: Reopen that fails mid-dial must not go half-open ----
+
+// A carrier fault poisons the channel set; the recovery Reopen then
+// fails partway through its dials. The transport must treat that
+// failed Reopen as still-poisoned (not half-open-but-reusable), close
+// the partial set, and succeed cleanly once dials work again — with
+// every connection it ever opened accounted for at the end.
+func TestParallelSocketsReopenDialFailsThenSucceeds(t *testing.T) {
+	e := newXportEnv(t)
+	var mu sync.Mutex
+	dials, live := 0, 0
+	failing := false
+	dial := func() (io.ReadWriteCloser, error) {
+		mu.Lock()
+		dials++
+		n := dials
+		fail := failing
+		mu.Unlock()
+		if fail {
+			return nil, errors.New("injected dial failure")
+		}
+		conn, err := e.dataDial()
+		if err != nil {
+			return nil, err
+		}
+		var rwc io.ReadWriteCloser = conn
+		if n == 2 {
+			// Second channel of the first set dies mid-chunk, poisoning
+			// the set.
+			rwc = netsim.NewFaultConn(conn, netsim.Fault{AfterBytes: 10 << 10, Kind: netsim.FaultDrop})
+		}
+		mu.Lock()
+		live++
+		mu.Unlock()
+		return &onceCloseConn{ReadWriteCloser: rwc, onClose: func() {
+			mu.Lock()
+			live--
+			mu.Unlock()
+		}}, nil
+	}
+	conn, err := e.redial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Connect(conn, Options{
+		Platform: guest.NativeC(),
+		Transfer: TransferParallelSockets,
+		Sockets:  3,
+		DataDial: dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 256 << 10
+	p, err := c.Malloc(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := pattern(n, 0x3C)
+
+	// 1. The faulted set poisons itself mid-transfer.
+	if err := c.MemcpyHtoD(p, data); !errors.Is(err, ErrCarrier) {
+		t.Fatalf("transfer over faulted set = %v, want carrier fault", err)
+	}
+
+	// 2. Recovery Reopen fails mid-dial: the first re-dial succeeds,
+	// the second errors. The transport must report a carrier fault and
+	// close the partial set rather than keeping it.
+	mu.Lock()
+	failing = true
+	mu.Unlock()
+	if err := c.MemcpyHtoD(p, data); !errors.Is(err, ErrCarrier) {
+		t.Fatalf("transfer with failing re-dial = %v, want carrier fault", err)
+	}
+	mu.Lock()
+	if live != 0 {
+		mu.Unlock()
+		t.Fatalf("live conns = %d after failed Reopen, want 0 (partial set leaked)", live)
+	}
+	failing = false
+	mu.Unlock()
+
+	// 3. Dials work again: the next transfer runs on a complete fresh
+	// set and round-trips bit-exact — no desync from the half-open era.
+	if err := c.MemcpyHtoD(p, data); err != nil {
+		t.Fatalf("transfer after dials healed: %v", err)
+	}
+	got, err := c.MemcpyDtoH(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip corrupted after dial-fails-then-succeeds")
+	}
+
+	mu.Lock()
+	if live != 3 {
+		mu.Unlock()
+		t.Fatalf("live conns = %d with a healthy set, want 3", live)
+	}
+	mu.Unlock()
+	c.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if live != 0 {
+		t.Fatalf("live conns = %d after Close, want 0 (leak)", live)
+	}
+}
+
+// ---- satellite: a Close()d transport must stay closed ----
+
+// A transfer after Close must fail with a carrier error instead of
+// silently re-dialing a fresh carrier the owner believes released.
+func TestTransportClosedNeverRedials(t *testing.T) {
+	for _, m := range realMethods {
+		t.Run(m.String(), func(t *testing.T) {
+			e := newXportEnv(t)
+			var mu sync.Mutex
+			opens := 0
+			opts := e.options(m)
+			switch m {
+			case TransferParallelSockets:
+				inner := opts.DataDial
+				opts.DataDial = func() (io.ReadWriteCloser, error) {
+					mu.Lock()
+					opens++
+					mu.Unlock()
+					return inner()
+				}
+			case TransferSharedMem:
+				inner := opts.ShmOpen
+				opts.ShmOpen = func() (*netsim.ShmRing, error) {
+					mu.Lock()
+					opens++
+					mu.Unlock()
+					return inner()
+				}
+			case TransferRDMA:
+				inner := opts.RdmaOpen
+				opts.RdmaOpen = func() (*netsim.RdmaEndpoint, error) {
+					mu.Lock()
+					opens++
+					mu.Unlock()
+					return inner()
+				}
+			}
+			conn, err := e.redial()
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := Connect(conn, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			const n = 32 << 10
+			p, err := c.Malloc(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := pattern(n, 0x77)
+			if err := c.tr.Write(p, data); err != nil {
+				t.Fatalf("write before close: %v", err)
+			}
+
+			if err := c.tr.Close(); err != nil {
+				t.Fatalf("transport close: %v", err)
+			}
+			mu.Lock()
+			before := opens
+			mu.Unlock()
+
+			if err := c.tr.Write(p, data); !errors.Is(err, ErrCarrier) {
+				t.Fatalf("write after close = %v, want carrier fault", err)
+			}
+			if err := c.tr.Reopen(); !errors.Is(err, ErrCarrier) {
+				t.Fatalf("Reopen after close = %v, want carrier fault", err)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if opens != before {
+				t.Fatalf("closed transport re-dialed: opens %d -> %d", before, opens)
+			}
+		})
+	}
+}

@@ -140,6 +140,7 @@ type PoolStats struct {
 	DialFailures uint64 // dial/handshake failures reported back by sessions
 	ProbeRounds  uint64
 	Transitions  uint64 // up<->down edges
+	Migrations   uint64 // completed planned migrations (Rebalance/MigrateTo)
 }
 
 // member is the pool-internal mutable state behind one Member.
@@ -168,8 +169,18 @@ type Pool struct {
 	mu         sync.Mutex
 	members    map[string]*member
 	placements map[string]string // session key -> member name
-	stats      PoolStats
-	rng        *rand.Rand // shed-cooldown jitter, guarded by mu
+	// pinned overrides the rendezvous ranking for a key after a
+	// planned migration: reconnects must resolve to the migration
+	// target, not drift home to the HRW winner and silently undo the
+	// move. A pin demotes like any other signal — if the pinned member
+	// is down the pick falls through to the normal ranking, and a pin
+	// whose member left the pool is dropped.
+	pinned map[string]string // session key -> member name
+	// sessions registers pool-opened sessions by key so Rebalance can
+	// drive a live migration on one of them.
+	sessions map[string]*Session
+	stats    PoolStats
+	rng      *rand.Rand // shed-cooldown jitter, guarded by mu
 }
 
 // New builds a pool over the given members.
@@ -178,6 +189,8 @@ func New(opts Options, members ...Member) (*Pool, error) {
 		opts:       opts.withDefaults(),
 		members:    make(map[string]*member),
 		placements: make(map[string]string),
+		pinned:     make(map[string]string),
+		sessions:   make(map[string]*Session),
 	}
 	p.rng = rand.New(rand.NewSource(int64(p.opts.Seed)))
 	for _, m := range members {
@@ -206,11 +219,25 @@ func (p *Pool) Add(m Member) error {
 
 // Remove drops a member from the pool. Sessions placed on it keep
 // their live connections; their next reconnect re-ranks among the
-// remaining members.
+// remaining members. Placements and pins pointing at the removed
+// member are dropped here: a stale placement would otherwise survive
+// a later re-Add of the same name and make placed() treat the first
+// reconnect as a same-member no-op, leaving the fresh member's
+// session counter permanently short.
 func (p *Pool) Remove(name string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	delete(p.members, name)
+	for key, m := range p.placements {
+		if m == name {
+			delete(p.placements, key)
+		}
+	}
+	for key, m := range p.pinned {
+		if m == name {
+			delete(p.pinned, key)
+		}
+	}
 }
 
 // Members returns every member's status, sorted by name.
@@ -267,6 +294,17 @@ func (p *Pool) RankFor(key string) []string {
 func (p *Pool) pick(key string, avoid map[string]bool) (*member, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if pin, ok := p.pinned[key]; ok {
+		m := p.members[pin]
+		switch {
+		case m == nil:
+			delete(p.pinned, key) // pinned member left the pool
+		case !m.down && !avoid[pin]:
+			return m, nil
+			// down or avoided: keep the pin (it may come back) but fall
+			// through to the normal ranking for this pick.
+		}
+	}
 	names := make([]string, 0, len(p.members))
 	for n := range p.members {
 		names = append(names, n)
@@ -378,10 +416,13 @@ func (p *Pool) failLocked(m *member) {
 	}
 }
 
-// release drops key's placement (session closed).
+// release drops key's placement, pin, and session registration
+// (session closed, or never opened).
 func (p *Pool) release(key string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	delete(p.pinned, key)
+	delete(p.sessions, key)
 	name, ok := p.placements[key]
 	if !ok {
 		return
@@ -389,6 +430,27 @@ func (p *Pool) release(key string) {
 	delete(p.placements, key)
 	if m := p.members[name]; m != nil && m.sessions > 0 {
 		m.sessions--
+	}
+}
+
+// pin overrides key's placement ranking with member name, returning
+// the previous pin so a failed migration can restore it.
+func (p *Pool) pin(key, name string) (prev string, had bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	prev, had = p.pinned[key]
+	p.pinned[key] = name
+	return prev, had
+}
+
+// unpin restores the pin state captured by pin.
+func (p *Pool) unpin(key, prev string, had bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if had {
+		p.pinned[key] = prev
+	} else {
+		delete(p.pinned, key)
 	}
 }
 
@@ -437,6 +499,19 @@ func (d *dialer) DialEndpoint() (io.ReadWriteCloser, string, error) {
 	return conn, m.Name, nil
 }
 
+// DialNamed opens a transport to one specific member, bypassing the
+// ranking. Migration uses it to reach its chosen target; everything
+// else should go through DialEndpoint.
+func (d *dialer) DialNamed(endpoint string) (io.ReadWriteCloser, error) {
+	d.p.mu.Lock()
+	m := d.p.members[endpoint]
+	d.p.mu.Unlock()
+	if m == nil {
+		return nil, fmt.Errorf("fleet: no member %q", endpoint)
+	}
+	return m.Dial()
+}
+
 func (d *dialer) Result(endpoint string, err error) {
 	if err == nil {
 		d.mu.Lock()
@@ -474,6 +549,26 @@ func (s *Session) Close() error {
 	return err
 }
 
+// MigrateTo live-migrates the session onto the named member. The key
+// is pinned to the target BEFORE the move starts, so any reconnect
+// that races the migration — and every one after it — resolves to the
+// target instead of rendezvous-hashing back home; a failed migration
+// restores the previous pin state. On success the pool's placement
+// follows automatically: cutover reports the new endpoint through the
+// session's dialer like any other successful connect.
+func (s *Session) MigrateTo(target string) (*cricket.MigrateReport, error) {
+	prev, had := s.pool.pin(s.key, target)
+	rep, err := s.Session.MigrateTo(target)
+	if err != nil {
+		s.pool.unpin(s.key, prev, had)
+		return nil, err
+	}
+	s.pool.mu.Lock()
+	s.pool.stats.Migrations++
+	s.pool.mu.Unlock()
+	return rep, nil
+}
+
 // Session opens a fault-tolerant session placed by key. opts.Dialer
 // and opts.Redial are overridden with the pool's picker for key. A
 // zero opts.Nonce is derived deterministically from the key, so a
@@ -491,5 +586,83 @@ func (p *Pool) Session(key string, opts cricket.SessionOptions) (*Session, error
 		p.release(key)
 		return nil, err
 	}
-	return &Session{Session: cs, pool: p, key: key}, nil
+	s := &Session{Session: cs, pool: p, key: key}
+	p.mu.Lock()
+	p.sessions[key] = s
+	p.mu.Unlock()
+	return s, nil
+}
+
+// RebalanceReport describes the one migration a Rebalance call
+// performed.
+type RebalanceReport struct {
+	Key  string
+	From string
+	To   string
+	// Report is the underlying cricket migration report (rounds,
+	// bytes shipped per phase, cutover pause).
+	Report *cricket.MigrateReport
+}
+
+// Rebalance migrates one session off the busiest live member onto the
+// least-loaded one — the planned-migration counterpart to waiting for
+// admission control to shed. It is deliberately incremental: one
+// session per call, so callers control the drain rate and each move's
+// report is visible. Returns (nil, nil) when the pool is already
+// balanced (session spread < 2), has fewer than two live members, or
+// the busiest member hosts no pool-opened session to move.
+func (p *Pool) Rebalance() (*RebalanceReport, error) {
+	p.mu.Lock()
+	type load struct {
+		name     string
+		sessions int
+	}
+	live := make([]load, 0, len(p.members))
+	for n, m := range p.members {
+		if !m.down {
+			live = append(live, load{n, m.sessions})
+		}
+	}
+	if len(live) < 2 {
+		p.mu.Unlock()
+		return nil, nil
+	}
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].sessions != live[j].sessions {
+			return live[i].sessions > live[j].sessions
+		}
+		return live[i].name < live[j].name
+	})
+	busiest, coolest := live[0], live[len(live)-1]
+	if busiest.sessions-coolest.sessions < 2 {
+		// Moving a session across a spread of one just swaps which
+		// member is busiest; require a spread that the move shrinks.
+		p.mu.Unlock()
+		return nil, nil
+	}
+	keys := make([]string, 0, busiest.sessions)
+	for k, name := range p.placements {
+		if name != busiest.name {
+			continue
+		}
+		if _, ok := p.sessions[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		p.mu.Unlock()
+		return nil, nil
+	}
+	sort.Strings(keys) // deterministic victim
+	key := keys[0]
+	sess := p.sessions[key]
+	p.mu.Unlock()
+
+	// The pool lock is released across the migration: it quiesces and
+	// ships device memory, and other sessions must keep routing.
+	rep, err := sess.MigrateTo(coolest.name)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: rebalance %q %s->%s: %w", key, busiest.name, coolest.name, err)
+	}
+	return &RebalanceReport{Key: key, From: busiest.name, To: coolest.name, Report: rep}, nil
 }

@@ -1,0 +1,276 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"cricket/internal/gpu"
+)
+
+// keysHomedOn returns n distinct keys whose rendezvous home is the
+// named member, so tests control initial placement deterministically.
+func keysHomedOn(p *Pool, home string, n int) []string {
+	var keys []string
+	for i := 0; len(keys) < n && i < 10000; i++ {
+		k := fmt.Sprintf("sess-%d", i)
+		if r := p.RankFor(k); len(r) > 0 && r[0] == home {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// Satellite regression: removing a member with live sessions must not
+// leave placement entries pointing at it — the next call re-places
+// cleanly, and a later re-Add of the same name starts with correct
+// session accounting instead of inheriting a stale placement.
+func TestRemoveMemberCleansPlacements(t *testing.T) {
+	a := newTestMember(t, "a")
+	b := newTestMember(t, "b")
+	p, err := New(Options{Seed: 1}, a.member(), b.member())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keysHomedOn(p, "a", 1)[0]
+	s, err := p.Session(key, fastSessionOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ptr, err := s.Malloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 4096)
+	for i := range want {
+		want[i] = byte(i * 19)
+	}
+	if err := s.MemcpyHtoD(ptr, want); err != nil {
+		t.Fatal(err)
+	}
+	if name, _ := p.Placement(key); name != "a" {
+		t.Fatalf("placed on %q, want a", name)
+	}
+
+	// Remove mid-session: the placement must go with the member.
+	p.Remove("a")
+	if name, ok := p.Placement(key); ok {
+		t.Fatalf("placement still points at removed member %q", name)
+	}
+
+	// Kill the removed member; the next call must re-place cleanly on
+	// the survivor and keep serving.
+	a.kill()
+	got, err := s.MemcpyDtoH(ptr, 4096)
+	if err != nil {
+		t.Fatalf("call after member removal: %v", err)
+	}
+	_ = got // a fresh replay re-creates the alloc; contents were re-uploadable state
+	if name, _ := p.Placement(key); name != "b" {
+		t.Fatalf("re-placed on %q, want b", name)
+	}
+	for _, m := range p.Members() {
+		switch m.Name {
+		case "b":
+			if m.Sessions != 1 {
+				t.Fatalf("b.Sessions = %d, want 1", m.Sessions)
+			}
+		}
+	}
+}
+
+// Re-adding a member under the name of a removed one must start with
+// clean accounting: the first session to land there counts.
+func TestReAddAfterRemoveCountsSessions(t *testing.T) {
+	a := newTestMember(t, "a")
+	b := newTestMember(t, "b")
+	p, err := New(Options{Seed: 1}, a.member(), b.member())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keysHomedOn(p, "a", 1)[0]
+	s, err := p.Session(key, fastSessionOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Malloc(64); err != nil {
+		t.Fatal(err)
+	}
+
+	p.Remove("a")
+	if err := p.Add(a.member()); err != nil {
+		t.Fatal(err)
+	}
+	// Force a reconnect; the session re-ranks onto "a" (its home) and
+	// the re-added member must count it — with the stale placement
+	// still present, placed() would treat this as a same-member
+	// reconnect and leave Sessions at 0 forever.
+	a.kill()
+	a.revive()
+	if _, err := s.Malloc(64); err != nil {
+		t.Fatalf("call after re-add: %v", err)
+	}
+	for _, m := range p.Members() {
+		if m.Name == "a" && m.Sessions != 1 {
+			t.Fatalf("a.Sessions = %d after re-add and reconnect, want 1", m.Sessions)
+		}
+	}
+}
+
+// Rebalance migrates one session off the busiest member onto the
+// least-loaded one, bit-identically, updates placement and pins it
+// there, and reports what moved.
+func TestPoolRebalanceMigratesOffBusiest(t *testing.T) {
+	a := newTestMember(t, "a")
+	b := newTestMember(t, "b")
+	p, err := New(Options{Seed: 1}, a.member(), b.member())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := keysHomedOn(p, "a", 3)
+	if len(keys) < 3 {
+		t.Fatal("could not find 3 keys homed on a")
+	}
+	type sess struct {
+		s    *Session
+		ptr  gpu.Ptr
+		want []byte
+	}
+	var sessions []sess
+	for i, k := range keys {
+		s, err := p.Session(k, fastSessionOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		ptr, err := s.Malloc(8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, 8192)
+		for j := range want {
+			want[j] = byte(j*7 + i)
+		}
+		if err := s.MemcpyHtoD(ptr, want); err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, sess{s: s, ptr: ptr, want: want})
+	}
+
+	rep, err := p.Rebalance()
+	if err != nil {
+		t.Fatalf("Rebalance: %v", err)
+	}
+	if rep == nil {
+		t.Fatal("Rebalance moved nothing off a 3-0 spread")
+	}
+	if rep.From != "a" || rep.To != "b" || rep.Report == nil {
+		t.Fatalf("report = %+v, want a -> b with a migration report", rep)
+	}
+	if name, _ := p.Placement(rep.Key); name != "b" {
+		t.Fatalf("migrated key placed on %q, want b", name)
+	}
+	if st := p.Stats(); st.Migrations != 1 {
+		t.Fatalf("Migrations = %d, want 1", st.Migrations)
+	}
+	for _, m := range p.Members() {
+		want := map[string]int{"a": 2, "b": 1}[m.Name]
+		if m.Sessions != want {
+			t.Fatalf("%s.Sessions = %d, want %d", m.Name, m.Sessions, want)
+		}
+	}
+
+	// The migrated session's device memory moved bit-identically: its
+	// buffer survives the source member dying.
+	var moved sess
+	for i, k := range keys {
+		if k == rep.Key {
+			moved = sessions[i]
+		}
+	}
+	a.kill()
+	got, err := moved.s.MemcpyDtoH(moved.ptr, 8192)
+	if err != nil {
+		t.Fatalf("read on target after source death: %v", err)
+	}
+	if !bytes.Equal(got, moved.want) {
+		t.Fatal("migrated contents not bit-identical on the target")
+	}
+	a.revive()
+
+	// 2-1 spread is balanced (moving only swaps the hot spot): no-op.
+	rep2, err := p.Rebalance()
+	if err != nil {
+		t.Fatalf("second Rebalance: %v", err)
+	}
+	if rep2 != nil {
+		t.Fatalf("Rebalance on a balanced pool moved %+v", rep2)
+	}
+}
+
+// After a planned migration the key is pinned to the target: a
+// reconnect must not rendezvous-hash the session back to its old
+// home.
+func TestMigratePinSurvivesReconnect(t *testing.T) {
+	a := newTestMember(t, "a")
+	b := newTestMember(t, "b")
+	p, err := New(Options{Seed: 1}, a.member(), b.member())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keysHomedOn(p, "a", 1)[0]
+	s, err := p.Session(key, fastSessionOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ptr, err := s.Malloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 4096)
+	for i := range want {
+		want[i] = byte(i * 23)
+	}
+	if err := s.MemcpyHtoD(ptr, want); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.MigrateTo("b"); err != nil {
+		t.Fatalf("MigrateTo: %v", err)
+	}
+	if name, _ := p.Placement(key); name != "b" {
+		t.Fatalf("placed on %q after migration, want b", name)
+	}
+
+	// Sever the target's connections; the reconnect must land on "b"
+	// again (pinned), even though "a" is the key's rendezvous home.
+	b.kill()
+	b.revive()
+	got, err := s.MemcpyDtoH(ptr, 4096)
+	if err != nil {
+		t.Fatalf("read after pinned reconnect: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("contents lost across pinned reconnect")
+	}
+	if name, _ := p.Placement(key); name != "b" {
+		t.Fatalf("reconnect drifted placement to %q, want pinned b", name)
+	}
+
+	// A failed migration must restore the pin state: migrating to a
+	// dead member errors and leaves the session serving where it was.
+	a.kill()
+	if _, err := s.MigrateTo("a"); err == nil {
+		t.Fatal("MigrateTo a dead member succeeded")
+	}
+	if name, _ := p.Placement(key); name != "b" {
+		t.Fatalf("failed migration moved placement to %q", name)
+	}
+	got, err = s.MemcpyDtoH(ptr, 4096)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("session not serving on b after failed migration (err=%v)", err)
+	}
+}
