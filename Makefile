@@ -33,7 +33,12 @@ race:
 # (zero lost sessions, digests identical, cutover delta <=50% of a
 # full checkpoint, pause under the gate) and aborts cleanly back to
 # the source when the target dies mid-copy; the extra race leg doubles
-# down on the migration paths in fleet and cricket.
+# down on the migration paths in fleet and cricket. The elastic smoke
+# drives the dynamic-membership control plane through a seeded chaos
+# plan — runtime join, heartbeat-partition TTL eviction and heal,
+# graceful retire, scale-to-zero park, and a coalesced wake-on-attach
+# storm — gating zero lost sessions, bit-identical digests, exactly
+# one cold start per wake storm, and cold attach dearer than warm.
 ci: build vet race
 	$(GO) test -race -count=2 ./internal/tune ./internal/cricket
 	$(GO) test -race ./internal/fleet ./internal/cricket
@@ -41,6 +46,7 @@ ci: build vet race
 	$(GO) run ./cmd/benchharness -churn-smoke -ci
 	$(GO) run ./cmd/benchharness -fleet-smoke -ci
 	$(GO) run ./cmd/benchharness -migrate-smoke -ci
+	$(GO) run ./cmd/benchharness -elastic-smoke -ci
 	$(GO) run ./cmd/benchharness -transport-smoke -ci
 	$(GO) run ./cmd/benchharness -adaptive-smoke -ci
 
@@ -49,9 +55,11 @@ bench:
 	$(GO) run ./cmd/benchharness -ablation-batch -ci -batch-json BENCH_batch.json
 	$(GO) run ./cmd/benchharness -fleet-smoke -ci -fleet-json BENCH_fleet.json
 	$(GO) run ./cmd/benchharness -migrate-smoke -ci -migrate-json BENCH_migrate.json
+	$(GO) run ./cmd/benchharness -elastic-smoke -ci -elastic-json BENCH_elastic.json
 	$(GO) run ./cmd/benchharness -transport-smoke -ci -transport-json BENCH_transport.json
 	$(GO) run ./cmd/benchharness -adaptive-smoke -adaptive-json BENCH_adaptive.json
 
 generate:
 	$(GO) run ./cmd/rpcgen -pkg cricket -o internal/cricket/gen_cricket.go internal/cricket/cricket.x
 	$(GO) run ./cmd/rpcgen -pkg rpcltest -o internal/rpcltest/gen_mini.go internal/rpcltest/mini.x
+	$(GO) run ./cmd/rpcgen -pkg fleet -o internal/fleet/gen_registry.go internal/fleet/registry.x

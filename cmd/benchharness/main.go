@@ -44,6 +44,9 @@ func main() {
 	fleetSmoke := flag.Bool("fleet-smoke", false, "fleet chaos storm: kill 1 of 3 members mid-workload; exit 1 on lost sessions, digest drift, or >=5% routed overhead")
 	fleetSeed := flag.Int64("fleet-seed", 1, "with -fleet-smoke: master seed for the storm")
 	fleetJSON := flag.String("fleet-json", "", "with -fleet-smoke: also write the FleetResult as JSON to this file")
+	elasticSmoke := flag.Bool("elastic-smoke", false, "elastic membership storm: runtime join, TTL eviction + heal, graceful retire, scale-to-zero park and coalesced wake-on-attach; exit 1 on lost sessions, digest drift, or a missed transition")
+	elasticSeed := flag.Int64("elastic-seed", 1, "with -elastic-smoke: master seed for the membership plan")
+	elasticJSON := flag.String("elastic-json", "", "with -elastic-smoke: also write the ElasticResult as JSON to this file")
 	migrateSmoke := flag.Bool("migrate-smoke", false, "live-migration storm: rebalance off the busiest of 3 members mid-workload plus a mid-copy target-kill abort; exit 1 on lost sessions, digest drift, oversized delta, or unbounded pause")
 	migrateSeed := flag.Int64("migrate-seed", 1, "with -migrate-smoke: master seed for the storm")
 	migrateJSON := flag.String("migrate-json", "", "with -migrate-smoke: also write the MigrateResult as JSON to this file")
@@ -362,6 +365,44 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("fleet-smoke ok: zero lost sessions, digests bit-identical to single-server, routed overhead <5%")
+	})
+	section(*elasticSmoke, func() {
+		sessions, elCalls := 8, 96
+		if *ci {
+			sessions, elCalls = 5, 48
+		}
+		start := time.Now()
+		r, err := bench.Elastic(sessions, elCalls, *elasticSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchharness: elastic-smoke: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Elastic membership storm: %d sessions x %d launches, %d members self-registered, seed %d\n",
+			r.Sessions, r.Calls, r.Members, *elasticSeed)
+		fmt.Printf("  survivors=%d failed=%d mismatches=%d\n", r.Survivors, r.Failed, r.Mismatches)
+		fmt.Printf("  joined=%d suspects=%d evicted=%d rejoined=%v retired=%d moved=%d\n",
+			r.Joined, r.Suspects, r.Evicted, r.Rejoined, r.Retired, r.RetireMoved)
+		fmt.Printf("  parked=%d cold-starts=%d coalesced=%d wake-failures=%d\n",
+			r.Parked, r.ColdStarts, r.WakeCoalesced, r.WakeFailures)
+		fmt.Printf("  cold attach %.2f ms vs warm attach %.2f ms (wall clock)\n", r.ColdAttachMS, r.WarmAttachMS)
+		fmt.Printf("  [generated in %v wall time]\n\n", time.Since(start).Round(time.Millisecond))
+		if *elasticJSON != "" {
+			data, err := json.MarshalIndent(r, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*elasticJSON, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchharness: write %s: %v\n", *elasticJSON, err)
+				os.Exit(1)
+			}
+		}
+		if v := r.Violations(); len(v) != 0 {
+			for _, msg := range v {
+				fmt.Fprintf(os.Stderr, "benchharness: elastic-smoke: VIOLATION: %s\n", msg)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("elastic-smoke ok: zero lost sessions through join/evict/heal/retire/park, one cold start per wake storm, digests bit-identical")
 	})
 	section(*migrateSmoke, func() {
 		sessions, migCalls := 9, 96

@@ -14,9 +14,17 @@
 //	cricket-fleet -members gpu0=host0:9999,gpu1=host1:9999,gpu2=host2:9999
 //	cricket-fleet -members host0:9999,host1:9999 -once
 //	cricket-fleet -members ... -status-addr :9980
+//	cricket-fleet -registry-addr :9970 -status-addr :9980
+//
+// With -registry-addr the membership is elastic: cricket-server
+// instances self-register over the FLEET_REG_PROG protocol (see
+// cricket-server -registry) and are admitted under TTL'd leases —
+// a member that stops renewing demotes, then is evicted; -members
+// becomes optional seed membership.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,10 +35,12 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"cricket/internal/fleet"
+	"cricket/internal/oncrpc"
 )
 
 // parseMembers turns "name=addr,name=addr" (or bare "addr,addr") into
@@ -96,19 +106,28 @@ func main() {
 	minHeadroom := flag.Uint64("min-headroom", 0, "device-memory bytes a member must report free to receive new placements (0: no floor)")
 	dialTimeout := flag.Duration("dial-timeout", 5*time.Second, "TCP connect timeout per member")
 	statusAddr := flag.String("status-addr", "", "HTTP listen address for the JSON status endpoint (empty: disabled)")
+	registryAddr := flag.String("registry-addr", "", "TCP listen address for member self-registration (FLEET_REG_PROG); makes -members optional seed membership")
+	memberTTL := flag.Duration("member-ttl", 5*time.Second, "with -registry-addr: default membership-lease TTL granted to self-registering members")
+	idlePark := flag.Duration("idle-park", 0, "park members idle this long (scale to zero; first attach pays the wake; 0: never park)")
+	wakeDelay := flag.Duration("wake-delay", 0, "modeled cold-start delay charged when an attach wakes a parked member")
+	shutdownDeadline := flag.Duration("shutdown-deadline", 5*time.Second, "on SIGTERM/SIGINT: how long in-flight HTTP requests get to finish")
 	once := flag.Bool("once", false, "run one probe round, print the member table, exit 1 if any member is down")
 	rebalance := flag.Bool("rebalance", false, "one-shot: probe, live-migrate one session off the busiest member, print the move, exit")
 	flag.Parse()
 
-	if *membersSpec == "" {
-		fmt.Fprintln(os.Stderr, "cricket-fleet: -members is required")
+	if *membersSpec == "" && *registryAddr == "" {
+		fmt.Fprintln(os.Stderr, "cricket-fleet: need -members, -registry-addr, or both")
 		flag.Usage()
 		os.Exit(2)
 	}
-	members, err := parseMembers(*membersSpec, *dialTimeout)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cricket-fleet:", err)
-		os.Exit(2)
+	var members []fleet.Member
+	var err error
+	if *membersSpec != "" {
+		members, err = parseMembers(*membersSpec, *dialTimeout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cricket-fleet:", err)
+			os.Exit(2)
+		}
 	}
 	pool, err := fleet.New(fleet.Options{
 		ProbeInterval: *probeInterval,
@@ -116,6 +135,8 @@ func main() {
 		UpAfter:       *upAfter,
 		ShedCooldown:  *shedCooldown,
 		MinHeadroom:   *minHeadroom,
+		IdlePark:      *idlePark,
+		WakeDelay:     *wakeDelay,
 	}, members...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cricket-fleet:", err)
@@ -158,6 +179,11 @@ func main() {
 		return
 	}
 
+	// draining flips when shutdown begins: the status surface answers
+	// 503 so load balancers and scripts stop routing control traffic
+	// at a supervisor that is about to disappear.
+	var draining atomic.Bool
+	var statusSrv *http.Server
 	if *statusAddr != "" {
 		mux := http.NewServeMux()
 		writeJSON := func(w http.ResponseWriter, v any) {
@@ -168,13 +194,22 @@ func main() {
 				log.Printf("status: %v", err)
 			}
 		}
-		mux.HandleFunc("/fleet", func(w http.ResponseWriter, _ *http.Request) {
+		guard := func(h http.HandlerFunc) http.HandlerFunc {
+			return func(w http.ResponseWriter, r *http.Request) {
+				if draining.Load() {
+					http.Error(w, "shutting down", http.StatusServiceUnavailable)
+					return
+				}
+				h(w, r)
+			}
+		}
+		mux.HandleFunc("/fleet", guard(func(w http.ResponseWriter, _ *http.Request) {
 			writeJSON(w, struct {
 				Members []fleet.MemberStatus `json:"members"`
 				Stats   fleet.PoolStats      `json:"stats"`
 			}{pool.Members(), pool.Stats()})
-		})
-		mux.HandleFunc("/rebalance", func(w http.ResponseWriter, r *http.Request) {
+		}))
+		mux.HandleFunc("/rebalance", guard(func(w http.ResponseWriter, r *http.Request) {
 			if r.Method != http.MethodPost {
 				http.Error(w, "POST only", http.StatusMethodNotAllowed)
 				return
@@ -188,8 +223,8 @@ func main() {
 				Moved  bool                   `json:"moved"`
 				Report *fleet.RebalanceReport `json:"report,omitempty"`
 			}{rep != nil, rep})
-		})
-		mux.HandleFunc("/place", func(w http.ResponseWriter, r *http.Request) {
+		}))
+		mux.HandleFunc("/place", guard(func(w http.ResponseWriter, r *http.Request) {
 			key := r.URL.Query().Get("key")
 			if key == "" {
 				http.Error(w, "missing ?key=", http.StatusBadRequest)
@@ -201,27 +236,84 @@ func main() {
 				Ranking []string `json:"ranking"`
 				Placed  string   `json:"placed,omitempty"`
 			}{key, pool.RankFor(key), placed})
-		})
+		}))
 		sl, err := net.Listen("tcp", *statusAddr)
 		if err != nil {
 			log.Fatal(err)
 		}
+		// A stuck or malicious peer must not pin a handler goroutine
+		// forever: every phase of a status request is deadlined.
+		statusSrv = &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       10 * time.Second,
+			WriteTimeout:      30 * time.Second, // /rebalance ships device memory
+		}
 		log.Printf("status endpoint on http://%s/{fleet,place?key=...,rebalance}", sl.Addr())
 		go func() {
-			if err := http.Serve(sl, mux); err != nil {
+			if err := statusSrv.Serve(sl); err != nil && err != http.ErrServerClosed {
 				log.Printf("status listener: %v", err)
+			}
+		}()
+	}
+
+	var regRPC *oncrpc.Server
+	if *registryAddr != "" {
+		registry := fleet.NewRegistry(pool, fleet.RegistryOptions{
+			DefaultTTL: *memberTTL,
+			Dial: func(_, addr string) (io.ReadWriteCloser, error) {
+				return net.DialTimeout("tcp", addr, *dialTimeout)
+			},
+			Logf: log.Printf,
+		})
+		regRPC = oncrpc.NewServer()
+		regRPC.ErrorLog = log.Default()
+		registry.Attach(regRPC)
+		sweep := *memberTTL / 6
+		if sweep < 50*time.Millisecond {
+			sweep = 50 * time.Millisecond
+		}
+		stopSweep := registry.StartSweeper(sweep)
+		defer stopSweep()
+		rl, err := net.Listen("tcp", *registryAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("registry (prog %#x vers %d) listening on %s: %v default lease, sweep every %v",
+			fleet.FleetRegProg, fleet.FleetRegVers, rl.Addr(), *memberTTL, sweep)
+		go func() {
+			if err := regRPC.Serve(rl); err != nil && err != oncrpc.ErrServerClosed {
+				log.Printf("registry listener: %v", err)
 			}
 		}()
 	}
 
 	stop := pool.StartProber()
 	defer stop()
+	if *idlePark > 0 {
+		stopParker := pool.StartParker(0)
+		defer stopParker()
+		log.Printf("scale-to-zero: parking members idle longer than %v", *idlePark)
+	}
 	log.Printf("probing %d member(s) every %v (down after %d failures, up after %d successes)",
 		len(members), *probeInterval, *downAfter, *upAfter)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	got := <-sig
-	log.Printf("received %v: stopping prober", got)
+	draining.Store(true)
+	log.Printf("received %v: draining (deadline %v)", got, *shutdownDeadline)
+	ctx, cancel := context.WithTimeout(context.Background(), *shutdownDeadline)
+	defer cancel()
+	if regRPC != nil {
+		if err := regRPC.Shutdown(ctx); err != nil {
+			log.Printf("registry drain: %v", err)
+		}
+	}
+	if statusSrv != nil {
+		if err := statusSrv.Shutdown(ctx); err != nil {
+			log.Printf("status drain: %v", err)
+		}
+	}
 	printStatus(os.Stderr, pool)
 }

@@ -26,6 +26,7 @@ import (
 
 	"cricket/internal/cricket"
 	"cricket/internal/cuda"
+	"cricket/internal/fleet"
 	"cricket/internal/gpu"
 	"cricket/internal/oncrpc"
 )
@@ -56,6 +57,10 @@ func main() {
 	adaptiveAdmission := flag.Bool("adaptive-admission", false, "adaptively tune the in-flight ceiling and shed retry hint from windowed dispatch latency; -max-inflight is superseded")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "on SIGTERM/SIGINT: how long to let in-flight calls finish before hard-closing")
 	disableShm := flag.Bool("disable-shm", false, "refuse shared-memory transfer negotiation (clients degrade to rpc-args, or fail if they require it)")
+	registryAddr := flag.String("registry", "", "cricket-fleet registry address to self-register with (empty: no registration)")
+	advertise := flag.String("advertise", "", "with -registry: address advertised for the fleet to dial back (default: -listen)")
+	memberName := flag.String("member-name", "", "with -registry: member identity to register under (default: hostname)")
+	memberTTL := flag.Duration("member-ttl", 0, "with -registry: requested membership-lease TTL (0: registry default)")
 	flag.Parse()
 
 	var devices []*gpu.Device
@@ -180,6 +185,41 @@ func main() {
 	pm.Set(oncrpc.Mapping{Prog: cricket.RpcCdProg, Vers: cricket.RpcCdVers, Prot: oncrpc.IPProtoTCP, Port: port})
 
 	log.Printf("cricket server (prog %#x vers %d) listening on %s", cricket.RpcCdProg, cricket.RpcCdVers, l.Addr())
+
+	// Self-register with the fleet registry and keep the lease renewed
+	// on a jittered cadence; on shutdown the deregistration drains and
+	// migrates this member's sessions before the process exits.
+	var registrar *fleet.Registrar
+	if *registryAddr != "" {
+		name := *memberName
+		if name == "" {
+			if name, err = os.Hostname(); err != nil || name == "" {
+				log.Fatalf("-member-name required (hostname unavailable: %v)", err)
+			}
+		}
+		addr := *advertise
+		if addr == "" {
+			addr = l.Addr().String()
+		}
+		registrar, err = fleet.StartRegistrar(fleet.RegistrarOptions{
+			Name:  name,
+			Addr:  addr,
+			Epoch: srv.Epoch(),
+			TTL:   *memberTTL,
+			Dial: func() (io.ReadWriteCloser, error) {
+				return net.DialTimeout("tcp", *registryAddr, 5*time.Second)
+			},
+			Seed: srv.Epoch(),
+			Logf: log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("registering with %s as %q: %v", *registryAddr, name, err)
+		}
+		lease := registrar.Lease()
+		log.Printf("registered with %s as %q advertising %s: lease %dms, renew every ~%dms",
+			*registryAddr, name, addr, lease.TtlMs, lease.HeartbeatMs)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	serveErr := make(chan error, 1)
@@ -194,6 +234,15 @@ func main() {
 		// finish and write its reply (bounded by -drain-timeout),
 		// checkpoint, exit cleanly.
 		log.Printf("received %v: draining connections (timeout %v)", got, *drainTimeout)
+		if registrar != nil {
+			// Leave the fleet first: the registry drains admissions and
+			// live-migrates our sessions off while we can still serve.
+			if err := registrar.Stop(); err != nil {
+				log.Printf("deregister: %v", err)
+			} else {
+				log.Printf("deregistered: sessions migrated off, lease released")
+			}
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		err := rpcSrv.Shutdown(ctx)
 		cancel()

@@ -1,0 +1,749 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cricket/internal/cricket"
+	"cricket/internal/cuda"
+	"cricket/internal/fleet"
+	"cricket/internal/gpu"
+	"cricket/internal/guest"
+	"cricket/internal/netsim"
+	"cricket/internal/oncrpc"
+)
+
+// This file is the elastic-fleet chaos harness: the end-to-end proof
+// that dynamic membership keeps every session alive and bit-identical
+// while the fleet itself is in motion. A seeded netsim.MembershipPlan
+// scripts the storm — a member joins mid-traffic, an asymmetric
+// partition cuts another member's heartbeats off from the registry
+// (it demotes, then its lease expires and it is evicted, all while it
+// keeps serving the sessions already on it), the partition heals and
+// the member re-registers — then the fleet drains, a member retires
+// gracefully (deregister -> drain -> live-migrate-off), the rest park
+// to zero after the idle deadline, and a wake storm proves that
+// concurrent attachers to a parked member coalesce on one modeled
+// cold start while a member whose wake keeps failing spills its
+// attacher to the next rank. Every session in every phase must finish
+// with the digest of a static single-server run.
+
+// ElasticResult summarizes one elastic membership storm.
+type ElasticResult struct {
+	Members  int   // initial fleet size (before the mid-storm join)
+	Sessions int   // concurrent storm sessions
+	Calls    int   // kernel launches per session
+	Seed     int64 // membership-plan seed
+
+	Digest     uint64 // single-server baseline digest
+	Survivors  int    // sessions (all phases) that finished
+	Failed     int    // sessions that failed (must be 0)
+	Mismatches int    // digests differing from the baseline (must be 0)
+
+	// Membership transitions observed (registry + pool counters).
+	Joined       uint64 // admissions beyond the initial members (mid-storm join, heal re-admission)
+	Suspects     uint64 // missed renew periods fed to the demotion hysteresis
+	Evicted      uint64 // TTL evictions (the partitioned member)
+	Rejoined     bool   // the evicted member re-registered after the heal
+	Retired      uint64 // graceful deregister -> drain -> migrate-off
+	RetireMoved  int    // sessions live-migrated off the retiring member
+	HealedJitter bool   // registrar renew intervals drew distinct jittered values
+
+	// Scale-to-zero.
+	Parked        uint64  // members parked after the idle deadline
+	ColdStarts    uint64  // wakes in the coalesced wake-storm phase (must be 1)
+	WakeCoalesced uint64  // attachers that rode the in-flight wake (must be > 0)
+	WakeFailures  uint64  // exhausted wakes in the spill phase (must be > 0)
+	ColdAttachMS  float64 // slowest wake-storm attach (pays the modeled cold start)
+	WarmAttachMS  float64 // attach to the same member once awake
+
+	LeasesLeft int // leases on awake members after every session closed
+}
+
+// Violations lists every breached elastic invariant; empty means the
+// storm upheld all of them.
+func (r ElasticResult) Violations() []string {
+	var v []string
+	if r.Failed > 0 {
+		v = append(v, fmt.Sprintf("lost sessions: %d failed", r.Failed))
+	}
+	if r.Mismatches > 0 {
+		v = append(v, fmt.Sprintf("%d digest(s) differ from the single-server run", r.Mismatches))
+	}
+	if r.Joined == 0 {
+		v = append(v, "no member joined mid-storm")
+	}
+	if r.Suspects == 0 {
+		v = append(v, "missed heartbeats never fed the demotion hysteresis")
+	}
+	if r.Evicted == 0 {
+		v = append(v, "the partitioned member was never TTL-evicted")
+	}
+	if !r.Rejoined {
+		v = append(v, "the evicted member did not re-register after the heal")
+	}
+	if r.Retired != 1 {
+		v = append(v, fmt.Sprintf("graceful retire count %d, want 1", r.Retired))
+	}
+	if r.Parked == 0 {
+		v = append(v, "no member parked after the idle deadline")
+	}
+	if r.ColdStarts != 1 {
+		v = append(v, fmt.Sprintf("wake storm took %d cold starts, want exactly 1 (coalescing failed)", r.ColdStarts))
+	}
+	if r.WakeCoalesced == 0 {
+		v = append(v, "no attacher coalesced on the in-flight wake")
+	}
+	if r.WakeFailures == 0 {
+		v = append(v, "the failing member's wake never exhausted its retries (spill path untested)")
+	}
+	if r.ColdAttachMS <= r.WarmAttachMS {
+		v = append(v, fmt.Sprintf("cold attach %.2fms not slower than warm attach %.2fms", r.ColdAttachMS, r.WarmAttachMS))
+	}
+	if !r.HealedJitter {
+		v = append(v, "registrar renew intervals are not jittered")
+	}
+	if r.LeasesLeft > 0 {
+		v = append(v, fmt.Sprintf("%d lease(s) left on awake members after close", r.LeasesLeft))
+	}
+	return v
+}
+
+// elasticNode is one in-process cricket-server member that can scale
+// to zero: park takes the final checkpoint, serializes it, and tears
+// the instance down; wake boots a fresh instance (new epoch) and
+// restores the checkpoint — the bench's stand-in for releasing and
+// re-launching a real machine.
+type elasticNode struct {
+	name string
+	ttl  time.Duration
+
+	mu        sync.Mutex
+	rpcSrv    *oncrpc.Server
+	srv       *cricket.Server
+	stopSweep func()
+	conns     []net.Conn
+	parked    bool
+	dead      bool
+	ckpt      []byte // serialized device-0 checkpoint from the final park
+	wakeFails int    // injected consecutive Wake failures remaining
+}
+
+func newElasticNode(name string, ttl time.Duration) *elasticNode {
+	n := &elasticNode{name: name, ttl: ttl}
+	n.mu.Lock()
+	n.bootLocked()
+	n.mu.Unlock()
+	return n
+}
+
+// bootLocked starts a fresh server instance. Called with n.mu held.
+func (n *elasticNode) bootLocked() {
+	rt := cuda.NewRuntime(nil, gpu.New(gpu.SpecA100))
+	srv := cricket.NewServer(rt)
+	n.stopSweep = func() {}
+	if n.ttl > 0 {
+		srv.SetLimits(cricket.Limits{LeaseTTL: n.ttl})
+		n.stopSweep = srv.StartLeaseSweeper(25 * time.Millisecond)
+	}
+	rpcSrv := oncrpc.NewServer()
+	srv.Attach(rpcSrv)
+	n.srv, n.rpcSrv = srv, rpcSrv
+}
+
+func (n *elasticNode) dial() (io.ReadWriteCloser, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.dead || n.parked {
+		return nil, fmt.Errorf("elastic member %s: unreachable", n.name)
+	}
+	cli, srvConn := net.Pipe()
+	n.conns = append(n.conns, srvConn)
+	go n.rpcSrv.ServeConn(srvConn)
+	return cli, nil
+}
+
+// park is the member's Park hook: final checkpoint, serialize it,
+// release the instance.
+func (n *elasticNode) park() error {
+	n.mu.Lock()
+	srv, rpcSrv, stopSweep := n.srv, n.rpcSrv, n.stopSweep
+	n.mu.Unlock()
+	if err := srv.Park(); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := srv.SaveCheckpoint(0, &buf); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.ckpt = append([]byte(nil), buf.Bytes()...)
+	n.parked = true
+	conns := n.conns
+	n.conns = nil
+	n.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	stopSweep()
+	rpcSrv.Close()
+	return nil
+}
+
+// wake is the member's Wake hook: fail the injected count, then boot
+// a fresh instance and restore the parked checkpoint.
+func (n *elasticNode) wake() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.wakeFails > 0 {
+		n.wakeFails--
+		return fmt.Errorf("elastic member %s: wake failed (injected)", n.name)
+	}
+	if !n.parked {
+		return nil
+	}
+	n.bootLocked()
+	if len(n.ckpt) > 0 {
+		if err := n.srv.LoadCheckpoint(0, bytes.NewReader(n.ckpt)); err != nil {
+			return err
+		}
+	}
+	n.parked = false
+	return nil
+}
+
+func (n *elasticNode) setWakeFails(c int) {
+	n.mu.Lock()
+	n.wakeFails = c
+	n.mu.Unlock()
+}
+
+func (n *elasticNode) close() {
+	n.mu.Lock()
+	n.dead = true
+	conns := n.conns
+	n.conns = nil
+	rpcSrv, stopSweep := n.rpcSrv, n.stopSweep
+	n.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	stopSweep()
+	rpcSrv.Close()
+}
+
+func (n *elasticNode) isParked() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.parked
+}
+
+// elasticSessionOpts is the storm sessions' recovery budget: generous
+// attempts with tight backoff, so failovers resolve fast and a wake's
+// modeled cold start never exhausts a session.
+func elasticSessionOpts(seed int64) cricket.SessionOptions {
+	return cricket.SessionOptions{
+		Options:     cricket.Options{Platform: guest.NativeRust()},
+		Seed:        seed,
+		MaxAttempts: 30,
+		BackoffBase: 500 * time.Microsecond,
+		BackoffMax:  10 * time.Millisecond,
+	}
+}
+
+// Elastic runs the membership chaos storm. sessions/calls size the
+// storm phase; seed drives the membership plan, the per-session
+// recovery jitter, and every fleet/registrar jitter stream.
+func Elastic(sessions, calls int, seed int64) (ElasticResult, error) {
+	if sessions <= 0 {
+		sessions = 8
+	}
+	if calls <= 0 {
+		calls = 96
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	res := ElasticResult{Members: 3, Sessions: sessions, Calls: calls, Seed: seed}
+
+	// Single-server baseline digest: the bit-identity reference every
+	// session in every phase is held to.
+	base := newRestartableServer()
+	bs, err := cricket.NewSession(cricket.SessionOptions{
+		Options: cricket.Options{Platform: guest.NativeRust()},
+		Redial:  base.redial,
+		Seed:    1,
+	})
+	if err != nil {
+		base.close()
+		return res, err
+	}
+	res.Digest, err = churnWorkload(bs, calls, -1)
+	bs.Close()
+	base.close()
+	if err != nil {
+		return res, fmt.Errorf("baseline workload: %w", err)
+	}
+
+	// The control plane: an empty pool whose membership is entirely
+	// registry-driven. No prober — missed heartbeats are the liveness
+	// signal here, feeding the same hysteresis the prober would.
+	const (
+		memberTTL = time.Second            // server-side client-lease TTL
+		leaseTTL  = 150 * time.Millisecond // registry membership-lease TTL
+		wakeDelay = 25 * time.Millisecond  // modeled cold start
+		idlePark  = 30 * time.Millisecond
+		downAfter = 2
+		wakeRetry = 2
+	)
+	nodes := map[string]*elasticNode{}
+	var nodesMu sync.Mutex
+	node := func(name string) *elasticNode {
+		nodesMu.Lock()
+		defer nodesMu.Unlock()
+		return nodes[name]
+	}
+	addNode := func(n *elasticNode) {
+		nodesMu.Lock()
+		nodes[n.name] = n
+		nodesMu.Unlock()
+	}
+
+	pool, err := fleet.New(fleet.Options{
+		DownAfter:        downAfter,
+		UpAfter:          2,
+		IdlePark:         idlePark,
+		WakeDelay:        wakeDelay,
+		WakeRetries:      wakeRetry,
+		WakeBackoff:      time.Millisecond,
+		NoMembersBackoff: time.Millisecond,
+		Seed:             uint64(seed),
+	})
+	if err != nil {
+		return res, err
+	}
+	registry := fleet.NewRegistry(pool, fleet.RegistryOptions{
+		DefaultTTL: leaseTTL,
+		MinTTL:     50 * time.Millisecond,
+		Dial: func(name, _ string) (io.ReadWriteCloser, error) {
+			n := node(name)
+			if n == nil {
+				return nil, fmt.Errorf("no node %q", name)
+			}
+			return n.dial()
+		},
+		Wrap: func(m fleet.Member) fleet.Member {
+			if n := node(m.Name); n != nil {
+				m.Park = n.park
+				m.Wake = n.wake
+			}
+			return m
+		},
+	})
+	regRPC := oncrpc.NewServer()
+	defer regRPC.Close()
+	registry.Attach(regRPC)
+	stopSweep := registry.StartSweeper(10 * time.Millisecond)
+	defer stopSweep()
+
+	// Members reach the registry through a MultiPlan, so the harness
+	// can partition one member's heartbeat path asymmetrically — the
+	// registry stops hearing from it while the member keeps serving.
+	plan := netsim.NewMultiPlan()
+	var regConnsMu sync.Mutex
+	regConns := map[string]net.Conn{}
+	regDial := func(name string) func() (io.ReadWriteCloser, error) {
+		return plan.Dialer("reg:"+name, func() (io.ReadWriteCloser, error) {
+			cli, srvConn := net.Pipe()
+			go regRPC.ServeConn(srvConn)
+			regConnsMu.Lock()
+			regConns[name] = cli
+			regConnsMu.Unlock()
+			return cli, nil
+		})
+	}
+
+	registrars := map[string]*fleet.Registrar{}
+	startMember := func(i int, name string) error {
+		n := newElasticNode(name, memberTTL)
+		addNode(n)
+		reg, err := fleet.StartRegistrar(fleet.RegistrarOptions{
+			Name:          name,
+			Addr:          name, // in-process: the name is the address
+			Epoch:         n.srv.Epoch(),
+			TTL:           leaseTTL,
+			Dial:          regDial(name),
+			RedialBackoff: 20 * time.Millisecond,
+			Seed:          uint64(seed) + uint64(i),
+		})
+		if err != nil {
+			return err
+		}
+		registrars[name] = reg
+		return nil
+	}
+	defer func() {
+		nodesMu.Lock()
+		all := make([]*elasticNode, 0, len(nodes))
+		for _, n := range nodes {
+			all = append(all, n)
+		}
+		nodesMu.Unlock()
+		for _, n := range all {
+			n.close()
+		}
+	}()
+
+	names := []string{"gpu0", "gpu1", "gpu2"}
+	for i, name := range names {
+		if err := startMember(i, name); err != nil {
+			return res, fmt.Errorf("registering %s: %w", name, err)
+		}
+	}
+	if got := len(pool.Members()); got != 3 {
+		return res, fmt.Errorf("after self-registration: %d members, want 3", got)
+	}
+
+	// The seeded membership schedule for the storm.
+	mplan := netsim.MembershipPlan{
+		Seed:         seed,
+		Steps:        sessions * calls,
+		Members:      len(names),
+		MaxWakeFails: wakeRetry,
+	}
+	events := mplan.Events()
+	victim := names[events[1].Target]
+	wakeTarget := names[events[3].Target]
+	wakeFails := events[4].WakeFails
+
+	// Storm phase: every session runs the deterministic workload while
+	// a global call counter trips the scripted transitions. Only the
+	// first session to cross a threshold fires its event; the heal
+	// additionally waits for the eviction it must follow.
+	var stepCount atomic.Int64
+	var joinOnce, partOnce, healOnce sync.Once
+	joiner := "gpu3"
+	fire := func() {
+		step := int(stepCount.Add(1))
+		if step >= events[0].Step {
+			joinOnce.Do(func() {
+				if err := startMember(len(names), joiner); err == nil {
+					res.Joined++
+				}
+			})
+		}
+		if step >= events[1].Step {
+			partOnce.Do(func() {
+				plan.Block("reg:" + victim)
+				regConnsMu.Lock()
+				c := regConns[victim]
+				regConnsMu.Unlock()
+				if c != nil {
+					c.Close() // sever the live heartbeat transport too
+				}
+			})
+		}
+		if step >= events[2].Step {
+			healOnce.Do(func() {
+				// The heal follows the eviction: wait (bounded) for the
+				// victim's lease to actually expire, then reconnect it.
+				waitFor(2*time.Second, func() bool {
+					return !memberPresent(pool, victim)
+				})
+				plan.Unblock("reg:" + victim)
+			})
+		}
+	}
+
+	type outcome struct {
+		digest uint64
+		err    error
+	}
+	outcomes := make([]outcome, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := pool.Session(fmt.Sprintf("guest-%d", i), elasticSessionOpts(seed+int64(i)+1))
+			if err != nil {
+				outcomes[i] = outcome{err: err}
+				return
+			}
+			digest, err := churnWorkloadHooked(s.Session, calls, func(int) { fire() })
+			s.Close()
+			outcomes[i] = outcome{digest: digest, err: err}
+		}(i)
+	}
+	wg.Wait()
+	for _, o := range outcomes {
+		res.tally(o.digest, o.err)
+	}
+
+	// The storm may end before the async transitions settle: the
+	// victim must be evicted and then re-admitted by its own registrar
+	// before the fleet can drain. (If failed sessions cut the storm
+	// short of an event's step, fire it now — a missing transition
+	// still surfaces through the violation gates.)
+	partOnce.Do(func() {
+		plan.Block("reg:" + victim)
+		regConnsMu.Lock()
+		c := regConns[victim]
+		regConnsMu.Unlock()
+		if c != nil {
+			c.Close()
+		}
+	})
+	healOnce.Do(func() {
+		waitFor(2*time.Second, func() bool { return !memberPresent(pool, victim) })
+		plan.Unblock("reg:" + victim)
+	})
+	joinOnce.Do(func() {
+		if err := startMember(len(names), joiner); err == nil {
+			res.Joined++
+		}
+	})
+	if !waitFor(2*time.Second, func() bool { return memberPresent(pool, victim) }) {
+		return res, fmt.Errorf("victim %s never re-registered after the heal", victim)
+	}
+	res.Rejoined = true
+
+	// Graceful retire: a few sessions homed on the joiner run the
+	// workload; halfway through, the joiner deregisters — the registry
+	// drains it and live-migrates its sessions off, mid-call-stream,
+	// without disturbing their digests.
+	retireKeys := keysRankedOn(pool, joiner, 3)
+	var retireOnce sync.Once
+	var retireErr error
+	routcomes := make([]outcome, len(retireKeys))
+	wg = sync.WaitGroup{}
+	for i, key := range retireKeys {
+		wg.Add(1)
+		go func(i int, key string) {
+			defer wg.Done()
+			s, err := pool.Session(key, elasticSessionOpts(seed+100+int64(i)))
+			if err != nil {
+				routcomes[i] = outcome{err: err}
+				return
+			}
+			digest, err := churnWorkloadHooked(s.Session, calls, func(step int) {
+				if step == calls/2 {
+					retireOnce.Do(func() { retireErr = registrars[joiner].Stop() })
+				}
+			})
+			s.Close()
+			routcomes[i] = outcome{digest: digest, err: err}
+		}(i, key)
+	}
+	wg.Wait()
+	for _, o := range routcomes {
+		res.tally(o.digest, o.err)
+	}
+	if retireErr != nil {
+		return res, fmt.Errorf("graceful deregister: %w", retireErr)
+	}
+	if memberPresent(pool, joiner) {
+		return res, fmt.Errorf("retired member %s still in the pool", joiner)
+	}
+
+	// Scale-to-zero: with every session closed the members are idle;
+	// past the idle deadline they park (final checkpoint, instance
+	// released). The registrars keep heartbeating — parked is a
+	// deliberate state, not a death.
+	if !waitFor(2*time.Second, func() bool {
+		pool.ParkIdle()
+		for _, name := range names {
+			if !node(name).isParked() {
+				return false
+			}
+		}
+		return true
+	}) {
+		return res, fmt.Errorf("members never parked after the idle deadline")
+	}
+
+	// Spill: one member's wake fails past its retry budget; the attach
+	// must spill to the next-ranked member and succeed there (waking
+	// it instead).
+	statsBefore := pool.Stats()
+	spillMember, spillKey := spillTarget(pool, names, wakeTarget)
+	node(spillMember).setWakeFails(1000) // never wakes
+	ss, err := pool.Session(spillKey, elasticSessionOpts(seed+200))
+	if err != nil {
+		return res, fmt.Errorf("spill attach: %w", err)
+	}
+	d, err := churnWorkload(ss.Session, calls, -1)
+	ss.Close()
+	res.tally(d, err)
+	node(spillMember).setWakeFails(0)
+	spillStats := pool.Stats()
+	res.WakeFailures = spillStats.WakeFailures - statsBefore.WakeFailures
+
+	// Wake storm: concurrent attachers aimed at one parked member must
+	// coalesce on a single wake — exactly one modeled cold start, no
+	// stampede — with the scripted wake failures retried inside it.
+	node(wakeTarget).setWakeFails(wakeFails)
+	wakeKeys := keysRankedOn(pool, wakeTarget, 4)
+	var coldest atomic.Int64
+	woutcomes := make([]outcome, len(wakeKeys))
+	wg = sync.WaitGroup{}
+	for i, key := range wakeKeys {
+		wg.Add(1)
+		go func(i int, key string) {
+			defer wg.Done()
+			start := time.Now()
+			s, err := pool.Session(key, elasticSessionOpts(seed+300+int64(i)))
+			attach := time.Since(start)
+			if err != nil {
+				woutcomes[i] = outcome{err: err}
+				return
+			}
+			for {
+				cur := coldest.Load()
+				if int64(attach) <= cur || coldest.CompareAndSwap(cur, int64(attach)) {
+					break
+				}
+			}
+			digest, err := churnWorkload(s.Session, calls, -1)
+			s.Close()
+			woutcomes[i] = outcome{digest: digest, err: err}
+		}(i, key)
+	}
+	wg.Wait()
+	for _, o := range woutcomes {
+		res.tally(o.digest, o.err)
+	}
+	wakeStats := pool.Stats()
+	res.ColdStarts = wakeStats.ColdStarts - spillStats.ColdStarts
+	res.WakeCoalesced = wakeStats.WakeCoalesced - spillStats.WakeCoalesced
+	res.ColdAttachMS = float64(coldest.Load()) / float64(time.Millisecond)
+
+	// Warm attach to the same (now awake) member: the cold start is
+	// the difference, not the routing.
+	warmKey := keysRankedOn(pool, wakeTarget, len(wakeKeys)+1)[len(wakeKeys)]
+	warmStart := time.Now()
+	ws, err := pool.Session(warmKey, elasticSessionOpts(seed+400))
+	warm := time.Since(warmStart)
+	if err != nil {
+		return res, fmt.Errorf("warm attach: %w", err)
+	}
+	d, err = churnWorkload(ws.Session, calls, -1)
+	ws.Close()
+	res.tally(d, err)
+	res.WarmAttachMS = float64(warm) / float64(time.Millisecond)
+
+	// Registrar jitter (satellite): distinct members must draw
+	// distinct renew cadences from their seeded streams. Two members
+	// with equal beat counts over the same wall window would suggest
+	// lockstep; we check the weaker, deterministic property that the
+	// registrars' jitter streams diverge.
+	res.HealedJitter = registrarsJittered(registrars)
+
+	// Counters and end-state invariants.
+	rstats := registry.Stats()
+	res.Suspects = rstats.Suspects
+	res.Evicted = rstats.Expired
+	res.Retired = rstats.Deregistered
+	poolStats := pool.Stats()
+	res.Parked = poolStats.Parks
+	res.RetireMoved = int(poolStats.Migrations)
+	for name, n := range nodes {
+		if n.isParked() || name == joiner {
+			continue
+		}
+		res.LeasesLeft += n.srv.LeaseCount()
+	}
+	return res, nil
+}
+
+// tally folds one session outcome into the result.
+func (r *ElasticResult) tally(digest uint64, err error) {
+	if err != nil {
+		r.Failed++
+		return
+	}
+	r.Survivors++
+	if digest != r.Digest {
+		r.Mismatches++
+	}
+}
+
+// waitFor polls cond every 5ms until it holds or the deadline passes.
+func waitFor(d time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(d)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// memberPresent reports whether the pool currently has a member name.
+func memberPresent(p *fleet.Pool, name string) bool {
+	for _, st := range p.Members() {
+		if st.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// keysRankedOn scans for n distinct keys whose rendezvous ranking tops
+// out on member name.
+func keysRankedOn(p *fleet.Pool, name string, n int) []string {
+	var keys []string
+	for i := 0; len(keys) < n; i++ {
+		key := fmt.Sprintf("%s-key-%d", name, i)
+		if r := p.RankFor(key); len(r) > 0 && r[0] == name {
+			keys = append(keys, key)
+		}
+	}
+	return keys
+}
+
+// spillTarget finds a member other than avoid, plus a key whose
+// ranking puts that member first and some third member (not avoid)
+// second — so a failed wake spills without touching avoid.
+func spillTarget(p *fleet.Pool, names []string, avoid string) (member, key string) {
+	for _, name := range names {
+		if name == avoid {
+			continue
+		}
+		for i := 0; i < 1<<16; i++ {
+			k := fmt.Sprintf("spill-%s-%d", name, i)
+			r := p.RankFor(k)
+			if len(r) >= 2 && r[0] == name && r[1] != avoid {
+				return name, k
+			}
+		}
+	}
+	// Unreachable for any 3-member fleet; fall back to the first
+	// non-avoid member with any key it tops.
+	for _, name := range names {
+		if name != avoid {
+			return name, keysRankedOn(p, name, 1)[0]
+		}
+	}
+	return names[0], "spill-fallback"
+}
+
+// registrarsJittered verifies the renewal cadence diverges across
+// registrars: drawing from each one's seeded jitter stream must not
+// yield the same interval everywhere — lockstep renewals would spike
+// the registry every period.
+func registrarsJittered(regs map[string]*fleet.Registrar) bool {
+	seen := map[time.Duration]bool{}
+	for _, reg := range regs {
+		seen[reg.NextRenew()] = true
+	}
+	return len(seen) >= 2
+}

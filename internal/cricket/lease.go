@@ -159,6 +159,14 @@ func (sc *serverConn) ConnEnd() {
 func (sc *serverConn) begin() bool {
 	s := sc.s
 	s.mu.Lock()
+	if s.parked {
+		// A parked server has checkpointed and scaled to zero; it sheds
+		// everything until woken, and the retry hint tells the client
+		// the wake is worth waiting for.
+		sc.shedLocked()
+		s.mu.Unlock()
+		return false
+	}
 	if s.limits.MaxInflight > 0 && s.inflight >= s.limits.MaxInflight {
 		sc.shedLocked()
 		s.mu.Unlock()

@@ -102,6 +102,10 @@ type ServerStats struct {
 	ReclaimedBytes   uint64 // device bytes freed by lease reclamation
 	ReclaimedHandles uint64 // handles freed by lease reclamation
 	CallsShed        uint64 // calls rejected by admission control
+
+	// Scale-to-zero (see park.go).
+	Parks uint64 // final-checkpoint parks taken
+	Wakes uint64 // resumes from parked
 }
 
 // A Server executes forwarded CUDA calls against a runtime. It
@@ -129,6 +133,7 @@ type Server struct {
 	sched       *Scheduler
 	attached    []*oncrpc.Server // RPC servers this Server is registered on
 	noSharedMem bool             // reject TransferSharedMem negotiation
+	parked      bool             // scaled to zero: shed every governed call (park.go)
 
 	// Resource governance (lease.go), all under mu. clock is the
 	// lease timebase, overridable in tests.

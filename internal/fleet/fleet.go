@@ -52,6 +52,16 @@ type Member struct {
 	Name string
 	// Dial opens a fresh transport to the endpoint.
 	Dial func() (io.ReadWriteCloser, error)
+	// Park, when set, scales the member to zero: the pool calls it
+	// once the member has been idle past Options.IdlePark (final
+	// checkpoint, release the instance). A parked member stays in the
+	// ranking — the first session routed to it wakes it back up.
+	Park func() error
+	// Wake reverses Park. It runs once per wake no matter how many
+	// sessions attach concurrently (they coalesce on the in-flight
+	// wake), with Options.WakeRetries retries before the attach spills
+	// to the next-ranked member.
+	Wake func() error
 }
 
 // Options tune a Pool. The zero value is usable: 1s probes, 3-failure
@@ -83,8 +93,38 @@ type Options struct {
 	// device-memory headroom is below it, as long as some live member
 	// still has headroom.
 	MinHeadroom uint64
+	// IdlePark, when positive, is how long a member must host zero
+	// sessions before ParkIdle (or the background parker) scales it to
+	// zero via its Park hook. Zero disables parking.
+	IdlePark time.Duration
+	// WakeDelay models the cold-start a parked member pays on
+	// wake-on-attach (instance boot, checkpoint restore). The first
+	// attacher sleeps it; concurrent attachers coalesce on the same
+	// wake and share the wait instead of stampeding N wakes.
+	WakeDelay time.Duration
+	// WakeRetries is how many times a failed Wake hook is retried
+	// (with backoff) before the attach gives up and spills to the
+	// next-ranked member (default 2).
+	WakeRetries int
+	// WakeBackoff is the base backoff between wake retries (default
+	// 10ms), doubled per retry with deterministic jitter.
+	WakeBackoff time.Duration
+	// NoMembersRetries bounds the in-dialer retry when a pick finds no
+	// live member at all (default 3). A momentary all-demoted pool —
+	// the prober flapping every member at once — heals within a few
+	// beats; failing the caller's session immediately turns that blip
+	// into an error the caller must handle. Retries are jittered so
+	// the sessions that hit the blip together do not re-pick together.
+	NoMembersRetries int
+	// NoMembersBackoff is the per-attempt backoff base for
+	// NoMembersRetries (default 25ms), scaled linearly per attempt
+	// with deterministic jitter.
+	NoMembersBackoff time.Duration
 	// Clock overrides the cooldown timebase (tests).
 	Clock func() time.Time
+	// Sleep overrides the wake/no-members backoff sleeps (tests);
+	// default time.Sleep.
+	Sleep func(time.Duration)
 	// Seed seeds the shed-cooldown jitter (default 1), making routing
 	// decisions reproducible for a given event order.
 	Seed uint64
@@ -103,8 +143,23 @@ func (o Options) withDefaults() Options {
 	if o.ShedCooldown <= 0 {
 		o.ShedCooldown = time.Second
 	}
+	if o.WakeRetries <= 0 {
+		o.WakeRetries = 2
+	}
+	if o.WakeBackoff <= 0 {
+		o.WakeBackoff = 10 * time.Millisecond
+	}
+	if o.NoMembersRetries <= 0 {
+		o.NoMembersRetries = 3
+	}
+	if o.NoMembersBackoff <= 0 {
+		o.NoMembersBackoff = 25 * time.Millisecond
+	}
 	if o.Clock == nil {
 		o.Clock = time.Now
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -118,6 +173,8 @@ func (o Options) withDefaults() Options {
 type MemberStatus struct {
 	Name     string
 	Down     bool
+	Parked   bool   // scaled to zero; next attach wakes it
+	Draining bool   // retiring: no new placements, sessions migrating off
 	Epoch    uint64 // last probed boot epoch; 0 = never probed
 	Sessions int    // sessions currently placed here
 	FreeMem  uint64 // quota-clamped headroom from the last probe
@@ -141,16 +198,26 @@ type PoolStats struct {
 	ProbeRounds  uint64
 	Transitions  uint64 // up<->down edges
 	Migrations   uint64 // completed planned migrations (Rebalance/MigrateTo)
+
+	Parks         uint64 // members scaled to zero after their idle deadline
+	ColdStarts    uint64 // successful wake-on-attach cold starts (one per wake)
+	WakeCoalesced uint64 // attachers that rode someone else's in-flight wake
+	WakeFailures  uint64 // wakes that exhausted their retries (attach spilled)
+	Retires       uint64 // members gracefully drained, migrated off, removed
+	NoMemberWaits uint64 // bounded in-dialer retries of an all-demoted pick
 }
 
 // member is the pool-internal mutable state behind one Member.
 type member struct {
 	Member
 	down      bool
-	fails     int // consecutive probe/dial failures
-	oks       int // consecutive probe successes while down
+	parked    bool // scaled to zero; wakeIfParked reverses on attach
+	draining  bool // retiring: pick skips it like down
+	fails     int  // consecutive probe/dial failures
+	oks       int  // consecutive probe successes while down
 	epoch     uint64
 	sessions  int
+	idleSince time.Time // when sessions last hit zero (or the member joined)
 	shedUntil time.Time
 	freeMem   uint64
 	totalMem  uint64
@@ -158,6 +225,18 @@ type member struct {
 	probes    uint64
 	probeFail uint64
 	restarts  uint64
+	// waking serializes park/wake transitions: while non-nil, a
+	// transition is in flight and concurrent attachers wait on it
+	// instead of starting their own.
+	waking *wakeOp
+}
+
+// wakeOp is one in-flight park or wake transition. err is written
+// before done is closed; waiters read it only after <-done.
+type wakeOp struct {
+	park bool
+	done chan struct{}
+	err  error
 }
 
 // A Pool is a routed set of cricket-server members. It is safe for
@@ -213,7 +292,7 @@ func (p *Pool) Add(m Member) error {
 	if _, dup := p.members[m.Name]; dup {
 		return fmt.Errorf("fleet: duplicate member %q", m.Name)
 	}
-	p.members[m.Name] = &member{Member: m}
+	p.members[m.Name] = &member{Member: m, idleSince: p.opts.Clock()}
 	return nil
 }
 
@@ -247,7 +326,8 @@ func (p *Pool) Members() []MemberStatus {
 	out := make([]MemberStatus, 0, len(p.members))
 	for _, m := range p.members {
 		out = append(out, MemberStatus{
-			Name: m.Name, Down: m.down, Epoch: m.epoch, Sessions: m.sessions,
+			Name: m.Name, Down: m.down, Parked: m.parked, Draining: m.draining,
+			Epoch: m.epoch, Sessions: m.sessions,
 			FreeMem: m.freeMem, TotalMem: m.totalMem, MemKnown: m.memKnown,
 			Probes: m.probes, ProbeFails: m.probeFail, Fails: m.fails,
 			Restarts: m.restarts, ShedUntil: m.shedUntil,
@@ -299,10 +379,10 @@ func (p *Pool) pick(key string, avoid map[string]bool) (*member, error) {
 		switch {
 		case m == nil:
 			delete(p.pinned, key) // pinned member left the pool
-		case !m.down && !avoid[pin]:
+		case !m.down && !m.draining && !avoid[pin]:
 			return m, nil
-			// down or avoided: keep the pin (it may come back) but fall
-			// through to the normal ranking for this pick.
+			// down, draining, or avoided: keep the pin (it may come
+			// back) but fall through to the normal ranking for this pick.
 		}
 	}
 	names := make([]string, 0, len(p.members))
@@ -315,7 +395,10 @@ func (p *Pool) pick(key string, avoid map[string]bool) (*member, error) {
 	var chosen *member // best-ranked live candidate passing the load gates
 	for _, n := range ranked {
 		m := p.members[n]
-		if m.down || avoid[n] {
+		// Draining members are excluded like down ones: retire stops
+		// admissions first. Parked members stay eligible — routing to
+		// one is exactly what triggers wake-on-attach.
+		if m.down || m.draining || avoid[n] {
 			continue
 		}
 		if first == nil {
@@ -360,6 +443,9 @@ func (p *Pool) placed(key, name string) {
 	if had {
 		if pm := p.members[prev]; pm != nil && pm.sessions > 0 {
 			pm.sessions--
+			if pm.sessions == 0 {
+				pm.idleSince = p.opts.Clock()
+			}
 		}
 		p.stats.Failovers++
 	}
@@ -416,6 +502,41 @@ func (p *Pool) failLocked(m *member) {
 	}
 }
 
+// suspect feeds one missed heartbeat period into the same down-edge
+// hysteresis probes and session dials use. The registry calls it each
+// renew period a member's lease goes unrenewed, so a flapping member
+// demotes out of the ranking (after DownAfter missed beats) well
+// before its lease actually expires and evicts it.
+func (p *Pool) suspect(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m := p.members[name]; m != nil {
+		p.failLocked(m)
+	}
+}
+
+// noteBeat folds a successful heartbeat renewal into the up-edge
+// hysteresis, exactly like a successful probe: UpAfter consecutive
+// beats bring a demoted member back.
+func (p *Pool) noteBeat(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := p.members[name]
+	if m == nil {
+		return
+	}
+	if m.down {
+		m.oks++
+		if m.oks >= p.opts.UpAfter {
+			m.down = false
+			m.fails, m.oks = 0, 0
+			p.stats.Transitions++
+		}
+	} else {
+		m.fails = 0
+	}
+}
+
 // release drops key's placement, pin, and session registration
 // (session closed, or never opened).
 func (p *Pool) release(key string) {
@@ -430,6 +551,9 @@ func (p *Pool) release(key string) {
 	delete(p.placements, key)
 	if m := p.members[name]; m != nil && m.sessions > 0 {
 		m.sessions--
+		if m.sessions == 0 {
+			m.idleSince = p.opts.Clock()
+		}
 	}
 }
 
@@ -473,6 +597,35 @@ type dialer struct {
 }
 
 func (d *dialer) DialEndpoint() (io.ReadWriteCloser, string, error) {
+	m, err := d.pickAvoiding()
+	// A pick that finds no live member at all is usually a blip — the
+	// prober demoting everything at once mid-flap — not a dead fleet.
+	// Retry a bounded, jittered few times before surfacing the error.
+	for attempt := 0; err == ErrNoMembers && attempt < d.p.opts.NoMembersRetries; attempt++ {
+		d.p.noMembersWait(attempt)
+		m, err = d.pickAvoiding()
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	// Wake-on-attach: a parked pick boots the member back up (or
+	// coalesces on a wake already in flight) before dialing. A wake
+	// that exhausts its retries reports like a failed dial, so the
+	// session's next attempt avoids this member and spills to the
+	// next rank.
+	if err := d.p.wakeIfParked(m); err != nil {
+		return nil, m.Name, err
+	}
+	conn, err := m.Dial()
+	if err != nil {
+		return nil, m.Name, err
+	}
+	return conn, m.Name, nil
+}
+
+// pickAvoiding is pick under the dialer's private avoid set, restarted
+// from the top of the ranking when the set has excluded everything.
+func (d *dialer) pickAvoiding() (*member, error) {
 	d.mu.Lock()
 	avoid := make(map[string]bool, len(d.avoid))
 	for n := range d.avoid {
@@ -489,14 +642,18 @@ func (d *dialer) DialEndpoint() (io.ReadWriteCloser, string, error) {
 		d.mu.Unlock()
 		m, err = d.p.pick(d.key, nil)
 	}
-	if err != nil {
-		return nil, "", err
-	}
-	conn, err := m.Dial()
-	if err != nil {
-		return nil, m.Name, err
-	}
-	return conn, m.Name, nil
+	return m, err
+}
+
+// noMembersWait sleeps one jittered no-members backoff step, scaled
+// linearly by attempt.
+func (p *Pool) noMembersWait(attempt int) {
+	base := p.opts.NoMembersBackoff * time.Duration(attempt+1)
+	p.mu.Lock()
+	jitter := time.Duration(p.rng.Int63n(int64(base)/2 + 1))
+	p.stats.NoMemberWaits++
+	p.mu.Unlock()
+	p.opts.Sleep(base + jitter)
 }
 
 // DialNamed opens a transport to one specific member, bypassing the
@@ -508,6 +665,11 @@ func (d *dialer) DialNamed(endpoint string) (io.ReadWriteCloser, error) {
 	d.p.mu.Unlock()
 	if m == nil {
 		return nil, fmt.Errorf("fleet: no member %q", endpoint)
+	}
+	// A migration aimed at a parked member wakes it first, same as an
+	// attach would.
+	if err := d.p.wakeIfParked(m); err != nil {
+		return nil, err
 	}
 	return m.Dial()
 }

@@ -1,0 +1,282 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Scale-to-zero. A fleet sized for peak is mostly idle capacity the
+// rest of the day; parking lets an idle member checkpoint its state
+// and release the instance while staying in the placement ranking.
+// The state machine per member:
+//
+//	up --(idle >= IdlePark)--> parking --(Park hook ok)--> parked
+//	parked --(first attach)--> waking --(Wake hook ok, + WakeDelay)--> up
+//
+// Exactly one transition runs at a time (member.waking); attachers
+// that arrive mid-wake coalesce on it instead of stampeding N wakes,
+// so only the first attacher starts the modeled cold-start and the
+// rest share its tail. A wake that exhausts WakeRetries fails the
+// attach like a dead dial — the session's avoid set spills it to the
+// next-ranked member, and the member stays parked for a later retry.
+
+// ErrNotIdle reports a Park of a member that is down, draining,
+// mid-transition, or still hosting sessions.
+var ErrNotIdle = errors.New("fleet: member is not idle")
+
+// Park scales the named member to zero: runs its Park hook (final
+// checkpoint, release the instance) and marks it parked. Only an
+// up, idle member parks; parking an already-parked member is a no-op.
+func (p *Pool) Park(name string) error {
+	p.mu.Lock()
+	m := p.members[name]
+	if m == nil {
+		p.mu.Unlock()
+		return fmt.Errorf("fleet: no member %q", name)
+	}
+	if m.parked {
+		p.mu.Unlock()
+		return nil
+	}
+	if m.down || m.draining || m.waking != nil || m.sessions > 0 {
+		p.mu.Unlock()
+		return ErrNotIdle
+	}
+	op := &wakeOp{park: true, done: make(chan struct{})}
+	m.waking = op // holds off wakes and concurrent parks
+	p.mu.Unlock()
+
+	var err error
+	if m.Park != nil {
+		err = m.Park() // final checkpoint runs outside the pool lock
+	}
+
+	p.mu.Lock()
+	m.waking = nil
+	if err == nil {
+		m.parked = true
+		p.stats.Parks++
+	}
+	p.mu.Unlock()
+	op.err = err
+	close(op.done)
+	return err
+}
+
+// ParkIdle parks every member that has been idle past Options.IdlePark
+// and returns the names parked, in order. No-op unless IdlePark is set.
+func (p *Pool) ParkIdle() []string {
+	if p.opts.IdlePark <= 0 {
+		return nil
+	}
+	now := p.opts.Clock()
+	p.mu.Lock()
+	var idle []string
+	for n, m := range p.members {
+		if m.down || m.draining || m.parked || m.waking != nil || m.sessions > 0 {
+			continue
+		}
+		if now.Sub(m.idleSince) >= p.opts.IdlePark {
+			idle = append(idle, n)
+		}
+	}
+	p.mu.Unlock()
+	sort.Strings(idle)
+	parked := idle[:0]
+	for _, n := range idle {
+		if p.Park(n) == nil {
+			parked = append(parked, n)
+		}
+	}
+	return parked
+}
+
+// StartParker runs ParkIdle on a ticker (default: a quarter of the
+// idle deadline) and returns its stop function. No-op stop unless
+// Options.IdlePark is set.
+func (p *Pool) StartParker(interval time.Duration) (stop func()) {
+	if p.opts.IdlePark <= 0 {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = p.opts.IdlePark / 4
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
+		}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				p.ParkIdle()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// wakeIfParked brings m back up before a dial reaches it. The first
+// caller runs the Wake hook (with retried backoff) and then sleeps the
+// modeled cold-start; concurrent callers coalesce on the in-flight
+// transition and share its remaining wait. Returns nil immediately
+// for a member that is not parked.
+func (p *Pool) wakeIfParked(m *member) error {
+	p.mu.Lock()
+	for m.waking != nil {
+		op := m.waking
+		if !op.park {
+			p.stats.WakeCoalesced++
+		}
+		p.mu.Unlock()
+		<-op.done
+		if !op.park && op.err != nil {
+			// Coalesced onto a wake that failed: every rider fails the
+			// same way the initiator did, and spills.
+			return op.err
+		}
+		// A finished park (or a successful wake someone else might have
+		// immediately re-parked) re-evaluates from the top.
+		p.mu.Lock()
+	}
+	if !m.parked {
+		p.mu.Unlock()
+		return nil
+	}
+	op := &wakeOp{done: make(chan struct{})}
+	m.waking = op
+	p.mu.Unlock()
+
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = nil
+		if m.Wake != nil {
+			err = m.Wake()
+		}
+		if err == nil || attempt >= p.opts.WakeRetries {
+			break
+		}
+		base := p.opts.WakeBackoff << uint(attempt)
+		p.opts.Sleep(base + p.jitter(base))
+	}
+	if err == nil && p.opts.WakeDelay > 0 {
+		// The modeled cold start: instance boot plus checkpoint
+		// restore. It runs inside the transition on purpose — the
+		// member is not usable until it elapses, so coalesced
+		// attachers wait it out too.
+		p.opts.Sleep(p.opts.WakeDelay)
+	}
+
+	p.mu.Lock()
+	m.waking = nil
+	if err == nil {
+		m.parked = false
+		p.stats.ColdStarts++
+	} else {
+		p.stats.WakeFailures++
+		p.failLocked(m)
+	}
+	p.mu.Unlock()
+	op.err = err
+	close(op.done)
+	return err
+}
+
+// jitter draws a deterministic jitter in [0, base/2] from the pool's
+// seeded stream.
+func (p *Pool) jitter(base time.Duration) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return time.Duration(p.rng.Int63n(int64(base)/2 + 1))
+}
+
+// RetireReport describes one graceful scale-down.
+type RetireReport struct {
+	Name   string
+	Moved  []string // session keys live-migrated off before removal
+	Failed []string // keys whose migration failed (they fail over on
+	// their next call instead — abort-to-source kept them on the
+	// retiring member until it actually goes away)
+}
+
+// Retire gracefully scales the named member down: stops new
+// admissions (draining members rank like down ones), live-migrates
+// every pool-owned session off to its next-ranked live member, then
+// removes the member from the pool. The inverse of admission — the
+// control plane runs it before a deregistering member shuts down, so
+// scale-down loses zero sessions by construction rather than by
+// failover.
+func (p *Pool) Retire(name string) (*RetireReport, error) {
+	p.mu.Lock()
+	m := p.members[name]
+	if m == nil {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("fleet: no member %q", name)
+	}
+	m.draining = true
+	keys := make([]string, 0, m.sessions)
+	for k, owner := range p.placements {
+		if owner != name {
+			continue
+		}
+		if _, ok := p.sessions[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	p.mu.Unlock()
+	sort.Strings(keys) // deterministic drain order
+
+	rep := &RetireReport{Name: name}
+	for _, key := range keys {
+		p.mu.Lock()
+		sess := p.sessions[key]
+		owner := p.placements[key]
+		p.mu.Unlock()
+		if sess == nil || owner != name {
+			continue // closed or already moved while we drained others
+		}
+		target := p.retireTarget(key, name)
+		if target == "" {
+			rep.Failed = append(rep.Failed, key)
+			continue
+		}
+		if _, err := sess.MigrateTo(target); err != nil {
+			rep.Failed = append(rep.Failed, key)
+			continue
+		}
+		rep.Moved = append(rep.Moved, key)
+	}
+
+	p.Remove(name)
+	p.mu.Lock()
+	p.stats.Retires++
+	p.mu.Unlock()
+	return rep, nil
+}
+
+// retireTarget picks the best-ranked live, non-draining, non-parked
+// member for key other than the one retiring, or "" when none exists.
+func (p *Pool) retireTarget(key, retiring string) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, 0, len(p.members))
+	for n := range p.members {
+		names = append(names, n)
+	}
+	for _, n := range Rank(key, names) {
+		m := p.members[n]
+		if n == retiring || m.down || m.draining || m.parked || m.waking != nil {
+			continue
+		}
+		return n
+	}
+	return ""
+}

@@ -52,6 +52,13 @@ func (p *Pool) probe(name string) bool {
 		p.mu.Unlock()
 		return true
 	}
+	if m.parked || m.draining || m.waking != nil {
+		// A parked member is intentionally unreachable — probing it
+		// would demote it and break wake-on-attach; a draining or
+		// mid-transition member is already leaving the ranking.
+		p.mu.Unlock()
+		return true
+	}
 	dial := m.Dial
 	m.probes++
 	p.mu.Unlock()

@@ -1,0 +1,306 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"cricket/internal/oncrpc"
+)
+
+// The registrar is the member side of discovery: cricket-server runs
+// one to announce itself to the registry and keep its lease renewed.
+// Renewals are deliberately jittered — a fleet whose members all
+// started together (a rolling restart, a rack power-on) would
+// otherwise renew in lockstep forever, turning every renew period
+// into a synchronized spike at the registry. Each beat draws its
+// interval from a seeded stream in [0.6, 1.0] of the recommended
+// period, so the herd decorrelates deterministically.
+
+// RegistrarOptions configure one member's registration loop.
+type RegistrarOptions struct {
+	// Name is the member identity to register (required).
+	Name string
+	// Addr is the address the fleet should dial to reach this member
+	// (required).
+	Addr string
+	// Epoch is this instance's boot epoch (cricket.Server.Epoch);
+	// required, it is what lets the registry tell a same-instance
+	// re-register from a usurper.
+	Epoch uint64
+	// TTL is the requested lease TTL (0: registry default).
+	TTL time.Duration
+	// Dial opens a fresh transport to the registry (required).
+	Dial func() (io.ReadWriteCloser, error)
+	// RedialBackoff is the pause before reconnecting to the registry
+	// after a transport error (default 250ms, jittered).
+	RedialBackoff time.Duration
+	// Seed seeds the renewal jitter (default 1).
+	Seed uint64
+	// Sleep overrides the loop's waits (tests); default time.Sleep.
+	Sleep func(time.Duration)
+	// Logf, when set, receives one line per state change.
+	Logf func(format string, args ...any)
+}
+
+// RegistrarStats count the registration loop's activity.
+type RegistrarStats struct {
+	Beats       uint64 // successful renewals
+	Misses      uint64 // renewals that failed (transport or in-band)
+	Reregisters uint64 // fresh registrations after a lost lease
+}
+
+// A Registrar keeps one member registered until stopped.
+type Registrar struct {
+	opts RegistrarOptions
+
+	mu      sync.Mutex
+	client  *FleetRegVersClient
+	lease   MemberLease
+	stats   RegistrarStats
+	stopped bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+	rng  *rand.Rand // guarded by mu
+}
+
+// ErrNameLeased is returned by StartRegistrar when the registry holds
+// a live lease on the name for a different instance. The caller can
+// retry after the old lease's TTL.
+var ErrNameLeased = errors.New("fleet: name held by an unexpired lease")
+
+// StartRegistrar registers the member synchronously — so the caller
+// knows it is admitted before serving — and starts the background
+// renewal loop. Stop deregisters gracefully.
+func StartRegistrar(opts RegistrarOptions) (*Registrar, error) {
+	if opts.Name == "" || opts.Addr == "" || opts.Epoch == 0 || opts.Dial == nil {
+		return nil, errors.New("fleet: registrar needs a name, addr, epoch, and dial function")
+	}
+	if opts.RedialBackoff <= 0 {
+		opts.RedialBackoff = 250 * time.Millisecond
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = time.Sleep
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	g := &Registrar{
+		opts: opts,
+		done: make(chan struct{}),
+		rng:  rand.New(rand.NewSource(int64(opts.Seed))),
+	}
+	if err := g.register(); err != nil {
+		g.closeClient()
+		return nil, err
+	}
+	g.wg.Add(1)
+	go g.loop()
+	return g, nil
+}
+
+// Stats returns the loop counters.
+func (g *Registrar) Stats() RegistrarStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// Lease returns the current lease grant.
+func (g *Registrar) Lease() MemberLease {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.lease
+}
+
+// Stop deregisters gracefully (the registry drains and migrates this
+// member's sessions before the call returns) and stops the loop.
+func (g *Registrar) Stop() error {
+	g.mu.Lock()
+	if g.stopped {
+		g.mu.Unlock()
+		return nil
+	}
+	g.stopped = true
+	lease := g.lease
+	g.mu.Unlock()
+	close(g.done)
+	g.wg.Wait()
+
+	var err error
+	if c := g.ensureClient(); c != nil {
+		if code, derr := c.SrvDeregister(lease.LeaseId); derr != nil {
+			err = derr
+		} else if code != RegOk {
+			err = fmt.Errorf("fleet: deregister: registry code %d", code)
+		}
+	} else {
+		err = errors.New("fleet: deregister: registry unreachable")
+	}
+	g.closeClient()
+	return err
+}
+
+// loop renews the lease on a jittered cadence until stopped, and
+// re-registers whenever the registry forgot the lease (it expired
+// during a partition) or the transport drops.
+func (g *Registrar) loop() {
+	defer g.wg.Done()
+	for {
+		select {
+		case <-g.done:
+			return
+		default:
+		}
+		g.opts.Sleep(g.renewInterval())
+		select {
+		case <-g.done:
+			return
+		default:
+		}
+		g.beat()
+	}
+}
+
+// beat performs one renewal, falling back to a fresh registration on
+// a lost lease and to a redial on a transport error.
+func (g *Registrar) beat() {
+	c := g.ensureClient()
+	if c == nil {
+		g.miss("registry unreachable")
+		g.opts.Sleep(g.redialBackoff())
+		return
+	}
+	g.mu.Lock()
+	id := g.lease.LeaseId
+	g.mu.Unlock()
+	res, err := c.SrvHeartbeat(id)
+	switch {
+	case err != nil:
+		// Transport error: drop the client, take a jittered breath,
+		// let the next beat redial.
+		g.miss(err.Error())
+		g.closeClient()
+		g.opts.Sleep(g.redialBackoff())
+	case res.Err == RegOk:
+		g.mu.Lock()
+		g.lease = res.Lease
+		g.stats.Beats++
+		g.mu.Unlock()
+	case res.Err == RegErrUnknownLease:
+		// The lease expired while we were away; ask for a new one.
+		g.miss("lease expired")
+		if err := g.register(); err == nil {
+			g.mu.Lock()
+			g.stats.Reregisters++
+			g.mu.Unlock()
+			g.opts.Logf("registrar %s: re-registered", g.opts.Name)
+		}
+	default:
+		g.miss(fmt.Sprintf("registry code %d", res.Err))
+	}
+}
+
+// register performs one synchronous registration on a fresh or
+// existing client.
+func (g *Registrar) register() error {
+	c := g.ensureClient()
+	if c == nil {
+		return errors.New("fleet: registry unreachable")
+	}
+	res, err := c.SrvRegister(RegisterArgs{
+		Name:  g.opts.Name,
+		Addr:  g.opts.Addr,
+		Epoch: g.opts.Epoch,
+		TtlMs: uint64(g.opts.TTL / time.Millisecond),
+	})
+	if err != nil {
+		g.closeClient()
+		return err
+	}
+	switch res.Err {
+	case RegOk:
+		g.mu.Lock()
+		g.lease = res.Lease
+		g.mu.Unlock()
+		return nil
+	case RegErrNameLeased:
+		return ErrNameLeased
+	default:
+		return fmt.Errorf("fleet: register: registry code %d", res.Err)
+	}
+}
+
+// ensureClient returns a connected registry client, dialing if needed;
+// nil when the dial fails.
+func (g *Registrar) ensureClient() *FleetRegVersClient {
+	g.mu.Lock()
+	c := g.client
+	g.mu.Unlock()
+	if c != nil {
+		return c
+	}
+	conn, err := g.opts.Dial()
+	if err != nil {
+		return nil
+	}
+	c = NewFleetRegVersClient(oncrpc.NewClient(conn, FleetRegProg, FleetRegVers))
+	g.mu.Lock()
+	g.client = c
+	g.mu.Unlock()
+	return c
+}
+
+func (g *Registrar) closeClient() {
+	g.mu.Lock()
+	c := g.client
+	g.client = nil
+	g.mu.Unlock()
+	if c != nil {
+		c.RPC.Close()
+	}
+}
+
+func (g *Registrar) miss(why string) {
+	g.mu.Lock()
+	g.stats.Misses++
+	g.mu.Unlock()
+	g.opts.Logf("registrar %s: missed beat: %s", g.opts.Name, why)
+}
+
+// renewInterval draws the next jittered renewal wait: uniform in
+// [0.6, 1.0] of the registry's recommended period, always early and
+// never synchronized. (Late jitter would eat into the demotion
+// margin; early-only jitter still decorrelates the herd.)
+func (g *Registrar) renewInterval() time.Duration {
+	g.mu.Lock()
+	hb := time.Duration(g.lease.HeartbeatMs) * time.Millisecond
+	if hb <= 0 {
+		hb = time.Second
+	}
+	f := 0.6 + 0.4*g.rng.Float64()
+	g.mu.Unlock()
+	return time.Duration(float64(hb) * f)
+}
+
+// NextRenew draws the next interval from the registrar's seeded
+// jitter stream — the same stream loop() consumes. Benches use it to
+// verify distinct registrars decorrelate; note it advances the stream.
+func (g *Registrar) NextRenew() time.Duration {
+	return g.renewInterval()
+}
+
+// redialBackoff draws a jittered redial pause in [base, 1.5*base].
+func (g *Registrar) redialBackoff() time.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	base := g.opts.RedialBackoff
+	return base + time.Duration(g.rng.Int63n(int64(base)/2+1))
+}

@@ -1,0 +1,435 @@
+package fleet
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced timebase for lease tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// testRegistry wires a registry over a pool whose members dial real
+// in-process servers, with a fake clock driving lease expiry.
+func testRegistry(t *testing.T, members map[string]*testMember, dialHook func(name string) error) (*Pool, *Registry, *fakeClock) {
+	t.Helper()
+	clock := newFakeClock()
+	p, err := New(Options{Seed: 1, DownAfter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry(p, RegistryOptions{
+		DefaultTTL: 100 * time.Millisecond,
+		MinTTL:     10 * time.Millisecond,
+		Clock:      clock.Now,
+		Dial: func(name, _ string) (io.ReadWriteCloser, error) {
+			if dialHook != nil {
+				if err := dialHook(name); err != nil {
+					return nil, err
+				}
+			}
+			m := members[name]
+			if m == nil {
+				return nil, errors.New("no such member")
+			}
+			return m.dial()
+		},
+	})
+	return p, r, clock
+}
+
+func register(t *testing.T, r *Registry, name string, epoch uint64, ttl time.Duration) RegisterResult {
+	t.Helper()
+	res, err := r.SrvRegister(RegisterArgs{
+		Name:  name,
+		Addr:  name,
+		Epoch: epoch,
+		TtlMs: uint64(ttl / time.Millisecond),
+	})
+	if err != nil {
+		t.Fatalf("SrvRegister(%s): %v", name, err)
+	}
+	return res
+}
+
+// Satellite: a re-register of an unexpired name by a different
+// instance must be rejected until the lease actually expires — the
+// name is not up for grabs just because its holder went quiet.
+func TestReRegisterRejectedUntilExpiry(t *testing.T) {
+	a := newTestMember(t, "a")
+	p, r, clock := testRegistry(t, map[string]*testMember{"a": a}, nil)
+
+	const ttl = 60 * time.Millisecond
+	res := register(t, r, "a", 1, ttl)
+	if res.Err != RegOk {
+		t.Fatalf("initial register: code %d, want RegOk", res.Err)
+	}
+	if len(p.Members()) != 1 {
+		t.Fatalf("pool has %d members after register, want 1", len(p.Members()))
+	}
+
+	// A usurper (different epoch) while the lease is live: rejected.
+	if res := register(t, r, "a", 2, ttl); res.Err != RegErrNameLeased {
+		t.Fatalf("usurper register: code %d, want RegErrNameLeased", res.Err)
+	}
+
+	// The same instance (same epoch) re-registering is a refresh, not
+	// a conflict — a partition heal must not lock the member out.
+	if res := register(t, r, "a", 1, ttl); res.Err != RegOk {
+		t.Fatalf("same-epoch re-register: code %d, want RegOk", res.Err)
+	}
+	if st := r.Stats(); st.Reregistered != 1 {
+		t.Fatalf("Reregistered = %d, want 1", st.Reregistered)
+	}
+
+	// Still rejected right up to expiry...
+	clock.Advance(ttl - time.Millisecond)
+	r.Sweep()
+	if res := register(t, r, "a", 2, ttl); res.Err != RegErrNameLeased {
+		t.Fatalf("usurper before expiry: code %d, want RegErrNameLeased", res.Err)
+	}
+
+	// ...and admitted once the lease lapses.
+	clock.Advance(2 * time.Millisecond)
+	if res := register(t, r, "a", 2, ttl); res.Err != RegOk {
+		t.Fatalf("register after expiry: code %d, want RegOk", res.Err)
+	}
+	st := r.Stats()
+	if st.Rejected != 2 || st.Expired != 1 || st.Registered != 2 {
+		t.Fatalf("stats = %+v, want Rejected=2 Expired=1 Registered=2", st)
+	}
+}
+
+// A lease that stops renewing demotes through the same hysteresis the
+// prober feeds — one suspect per missed renew period — before the
+// hard eviction at expiry.
+func TestMissedHeartbeatsDemoteBeforeEviction(t *testing.T) {
+	a := newTestMember(t, "a")
+	p, r, clock := testRegistry(t, map[string]*testMember{"a": a}, nil)
+
+	const ttl = 90 * time.Millisecond // renew period ttl/3 = 30ms
+	res := register(t, r, "a", 1, ttl)
+	if res.Err != RegOk {
+		t.Fatalf("register: code %d", res.Err)
+	}
+	if res.Lease.HeartbeatMs != 30 {
+		t.Fatalf("recommended heartbeat %dms, want 30", res.Lease.HeartbeatMs)
+	}
+
+	// Two missed renew periods: demoted (DownAfter=2) but NOT evicted.
+	clock.Advance(65 * time.Millisecond)
+	if n := r.Sweep(); n != 0 {
+		t.Fatalf("Sweep evicted %d members before TTL expiry", n)
+	}
+	ms := p.Members()
+	if len(ms) != 1 || !ms[0].Down {
+		t.Fatalf("after 2 missed beats: members=%+v, want one demoted member", ms)
+	}
+	if st := r.Stats(); st.Suspects != 2 {
+		t.Fatalf("Suspects = %d, want 2", st.Suspects)
+	}
+
+	// Past the TTL: evicted outright.
+	clock.Advance(30 * time.Millisecond)
+	if n := r.Sweep(); n != 1 {
+		t.Fatalf("Sweep evicted %d, want 1", n)
+	}
+	if len(p.Members()) != 0 {
+		t.Fatalf("member still in pool after lease expiry")
+	}
+
+	// A heartbeat on the dead lease reports it unknown; the member
+	// must re-register.
+	hb, err := r.SrvHeartbeat(res.Lease.LeaseId)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.Err != RegErrUnknownLease {
+		t.Fatalf("heartbeat on expired lease: code %d, want RegErrUnknownLease", hb.Err)
+	}
+}
+
+// Satellite: a member whose lease expires mid-Rebalance must abort
+// the migration back to the source cleanly — the session stays homed
+// and serving, nothing half-moves.
+func TestLeaseExpiryMidRebalanceAbortsToSource(t *testing.T) {
+	a := newTestMember(t, "a")
+	b := newTestMember(t, "b")
+	members := map[string]*testMember{"a": a, "b": b}
+
+	// When armed, any dial to b advances the clock past b's TTL and
+	// sweeps — the eviction lands exactly between Rebalance choosing b
+	// as the target and the migration reaching it.
+	var armed atomic.Bool
+	var pool *Pool
+	var reg *Registry
+	var clock *fakeClock
+	pool, reg, clock = testRegistry(t, members, func(name string) error {
+		if name == "b" && armed.Load() {
+			clock.Advance(200 * time.Millisecond)
+			reg.Sweep()
+			return errors.New("lease expired: instance gone")
+		}
+		return nil
+	})
+
+	// The source holds a long lease: the clock jump that expires b must
+	// not take a down with it.
+	if res := register(t, reg, "a", 1, 10*time.Second); res.Err != RegOk {
+		t.Fatalf("register a: code %d", res.Err)
+	}
+	if res := register(t, reg, "b", 2, 100*time.Millisecond); res.Err != RegOk {
+		t.Fatalf("register b: code %d", res.Err)
+	}
+
+	// Two sessions on a, none on b: spread 2, so Rebalance moves one.
+	keys := keysHomedOn(pool, "a", 2)
+	var sessions []*Session
+	for _, k := range keys {
+		s, err := pool.Session(k, fastSessionOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if _, err := s.Malloc(256); err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, s)
+	}
+
+	armed.Store(true)
+	if _, err := pool.Rebalance(); err == nil {
+		t.Fatal("Rebalance succeeded onto a member whose lease expired mid-migration")
+	}
+	armed.Store(false)
+
+	// The target is gone, the source kept everything: placements still
+	// on a, no pin left dangling, and both sessions keep serving.
+	if len(pool.Members()) != 1 || pool.Members()[0].Name != "a" {
+		t.Fatalf("members after aborted rebalance: %+v, want [a]", pool.Members())
+	}
+	for _, k := range keys {
+		if name, _ := pool.Placement(k); name != "a" {
+			t.Fatalf("placement[%s] = %q after abort, want a", k, name)
+		}
+	}
+	for i, s := range sessions {
+		if _, err := s.Malloc(64); err != nil {
+			t.Fatalf("session %d dead after aborted rebalance: %v", i, err)
+		}
+		if name, _ := pool.Placement(keys[i]); name != "a" {
+			t.Fatalf("session %d re-placed on %q, want a", i, name)
+		}
+	}
+	if st := pool.Stats(); st.Migrations != 0 {
+		t.Fatalf("Migrations = %d after aborted rebalance, want 0", st.Migrations)
+	}
+}
+
+// Concurrent attaches to a parked member must coalesce on a single
+// wake: one Wake-hook call, one cold start, everyone else rides it.
+func TestWakeOnAttachCoalesces(t *testing.T) {
+	a := newTestMember(t, "a")
+	var wakes atomic.Int32
+	m := a.member()
+	m.Park = func() error { return nil }
+	m.Wake = func() error {
+		wakes.Add(1)
+		time.Sleep(20 * time.Millisecond) // modeled cold start: long enough to overlap
+		return nil
+	}
+	p, err := New(Options{Seed: 1, IdlePark: time.Nanosecond}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parked := p.ParkIdle(); len(parked) != 1 {
+		t.Fatalf("ParkIdle parked %v, want [a]", parked)
+	}
+
+	const attachers = 4
+	var wg sync.WaitGroup
+	errs := make([]error, attachers)
+	for i := 0; i < attachers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d := p.Dialer("key")
+			conn, _, err := d.DialEndpoint()
+			if err == nil {
+				conn.Close()
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("attacher %d: %v", i, err)
+		}
+	}
+	if got := wakes.Load(); got != 1 {
+		t.Fatalf("Wake hook called %d times for %d concurrent attachers, want 1", got, attachers)
+	}
+	st := p.Stats()
+	if st.ColdStarts != 1 {
+		t.Fatalf("ColdStarts = %d, want 1", st.ColdStarts)
+	}
+	if st.WakeCoalesced == 0 {
+		t.Fatal("no attacher coalesced on the in-flight wake")
+	}
+}
+
+// A wake that keeps failing exhausts its retries, demotes the member,
+// and the attach spills to the next-ranked member.
+func TestWakeFailureSpillsToNextRank(t *testing.T) {
+	a := newTestMember(t, "a")
+	b := newTestMember(t, "b")
+	ma, mb := a.member(), b.member()
+	ma.Park = func() error { return nil }
+	ma.Wake = func() error { return errors.New("instance pool empty") }
+	mb.Park = func() error { return nil }
+	mb.Wake = func() error { return nil }
+	p, err := New(Options{
+		Seed:        1,
+		IdlePark:    time.Nanosecond,
+		WakeRetries: 1,
+		WakeBackoff: time.Microsecond,
+		Sleep:       func(time.Duration) {},
+	}, ma, mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parked := p.ParkIdle(); len(parked) != 2 {
+		t.Fatalf("ParkIdle parked %v, want both", parked)
+	}
+
+	// Drive the dialer the way a session does: a failed attempt is
+	// reported through Result, and the next DialEndpoint spills.
+	key := keysHomedOn(p, "a", 1)[0]
+	d := p.Dialer(key)
+	conn, endpoint, err := d.DialEndpoint()
+	if err == nil {
+		t.Fatalf("first attach landed on %q, want wake failure on a", endpoint)
+	}
+	d.Result(endpoint, err)
+	conn, endpoint, err = d.DialEndpoint()
+	if err != nil {
+		t.Fatalf("spill attach: %v", err)
+	}
+	conn.Close()
+	if endpoint != "b" {
+		t.Fatalf("attach landed on %q, want spill to b", endpoint)
+	}
+	st := p.Stats()
+	if st.WakeFailures != 1 {
+		t.Fatalf("WakeFailures = %d, want 1", st.WakeFailures)
+	}
+	if st.ColdStarts != 1 {
+		t.Fatalf("ColdStarts = %d, want 1 (b woke)", st.ColdStarts)
+	}
+}
+
+// Satellite: an empty pool retries with seeded jittered backoff before
+// surfacing ErrNoMembers — and succeeds if a member registers during
+// the window.
+func TestNoMembersRetryAdmitsLateJoiner(t *testing.T) {
+	a := newTestMember(t, "a")
+	var p *Pool
+	var waits atomic.Int32
+	p, err := New(Options{
+		Seed:             1,
+		NoMembersRetries: 3,
+		NoMembersBackoff: time.Microsecond,
+		Sleep: func(time.Duration) {
+			// The member appears while the dialer is backing off.
+			if waits.Add(1) == 1 {
+				if err := p.Add(a.member()); err != nil {
+					t.Errorf("late Add: %v", err)
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, endpoint, err := p.Dialer("key").DialEndpoint()
+	if err != nil {
+		t.Fatalf("DialEndpoint with late joiner: %v", err)
+	}
+	conn.Close()
+	if endpoint != "a" {
+		t.Fatalf("landed on %q, want a", endpoint)
+	}
+	if p.Stats().NoMemberWaits == 0 {
+		t.Fatal("no ErrNoMembers backoff was recorded")
+	}
+
+	// And with nobody ever joining, the error surfaces after the
+	// bounded retries rather than hanging.
+	empty, err := New(Options{NoMembersRetries: 2, NoMembersBackoff: time.Microsecond, Sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := empty.Dialer("key").DialEndpoint(); !errors.Is(err, ErrNoMembers) {
+		t.Fatalf("empty pool: %v, want ErrNoMembers", err)
+	}
+}
+
+// Satellite: registrar renew intervals are jittered — deterministic
+// per seed, divergent across seeds, and always within [0.6, 1.0] of
+// the recommended period so renewals stay early.
+func TestRegistrarRenewJitter(t *testing.T) {
+	mk := func(seed uint64) *Registrar {
+		return &Registrar{
+			rng:   rand.New(rand.NewSource(int64(seed))),
+			lease: MemberLease{HeartbeatMs: 50},
+		}
+	}
+	draw := func(g *Registrar, n int) []time.Duration {
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = g.NextRenew()
+		}
+		return out
+	}
+	const hb = 50 * time.Millisecond
+	a1, a2, b := draw(mk(7), 16), draw(mk(7), 16), draw(mk(8), 16)
+	diverged := false
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, a1[i], a2[i])
+		}
+		if a1[i] < 6*hb/10 || a1[i] > hb {
+			t.Fatalf("draw %d = %v outside [0.6, 1.0] x %v", i, a1[i], hb)
+		}
+		if a1[i] != b[i] {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 7 and 8 drew identical renew streams")
+	}
+}

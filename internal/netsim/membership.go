@@ -1,0 +1,158 @@
+package netsim
+
+import "math/rand"
+
+// This file scripts fleet membership chaos: the sequence and timing of
+// join/partition/heal/park/wake transitions an elastic-fleet test
+// drives while a session storm runs. Like the churn plans, one seed
+// fully determines the schedule — the same seed fires the same
+// transitions at the same workload steps with the same injected wake
+// failures, so a chaos run that trips an invariant replays exactly.
+//
+// The plan guarantees every required transition appears exactly once
+// and in a causally sensible order (a partition heals after it opens,
+// the wake storm follows the park); the seed only jitters *when*
+// within each transition's window and *how hard* the wake path is hit.
+
+// MembershipOp enumerates the scripted membership transitions.
+type MembershipOp int
+
+// Membership transitions, in their guaranteed firing order.
+const (
+	// OpJoin registers a brand-new member while the storm is running:
+	// admission mid-traffic, with HRW resharding a minimal slice of
+	// keys onto the joiner.
+	OpJoin MembershipOp = iota
+	// OpPartition opens an asymmetric partition between the registry
+	// and one member: its heartbeats stop (so it demotes, then its
+	// lease expires and it is evicted) while the member itself keeps
+	// serving the sessions already attached to it.
+	OpPartition
+	// OpHeal closes the partition; the member re-registers and is
+	// re-admitted under a fresh lease.
+	OpHeal
+	// OpPark fires after the storm drains: the idle deadline passes
+	// and the designated member scales to zero with a final
+	// checkpoint.
+	OpPark
+	// OpWakeStorm aims concurrent attachers at the parked member; they
+	// must coalesce on a single wake (one cold start) even with
+	// WakeFails injected wake failures before the wake sticks.
+	OpWakeStorm
+)
+
+func (op MembershipOp) String() string {
+	switch op {
+	case OpJoin:
+		return "join"
+	case OpPartition:
+		return "partition"
+	case OpHeal:
+		return "heal"
+	case OpPark:
+		return "park"
+	case OpWakeStorm:
+		return "wake-storm"
+	}
+	return "unknown"
+}
+
+// A MembershipEvent is one scheduled transition. Step is the global
+// workload call count at which the harness fires it; events are
+// returned sorted by Step with the storm-phase events strictly
+// ordered OpJoin < OpPartition < OpHeal and the post-storm events
+// (Step == Steps) last.
+type MembershipEvent struct {
+	Op     MembershipOp
+	Step   int // fire when the storm's global call counter reaches this
+	Target int // index of the member the transition acts on
+	// WakeFails is how many consecutive Wake-hook failures OpWakeStorm
+	// injects before the wake succeeds. The plan bounds it by
+	// MaxWakeFails so a seeded run can always recover within the
+	// fleet's retry budget.
+	WakeFails int
+}
+
+// A MembershipPlan deterministically expands a seed into a membership
+// chaos schedule spanning a storm of Steps workload calls.
+type MembershipPlan struct {
+	// Seed fully determines the schedule (default 1).
+	Seed int64
+	// Steps is the storm length in global workload calls the schedule
+	// spans; storm-phase events fire inside (0, Steps), post-storm
+	// events at exactly Steps.
+	Steps int
+	// Members is how many members exist before the join (the joiner
+	// gets index Members). Partition and park targets are drawn from
+	// the initial members.
+	Members int
+	// MaxWakeFails bounds the injected wake failures; set it to the
+	// fleet's WakeRetries so the scripted wake always succeeds within
+	// the retry budget (a run proving wake *exhaustion* can exceed it
+	// deliberately).
+	MaxWakeFails int
+}
+
+// window picks a jittered step inside [lo, hi) fractions of the storm.
+func window(rng *rand.Rand, steps int, lo, hi float64) int {
+	span := hi - lo
+	s := int(float64(steps) * (lo + span*rng.Float64()))
+	if s < 1 {
+		s = 1
+	}
+	if s >= steps {
+		s = steps - 1
+	}
+	return s
+}
+
+// Events expands the plan. The schedule always contains exactly one of
+// each transition: join in the storm's first half, partition after it,
+// heal after that, then park and wake-storm once the storm drains.
+func (p *MembershipPlan) Events() []MembershipEvent {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	steps := p.Steps
+	if steps < 8 {
+		steps = 8
+	}
+	members := p.Members
+	if members < 1 {
+		members = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// The partition victim and the park target are different members
+	// when the fleet allows it: the victim's eviction and re-admission
+	// should not be entangled with the park/wake cycle under test.
+	victim := rng.Intn(members)
+	park := victim
+	if members > 1 {
+		park = (victim + 1 + rng.Intn(members-1)) % members
+	}
+	wakeFails := 0
+	if p.MaxWakeFails > 0 {
+		wakeFails = rng.Intn(p.MaxWakeFails + 1)
+	}
+
+	join := window(rng, steps, 0.15, 0.35)
+	part := window(rng, steps, 0.40, 0.55)
+	heal := window(rng, steps, 0.65, 0.85)
+	// Windows overlap only if jitter collapses them; enforce strict
+	// order so heal never precedes its partition.
+	if part <= join {
+		part = join + 1
+	}
+	if heal <= part {
+		heal = part + 1
+	}
+	return []MembershipEvent{
+		{Op: OpJoin, Step: join, Target: members},
+		{Op: OpPartition, Step: part, Target: victim},
+		{Op: OpHeal, Step: heal, Target: victim},
+		{Op: OpPark, Step: steps, Target: park},
+		{Op: OpWakeStorm, Step: steps, Target: park, WakeFails: wakeFails},
+	}
+}
