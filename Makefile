@@ -39,9 +39,18 @@ race:
 # graceful retire, scale-to-zero park, and a coalesced wake-on-attach
 # storm — gating zero lost sessions, bit-identical digests, exactly
 # one cold start per wake storm, and cold attach dearer than warm.
+# The datacenter smoke plays a seeded diurnal inference trace against
+# an elastic serving fleet — park at the trough, wake-on-attach at the
+# ramp, batch-class shed at the peak — gating zero lost requests,
+# token digests bit-identical to a static single-server run, at least
+# one park and one cold start, a bounded shed rate with the latency
+# class shed no more than batch, and the latency-class p99 TTFT inside
+# its budget; the serve race leg doubles down on the scheduler that
+# run exercises.
 ci: build vet race
 	$(GO) test -race -count=2 ./internal/tune ./internal/cricket
 	$(GO) test -race ./internal/fleet ./internal/cricket
+	$(GO) test -race ./internal/serve
 	$(GO) run ./cmd/benchharness -ablation-batch -smoke
 	$(GO) run ./cmd/benchharness -churn-smoke -ci
 	$(GO) run ./cmd/benchharness -fleet-smoke -ci
@@ -49,6 +58,7 @@ ci: build vet race
 	$(GO) run ./cmd/benchharness -elastic-smoke -ci
 	$(GO) run ./cmd/benchharness -transport-smoke -ci
 	$(GO) run ./cmd/benchharness -adaptive-smoke -ci
+	$(GO) run ./cmd/benchharness -datacenter-smoke -ci
 
 bench:
 	$(GO) run ./cmd/benchharness -all -ci
@@ -58,6 +68,7 @@ bench:
 	$(GO) run ./cmd/benchharness -elastic-smoke -ci -elastic-json BENCH_elastic.json
 	$(GO) run ./cmd/benchharness -transport-smoke -ci -transport-json BENCH_transport.json
 	$(GO) run ./cmd/benchharness -adaptive-smoke -adaptive-json BENCH_adaptive.json
+	$(GO) run ./cmd/benchharness -datacenter-smoke -datacenter-json BENCH_datacenter.json
 
 generate:
 	$(GO) run ./cmd/rpcgen -pkg cricket -o internal/cricket/gen_cricket.go internal/cricket/cricket.x

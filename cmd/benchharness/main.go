@@ -58,6 +58,10 @@ func main() {
 	smoke := flag.Bool("smoke", false, "with -ablation-batch: tiny sweep, assert Hermit batch>=32 beats unbatched 2x")
 	batchJSON := flag.String("batch-json", "", "with -ablation-batch: also write points as JSON to this file")
 	latencyJSON := flag.String("latency-json", "", "run the observability latency profile and write per-procedure p50/p99 as JSON to this file")
+	dcSmoke := flag.Bool("datacenter-smoke", false, "datacenter day: seeded diurnal inference trace against an elastic fleet (park at the trough, wake at the ramp, shed at the peak); exit 1 on lost requests, digest drift vs the static run, a missed park/wake, or a blown TTFT budget")
+	dcUsers := flag.Int("datacenter-users", 1_000_000, "with -datacenter-smoke: simulated user population the trace is scaled from")
+	dcSeed := flag.Int64("datacenter-seed", 1, "with -datacenter-smoke: master seed for the trace, the weights, and every fleet jitter stream")
+	dcJSON := flag.String("datacenter-json", "", "with -datacenter-smoke: also write the DatacenterResult as JSON to this file")
 	flag.Parse()
 
 	scale := bench.ScalePaper
@@ -443,6 +447,48 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("migrate-smoke ok: zero lost sessions, digests bit-identical, delta <=50% of full, pause bounded, abort clean")
+	})
+	section(*dcSmoke, func() {
+		users := *dcUsers
+		if *ci {
+			users = 600_000
+		}
+		start := time.Now()
+		r, err := bench.Datacenter(users, *dcSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchharness: datacenter-smoke: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Datacenter day: %d simulated users -> %d requests across %d members, seed %d\n",
+			r.Users, r.Requests, r.Members, r.Seed)
+		fmt.Printf("  completed=%d shed(latency)=%d shed(batch)=%d expired=%d lost=%d mismatches=%d\n",
+			r.Completed, r.ShedLatency, r.ShedBatch, r.Expired, r.Lost, r.Mismatches)
+		fmt.Printf("  parks=%d cold-starts=%d shed-rate=%.1f%% launches=%d redos=%d\n",
+			r.Parks, r.ColdStarts, r.ShedRate*100, r.Launches, r.Redos)
+		fmt.Printf("  latency class: p99 TTFT %.2f ms (budget %.0f ms), p99 per-token %.2f ms\n",
+			r.TTFTp99MS, r.TTFTBudgetMS, r.PTokP99MS)
+		for _, ph := range r.Phases {
+			fmt.Printf("  %-9s submitted=%-3d shed=%-3d window-completions=%-3d p99 TTFT %.2f ms, p99 per-token %.2f ms\n",
+				ph.Name, ph.Submitted, ph.Shed, ph.Completed, ph.TTFTp99MS, ph.PTokP99MS)
+		}
+		fmt.Printf("  [generated in %v wall time]\n\n", time.Since(start).Round(time.Millisecond))
+		if *dcJSON != "" {
+			data, err := json.MarshalIndent(r, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*dcJSON, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchharness: write %s: %v\n", *dcJSON, err)
+				os.Exit(1)
+			}
+		}
+		if v := r.Violations(); len(v) != 0 {
+			for _, msg := range v {
+				fmt.Fprintf(os.Stderr, "benchharness: datacenter-smoke: VIOLATION: %s\n", msg)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("datacenter-smoke ok: zero lost requests, digests bit-identical to the static run, fleet parked and cold-started on cue, batch class shed first, latency TTFT in budget")
 	})
 
 	if !ran {

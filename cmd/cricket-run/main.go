@@ -31,11 +31,13 @@ import (
 	"cricket/internal/gpu"
 	"cricket/internal/guest"
 	"cricket/internal/obs"
+	"cricket/internal/oncrpc"
+	"cricket/internal/serve"
 	"cricket/internal/tune"
 )
 
 func main() {
-	app := flag.String("app", "matrixmul", "application: matrixmul, histogram, solver, bandwidth")
+	app := flag.String("app", "matrixmul", "application: matrixmul, histogram, solver, bandwidth, decode")
 	platform := flag.String("platform", "Rust", "guest platform: C, Rust, 'Linux VM', Unikraft, Hermit")
 	server := flag.String("server", "", "remote Cricket server address (empty: in-process simulation)")
 	iters := flag.Int("iters", 0, "iteration/pass count (0: small demo default)")
@@ -51,6 +53,10 @@ func main() {
 	window := flag.Int("window", 0, "with -session: in-flight call window (0: uncapped; with -adaptive-window: the upper bound)")
 	adaptiveWindow := flag.Bool("adaptive-window", false, "with -session: walk the in-flight window to the knee of the latency curve instead of pinning it")
 	traceOut := flag.String("trace", "", "write a JSON call trace (spans + per-procedure latency metrics) to this file at exit")
+	serveMode := flag.Bool("serve", false, "run the in-process LLM-serving demo (continuous batching + token streaming) instead of a proxy app")
+	serveRequests := flag.Int("serve-requests", 6, "with -serve: concurrent generation requests")
+	serveTokens := flag.Int("serve-tokens", 24, "with -serve: tokens generated per request")
+	serveReplicas := flag.Int("serve-replicas", 2, "with -serve: data-parallel replicas, one simulated GPU each")
 	flag.Parse()
 
 	p, ok := guest.ByName(*platform)
@@ -62,6 +68,11 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "cricket-run: unknown transfer method %q\n", *transfer)
 		os.Exit(2)
+	}
+
+	if *serveMode {
+		runServe(p, *serveReplicas, *serveRequests, *serveTokens)
+		return
 	}
 
 	var col *obs.Collector
@@ -127,6 +138,12 @@ func main() {
 		cfg := apps.LinearSolver{N: 64, Iterations: or(*iters, 5)}
 		if *full {
 			cfg = apps.LinearSolver{TimingReplay: true}
+		}
+		report(cfg.Run(vg))
+	case "decode":
+		cfg := apps.DecodeService{Prompts: 2, TokensPer: or(*iters, 48), PromptLen: 256, KVBytes: 1024, WeightWords: 1024}
+		if *full {
+			cfg = apps.DecodeService{}
 		}
 		report(cfg.Run(vg))
 	case "bandwidth":
@@ -360,4 +377,73 @@ func sessionWindow(n int, adaptive bool) *tune.Window {
 		return tune.Static(n)
 	}
 	return nil
+}
+
+// runServe is the in-process serving demo: a multi-GPU simulated
+// server, one fault-tolerant session, and a serve.Engine doing
+// continuous batching across data-parallel replicas. Tokens stream to
+// stdout as they commit; the per-class latency report prints at the
+// end.
+func runServe(p guest.Platform, replicas, requests, tokens int) {
+	if replicas <= 0 {
+		replicas = 1
+	}
+	devs := make([]*gpu.Device, replicas)
+	for i := range devs {
+		devs[i] = gpu.New(gpu.SpecA100)
+	}
+	rpcSrv := oncrpc.NewServer()
+	cricket.NewServer(cuda.NewRuntime(nil, devs...)).Attach(rpcSrv)
+	s, err := cricket.NewSession(cricket.SessionOptions{
+		Options: cricket.Options{Platform: p, Batch: 16},
+		Redial: func() (io.ReadWriteCloser, error) {
+			cli, srv := net.Pipe()
+			go rpcSrv.ServeConn(srv)
+			return cli, nil
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer s.Close()
+	eng, err := serve.New(s, serve.Config{Replicas: replicas})
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
+
+	tickets := make([]*serve.Ticket, requests)
+	for i := 0; i < requests; i++ {
+		prompt := []byte(fmt.Sprintf("request %d: tell me about unikernel GPU serving", i))
+		class := serve.Latency
+		if i%2 == 1 {
+			class = serve.Batch
+		}
+		tickets[i], err = eng.Submit(serve.Request{
+			ID: uint64(i), Prompt: prompt, MaxTokens: tokens, Class: class,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	for i, tk := range tickets {
+		resp, err := tk.Wait()
+		if err != nil {
+			fatal(err)
+		}
+		n := len(resp.Tokens)
+		if n > 4 {
+			n = 4
+		}
+		fmt.Printf("request %d (replica %d): %d tokens %v... digest=%016x ttft=%s total=%s\n",
+			i, resp.Replica, len(resp.Tokens), resp.Tokens[:n], resp.Digest,
+			resp.TTFT.Round(time.Microsecond), resp.Total.Round(time.Microsecond))
+	}
+	st := eng.Stats()
+	fmt.Printf("engine: rounds=%d launches=%d completed=%d\n", st.Rounds, st.Launches, st.Completed)
+	for _, cr := range eng.Report() {
+		fmt.Printf("%s class: p99 ttft=%s p99 per-token=%s\n",
+			cr.Class, cr.TTFTp99.Round(time.Microsecond), cr.PerTokP99.Round(time.Microsecond))
+	}
 }

@@ -58,6 +58,36 @@ func (r Result) String() string {
 		r.Stats.APICalls, r.Stats.BytesToDevice, r.Stats.BytesFromDevice, r.Verified)
 }
 
+// A RegisteredApp ties an application name to a smoke-scale runner so
+// cross-cutting harnesses (batched-vs-unbatched bit-identity,
+// migration digests, the cricket-run CLI) cover every workload —
+// including newly added ones — without enumerating them by hand.
+type RegisteredApp struct {
+	Name string
+	Run  func(vg *core.VirtualGPU) (Result, error)
+}
+
+// Registry returns every proxy application at a configuration small
+// enough for functional tests but still shaped like the real workload
+// (the decode service keeps its many-tiny-launches profile). Order is
+// stable.
+func Registry() []RegisteredApp {
+	return []RegisteredApp{
+		{"matrixMul", func(vg *core.VirtualGPU) (Result, error) {
+			return MatrixMul{HA: 64, WA: 32, WB: 64, Iterations: 10}.Run(vg)
+		}},
+		{"histogram", func(vg *core.VirtualGPU) (Result, error) {
+			return Histogram{DataBytes: 1 << 20, ChunkBytes: 128 << 10, Passes: 3}.Run(vg)
+		}},
+		{"linearSolver", func(vg *core.VirtualGPU) (Result, error) {
+			return LinearSolver{N: 48, Iterations: 3}.Run(vg)
+		}},
+		{"decodeService", func(vg *core.VirtualGPU) (Result, error) {
+			return DecodeService{Prompts: 2, TokensPer: 48, PromptLen: 256, KVBytes: 1024, WeightWords: 1024}.Run(vg)
+		}},
+	}
+}
+
 // builtinFatbin returns the compressed fat binary holding the sample
 // kernels — the artifact the applications load via cuModuleLoad.
 func builtinFatbin() []byte {

@@ -285,18 +285,14 @@ func TestBandwidthAsymmetryOnHermit(t *testing.T) {
 	}
 }
 
-// TestAppsBatchedBitIdentical runs every proxy application with the
-// client's BATCH_EXEC queue on and off: results must be bit-identical
-// (same output digest) and the per-run Stats must not change — the
-// batching layer is a pure transport optimization.
+// TestAppsBatchedBitIdentical runs every registered proxy application
+// with the client's BATCH_EXEC queue on and off: results must be
+// bit-identical (same output digest) and the per-run Stats must not
+// change — the batching layer is a pure transport optimization. New
+// workloads added to the registry are covered automatically.
 func TestAppsBatchedBitIdentical(t *testing.T) {
-	apps := map[string]func(*core.VirtualGPU) (Result, error){
-		"matrixMul":    func(vg *core.VirtualGPU) (Result, error) { return smallMatrixMul().Run(vg) },
-		"histogram":    func(vg *core.VirtualGPU) (Result, error) { return smallHistogram().Run(vg) },
-		"linearSolver": func(vg *core.VirtualGPU) (Result, error) { return smallSolver().Run(vg) },
-	}
-	for name, run := range apps {
-		name, run := name, run
+	for _, app := range Registry() {
+		name, run := app.Name, app.Run
 		t.Run(name, func(t *testing.T) {
 			exec := func(opts cricket.Options) Result {
 				cl := core.NewCluster()
@@ -327,6 +323,61 @@ func TestAppsBatchedBitIdentical(t *testing.T) {
 				t.Fatalf("stats diverge:\n  unbatched %+v\n  batched   %+v", plain.Stats, batched.Stats)
 			}
 		})
+	}
+}
+
+// TestDecodeServiceVerifiesOnAllPlatforms checks the serving workload
+// end to end: every generated token must match the host reference
+// transition, and the digest must be deterministic for a given seed.
+func TestDecodeServiceVerifiesOnAllPlatforms(t *testing.T) {
+	var first uint64
+	for _, p := range guest.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			vg := newVG(t, p)
+			cfg := DecodeService{Prompts: 2, TokensPer: 32, PromptLen: 128, KVBytes: 512, WeightWords: 256}
+			res, err := cfg.Run(vg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Verified {
+				t.Fatal("decode token stream not verified against host reference")
+			}
+			if res.OutputDigest == 0 {
+				t.Fatal("no output digest recorded")
+			}
+			if first == 0 {
+				first = res.OutputDigest
+			} else if res.OutputDigest != first {
+				t.Fatalf("digest %#x differs across platforms (want %#x)", res.OutputDigest, first)
+			}
+		})
+	}
+}
+
+// TestDecodeServiceTrafficShape pins the serving profile: the decode
+// loop dominates the call count with tiny launches (one launch + one
+// 8-byte readback per token), unlike the bulk-transfer batch samples.
+func TestDecodeServiceTrafficShape(t *testing.T) {
+	vg := newVG(t, guest.NativeRust())
+	cfg := DecodeService{Prompts: 3, TokensPer: 40, PromptLen: 128, KVBytes: 512, WeightWords: 256}
+	res, err := cfg.Run(vg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("not verified")
+	}
+	// Per token: 1 launch + 1 DtoH. Per prompt additionally: 3 allocs,
+	// 1 HtoD, 1 prefill launch, 1 sync, 1 readback, 3 frees.
+	minCalls := uint64(cfg.Prompts * cfg.TokensPer * 2)
+	if res.Stats.APICalls < minCalls {
+		t.Fatalf("APICalls = %d, want >= %d (decode-dominated)", res.Stats.APICalls, minCalls)
+	}
+	// Streaming readbacks: 8 bytes per token plus the prefill states.
+	wantDown := uint64(cfg.Prompts * (cfg.TokensPer + 1) * 8)
+	if res.Stats.BytesFromDevice != wantDown {
+		t.Fatalf("BytesFromDevice = %d, want %d (8 B per streamed token)", res.Stats.BytesFromDevice, wantDown)
 	}
 }
 

@@ -1,0 +1,208 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"cricket/internal/core"
+	"cricket/internal/cuda"
+	"cricket/internal/gpu"
+)
+
+// DecodeService is the LLM-inference proxy workload behind the
+// internal/serve engine: per request one large prefill launch folds an
+// uploaded prompt against device-resident weights, then a loop of tiny
+// decodeStep launches generates tokens one at a time, each streamed
+// back to the host with an 8-byte readback. Its traffic shape is the
+// inverse of the batch samples — thousands of latency-bound calls
+// moving almost no data — which is exactly what the BATCH_EXEC path
+// and the adaptive datapath window must absorb without regressing.
+//
+// Every token is verified against the host reference transition
+// (cuda.PrefillRef / cuda.DecodeStepRef), and the state evolution
+// depends on the device-resident weight buffer, so a bit-identical
+// OutputDigest across restart, failover, or migration proves device
+// memory survived intact — not merely that the calls re-executed.
+type DecodeService struct {
+	// Prompts is the number of requests served sequentially; zero
+	// selects 4.
+	Prompts int
+	// TokensPer is the decode-step count per request; zero selects 64.
+	TokensPer int
+	// PromptLen is the prompt length in bytes; zero selects 512.
+	PromptLen int
+	// KVBytes is the per-request KV-cache capacity; zero selects 4096.
+	KVBytes int
+	// WeightWords is the weight-buffer size in u32 words; zero selects
+	// 16384 (64 KiB).
+	WeightWords int
+	// Seed makes prompts and weights deterministic; zero selects 1.
+	Seed int64
+}
+
+// hiddenInitDecode calibrates the hidden attribute-query storm for the
+// serving runtime (a lean client, far fewer helper-header queries than
+// the samples).
+const hiddenInitDecode = 6
+
+func (d DecodeService) withDefaults() DecodeService {
+	if d.Prompts == 0 {
+		d.Prompts = 4
+	}
+	if d.TokensPer == 0 {
+		d.TokensPer = 64
+	}
+	if d.PromptLen == 0 {
+		d.PromptLen = 512
+	}
+	if d.KVBytes == 0 {
+		d.KVBytes = 4096
+	}
+	if d.WeightWords == 0 {
+		d.WeightWords = 16384
+	}
+	if d.Seed == 0 {
+		d.Seed = 1
+	}
+	return d
+}
+
+// Run executes the serving workload against a virtual GPU.
+func (d DecodeService) Run(vg *core.VirtualGPU) (Result, error) {
+	d = d.withDefaults()
+	if d.TokensPer < 1 || d.PromptLen < 1 || d.WeightWords < 1 {
+		return Result{}, fmt.Errorf("decodeService: bad config %+v", d)
+	}
+	res := Result{App: "decodeService", Platform: vg.Platform().Name}
+	start := vg.Now()
+
+	// Seeded weight and prompt generation, charged at the platform's
+	// RNG rate like histogram's data fill.
+	rng := rand.New(rand.NewSource(d.Seed))
+	weightBytes := make([]byte, d.WeightWords*4)
+	rng.Read(weightBytes)
+	prompts := make([][]byte, d.Prompts)
+	for i := range prompts {
+		prompts[i] = make([]byte, d.PromptLen)
+		rng.Read(prompts[i])
+	}
+	rngCharge(vg, len(weightBytes)+d.Prompts*d.PromptLen)
+	weights := make([]uint32, d.WeightWords)
+	for i := range weights {
+		weights[i] = binary.LittleEndian.Uint32(weightBytes[i*4:])
+	}
+	res.InitTime = vg.Now() - start
+
+	execStart := vg.Now()
+	if err := handshake(vg, hiddenInitDecode); err != nil {
+		return res, err
+	}
+	mod, err := vg.LoadModule(builtinFatbin())
+	if err != nil {
+		return res, err
+	}
+	prefill, err := mod.Function(cuda.KernelPrefill)
+	if err != nil {
+		return res, err
+	}
+	decode, err := mod.Function(cuda.KernelDecodeStep)
+	if err != nil {
+		return res, err
+	}
+	dWeights, err := vg.Alloc(uint64(len(weightBytes)))
+	if err != nil {
+		return res, err
+	}
+	if err := dWeights.Write(weightBytes); err != nil {
+		return res, err
+	}
+
+	res.Verified = true
+	tokens := make([]byte, 0, d.Prompts*d.TokensPer*4)
+	grid := gpu.Dim3{X: 1, Y: 1, Z: 1}
+	prefillBlock := gpu.Dim3{X: 256, Y: 1, Z: 1}
+	decodeBlock := gpu.Dim3{X: 32, Y: 1, Z: 1}
+	for p := 0; p < d.Prompts; p++ {
+		dState, err := vg.Alloc(8)
+		if err != nil {
+			return res, err
+		}
+		dKV, err := vg.Alloc(uint64(d.KVBytes))
+		if err != nil {
+			return res, err
+		}
+		dPrompt, err := vg.Alloc(uint64(d.PromptLen))
+		if err != nil {
+			return res, err
+		}
+		if err := dPrompt.Write(prompts[p]); err != nil {
+			return res, err
+		}
+
+		// Prefill: the one large launch at the head of the request.
+		args := cuda.NewArgBuffer().
+			Ptr(dState.Ptr()).Ptr(dKV.Ptr()).Ptr(dPrompt.Ptr()).Ptr(dWeights.Ptr()).
+			I32(int32(d.PromptLen)).I32(int32(d.KVBytes)).I32(int32(d.WeightWords)).
+			Bytes()
+		if err := vg.Launch(prefill, grid, prefillBlock, 0, args); err != nil {
+			return res, err
+		}
+		if err := vg.Synchronize(); err != nil {
+			return res, err
+		}
+		stateBytes, err := dState.Read()
+		if err != nil {
+			return res, err
+		}
+		state := binary.LittleEndian.Uint64(stateBytes)
+		if state != cuda.PrefillRef(prompts[p], weights) {
+			res.Verified = false
+		}
+
+		// Decode loop: one tiny launch and one 8-byte streaming
+		// readback per generated token; the host carries the state
+		// forward by value.
+		for step := 0; step < d.TokensPer; step++ {
+			args := cuda.NewArgBuffer().
+				Ptr(dState.Ptr()).Ptr(dKV.Ptr()).Ptr(dWeights.Ptr()).
+				I32(int32(step)).U64(state).
+				I32(int32(d.KVBytes)).I32(int32(d.WeightWords)).
+				Bytes()
+			if err := vg.Launch(decode, grid, decodeBlock, 0, args); err != nil {
+				return res, err
+			}
+			stateBytes, err := dState.Read()
+			if err != nil {
+				return res, err
+			}
+			next := binary.LittleEndian.Uint64(stateBytes)
+			if next != cuda.DecodeStepRef(state, step, weights) {
+				res.Verified = false
+			}
+			state = next
+			tokens = binary.LittleEndian.AppendUint32(tokens, cuda.TokenOf(state))
+		}
+		verifyCharge(vg, d.TokensPer*8)
+
+		for _, b := range []*core.Buffer{dPrompt, dKV, dState} {
+			if err := b.Free(); err != nil {
+				return res, err
+			}
+		}
+	}
+	res.OutputDigest = outputDigest(tokens)
+
+	if err := dWeights.Free(); err != nil {
+		return res, err
+	}
+	if err := mod.Unload(); err != nil {
+		return res, err
+	}
+	if err := vg.Raw().DeviceReset(); err != nil {
+		return res, err
+	}
+	res.ExecTime = vg.Now() - execStart
+	res.Stats = vg.Stats()
+	return res, nil
+}

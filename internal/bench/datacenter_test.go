@@ -1,0 +1,34 @@
+package bench
+
+import "testing"
+
+// TestDatacenterSmoke plays a reduced diurnal day and holds it to the
+// full invariant set: nothing lost, digests bit-identical to the
+// static run, the fleet parked at the trough and cold-started at the
+// ramp, the peak shed batch-class work, and the latency class kept
+// its TTFT budget.
+func TestDatacenterSmoke(t *testing.T) {
+	r, err := Datacenter(600_000, 7)
+	if err != nil {
+		t.Fatalf("Datacenter: %v", err)
+	}
+	for _, msg := range r.Violations() {
+		t.Errorf("violation: %s", msg)
+	}
+	if t.Failed() {
+		t.Logf("result: %+v", r)
+	}
+	if len(r.Phases) != 4 || r.Phases[2].Name != "peak" {
+		t.Fatalf("phase windows malformed: %+v", r.Phases)
+	}
+	// The per-phase windows are consecutive Sub deltas of the same
+	// lifetime histograms, so they must tile the day: at least one
+	// latency-class completion lands in some window.
+	var win uint64
+	for _, ph := range r.Phases {
+		win += ph.Completed
+	}
+	if win == 0 {
+		t.Fatal("phase windows saw zero latency-class completions")
+	}
+}

@@ -101,16 +101,34 @@ type MigrateReport struct {
 
 // migSnap is the structural state captured under s.mu at the start of
 // a migration — everything the staging replay needs, in virtual
-// terms, decoupled from the live maps.
+// terms, decoupled from the live maps. Per-resource devices ride
+// along: a multi-device session must be re-materialized device by
+// device, because memory ops on both ends act on the server's current
+// device and device address arenas overlap.
 type migSnap struct {
 	dev     int
 	opts    Options
-	modules map[uint64][]byte // virtual handle -> retained image
+	modules map[uint64]migModule
 	funcs   map[uint64]migName
 	globals map[gpu.Ptr]migName
-	allocs  map[gpu.Ptr]uint64 // virtual ptr -> size
-	streams []uint64
-	events  []uint64
+	allocs  map[gpu.Ptr]migAlloc
+	streams []migHandle
+	events  []migHandle
+}
+
+type migModule struct {
+	image []byte
+	dev   int
+}
+
+type migAlloc struct {
+	size uint64
+	dev  int
+}
+
+type migHandle struct {
+	v   uint64
+	dev int
 }
 
 type migName struct {
@@ -123,6 +141,7 @@ type migName struct {
 type migStaging struct {
 	tc      *Client
 	epoch   uint64
+	cur     int // target's current device (-1 = unknown)
 	modules map[uint64]cuda.Module
 	funcs   map[uint64]cuda.Function
 	globals map[gpu.Ptr]gpu.Ptr
@@ -130,6 +149,21 @@ type migStaging struct {
 	allocs  map[gpu.Ptr]gpu.Ptr
 	streams map[uint64]cuda.Stream
 	events  map[uint64]cuda.Event
+	rdev    map[gpu.Ptr]int // device of each staged range (allocs + globals)
+}
+
+// setDev selects dev on the target if it is not already current.
+// Target-side memory ops must run under the device their staged range
+// lives on; this keeps the switches to a minimum.
+func (st *migStaging) setDev(dev int) error {
+	if st.cur == dev {
+		return nil
+	}
+	if err := st.tc.SetDevice(dev); err != nil {
+		return fmt.Errorf("target set-device %d: %w", dev, err)
+	}
+	st.cur = dev
+	return nil
 }
 
 // MigrateTo live-migrates the session to the named endpoint via the
@@ -267,6 +301,12 @@ func (s *Session) migrate(endpoint string, dial func() (io.ReadWriteCloser, erro
 		s.mu.Unlock()
 		return nil, s.migrateAbort(endpoint, st, fmt.Errorf("cutover delta: %w", err))
 	}
+	// The delta ship may have left the target on another device; the
+	// session must come up observing its own last selection.
+	if err := st.setDev(s.dev); err != nil {
+		s.mu.Unlock()
+		return nil, s.migrateAbort(endpoint, st, fmt.Errorf("cutover device reset: %w", err))
+	}
 	rep.DeltaBytes = delta
 	for _, a := range s.allocs {
 		rep.FullBytes += a.size
@@ -295,11 +335,11 @@ func (s *Session) migrate(endpoint string, dial func() (io.ReadWriteCloser, erro
 	for v, a := range s.allocs {
 		a.srv = st.allocs[v]
 	}
-	for v := range s.streams {
-		s.streams[v] = st.streams[v]
+	for v, sst := range s.streams {
+		s.streams[v] = sessStream{srv: st.streams[v], dev: sst.dev}
 	}
-	for v := range s.events {
-		s.events[v] = st.events[v]
+	for v, sev := range s.events {
+		s.events[v] = sessEvent{srv: st.events[v], dev: sev.dev}
 	}
 	s.clearDirtyLocked()
 	s.trackDirty = false
@@ -343,13 +383,13 @@ func (s *Session) captureLocked() *migSnap {
 	snap := &migSnap{
 		dev:     s.dev,
 		opts:    s.opts.Options,
-		modules: make(map[uint64][]byte, len(s.modules)),
+		modules: make(map[uint64]migModule, len(s.modules)),
 		funcs:   make(map[uint64]migName, len(s.funcs)),
 		globals: make(map[gpu.Ptr]migName, len(s.globals)),
-		allocs:  make(map[gpu.Ptr]uint64, len(s.allocs)),
+		allocs:  make(map[gpu.Ptr]migAlloc, len(s.allocs)),
 	}
 	for v, m := range s.modules {
-		snap.modules[v] = m.image
+		snap.modules[v] = migModule{image: m.image, dev: m.dev}
 	}
 	for v, f := range s.funcs {
 		snap.funcs[v] = migName{mod: f.mod, name: f.name}
@@ -358,13 +398,13 @@ func (s *Session) captureLocked() *migSnap {
 		snap.globals[v] = migName{mod: g.mod, name: g.name}
 	}
 	for v, a := range s.allocs {
-		snap.allocs[v] = a.size
+		snap.allocs[v] = migAlloc{size: a.size, dev: a.dev}
 	}
-	for v := range s.streams {
-		snap.streams = append(snap.streams, v)
+	for v, st := range s.streams {
+		snap.streams = append(snap.streams, migHandle{v: v, dev: st.dev})
 	}
-	for v := range s.events {
-		snap.events = append(snap.events, v)
+	for v, ev := range s.events {
+		snap.events = append(snap.events, migHandle{v: v, dev: ev.dev})
 	}
 	return snap
 }
@@ -390,6 +430,7 @@ func (s *Session) stage(snap *migSnap, dial func() (io.ReadWriteCloser, error)) 
 	}
 	st := &migStaging{
 		tc:      tc,
+		cur:     -1, // unknown until the first explicit SetDevice
 		modules: make(map[uint64]cuda.Module, len(snap.modules)),
 		funcs:   make(map[uint64]cuda.Function, len(snap.funcs)),
 		globals: make(map[gpu.Ptr]gpu.Ptr, len(snap.globals)),
@@ -397,6 +438,7 @@ func (s *Session) stage(snap *migSnap, dial func() (io.ReadWriteCloser, error)) 
 		allocs:  make(map[gpu.Ptr]gpu.Ptr, len(snap.allocs)),
 		streams: make(map[uint64]cuda.Stream, len(snap.streams)),
 		events:  make(map[uint64]cuda.Event, len(snap.events)),
+		rdev:    make(map[gpu.Ptr]int, len(snap.allocs)+len(snap.globals)),
 	}
 	fail := func(err error) (*migStaging, error) {
 		tc.Close()
@@ -415,22 +457,26 @@ func (s *Session) stage(snap *migSnap, dial func() (io.ReadWriteCloser, error)) 
 	if _, aerr := tc.Attach(s.nonce); aerr != nil && (oncrpc.IsTransportError(aerr) || isOverload(aerr)) {
 		return fail(fmt.Errorf("target attach: %w", aerr))
 	}
-	if err := tc.SetDevice(snap.dev); err != nil {
-		return fail(fmt.Errorf("target set-device: %w", err))
-	}
 	if err := s.stageInto(st, snap); err != nil {
 		return fail(err)
 	}
 	return st, nil
 }
 
-// stageInto replays snapshot structure onto the staging client.
+// stageInto replays snapshot structure onto the staging client,
+// bracketing each device-bound resource with the target device it must
+// land on. It leaves the target's current device at snap.dev — the
+// application's selection — so the post-cutover session observes the
+// device it last chose.
 func (s *Session) stageInto(st *migStaging, snap *migSnap) error {
-	for v, image := range snap.modules {
+	for v, m := range snap.modules {
 		if _, done := st.modules[v]; done {
 			continue
 		}
-		srv, err := st.tc.ModuleLoad(image)
+		if err := st.setDev(m.dev); err != nil {
+			return err
+		}
+		srv, err := st.tc.ModuleLoad(m.image)
 		if err != nil {
 			return fmt.Errorf("stage module: %w", err)
 		}
@@ -463,38 +509,44 @@ func (s *Session) stageInto(st *migStaging, snap *migSnap) error {
 			return fmt.Errorf("stage global %q: %w", g.name, err)
 		}
 		st.globals[v], st.gsize[v] = srv, size
+		// The global's bytes live on the module's device.
+		st.rdev[v] = snap.modules[g.mod].dev
 	}
-	for v, size := range snap.allocs {
+	for v, a := range snap.allocs {
 		if _, done := st.allocs[v]; done {
 			continue
 		}
-		srv, err := st.tc.Malloc(size)
+		if err := st.setDev(a.dev); err != nil {
+			return err
+		}
+		srv, err := st.tc.Malloc(a.size)
 		if err != nil {
-			return fmt.Errorf("stage malloc %d bytes: %w", size, err)
+			return fmt.Errorf("stage malloc %d bytes: %w", a.size, err)
 		}
 		st.allocs[v] = srv
+		st.rdev[v] = a.dev
 	}
-	for _, v := range snap.streams {
-		if _, done := st.streams[v]; done {
+	for _, h := range snap.streams {
+		if _, done := st.streams[h.v]; done {
 			continue
 		}
 		srv, err := st.tc.StreamCreate()
 		if err != nil {
 			return fmt.Errorf("stage stream: %w", err)
 		}
-		st.streams[v] = srv
+		st.streams[h.v] = srv
 	}
-	for _, v := range snap.events {
-		if _, done := st.events[v]; done {
+	for _, h := range snap.events {
+		if _, done := st.events[h.v]; done {
 			continue
 		}
 		srv, err := st.tc.EventCreate()
 		if err != nil {
 			return fmt.Errorf("stage event: %w", err)
 		}
-		st.events[v] = srv
+		st.events[h.v] = srv
 	}
-	return nil
+	return st.setDev(snap.dev)
 }
 
 // migChunk identifies one shipping unit: a chunk-aligned range of a
@@ -518,8 +570,8 @@ func (s *Session) precopyFull(st *migStaging, snap *migSnap, buf []byte) (uint64
 		}
 		return nil
 	}
-	for v, size := range snap.allocs {
-		if err := ship(v, size); err != nil {
+	for v, a := range snap.allocs {
+		if err := ship(v, a.size); err != nil {
 			return shipped, err
 		}
 	}
@@ -621,12 +673,17 @@ func (s *Session) readChunkLocked(ch migChunk, buf []byte) (uint64, error) {
 	var (
 		size  uint64
 		dirty *[]uint64
+		dev   int
 		srvAt func() gpu.Ptr
 	)
 	if a, ok := s.allocs[ch.v]; ok {
-		size, dirty, srvAt = a.size, &a.dirty, func() gpu.Ptr { return a.srv }
+		size, dirty, dev, srvAt = a.size, &a.dirty, a.dev, func() gpu.Ptr { return a.srv }
 	} else if g, ok := s.globals[ch.v]; ok {
-		size, dirty, srvAt = g.size, &g.dirty, func() gpu.Ptr { return g.srv }
+		size, dirty, dev = g.size, &g.dirty, s.dev
+		if m, ok := s.modules[g.mod]; ok {
+			dev = m.dev // a global's bytes live on its module's device
+		}
+		srvAt = func() gpu.Ptr { return g.srv }
 	} else {
 		return 0, nil
 	}
@@ -642,9 +699,24 @@ func (s *Session) readChunkLocked(ch migChunk, buf []byte) (uint64, error) {
 		(*dirty)[bit/64] &^= 1 << (bit % 64)
 	}
 	// srvAt resolves inside the retry closure: a recovery mid-read
-	// replays and changes the server pointer in place.
+	// replays and changes the server pointer in place. Ranges on a
+	// device other than the application's current one read under a
+	// SetDevice bracket that is restored before the closure returns —
+	// if the transport dies in between, the retry re-runs the whole
+	// closure after a recovery that re-selects s.dev.
 	err := s.doQuiet(func(c *Client) error {
-		return c.MemcpyDtoHInto(srvAt()+gpu.Ptr(ch.off), buf[:n])
+		if dev != s.dev {
+			if err := c.SetDevice(dev); err != nil {
+				return err
+			}
+		}
+		rerr := c.MemcpyDtoHInto(srvAt()+gpu.Ptr(ch.off), buf[:n])
+		if dev != s.dev {
+			if serr := c.SetDevice(s.dev); serr != nil && rerr == nil {
+				rerr = serr
+			}
+		}
+		return rerr
 	})
 	if err != nil {
 		return 0, fmt.Errorf("pre-copy read: %w", err)
@@ -652,7 +724,8 @@ func (s *Session) readChunkLocked(ch migChunk, buf []byte) (uint64, error) {
 	return n, nil
 }
 
-// writeStaged writes chunk bytes to the staged range on the target.
+// writeStaged writes chunk bytes to the staged range on the target,
+// under the device the range was staged on.
 func (s *Session) writeStaged(st *migStaging, ch migChunk, data []byte) error {
 	dst, ok := st.allocs[ch.v]
 	if !ok {
@@ -660,6 +733,11 @@ func (s *Session) writeStaged(st *migStaging, ch migChunk, data []byte) error {
 	}
 	if !ok {
 		return nil // staged later by the cutover reconcile
+	}
+	if dev, ok := st.rdev[ch.v]; ok {
+		if err := st.setDev(dev); err != nil {
+			return err
+		}
 	}
 	if err := st.tc.MemcpyHtoD(dst+gpu.Ptr(ch.off), data); err != nil {
 		return fmt.Errorf("pre-copy write: %w", err)
@@ -675,8 +753,12 @@ func (s *Session) writeStaged(st *migStaging, ch migChunk, data []byte) error {
 func (s *Session) reconcileLocked(st *migStaging) error {
 	for v, h := range st.allocs {
 		if _, live := s.allocs[v]; !live {
+			if dev, ok := st.rdev[v]; ok {
+				_ = st.setDev(dev)
+			}
 			_ = st.tc.Free(h)
 			delete(st.allocs, v)
+			delete(st.rdev, v)
 		}
 	}
 	for v, h := range st.streams {
@@ -700,6 +782,7 @@ func (s *Session) reconcileLocked(st *migStaging) error {
 		if _, live := s.globals[v]; !live {
 			delete(st.globals, v)
 			delete(st.gsize, v)
+			delete(st.rdev, v)
 		}
 	}
 	for v, h := range st.modules {
@@ -721,7 +804,10 @@ func (s *Session) reconcileLocked(st *migStaging) error {
 // Must be called without s.mu held.
 func (s *Session) migrateAbort(endpoint string, st *migStaging, cause error) error {
 	if st != nil && st.tc != nil {
-		for _, p := range st.allocs {
+		for v, p := range st.allocs {
+			if dev, ok := st.rdev[v]; ok {
+				_ = st.setDev(dev)
+			}
 			_ = st.tc.Free(p)
 		}
 		for _, h := range st.streams {

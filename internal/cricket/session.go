@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -179,10 +180,16 @@ type SessionStats struct {
 }
 
 // Virtual handle/pointer state. Handles the application holds never
-// change; the session remaps them to current server values.
+// change; the session remaps them to current server values. Every
+// resource records the device that was current when it was created:
+// the server's memory ops act on ITS current device and device address
+// arenas overlap, so replaying (or migrating) a multi-device session
+// must rebuild each resource under an explicit SetDevice bracket or
+// silently corrupt a neighbor device's memory.
 type sessAlloc struct {
 	size uint64
 	srv  gpu.Ptr
+	dev  int // device current at cudaMalloc time
 	// dirty is the migration-era chunk bitset: bit i set means bytes
 	// [i*migrateChunk, (i+1)*migrateChunk) changed since the last
 	// pre-copy pass shipped them. Nil whenever no migration is
@@ -202,12 +209,25 @@ type sessModule struct {
 	image []byte
 	meta  *cubin.Image // parsed client-side for param layouts
 	srv   cuda.Module
+	dev   int // device current at cuModuleLoad time (binds the SASS image)
 }
 
 type sessFunc struct {
 	mod  uint64 // virtual module handle
 	name string
 	srv  cuda.Function
+}
+
+// sessStream and sessEvent pair the current server handle with the
+// device the handle was created under, so a replay regroups them.
+type sessStream struct {
+	srv cuda.Stream
+	dev int
+}
+
+type sessEvent struct {
+	srv cuda.Event
+	dev int
 }
 
 // A Session is a fault-tolerant Cricket client: the same CUDA surface
@@ -242,8 +262,8 @@ type Session struct {
 	globals  map[gpu.Ptr]*sessGlobal
 	modules  map[uint64]*sessModule
 	funcs    map[uint64]*sessFunc
-	streams  map[uint64]cuda.Stream
-	events   map[uint64]cuda.Event
+	streams  map[uint64]sessStream
+	events   map[uint64]sessEvent
 
 	// Batched execution (Options.Batch). The session owns the queue —
 	// a Client dies with its transport, and a queue that died with it
@@ -260,6 +280,7 @@ type Session struct {
 	batchTimer    *time.Timer
 	batchDeferred error           // first in-band batch failure awaiting a sync point
 	wireBuf       []BatchEntry    // reused flush translation buffer
+	argArena      []byte          // reused flush-time launch-arg rewrite arena
 	coalescer     *tune.Coalescer // adaptive thresholds; nil = static
 
 	statmu sync.Mutex
@@ -306,8 +327,8 @@ func NewSession(opts SessionOptions) (*Session, error) {
 		globals:  make(map[gpu.Ptr]*sessGlobal),
 		modules:  make(map[uint64]*sessModule),
 		funcs:    make(map[uint64]*sessFunc),
-		streams:  make(map[uint64]cuda.Stream),
-		events:   make(map[uint64]cuda.Event),
+		streams:  make(map[uint64]sessStream),
+		events:   make(map[uint64]sessEvent),
 	}
 	s.nonce = o.Nonce
 	if s.nonce == 0 {
@@ -651,96 +672,126 @@ func (s *Session) recover() error {
 }
 
 // replay rebuilds the session's server-side state on a fresh server
-// instance: device selection, optional checkpoint restore, modules,
-// functions, globals, allocations, streams, and events.
+// instance, device by device. Resources were created under whichever
+// device was current at cudaSetDevice time, server checkpoints are
+// keyed per device, and a restarted server's memory ops act on ITS
+// current device — with address arenas that overlap across devices —
+// so the replay groups modules, functions, globals, allocations,
+// streams, and events by their recorded device and rebuilds each group
+// under an explicit SetDevice bracket. The application's last device
+// selection is re-selected at the end.
 func (s *Session) replay(c *Client) error {
-	if err := c.SetDevice(s.dev); err != nil {
-		return fmt.Errorf("replay: set device: %w", err)
-	}
-	// Ask for checkpointed contents first: restore replaces the whole
-	// memory space, so it must precede any reallocation. A server with
-	// no checkpoint answers in-band and we continue without contents.
-	restored := false
-	if !s.opts.NoRestore {
-		if err := c.Restore(); err == nil {
-			restored = true
-		} else if oncrpc.IsTransportError(err) {
-			return err
+	devs := s.replayDevsLocked()
+	anyRestored := false
+	for _, dev := range devs {
+		if err := c.SetDevice(dev); err != nil {
+			return fmt.Errorf("replay: set device %d: %w", dev, err)
 		}
-	}
-	// Reload modules; function and global handles hang off them.
-	for _, m := range s.modules {
-		srv, err := c.ModuleLoad(m.image)
-		if err != nil {
-			return fmt.Errorf("replay: module load: %w", err)
-		}
-		m.srv = srv
-	}
-	for _, f := range s.funcs {
-		m, ok := s.modules[f.mod]
-		if !ok {
-			continue
-		}
-		srv, err := c.ModuleGetFunction(m.srv, f.name)
-		if err != nil {
-			return fmt.Errorf("replay: function %q: %w", f.name, err)
-		}
-		f.srv = srv
-	}
-	for _, g := range s.globals {
-		m, ok := s.modules[g.mod]
-		if !ok {
-			continue
-		}
-		oldSrv := g.srv
-		srv, size, err := c.ModuleGetGlobal(m.srv, g.name)
-		if err != nil {
-			return fmt.Errorf("replay: global %q: %w", g.name, err)
-		}
-		g.srv, g.size = srv, size
-		if restored && oldSrv != 0 && oldSrv != srv {
-			// Migrate the checkpointed contents into the fresh global,
-			// then drop the checkpoint-era buffer. Best-effort: a
-			// global that postdates the checkpoint has no old bytes.
-			if err := c.MemcpyDtoD(srv, oldSrv, size); err == nil {
-				c.Free(oldSrv)
+		// Ask for this device's checkpointed contents first: restore
+		// replaces the whole memory space, so it must precede any
+		// reallocation. A server with no checkpoint answers in-band and
+		// we continue without contents.
+		restored := false
+		if !s.opts.NoRestore {
+			if err := c.Restore(); err == nil {
+				restored = true
+				anyRestored = true
+			} else if oncrpc.IsTransportError(err) {
+				return err
 			}
 		}
-	}
-	// Reallocate device memory under the restored allocator (its bump
-	// pointer and free list came back with the snapshot, so fresh
-	// allocations never collide with checkpointed ones), then migrate
-	// contents out of the checkpoint-era buffers.
-	for _, a := range s.allocs {
-		oldSrv := a.srv
-		srv, err := c.Malloc(a.size)
-		if err != nil {
-			return fmt.Errorf("replay: malloc %d bytes: %w", a.size, err)
+		// Reload this device's modules; function and global handles hang
+		// off them.
+		for _, m := range s.modules {
+			if m.dev != dev {
+				continue
+			}
+			srv, err := c.ModuleLoad(m.image)
+			if err != nil {
+				return fmt.Errorf("replay: module load: %w", err)
+			}
+			m.srv = srv
 		}
-		a.srv = srv
-		if restored && oldSrv != 0 {
-			if err := c.MemcpyDtoD(srv, oldSrv, a.size); err == nil {
-				c.Free(oldSrv)
+		for _, f := range s.funcs {
+			m, ok := s.modules[f.mod]
+			if !ok || m.dev != dev {
+				continue
+			}
+			srv, err := c.ModuleGetFunction(m.srv, f.name)
+			if err != nil {
+				return fmt.Errorf("replay: function %q: %w", f.name, err)
+			}
+			f.srv = srv
+		}
+		for _, g := range s.globals {
+			m, ok := s.modules[g.mod]
+			if !ok || m.dev != dev {
+				continue
+			}
+			oldSrv := g.srv
+			srv, size, err := c.ModuleGetGlobal(m.srv, g.name)
+			if err != nil {
+				return fmt.Errorf("replay: global %q: %w", g.name, err)
+			}
+			g.srv, g.size = srv, size
+			if restored && oldSrv != 0 && oldSrv != srv {
+				// Migrate the checkpointed contents into the fresh global,
+				// then drop the checkpoint-era buffer. Best-effort: a
+				// global that postdates the checkpoint has no old bytes.
+				if err := c.MemcpyDtoD(srv, oldSrv, size); err == nil {
+					c.Free(oldSrv)
+				}
 			}
 		}
-	}
-	for v := range s.streams {
-		srv, err := c.StreamCreate()
-		if err != nil {
-			return fmt.Errorf("replay: stream: %w", err)
+		// Reallocate device memory under the restored allocator (its bump
+		// pointer and free list came back with the snapshot, so fresh
+		// allocations never collide with checkpointed ones), then migrate
+		// contents out of the checkpoint-era buffers.
+		for _, a := range s.allocs {
+			if a.dev != dev {
+				continue
+			}
+			oldSrv := a.srv
+			srv, err := c.Malloc(a.size)
+			if err != nil {
+				return fmt.Errorf("replay: malloc %d bytes: %w", a.size, err)
+			}
+			a.srv = srv
+			if restored && oldSrv != 0 {
+				if err := c.MemcpyDtoD(srv, oldSrv, a.size); err == nil {
+					c.Free(oldSrv)
+				}
+			}
 		}
-		s.streams[v] = srv
-	}
-	for v := range s.events {
-		// Recreated events are unrecorded: timestamps do not survive a
-		// server restart.
-		srv, err := c.EventCreate()
-		if err != nil {
-			return fmt.Errorf("replay: event: %w", err)
+		for v, st := range s.streams {
+			if st.dev != dev {
+				continue
+			}
+			srv, err := c.StreamCreate()
+			if err != nil {
+				return fmt.Errorf("replay: stream: %w", err)
+			}
+			s.streams[v] = sessStream{srv: srv, dev: dev}
 		}
-		s.events[v] = srv
+		for v, ev := range s.events {
+			if ev.dev != dev {
+				continue
+			}
+			// Recreated events are unrecorded: timestamps do not survive a
+			// server restart.
+			srv, err := c.EventCreate()
+			if err != nil {
+				return fmt.Errorf("replay: event: %w", err)
+			}
+			s.events[v] = sessEvent{srv: srv, dev: dev}
+		}
 	}
-	if restored {
+	if devs[len(devs)-1] != s.dev {
+		if err := c.SetDevice(s.dev); err != nil {
+			return fmt.Errorf("replay: set device: %w", err)
+		}
+	}
+	if anyRestored {
 		s.statmu.Lock()
 		s.sstats.Restores++
 		s.statmu.Unlock()
@@ -750,6 +801,31 @@ func (s *Session) replay(c *Client) error {
 	// server pointers changed. The next pass re-ships everything.
 	s.markAllDirtyLocked()
 	return nil
+}
+
+// replayDevsLocked returns the sorted set of devices the session's
+// resources were created on, always including the application's
+// current selection. Called with s.mu held.
+func (s *Session) replayDevsLocked() []int {
+	seen := map[int]bool{s.dev: true}
+	for _, m := range s.modules {
+		seen[m.dev] = true
+	}
+	for _, a := range s.allocs {
+		seen[a.dev] = true
+	}
+	for _, st := range s.streams {
+		seen[st.dev] = true
+	}
+	for _, ev := range s.events {
+		seen[ev.dev] = true
+	}
+	devs := make([]int, 0, len(seen))
+	for d := range seen {
+		devs = append(devs, d)
+	}
+	sort.Ints(devs)
+	return devs
 }
 
 // do runs one client operation, transparently recovering from
@@ -846,8 +922,14 @@ func (s *Session) doRetry(op func(c *Client) error, w *tune.Window, rif int) err
 func (s *Session) batching() bool { return s.batchMaxN > 0 }
 
 // enqueueLocked appends one virtual-terms entry and flushes when a
-// threshold is reached. Called with s.mu held.
-func (s *Session) enqueueLocked(op sessBatchOp) error {
+// threshold is reached. The payload (launch args or htod bytes) is
+// copied into the queue slot rather than captured by the caller:
+// flushed slots keep their payload buffers, so once the queue has
+// reached its high-water mark a steady-state decode loop issuing
+// thousands of tiny launches enqueues with zero allocations. op.data
+// must be nil; the slot's recycled buffer replaces it. Called with
+// s.mu held.
+func (s *Session) enqueueLocked(op sessBatchOp, payload []byte) error {
 	if s.closed {
 		return ErrSessionClosed
 	}
@@ -856,13 +938,26 @@ func (s *Session) enqueueLocked(op sessBatchOp) error {
 	// order) shipped batches above batchMaxBytes by up to one whole
 	// entry. An entry larger than the threshold on its own still ships
 	// alone — it cannot be split — but never atop queued entries.
-	if len(s.batchq) > 0 && s.batchBytes+len(op.data) > s.batchMaxBytes {
+	if len(s.batchq) > 0 && s.batchBytes+len(payload) > s.batchMaxBytes {
 		if err := s.flushBatchLocked(); err != nil {
 			return err
 		}
 	}
-	s.batchq = append(s.batchq, op)
-	s.batchBytes += len(op.data)
+	if n := len(s.batchq); n < cap(s.batchq) {
+		// Recycle the slot a previous flush left behind — flushes reset
+		// length, not capacity — including its payload buffer. A flush
+		// completes synchronously before its slots come back, so the
+		// buffer is never still referenced.
+		s.batchq = s.batchq[:n+1]
+		slot := &s.batchq[n]
+		buf := slot.data
+		*slot = op
+		slot.data = append(buf[:0], payload...)
+	} else {
+		op.data = append([]byte(nil), payload...)
+		s.batchq = append(s.batchq, op)
+	}
+	s.batchBytes += len(payload)
 	if len(s.batchq) >= s.batchMaxN || s.batchBytes > s.batchMaxBytes {
 		return s.flushBatchLocked()
 	}
@@ -906,6 +1001,7 @@ func (s *Session) flushBatchLocked() error {
 	}
 	err := doer(func(c *Client) error {
 		entries := s.wireBuf[:0]
+		arena := s.argArena[:0]
 		for i := range ops {
 			op := &ops[i]
 			e := BatchEntry{Op: op.op}
@@ -916,7 +1012,7 @@ func (s *Session) flushBatchLocked() error {
 				e.Value = op.shared
 				e.GridX, e.GridY, e.GridZ = op.grid.X, op.grid.Y, op.grid.Z
 				e.BlockX, e.BlockY, e.BlockZ = op.block.X, op.block.Y, op.block.Z
-				e.Data = s.rewriteArgs(op.fn, op.data)
+				arena, e.Data = s.rewriteArgsInto(arena, op.fn, op.data)
 			case BatchOpMemcpyHtod:
 				e.Handle = uint64(s.translate(op.ptr))
 				e.Stream = uint64(s.stream(op.stream))
@@ -934,6 +1030,7 @@ func (s *Session) flushBatchLocked() error {
 			entries = append(entries, e)
 		}
 		s.wireBuf = entries
+		s.argArena = arena
 		sts, err := c.BatchExec(entries)
 		if err != nil {
 			return err
@@ -1024,8 +1121,7 @@ func (s *Session) MemcpyHtoDAsync(dst gpu.Ptr, data []byte, st cuda.Stream) erro
 			op:     BatchOpMemcpyHtod,
 			ptr:    dst,
 			stream: st,
-			data:   append([]byte(nil), data...),
-		})
+		}, data)
 	}
 	s.markDirtyLocked(dst, uint64(len(data)))
 	return s.do(func(c *Client) error { return c.MemcpyHtoD(s.translate(dst), data) })
@@ -1271,7 +1367,7 @@ func (s *Session) Malloc(size uint64) (gpu.Ptr, error) {
 		return 0, err
 	}
 	v := s.newVPtr(size)
-	a := &sessAlloc{size: size, srv: srv}
+	a := &sessAlloc{size: size, srv: srv, dev: s.dev}
 	if s.trackDirty {
 		// Born mid-migration: the cutover reconcile stages it on the
 		// target, and the dirty bits make the delta pass ship its
@@ -1348,7 +1444,7 @@ func (s *Session) Memset(p gpu.Ptr, value byte, n uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.batching() {
-		return s.enqueueLocked(sessBatchOp{op: BatchOpMemset, ptr: p, val: value, n: n})
+		return s.enqueueLocked(sessBatchOp{op: BatchOpMemset, ptr: p, val: value, n: n}, nil)
 	}
 	s.markDirtyLocked(p, n)
 	return s.do(func(c *Client) error { return c.Memset(s.translate(p), value, n) })
@@ -1395,7 +1491,7 @@ func (s *Session) StreamCreate() (cuda.Stream, error) {
 		return 0, err
 	}
 	v := s.newVHandle()
-	s.streams[v] = srv
+	s.streams[v] = sessStream{srv: srv, dev: s.dev}
 	return cuda.Stream(v), nil
 }
 
@@ -1405,8 +1501,8 @@ func (s *Session) stream(v cuda.Stream) cuda.Stream {
 	if v == 0 {
 		return 0
 	}
-	if srv, ok := s.streams[uint64(v)]; ok {
-		return srv
+	if st, ok := s.streams[uint64(v)]; ok {
+		return st.srv
 	}
 	return v
 }
@@ -1432,7 +1528,7 @@ func (s *Session) StreamSynchronize(v cuda.Stream) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.batching() {
-		return s.enqueueLocked(sessBatchOp{op: BatchOpStreamSync, stream: v})
+		return s.enqueueLocked(sessBatchOp{op: BatchOpStreamSync, stream: v}, nil)
 	}
 	return s.do(func(c *Client) error { return c.StreamSynchronize(s.stream(v)) })
 }
@@ -1450,13 +1546,13 @@ func (s *Session) EventCreate() (cuda.Event, error) {
 		return 0, err
 	}
 	v := s.newVHandle()
-	s.events[v] = srv
+	s.events[v] = sessEvent{srv: srv, dev: s.dev}
 	return cuda.Event(v), nil
 }
 
 func (s *Session) event(v cuda.Event) cuda.Event {
-	if srv, ok := s.events[uint64(v)]; ok {
-		return srv
+	if ev, ok := s.events[uint64(v)]; ok {
+		return ev.srv
 	}
 	return v
 }
@@ -1467,7 +1563,7 @@ func (s *Session) EventRecord(ev cuda.Event, st cuda.Stream) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.batching() {
-		return s.enqueueLocked(sessBatchOp{op: BatchOpEventRecord, event: ev, stream: st})
+		return s.enqueueLocked(sessBatchOp{op: BatchOpEventRecord, event: ev, stream: st}, nil)
 	}
 	return s.do(func(c *Client) error { return c.EventRecord(s.event(ev), s.stream(st)) })
 }
@@ -1525,7 +1621,7 @@ func (s *Session) ModuleLoad(image []byte) (cuda.Module, error) {
 		meta = nil // unparseable client-side: launches pass args through
 	}
 	v := s.newVHandle()
-	s.modules[v] = &sessModule{image: kept, meta: meta, srv: srv}
+	s.modules[v] = &sessModule{image: kept, meta: meta, srv: srv, dev: s.dev}
 	return cuda.Module(v), nil
 }
 
@@ -1633,8 +1729,8 @@ func (s *Session) LaunchKernel(f cuda.Function, grid, block gpu.Dim3, sharedMem 
 		// handles per entry.
 		return s.enqueueLocked(sessBatchOp{
 			op: BatchOpLaunch, fn: fn, grid: grid, block: block,
-			shared: sharedMem, stream: st, data: append([]byte(nil), args...),
-		})
+			shared: sharedMem, stream: st,
+		}, args)
 	}
 	s.markLaunchDirtyLocked(fn, args)
 	return s.do(func(c *Client) error {
@@ -1648,15 +1744,28 @@ func (s *Session) LaunchKernel(f cuda.Function, grid, block gpu.Dim3, sharedMem 
 // happens inside the retry loop: after a replay the same virtual
 // buffer re-translates against the new mappings.
 func (s *Session) rewriteArgs(fn *sessFunc, args []byte) []byte {
+	_, buf := s.rewriteArgsInto(nil, fn, args)
+	return buf
+}
+
+// rewriteArgsInto is rewriteArgs against a caller-owned arena: the
+// translated copy is appended to arena and the returned slice aliases
+// it, so a batch flush rewrites every launch in one reused buffer
+// instead of allocating per entry. Slices handed out before an arena
+// regrowth stay valid — the old backing array is never written again.
+// Buffers needing no rewrite are returned as-is without copying.
+func (s *Session) rewriteArgsInto(arena []byte, fn *sessFunc, args []byte) ([]byte, []byte) {
 	m, ok := s.modules[fn.mod]
 	if !ok || m.meta == nil {
-		return args
+		return arena, args
 	}
 	k, ok := m.meta.Kernel(fn.name)
 	if !ok {
-		return args
+		return arena, args
 	}
-	buf := append([]byte(nil), args...)
+	start := len(arena)
+	arena = append(arena, args...)
+	buf := arena[start:]
 	for _, p := range k.Params {
 		if p.Kind != cubin.ParamPointer || p.Size != 8 {
 			continue
@@ -1669,7 +1778,7 @@ func (s *Session) rewriteArgs(fn *sessFunc, args []byte) []byte {
 		vp := gpu.Ptr(leU64(slot))
 		putLeU64(slot, uint64(s.translate(vp)))
 	}
-	return buf
+	return arena, buf
 }
 
 func leU64(b []byte) uint64 {

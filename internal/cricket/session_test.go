@@ -28,6 +28,7 @@ import (
 type sessEnv struct {
 	t      *testing.T
 	ckpDir string
+	ndev   int // simulated GPU count (0 = one)
 
 	mu     sync.Mutex
 	rpcSrv *oncrpc.Server
@@ -43,8 +44,25 @@ func newSessEnv(t *testing.T, ckpDir string) *sessEnv {
 	return e
 }
 
+// newSessEnvMulti is newSessEnv with ndev simulated GPUs, for
+// multi-device workloads.
+func newSessEnvMulti(t *testing.T, ckpDir string, ndev int) *sessEnv {
+	e := &sessEnv{t: t, ckpDir: ckpDir, ndev: ndev}
+	e.boot()
+	t.Cleanup(func() { e.kill(true) })
+	return e
+}
+
 func (e *sessEnv) boot() {
-	rt := cuda.NewRuntime(nil, gpu.New(gpu.SpecA100))
+	n := e.ndev
+	if n <= 0 {
+		n = 1
+	}
+	devs := make([]*gpu.Device, n)
+	for i := range devs {
+		devs[i] = gpu.New(gpu.SpecA100)
+	}
+	rt := cuda.NewRuntime(nil, devs...)
 	srv := NewServer(rt)
 	if e.ckpDir != "" {
 		if err := srv.SetCheckpointDir(e.ckpDir); err != nil {

@@ -24,6 +24,8 @@ const (
 	KernelLUSolve      = "luSolveKernel"
 	KernelCopy         = "copyKernel"
 	KernelReduceSum    = "reduceSumKernel"
+	KernelPrefill      = "prefillAttention"
+	KernelDecodeStep   = "decodeStep"
 )
 
 // HistogramBins is the bin count of the histogram256 kernels.
@@ -100,6 +102,27 @@ var builtinKernels = map[string]gpu.Kernel{
 			threads := float64(cfg.Grid.Count() * cfg.Block.Count())
 			return gpu.Cost{FLOPsPerThread: float64(n) / threads, BytesPerThread: 4 * float64(n) / threads}
 		},
+	},
+	KernelPrefill: {
+		Fn: prefillKernel,
+		CostFn: func(cfg gpu.LaunchConfig, args *gpu.Args) gpu.Cost {
+			n, _ := args.I32(4)
+			w, _ := args.I32(6)
+			threads := float64(cfg.Grid.Count() * cfg.Block.Count())
+			// One big compute-bound launch per request: attention over
+			// the whole prompt against the full weight matrix.
+			return gpu.Cost{
+				FLOPsPerThread: 8 * float64(n) / threads,
+				BytesPerThread: (float64(n) + 4*float64(w)) / threads,
+				FixedNS:        2000,
+			}
+		},
+	},
+	KernelDecodeStep: {
+		Fn: decodeStepKernel,
+		// One tiny launch per generated token: latency-bound, dominated
+		// by fixed launch overhead rather than arithmetic.
+		Cost: gpu.Cost{BytesPerThread: 64, FixedNS: 1500},
 	},
 }
 
@@ -488,6 +511,177 @@ func reduceSumKernel(mem *gpu.Mem, cfg gpu.LaunchConfig, args *gpu.Args) error {
 	return nil
 }
 
+// mix64 is the splitmix64-style state-transition mixer shared by the
+// prefill and decode kernels. The serving workloads treat the decoder
+// state as an opaque 64-bit value whose evolution depends on device-
+// resident weights, so bit-identity of the token stream proves the
+// weights (and therefore replay/migration of device memory) are intact.
+func mix64(h, v uint64) uint64 {
+	h ^= v
+	h *= 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
+
+// PrefillSeed is the initial decoder state before the prompt is folded
+// in (FNV-1a offset basis).
+const PrefillSeed uint64 = 0xcbf29ce484222325
+
+// PrefillRef computes the post-prefill decoder state host-side, for
+// verifying device results. weights is the u32-word view of the weight
+// buffer.
+func PrefillRef(prompt []byte, weights []uint32) uint64 {
+	h := PrefillSeed
+	for i, b := range prompt {
+		w := weights[i%len(weights)]
+		h = mix64(h, uint64(b)|uint64(w)<<8)
+	}
+	return h
+}
+
+// DecodeStepRef computes one decode-step state transition host-side.
+func DecodeStepRef(prev uint64, step int, weights []uint32) uint64 {
+	w := weights[(step*31+7)%len(weights)]
+	return mix64(prev, uint64(w)^(uint64(uint32(step))<<32))
+}
+
+// TokenOf projects a decoder state onto a token id (the "vocabulary"
+// is 50257 entries, GPT-2 sized).
+func TokenOf(state uint64) uint32 { return uint32(state>>32) % 50257 }
+
+// prefillAttention: fold an uploaded prompt against the device-resident
+// weights into the decoder state — the one large launch at the head of
+// a serving request. Writes the prompt-derived KV-cache prefix and the
+// 8-byte state to the output slot.
+// Params: (uint64 *state, uint8 *kv, const uint8 *prompt,
+//          const uint32 *weights, int promptLen, int kvCap, int wWords).
+func prefillKernel(mem *gpu.Mem, cfg gpu.LaunchConfig, args *gpu.Args) error {
+	statePtr, err := args.Ptr(0)
+	if err != nil {
+		return err
+	}
+	kvPtr, err := args.Ptr(1)
+	if err != nil {
+		return err
+	}
+	promptPtr, err := args.Ptr(2)
+	if err != nil {
+		return err
+	}
+	weightsPtr, err := args.Ptr(3)
+	if err != nil {
+		return err
+	}
+	promptLen, err := args.I32(4)
+	if err != nil {
+		return err
+	}
+	kvCap, err := args.I32(5)
+	if err != nil {
+		return err
+	}
+	wWords, err := args.I32(6)
+	if err != nil {
+		return err
+	}
+	if promptLen < 0 || kvCap < 0 || wWords <= 0 {
+		return gpu.ErrBadArgs
+	}
+	state, err := mem.Bytes(statePtr, 8)
+	if err != nil {
+		return err
+	}
+	prompt, err := mem.Bytes(promptPtr, uint64(promptLen))
+	if err != nil {
+		return err
+	}
+	weights, err := mem.Bytes(weightsPtr, uint64(wWords)*4)
+	if err != nil {
+		return err
+	}
+	var kv []byte
+	if kvCap > 0 {
+		if kv, err = mem.Bytes(kvPtr, uint64(kvCap)); err != nil {
+			return err
+		}
+	}
+	h := PrefillSeed
+	for i := 0; i < int(promptLen); i++ {
+		w := binary.LittleEndian.Uint32(weights[(i%int(wWords))*4:])
+		h = mix64(h, uint64(prompt[i])|uint64(w)<<8)
+		if kvCap > 0 {
+			kv[i%int(kvCap)] = byte(h)
+		}
+	}
+	binary.LittleEndian.PutUint64(state, h)
+	return nil
+}
+
+// decodeStep: one token-generation step — the tiny launch the serving
+// engine issues thousands of per request. The previous state arrives by
+// value (the host holds it), so the transition depends only on the
+// argument buffer and the device-resident weights; the KV write models
+// cache growth but never feeds back into the state.
+// Params: (uint64 *state, uint8 *kv, const uint32 *weights, int step,
+//          uint64 prevState, int kvCap, int wWords).
+func decodeStepKernel(mem *gpu.Mem, cfg gpu.LaunchConfig, args *gpu.Args) error {
+	statePtr, err := args.Ptr(0)
+	if err != nil {
+		return err
+	}
+	kvPtr, err := args.Ptr(1)
+	if err != nil {
+		return err
+	}
+	weightsPtr, err := args.Ptr(2)
+	if err != nil {
+		return err
+	}
+	step, err := args.I32(3)
+	if err != nil {
+		return err
+	}
+	prev, err := args.U64(4)
+	if err != nil {
+		return err
+	}
+	kvCap, err := args.I32(5)
+	if err != nil {
+		return err
+	}
+	wWords, err := args.I32(6)
+	if err != nil {
+		return err
+	}
+	if step < 0 || kvCap < 0 || wWords <= 0 {
+		return gpu.ErrBadArgs
+	}
+	state, err := mem.Bytes(statePtr, 8)
+	if err != nil {
+		return err
+	}
+	weights, err := mem.Bytes(weightsPtr, uint64(wWords)*4)
+	if err != nil {
+		return err
+	}
+	w := binary.LittleEndian.Uint32(weights[((int(step)*31+7)%int(wWords))*4:])
+	h := mix64(prev, uint64(w)^(uint64(uint32(step))<<32))
+	if kvCap > 0 {
+		kv, err := mem.Bytes(kvPtr, uint64(kvCap))
+		if err != nil {
+			return err
+		}
+		off := (int(step) * 8) % int(kvCap)
+		for j := 0; j < 8 && off+j < int(kvCap); j++ {
+			kv[off+j] = byte(h >> (8 * uint(j)))
+		}
+	}
+	binary.LittleEndian.PutUint64(state, h)
+	return nil
+}
+
 // BuiltinImage returns a cubin image for the given architecture whose
 // kernel metadata matches the built-in registry — the artifact "nvcc"
 // would produce for the proxy applications. Applications write it to
@@ -546,6 +740,22 @@ func BuiltinImage(arch uint32) *cubin.Image {
 				Name:      KernelReduceSum,
 				Params:    []cubin.ParamInfo{ptr(0), ptr(8), scalar32(16)},
 				SharedMem: 1024, RegsPerThread: 16, Code: code(KernelReduceSum),
+			},
+			{
+				Name: KernelPrefill,
+				Params: []cubin.ParamInfo{
+					ptr(0), ptr(8), ptr(16), ptr(24),
+					scalar32(32), scalar32(36), scalar32(40),
+				},
+				SharedMem: 4096, RegsPerThread: 64, Code: code(KernelPrefill),
+			},
+			{
+				Name: KernelDecodeStep,
+				Params: []cubin.ParamInfo{
+					ptr(0), ptr(8), ptr(16),
+					scalar32(24), scalar64(32), scalar32(40), scalar32(44),
+				},
+				RegsPerThread: 40, Code: code(KernelDecodeStep),
 			},
 		},
 	}

@@ -1,0 +1,460 @@
+package serve
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cricket/internal/cricket"
+	"cricket/internal/cuda"
+	"cricket/internal/gpu"
+	"cricket/internal/guest"
+	"cricket/internal/oncrpc"
+)
+
+// env is a restartable in-process Cricket server with ndev simulated
+// GPUs (the serve-package twin of the cricket package's sessEnv).
+type env struct {
+	t    *testing.T
+	ndev int
+
+	mu    sync.Mutex
+	rpc   *oncrpc.Server
+	conns []net.Conn
+}
+
+func newEnv(t *testing.T, ndev int) *env {
+	e := &env{t: t, ndev: ndev}
+	e.boot()
+	t.Cleanup(func() { e.kill(true) })
+	return e
+}
+
+func (e *env) boot() {
+	devs := make([]*gpu.Device, e.ndev)
+	for i := range devs {
+		devs[i] = gpu.New(gpu.SpecA100)
+	}
+	srv := cricket.NewServer(cuda.NewRuntime(nil, devs...))
+	rpcSrv := oncrpc.NewServer()
+	srv.Attach(rpcSrv)
+	e.mu.Lock()
+	e.rpc = rpcSrv
+	e.mu.Unlock()
+}
+
+func (e *env) redial() (io.ReadWriteCloser, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.rpc == nil {
+		return nil, errors.New("env: server down")
+	}
+	cli, srvConn := net.Pipe()
+	e.conns = append(e.conns, srvConn)
+	go e.rpc.ServeConn(srvConn)
+	return cli, nil
+}
+
+func (e *env) kill(down bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, c := range e.conns {
+		c.Close()
+	}
+	e.conns = nil
+	if down {
+		e.rpc = nil
+	}
+}
+
+func (e *env) restart() {
+	e.kill(true)
+	e.boot()
+}
+
+func newSession(t *testing.T, e *env, batch int) *cricket.Session {
+	t.Helper()
+	s, err := cricket.NewSession(cricket.SessionOptions{
+		Options: cricket.Options{Platform: guest.NativeRust(), Batch: batch},
+		Redial:  e.redial,
+		Seed:    1,
+		Sleep:   func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func newEngine(t *testing.T, e *env, cfg Config) *Engine {
+	t.Helper()
+	s := newSession(t, e, 32)
+	eng, err := New(s, cfg)
+	if err != nil {
+		t.Fatalf("New engine: %v", err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+func prompt(seed byte, n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = seed + byte(i*7)
+	}
+	return p
+}
+
+func TestEngineServesAndStreams(t *testing.T) {
+	e := newEnv(t, 1)
+	eng := newEngine(t, e, Config{Slots: 2})
+
+	var streamed []uint32
+	resp, err := eng.Do(Request{
+		ID: 7, Prompt: prompt(3, 64), MaxTokens: 20,
+		OnToken: func(tok uint32) { streamed = append(streamed, tok) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Tokens) != 20 {
+		t.Fatalf("got %d tokens, want 20", len(resp.Tokens))
+	}
+	if len(streamed) != 20 {
+		t.Fatalf("streamed %d tokens, want 20", len(streamed))
+	}
+	for i := range streamed {
+		if streamed[i] != resp.Tokens[i] {
+			t.Fatalf("streamed[%d] = %d, response has %d", i, streamed[i], resp.Tokens[i])
+		}
+	}
+	if resp.Digest == 0 {
+		t.Fatal("no digest")
+	}
+	if resp.TTFT <= 0 || resp.Total < resp.TTFT {
+		t.Fatalf("timing: ttft=%v total=%v", resp.TTFT, resp.Total)
+	}
+	st := eng.Stats()
+	if st.Completed != 1 || st.Launches < 21 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEngineDigestDeterministicAcrossEngines(t *testing.T) {
+	req := Request{ID: 1, Prompt: prompt(9, 100), MaxTokens: 32}
+	digest := func(cfg Config) uint64 {
+		e := newEnv(t, 1)
+		eng := newEngine(t, e, cfg)
+		resp, err := eng.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Digest
+	}
+	d1 := digest(Config{Slots: 1})
+	d2 := digest(Config{Slots: 4})
+	if d1 != d2 {
+		t.Fatalf("digest differs across engine configs: %#x vs %#x", d1, d2)
+	}
+}
+
+// TestEngineMultiReplicaBitIdentical runs the same concurrent request
+// set through a single-replica and a two-replica (two-device) engine:
+// per-request digests must match bit-for-bit, and the two-replica run
+// must actually spread load across both devices.
+func TestEngineMultiReplicaBitIdentical(t *testing.T) {
+	const reqs = 8
+	run := func(ndev, replicas int) (map[uint64]uint64, map[int]int) {
+		e := newEnv(t, ndev)
+		eng := newEngine(t, e, Config{Replicas: replicas, Slots: 2})
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		digests := make(map[uint64]uint64)
+		placement := make(map[int]int)
+		for i := 0; i < reqs; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := eng.Do(Request{
+					ID: uint64(i), Prompt: prompt(byte(i), 64+i), MaxTokens: 16 + i,
+				})
+				if err != nil {
+					t.Errorf("req %d: %v", i, err)
+					return
+				}
+				mu.Lock()
+				digests[resp.ID] = resp.Digest
+				placement[resp.Replica]++
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		return digests, placement
+	}
+	single, _ := run(1, 1)
+	multi, placement := run(2, 2)
+	if len(single) != reqs || len(multi) != reqs {
+		t.Fatalf("lost requests: single %d, multi %d", len(single), len(multi))
+	}
+	for id, d := range single {
+		if multi[id] != d {
+			t.Fatalf("request %d digest differs: single %#x, multi %#x", id, d, multi[id])
+		}
+	}
+	if len(placement) < 2 {
+		t.Fatalf("two-replica run used %d device(s): %v", len(placement), placement)
+	}
+}
+
+// TestEngineSurvivesServerRestart kills and reboots the server in the
+// middle of a decode: the engine must detect the session replay,
+// re-upload weights, redo the interrupted round, and deliver the same
+// token stream as an undisturbed run.
+func TestEngineSurvivesServerRestart(t *testing.T) {
+	req := Request{ID: 5, Prompt: prompt(17, 80), MaxTokens: 200}
+
+	base := newEnv(t, 1)
+	beng := newEngine(t, base, Config{Slots: 2})
+	want, err := beng.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := newEnv(t, 1)
+	eng := newEngine(t, e, Config{Slots: 2})
+	restarted := make(chan struct{})
+	var once sync.Once
+	r := req
+	r.OnToken = func(uint32) {
+		once.Do(func() {
+			e.restart()
+			close(restarted)
+		})
+	}
+	got, err := eng.Do(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-restarted
+	if got.Digest != want.Digest {
+		t.Fatalf("digest after restart %#x, want %#x", got.Digest, want.Digest)
+	}
+	if len(got.Tokens) != len(want.Tokens) {
+		t.Fatalf("token count %d, want %d", len(got.Tokens), len(want.Tokens))
+	}
+	st := eng.Stats()
+	if st.RoundRedos < 1 || st.WeightReloads < 1 {
+		t.Fatalf("recovery not observable: %+v", st)
+	}
+}
+
+// TestEngineMigratesBetweenRounds live-migrates the engine's session
+// to a second server at a round boundary via Barrier, mid-request:
+// the token stream must continue bit-identically on the target.
+func TestEngineMigratesBetweenRounds(t *testing.T) {
+	req := Request{ID: 9, Prompt: prompt(29, 96), MaxTokens: 120}
+
+	base := newEnv(t, 1)
+	beng := newEngine(t, base, Config{Slots: 2})
+	want, err := beng.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := newEnv(t, 1)
+	dst := newEnv(t, 1)
+	s := newSession(t, src, 32)
+	eng, err := New(s, Config{Slots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+
+	migrated := make(chan error, 1)
+	var once sync.Once
+	r := req
+	r.OnToken = func(uint32) {
+		once.Do(func() {
+			go func() {
+				migrated <- eng.Barrier(func() error {
+					_, err := s.MigrateVia("standby", dst.redial)
+					return err
+				})
+			}()
+		})
+	}
+	got, err := eng.Do(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-migrated; err != nil {
+		t.Fatalf("migration: %v", err)
+	}
+	if got.Digest != want.Digest {
+		t.Fatalf("digest after migration %#x, want %#x", got.Digest, want.Digest)
+	}
+	if st := s.SessionStats(); st.Migrations != 1 {
+		t.Fatalf("Migrations = %d, want 1", st.Migrations)
+	}
+}
+
+// TestEngineShedsBatchClassFirst fills the queues behind a slow
+// request: batch-class submissions shed once their queue is full
+// while latency-class ones ride the doubled queue.
+func TestEngineShedsBatchClassFirst(t *testing.T) {
+	e := newEnv(t, 1)
+	eng := newEngine(t, e, Config{Slots: 1, QueueCap: 2})
+
+	// Occupy the only slot long enough to fill queues behind it; wait
+	// for its first token so it is decoding (not still queued) before
+	// flooding the queues.
+	started := make(chan struct{})
+	var once sync.Once
+	blocker, err := eng.Submit(Request{
+		ID: 1, Prompt: prompt(1, 32), MaxTokens: 400,
+		OnToken: func(uint32) { once.Do(func() { close(started) }) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	var batchShed, latShed int
+	var tickets []*Ticket
+	for i := 0; i < 5; i++ {
+		_, err := eng.Submit(Request{ID: uint64(100 + i), Prompt: prompt(2, 8), MaxTokens: 1, Class: Batch})
+		if errors.Is(err, ErrShed) {
+			batchShed++
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		tk, err := eng.Submit(Request{ID: uint64(200 + i), Prompt: prompt(3, 8), MaxTokens: 1, Class: Latency})
+		if errors.Is(err, ErrShed) {
+			latShed++
+		} else if err != nil {
+			t.Fatal(err)
+		} else {
+			tickets = append(tickets, tk)
+		}
+	}
+	if batchShed == 0 {
+		t.Fatal("no batch-class request shed with a full queue")
+	}
+	if latShed != 0 {
+		t.Fatalf("%d latency-class requests shed while the doubled queue had room", latShed)
+	}
+	if _, err := blocker.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range tickets {
+		if _, err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.Shed[Batch] == 0 || st.Shed[Latency] != 0 {
+		t.Fatalf("shed stats = %+v", st.Shed)
+	}
+}
+
+// TestEngineDropsExpiredQueuedRequests gives a queued request a
+// deadline shorter than the blocker ahead of it.
+func TestEngineDropsExpiredQueuedRequests(t *testing.T) {
+	e := newEnv(t, 1)
+	eng := newEngine(t, e, Config{Slots: 1})
+
+	blocker, err := eng.Submit(Request{ID: 1, Prompt: prompt(1, 32), MaxTokens: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := eng.Submit(Request{ID: 2, Prompt: prompt(2, 8), MaxTokens: 1, Deadline: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("expired request returned %v, want ErrDeadline", err)
+	}
+	if _, err := blocker.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1", st.Expired)
+	}
+}
+
+func TestEngineSLOReport(t *testing.T) {
+	e := newEnv(t, 1)
+	eng := newEngine(t, e, Config{
+		Slots: 2,
+		SLO: map[Class]SLOBudget{
+			Latency: {TTFT: time.Hour, PerToken: time.Hour},
+			Batch:   {TTFT: time.Nanosecond, PerToken: time.Nanosecond},
+		},
+	})
+	for _, cl := range []Class{Latency, Batch} {
+		if _, err := eng.Do(Request{ID: uint64(cl), Prompt: prompt(5, 16), MaxTokens: 8, Class: cl}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reps := eng.Report()
+	if len(reps) != 2 {
+		t.Fatalf("%d class reports", len(reps))
+	}
+	for _, r := range reps {
+		if r.TTFT.Count != 1 || r.PerToken.Count != 7 {
+			t.Fatalf("%v: ttft count %d, per-token count %d", r.Class, r.TTFT.Count, r.PerToken.Count)
+		}
+		switch r.Class {
+		case Latency:
+			if !r.SLOMet {
+				t.Fatal("hour-scale budget reported violated")
+			}
+		case Batch:
+			if r.SLOMet {
+				t.Fatal("nanosecond budget reported met")
+			}
+		}
+	}
+}
+
+func TestEngineRejectsBadRequests(t *testing.T) {
+	e := newEnv(t, 1)
+	eng := newEngine(t, e, Config{PromptCap: 32})
+	if _, err := eng.Submit(Request{Prompt: prompt(1, 64), MaxTokens: 4}); err == nil {
+		t.Fatal("oversized prompt accepted")
+	}
+	if _, err := eng.Submit(Request{Prompt: prompt(1, 8), MaxTokens: 0}); err == nil {
+		t.Fatal("zero MaxTokens accepted")
+	}
+	if _, err := New(newSession(t, e, 0), Config{Replicas: 3}); err == nil {
+		t.Fatal("3 replicas accepted on a 1-device server")
+	}
+}
+
+func TestEngineCloseFailsInFlight(t *testing.T) {
+	e := newEnv(t, 1)
+	s := newSession(t, e, 32)
+	eng, err := New(s, Config{Slots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := eng.Submit(Request{ID: 1, Prompt: prompt(1, 16), MaxTokens: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("in-flight request returned %v, want ErrClosed", err)
+	}
+	if _, err := eng.Submit(Request{ID: 2, Prompt: prompt(1, 8), MaxTokens: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close = %v, want ErrClosed", err)
+	}
+}
